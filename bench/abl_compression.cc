@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Footnote-9 ablation: "We also studied more complex compression
+ * schemes [FPC] but the compression ratio and the reduction in MPKI
+ * were similar." Compares the Table-4 encoding against Frequent
+ * Pattern Compression for both CMPR-4xTags and FAC-4xTags.
+ */
+
+#include <cstdio>
+
+#include "cache/hierarchy.hh"
+#include "common/table.hh"
+#include "compression/compressed_l2.hh"
+#include "compression/fac_cache.hh"
+#include "sim/experiment.hh"
+
+using namespace ldis;
+
+namespace
+{
+
+double
+cmprMpki(const std::string &name, EncoderKind enc, InstCount n)
+{
+    auto workload = makeBenchmark(name);
+    ValueModel values(workload->valueProfile());
+    CompressedL2Params p;
+    p.encoder = enc;
+    CompressedL2 l2(p, values);
+    return runTrace(*workload, l2, n).mpki;
+}
+
+double
+facMpki(const std::string &name, EncoderKind enc, InstCount n)
+{
+    auto workload = makeBenchmark(name);
+    ValueModel values(workload->valueProfile());
+    DistillParams p;
+    p.wocWays = 3;
+    p.medianThreshold = true;
+    p.useReverter = true;
+    FacCache l2(p, values, enc);
+    return runTrace(*workload, l2, n).mpki;
+}
+
+const char *kBenchmarks[] = {"mcf", "twolf", "parser", "sixtrack",
+                             "health", "gcc"};
+
+} // namespace
+
+int
+main()
+{
+    InstCount instructions = runLength(20'000'000);
+    std::printf("Ablation: Table-4 encoding vs FPC (footnote 9) "
+                "(%llu instructions)\n\n",
+                static_cast<unsigned long long>(instructions));
+
+    Table t({"name", "base MPKI", "CMPR/T4", "CMPR/FPC", "FAC/T4",
+             "FAC/FPC"});
+    for (const char *name : kBenchmarks) {
+        RunResult base = runTrace(name, ConfigKind::Baseline1MB,
+                                  instructions);
+        auto pct = [&](double mpki) {
+            return Table::num(percentReduction(base.mpki, mpki), 1)
+                 + "%";
+        };
+        t.addRow({name, Table::num(base.mpki, 2),
+                  pct(cmprMpki(name, EncoderKind::Table4,
+                               instructions)),
+                  pct(cmprMpki(name, EncoderKind::Fpc,
+                               instructions)),
+                  pct(facMpki(name, EncoderKind::Table4,
+                              instructions)),
+                  pct(facMpki(name, EncoderKind::Fpc,
+                              instructions))});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Paper footnote 9: the richer encoding changes "
+                "neither the compression ratio nor the MPKI "
+                "reduction materially.\n");
+    return 0;
+}

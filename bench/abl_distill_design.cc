@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Ablation study of the distill cache's design choices (not a paper
+ * figure; DESIGN.md section 4): WOC way-count sweep, fixed
+ * distillation thresholds K = 1..8 vs the adaptive median threshold,
+ * and leader-set count sensitivity of the reverter. Run on a
+ * representative subset of proxies.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/table.hh"
+#include "distill/distill_cache.hh"
+#include "sim/experiment.hh"
+
+using namespace ldis;
+
+namespace
+{
+
+double
+mpkiFor(const std::string &name, const DistillParams &p,
+        InstCount instructions)
+{
+    auto workload = makeBenchmark(name);
+    DistillCache l2(p);
+    return runTrace(*workload, l2, instructions).mpki;
+}
+
+const char *kBenchmarks[] = {"art", "mcf", "twolf", "sixtrack",
+                             "swim"};
+
+} // namespace
+
+int
+main()
+{
+    InstCount instructions = runLength(20'000'000);
+    std::printf("Ablation: distill-cache design choices "
+                "(%llu instructions)\n\n",
+                static_cast<unsigned long long>(instructions));
+
+    // --- WOC way-count sweep -------------------------------------
+    std::printf("A. %% MPKI reduction vs baseline, by WOC ways "
+                "(MT+RC):\n\n");
+    Table t1({"name", "base MPKI", "1 way", "2 ways", "3 ways",
+              "4 ways"});
+    for (const char *name : kBenchmarks) {
+        RunResult base = runTrace(name, ConfigKind::Baseline1MB,
+                                  instructions);
+        std::vector<std::string> row{name, Table::num(base.mpki, 2)};
+        for (unsigned woc = 1; woc <= 4; ++woc) {
+            DistillParams p;
+            p.wocWays = woc;
+            p.medianThreshold = true;
+            p.useReverter = true;
+            row.push_back(Table::num(
+                percentReduction(base.mpki,
+                                 mpkiFor(name, p, instructions)), 1)
+                + "%");
+        }
+        t1.addRow(row);
+    }
+    std::printf("%s\n", t1.render().c_str());
+
+    // --- Fixed threshold vs adaptive median ----------------------
+    std::printf("B. %% MPKI reduction with fixed distillation "
+                "thresholds (no RC), vs the adaptive median:\n\n");
+    Table t2({"name", "K=1", "K=2", "K=4", "K=8", "median"});
+    for (const char *name : kBenchmarks) {
+        RunResult base = runTrace(name, ConfigKind::Baseline1MB,
+                                  instructions);
+        std::vector<std::string> row{name};
+        for (unsigned k : {1u, 2u, 4u, 8u}) {
+            DistillParams pk;
+            pk.medianThreshold = true;
+            pk.fixedThreshold = k;
+            row.push_back(Table::num(
+                percentReduction(base.mpki,
+                                 mpkiFor(name, pk, instructions)),
+                1) + "%");
+        }
+        DistillParams pm;
+        pm.medianThreshold = true;
+        row.push_back(Table::num(
+            percentReduction(base.mpki,
+                             mpkiFor(name, pm, instructions)), 1)
+            + "%");
+        t2.addRow(row);
+    }
+    std::printf("%s\n", t2.render().c_str());
+
+    // --- WOC victim selection (footnote 4) ------------------------
+    std::printf("B2. %% MPKI reduction by WOC victim policy "
+                "(MT+RC) -- the paper claims random ~ LRU:\n\n");
+    Table t2b({"name", "random", "round-robin"});
+    for (const char *name : kBenchmarks) {
+        RunResult base = runTrace(name, ConfigKind::Baseline1MB,
+                                  instructions);
+        std::vector<std::string> row{name};
+        for (WocVictim policy :
+             {WocVictim::Random, WocVictim::RoundRobin}) {
+            DistillParams p;
+            p.medianThreshold = true;
+            p.useReverter = true;
+            p.wocVictim = policy;
+            row.push_back(Table::num(
+                percentReduction(base.mpki,
+                                 mpkiFor(name, p, instructions)), 1)
+                + "%");
+        }
+        t2b.addRow(row);
+    }
+    std::printf("%s\n", t2b.render().c_str());
+
+    // --- Leader-set count ----------------------------------------
+    std::printf("C. %% MPKI reduction (MT+RC) by reverter leader-set "
+                "count:\n\n");
+    Table t3({"name", "8 leaders", "16", "32", "64", "128"});
+    for (const char *name : kBenchmarks) {
+        RunResult base = runTrace(name, ConfigKind::Baseline1MB,
+                                  instructions);
+        std::vector<std::string> row{name};
+        for (unsigned leaders : {8u, 16u, 32u, 64u, 128u}) {
+            DistillParams p;
+            p.medianThreshold = true;
+            p.useReverter = true;
+            p.reverter.leaderSets = leaders;
+            row.push_back(Table::num(
+                percentReduction(base.mpki,
+                                 mpkiFor(name, p, instructions)), 1)
+                + "%");
+        }
+        t3.addRow(row);
+    }
+    std::printf("%s\n", t3.render().c_str());
+    return 0;
+}

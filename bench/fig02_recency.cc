@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Figure 2: distribution of the maximum recency position
+ * a line attained before its footprint changed, recorded at
+ * eviction (baseline 1MB 8-way; position 0 = MRU, 7 = LRU). The
+ * paper's takeaway: on average 83% of footprint changes happen
+ * between positions 0 and 3, under 12% after position 6 — so the
+ * footprint has stabilized by the bottom quarter of the stack, which
+ * is what licenses distilling at eviction time.
+ */
+
+#include <cstdio>
+
+#include "cache/hierarchy.hh"
+#include "cache/traditional_l2.hh"
+#include "common/table.hh"
+#include "sim/experiment.hh"
+
+using namespace ldis;
+
+int
+main()
+{
+    InstCount instructions = runLength();
+    std::printf("Figure 2: max recency position before "
+                "footprint-change (%llu instructions)\n\n",
+                static_cast<unsigned long long>(instructions));
+
+    Table t({"name", "0", "1", "2", "3", "4", "5", "6", "7",
+             "pos 0-3", "pos 6-7"});
+    double sum03 = 0.0, sum67 = 0.0;
+    auto names = studiedBenchmarks();
+    for (const std::string &name : names) {
+        auto workload = makeBenchmark(name);
+        CacheGeometry g;
+        g.bytes = 1 << 20;
+        g.ways = 8;
+        TraditionalL2 l2(g);
+        Hierarchy hier(*workload, l2);
+        hier.run(instructions);
+
+        const Histogram &h = l2.recencyBeforeChange();
+        std::vector<std::string> row{name};
+        double p03 = 0.0, p67 = 0.0;
+        for (unsigned pos = 0; pos < 8; ++pos) {
+            double f = h.fractionAt(pos);
+            row.push_back(Table::percent(f, 0));
+            if (pos <= 3)
+                p03 += f;
+            if (pos >= 6)
+                p67 += f;
+        }
+        row.push_back(Table::percent(p03, 1));
+        row.push_back(Table::percent(p67, 1));
+        sum03 += p03;
+        sum67 += p67;
+        t.addRow(row);
+    }
+    t.addRow({"avg", "", "", "", "", "", "", "", "",
+              Table::percent(sum03 / names.size(), 1),
+              Table::percent(sum67 / names.size(), 1)});
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Paper: 83%% of footprint changes at positions 0-3; "
+                "<12%% after position 6.\n");
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmarks (google-benchmark): simulated
+ * instructions per second for each L2 model, plus the hot paths of
+ * the WOC (install / lookup) in isolation. Not a paper experiment —
+ * these guard the simulator's own performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/hierarchy.hh"
+#include "common/random.hh"
+#include "distill/woc.hh"
+#include "sim/experiment.hh"
+
+using namespace ldis;
+
+namespace
+{
+
+void
+runModel(benchmark::State &state, ConfigKind kind)
+{
+    auto workload = makeBenchmark("mcf");
+    L2Instance l2 = makeConfig(kind, workload->valueProfile());
+    Hierarchy hier(*workload, *l2.cache);
+    const InstCount chunk = 1'000'000;
+    for (auto _ : state)
+        hier.run(chunk);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * chunk);
+}
+
+void
+BM_TraditionalL2(benchmark::State &state)
+{
+    runModel(state, ConfigKind::Baseline1MB);
+}
+BENCHMARK(BM_TraditionalL2)->Unit(benchmark::kMillisecond);
+
+void
+BM_DistillCache(benchmark::State &state)
+{
+    runModel(state, ConfigKind::LdisMTRC);
+}
+BENCHMARK(BM_DistillCache)->Unit(benchmark::kMillisecond);
+
+void
+BM_CompressedL2(benchmark::State &state)
+{
+    runModel(state, ConfigKind::Cmpr4xTags);
+}
+BENCHMARK(BM_CompressedL2)->Unit(benchmark::kMillisecond);
+
+void
+BM_FacCache(benchmark::State &state)
+{
+    runModel(state, ConfigKind::Fac4xTags);
+}
+BENCHMARK(BM_FacCache)->Unit(benchmark::kMillisecond);
+
+void
+BM_SfpCache(benchmark::State &state)
+{
+    runModel(state, ConfigKind::Sfp16k);
+}
+BENCHMARK(BM_SfpCache)->Unit(benchmark::kMillisecond);
+
+void
+BM_OooCore(benchmark::State &state)
+{
+    auto workload = makeBenchmark("mcf");
+    L2Instance l2 = makeConfig(ConfigKind::Baseline1MB);
+    CpuParams params;
+    OooCore core(params, *workload, *l2.cache);
+    const InstCount chunk = 500'000;
+    for (auto _ : state)
+        core.run(chunk);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * chunk);
+}
+BENCHMARK(BM_OooCore)->Unit(benchmark::kMillisecond);
+
+void
+BM_WocInstall(benchmark::State &state)
+{
+    WocSet woc(16);
+    Random rng(7);
+    std::vector<WocEvicted> evicted;
+    LineAddr line = 0;
+    const unsigned words = static_cast<unsigned>(state.range(0));
+    Footprint fp;
+    for (unsigned w = 0; w < words; ++w)
+        fp.set(w);
+    for (auto _ : state) {
+        evicted.clear();
+        woc.install(line++ * 2048, fp, Footprint{}, rng, evicted);
+        benchmark::DoNotOptimize(evicted.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WocInstall)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_WocLookup(benchmark::State &state)
+{
+    WocSet woc(16);
+    Random rng(7);
+    std::vector<WocEvicted> evicted;
+    Footprint two;
+    two.set(0);
+    two.set(5);
+    for (LineAddr l = 0; l < 8; ++l)
+        woc.install(l * 2048, two, Footprint{}, rng, evicted);
+    LineAddr probe = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            woc.wordsOf((probe++ % 8) * 2048).raw());
+    }
+}
+BENCHMARK(BM_WocLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

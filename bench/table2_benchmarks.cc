@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Reproduces Table 2: baseline (1MB 8-way) misses per 1000
+ * instructions and the percentage of misses that are compulsory,
+ * for each of the 16 studied benchmark proxies. Paper values are
+ * printed alongside for comparison.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "sim/experiment.hh"
+
+using namespace ldis;
+
+int
+main()
+{
+    InstCount instructions = runLength();
+    std::printf("Table 2: benchmark summary (baseline 1MB 8-way, "
+                "%llu instructions per run)\n\n",
+                static_cast<unsigned long long>(instructions));
+
+    Table t({"name", "MPKI", "compulsory", "paper MPKI",
+             "paper comp."});
+    for (const std::string &name : studiedBenchmarks()) {
+        RunResult r = runTrace(name, ConfigKind::Baseline1MB,
+                               instructions);
+        double comp = r.l2.misses() == 0
+            ? 0.0
+            : static_cast<double>(r.l2.compulsoryMisses)
+                  / static_cast<double>(r.l2.misses());
+        const BenchmarkInfo &info = benchmarkInfo(name);
+        t.addRow({name, Table::num(r.mpki, 1), Table::percent(comp),
+                  Table::num(info.paperMpki, 1),
+                  Table::percent(info.paperCompulsory)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    return 0;
+}

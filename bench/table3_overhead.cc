@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Table 3: the storage overhead of the distill cache,
+ * plus the line-size sensitivity the paper quotes in the text
+ * (12.2% at 64B lines, ~7% at 128B, ~4% at 256B — word size scales
+ * with the line so there are always eight words per line).
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "distill/overhead.hh"
+
+using namespace ldis;
+
+int
+main()
+{
+    OverheadParams p; // paper defaults
+    OverheadBreakdown b = computeOverhead(p);
+
+    std::printf("Table 3: storage overhead of Line Distillation\n\n");
+    Table t({"component", "value"});
+    t.addRow({"size of each tag-entry in WOC",
+              std::to_string(b.wocEntryBits) + " bits"});
+    t.addRow({"total number of tag-entries in WOC",
+              std::to_string(b.wocEntries)});
+    t.addRow({"overhead of tag-entries in WOC",
+              std::to_string(b.wocTagBytes / 1024) + " kB"});
+    t.addRow({"total number of tag-entries in LOC",
+              std::to_string(b.locEntries)});
+    t.addRow({"overhead of footprint bits in LOC",
+              std::to_string(b.locFootprintBytes / 1024) + " kB"});
+    t.addRow({"total number of lines in L1D",
+              std::to_string(b.l1dLines)});
+    t.addRow({"overhead of footprint bits in L1D",
+              std::to_string(b.l1dFootprintBytes) + " B"});
+    t.addRow({"overhead for median threshold",
+              std::to_string(b.mtBytes) + " B"});
+    t.addRow({"overhead of reverter circuit (ATD)",
+              std::to_string(b.atdBytes / 1024) + " kB"});
+    t.addRow({"total storage overhead",
+              std::to_string(b.totalBytes / 1024) + " kB"});
+    t.addRow({"baseline L2 area (tags + data)",
+              std::to_string(b.baselineAreaBytes / 1024) + " kB"});
+    t.addRow({"% increase in L2 area",
+              Table::num(b.percentIncrease, 1) + "%"});
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Paper: 29-bit WOC entries, 32k of them (116kB), "
+                "16kB LOC footprints, 256B L1D footprints, 18B MT, "
+                "1kB ATD; 133kB total = 12.2%%.\n\n");
+
+    std::printf("Line-size sensitivity (word size = line/8):\n\n");
+    Table t2({"line size", "total overhead", "% of baseline area"});
+    for (unsigned line : {64u, 128u, 256u}) {
+        OverheadParams q;
+        q.lineBytes = line;
+        OverheadBreakdown bb = computeOverhead(q);
+        t2.addRow({std::to_string(line) + "B",
+                   std::to_string(bb.totalBytes / 1024) + " kB",
+                   Table::num(bb.percentIncrease, 1) + "%"});
+    }
+    std::printf("%s\n", t2.render().c_str());
+    std::printf("Paper: 12.2%% -> ~7%% -> ~4%%.\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Domain example: when does footprint-aware compression (Section 8)
+ * pay off? Sweeps the data-value compressibility of a fixed
+ * sparse-access workload and compares plain LDIS, plain compression
+ * (CMPR) and the combination (FAC), using the public configuration
+ * API.
+ *
+ * Usage: compression_study [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hh"
+#include "sim/experiment.hh"
+#include "trace/composite.hh"
+
+using namespace ldis;
+
+namespace
+{
+
+CompositeWorkload
+makeSparse(ValueProfile values)
+{
+    RegionParams table;
+    table.bytes = 3 << 20;
+    table.pattern = Pattern::RandomLine;
+    table.wordSel = WordSel::SparseK;
+    table.wordsPerVisit = 2;
+    table.meanOps = 6;
+    table.weight = 0.85;
+
+    RegionParams hot;
+    hot.bytes = 64 * 1024;
+    hot.pattern = Pattern::RandomLine;
+    hot.wordSel = WordSel::SparseK;
+    hot.wordsPerVisit = 4;
+    hot.meanOps = 6;
+    hot.weight = 0.15;
+
+    return CompositeWorkload("sparse", {table, hot}, CodeModel{},
+                             values, 11);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    InstCount instructions =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20'000'000;
+
+    std::printf("Compression-vs-distillation study "
+                "(%llu instructions per point)\n\n",
+                static_cast<unsigned long long>(instructions));
+
+    struct Point
+    {
+        const char *label;
+        ValueProfile values;
+    };
+    const Point points[] = {
+        {"incompressible", {0.02, 0.01, 0.05}},
+        {"narrow-heavy", {0.10, 0.05, 0.50}},
+        {"zero-heavy", {0.50, 0.10, 0.20}},
+        {"mostly-zero", {0.80, 0.05, 0.10}},
+    };
+
+    const ConfigKind configs[] = {ConfigKind::LdisMTRC,
+                                  ConfigKind::Cmpr4xTags,
+                                  ConfigKind::Fac4xTags};
+
+    Table t({"data profile", "base MPKI", "LDIS", "CMPR", "FAC"});
+    for (const Point &pt : points) {
+        std::vector<std::string> row{pt.label};
+        CompositeWorkload base_wl = makeSparse(pt.values);
+        L2Instance base_l2 = makeConfig(ConfigKind::Baseline1MB);
+        RunResult base = runTrace(base_wl, *base_l2.cache,
+                                  instructions);
+        row.push_back(Table::num(base.mpki, 2));
+        for (ConfigKind kind : configs) {
+            CompositeWorkload wl = makeSparse(pt.values);
+            L2Instance l2 = makeConfig(kind, pt.values);
+            RunResult r = runTrace(wl, *l2.cache, instructions);
+            row.push_back(Table::num(
+                percentReduction(base.mpki, r.mpki), 1) + "%");
+        }
+        t.addRow(row);
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("LDIS wins regardless of value compressibility "
+                "(it filters *unused* words); CMPR needs "
+                "compressible values; FAC stacks both effects "
+                "(Section 8's positive interaction).\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Domain example: how much cache does a pointer-chasing workload
+ * effectively gain from line distillation?
+ *
+ * Builds a custom linked-structure workload (not one of the paper's
+ * proxies) with a configurable node footprint, then sweeps the
+ * working-set size across the cache capacity and prints the misses
+ * of the baseline, the distill cache, and traditional caches of
+ * 1.5x/2x capacity — the Figure-8 methodology applied to a custom
+ * workload via the public API.
+ *
+ * Usage: pointer_chase_study [words_per_node] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/intmath.hh"
+#include "common/table.hh"
+#include "sim/experiment.hh"
+#include "trace/composite.hh"
+
+using namespace ldis;
+
+namespace
+{
+
+CompositeWorkload
+makeChase(std::uint64_t heap_bytes, unsigned words_per_node)
+{
+    RegionParams heap;
+    heap.bytes = heap_bytes;
+    heap.pattern = Pattern::PointerChase;
+    heap.wordSel = WordSel::SparseK;
+    heap.wordsPerVisit = words_per_node;
+    heap.depDist = 1;
+    heap.meanOps = 8;
+    heap.weight = 0.9;
+
+    RegionParams stack;
+    stack.bytes = 32 * 1024;
+    stack.pattern = Pattern::RandomLine;
+    stack.wordSel = WordSel::SparseK;
+    stack.wordsPerVisit = 3;
+    stack.meanOps = 8;
+    stack.weight = 0.1;
+
+    return CompositeWorkload("chase", {heap, stack}, CodeModel{},
+                             ValueProfile{}, 7);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned words = argc > 1
+        ? static_cast<unsigned>(std::strtoul(argv[1], nullptr, 10))
+        : 2;
+    InstCount instructions =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20'000'000;
+    if (words < 1 || words > kWordsPerLine) {
+        std::fprintf(stderr, "words_per_node must be 1..8\n");
+        return 1;
+    }
+
+    std::printf("Pointer-chase capacity study: %u-word nodes, "
+                "%llu instructions per point\n\n",
+                words,
+                static_cast<unsigned long long>(instructions));
+
+    const ConfigKind configs[] = {
+        ConfigKind::Baseline1MB, ConfigKind::LdisMTRC,
+        ConfigKind::Trad1_5MB, ConfigKind::Trad2MB};
+
+    Table t({"heap", "TRAD-1MB MPKI", "DISTILL", "TRAD-1.5MB",
+             "TRAD-2MB"});
+    for (std::uint64_t heap_mb : {1ull, 2ull, 3ull, 4ull, 6ull}) {
+        std::vector<std::string> row{std::to_string(heap_mb) + "MB"};
+        double base_mpki = 0.0;
+        for (ConfigKind kind : configs) {
+            CompositeWorkload wl =
+                makeChase(heap_mb << 20, words);
+            L2Instance l2 = makeConfig(kind, wl.valueProfile());
+            RunResult r = runTrace(wl, *l2.cache, instructions);
+            if (kind == ConfigKind::Baseline1MB) {
+                base_mpki = r.mpki;
+                row.push_back(Table::num(r.mpki, 2));
+            } else {
+                row.push_back(Table::num(
+                    percentReduction(base_mpki, r.mpki), 1) + "%");
+            }
+        }
+        t.addRow(row);
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("With %u-word nodes the WOC stores %u lines per "
+                "way-pair entry group; sparse nodes make the distill "
+                "cache act like a much larger traditional cache.\n",
+                words, 8 / static_cast<unsigned>(
+                               nextPow2(words)));
+    return 0;
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure. Results land in results/.
+# LDIS_INSTRUCTIONS controls run length (default 100M here; the
+# paper used 250M).
+set -u
+cd "$(dirname "$0")/.."
+BUILD=${BUILD:-build}
+OUT=${OUT:-results}
+N=${LDIS_INSTRUCTIONS:-100000000}
+mkdir -p "$OUT"
+
+run() {
+    local bin=$1 n=$2
+    echo "=== $bin (${n} instructions) ==="
+    LDIS_INSTRUCTIONS=$n "./$BUILD/bench/$bin" | tee "$OUT/$bin.txt"
+}
+
+run table2_benchmarks "$N"
+run fig01_words_used "$N"
+run fig02_recency "$N"
+run fig06_mpki "$N"
+run fig07_hitmiss "$N"
+run fig08_capacity "$N"
+# The execution-driven model is ~5x slower per instruction.
+run fig09_ipc "$((N / 2))"
+run table3_overhead "$N"
+run fig10_compressibility "$N"
+run fig11_fac "$N"
+run fig13_sfp "$N"
+run table5_insensitive "$((N / 2))"
+run table6_words_vs_size "$((N / 2))"
+run abl_distill_design "$((N / 5))"
+run abl_linesize "$((N / 5))"
+run abl_compression "$((N / 5))"
+run abl_prefetch "$((N / 5))"
+run abl_wrongpath "$((N / 10))"

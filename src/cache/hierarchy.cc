@@ -1,0 +1,69 @@
+#include "hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+namespace
+{
+
+/** Code region sits at the bottom of the address space. */
+constexpr Addr kCodeBase = 0x10000;
+
+} // namespace
+
+CodeWalker::CodeWalker(const CodeModel &model, std::uint64_t seed)
+    : code(model), rng(seed), codeBase(kCodeBase), pc(0),
+      instrsToJump(model.avgRunInstrs)
+{
+    ldis_assert(code.codeBytes >= kLineBytes);
+    ldis_assert(code.avgRunInstrs >= 1);
+}
+
+void
+CodeWalker::jump()
+{
+    // Jump to a random line-aligned block within the footprint.
+    std::uint64_t lines = code.codeBytes / kLineBytes;
+    pc = rng.below(lines) * kLineBytes;
+    instrsToJump = 1 + rng.below(2 * code.avgRunInstrs);
+}
+
+Hierarchy::Hierarchy(Workload &wl, SecondLevelCache &l2_cache,
+                     const HierarchyParams &params)
+    : workload(wl), l2(l2_cache), l1d(params.l1d, l2_cache),
+      l1i(params.l1i, l2_cache),
+      walker(wl.codeModel(), 0x1234567),
+      modelISide(params.modelInstructionSide)
+{
+}
+
+void
+Hierarchy::run(InstCount instructions)
+{
+    InstCount target = hierStats.instructions + instructions;
+    while (hierStats.instructions < target) {
+        Access a = workload.next();
+        hierStats.instructions += a.instructions();
+        ++hierStats.dataAccesses;
+
+        if (modelISide) {
+            walker.advance(a.instructions(), [this](Addr line_pc) {
+                l1i.fetchLine(line_pc);
+            });
+        }
+        l1d.access(a.addr, a.write, a.pc);
+    }
+}
+
+double
+Hierarchy::mpki() const
+{
+    if (hierStats.instructions == 0)
+        return 0.0;
+    return static_cast<double>(l2.stats().misses())
+         / (static_cast<double>(hierStats.instructions) / 1000.0);
+}
+
+} // namespace ldis

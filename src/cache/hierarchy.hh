@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Trace-driven two-level hierarchy driver: pulls accesses from a
+ * workload, walks a synthetic PC through the workload's code
+ * footprint for the instruction side, and feeds the L1s (which feed
+ * the pluggable L2). This is the engine behind every MPKI experiment
+ * in the paper; the execution-driven IPC model (src/cpu) layers
+ * timing on top of the same components.
+ */
+
+#ifndef DISTILLSIM_CACHE_HIERARCHY_HH
+#define DISTILLSIM_CACHE_HIERARCHY_HH
+
+#include <algorithm>
+
+#include "common/random.hh"
+#include "cache/l1i.hh"
+#include "cache/sectored_l1d.hh"
+#include "trace/workload.hh"
+
+namespace ldis
+{
+
+/** L1 geometry (Table 1 defaults). */
+struct HierarchyParams
+{
+    CacheGeometry l1i{16 * 1024, 2, kLineBytes, ReplPolicy::LRU, 11};
+    CacheGeometry l1d{16 * 1024, 2, kLineBytes, ReplPolicy::LRU, 13};
+
+    /** If false, skip the instruction side entirely (pure D-trace). */
+    bool modelInstructionSide = true;
+};
+
+/** Synthetic PC walker over a workload's code footprint. */
+class CodeWalker
+{
+  public:
+    CodeWalker(const CodeModel &model, std::uint64_t seed);
+
+    /**
+     * Advance the PC by @p instructions instructions and invoke
+     * @p fetch(line_pc) for every new instruction line entered.
+     */
+    template <typename F>
+    void
+    advance(std::uint64_t instructions, F &&fetch)
+    {
+        while (instructions > 0) {
+            if (instrsToJump == 0) {
+                jump();
+                continue;
+            }
+            // Instructions until the PC leaves the current line.
+            std::uint64_t to_boundary =
+                (kLineBytes - (pc % kLineBytes)) / 4;
+            std::uint64_t step =
+                std::min({instructions, instrsToJump, to_boundary});
+            if (step == 0)
+                step = 1;
+            if (pc % kLineBytes == 0)
+                fetch(codeBase + pc);
+            pc += step * 4;
+            if (pc >= code.codeBytes)
+                pc = 0;
+            instructions -= step;
+            instrsToJump -= std::min(instrsToJump, step);
+        }
+    }
+
+    Addr currentPc() const { return codeBase + pc; }
+
+  private:
+    void jump();
+
+    CodeModel code;
+    Random rng;
+    Addr codeBase;
+    Addr pc;             //!< byte offset within the code region
+    std::uint64_t instrsToJump;
+};
+
+/** Hierarchy-level statistics. */
+struct HierarchyStats
+{
+    InstCount instructions = 0;
+    std::uint64_t dataAccesses = 0;
+};
+
+/** The trace-driven simulation engine. */
+class Hierarchy
+{
+  public:
+    /**
+     * @param workload access stream (not owned)
+     * @param l2 second-level cache (not owned)
+     * @param params L1 geometry
+     */
+    Hierarchy(Workload &workload, SecondLevelCache &l2,
+              const HierarchyParams &params = {});
+
+    /** Simulate until @p instructions more instructions retire. */
+    void run(InstCount instructions);
+
+    const HierarchyStats &stats() const { return hierStats; }
+    const L1DStats &l1dStats() const { return l1d.stats(); }
+    const L1IStats &l1iStats() const { return l1i.stats(); }
+
+    /**
+     * Zero every statistics counter in the hierarchy and the backing
+     * L2 (warmup support). Cache contents are untouched.
+     */
+    void
+    resetStats()
+    {
+        hierStats = HierarchyStats{};
+        l1d.resetStats();
+        l1i.resetStats();
+        l2.resetStats();
+    }
+
+    /** Misses per kilo-instruction of the backing L2. */
+    double mpki() const;
+
+  private:
+    Workload &workload;
+    SecondLevelCache &l2;
+    SectoredL1D l1d;
+    L1ICache l1i;
+    CodeWalker walker;
+    bool modelISide;
+    HierarchyStats hierStats;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_CACHE_HIERARCHY_HH

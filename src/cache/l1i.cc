@@ -1,0 +1,27 @@
+#include "l1i.hh"
+
+namespace ldis
+{
+
+L1ICache::L1ICache(const CacheGeometry &geom, SecondLevelCache &l2_c,
+                   Cycle hit_latency)
+    : cache(geom), l2(l2_c), hitLatency(hit_latency)
+{
+}
+
+Cycle
+L1ICache::fetchLine(Addr pc)
+{
+    ++statsData.accesses;
+    LineAddr line = lineAddrOf(pc);
+    if (cache.find(line)) {
+        cache.touch(line);
+        return hitLatency;
+    }
+    ++statsData.misses;
+    L2Result r = l2.access(pc, false, pc, true);
+    cache.install(line);
+    return hitLatency + r.latency;
+}
+
+} // namespace ldis

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * First-level instruction cache (Table 1: 16kB, 2-way, 64B, LRU).
+ * Instruction lines fetched through it are installed in the L2 with
+ * the instr flag set, so the distill cache knows not to distill them
+ * (Section 4: "we perform LDIS only for the data lines").
+ */
+
+#ifndef DISTILLSIM_CACHE_L1I_HH
+#define DISTILLSIM_CACHE_L1I_HH
+
+#include "cache/l2_interface.hh"
+#include "cache/set_assoc.hh"
+
+namespace ldis
+{
+
+/** Statistics of the L1I. */
+struct L1IStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+};
+
+/** Simple instruction cache backed by the L2. */
+class L1ICache
+{
+  public:
+    L1ICache(const CacheGeometry &geom, SecondLevelCache &l2,
+             Cycle hit_latency = 1);
+
+    /**
+     * Fetch the instruction line containing @p pc.
+     * @return data-available latency
+     */
+    Cycle fetchLine(Addr pc);
+
+    const L1IStats &stats() const { return statsData; }
+
+    /** Zero the counters (warmup support); contents untouched. */
+    void resetStats() { statsData = L1IStats{}; }
+
+  private:
+    SetAssocCache cache;
+    SecondLevelCache &l2;
+    Cycle hitLatency;
+    L1IStats statsData;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_CACHE_L1I_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Abstract interface of a second-level cache as seen by the L1s.
+ * Implementations: TraditionalL2 (baseline), DistillCache (the
+ * paper's contribution), CompressedL2 (CMPR), FAC variants, and the
+ * SFP baseline.
+ */
+
+#ifndef DISTILLSIM_CACHE_L2_INTERFACE_HH
+#define DISTILLSIM_CACHE_L2_INTERFACE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "common/footprint.hh"
+#include "common/types.hh"
+
+namespace ldis
+{
+
+/**
+ * Outcome of a distill-cache access (Section 5.2). Traditional
+ * caches only produce LocHit and LineMiss.
+ */
+enum class L2Outcome
+{
+    LocHit,   //!< hit in the line-organized portion
+    WocHit,   //!< line hit and word hit in the WOC
+    HoleMiss, //!< line hit in the WOC but the word is absent
+    LineMiss, //!< miss in both structures
+};
+
+/** True for the two miss outcomes. */
+constexpr bool
+isMiss(L2Outcome o)
+{
+    return o == L2Outcome::HoleMiss || o == L2Outcome::LineMiss;
+}
+
+/** Result of one L2 access. */
+struct L2Result
+{
+    L2Outcome outcome = L2Outcome::LineMiss;
+
+    /**
+     * Words delivered to the L1D: full() for LOC hits and fills from
+     * memory, the resident subset for WOC hits.
+     */
+    Footprint validWords = Footprint::full();
+
+    /** Data-available latency in cycles (used by the IPC model). */
+    Cycle latency = 0;
+
+    /**
+     * True when this demand access is the first touch of a line
+     * that was filled by a prefetch (tagged prefetching re-arms the
+     * prefetcher on such hits).
+     */
+    bool promotedPrefetch = false;
+};
+
+/** Aggregate statistics of an L2 implementation. */
+struct L2Stats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t locHits = 0;
+    std::uint64_t wocHits = 0;
+    std::uint64_t holeMisses = 0;
+    std::uint64_t lineMisses = 0;
+    std::uint64_t compulsoryMisses = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t evictions = 0;
+
+    std::uint64_t hits() const { return locHits + wocHits; }
+    std::uint64_t misses() const { return holeMisses + lineMisses; }
+};
+
+/** Second-level cache interface. */
+class SecondLevelCache
+{
+  public:
+    virtual ~SecondLevelCache() = default;
+
+    /**
+     * Service an access that missed (or sector-missed) in an L1.
+     *
+     * @param addr byte address (word within line is significant)
+     * @param write true for stores (write-allocate)
+     * @param pc PC of the access (used by the SFP baseline)
+     * @param instr true for instruction-fetch lines
+     */
+    virtual L2Result access(Addr addr, bool write, Addr pc,
+                            bool instr) = 0;
+
+    /**
+     * Notification that the L1D evicted a line: @p used is the
+     * accumulated footprint, @p dirty_words the words written. The
+     * LOC OR-merges the footprint (Section 4.1); dirty words update
+     * the line's dirty state. Lines no longer present in the L2 fall
+     * through to memory (non-inclusive hierarchy).
+     */
+    virtual void l1dEviction(LineAddr line, Footprint used,
+                             Footprint dirty_words) = 0;
+
+    virtual const L2Stats &stats() const = 0;
+
+    /**
+     * Zero the statistics counters without touching cache contents
+     * (warmup support). First-touch state is preserved, so
+     * compulsory-miss accounting stays correct across the reset.
+     */
+    virtual void resetStats() = 0;
+
+    /** Short human-readable configuration description. */
+    virtual std::string describe() const = 0;
+
+    /**
+     * Install @p line without a demand access (prefetch). The line
+     * enters with an empty footprint; implementations that do not
+     * support prefetching ignore the request.
+     * @return true iff a fill was performed
+     */
+    virtual bool
+    prefetch(LineAddr line)
+    {
+        (void)line;
+        return false;
+    }
+};
+
+/**
+ * Helper shared by all L2 implementations: first-touch tracking for
+ * compulsory-miss accounting (Table 2).
+ */
+class CompulsoryTracker
+{
+  public:
+    /** Returns true iff @p line was never seen before (and marks). */
+    bool
+    firstTouch(LineAddr line)
+    {
+        return seen.insert(line).second;
+    }
+
+  private:
+    std::unordered_set<LineAddr> seen;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_CACHE_L2_INTERFACE_HH

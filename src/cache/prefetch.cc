@@ -1,0 +1,68 @@
+#include "prefetch.hh"
+
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+PrefetchingL2::PrefetchingL2(std::unique_ptr<SecondLevelCache> in,
+                             unsigned deg)
+    : inner(std::move(in)), degree(deg)
+{
+    ldis_assert(inner != nullptr);
+    ldis_assert(degree >= 1);
+}
+
+L2Result
+PrefetchingL2::access(Addr addr, bool write, Addr pc, bool instr)
+{
+    L2Result res = inner->access(addr, write, pc, instr);
+    // Tagged prefetching: a demand miss or the first demand touch
+    // of a prefetched line both arm the next-line prefetches.
+    if ((res.outcome == L2Outcome::LineMiss ||
+         res.promotedPrefetch) && !instr) {
+        LineAddr line = lineAddrOf(addr);
+        for (unsigned d = 1; d <= degree; ++d) {
+            if (inner->prefetch(line + d))
+                ++pfStats.issued;
+            else
+                ++pfStats.rejected;
+        }
+    }
+    return res;
+}
+
+void
+PrefetchingL2::l1dEviction(LineAddr line, Footprint used,
+                           Footprint dirty_words)
+{
+    inner->l1dEviction(line, used, dirty_words);
+}
+
+bool
+PrefetchingL2::prefetch(LineAddr line)
+{
+    return inner->prefetch(line);
+}
+
+const L2Stats &
+PrefetchingL2::stats() const
+{
+    return inner->stats();
+}
+
+void
+PrefetchingL2::resetStats()
+{
+    inner->resetStats();
+    pfStats = PrefetchStats{};
+}
+
+std::string
+PrefetchingL2::describe() const
+{
+    return inner->describe() + " +next-" + std::to_string(degree)
+         + "-line-prefetch";
+}
+
+} // namespace ldis

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Next-line prefetching decorator for any second-level cache.
+ * Section 9 notes that spatial-pattern prefetchers work at cache-line
+ * granularity, "so LDIS can be used with these schemes for removing
+ * unused words in both demand and prefetched lines" — this wrapper
+ * plus SecondLevelCache::prefetch() lets bench/abl_prefetch verify
+ * the composition.
+ *
+ * Prefetched lines are installed without any demand word in their
+ * footprint; if nothing touches them before eviction, the distill
+ * cache simply discards them (nothing to distill), and the baseline
+ * evicts them like any line.
+ */
+
+#ifndef DISTILLSIM_CACHE_PREFETCH_HH
+#define DISTILLSIM_CACHE_PREFETCH_HH
+
+#include <memory>
+
+#include "cache/l2_interface.hh"
+
+namespace ldis
+{
+
+/** Prefetch statistics. */
+struct PrefetchStats
+{
+    std::uint64_t issued = 0;   //!< prefetches sent to the L2
+    std::uint64_t rejected = 0; //!< line already resident
+};
+
+/** Next-N-line prefetcher wrapped around an inner L2. */
+class PrefetchingL2 : public SecondLevelCache
+{
+  public:
+    /**
+     * @param inner decorated cache (owned)
+     * @param degree lines prefetched per demand line-miss {1}
+     */
+    explicit PrefetchingL2(std::unique_ptr<SecondLevelCache> inner,
+                           unsigned degree = 1);
+
+    L2Result access(Addr addr, bool write, Addr pc,
+                    bool instr) override;
+    void l1dEviction(LineAddr line, Footprint used,
+                     Footprint dirty_words) override;
+    bool prefetch(LineAddr line) override;
+    const L2Stats &stats() const override;
+    void resetStats() override;
+    std::string describe() const override;
+
+    const PrefetchStats &prefetchStats() const { return pfStats; }
+    SecondLevelCache &innerCache() { return *inner; }
+
+  private:
+    std::unique_ptr<SecondLevelCache> inner;
+    unsigned degree;
+    PrefetchStats pfStats;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_CACHE_PREFETCH_HH

@@ -1,0 +1,77 @@
+#include "sectored_l1d.hh"
+
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+SectoredL1D::SectoredL1D(const CacheGeometry &geom,
+                         SecondLevelCache &l2_cache, Cycle hit_latency)
+    : cache(geom), l2(l2_cache), hitLatency(hit_latency)
+{
+}
+
+void
+SectoredL1D::drainToL2(const CacheLineState &victim)
+{
+    if (!victim.valid)
+        return;
+    l2.l1dEviction(victim.line, victim.footprint, victim.dirtyWords);
+}
+
+L1DResult
+SectoredL1D::access(Addr addr, bool write, Addr pc)
+{
+    ++statsData.accesses;
+    LineAddr line = lineAddrOf(addr);
+    WordIdx word = wordIdxOf(addr);
+
+    CacheLineState *resident = cache.find(line);
+    if (resident && resident->validWords.test(word)) {
+        ++statsData.hits;
+        resident->footprint.set(word);
+        if (write)
+            resident->dirtyWords.set(word);
+        cache.touch(line);
+        return {true, {}, hitLatency};
+    }
+
+    L1DResult res;
+    res.l1Hit = false;
+
+    if (resident) {
+        // Sector miss: the line is resident but the word is not
+        // valid (it was filled from a partial WOC line). Ask the L2
+        // for the line again; the distill cache treats this as a
+        // fresh access (hole-miss path if the word is absent there
+        // too).
+        ++statsData.sectorMisses;
+        res.l2 = l2.access(addr, write, pc, false);
+        // Merge the newly delivered words. Fills from LOC/memory are
+        // full lines; WOC hits deliver the resident subset, which by
+        // definition includes the requested word.
+        resident->validWords |= res.l2.validWords;
+        ldis_assert(resident->validWords.test(word));
+        resident->footprint.set(word);
+        if (write)
+            resident->dirtyWords.set(word);
+        cache.touch(line);
+    } else {
+        // Line miss: allocate, draining the victim's footprint.
+        ++statsData.lineMisses;
+        res.l2 = l2.access(addr, write, pc, false);
+        CacheLineState victim = cache.install(line);
+        drainToL2(victim);
+        CacheLineState *fresh = cache.find(line);
+        fresh->validWords = res.l2.validWords;
+        ldis_assert(fresh->validWords.test(word));
+        fresh->footprint.set(word);
+        if (write)
+            fresh->dirtyWords.set(word);
+    }
+
+    res.latency = hitLatency + res.l2.latency;
+    return res;
+}
+
+} // namespace ldis

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Sectored first-level data cache (Section 4.2). Each line carries
+ * per-word valid bits (so partial WOC fills can be accommodated), a
+ * usage footprint (drained to the LOC on eviction, Section 4.1), and
+ * per-word dirty bits. An access to an invalid word of a resident
+ * line is a *sector miss* and is forwarded to the L2 like a miss.
+ */
+
+#ifndef DISTILLSIM_CACHE_SECTORED_L1D_HH
+#define DISTILLSIM_CACHE_SECTORED_L1D_HH
+
+#include "cache/l2_interface.hh"
+#include "cache/set_assoc.hh"
+
+namespace ldis
+{
+
+/** Statistics of the L1D. */
+struct L1DStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t sectorMisses = 0;
+    std::uint64_t lineMisses = 0;
+
+    std::uint64_t misses() const { return sectorMisses + lineMisses; }
+};
+
+/** Result of one L1D access, including the L2 outcome if consulted. */
+struct L1DResult
+{
+    /** True iff satisfied without consulting the L2. */
+    bool l1Hit = false;
+
+    /** Valid only when !l1Hit. */
+    L2Result l2;
+
+    /** Data-available latency (L1 hit latency or L2 latency). */
+    Cycle latency = 0;
+};
+
+/** Write-back, write-allocate sectored L1D. */
+class SectoredL1D
+{
+  public:
+    /**
+     * @param geom geometry (16kB, 2-way, 64B in the baseline)
+     * @param l2 backing second-level cache
+     * @param hit_latency L1 hit latency in cycles
+     */
+    SectoredL1D(const CacheGeometry &geom, SecondLevelCache &l2,
+                Cycle hit_latency = 3);
+
+    /**
+     * Perform one data access.
+     * @param pc PC of the load/store (forwarded to the L2 for the
+     *        SFP baseline)
+     */
+    L1DResult access(Addr addr, bool write, Addr pc = 0);
+
+    const L1DStats &stats() const { return statsData; }
+
+    /** Zero the counters (warmup support); contents untouched. */
+    void resetStats() { statsData = L1DStats{}; }
+
+    /** Underlying tag array (read-only, for tests). */
+    const SetAssocCache &tags() const { return cache; }
+
+  private:
+    /** Evict @p victim, draining footprint/dirty info to the L2. */
+    void drainToL2(const CacheLineState &victim);
+
+    SetAssocCache cache;
+    SecondLevelCache &l2;
+    Cycle hitLatency;
+    L1DStats statsData;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_CACHE_SECTORED_L1D_HH

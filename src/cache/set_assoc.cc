@@ -1,0 +1,188 @@
+#include "set_assoc.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+SetAssocCache::SetAssocCache(const CacheGeometry &g)
+    : geom(g), rng(g.seed)
+{
+    if (g.lineBytes == 0 || !isPowerOf2(g.lineBytes))
+        ldis_fatal("line size %u is not a power of two", g.lineBytes);
+    if (g.ways == 0)
+        ldis_fatal("cache must have at least one way");
+    std::uint64_t lines = g.bytes / g.lineBytes;
+    if (lines == 0 || lines % g.ways != 0)
+        ldis_fatal("capacity %llu B does not divide into %u ways of "
+                   "%u B lines",
+                   static_cast<unsigned long long>(g.bytes), g.ways,
+                   g.lineBytes);
+    std::uint64_t num_sets = lines / g.ways;
+    if (!isPowerOf2(num_sets))
+        ldis_fatal("number of sets (%llu) must be a power of two",
+                   static_cast<unsigned long long>(num_sets));
+
+    setsCount = static_cast<unsigned>(num_sets);
+    waysCount = g.ways;
+    sets.resize(setsCount);
+    for (auto &s : sets) {
+        s.lines.resize(waysCount);
+        s.order.resize(waysCount);
+        for (unsigned w = 0; w < waysCount; ++w)
+            s.order[w] = static_cast<std::uint8_t>(w);
+    }
+}
+
+std::uint64_t
+SetAssocCache::setIndexOf(LineAddr line) const
+{
+    return line & (setsCount - 1);
+}
+
+SetAssocCache::Set &
+SetAssocCache::setOf(LineAddr line)
+{
+    return sets[setIndexOf(line)];
+}
+
+const SetAssocCache::Set &
+SetAssocCache::setOf(LineAddr line) const
+{
+    return sets[setIndexOf(line)];
+}
+
+int
+SetAssocCache::wayOf(const Set &s, LineAddr line) const
+{
+    for (unsigned w = 0; w < waysCount; ++w)
+        if (s.lines[w].valid && s.lines[w].line == line)
+            return static_cast<int>(w);
+    return -1;
+}
+
+CacheLineState *
+SetAssocCache::find(LineAddr line)
+{
+    Set &s = setOf(line);
+    int w = wayOf(s, line);
+    return w < 0 ? nullptr : &s.lines[w];
+}
+
+const CacheLineState *
+SetAssocCache::find(LineAddr line) const
+{
+    const Set &s = setOf(line);
+    int w = wayOf(s, line);
+    return w < 0 ? nullptr : &s.lines[w];
+}
+
+unsigned
+SetAssocCache::position(LineAddr line) const
+{
+    const Set &s = setOf(line);
+    int w = wayOf(s, line);
+    ldis_assert(w >= 0);
+    for (unsigned pos = 0; pos < waysCount; ++pos)
+        if (s.order[pos] == w)
+            return pos;
+    ldis_panic("line present but missing from recency order");
+}
+
+void
+SetAssocCache::touch(LineAddr line)
+{
+    Set &s = setOf(line);
+    int w = wayOf(s, line);
+    ldis_assert(w >= 0);
+    auto it = std::find(s.order.begin(), s.order.end(),
+                        static_cast<std::uint8_t>(w));
+    ldis_assert(it != s.order.end());
+    s.order.erase(it);
+    s.order.insert(s.order.begin(), static_cast<std::uint8_t>(w));
+}
+
+const CacheLineState *
+SetAssocCache::peekVictim(LineAddr line)
+{
+    Set &s = setOf(line);
+    for (unsigned w = 0; w < waysCount; ++w)
+        if (!s.lines[w].valid)
+            return nullptr;
+    if (geom.repl == ReplPolicy::LRU)
+        return &s.lines[s.order.back()];
+    // Random policy: peek is not meaningful without fixing the draw;
+    // return the LRU way as an approximation for observers.
+    return &s.lines[s.order.back()];
+}
+
+CacheLineState
+SetAssocCache::install(LineAddr line)
+{
+    Set &s = setOf(line);
+    ldis_assert(wayOf(s, line) < 0);
+
+    // Prefer an invalid way.
+    int victim_way = -1;
+    for (unsigned w = 0; w < waysCount; ++w) {
+        if (!s.lines[w].valid) {
+            victim_way = static_cast<int>(w);
+            break;
+        }
+    }
+    if (victim_way < 0) {
+        if (geom.repl == ReplPolicy::LRU) {
+            victim_way = s.order.back();
+        } else {
+            victim_way = static_cast<int>(rng.below(waysCount));
+        }
+    }
+
+    CacheLineState evicted = s.lines[victim_way];
+    CacheLineState fresh;
+    fresh.line = line;
+    fresh.valid = true;
+    s.lines[victim_way] = fresh;
+
+    auto it = std::find(s.order.begin(), s.order.end(),
+                        static_cast<std::uint8_t>(victim_way));
+    ldis_assert(it != s.order.end());
+    s.order.erase(it);
+    s.order.insert(s.order.begin(),
+                   static_cast<std::uint8_t>(victim_way));
+    return evicted;
+}
+
+CacheLineState
+SetAssocCache::invalidate(LineAddr line)
+{
+    Set &s = setOf(line);
+    int w = wayOf(s, line);
+    if (w < 0)
+        return CacheLineState{};
+    CacheLineState prior = s.lines[w];
+    s.lines[w] = CacheLineState{};
+    // Demote the invalidated way to LRU so it is reused first.
+    auto it = std::find(s.order.begin(), s.order.end(),
+                        static_cast<std::uint8_t>(w));
+    ldis_assert(it != s.order.end());
+    s.order.erase(it);
+    s.order.push_back(static_cast<std::uint8_t>(w));
+    return prior;
+}
+
+std::uint64_t
+SetAssocCache::validCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : sets)
+        for (const auto &l : s.lines)
+            if (l.valid)
+                ++n;
+    return n;
+}
+
+} // namespace ldis

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Generic set-associative cache bookkeeping: tag array, true-LRU
+ * recency stacks (with position queries, needed by the Figure-2
+ * instrumentation and the reverter's ATD), and victim selection.
+ *
+ * This class tracks tags and per-line metadata only — the simulator
+ * is trace-driven and data values are synthesized on demand by the
+ * value model, so no data array is stored.
+ */
+
+#ifndef DISTILLSIM_CACHE_SET_ASSOC_HH
+#define DISTILLSIM_CACHE_SET_ASSOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/footprint.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace ldis
+{
+
+/** Victim selection policy. */
+enum class ReplPolicy
+{
+    LRU,
+    Random,
+};
+
+/** Per-line metadata. */
+struct CacheLineState
+{
+    /** Full line address (tag and set index combined). */
+    LineAddr line = 0;
+
+    bool valid = false;
+    bool dirty = false;
+
+    /** True for instruction lines (never distilled). */
+    bool instr = false;
+
+    /** Filled by a prefetch and not yet demand-touched. */
+    bool prefetched = false;
+
+    /** Word-usage footprint (LOC tag field / instrumentation). */
+    Footprint footprint;
+
+    /** Per-word valid bits (sectored caches). */
+    Footprint validWords;
+
+    /** Per-word dirty bits (sectored caches). */
+    Footprint dirtyWords;
+
+    /** Instrumentation: max recency position attained since fill. */
+    std::uint8_t maxRecency = 0;
+
+    /**
+     * Instrumentation: max recency position attained before the most
+     * recent footprint change (Figure 2's metric).
+     */
+    std::uint8_t maxBeforeChange = 0;
+};
+
+/** Geometry and policy of a set-associative cache. */
+struct CacheGeometry
+{
+    /** Total capacity in bytes. */
+    std::uint64_t bytes = 1 << 20;
+
+    /** Associativity. */
+    unsigned ways = 8;
+
+    /** Line size in bytes. */
+    unsigned lineBytes = kLineBytes;
+
+    ReplPolicy repl = ReplPolicy::LRU;
+
+    /** Seed for ReplPolicy::Random. */
+    std::uint64_t seed = 7;
+};
+
+/**
+ * Tag/metadata array of a set-associative cache with a true-LRU
+ * recency stack per set.
+ */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheGeometry &geom);
+
+    unsigned numSets() const { return setsCount; }
+    unsigned numWays() const { return waysCount; }
+    const CacheGeometry &geometry() const { return geom; }
+
+    /** Set index for @p line. */
+    std::uint64_t setIndexOf(LineAddr line) const;
+
+    /** Lookup without any recency side effect; nullptr on miss. */
+    CacheLineState *find(LineAddr line);
+    const CacheLineState *find(LineAddr line) const;
+
+    /**
+     * Recency position of a resident line: 0 = MRU,
+     * ways-1 = LRU. Panics if the line is not resident.
+     */
+    unsigned position(LineAddr line) const;
+
+    /** Promote a resident line to MRU. Panics if not resident. */
+    void touch(LineAddr line);
+
+    /**
+     * The line that install() would evict for @p line (nullptr if a
+     * free way exists). Does not modify state.
+     */
+    const CacheLineState *peekVictim(LineAddr line);
+
+    /**
+     * Install @p line (must not be resident), evicting a victim if
+     * the set is full. The new line is placed at MRU with cleared
+     * metadata. @return the evicted line's state (valid == false if
+     * nothing was evicted).
+     */
+    CacheLineState install(LineAddr line);
+
+    /** Invalidate a line if resident; returns its prior state. */
+    CacheLineState invalidate(LineAddr line);
+
+    /** Number of valid lines (for tests/occupancy studies). */
+    std::uint64_t validCount() const;
+
+    /** Visit every valid line (sampling experiments). */
+    template <typename F>
+    void
+    forEachLine(F &&f) const
+    {
+        for (const auto &set : sets)
+            for (const auto &way : set.lines)
+                if (way.valid)
+                    f(way);
+    }
+
+  private:
+    struct Set
+    {
+        std::vector<CacheLineState> lines;
+        /** Way indices ordered MRU (front) to LRU (back). */
+        std::vector<std::uint8_t> order;
+    };
+
+    Set &setOf(LineAddr line);
+    const Set &setOf(LineAddr line) const;
+
+    /** Index of @p line's way within its set, or -1. */
+    int wayOf(const Set &s, LineAddr line) const;
+
+    CacheGeometry geom;
+    unsigned setsCount;
+    unsigned waysCount;
+    std::vector<Set> sets;
+    Random rng;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_CACHE_SET_ASSOC_HH

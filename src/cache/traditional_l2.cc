@@ -1,0 +1,186 @@
+#include "traditional_l2.hh"
+
+#include <cstdio>
+
+namespace ldis
+{
+
+TraditionalL2::TraditionalL2(const CacheGeometry &geom, L2Latency lat)
+    : cache(geom), latency(lat), wordsHist(kWordsPerLine + 1),
+      recHist(geom.ways)
+{
+}
+
+std::string
+TraditionalL2::describe() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "traditional %lluKB %u-way LRU",
+                  static_cast<unsigned long long>(
+                      cache.geometry().bytes / 1024),
+                  cache.numWays());
+    return buf;
+}
+
+void
+TraditionalL2::noteEviction(const CacheLineState &victim)
+{
+    if (!victim.valid)
+        return;
+    ++statsData.evictions;
+    if (victim.dirty)
+        ++statsData.writebacks;
+    if (!victim.instr) {
+        unsigned used = victim.footprint.count();
+        // Every data line has at least the demand word set.
+        wordsHist.record(used);
+        recHist.record(victim.maxBeforeChange);
+    }
+}
+
+void
+TraditionalL2::noteFootprintTouch(CacheLineState &line, WordIdx word,
+                                  unsigned pos_before)
+{
+    if (pos_before > line.maxRecency)
+        line.maxRecency = static_cast<std::uint8_t>(pos_before);
+    if (!line.footprint.test(word)) {
+        line.footprint.set(word);
+        if (line.maxRecency > line.maxBeforeChange)
+            line.maxBeforeChange = line.maxRecency;
+    }
+}
+
+L2Result
+TraditionalL2::access(Addr addr, bool write, Addr /*pc*/, bool instr)
+{
+    ++statsData.accesses;
+    // Line geometry follows the configured line size (the Section-2
+    // line-size study uses 32B lines; the default is 64B).
+    unsigned line_bytes = cache.geometry().lineBytes;
+    LineAddr line = addr / line_bytes;
+    WordIdx word =
+        static_cast<WordIdx>((addr % line_bytes) / kWordBytes);
+
+    // Words delivered to the (64B-line) L1D: with 32B L2 lines only
+    // the containing half is supplied, so the L1D sector-misses on
+    // the other half -- this is what costs small lines their spatial
+    // locality (Section 2, footnote 2).
+    Footprint deliver = Footprint::full();
+    if (line_bytes == kLineBytes / 2) {
+        unsigned half = static_cast<unsigned>(line & 1);
+        Footprint mask;
+        for (WordIdx w = 0; w < kWordsPerLine / 2; ++w)
+            mask.set(half * (kWordsPerLine / 2) + w);
+        deliver = mask;
+    }
+
+    if (CacheLineState *hit = cache.find(line)) {
+        unsigned pos = cache.position(line);
+        noteFootprintTouch(*hit, word, pos);
+        if (write)
+            hit->dirty = true;
+        cache.touch(line);
+        ++statsData.locHits;
+        L2Result res{L2Outcome::LocHit, deliver, latency.hit};
+        if (hit->prefetched) {
+            hit->prefetched = false;
+            res.promotedPrefetch = true;
+        }
+        return res;
+    }
+
+    // Miss: fetch from memory, install whole line.
+    if (compulsory.firstTouch(line))
+        ++statsData.compulsoryMisses;
+    ++statsData.lineMisses;
+
+    CacheLineState victim = cache.install(line);
+    noteEviction(victim);
+
+    CacheLineState *fresh = cache.find(line);
+    fresh->instr = instr;
+    fresh->footprint.set(word);
+    fresh->dirty = write;
+    fresh->validWords = deliver;
+    return {L2Outcome::LineMiss, deliver,
+            latency.hit + latency.memory};
+}
+
+void
+TraditionalL2::l1dEviction(LineAddr line, Footprint used,
+                           Footprint dirty_words)
+{
+    // The L1D always speaks in 64B lines. With a 32B L2 line size,
+    // one L1D line spans two L2 lines: split the footprint halves.
+    unsigned line_bytes = cache.geometry().lineBytes;
+    if (line_bytes == kLineBytes / 2) {
+        for (unsigned half = 0; half < 2; ++half) {
+            Footprint used_half;
+            Footprint dirty_half;
+            for (WordIdx w = 0; w < kWordsPerLine / 2; ++w) {
+                WordIdx src = half * (kWordsPerLine / 2) + w;
+                if (used.test(src))
+                    used_half.set(w);
+                if (dirty_words.test(src))
+                    dirty_half.set(w);
+            }
+            if (!used_half.empty() || !dirty_half.empty())
+                mergeL1Eviction(line * 2 + half, used_half,
+                                dirty_half);
+        }
+        return;
+    }
+    mergeL1Eviction(line, used, dirty_words);
+}
+
+void
+TraditionalL2::mergeL1Eviction(LineAddr line, Footprint used,
+                               Footprint dirty_words)
+{
+    CacheLineState *resident = cache.find(line);
+    if (!resident) {
+        // Non-inclusive: the L2 dropped the line already; dirty data
+        // goes straight to memory.
+        if (!dirty_words.empty())
+            ++statsData.writebacks;
+        return;
+    }
+    // OR-merge the L1D footprint (Section 4.1). A merge that adds
+    // new bits counts as a footprint change for the Figure-2 metric.
+    Footprint merged = resident->footprint | used;
+    if (!(merged == resident->footprint)) {
+        unsigned pos = cache.position(line);
+        if (pos > resident->maxRecency)
+            resident->maxRecency = static_cast<std::uint8_t>(pos);
+        if (resident->maxRecency > resident->maxBeforeChange)
+            resident->maxBeforeChange = resident->maxRecency;
+        resident->footprint = merged;
+    }
+    if (!dirty_words.empty())
+        resident->dirty = true;
+}
+
+bool
+TraditionalL2::prefetch(LineAddr line)
+{
+    // Prefetches use the native line geometry directly and install
+    // with an empty footprint; they are not demand accesses, so
+    // neither the access nor the miss counters move.
+    if (cache.find(line))
+        return false;
+    CacheLineState victim = cache.install(line);
+    noteEviction(victim);
+    CacheLineState *fresh = cache.find(line);
+    fresh->validWords = Footprint::full();
+    fresh->prefetched = true;
+    return true;
+}
+
+double
+TraditionalL2::avgWordsUsed() const
+{
+    return wordsHist.mean();
+}
+
+} // namespace ldis

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Baseline second-level cache: plain set-associative, LRU, whole-line
+ * fills (Table 1: 1MB, 8-way, 64B lines, 15-cycle hit). Also carries
+ * the footprint/recency instrumentation used by the motivation
+ * experiments (Figures 1 and 2, Table 6).
+ */
+
+#ifndef DISTILLSIM_CACHE_TRADITIONAL_L2_HH
+#define DISTILLSIM_CACHE_TRADITIONAL_L2_HH
+
+#include <memory>
+
+#include "common/histogram.hh"
+#include "cache/l2_interface.hh"
+#include "cache/set_assoc.hh"
+
+namespace ldis
+{
+
+/** Latency parameters shared by L2 models (Table 1). */
+struct L2Latency
+{
+    Cycle hit = 15;
+    Cycle memory = 400;
+};
+
+/** Traditional (non-distilling) L2 with usage instrumentation. */
+class TraditionalL2 : public SecondLevelCache
+{
+  public:
+    /**
+     * @param geom cache geometry (1MB/8-way/64B in the baseline)
+     * @param lat hit/memory latencies
+     */
+    explicit TraditionalL2(const CacheGeometry &geom,
+                           L2Latency lat = {});
+
+    L2Result access(Addr addr, bool write, Addr pc,
+                    bool instr) override;
+    void l1dEviction(LineAddr line, Footprint used,
+                     Footprint dirty_words) override;
+    const L2Stats &stats() const override { return statsData; }
+    void
+    resetStats() override
+    {
+        statsData = L2Stats{};
+        wordsHist.clear();
+        recHist.clear();
+    }
+    std::string describe() const override;
+    bool prefetch(LineAddr line) override;
+
+    /**
+     * Figure 1 / Table 6 instrumentation: histogram over the number
+     * of words used (1..8, bucket index = count) in each evicted
+     * *data* line. Bucket 0 is unused.
+     */
+    const Histogram &wordsUsedAtEviction() const { return wordsHist; }
+
+    /**
+     * Figure 2 instrumentation: histogram over the maximum recency
+     * position attained before a footprint change, recorded at
+     * eviction of each data line.
+     */
+    const Histogram &recencyBeforeChange() const { return recHist; }
+
+    /** Average words used per evicted data line (Table 6). */
+    double avgWordsUsed() const;
+
+    /** Underlying tag array (read-only, for sampling experiments). */
+    const SetAssocCache &tags() const { return cache; }
+
+  private:
+    /** Record instrumentation and stats for an evicted line. */
+    void noteEviction(const CacheLineState &victim);
+
+    /** Merge one (geometry-local) line's L1D eviction info. */
+    void mergeL1Eviction(LineAddr line, Footprint used,
+                         Footprint dirty_words);
+
+    /** Update footprint-change instrumentation for @p line. */
+    void noteFootprintTouch(CacheLineState &line, WordIdx word,
+                            unsigned pos_before);
+
+    SetAssocCache cache;
+    L2Latency latency;
+    L2Stats statsData;
+    CompulsoryTracker compulsory;
+    Histogram wordsHist;
+    Histogram recHist;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_CACHE_TRADITIONAL_L2_HH

@@ -1,0 +1,130 @@
+#include "args.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace ldis
+{
+
+void
+ArgParser::addOption(const std::string &name, const std::string &help,
+                     const std::string &default_value)
+{
+    declared[name] = Option{help, default_value, false};
+    declOrder.push_back(name);
+}
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &help)
+{
+    declared[name] = Option{help, "", true};
+    declOrder.push_back(name);
+}
+
+bool
+ArgParser::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positionalArgs.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        std::string name = body;
+        std::string value;
+        bool has_inline_value = false;
+        std::size_t eq = body.find('=');
+        if (eq != std::string::npos) {
+            name = body.substr(0, eq);
+            value = body.substr(eq + 1);
+            has_inline_value = true;
+        }
+        auto it = declared.find(name);
+        if (it == declared.end()) {
+            errorText = "unknown option --" + name;
+            return false;
+        }
+        if (it->second.isFlag) {
+            if (has_inline_value) {
+                errorText = "flag --" + name + " takes no value";
+                return false;
+            }
+            values[name] = "1";
+            continue;
+        }
+        if (!has_inline_value) {
+            if (i + 1 >= argc) {
+                errorText = "option --" + name + " needs a value";
+                return false;
+            }
+            value = argv[++i];
+        }
+        values[name] = value;
+    }
+    return true;
+}
+
+bool
+ArgParser::has(const std::string &name) const
+{
+    return values.count(name) > 0;
+}
+
+std::string
+ArgParser::get(const std::string &name) const
+{
+    auto it = values.find(name);
+    if (it != values.end())
+        return it->second;
+    auto decl = declared.find(name);
+    return decl == declared.end() ? "" : decl->second.defaultValue;
+}
+
+std::uint64_t
+ArgParser::getUint(const std::string &name)
+{
+    std::string v = get(name);
+    char *end = nullptr;
+    std::uint64_t out = std::strtoull(v.c_str(), &end, 10);
+    if (v.empty() || !end || *end != '\0') {
+        errorText = "option --" + name + " expects an integer, got '"
+                  + v + "'";
+        return 0;
+    }
+    return out;
+}
+
+double
+ArgParser::getDouble(const std::string &name)
+{
+    std::string v = get(name);
+    char *end = nullptr;
+    double out = std::strtod(v.c_str(), &end);
+    if (v.empty() || !end || *end != '\0') {
+        errorText = "option --" + name + " expects a number, got '"
+                  + v + "'";
+        return 0.0;
+    }
+    return out;
+}
+
+std::string
+ArgParser::usage(const std::string &program) const
+{
+    std::ostringstream out;
+    out << "usage: " << program << " [options]\n";
+    for (const std::string &name : declOrder) {
+        const Option &opt = declared.at(name);
+        out << "  --" << name;
+        if (!opt.isFlag) {
+            out << " <value>";
+            if (!opt.defaultValue.empty())
+                out << " (default " << opt.defaultValue << ")";
+        }
+        out << "\n      " << opt.help << "\n";
+    }
+    return out.str();
+}
+
+} // namespace ldis

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal command-line argument parsing for the simulator tools:
+ * --key value and --key=value options plus --flag booleans, with
+ * typed accessors and an automatic usage listing. No external
+ * dependencies, no global state.
+ */
+
+#ifndef DISTILLSIM_COMMON_ARGS_HH
+#define DISTILLSIM_COMMON_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ldis
+{
+
+/** Parsed command line. */
+class ArgParser
+{
+  public:
+    /**
+     * Declare an option before parsing.
+     * @param name option name without the leading dashes
+     * @param help one-line description for usage()
+     * @param default_value shown in usage; "" for flags
+     */
+    void addOption(const std::string &name, const std::string &help,
+                   const std::string &default_value = "");
+
+    /** Declare a boolean flag. */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. Unknown options or missing values set an error
+     * (check ok()/error()).
+     * @return true on success
+     */
+    bool parse(int argc, const char *const *argv);
+
+    bool ok() const { return errorText.empty(); }
+    const std::string &error() const { return errorText; }
+
+    /** True iff the option/flag appeared on the command line. */
+    bool has(const std::string &name) const;
+
+    /** String value (or the declared default). */
+    std::string get(const std::string &name) const;
+
+    /** Integer value; sets an error on malformed input. */
+    std::uint64_t getUint(const std::string &name);
+
+    /** Floating-point value; sets an error on malformed input. */
+    double getDouble(const std::string &name);
+
+    /** Positional (non-option) arguments, in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positionalArgs;
+    }
+
+    /** Render the declared options as a usage block. */
+    std::string usage(const std::string &program) const;
+
+  private:
+    struct Option
+    {
+        std::string help;
+        std::string defaultValue;
+        bool isFlag = false;
+    };
+
+    std::map<std::string, Option> declared;
+    std::vector<std::string> declOrder;
+    std::map<std::string, std::string> values;
+    std::vector<std::string> positionalArgs;
+    std::string errorText;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_COMMON_ARGS_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The footprint bit-vector: one bit per 8B word of a 64B cache line
+ * (Section 3 of the paper). Bit i is set once word i has been
+ * accessed. Footprints are tracked in the L1D and in the LOC tag
+ * store, and drive the distillation decision at LOC eviction.
+ */
+
+#ifndef DISTILLSIM_COMMON_FOOTPRINT_HH
+#define DISTILLSIM_COMMON_FOOTPRINT_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace ldis
+{
+
+/**
+ * Fixed-width bit vector with one bit per word in a cache line.
+ *
+ * Also used for the per-word valid bits of the sectored L1D and the
+ * WOC (Section 4.2): the representation is identical, only the
+ * interpretation differs.
+ */
+class Footprint
+{
+  public:
+    /** Construct an all-zeros footprint (no word used). */
+    constexpr Footprint() : bits(0) {}
+
+    /** Construct from a raw 8-bit mask. */
+    explicit constexpr Footprint(std::uint8_t raw) : bits(raw) {}
+
+    /** A footprint with every word marked used. */
+    static constexpr Footprint
+    full()
+    {
+        return Footprint((1u << kWordsPerLine) - 1);
+    }
+
+    /** Mark word @p w as used. */
+    void
+    set(WordIdx w)
+    {
+        ldis_assert(w < kWordsPerLine);
+        bits |= static_cast<std::uint8_t>(1u << w);
+    }
+
+    /** True iff word @p w has been used. */
+    bool
+    test(WordIdx w) const
+    {
+        ldis_assert(w < kWordsPerLine);
+        return (bits >> w) & 1u;
+    }
+
+    /** Clear all bits. */
+    void reset() { bits = 0; }
+
+    /** Number of used words. */
+    unsigned count() const { return std::popcount(bits); }
+
+    /** True iff no word is used. */
+    bool empty() const { return bits == 0; }
+
+    /** True iff every word is used. */
+    bool isFull() const { return bits == full().bits; }
+
+    /** Raw 8-bit mask. */
+    std::uint8_t raw() const { return bits; }
+
+    /** OR-merge (used when an L1D footprint drains into the LOC). */
+    Footprint
+    operator|(Footprint o) const
+    {
+        return Footprint(static_cast<std::uint8_t>(bits | o.bits));
+    }
+
+    Footprint &
+    operator|=(Footprint o)
+    {
+        bits |= o.bits;
+        return *this;
+    }
+
+    /** AND-intersection. */
+    Footprint
+    operator&(Footprint o) const
+    {
+        return Footprint(static_cast<std::uint8_t>(bits & o.bits));
+    }
+
+    bool operator==(const Footprint &) const = default;
+
+  private:
+    std::uint8_t bits;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_COMMON_FOOTPRINT_HH

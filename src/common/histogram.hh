@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fixed-bucket histogram used by the instrumentation experiments
+ * (Figure 1: words used per evicted line; Figure 2: maximum recency
+ * position before footprint change).
+ */
+
+#ifndef DISTILLSIM_COMMON_HISTOGRAM_HH
+#define DISTILLSIM_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "logging.hh"
+
+namespace ldis
+{
+
+/** Histogram over integer buckets [0, num_buckets). */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t num_buckets)
+        : buckets(num_buckets, 0), samples(0)
+    {
+        ldis_assert(num_buckets > 0);
+    }
+
+    /** Record one sample in bucket @p b. */
+    void
+    record(std::size_t b)
+    {
+        ldis_assert(b < buckets.size());
+        ++buckets[b];
+        ++samples;
+    }
+
+    /** Count in bucket @p b. */
+    std::uint64_t
+    countAt(std::size_t b) const
+    {
+        ldis_assert(b < buckets.size());
+        return buckets[b];
+    }
+
+    /** Fraction of samples in bucket @p b (0 if no samples). */
+    double
+    fractionAt(std::size_t b) const
+    {
+        return samples == 0
+            ? 0.0
+            : static_cast<double>(countAt(b))
+                  / static_cast<double>(samples);
+    }
+
+    /** Total number of recorded samples. */
+    std::uint64_t totalSamples() const { return samples; }
+
+    /** Number of buckets. */
+    std::size_t size() const { return buckets.size(); }
+
+    /** Mean of the bucket indices, weighted by counts. */
+    double
+    mean() const
+    {
+        if (samples == 0)
+            return 0.0;
+        double sum = 0.0;
+        for (std::size_t b = 0; b < buckets.size(); ++b)
+            sum += static_cast<double>(b)
+                 * static_cast<double>(buckets[b]);
+        return sum / static_cast<double>(samples);
+    }
+
+    /** Reset all buckets. */
+    void
+    clear()
+    {
+        std::fill(buckets.begin(), buckets.end(), 0);
+        samples = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t samples;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_COMMON_HISTOGRAM_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Small integer-math helpers used by cache indexing and the WOC
+ * placement logic (power-of-two rounding, logarithms).
+ */
+
+#ifndef DISTILLSIM_COMMON_INTMATH_HH
+#define DISTILLSIM_COMMON_INTMATH_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace ldis
+{
+
+/** True iff @p v is a power of two (zero is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); panics on v == 0. */
+inline unsigned
+floorLog2(std::uint64_t v)
+{
+    ldis_assert(v != 0);
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** ceil(log2(v)); panics on v == 0. */
+inline unsigned
+ceilLog2(std::uint64_t v)
+{
+    ldis_assert(v != 0);
+    return isPowerOf2(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Smallest power of two >= v; panics on v == 0. */
+inline std::uint64_t
+nextPow2(std::uint64_t v)
+{
+    return std::uint64_t{1} << ceilLog2(v);
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace ldis
+
+#endif // DISTILLSIM_COMMON_INTMATH_HH

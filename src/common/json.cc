@@ -1,0 +1,165 @@
+#include "json.hh"
+
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace ldis
+{
+
+void
+JsonWriter::comma()
+{
+    if (!needComma.empty()) {
+        if (needComma.back())
+            out += ',';
+        needComma.back() = true;
+    }
+}
+
+void
+JsonWriter::keyPrefix(const std::string &key)
+{
+    comma();
+    if (!key.empty()) {
+        out += '"';
+        out += escape(key);
+        out += "\":";
+    }
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string r;
+    r.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            r += "\\\"";
+            break;
+          case '\\':
+            r += "\\\\";
+            break;
+          case '\n':
+            r += "\\n";
+            break;
+          case '\t':
+            r += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                r += buf;
+            } else {
+                r += c;
+            }
+        }
+    }
+    return r;
+}
+
+void
+JsonWriter::beginObject(const std::string &key)
+{
+    keyPrefix(key);
+    out += '{';
+    needComma.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    ldis_assert(!needComma.empty());
+    needComma.pop_back();
+    out += '}';
+}
+
+void
+JsonWriter::beginArray(const std::string &key)
+{
+    keyPrefix(key);
+    out += '[';
+    needComma.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    ldis_assert(!needComma.empty());
+    needComma.pop_back();
+    out += ']';
+}
+
+void
+JsonWriter::field(const std::string &key, const std::string &v)
+{
+    keyPrefix(key);
+    out += '"';
+    out += escape(v);
+    out += '"';
+}
+
+void
+JsonWriter::field(const std::string &key, const char *v)
+{
+    field(key, std::string(v));
+}
+
+void
+JsonWriter::field(const std::string &key, std::uint64_t v)
+{
+    keyPrefix(key);
+    out += std::to_string(v);
+}
+
+void
+JsonWriter::field(const std::string &key, std::int64_t v)
+{
+    keyPrefix(key);
+    out += std::to_string(v);
+}
+
+void
+JsonWriter::field(const std::string &key, double v)
+{
+    keyPrefix(key);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out += buf;
+}
+
+void
+JsonWriter::field(const std::string &key, bool v)
+{
+    keyPrefix(key);
+    out += v ? "true" : "false";
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    comma();
+    out += '"';
+    out += escape(v);
+    out += '"';
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    comma();
+    out += std::to_string(v);
+}
+
+void
+JsonWriter::value(double v)
+{
+    comma();
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out += buf;
+}
+
+} // namespace ldis

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal JSON emission for machine-readable simulator output
+ * (ldissim --json). Write-only, no parsing, no dependencies:
+ * supports objects, arrays, strings (escaped), integers, doubles
+ * and booleans.
+ */
+
+#ifndef DISTILLSIM_COMMON_JSON_HH
+#define DISTILLSIM_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldis
+{
+
+/** Streaming JSON writer building into an internal string. */
+class JsonWriter
+{
+  public:
+    /** Begin an object ({}); @p key names it inside a parent. */
+    void beginObject(const std::string &key = "");
+
+    void endObject();
+
+    /** Begin an array ([]); @p key names it inside a parent. */
+    void beginArray(const std::string &key = "");
+
+    void endArray();
+
+    void field(const std::string &key, const std::string &value);
+    void field(const std::string &key, const char *value);
+    void field(const std::string &key, std::uint64_t value);
+    void field(const std::string &key, std::int64_t value);
+    void field(const std::string &key, double value);
+    void field(const std::string &key, bool value);
+
+    /** Array element values. */
+    void value(const std::string &v);
+    void value(std::uint64_t v);
+    void value(double v);
+
+    /** The serialized document (valid once all scopes closed). */
+    const std::string &str() const { return out; }
+
+  private:
+    void comma();
+    void keyPrefix(const std::string &key);
+    static std::string escape(const std::string &s);
+
+    std::string out;
+    std::vector<bool> needComma; //!< per open scope
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_COMMON_JSON_HH

@@ -1,0 +1,66 @@
+#include "logging.hh"
+
+namespace ldis
+{
+
+namespace detail
+{
+
+void
+logAndDie(const char *kind, bool abort_process, const char *file,
+          int line, const char *fmt, std::va_list args)
+{
+    std::fprintf(stderr, "%s: ", kind);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n  at %s:%d\n", file, line);
+    std::fflush(stderr);
+    if (abort_process)
+        std::abort();
+    std::exit(1);
+}
+
+void
+logMessage(const char *kind, const char *fmt, std::va_list args)
+{
+    std::fprintf(stderr, "%s: ", kind);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace detail
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    detail::logAndDie("panic", true, file, line, fmt, args);
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    detail::logAndDie("fatal", false, file, line, fmt, args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    detail::logMessage("warn", fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    detail::logMessage("info", fmt, args);
+    va_end(args);
+}
+
+} // namespace ldis

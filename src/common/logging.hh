@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal gem5-flavoured logging: panic() for simulator bugs (aborts),
+ * fatal() for user/configuration errors (exits), warn()/inform() for
+ * status. All take printf-style format strings.
+ */
+
+#ifndef DISTILLSIM_COMMON_LOGGING_HH
+#define DISTILLSIM_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ldis
+{
+
+namespace detail
+{
+
+[[noreturn]] void logAndDie(const char *kind, bool abort_process,
+                            const char *file, int line,
+                            const char *fmt, std::va_list args);
+
+void logMessage(const char *kind, const char *fmt, std::va_list args);
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and abort. Use when an invariant
+ * that no configuration or workload should be able to violate has
+ * been violated.
+ */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * arguments) and exit with status 1.
+ */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Warn about suspicious but survivable conditions. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+#define ldis_panic(...) \
+    ::ldis::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define ldis_fatal(...) \
+    ::ldis::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert a simulator invariant; panics with the condition text. */
+#define ldis_assert(cond)                                             \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            ::ldis::panicImpl(__FILE__, __LINE__,                     \
+                              "assertion failed: %s", #cond);         \
+        }                                                             \
+    } while (0)
+
+} // namespace ldis
+
+#endif // DISTILLSIM_COMMON_LOGGING_HH

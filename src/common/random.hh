@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. Every stochastic
+ * decision in the simulator (WOC victim selection, synthetic workload
+ * generation) draws from a seeded Xorshift64* stream so that runs are
+ * exactly reproducible.
+ */
+
+#ifndef DISTILLSIM_COMMON_RANDOM_HH
+#define DISTILLSIM_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace ldis
+{
+
+/** Xorshift64* generator: fast, tiny state, adequate quality. */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound); panics on bound == 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        ldis_assert(bound != 0);
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        ldis_assert(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_COMMON_RANDOM_HH

@@ -1,0 +1,79 @@
+#include "table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace ldis
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headerRow(std::move(headers))
+{
+    ldis_assert(!headerRow.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    ldis_assert(cells.size() == headerRow.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::percent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headerRow.size());
+    for (std::size_t c = 0; c < headerRow.size(); ++c)
+        widths[c] = headerRow[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](std::ostringstream &out,
+                        const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0)
+                out << "  ";
+            // First column left-aligned, rest right-aligned.
+            if (c == 0) {
+                out << row[c]
+                    << std::string(widths[c] - row[c].size(), ' ');
+            } else {
+                out << std::string(widths[c] - row[c].size(), ' ')
+                    << row[c];
+            }
+        }
+        out << "\n";
+    };
+
+    std::ostringstream out;
+    emit_row(out, headerRow);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c > 0 ? 2 : 0);
+    out << std::string(total, '-') << "\n";
+    for (const auto &row : rows)
+        emit_row(out, row);
+    return out.str();
+}
+
+} // namespace ldis

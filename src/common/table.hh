@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harnesses to print
+ * the rows/series of each paper table and figure.
+ */
+
+#ifndef DISTILLSIM_COMMON_TABLE_HH
+#define DISTILLSIM_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace ldis
+{
+
+/**
+ * Column-aligned ASCII table. Columns are sized to their widest cell;
+ * the first column is left-aligned, the rest right-aligned (matching
+ * the label-then-numbers layout of the paper's tables).
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format a percentage ("12.3%"). */
+    static std::string percent(double fraction, int precision = 1);
+
+    /** Render the table (with a separator under the header row). */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headerRow;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_COMMON_TABLE_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fundamental scalar types and geometry constants used across the
+ * simulator. The paper models a 64B line partitioned into eight 8B
+ * words (the maximum Alpha access size); those constants live here so
+ * that every module agrees on the line geometry.
+ */
+
+#ifndef DISTILLSIM_COMMON_TYPES_HH
+#define DISTILLSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace ldis
+{
+
+/** Byte address in the simulated 40-bit physical address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Retired (or traced) instruction count. */
+using InstCount = std::uint64_t;
+
+/** Width of the simulated physical address space, in bits. */
+inline constexpr unsigned kPhysAddrBits = 40;
+
+/** Cache line size used throughout the paper's evaluation. */
+inline constexpr unsigned kLineBytes = 64;
+
+/** Word size: maximum memory access size of an Alpha instruction. */
+inline constexpr unsigned kWordBytes = 8;
+
+/** Number of words in a cache line (64B / 8B = 8). */
+inline constexpr unsigned kWordsPerLine = kLineBytes / kWordBytes;
+
+/** An address with the line-offset bits stripped (addr / 64). */
+using LineAddr = std::uint64_t;
+
+/** Index of a word within its line, in [0, kWordsPerLine). */
+using WordIdx = unsigned;
+
+/** Convert a byte address to its line address. */
+constexpr LineAddr
+lineAddrOf(Addr addr)
+{
+    return addr / kLineBytes;
+}
+
+/** Convert a line address back to the byte address of its first byte. */
+constexpr Addr
+lineBaseOf(LineAddr line)
+{
+    return line * kLineBytes;
+}
+
+/** Word index of a byte address within its line. */
+constexpr WordIdx
+wordIdxOf(Addr addr)
+{
+    return static_cast<WordIdx>((addr / kWordBytes) % kWordsPerLine);
+}
+
+} // namespace ldis
+
+#endif // DISTILLSIM_COMMON_TYPES_HH

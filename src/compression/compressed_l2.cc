@@ -1,0 +1,199 @@
+#include "compressed_l2.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+#include "compression/encoder.hh"
+
+namespace ldis
+{
+
+CompressedL2::CompressedL2(const CompressedL2Params &params,
+                           const ValueModel &vals)
+    : prm(params), values(vals)
+{
+    std::uint64_t lines = prm.bytes / kLineBytes;
+    if (lines % prm.ways != 0)
+        ldis_fatal("compressed L2: capacity does not divide into "
+                   "%u ways", prm.ways);
+    std::uint64_t num_sets = lines / prm.ways;
+    if (!isPowerOf2(num_sets))
+        ldis_fatal("compressed L2: set count must be a power of two");
+    if (prm.tagFactor < 1 || prm.tagFactor * prm.ways > 255)
+        ldis_fatal("compressed L2: bad tag factor %u", prm.tagFactor);
+
+    setsCount = static_cast<unsigned>(num_sets);
+    segmentsPerSet = prm.ways * kWordsPerLine;
+    sets.resize(setsCount);
+    unsigned tags_per_set = prm.ways * prm.tagFactor;
+    for (auto &s : sets) {
+        s.tags.resize(tags_per_set);
+        s.order.resize(tags_per_set);
+        for (unsigned i = 0; i < tags_per_set; ++i)
+            s.order[i] = static_cast<std::uint8_t>(i);
+    }
+}
+
+std::string
+CompressedL2::describe() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "compressed %lluKB %u-way (%ux tags)",
+                  static_cast<unsigned long long>(prm.bytes / 1024),
+                  prm.ways, prm.tagFactor);
+    return buf;
+}
+
+std::uint64_t
+CompressedL2::setIndexOf(LineAddr line) const
+{
+    return line & (setsCount - 1);
+}
+
+int
+CompressedL2::tagOf(const CSet &s, LineAddr line) const
+{
+    for (unsigned i = 0; i < s.tags.size(); ++i)
+        if (s.tags[i].valid && s.tags[i].line == line)
+            return static_cast<int>(i);
+    return -1;
+}
+
+void
+CompressedL2::touchTag(CSet &s, unsigned idx)
+{
+    auto it = std::find(s.order.begin(), s.order.end(),
+                        static_cast<std::uint8_t>(idx));
+    ldis_assert(it != s.order.end());
+    s.order.erase(it);
+    s.order.insert(s.order.begin(), static_cast<std::uint8_t>(idx));
+}
+
+void
+CompressedL2::evictTag(CSet &s, unsigned idx)
+{
+    CTag &t = s.tags[idx];
+    ldis_assert(t.valid);
+    ldis_assert(s.usedSegments >= t.segments);
+    s.usedSegments -= t.segments;
+    ++statsData.evictions;
+    if (t.dirty)
+        ++statsData.writebacks;
+    t = CTag{};
+}
+
+unsigned
+CompressedL2::segmentsFor(LineAddr line) const
+{
+    unsigned bytes = compressedBytes(prm.encoder, values, line,
+                                     Footprint::full());
+    unsigned segs = static_cast<unsigned>(
+        divCeil(bytes, kWordBytes));
+    return std::min(segs == 0 ? 1u : segs,
+                    static_cast<unsigned>(kWordsPerLine));
+}
+
+L2Result
+CompressedL2::access(Addr addr, bool write, Addr /*pc*/, bool /*i*/)
+{
+    ++statsData.accesses;
+    LineAddr line = lineAddrOf(addr);
+    CSet &s = sets[setIndexOf(line)];
+
+    int idx = tagOf(s, line);
+    if (idx >= 0) {
+        if (write)
+            s.tags[idx].dirty = true;
+        touchTag(s, static_cast<unsigned>(idx));
+        ++statsData.locHits;
+        return {L2Outcome::LocHit, Footprint::full(),
+                prm.latency.hit};
+    }
+
+    if (compulsory.firstTouch(line))
+        ++statsData.compulsoryMisses;
+    ++statsData.lineMisses;
+
+    unsigned need = segmentsFor(line);
+
+    // Perfect-LRU fit: evict from the LRU end until the segments fit
+    // and a free tag exists.
+    auto free_tag = [&]() -> int {
+        for (unsigned i = 0; i < s.tags.size(); ++i)
+            if (!s.tags[i].valid)
+                return static_cast<int>(i);
+        return -1;
+    };
+    while (s.usedSegments + need > segmentsPerSet ||
+           free_tag() < 0) {
+        // Find the LRU valid tag.
+        int victim = -1;
+        for (auto it = s.order.rbegin(); it != s.order.rend(); ++it) {
+            if (s.tags[*it].valid) {
+                victim = *it;
+                break;
+            }
+        }
+        ldis_assert(victim >= 0);
+        evictTag(s, static_cast<unsigned>(victim));
+    }
+
+    int slot = free_tag();
+    ldis_assert(slot >= 0);
+    CTag &t = s.tags[slot];
+    t.valid = true;
+    t.dirty = write;
+    t.line = line;
+    t.segments = static_cast<std::uint8_t>(need);
+    s.usedSegments += need;
+    touchTag(s, static_cast<unsigned>(slot));
+
+    extra.segmentsStored += need;
+    ++extra.linesInstalled;
+
+    return {L2Outcome::LineMiss, Footprint::full(),
+            prm.latency.hit + prm.latency.memory};
+}
+
+void
+CompressedL2::l1dEviction(LineAddr line, Footprint /*used*/,
+                          Footprint dirty_words)
+{
+    CSet &s = sets[setIndexOf(line)];
+    int idx = tagOf(s, line);
+    if (idx >= 0) {
+        if (!dirty_words.empty())
+            s.tags[idx].dirty = true;
+        return;
+    }
+    if (!dirty_words.empty())
+        ++statsData.writebacks;
+}
+
+double
+CompressedL2::avgSegmentsPerLine() const
+{
+    if (extra.linesInstalled == 0)
+        return 0.0;
+    return static_cast<double>(extra.segmentsStored)
+         / static_cast<double>(extra.linesInstalled);
+}
+
+bool
+CompressedL2::checkIntegrity() const
+{
+    for (const CSet &s : sets) {
+        unsigned sum = 0;
+        for (const CTag &t : s.tags)
+            if (t.valid)
+                sum += t.segments;
+        if (sum != s.usedSegments || sum > segmentsPerSet)
+            return false;
+    }
+    return true;
+}
+
+} // namespace ldis

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Compressed traditional cache (the CMPR-4xTags configuration of
+ * Figure 11): a set-associative cache whose data store is segmented
+ * at 8B granularity. Each line is stored compressed (Table-4
+ * encoding of its values) in ceil(size/8B) segments; a set holds up
+ * to tagFactor * ways tag entries but only ways * 8 segments of
+ * data. Replacement is perfect LRU over the tag entries: LRU lines
+ * are evicted until the incoming line's segments fit (Section 8.2
+ * notes CMPR gets perfect LRU while FAC uses the practical
+ * size-based random scheme).
+ */
+
+#ifndef DISTILLSIM_COMPRESSION_COMPRESSED_L2_HH
+#define DISTILLSIM_COMPRESSION_COMPRESSED_L2_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/l2_interface.hh"
+#include "cache/traditional_l2.hh"
+#include "compression/encoder.hh"
+#include "trace/value_model.hh"
+
+namespace ldis
+{
+
+/** Configuration of the compressed cache. */
+struct CompressedL2Params
+{
+    std::uint64_t bytes = 1 << 20; //!< data capacity {1MB}
+    unsigned ways = 8;             //!< data ways per set {8}
+    unsigned tagFactor = 4;        //!< tag entries per data line {4}
+    EncoderKind encoder = EncoderKind::Table4;
+    L2Latency latency{};
+};
+
+/** CMPR statistics beyond the common L2Stats. */
+struct CompressedL2Stats
+{
+    std::uint64_t segmentsStored = 0; //!< segments of installed lines
+    std::uint64_t linesInstalled = 0;
+};
+
+/** The compressed L2. */
+class CompressedL2 : public SecondLevelCache
+{
+  public:
+    CompressedL2(const CompressedL2Params &params,
+                 const ValueModel &values);
+
+    L2Result access(Addr addr, bool write, Addr pc,
+                    bool instr) override;
+    void l1dEviction(LineAddr line, Footprint used,
+                     Footprint dirty_words) override;
+    const L2Stats &stats() const override { return statsData; }
+    void
+    resetStats() override
+    {
+        statsData = L2Stats{};
+        extra = CompressedL2Stats{};
+    }
+    std::string describe() const override;
+
+    const CompressedL2Stats &compressedStats() const { return extra; }
+
+    /** Average segments per installed line (compression ratio). */
+    double avgSegmentsPerLine() const;
+
+    /** Verify per-set segment accounting (tests). */
+    bool checkIntegrity() const;
+
+  private:
+    struct CTag
+    {
+        bool valid = false;
+        bool dirty = false;
+        LineAddr line = 0;
+        std::uint8_t segments = 0;
+    };
+
+    struct CSet
+    {
+        std::vector<CTag> tags;
+        /** Tag indices ordered MRU (front) to LRU (back). */
+        std::vector<std::uint8_t> order;
+        unsigned usedSegments = 0;
+    };
+
+    std::uint64_t setIndexOf(LineAddr line) const;
+    int tagOf(const CSet &s, LineAddr line) const;
+    void touchTag(CSet &s, unsigned idx);
+    void evictTag(CSet &s, unsigned idx);
+
+    /** Segments needed to store @p line compressed. */
+    unsigned segmentsFor(LineAddr line) const;
+
+    CompressedL2Params prm;
+    const ValueModel &values;
+    unsigned setsCount;
+    unsigned segmentsPerSet;
+    std::vector<CSet> sets;
+    CompulsoryTracker compulsory;
+    L2Stats statsData;
+    CompressedL2Stats extra;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_COMPRESSION_COMPRESSED_L2_HH

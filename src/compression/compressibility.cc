@@ -1,0 +1,25 @@
+#include "compressibility.hh"
+
+namespace ldis
+{
+
+void
+CompressibilitySampler::sample(const SetAssocCache &tags)
+{
+    tags.forEachLine([this](const CacheLineState &l) {
+        if (l.instr)
+            return;
+        whole.record(classifySize(
+            compressedLineBytes(values, l.line)));
+        // Footprint-aware: only the used words contribute bits; a
+        // line with few used words is small even if its values are
+        // incompressible.
+        Footprint fp = l.footprint;
+        if (fp.empty())
+            fp = Footprint::full();
+        used.record(classifySize(
+            compressedBytes(values, l.line, fp)));
+    });
+}
+
+} // namespace ldis

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Sampling-based compressibility study (Section 8.1, Figure 10):
+ * periodically snapshot the valid lines of the baseline cache and
+ * classify each line's compressed size twice — once compressing the
+ * whole line, once compressing only the words marked used in the
+ * line's footprint.
+ */
+
+#ifndef DISTILLSIM_COMPRESSION_COMPRESSIBILITY_HH
+#define DISTILLSIM_COMPRESSION_COMPRESSIBILITY_HH
+
+#include <array>
+#include <cstdint>
+
+#include "cache/set_assoc.hh"
+#include "compression/encoder.hh"
+#include "trace/value_model.hh"
+
+namespace ldis
+{
+
+/** Accumulated class distribution for one compression flavour. */
+struct CompressDistribution
+{
+    std::array<std::uint64_t, 4> counts{};
+    std::uint64_t total = 0;
+
+    void
+    record(CompressClass c)
+    {
+        ++counts[static_cast<std::size_t>(c)];
+        ++total;
+    }
+
+    double
+    fraction(CompressClass c) const
+    {
+        return total == 0
+            ? 0.0
+            : static_cast<double>(
+                  counts[static_cast<std::size_t>(c)])
+                  / static_cast<double>(total);
+    }
+};
+
+/** The Figure-10 sampler. */
+class CompressibilitySampler
+{
+  public:
+    explicit CompressibilitySampler(const ValueModel &model)
+        : values(model)
+    {}
+
+    /**
+     * Classify every valid data line of @p tags, accumulating into
+     * the whole-line and used-words-only distributions.
+     */
+    void sample(const SetAssocCache &tags);
+
+    /** Distribution when all words are compressed (Fig 10a). */
+    const CompressDistribution &wholeLine() const { return whole; }
+
+    /** Distribution when only used words are compressed (Fig 10b). */
+    const CompressDistribution &usedWords() const { return used; }
+
+  private:
+    const ValueModel &values;
+    CompressDistribution whole;
+    CompressDistribution used;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_COMPRESSION_COMPRESSIBILITY_HH

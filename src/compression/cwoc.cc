@@ -1,0 +1,211 @@
+#include "cwoc.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+CompressedWocSet::CompressedWocSet(unsigned num_entries)
+    : entries(num_entries)
+{
+    ldis_assert(num_entries > 0);
+    ldis_assert(num_entries % kWordsPerLine == 0);
+}
+
+int
+CompressedWocSet::headOf(LineAddr line) const
+{
+    for (unsigned i = 0; i < entries.size(); ++i)
+        if (entries[i].valid && entries[i].head &&
+            entries[i].line == line)
+            return static_cast<int>(i);
+    return -1;
+}
+
+Footprint
+CompressedWocSet::wordsOf(LineAddr line) const
+{
+    int h = headOf(line);
+    return h < 0 ? Footprint{} : entries[h].words;
+}
+
+Footprint
+CompressedWocSet::dirtyWordsOf(LineAddr line) const
+{
+    int h = headOf(line);
+    return h < 0 ? Footprint{} : entries[h].dirty;
+}
+
+void
+CompressedWocSet::evictGroup(unsigned head,
+                             std::vector<WocEvicted> &out)
+{
+    CWocEntry &h = entries[head];
+    ldis_assert(h.valid && h.head);
+    WocEvicted ev;
+    ev.line = h.line;
+    ev.words = h.words;
+    ev.dirty = h.dirty;
+    unsigned slots = h.slots;
+    for (unsigned i = head; i < head + slots; ++i) {
+        ldis_assert(entries[i].valid && entries[i].line == ev.line);
+        entries[i] = CWocEntry{};
+    }
+    out.push_back(ev);
+}
+
+void
+CompressedWocSet::install(LineAddr line, Footprint used,
+                          Footprint dirty, unsigned slots,
+                          Random &rng,
+                          std::vector<WocEvicted> &evicted_out)
+{
+    ldis_assert(!used.empty());
+    ldis_assert(!linePresent(line));
+    ldis_assert((dirty & used) == dirty);
+    ldis_assert(slots >= 1 && slots <= kWordsPerLine);
+    ldis_assert(isPowerOf2(slots));
+    ldis_assert(slots <= entries.size());
+
+    std::vector<unsigned> free_starts;
+    std::vector<unsigned> eligible;
+    for (unsigned s = 0; s + slots <= entries.size(); s += slots) {
+        const CWocEntry &first = entries[s];
+        if (!first.valid || first.head) {
+            bool all_free = true;
+            for (unsigned i = s; i < s + slots; ++i)
+                if (entries[i].valid)
+                    all_free = false;
+            if (all_free)
+                free_starts.push_back(s);
+            else
+                eligible.push_back(s);
+        }
+    }
+
+    unsigned start;
+    if (!free_starts.empty()) {
+        start = free_starts[rng.below(free_starts.size())];
+    } else {
+        ldis_assert(!eligible.empty());
+        start = eligible[rng.below(eligible.size())];
+    }
+
+    for (unsigned i = start; i < start + slots; ++i) {
+        if (!entries[i].valid)
+            continue;
+        unsigned h = i;
+        while (!entries[h].head) {
+            ldis_assert(h > 0);
+            --h;
+        }
+        evictGroup(h, evicted_out);
+    }
+
+    CWocEntry &head = entries[start];
+    head.valid = true;
+    head.head = true;
+    head.line = line;
+    head.words = used;
+    head.dirty = dirty;
+    head.slots = static_cast<std::uint8_t>(slots);
+    for (unsigned i = start + 1; i < start + slots; ++i) {
+        CWocEntry &e = entries[i];
+        e.valid = true;
+        e.head = false;
+        e.line = line;
+        e.words = Footprint{};
+        e.dirty = Footprint{};
+        e.slots = 0;
+    }
+}
+
+WocEvicted
+CompressedWocSet::invalidateLine(LineAddr line)
+{
+    WocEvicted ev;
+    ev.line = line;
+    int h = headOf(line);
+    if (h < 0)
+        return ev;
+    std::vector<WocEvicted> tmp;
+    evictGroup(static_cast<unsigned>(h), tmp);
+    ldis_assert(tmp.size() == 1);
+    return tmp.front();
+}
+
+void
+CompressedWocSet::markDirty(LineAddr line, Footprint words)
+{
+    int h = headOf(line);
+    if (h < 0)
+        return;
+    entries[h].dirty |= (words & entries[h].words);
+}
+
+void
+CompressedWocSet::flush(std::vector<WocEvicted> &evicted_out)
+{
+    for (unsigned i = 0; i < entries.size(); ++i)
+        if (entries[i].valid && entries[i].head)
+            evictGroup(i, evicted_out);
+    ldis_assert(validEntryCount() == 0);
+}
+
+unsigned
+CompressedWocSet::validEntryCount() const
+{
+    unsigned n = 0;
+    for (const CWocEntry &e : entries)
+        if (e.valid)
+            ++n;
+    return n;
+}
+
+unsigned
+CompressedWocSet::lineCount() const
+{
+    unsigned n = 0;
+    for (const CWocEntry &e : entries)
+        if (e.valid && e.head)
+            ++n;
+    return n;
+}
+
+bool
+CompressedWocSet::checkIntegrity() const
+{
+    std::vector<LineAddr> seen;
+    unsigned i = 0;
+    while (i < entries.size()) {
+        if (!entries[i].valid) {
+            ++i;
+            continue;
+        }
+        const CWocEntry &h = entries[i];
+        if (!h.head || h.slots == 0 || !isPowerOf2(h.slots))
+            return false;
+        if (i % h.slots != 0)
+            return false;
+        if (h.words.empty())
+            return false;
+        if (!((h.dirty & h.words) == h.dirty))
+            return false;
+        for (unsigned k = i + 1; k < i + h.slots; ++k) {
+            if (k >= entries.size())
+                return false;
+            if (!entries[k].valid || entries[k].head ||
+                entries[k].line != h.line)
+                return false;
+        }
+        for (LineAddr l : seen)
+            if (l == h.line)
+                return false;
+        seen.push_back(h.line);
+        i += h.slots;
+    }
+    return true;
+}
+
+} // namespace ldis

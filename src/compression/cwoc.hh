@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Compressed Word-Organized Cache set for Footprint-Aware Compression
+ * (Section 8.2). Like the plain WOC, lines occupy power-of-two
+ * aligned slot groups chosen by size-based random replacement — but
+ * the group may hold *more* words than slots, because the used words
+ * are stored compressed. The head entry carries the represented-word
+ * and dirty masks and the group's slot count (the paper: "the
+ * tag-entries in WOC are modified to support both compressed and
+ * uncompressed lines").
+ */
+
+#ifndef DISTILLSIM_COMPRESSION_CWOC_HH
+#define DISTILLSIM_COMPRESSION_CWOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/footprint.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+#include "distill/woc.hh"
+
+namespace ldis
+{
+
+/** One compressed-WOC tag entry. */
+struct CWocEntry
+{
+    bool valid = false;
+    bool head = false;
+    LineAddr line = 0;
+
+    // Head-only fields.
+    Footprint words;       //!< words represented by the group
+    Footprint dirty;       //!< dirty subset
+    std::uint8_t slots = 0; //!< 8B slots occupied (power of two)
+};
+
+/** The compressed WOC portion of one FAC set. */
+class CompressedWocSet
+{
+  public:
+    explicit CompressedWocSet(unsigned num_entries);
+
+    /** Words of @p line represented here (empty if absent). */
+    Footprint wordsOf(LineAddr line) const;
+
+    /** Dirty words of @p line. */
+    Footprint dirtyWordsOf(LineAddr line) const;
+
+    bool
+    linePresent(LineAddr line) const
+    {
+        return !wordsOf(line).empty();
+    }
+
+    /**
+     * Install @p line's used words into @p slots aligned entries
+     * (slots = power of two <= 8, already accounting for the
+     * compressed size). Evicts overlapping groups wholly.
+     */
+    void install(LineAddr line, Footprint used, Footprint dirty,
+                 unsigned slots, Random &rng,
+                 std::vector<WocEvicted> &evicted_out);
+
+    /** Remove @p line; returns its words/dirty masks. */
+    WocEvicted invalidateLine(LineAddr line);
+
+    /** Mark words of a resident line dirty. */
+    void markDirty(LineAddr line, Footprint words);
+
+    /** Evict everything. */
+    void flush(std::vector<WocEvicted> &evicted_out);
+
+    unsigned numEntries() const
+    {
+        return static_cast<unsigned>(entries.size());
+    }
+
+    unsigned validEntryCount() const;
+    unsigned lineCount() const;
+    const CWocEntry &entry(unsigned i) const { return entries[i]; }
+
+    /** Structural invariants (group shape, alignment, uniqueness). */
+    bool checkIntegrity() const;
+
+  private:
+    int headOf(LineAddr line) const;
+    void evictGroup(unsigned head,
+                    std::vector<WocEvicted> &evicted_out);
+
+    std::vector<CWocEntry> entries;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_COMPRESSION_CWOC_HH

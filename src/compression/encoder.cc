@@ -1,0 +1,61 @@
+#include "encoder.hh"
+
+#include "common/intmath.hh"
+#include "compression/fpc.hh"
+
+namespace ldis
+{
+
+unsigned
+compressedBytes(const ValueModel &model, LineAddr line,
+                Footprint words)
+{
+    unsigned bits = 0;
+    for (WordIdx w = 0; w < kWordsPerLine; ++w) {
+        if (!words.test(w))
+            continue;
+        // Each 8B word is two 32-bit dwords.
+        bits += encodedBits(model.dword(line, 2 * w));
+        bits += encodedBits(model.dword(line, 2 * w + 1));
+    }
+    return static_cast<unsigned>(divCeil(bits, 8));
+}
+
+unsigned
+compressedBytes(EncoderKind kind, const ValueModel &model,
+                LineAddr line, Footprint words)
+{
+    return kind == EncoderKind::Fpc
+        ? fpcCompressedBytes(model, line, words)
+        : compressedBytes(model, line, words);
+}
+
+CompressClass
+classifySize(unsigned bytes)
+{
+    if (bytes <= kLineBytes / 8)
+        return CompressClass::OneEighth;
+    if (bytes <= kLineBytes / 4)
+        return CompressClass::OneFourth;
+    if (bytes <= kLineBytes / 2)
+        return CompressClass::OneHalf;
+    return CompressClass::Full;
+}
+
+const char *
+compressClassName(CompressClass c)
+{
+    switch (c) {
+      case CompressClass::OneEighth:
+        return "one-eighth";
+      case CompressClass::OneFourth:
+        return "one-fourth";
+      case CompressClass::OneHalf:
+        return "one-half";
+      case CompressClass::Full:
+        return "full";
+    }
+    return "?";
+}
+
+} // namespace ldis

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The paper's significance-based compression encoding (Table 4),
+ * operating at 32-bit granularity:
+ *
+ *   code 00 -> value 0                (2 bits)
+ *   code 01 -> value 1                (2 bits)
+ *   code 10 -> bits[31:16] zero       (2 + 16 bits)
+ *   code 11 -> incompressible         (2 + 32 bits)
+ *
+ * Plus helpers to compress whole lines or only the used words (the
+ * footprint-aware variant of Section 8.2) and classify the result
+ * into the paper's one-eighth / one-fourth / one-half / full buckets.
+ */
+
+#ifndef DISTILLSIM_COMPRESSION_ENCODER_HH
+#define DISTILLSIM_COMPRESSION_ENCODER_HH
+
+#include <cstdint>
+
+#include "common/footprint.hh"
+#include "common/types.hh"
+#include "trace/value_model.hh"
+
+namespace ldis
+{
+
+/** Selectable compression encoding for the cache models. */
+enum class EncoderKind
+{
+    Table4, //!< the paper's Table-4 scheme (default)
+    Fpc,    //!< frequent pattern compression (footnote 9)
+};
+
+/** Encoded size of one 32-bit dword under the Table-4 scheme. */
+constexpr unsigned
+encodedBits(std::uint32_t v)
+{
+    if (v == 0 || v == 1)
+        return 2;
+    if ((v >> 16) == 0)
+        return 2 + 16;
+    return 2 + 32;
+}
+
+/**
+ * Compressed size, in bytes (rounded up), of the words of @p line
+ * selected by @p words, with values drawn from @p model.
+ */
+unsigned compressedBytes(const ValueModel &model, LineAddr line,
+                         Footprint words);
+
+/** Dispatch on the configured encoder. */
+unsigned compressedBytes(EncoderKind kind, const ValueModel &model,
+                         LineAddr line, Footprint words);
+
+/** Convenience: compressed size of the full line. */
+inline unsigned
+compressedLineBytes(const ValueModel &model, LineAddr line)
+{
+    return compressedBytes(model, line, Footprint::full());
+}
+
+/** Figure-10 size classes. */
+enum class CompressClass
+{
+    OneEighth, //!< fits in 1/8 of the line (8B)
+    OneFourth, //!< fits in 1/4 of the line (16B)
+    OneHalf,   //!< fits in 1/2 of the line (32B)
+    Full,      //!< incompressible beyond 1/2
+};
+
+/** Classify a compressed size against the 64B line. */
+CompressClass classifySize(unsigned bytes);
+
+/** Display name of a class ("one-eighth", ...). */
+const char *compressClassName(CompressClass c);
+
+} // namespace ldis
+
+#endif // DISTILLSIM_COMPRESSION_ENCODER_HH

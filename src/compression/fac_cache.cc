@@ -1,0 +1,331 @@
+#include "fac_cache.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+#include "compression/encoder.hh"
+
+namespace ldis
+{
+
+FacCache::FacCache(const DistillParams &params,
+                   const ValueModel &vals, EncoderKind encoder)
+    : prm(params), values(vals), encoderKind(encoder),
+      rng(params.seed), mtFilter(params.medianEpoch)
+{
+    if (prm.wocWays == 0 || prm.wocWays >= prm.totalWays)
+        ldis_fatal("FAC cache: wocWays (%u) must be in "
+                   "[1, totalWays)", prm.wocWays);
+    std::uint64_t lines = prm.bytes / kLineBytes;
+    if (lines % prm.totalWays != 0)
+        ldis_fatal("FAC cache: capacity does not divide into %u ways",
+                   prm.totalWays);
+    std::uint64_t num_sets = lines / prm.totalWays;
+    if (!isPowerOf2(num_sets))
+        ldis_fatal("FAC cache: set count must be a power of two");
+    setsCount = static_cast<unsigned>(num_sets);
+
+    unsigned woc_entries = prm.wocWays * kWordsPerLine;
+    sets.reserve(setsCount);
+    for (unsigned i = 0; i < setsCount; ++i)
+        sets.emplace_back(prm.totalWays, woc_entries);
+
+    if (prm.useReverter) {
+        CacheGeometry atd_geom;
+        atd_geom.bytes = prm.bytes;
+        atd_geom.ways = prm.totalWays;
+        atd_geom.lineBytes = kLineBytes;
+        reverterUnit =
+            std::make_unique<Reverter>(atd_geom, prm.reverter);
+    }
+}
+
+std::string
+FacCache::describe() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "FAC %lluKB %u-way (LOC %u + compressed WOC %u)%s%s",
+                  static_cast<unsigned long long>(prm.bytes / 1024),
+                  prm.totalWays, locWays(), prm.wocWays,
+                  prm.medianThreshold ? " +MT" : "",
+                  prm.useReverter ? " +RC" : "");
+    return buf;
+}
+
+std::uint64_t
+FacCache::setIndexOf(LineAddr line) const
+{
+    return line & (setsCount - 1);
+}
+
+unsigned
+FacCache::activeWays(const FSet &s) const
+{
+    return s.distillMode ? locWays() : prm.totalWays;
+}
+
+CacheLineState *
+FacCache::findFrame(FSet &s, LineAddr line)
+{
+    for (auto &f : s.frames)
+        if (f.valid && f.line == line)
+            return &f;
+    return nullptr;
+}
+
+unsigned
+FacCache::frameIndexOf(const FSet &s, LineAddr line) const
+{
+    for (unsigned i = 0; i < s.frames.size(); ++i)
+        if (s.frames[i].valid && s.frames[i].line == line)
+            return i;
+    ldis_panic("FacCache::frameIndexOf: line not resident");
+}
+
+void
+FacCache::touchFrame(FSet &s, unsigned frame_idx)
+{
+    auto it = std::find(s.order.begin(), s.order.end(),
+                        static_cast<std::uint8_t>(frame_idx));
+    ldis_assert(it != s.order.end());
+    s.order.erase(it);
+    s.order.insert(s.order.begin(),
+                   static_cast<std::uint8_t>(frame_idx));
+}
+
+unsigned
+FacCache::slotsFor(LineAddr line, Footprint used) const
+{
+    // Compressed size of the used words, in 8B slots, rounded up to
+    // the power-of-two group size. Never worse than the plain WOC's
+    // nextPow2(#used).
+    unsigned bytes = compressedBytes(encoderKind, values, line,
+                                     used);
+    unsigned slots = static_cast<unsigned>(
+        divCeil(std::max(bytes, 1u), kWordBytes));
+    unsigned group = static_cast<unsigned>(nextPow2(slots));
+    unsigned plain = static_cast<unsigned>(nextPow2(used.count()));
+    return std::min(group, plain);
+}
+
+void
+FacCache::accountWocEvictions(const std::vector<WocEvicted> &evs)
+{
+    for (const WocEvicted &ev : evs) {
+        ++extra.wocEvictions;
+        if (!ev.dirty.empty())
+            ++statsData.writebacks;
+    }
+}
+
+void
+FacCache::handleLocEviction(FSet &s, const CacheLineState &victim)
+{
+    ldis_assert(victim.valid);
+    ++statsData.evictions;
+
+    bool distillable = s.distillMode && !victim.instr;
+    if (!distillable || victim.footprint.empty()) {
+        if (!victim.dirtyWords.empty() || victim.dirty)
+            ++statsData.writebacks;
+        return;
+    }
+
+    Footprint used = victim.footprint;
+    unsigned count = used.count();
+    mtFilter.recordEviction(count);
+    if (prm.medianThreshold && !mtFilter.shouldInstall(count)) {
+        ++extra.mtFiltered;
+        if (!victim.dirtyWords.empty())
+            ++statsData.writebacks;
+        return;
+    }
+
+    unsigned slots = slotsFor(victim.line, used);
+    scratchEvicted.clear();
+    s.woc.install(victim.line, used, victim.dirtyWords, slots, rng,
+                  scratchEvicted);
+    accountWocEvictions(scratchEvicted);
+    ++extra.wocInstalls;
+    extra.slotsStored += slots;
+    extra.wordsStored += count;
+}
+
+CacheLineState &
+FacCache::installLine(FSet &s, LineAddr line, bool instr)
+{
+    unsigned active = activeWays(s);
+
+    int victim_frame = -1;
+    for (unsigned i = 0; i < active; ++i) {
+        if (!s.frames[i].valid) {
+            victim_frame = static_cast<int>(i);
+            break;
+        }
+    }
+    if (victim_frame < 0) {
+        for (auto it = s.order.rbegin(); it != s.order.rend(); ++it) {
+            if (*it < active) {
+                victim_frame = *it;
+                break;
+            }
+        }
+        ldis_assert(victim_frame >= 0);
+        handleLocEviction(s, s.frames[victim_frame]);
+    }
+
+    CacheLineState fresh;
+    fresh.line = line;
+    fresh.valid = true;
+    fresh.instr = instr;
+    s.frames[victim_frame] = fresh;
+    touchFrame(s, static_cast<unsigned>(victim_frame));
+    return s.frames[victim_frame];
+}
+
+void
+FacCache::transition(FSet &s, bool distill)
+{
+    if (s.distillMode == distill)
+        return;
+    ++extra.modeSwitches;
+    if (!distill) {
+        scratchEvicted.clear();
+        s.woc.flush(scratchEvicted);
+        accountWocEvictions(scratchEvicted);
+        s.distillMode = false;
+    } else {
+        s.distillMode = true;
+        for (unsigned i = locWays(); i < s.frames.size(); ++i) {
+            if (s.frames[i].valid) {
+                handleLocEviction(s, s.frames[i]);
+                s.frames[i] = CacheLineState{};
+            }
+        }
+    }
+}
+
+void
+FacCache::syncMode(FSet &s, std::uint64_t set_index)
+{
+    if (!prm.useReverter)
+        return;
+    bool desired = reverterUnit->isLeader(set_index)
+                 ? true
+                 : reverterUnit->ldisEnabled();
+    transition(s, desired);
+}
+
+L2Result
+FacCache::access(Addr addr, bool write, Addr /*pc*/, bool instr)
+{
+    ++statsData.accesses;
+    LineAddr line = lineAddrOf(addr);
+    WordIdx word = wordIdxOf(addr);
+    std::uint64_t set_index = setIndexOf(line);
+    FSet &s = sets[set_index];
+    syncMode(s, set_index);
+
+    L2Result res;
+
+    if (CacheLineState *frame = findFrame(s, line)) {
+        frame->footprint.set(word);
+        if (write)
+            frame->dirtyWords.set(word);
+        touchFrame(s, frameIndexOf(s, line));
+        ++statsData.locHits;
+        res = {L2Outcome::LocHit, Footprint::full(), prm.hitLatency};
+    } else if (s.distillMode && s.woc.linePresent(line)) {
+        Footprint present = s.woc.wordsOf(line);
+        if (present.test(word)) {
+            if (write)
+                s.woc.markDirty(line, Footprint(
+                    static_cast<std::uint8_t>(1u << word)));
+            ++statsData.wocHits;
+            // Decompression adds on top of the rearrangement delay.
+            res = {L2Outcome::WocHit, present,
+                   prm.hitLatency + prm.wocRearrange};
+        } else {
+            WocEvicted ev = s.woc.invalidateLine(line);
+            ++statsData.holeMisses;
+            CacheLineState &fresh = installLine(s, line, instr);
+            fresh.footprint.set(word);
+            fresh.dirtyWords = ev.dirty;
+            fresh.footprint |= ev.dirty;
+            if (write)
+                fresh.dirtyWords.set(word);
+            res = {L2Outcome::HoleMiss, Footprint::full(),
+                   prm.hitLatency + prm.memLatency};
+        }
+    } else {
+        if (compulsory.firstTouch(line))
+            ++statsData.compulsoryMisses;
+        ++statsData.lineMisses;
+        CacheLineState &fresh = installLine(s, line, instr);
+        fresh.footprint.set(word);
+        if (write)
+            fresh.dirtyWords.set(word);
+        res = {L2Outcome::LineMiss, Footprint::full(),
+               prm.hitLatency + prm.memLatency};
+    }
+
+    if (prm.useReverter && reverterUnit->isLeader(set_index))
+        reverterUnit->recordLeaderAccess(line, isMiss(res.outcome));
+
+    return res;
+}
+
+void
+FacCache::l1dEviction(LineAddr line, Footprint used,
+                      Footprint dirty_words)
+{
+    FSet &s = sets[setIndexOf(line)];
+    if (CacheLineState *frame = findFrame(s, line)) {
+        frame->footprint |= used;
+        frame->dirtyWords |= dirty_words;
+        return;
+    }
+    if (s.distillMode && s.woc.linePresent(line)) {
+        Footprint present = s.woc.wordsOf(line);
+        Footprint in_woc = dirty_words & present;
+        s.woc.markDirty(line, in_woc);
+        if (!(dirty_words == in_woc))
+            ++statsData.writebacks;
+        return;
+    }
+    if (!dirty_words.empty())
+        ++statsData.writebacks;
+}
+
+const CompressedWocSet &
+FacCache::wocOf(std::uint64_t set_index) const
+{
+    ldis_assert(set_index < setsCount);
+    return sets[set_index].woc;
+}
+
+bool
+FacCache::checkIntegrity() const
+{
+    for (unsigned i = 0; i < setsCount; ++i) {
+        const FSet &s = sets[i];
+        if (!s.woc.checkIntegrity())
+            return false;
+        if (!s.distillMode && s.woc.validEntryCount() != 0)
+            return false;
+        if (s.distillMode) {
+            for (unsigned f = locWays(); f < s.frames.size(); ++f)
+                if (s.frames[f].valid)
+                    return false;
+        }
+        for (const auto &f : s.frames)
+            if (f.valid && s.woc.linePresent(f.line))
+                return false;
+    }
+    return true;
+}
+
+} // namespace ldis

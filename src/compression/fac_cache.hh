@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Footprint-Aware Compression cache (Section 8.2): a distill cache
+ * whose WOC stores the *compressed* used words of each distilled
+ * line. Compressing only the used words lets a line occupy fewer
+ * 8B slots than it has used words, combining the capacity benefit of
+ * spatial filtering with that of value compression.
+ */
+
+#ifndef DISTILLSIM_COMPRESSION_FAC_CACHE_HH
+#define DISTILLSIM_COMPRESSION_FAC_CACHE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/l2_interface.hh"
+#include "cache/set_assoc.hh"
+#include "compression/cwoc.hh"
+#include "compression/encoder.hh"
+#include "distill/distill_cache.hh"
+#include "trace/value_model.hh"
+
+namespace ldis
+{
+
+/** FAC-specific statistics. */
+struct FacStats
+{
+    std::uint64_t wocInstalls = 0;
+    std::uint64_t wocEvictions = 0;
+    std::uint64_t mtFiltered = 0;
+    std::uint64_t slotsStored = 0; //!< total WOC slots occupied
+    std::uint64_t wordsStored = 0; //!< used words represented
+    std::uint64_t modeSwitches = 0;
+};
+
+/**
+ * The FAC cache. Reuses DistillParams: the default Figure-11
+ * configuration (FAC-4xTags) sets wocWays = 3.
+ */
+class FacCache : public SecondLevelCache
+{
+  public:
+    /**
+     * @param params distill-cache shape (FAC-4xTags: wocWays = 3)
+     * @param values data-value source for compression
+     * @param encoder compression scheme (footnote 9: FPC behaves
+     *        like the simple Table-4 encoding)
+     */
+    FacCache(const DistillParams &params, const ValueModel &values,
+             EncoderKind encoder = EncoderKind::Table4);
+
+    L2Result access(Addr addr, bool write, Addr pc,
+                    bool instr) override;
+    void l1dEviction(LineAddr line, Footprint used,
+                     Footprint dirty_words) override;
+    const L2Stats &stats() const override { return statsData; }
+    void
+    resetStats() override
+    {
+        statsData = L2Stats{};
+        extra = FacStats{};
+    }
+    std::string describe() const override;
+
+    const FacStats &facStats() const { return extra; }
+    unsigned numSets() const { return setsCount; }
+    unsigned locWays() const { return prm.totalWays - prm.wocWays; }
+    const CompressedWocSet &wocOf(std::uint64_t set_index) const;
+
+    /** Slot count a given (line, used-words) pair would occupy. */
+    unsigned slotsFor(LineAddr line, Footprint used) const;
+
+    /** Structural invariants across all sets. */
+    bool checkIntegrity() const;
+
+  private:
+    struct FSet
+    {
+        std::vector<CacheLineState> frames;
+        std::vector<std::uint8_t> order;
+        CompressedWocSet woc;
+        bool distillMode = true;
+
+        FSet(unsigned total_ways, unsigned woc_entries)
+            : frames(total_ways), order(total_ways),
+              woc(woc_entries)
+        {
+            for (unsigned i = 0; i < total_ways; ++i)
+                order[i] = static_cast<std::uint8_t>(i);
+        }
+    };
+
+    std::uint64_t setIndexOf(LineAddr line) const;
+    unsigned activeWays(const FSet &s) const;
+    CacheLineState *findFrame(FSet &s, LineAddr line);
+    void touchFrame(FSet &s, unsigned frame_idx);
+    unsigned frameIndexOf(const FSet &s, LineAddr line) const;
+    CacheLineState &installLine(FSet &s, LineAddr line, bool instr);
+    void handleLocEviction(FSet &s, const CacheLineState &victim);
+    void accountWocEvictions(const std::vector<WocEvicted> &evs);
+    void syncMode(FSet &s, std::uint64_t set_index);
+    void transition(FSet &s, bool distill);
+
+    DistillParams prm;
+    const ValueModel &values;
+    EncoderKind encoderKind;
+    unsigned setsCount;
+    std::vector<FSet> sets;
+    Random rng;
+    MedianFilter mtFilter;
+    std::unique_ptr<Reverter> reverterUnit;
+    CompulsoryTracker compulsory;
+    L2Stats statsData;
+    FacStats extra;
+    std::vector<WocEvicted> scratchEvicted;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_COMPRESSION_FAC_CACHE_HH

@@ -1,0 +1,66 @@
+#include "fpc.hh"
+
+#include "common/intmath.hh"
+
+namespace ldis
+{
+
+namespace
+{
+
+/** True iff @p v sign-extends from its low @p bits bits. */
+bool
+signExtends(std::uint32_t v, unsigned bits)
+{
+    std::int32_t s = static_cast<std::int32_t>(v);
+    std::int32_t shifted = s >> (bits - 1);
+    return shifted == 0 || shifted == -1;
+}
+
+} // namespace
+
+unsigned
+fpcEncodedBits(std::uint32_t v)
+{
+    constexpr unsigned prefix = 3;
+    if (v == 0)
+        return prefix;
+    if (signExtends(v, 4))
+        return prefix + 4;
+    if (signExtends(v, 8))
+        return prefix + 8;
+    if (signExtends(v, 16))
+        return prefix + 16;
+    if ((v >> 16) == 0)
+        return prefix + 16; // halfword padded with zeros
+    // Two sign-extended halfwords (each fits in a signed byte when
+    // interpreted as a 16-bit value).
+    auto half_fits_byte = [](std::uint32_t h) {
+        std::int16_t s = static_cast<std::int16_t>(h);
+        std::int16_t shifted = static_cast<std::int16_t>(s >> 7);
+        return shifted == 0 || shifted == -1;
+    };
+    if (half_fits_byte(v >> 16) && half_fits_byte(v & 0xffff))
+        return prefix + 16;
+    // Repeated bytes.
+    std::uint32_t b = v & 0xff;
+    if (v == (b | (b << 8) | (b << 16) | (b << 24)))
+        return prefix + 8;
+    return prefix + 32;
+}
+
+unsigned
+fpcCompressedBytes(const ValueModel &model, LineAddr line,
+                   Footprint words)
+{
+    unsigned bits = 0;
+    for (WordIdx w = 0; w < kWordsPerLine; ++w) {
+        if (!words.test(w))
+            continue;
+        bits += fpcEncodedBits(model.dword(line, 2 * w));
+        bits += fpcEncodedBits(model.dword(line, 2 * w + 1));
+    }
+    return static_cast<unsigned>(divCeil(bits, 8));
+}
+
+} // namespace ldis

@@ -1,0 +1,51 @@
+#include "branch_predictor.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+HybridBranchPredictor::HybridBranchPredictor(std::size_t entries)
+    : mask(entries - 1), gshareTable(entries), pasTable(entries),
+      localHistory(entries, 0), chooser(entries)
+{
+    if (!isPowerOf2(entries))
+        ldis_fatal("branch predictor tables must be powers of two");
+}
+
+bool
+HybridBranchPredictor::predictAndUpdate(Addr pc, bool outcome)
+{
+    ++statsData.branches;
+    std::size_t pc_idx = (pc >> 2) & mask;
+
+    std::size_t g_idx = ((pc >> 2) ^ globalHistory) & mask;
+    bool g_pred = gshareTable[g_idx].taken();
+
+    std::size_t l_idx =
+        ((pc >> 2) ^ (static_cast<std::uint64_t>(localHistory[pc_idx])
+                      << 2)) & mask;
+    bool l_pred = pasTable[l_idx].taken();
+
+    bool use_gshare = chooser[pc_idx].taken();
+    bool prediction = use_gshare ? g_pred : l_pred;
+    bool mispredicted = prediction != outcome;
+    if (mispredicted)
+        ++statsData.mispredictions;
+
+    // Update components and the chooser (toward the component that
+    // was right, if they disagreed).
+    if (g_pred != l_pred)
+        chooser[pc_idx].update(g_pred == outcome);
+    gshareTable[g_idx].update(outcome);
+    pasTable[l_idx].update(outcome);
+
+    globalHistory = ((globalHistory << 1) | (outcome ? 1 : 0)) & mask;
+    localHistory[pc_idx] = static_cast<std::uint16_t>(
+        ((localHistory[pc_idx] << 1) | (outcome ? 1 : 0)) & 0x3ff);
+
+    return mispredicted;
+}
+
+} // namespace ldis

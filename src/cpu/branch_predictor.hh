@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Branch predictor of the baseline processor (Table 1): a hybrid of
+ * a 64k-entry gshare and a 64k-entry per-address (PAs) predictor,
+ * arbitrated by a 64k-entry chooser of 2-bit counters.
+ */
+
+#ifndef DISTILLSIM_CPU_BRANCH_PREDICTOR_HH
+#define DISTILLSIM_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ldis
+{
+
+/** Saturating 2-bit counter helpers. */
+class Counter2
+{
+  public:
+    bool taken() const { return value >= 2; }
+
+    void
+    update(bool outcome)
+    {
+        if (outcome && value < 3)
+            ++value;
+        else if (!outcome && value > 0)
+            --value;
+    }
+
+  private:
+    std::uint8_t value = 2; //!< weakly taken
+};
+
+/** Predictor statistics. */
+struct BranchStats
+{
+    std::uint64_t branches = 0;
+    std::uint64_t mispredictions = 0;
+
+    double
+    missRate() const
+    {
+        return branches == 0
+            ? 0.0
+            : static_cast<double>(mispredictions)
+                  / static_cast<double>(branches);
+    }
+};
+
+/** gshare/PAs hybrid with a chooser. */
+class HybridBranchPredictor
+{
+  public:
+    /** @param entries table size for each component {64k}. */
+    explicit HybridBranchPredictor(std::size_t entries = 64 * 1024);
+
+    /**
+     * Predict and update for one branch.
+     * @return true iff the prediction was wrong
+     */
+    bool predictAndUpdate(Addr pc, bool outcome);
+
+    const BranchStats &stats() const { return statsData; }
+
+  private:
+    std::size_t mask;
+    std::uint64_t globalHistory = 0;
+
+    std::vector<Counter2> gshareTable;
+    std::vector<Counter2> pasTable;
+    std::vector<std::uint16_t> localHistory;
+    std::vector<Counter2> chooser; //!< taken() = use gshare
+
+    BranchStats statsData;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_CPU_BRANCH_PREDICTOR_HH

@@ -1,0 +1,52 @@
+#include "memory_system.hh"
+
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+MemorySystem::MemorySystem(const MemorySystemParams &params)
+    : prm(params), bankFree(params.banks, 0)
+{
+    ldis_assert(prm.banks > 0);
+    ldis_assert(prm.maxOutstanding > 0);
+}
+
+Cycle
+MemorySystem::lineFetch(LineAddr line, Cycle issue_cycle)
+{
+    ++statsData.requests;
+
+    // Retire completed requests from the in-flight window.
+    while (!inFlight.empty() && inFlight.top() <= issue_cycle)
+        inFlight.pop();
+
+    // MSHR/outstanding-request limit: wait for the oldest request to
+    // finish before a new one can issue.
+    Cycle start = issue_cycle;
+    while (inFlight.size() >= prm.maxOutstanding) {
+        Cycle drain = inFlight.top();
+        inFlight.pop();
+        if (drain > start) {
+            start = drain;
+            ++statsData.mshrStalls;
+        }
+    }
+
+    unsigned bank = static_cast<unsigned>(line % prm.banks);
+    if (bankFree[bank] > start)
+        ++statsData.bankConflicts;
+    Cycle bank_start = std::max(start, bankFree[bank]);
+    Cycle bank_done = bank_start + prm.bankLatency;
+    bankFree[bank] = bank_done;
+
+    Cycle bus_start = std::max(bank_done, busFree);
+    Cycle done = bus_start + prm.busTransfer;
+    busFree = done;
+
+    inFlight.push(done);
+    statsData.totalLatency += done - issue_cycle;
+    return done;
+}
+
+} // namespace ldis

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Off-chip timing model (Table 1): 32 DRAM banks at 400-cycle access
+ * latency with bank conflicts, at most 32 outstanding requests, and
+ * a 16B-wide split-transaction bus running at a 4:1 frequency ratio
+ * (so a 64B line transfer occupies the bus for 4 bus cycles = 16 CPU
+ * cycles).
+ */
+
+#ifndef DISTILLSIM_CPU_MEMORY_SYSTEM_HH
+#define DISTILLSIM_CPU_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ldis
+{
+
+/** Memory-system configuration (Table 1 defaults). */
+struct MemorySystemParams
+{
+    unsigned banks = 32;
+    Cycle bankLatency = 400;
+    unsigned maxOutstanding = 32;
+
+    /** CPU cycles to move one line over the 16B bus at 4:1. */
+    Cycle busTransfer = (kLineBytes / 16) * 4;
+};
+
+/** Memory-system statistics. */
+struct MemorySystemStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t bankConflicts = 0;
+    std::uint64_t mshrStalls = 0;
+    Cycle totalLatency = 0;
+
+    double
+    avgLatency() const
+    {
+        return requests == 0
+            ? 0.0
+            : static_cast<double>(totalLatency)
+                  / static_cast<double>(requests);
+    }
+};
+
+/** Event-free analytic timing of the DRAM + bus path. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemorySystemParams &params = {});
+
+    /**
+     * Schedule a line fetch issued at @p issue_cycle.
+     * @return the cycle the line's data is available at the L2
+     */
+    Cycle lineFetch(LineAddr line, Cycle issue_cycle);
+
+    const MemorySystemStats &stats() const { return statsData; }
+
+  private:
+    MemorySystemParams prm;
+    std::vector<Cycle> bankFree;
+    Cycle busFree = 0;
+
+    /** Completion cycles of in-flight requests (MSHR occupancy). */
+    std::priority_queue<Cycle, std::vector<Cycle>,
+                        std::greater<Cycle>> inFlight;
+
+    MemorySystemStats statsData;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_CPU_MEMORY_SYSTEM_HH

@@ -1,0 +1,224 @@
+#include "ooo_core.hh"
+
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+namespace
+{
+
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Synthetic branch PCs live in their own address range. */
+constexpr Addr kBranchPcBase = 0x4000000;
+
+/** Loads remembered for address-dependence tracking. */
+constexpr unsigned kLoadRingSize = 16;
+
+} // namespace
+
+OooCore::OooCore(const CpuParams &params, Workload &wl,
+                 SecondLevelCache &l2_cache,
+                 const HierarchyParams &hier)
+    : prm(params), workload(wl), l2(l2_cache),
+      l1d(hier.l1d, l2_cache, params.l1HitLatency),
+      l1i(hier.l1i, l2_cache, 1),
+      walker(wl.codeModel(), 0x9876543),
+      memory(params.memory), rng(0xb0a710ad),
+      retireRing(params.window, 0), loadRing(kLoadRingSize, 0),
+      branchCount(params.branchPcPool, 0), recentLines(32, 0)
+{
+    ldis_assert(prm.width >= 1);
+    ldis_assert(prm.window >= 1);
+}
+
+Cycle
+OooCore::dispatchNext()
+{
+    if (fetchCycle < fetchStallUntil) {
+        fetchCycle = fetchStallUntil;
+        fetchedThisCycle = 0;
+    }
+    if (fetchedThisCycle >= prm.width) {
+        ++fetchCycle;
+        fetchedThisCycle = 0;
+    }
+    ++fetchedThisCycle;
+
+    // Window constraint: this instruction reuses the slot of the
+    // instruction `window` earlier, which must have retired.
+    Cycle window_free = retireRing[seq % prm.window];
+    ++seq;
+    return std::max(fetchCycle, window_free);
+}
+
+void
+OooCore::retire(Cycle completion)
+{
+    lastRetire = std::max(lastRetire, completion);
+    retireRing[(seq - 1) % prm.window] = lastRetire;
+    ++statsData.instructions;
+}
+
+bool
+OooCore::branchMispredicts()
+{
+    // Pick a branch PC from a bounded pool and synthesize a
+    // predictable-but-imperfect outcome: a mix of strongly biased,
+    // moderately biased and periodic branches, so the hybrid
+    // predictor has realistic work to do.
+    std::uint64_t h = rng.next();
+    unsigned slot = static_cast<unsigned>(h % prm.branchPcPool);
+    Addr pc = kBranchPcBase + slot * 4;
+    std::uint64_t pc_hash = mix(pc);
+
+    bool outcome;
+    switch (pc_hash % 8) {
+      case 0:
+      case 1:
+      case 2:
+        // Strongly biased (loop back-edges and error checks).
+        outcome = rng.chance(0.98);
+        break;
+      case 3:
+      case 4:
+        outcome = !rng.chance(0.96);
+        break;
+      case 5:
+      case 6: {
+        // Short periodic pattern: the PAs side learns it.
+        std::uint32_t period = 2 + static_cast<std::uint32_t>(
+            pc_hash / 7 % 6);
+        outcome = (branchCount[slot] % period) != 0;
+        break;
+      }
+      default:
+        // Data-dependent branch: hard for any predictor.
+        outcome = rng.chance(0.70);
+        break;
+    }
+    ++branchCount[slot];
+    return bpred.predictAndUpdate(pc, outcome);
+}
+
+void
+OooCore::runOp(bool is_branch)
+{
+    Cycle dispatch = dispatchNext();
+    Cycle complete = dispatch + prm.opLatency;
+    if (is_branch && branchMispredicts()) {
+        // Flush: fetch resumes after the branch resolves plus the
+        // minimum redirect penalty.
+        fetchStallUntil = std::max(fetchStallUntil,
+                                   complete + prm.mispredictPenalty);
+        // Footnote 8: loads issued down the wrong path before the
+        // flush touch words of recently used lines. They are
+        // squashed (no timing effect) but their footprint pollution
+        // is real: the LOC will see words the correct path never
+        // needed.
+        for (unsigned i = 0; i < prm.wrongPathAccesses; ++i) {
+            LineAddr line = recentLines[rng.below(
+                recentLines.size())];
+            if (line == 0)
+                continue;
+            WordIdx w = static_cast<WordIdx>(rng.below(
+                kWordsPerLine));
+            l1d.access(lineBaseOf(line) + w * kWordBytes, false, 0);
+            ++statsData.wrongPathLoads;
+        }
+    }
+    retire(complete);
+}
+
+void
+OooCore::runAccess(const Access &a)
+{
+    Cycle dispatch = dispatchNext();
+
+    // Address-generation dependence: a chasing load cannot issue
+    // before the load it depends on returns its data.
+    Cycle addr_ready = dispatch;
+    if (a.depDist > 0 && a.depDist <= kLoadRingSize &&
+        loadSeq >= a.depDist) {
+        Cycle dep = loadRing[(loadSeq - a.depDist) % kLoadRingSize];
+        addr_ready = std::max(addr_ready, dep);
+    }
+
+    if (a.write) {
+        // Stores drain through the store buffer off the critical
+        // path; the functional access keeps cache state correct.
+        ++statsData.stores;
+        l1d.access(a.addr, true, a.pc);
+        retire(dispatch + prm.opLatency);
+        return;
+    }
+
+    ++statsData.loads;
+    recentLines[recentPos++ % recentLines.size()] =
+        lineAddrOf(a.addr);
+    Cycle issue = addr_ready;
+    L1DResult res = l1d.access(a.addr, false, a.pc);
+
+    Cycle complete;
+    if (res.l1Hit) {
+        complete = issue + prm.l1HitLatency;
+    } else if (!isMiss(res.l2.outcome)) {
+        complete = issue + prm.l1HitLatency + res.l2.latency;
+    } else {
+        // L2 miss: replace the functional model's static memory
+        // latency with the dynamic DRAM + bus timing.
+        Cycle lookup = res.l2.latency >= prm.staticMemLatency
+                     ? res.l2.latency - prm.staticMemLatency
+                     : res.l2.latency;
+        Cycle mem_issue = issue + prm.l1HitLatency + lookup;
+        complete = memory.lineFetch(lineAddrOf(a.addr), mem_issue);
+    }
+
+    loadRing[loadSeq % kLoadRingSize] = complete;
+    ++loadSeq;
+    retire(complete);
+}
+
+void
+OooCore::run(InstCount instructions)
+{
+    InstCount target = statsData.instructions + instructions;
+    while (statsData.instructions < target) {
+        Access a = workload.next();
+
+        // Instruction fetch for this record's ops; an I-miss stalls
+        // the front end.
+        walker.advance(a.instructions(), [this](Addr line_pc) {
+            Cycle lat = l1i.fetchLine(line_pc);
+            if (lat > 1) {
+                fetchStallUntil = std::max(fetchStallUntil,
+                                           fetchCycle + lat);
+            }
+        });
+
+        std::uint32_t branches = std::min(a.branches, a.nonMemOps);
+        for (std::uint32_t i = 0; i < a.nonMemOps; ++i)
+            runOp(i < branches);
+        runAccess(a);
+    }
+    statsData.cycles = std::max(lastRetire, fetchCycle);
+}
+
+double
+OooCore::mpki() const
+{
+    if (statsData.instructions == 0)
+        return 0.0;
+    return static_cast<double>(l2.stats().misses())
+         / (static_cast<double>(statsData.instructions) / 1000.0);
+}
+
+} // namespace ldis

@@ -1,0 +1,386 @@
+#include "distill_cache.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+DistillCache::DistillCache(const DistillParams &params)
+    : prm(params), rng(params.seed),
+      mtFilter(params.fixedThreshold != 0
+                   ? std::numeric_limits<std::uint64_t>::max()
+                   : params.medianEpoch,
+               params.fixedThreshold != 0 ? params.fixedThreshold
+                                          : kWordsPerLine)
+{
+    if (prm.wocWays == 0 || prm.wocWays >= prm.totalWays)
+        ldis_fatal("distill cache: wocWays (%u) must be in "
+                   "[1, totalWays)", prm.wocWays);
+    std::uint64_t lines = prm.bytes / kLineBytes;
+    if (lines % prm.totalWays != 0)
+        ldis_fatal("distill cache: capacity does not divide into "
+                   "%u ways", prm.totalWays);
+    std::uint64_t num_sets = lines / prm.totalWays;
+    if (!isPowerOf2(num_sets))
+        ldis_fatal("distill cache: set count must be a power of two");
+    setsCount = static_cast<unsigned>(num_sets);
+
+    unsigned woc_entries = prm.wocWays * kWordsPerLine;
+    sets.reserve(setsCount);
+    for (unsigned i = 0; i < setsCount; ++i)
+        sets.emplace_back(prm.totalWays, woc_entries,
+                          prm.wocVictim);
+
+    if (prm.useReverter) {
+        CacheGeometry atd_geom;
+        atd_geom.bytes = prm.bytes;
+        atd_geom.ways = prm.totalWays;
+        atd_geom.lineBytes = kLineBytes;
+        reverterUnit =
+            std::make_unique<Reverter>(atd_geom, prm.reverter);
+    }
+}
+
+std::string
+DistillCache::describe() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "distill %lluKB %u-way (LOC %u + WOC %u)%s%s",
+                  static_cast<unsigned long long>(prm.bytes / 1024),
+                  prm.totalWays, locWays(), prm.wocWays,
+                  prm.medianThreshold ? " +MT" : "",
+                  prm.useReverter ? " +RC" : "");
+    return buf;
+}
+
+std::uint64_t
+DistillCache::setIndexOf(LineAddr line) const
+{
+    return line & (setsCount - 1);
+}
+
+DistillCache::DSet &
+DistillCache::setOf(LineAddr line)
+{
+    return sets[setIndexOf(line)];
+}
+
+unsigned
+DistillCache::activeWays(const DSet &s) const
+{
+    return s.distillMode ? locWays() : prm.totalWays;
+}
+
+CacheLineState *
+DistillCache::findFrame(DSet &s, LineAddr line)
+{
+    for (auto &f : s.frames)
+        if (f.valid && f.line == line)
+            return &f;
+    return nullptr;
+}
+
+unsigned
+DistillCache::frameIndexOf(const DSet &s, LineAddr line) const
+{
+    for (unsigned i = 0; i < s.frames.size(); ++i)
+        if (s.frames[i].valid && s.frames[i].line == line)
+            return i;
+    ldis_panic("frameIndexOf: line not resident");
+}
+
+void
+DistillCache::touchFrame(DSet &s, unsigned frame_idx)
+{
+    auto it = std::find(s.order.begin(), s.order.end(),
+                        static_cast<std::uint8_t>(frame_idx));
+    ldis_assert(it != s.order.end());
+    s.order.erase(it);
+    s.order.insert(s.order.begin(),
+                   static_cast<std::uint8_t>(frame_idx));
+}
+
+void
+DistillCache::accountWocEvictions(const std::vector<WocEvicted> &evs)
+{
+    for (const WocEvicted &ev : evs) {
+        ++extra.wocEvictions;
+        if (!ev.dirty.empty())
+            ++statsData.writebacks;
+    }
+}
+
+void
+DistillCache::handleLocEviction(DSet &s, const CacheLineState &victim)
+{
+    ldis_assert(victim.valid);
+    ++statsData.evictions;
+
+    // Instruction lines are never distilled (Section 4); neither is
+    // anything when the set operates traditionally.
+    bool distillable = s.distillMode && !victim.instr;
+    if (!distillable) {
+        if (!victim.dirtyWords.empty() || victim.dirty)
+            ++statsData.writebacks;
+        return;
+    }
+
+    Footprint used = victim.footprint;
+    // The demand word is set at install, so the footprint is never
+    // empty for a line that entered through access(); be defensive
+    // about lines merged in other ways.
+    if (used.empty()) {
+        if (!victim.dirtyWords.empty())
+            ++statsData.writebacks;
+        return;
+    }
+
+    unsigned count = used.count();
+    mtFilter.recordEviction(count);
+    if (prm.medianThreshold && !mtFilter.shouldInstall(count)) {
+        ++extra.mtFiltered;
+        if (!victim.dirtyWords.empty())
+            ++statsData.writebacks;
+        return;
+    }
+
+    scratchEvicted.clear();
+    s.woc.install(victim.line, used, victim.dirtyWords, rng,
+                  scratchEvicted);
+    accountWocEvictions(scratchEvicted);
+    ++extra.wocInstalls;
+    extra.wordsRetained += count;
+    extra.wordsDiscarded += kWordsPerLine - count;
+}
+
+CacheLineState &
+DistillCache::installLine(DSet &s, LineAddr line, bool instr)
+{
+    unsigned active = activeWays(s);
+
+    // Prefer an invalid active frame.
+    int victim_frame = -1;
+    for (unsigned i = 0; i < active; ++i) {
+        if (!s.frames[i].valid) {
+            victim_frame = static_cast<int>(i);
+            break;
+        }
+    }
+    if (victim_frame < 0) {
+        // LRU among active frames: scan the order list from the LRU
+        // end for the first active frame.
+        for (auto it = s.order.rbegin(); it != s.order.rend(); ++it) {
+            if (*it < active) {
+                victim_frame = *it;
+                break;
+            }
+        }
+        ldis_assert(victim_frame >= 0);
+        handleLocEviction(s, s.frames[victim_frame]);
+    }
+
+    CacheLineState fresh;
+    fresh.line = line;
+    fresh.valid = true;
+    fresh.instr = instr;
+    s.frames[victim_frame] = fresh;
+    touchFrame(s, static_cast<unsigned>(victim_frame));
+    return s.frames[victim_frame];
+}
+
+void
+DistillCache::transition(DSet &s, bool distill)
+{
+    if (s.distillMode == distill)
+        return;
+    ++extra.modeSwitches;
+    if (!distill) {
+        // Distill -> traditional: drop the WOC content (writing back
+        // dirty words); the extra line frames start invalid.
+        scratchEvicted.clear();
+        s.woc.flush(scratchEvicted);
+        accountWocEvictions(scratchEvicted);
+        s.distillMode = false;
+    } else {
+        // Traditional -> distill: lines in the extension frames are
+        // squeezed out through the normal distillation path.
+        s.distillMode = true;
+        for (unsigned i = locWays(); i < s.frames.size(); ++i) {
+            if (s.frames[i].valid) {
+                handleLocEviction(s, s.frames[i]);
+                s.frames[i] = CacheLineState{};
+            }
+        }
+    }
+}
+
+void
+DistillCache::syncMode(DSet &s, std::uint64_t set_index)
+{
+    if (!prm.useReverter)
+        return;
+    bool desired = reverterUnit->isLeader(set_index)
+                 ? true
+                 : reverterUnit->ldisEnabled();
+    transition(s, desired);
+}
+
+L2Result
+DistillCache::access(Addr addr, bool write, Addr /*pc*/, bool instr)
+{
+    ++statsData.accesses;
+    LineAddr line = lineAddrOf(addr);
+    WordIdx word = wordIdxOf(addr);
+    std::uint64_t set_index = setIndexOf(line);
+    DSet &s = sets[set_index];
+    syncMode(s, set_index);
+
+    L2Result res;
+
+    if (CacheLineState *frame = findFrame(s, line)) {
+        // LOC hit (or traditional-mode hit).
+        frame->footprint.set(word);
+        if (write)
+            frame->dirtyWords.set(word);
+        touchFrame(s, frameIndexOf(s, line));
+        ++statsData.locHits;
+        res = {L2Outcome::LocHit, Footprint::full(), prm.hitLatency};
+        if (frame->prefetched) {
+            frame->prefetched = false;
+            res.promotedPrefetch = true;
+        }
+    } else if (s.distillMode && s.woc.linePresent(line)) {
+        Footprint present = s.woc.wordsOf(line);
+        if (present.test(word)) {
+            // WOC hit: deliver the resident words (plus their valid
+            // bits) after the rearrangement delay.
+            if (write)
+                s.woc.markDirty(line, Footprint(
+                    static_cast<std::uint8_t>(1u << word)));
+            ++statsData.wocHits;
+            res = {L2Outcome::WocHit, present,
+                   prm.hitLatency + prm.wocRearrange};
+        } else {
+            // Hole miss: invalidate the WOC words (preserving dirty
+            // data), fetch the full line from memory into the LOC.
+            WocEvicted ev = s.woc.invalidateLine(line);
+            ++statsData.holeMisses;
+            CacheLineState &fresh = installLine(s, line, instr);
+            fresh.footprint.set(word);
+            // Dirty words from the WOC copy merge into the fresh
+            // line; they stay marked used so a later distillation
+            // cannot silently drop them.
+            fresh.dirtyWords = ev.dirty;
+            fresh.footprint |= ev.dirty;
+            if (write)
+                fresh.dirtyWords.set(word);
+            res = {L2Outcome::HoleMiss, Footprint::full(),
+                   prm.hitLatency + prm.memLatency};
+        }
+    } else {
+        // Line miss.
+        if (compulsory.firstTouch(line))
+            ++statsData.compulsoryMisses;
+        ++statsData.lineMisses;
+        CacheLineState &fresh = installLine(s, line, instr);
+        fresh.footprint.set(word);
+        if (write)
+            fresh.dirtyWords.set(word);
+        res = {L2Outcome::LineMiss, Footprint::full(),
+               prm.hitLatency + prm.memLatency};
+    }
+
+    if (prm.useReverter && reverterUnit->isLeader(set_index))
+        reverterUnit->recordLeaderAccess(line, isMiss(res.outcome));
+
+    return res;
+}
+
+bool
+DistillCache::prefetch(LineAddr line)
+{
+    std::uint64_t set_index = setIndexOf(line);
+    DSet &s = sets[set_index];
+    syncMode(s, set_index);
+    if (findFrame(s, line))
+        return false;
+    if (s.distillMode && s.woc.linePresent(line))
+        return false;
+    // Install into the LOC with an empty footprint: if nothing
+    // touches the line before eviction there is nothing to distill
+    // and the line is silently discarded. The reverter's ATD does
+    // not observe prefetches (they are not demand traffic).
+    installLine(s, line, false).prefetched = true;
+    return true;
+}
+
+void
+DistillCache::l1dEviction(LineAddr line, Footprint used,
+                          Footprint dirty_words)
+{
+    DSet &s = setOf(line);
+    if (CacheLineState *frame = findFrame(s, line)) {
+        frame->footprint |= used;
+        frame->dirtyWords |= dirty_words;
+        return;
+    }
+    if (s.distillMode && s.woc.linePresent(line)) {
+        Footprint present = s.woc.wordsOf(line);
+        Footprint in_woc = dirty_words & present;
+        s.woc.markDirty(line, in_woc);
+        // Dirty words whose WOC slots were filtered away go straight
+        // to memory.
+        if (!(dirty_words == in_woc))
+            ++statsData.writebacks;
+        return;
+    }
+    // Non-inclusive: the line left the L2 entirely.
+    if (!dirty_words.empty())
+        ++statsData.writebacks;
+}
+
+const WocSet &
+DistillCache::wocOf(std::uint64_t set_index) const
+{
+    ldis_assert(set_index < setsCount);
+    return sets[set_index].woc;
+}
+
+bool
+DistillCache::setInDistillMode(std::uint64_t set_index) const
+{
+    ldis_assert(set_index < setsCount);
+    return sets[set_index].distillMode;
+}
+
+bool
+DistillCache::checkIntegrity() const
+{
+    for (unsigned i = 0; i < setsCount; ++i) {
+        const DSet &s = sets[i];
+        if (!s.woc.checkIntegrity())
+            return false;
+        // Traditional-mode sets must have empty WOCs.
+        if (!s.distillMode && s.woc.validEntryCount() != 0)
+            return false;
+        // Distill-mode sets must not use the extension frames.
+        if (s.distillMode) {
+            for (unsigned f = locWays(); f < s.frames.size(); ++f)
+                if (s.frames[f].valid)
+                    return false;
+        }
+        // No line in both a frame and the WOC.
+        for (const auto &f : s.frames)
+            if (f.valid && s.woc.linePresent(f.line))
+                return false;
+    }
+    return true;
+}
+
+} // namespace ldis

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The Distill Cache (Sections 4 and 5): a set-associative L2 whose
+ * sets are split into a Line-Organized Cache (LOC, 6 of 8 ways in the
+ * default configuration) and a Word-Organized Cache (WOC, the
+ * remaining ways, tagged at word granularity).
+ *
+ * Lines from memory are installed in the LOC, which tracks a
+ * footprint per line (demand words plus footprints drained from the
+ * L1D). On LOC eviction the used words are *distilled* into the WOC
+ * and the unused words are discarded. Accesses can end four ways:
+ * LOC-hit, WOC-hit, hole-miss (line present in WOC, word absent) and
+ * line-miss.
+ *
+ * Optional mechanisms: median-threshold filtering (Section 5.4) and
+ * the reverter circuit (Section 5.5). With the reverter, follower
+ * sets fall back to a traditional 8-way organization whenever the
+ * distilled configuration is losing to the sampled traditional one.
+ */
+
+#ifndef DISTILLSIM_DISTILL_DISTILL_CACHE_HH
+#define DISTILLSIM_DISTILL_DISTILL_CACHE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/l2_interface.hh"
+#include "cache/set_assoc.hh"
+#include "cache/traditional_l2.hh"
+#include "common/random.hh"
+#include "distill/median_filter.hh"
+#include "distill/reverter.hh"
+#include "distill/woc.hh"
+
+namespace ldis
+{
+
+/** Distill-cache configuration (paper defaults in braces). */
+struct DistillParams
+{
+    /** Total capacity {1MB}. */
+    std::uint64_t bytes = 1 << 20;
+
+    /** Total ways per set {8}. */
+    unsigned totalWays = 8;
+
+    /** Ways devoted to the WOC {2}; the rest form the LOC. */
+    unsigned wocWays = 2;
+
+    /** Enable median-threshold filtering (LDIS-MT). */
+    bool medianThreshold = false;
+
+    /** Recompute period of the MT filter {4096 LOC evictions}. */
+    std::uint64_t medianEpoch = 4096;
+
+    /**
+     * If nonzero, use this fixed distillation threshold K instead of
+     * the adaptive median (requires medianThreshold = true). Used by
+     * the threshold ablation study, not by any paper configuration.
+     */
+    unsigned fixedThreshold = 0;
+
+    /** Enable the reverter circuit (LDIS-MT-RC). */
+    bool useReverter = false;
+
+    ReverterParams reverter{};
+
+    /** RNG seed for WOC victim selection. */
+    std::uint64_t seed = 21;
+
+    /** WOC victim policy {random, per footnote 4}. */
+    WocVictim wocVictim = WocVictim::Random;
+
+    /**
+     * Latencies: the distill cache pays one extra tag cycle over the
+     * baseline's 15 (Section 7.5.2) and two extra cycles on WOC hits
+     * to rearrange words (Section 7.4).
+     */
+    Cycle hitLatency = 16;
+    Cycle wocRearrange = 2;
+    Cycle memLatency = 400;
+};
+
+/** Distill-specific statistics beyond the common L2Stats. */
+struct DistillStats
+{
+    std::uint64_t wocInstalls = 0;    //!< lines distilled into WOC
+    std::uint64_t wocEvictions = 0;   //!< lines evicted from WOC
+    std::uint64_t mtFiltered = 0;     //!< evictions skipped by MT
+    std::uint64_t wordsDiscarded = 0; //!< unused words filtered out
+    std::uint64_t wordsRetained = 0;  //!< used words kept in WOC
+    std::uint64_t modeSwitches = 0;   //!< reverter set transitions
+};
+
+/** The distill cache. */
+class DistillCache : public SecondLevelCache
+{
+  public:
+    explicit DistillCache(const DistillParams &params);
+
+    L2Result access(Addr addr, bool write, Addr pc,
+                    bool instr) override;
+    void l1dEviction(LineAddr line, Footprint used,
+                     Footprint dirty_words) override;
+    const L2Stats &stats() const override { return statsData; }
+    void
+    resetStats() override
+    {
+        statsData = L2Stats{};
+        extra = DistillStats{};
+    }
+    std::string describe() const override;
+    bool prefetch(LineAddr line) override;
+
+    const DistillStats &distillStats() const { return extra; }
+
+    unsigned numSets() const { return setsCount; }
+    unsigned locWays() const { return prm.totalWays - prm.wocWays; }
+
+    /** Reverter (nullptr unless configured). */
+    const Reverter *reverter() const { return reverterUnit.get(); }
+
+    /** MT filter (always present; consulted only if enabled). */
+    const MedianFilter &medianFilter() const { return mtFilter; }
+
+    /** WOC of one set (tests / integrity checks). */
+    const WocSet &wocOf(std::uint64_t set_index) const;
+
+    /** True iff @p set_index currently operates in distill mode. */
+    bool setInDistillMode(std::uint64_t set_index) const;
+
+    /**
+     * Verify cross-structure invariants on every set: WOC integrity,
+     * no line resident in both LOC and WOC, traditional-mode sets
+     * have empty WOCs.
+     */
+    bool checkIntegrity() const;
+
+  private:
+    struct DSet
+    {
+        /** Line frames: [0, locWays) = LOC, rest = traditional
+         *  extension used only when LDIS is disabled. */
+        std::vector<CacheLineState> frames;
+
+        /** Frame indices ordered MRU (front) to LRU (back). */
+        std::vector<std::uint8_t> order;
+
+        WocSet woc;
+
+        /** Operating mode; leaders are always true. */
+        bool distillMode = true;
+
+        DSet(unsigned total_ways, unsigned woc_entries,
+             WocVictim policy)
+            : frames(total_ways), order(total_ways),
+              woc(woc_entries, policy)
+        {
+            for (unsigned i = 0; i < total_ways; ++i)
+                order[i] = static_cast<std::uint8_t>(i);
+        }
+    };
+
+    std::uint64_t setIndexOf(LineAddr line) const;
+    DSet &setOf(LineAddr line);
+
+    /** Number of line frames usable in the set's current mode. */
+    unsigned activeWays(const DSet &s) const;
+
+    /** Frame of @p line, or nullptr. */
+    CacheLineState *findFrame(DSet &s, LineAddr line);
+
+    /** Promote @p frame_idx to MRU. */
+    void touchFrame(DSet &s, unsigned frame_idx);
+
+    /** Index of @p line's frame; panics if absent. */
+    unsigned frameIndexOf(const DSet &s, LineAddr line) const;
+
+    /**
+     * Install @p line into a line frame, evicting (and possibly
+     * distilling) a victim. Returns the fresh frame.
+     */
+    CacheLineState &installLine(DSet &s, LineAddr line, bool instr);
+
+    /** Handle a line evicted from the LOC (distill or write back). */
+    void handleLocEviction(DSet &s, const CacheLineState &victim);
+
+    /** Account a WOC eviction list (writebacks, stats). */
+    void accountWocEvictions(const std::vector<WocEvicted> &evs);
+
+    /** Lazily align the set's mode with the reverter decision. */
+    void syncMode(DSet &s, std::uint64_t set_index);
+
+    /** Switch @p s to @p distill mode, migrating contents. */
+    void transition(DSet &s, bool distill);
+
+    DistillParams prm;
+    unsigned setsCount;
+    std::vector<DSet> sets;
+    Random rng;
+    MedianFilter mtFilter;
+    std::unique_ptr<Reverter> reverterUnit;
+    CompulsoryTracker compulsory;
+    L2Stats statsData;
+    DistillStats extra;
+    std::vector<WocEvicted> scratchEvicted;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_DISTILL_DISTILL_CACHE_HH

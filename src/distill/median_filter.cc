@@ -1,0 +1,50 @@
+#include "median_filter.hh"
+
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+MedianFilter::MedianFilter(std::uint64_t epoch_evictions,
+                           unsigned initial_threshold)
+    : epochLen(epoch_evictions), threshold(initial_threshold)
+{
+    ldis_assert(epochLen > 0);
+    ldis_assert(initial_threshold >= 1 &&
+                initial_threshold <= kWordsPerLine);
+}
+
+void
+MedianFilter::recordEviction(unsigned words_used)
+{
+    ldis_assert(words_used >= 1 && words_used <= kWordsPerLine);
+    ++counters[words_used];
+    ++evictionSum;
+    if (evictionSum >= epochLen)
+        recomputeMedian();
+}
+
+void
+MedianFilter::recomputeMedian()
+{
+    // "The median is calculated by adding the counts starting from
+    // the first counter ... until one-half of the value of the
+    // eviction-sum is reached." (Section 5.4)
+    std::uint64_t half = evictionSum / 2;
+    std::uint64_t running = 0;
+    unsigned median = kWordsPerLine;
+    for (unsigned k = 1; k <= kWordsPerLine; ++k) {
+        running += counters[k];
+        if (running >= half) {
+            median = k;
+            break;
+        }
+    }
+    threshold = median;
+
+    // Start a fresh epoch so the threshold adapts to phase changes.
+    counters.fill(0);
+    evictionSum = 0;
+}
+
+} // namespace ldis

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Median-threshold (MT) filtering, Section 5.4. Eight counters track
+ * how many LOC evictions had 1..8 words used; an eviction-sum counter
+ * tracks the total. Every 4k LOC evictions the median used-word count
+ * is recomputed, and lines whose used-word count exceeds the median
+ * are not installed in the WOC.
+ */
+
+#ifndef DISTILLSIM_DISTILL_MEDIAN_FILTER_HH
+#define DISTILLSIM_DISTILL_MEDIAN_FILTER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ldis
+{
+
+/** Running median-of-used-words estimator with epoch recomputation. */
+class MedianFilter
+{
+  public:
+    /**
+     * @param epoch_evictions recompute period (4096 in the paper)
+     * @param initial_threshold threshold before the first epoch
+     *        completes (8 = install everything, i.e. LDIS-Base
+     *        behaviour until enough evictions are observed)
+     */
+    explicit MedianFilter(std::uint64_t epoch_evictions = 4096,
+                          unsigned initial_threshold = kWordsPerLine);
+
+    /**
+     * Record one LOC eviction with @p words_used words (1..8) and
+     * recompute the median at epoch boundaries.
+     */
+    void recordEviction(unsigned words_used);
+
+    /**
+     * Filtering decision: install iff the used-word count does not
+     * exceed the current median threshold.
+     */
+    bool
+    shouldInstall(unsigned words_used) const
+    {
+        return words_used <= threshold;
+    }
+
+    /** Current distillation threshold K. */
+    unsigned currentThreshold() const { return threshold; }
+
+    /** Evictions observed in the current epoch. */
+    std::uint64_t epochEvictions() const { return evictionSum; }
+
+  private:
+    void recomputeMedian();
+
+    std::uint64_t epochLen;
+    unsigned threshold;
+
+    /** counters[k] = evictions with k words used; index 0 unused. */
+    std::array<std::uint64_t, kWordsPerLine + 1> counters{};
+    std::uint64_t evictionSum = 0;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_DISTILL_MEDIAN_FILTER_HH

@@ -1,0 +1,56 @@
+#include "overhead.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+OverheadBreakdown
+computeOverhead(const OverheadParams &p)
+{
+    ldis_assert(p.wocWays >= 1 && p.wocWays < p.totalWays);
+    ldis_assert(isPowerOf2(p.lineBytes));
+    ldis_assert(isPowerOf2(p.wordsPerLine));
+
+    OverheadBreakdown b;
+
+    std::uint64_t lines = p.cacheBytes / p.lineBytes;
+    std::uint64_t num_sets = lines / p.totalWays;
+    ldis_assert(isPowerOf2(num_sets));
+
+    unsigned offset_bits = floorLog2(p.lineBytes);
+    unsigned set_bits = floorLog2(num_sets);
+    unsigned tag_bits = p.physAddrBits - offset_bits - set_bits;
+    unsigned word_id_bits = floorLog2(p.wordsPerLine);
+
+    // WOC tag entry: valid + dirty + head + tag + word-id.
+    b.wocEntryBits = 3 + tag_bits + word_id_bits;
+    b.wocEntries = num_sets * p.wocWays * p.wordsPerLine;
+    b.wocTagBytes = b.wocEntries * b.wocEntryBits / 8;
+
+    // Footprint bits: one per word, on every tag entry of the cache
+    // (the paper counts all 1MB/64B = 16k entries).
+    b.locEntries = lines;
+    b.locFootprintBytes = b.locEntries * p.wordsPerLine / 8;
+
+    b.l1dLines = p.l1dBytes / p.lineBytes;
+    b.l1dFootprintBytes = b.l1dLines * p.wordsPerLine / 8;
+
+    b.mtBytes = static_cast<std::uint64_t>(p.mtCounters)
+              * p.mtCounterBytes;
+
+    b.atdBytes = static_cast<std::uint64_t>(p.leaderSets)
+               * p.totalWays * p.atdEntryBytes;
+
+    b.totalBytes = b.wocTagBytes + b.locFootprintBytes
+                 + b.l1dFootprintBytes + b.mtBytes + b.atdBytes;
+
+    b.baselineAreaBytes =
+        p.cacheBytes + lines * p.baselineTagEntryBytes;
+    b.percentIncrease = 100.0 * static_cast<double>(b.totalBytes)
+                      / static_cast<double>(b.baselineAreaBytes);
+    return b;
+}
+
+} // namespace ldis

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Analytic storage-overhead model of the distill cache (Table 3).
+ * Reproduces the paper's arithmetic: WOC tag entries (valid + dirty +
+ * head + tag + word-id), LOC and L1D footprint bits, the MT filter
+ * counters, and the reverter's ATD. The paper scales the word size
+ * with the line size (always 8 words per line), which is why the
+ * relative overhead shrinks for 128B and 256B lines (12.2% -> 7% ->
+ * 4%).
+ */
+
+#ifndef DISTILLSIM_DISTILL_OVERHEAD_HH
+#define DISTILLSIM_DISTILL_OVERHEAD_HH
+
+#include <cstdint>
+
+namespace ldis
+{
+
+/** Inputs of the overhead model (paper defaults in braces). */
+struct OverheadParams
+{
+    std::uint64_t cacheBytes = 1 << 20; //!< {1MB}
+    unsigned totalWays = 8;             //!< {8}
+    unsigned wocWays = 2;               //!< {2}
+    unsigned lineBytes = 64;            //!< {64B}
+    unsigned wordsPerLine = 8;          //!< {8; word = line/8}
+    unsigned physAddrBits = 40;         //!< {40-bit physical space}
+    std::uint64_t l1dBytes = 16 * 1024; //!< {16kB}
+    unsigned mtCounters = 9;            //!< {8 buckets + sum}
+    unsigned mtCounterBytes = 2;        //!< {2B each}
+    unsigned leaderSets = 32;           //!< {32}
+    unsigned atdEntryBytes = 4;         //!< {4B per ATD entry}
+    unsigned baselineTagEntryBytes = 4; //!< {64kB tags / 16k lines}
+};
+
+/** Per-component storage breakdown, all in bytes unless noted. */
+struct OverheadBreakdown
+{
+    unsigned wocEntryBits = 0;    //!< bits per WOC tag entry
+    std::uint64_t wocEntries = 0; //!< total WOC tag entries
+    std::uint64_t wocTagBytes = 0;
+
+    std::uint64_t locEntries = 0; //!< tag entries carrying footprints
+    std::uint64_t locFootprintBytes = 0;
+
+    std::uint64_t l1dLines = 0;
+    std::uint64_t l1dFootprintBytes = 0;
+
+    std::uint64_t mtBytes = 0;
+    std::uint64_t atdBytes = 0;
+
+    std::uint64_t totalBytes = 0;
+
+    std::uint64_t baselineAreaBytes = 0; //!< data + baseline tags
+    double percentIncrease = 0.0;        //!< total / baseline area
+};
+
+/** Evaluate the Table-3 model for @p params. */
+OverheadBreakdown computeOverhead(const OverheadParams &params);
+
+} // namespace ldis
+
+#endif // DISTILLSIM_DISTILL_OVERHEAD_HH

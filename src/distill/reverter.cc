@@ -1,0 +1,75 @@
+#include "reverter.hh"
+
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+Reverter::Reverter(const CacheGeometry &geom,
+                   const ReverterParams &p)
+    : params(p), atd(geom),
+      pselValue((p.pselMax + 1) / 2), enabled(true)
+{
+    if (params.leaderSets == 0 ||
+        params.leaderSets > atd.numSets()) {
+        ldis_fatal("reverter: %u leader sets for a %u-set cache",
+                   params.leaderSets, atd.numSets());
+    }
+    if (atd.numSets() % params.leaderSets != 0)
+        ldis_fatal("reverter: leader sets must divide set count");
+    if (params.lowThreshold >= params.highThreshold ||
+        params.highThreshold > params.pselMax) {
+        ldis_fatal("reverter: bad hysteresis thresholds %u/%u",
+                   params.lowThreshold, params.highThreshold);
+    }
+    leaderStride = atd.numSets() / params.leaderSets;
+}
+
+bool
+Reverter::isLeader(std::uint64_t set_index) const
+{
+    return set_index % leaderStride == 0;
+}
+
+void
+Reverter::recordLeaderAccess(LineAddr line, bool distill_missed)
+{
+    ldis_assert(isLeader(atd.setIndexOf(line)));
+
+    // Replay against the traditional tag directory.
+    bool atd_miss;
+    if (atd.find(line)) {
+        atd.touch(line);
+        atd_miss = false;
+    } else {
+        atd.install(line);
+        atd_miss = true;
+    }
+
+    if (atd_miss && pselValue < params.pselMax)
+        ++pselValue;
+    if (distill_missed && pselValue > 0)
+        --pselValue;
+    updateDecision();
+}
+
+void
+Reverter::updateDecision()
+{
+    // Hysteresis (Figure 5B): switch only beyond the outer
+    // thresholds; retain the previous decision in between.
+    if (pselValue < params.lowThreshold)
+        enabled = false;
+    else if (pselValue > params.highThreshold)
+        enabled = true;
+}
+
+std::uint64_t
+Reverter::atdStorageBytes() const
+{
+    // 4B per ATD entry (Table 3), ways entries per leader set.
+    return static_cast<std::uint64_t>(params.leaderSets)
+         * atd.numWays() * 4;
+}
+
+} // namespace ldis

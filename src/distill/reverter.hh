@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reverter circuit, Section 5.5: dynamic set sampling with an
+ * Auxiliary Tag Directory (ATD) and a saturating policy selector
+ * (PSEL) with hysteresis. A handful of leader sets always run LDIS;
+ * the ATD models what a traditional cache would have done on those
+ * same sets. PSEL moves toward whichever configuration misses less,
+ * and the follower sets enable/disable LDIS accordingly.
+ */
+
+#ifndef DISTILLSIM_DISTILL_REVERTER_HH
+#define DISTILLSIM_DISTILL_REVERTER_HH
+
+#include <cstdint>
+
+#include "cache/set_assoc.hh"
+#include "common/types.hh"
+
+namespace ldis
+{
+
+/** Reverter configuration (paper defaults in braces). */
+struct ReverterParams
+{
+    /** Number of leader sets {32 of 2048}. */
+    unsigned leaderSets = 32;
+
+    /** PSEL saturation maximum {8-bit counter}. */
+    unsigned pselMax = 255;
+
+    /** Disable LDIS below this PSEL value {64}. */
+    unsigned lowThreshold = 64;
+
+    /** Enable LDIS above this PSEL value {192}. */
+    unsigned highThreshold = 192;
+};
+
+/**
+ * The reverter: owns the ATD (a traditional tag directory covering
+ * the leader sets) and the PSEL counter.
+ */
+class Reverter
+{
+  public:
+    /**
+     * @param geom geometry of the modelled traditional cache (the
+     *        ATD reuses it; only leader sets are ever touched)
+     * @param params sampling/hysteresis parameters
+     */
+    Reverter(const CacheGeometry &geom, const ReverterParams &params);
+
+    /** True iff @p set_index is a leader set. */
+    bool isLeader(std::uint64_t set_index) const;
+
+    /**
+     * Process one access to a leader set: replays it against the
+     * ATD (a miss there increments PSEL) and records the distill
+     * cache's own outcome (a distill miss decrements PSEL).
+     *
+     * @param line accessed line address (must map to a leader set)
+     * @param distill_missed whether the distill cache missed
+     */
+    void recordLeaderAccess(LineAddr line, bool distill_missed);
+
+    /** Current decision: should follower sets run LDIS? */
+    bool ldisEnabled() const { return enabled; }
+
+    /** Current PSEL value (tests / introspection). */
+    unsigned psel() const { return pselValue; }
+
+    /** Storage overhead of the ATD in bytes (Table 3: 1kB). */
+    std::uint64_t atdStorageBytes() const;
+
+  private:
+    void updateDecision();
+
+    ReverterParams params;
+    SetAssocCache atd;
+    std::uint64_t leaderStride;
+    unsigned pselValue;
+    bool enabled;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_DISTILL_REVERTER_HH

@@ -1,0 +1,233 @@
+#include "woc.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+WocSet::WocSet(unsigned num_entries, WocVictim policy)
+    : entries(num_entries), victimPolicy(policy)
+{
+    ldis_assert(num_entries > 0);
+    ldis_assert(num_entries % kWordsPerLine == 0);
+}
+
+Footprint
+WocSet::wordsOf(LineAddr line) const
+{
+    Footprint fp;
+    for (const WocEntry &e : entries)
+        if (e.valid && e.line == line)
+            fp.set(e.wordId);
+    return fp;
+}
+
+Footprint
+WocSet::dirtyWordsOf(LineAddr line) const
+{
+    Footprint fp;
+    for (const WocEntry &e : entries)
+        if (e.valid && e.dirty && e.line == line)
+            fp.set(e.wordId);
+    return fp;
+}
+
+unsigned
+WocSet::groupEnd(unsigned head) const
+{
+    ldis_assert(entries[head].valid && entries[head].head);
+    unsigned end = head + 1;
+    while (end < entries.size() && entries[end].valid &&
+           !entries[end].head && entries[end].line ==
+               entries[head].line) {
+        ++end;
+    }
+    return end;
+}
+
+void
+WocSet::evictGroup(unsigned head, std::vector<WocEvicted> &out)
+{
+    unsigned end = groupEnd(head);
+    WocEvicted ev;
+    ev.line = entries[head].line;
+    for (unsigned i = head; i < end; ++i) {
+        ev.words.set(entries[i].wordId);
+        if (entries[i].dirty)
+            ev.dirty.set(entries[i].wordId);
+        entries[i] = WocEntry{};
+    }
+    out.push_back(ev);
+}
+
+void
+WocSet::install(LineAddr line, Footprint used, Footprint dirty,
+                Random &rng, std::vector<WocEvicted> &evicted_out)
+{
+    ldis_assert(!used.empty());
+    ldis_assert(!linePresent(line));
+    ldis_assert((dirty & used) == dirty);
+
+    unsigned count = used.count();
+    unsigned group = static_cast<unsigned>(nextPow2(count));
+    ldis_assert(group <= kWordsPerLine);
+    ldis_assert(group <= entries.size());
+
+    // Gather eligible start positions: aligned, and either invalid or
+    // the head of an existing group. Prefer fully free positions so
+    // nothing is evicted needlessly.
+    std::vector<unsigned> free_starts;
+    std::vector<unsigned> eligible;
+    for (unsigned s = 0; s + group <= entries.size(); s += group) {
+        const WocEntry &first = entries[s];
+        if (!first.valid || first.head) {
+            bool all_free = true;
+            for (unsigned i = s; i < s + group; ++i)
+                if (entries[i].valid)
+                    all_free = false;
+            if (all_free)
+                free_starts.push_back(s);
+            else
+                eligible.push_back(s);
+        }
+    }
+
+    unsigned start;
+    if (!free_starts.empty()) {
+        start = victimPolicy == WocVictim::Random
+            ? free_starts[rng.below(free_starts.size())]
+            : free_starts[rrCursor++ % free_starts.size()];
+    } else {
+        // The first entry of each data way is always invalid or a
+        // head, so there is always at least one candidate.
+        ldis_assert(!eligible.empty());
+        start = victimPolicy == WocVictim::Random
+            ? eligible[rng.below(eligible.size())]
+            : eligible[rrCursor++ % eligible.size()];
+    }
+
+    // Evict every line overlapping [start, start+group). Any valid
+    // entry in the range belongs to a group whose head is also in
+    // range (alignment argument; see design notes), but scan
+    // backward for the head to stay robust.
+    for (unsigned i = start; i < start + group; ++i) {
+        if (!entries[i].valid)
+            continue;
+        unsigned h = i;
+        while (!entries[h].head) {
+            ldis_assert(h > 0);
+            --h;
+        }
+        evictGroup(h, evicted_out);
+    }
+
+    // Place the used words, ascending word index, head bit on the
+    // first.
+    unsigned slot = start;
+    bool first = true;
+    for (WordIdx w = 0; w < kWordsPerLine; ++w) {
+        if (!used.test(w))
+            continue;
+        WocEntry &e = entries[slot++];
+        e.valid = true;
+        e.head = first;
+        e.line = line;
+        e.wordId = w;
+        e.dirty = dirty.test(w);
+        first = false;
+    }
+    ldis_assert(slot - start == count);
+}
+
+WocEvicted
+WocSet::invalidateLine(LineAddr line)
+{
+    WocEvicted ev;
+    ev.line = line;
+    for (WocEntry &e : entries) {
+        if (e.valid && e.line == line) {
+            ev.words.set(e.wordId);
+            if (e.dirty)
+                ev.dirty.set(e.wordId);
+            e = WocEntry{};
+        }
+    }
+    return ev;
+}
+
+void
+WocSet::markDirty(LineAddr line, Footprint words)
+{
+    for (WocEntry &e : entries)
+        if (e.valid && e.line == line && words.test(e.wordId))
+            e.dirty = true;
+}
+
+void
+WocSet::flush(std::vector<WocEvicted> &evicted_out)
+{
+    for (unsigned i = 0; i < entries.size(); ++i)
+        if (entries[i].valid && entries[i].head)
+            evictGroup(i, evicted_out);
+    // evictGroup clears whole groups, so nothing valid remains.
+    ldis_assert(validEntryCount() == 0);
+}
+
+unsigned
+WocSet::validEntryCount() const
+{
+    unsigned n = 0;
+    for (const WocEntry &e : entries)
+        if (e.valid)
+            ++n;
+    return n;
+}
+
+unsigned
+WocSet::lineCount() const
+{
+    unsigned n = 0;
+    for (const WocEntry &e : entries)
+        if (e.valid && e.head)
+            ++n;
+    return n;
+}
+
+bool
+WocSet::checkIntegrity() const
+{
+    std::vector<LineAddr> seen;
+    unsigned i = 0;
+    while (i < entries.size()) {
+        if (!entries[i].valid) {
+            ++i;
+            continue;
+        }
+        // Every valid run must begin with a head entry.
+        if (!entries[i].head)
+            return false;
+        unsigned end = groupEnd(i);
+        unsigned size = end - i;
+        unsigned slots = static_cast<unsigned>(nextPow2(size));
+        // Group must start on its power-of-two alignment boundary.
+        if (i % slots != 0)
+            return false;
+        // Word-ids strictly ascending within the group.
+        for (unsigned k = i + 1; k < end; ++k) {
+            if (entries[k].line != entries[i].line)
+                return false;
+            if (entries[k].wordId <= entries[k - 1].wordId)
+                return false;
+        }
+        // No duplicate lines in the set.
+        for (LineAddr l : seen)
+            if (l == entries[i].line)
+                return false;
+        seen.push_back(entries[i].line);
+        i = end;
+    }
+    return true;
+}
+
+} // namespace ldis

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Word-Organized Cache set (Section 5.1). One WocSet models the WOC
+ * tag entries of a single cache set: wocWays * 8 entries, each with
+ * valid/dirty/head bits, the owning line address, and a 3-bit
+ * word-id.
+ *
+ * Placement rules from the paper:
+ *  - a line occupies nextPow2(#used words) consecutive entries,
+ *    aligned to that size (so the words of a line always come from a
+ *    single data way);
+ *  - only entries that are invalid or carry the head bit are eligible
+ *    starting positions for replacement;
+ *  - evicting any word of a line evicts the whole line;
+ *  - the victim start position is chosen randomly among eligible
+ *    candidates (footnote 4: random ~ LRU for variable-size groups).
+ */
+
+#ifndef DISTILLSIM_DISTILL_WOC_HH
+#define DISTILLSIM_DISTILL_WOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/footprint.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace ldis
+{
+
+/** One WOC tag entry (29 bits of real hardware, Table 3). */
+struct WocEntry
+{
+    bool valid = false;
+    bool dirty = false;
+    bool head = false;
+    LineAddr line = 0;
+    WordIdx wordId = 0;
+};
+
+/** A line evicted (or invalidated) from the WOC. */
+struct WocEvicted
+{
+    LineAddr line = 0;
+    Footprint words;   //!< words that were resident
+    Footprint dirty;   //!< subset that was dirty
+};
+
+/**
+ * WOC victim-selection policy. The paper uses random selection
+ * (footnote 4: "Random selection is simpler than LRU and has similar
+ * performance"); RoundRobin is provided for the ablation study that
+ * verifies that insensitivity.
+ */
+enum class WocVictim
+{
+    Random,
+    RoundRobin,
+};
+
+/** The WOC portion of one distill-cache set. */
+class WocSet
+{
+  public:
+    /**
+     * @param num_entries wocWays * kWordsPerLine tag entries
+     * @param policy victim selection among eligible start positions
+     */
+    explicit WocSet(unsigned num_entries,
+                    WocVictim policy = WocVictim::Random);
+
+    /** Words of @p line resident in this set (empty if none). */
+    Footprint wordsOf(LineAddr line) const;
+
+    /** Dirty words of @p line resident in this set. */
+    Footprint dirtyWordsOf(LineAddr line) const;
+
+    /** True iff any word of @p line is resident. */
+    bool
+    linePresent(LineAddr line) const
+    {
+        return !wordsOf(line).empty();
+    }
+
+    /**
+     * Install the used words of @p line (evicted from the LOC).
+     * Occupies nextPow2(used.count()) aligned entries; evicts every
+     * line overlapping the chosen position.
+     *
+     * @param line line address (must not already be resident)
+     * @param used footprint of words to install (non-empty)
+     * @param dirty dirty subset of @p used
+     * @param rng randomness for victim choice
+     * @param evicted_out lines wholly evicted to make room
+     */
+    void install(LineAddr line, Footprint used, Footprint dirty,
+                 Random &rng, std::vector<WocEvicted> &evicted_out);
+
+    /**
+     * Remove @p line (hole-miss path / mode switch).
+     * @return its resident/dirty words (empty if absent)
+     */
+    WocEvicted invalidateLine(LineAddr line);
+
+    /** Mark @p words of a resident @p line dirty (L1D writeback). */
+    void markDirty(LineAddr line, Footprint words);
+
+    /** Evict everything (reverter mode switch). */
+    void flush(std::vector<WocEvicted> &evicted_out);
+
+    unsigned numEntries() const
+    {
+        return static_cast<unsigned>(entries.size());
+    }
+
+    unsigned validEntryCount() const;
+
+    /** Number of distinct resident lines. */
+    unsigned lineCount() const;
+
+    /** Read-only entry view (tests, integrity checks). */
+    const WocEntry &entry(unsigned i) const { return entries[i]; }
+
+    /**
+     * Verify structural invariants: heads start groups, group words
+     * are contiguous ascending word-ids of one line, groups are
+     * power-of-two aligned, no line appears twice.
+     * @return true if all invariants hold
+     */
+    bool checkIntegrity() const;
+
+  private:
+    /** Extent [head, end) of the group whose head is at @p head. */
+    unsigned groupEnd(unsigned head) const;
+
+    /** Evict the whole group with head entry @p head. */
+    void evictGroup(unsigned head,
+                    std::vector<WocEvicted> &evicted_out);
+
+    std::vector<WocEntry> entries;
+    WocVictim victimPolicy;
+    std::uint64_t rrCursor = 0;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_DISTILL_WOC_HH

@@ -1,0 +1,284 @@
+#include "sfp_cache.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+SfpCache::SfpCache(const SfpParams &params)
+    : prm(params), pred(params.predictorEntries), rng(params.seed)
+{
+    std::uint64_t lines = prm.bytes / kLineBytes;
+    if (lines % prm.ways != 0)
+        ldis_fatal("SFP cache: capacity does not divide into %u ways",
+                   prm.ways);
+    std::uint64_t num_sets = lines / prm.ways;
+    if (!isPowerOf2(num_sets))
+        ldis_fatal("SFP cache: set count must be a power of two");
+    if (prm.tagEntriesPerSet < prm.ways || prm.tagEntriesPerSet > 255)
+        ldis_fatal("SFP cache: bad tag entry count %u",
+                   prm.tagEntriesPerSet);
+    setsCount = static_cast<unsigned>(num_sets);
+
+    sets.resize(setsCount);
+    for (auto &s : sets) {
+        s.tags.resize(prm.tagEntriesPerSet);
+        s.order.resize(prm.tagEntriesPerSet);
+        for (unsigned i = 0; i < prm.tagEntriesPerSet; ++i)
+            s.order[i] = static_cast<std::uint8_t>(i);
+        s.occupied.resize(prm.ways);
+    }
+
+    if (prm.useReverter) {
+        CacheGeometry atd_geom;
+        atd_geom.bytes = prm.bytes;
+        atd_geom.ways = prm.ways;
+        atd_geom.lineBytes = kLineBytes;
+        reverterUnit =
+            std::make_unique<Reverter>(atd_geom, prm.reverter);
+    }
+}
+
+std::string
+SfpCache::describe() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "SFP %lluKB %u-way decoupled sectored "
+                  "(%u tags/set, %zuk-entry predictor)%s",
+                  static_cast<unsigned long long>(prm.bytes / 1024),
+                  prm.ways, prm.tagEntriesPerSet,
+                  prm.predictorEntries / 1024,
+                  prm.useReverter ? " +RC" : "");
+    return buf;
+}
+
+std::uint64_t
+SfpCache::setIndexOf(LineAddr line) const
+{
+    return line & (setsCount - 1);
+}
+
+int
+SfpCache::tagOf(const SSet &s, LineAddr line) const
+{
+    for (unsigned i = 0; i < s.tags.size(); ++i)
+        if (s.tags[i].valid && s.tags[i].line == line)
+            return static_cast<int>(i);
+    return -1;
+}
+
+void
+SfpCache::touchTag(SSet &s, unsigned idx)
+{
+    auto it = std::find(s.order.begin(), s.order.end(),
+                        static_cast<std::uint8_t>(idx));
+    ldis_assert(it != s.order.end());
+    s.order.erase(it);
+    s.order.insert(s.order.begin(), static_cast<std::uint8_t>(idx));
+}
+
+void
+SfpCache::evictTag(SSet &s, unsigned idx)
+{
+    STag &t = s.tags[idx];
+    ldis_assert(t.valid);
+    ++statsData.evictions;
+    if (!t.dirty.empty())
+        ++statsData.writebacks;
+    // Train the predictor with the observed usage (at least the
+    // demand word is always used).
+    Footprint observed = t.used;
+    observed.set(t.missWord);
+    pred.train(t.missPc, t.missWord, observed);
+    // Release the data-way slots.
+    Footprint &occ = s.occupied[t.way];
+    occ = Footprint(static_cast<std::uint8_t>(
+        occ.raw() & ~t.words.raw()));
+    t = STag{};
+}
+
+SfpCache::STag &
+SfpCache::installTag(SSet &s, LineAddr line, Footprint words,
+                     Addr pc, WordIdx word)
+{
+    ldis_assert(!words.empty());
+
+    // Find a data way whose occupied slots do not collide with the
+    // requested footprint.
+    int way = -1;
+    for (unsigned w = 0; w < prm.ways; ++w) {
+        if ((s.occupied[w] & words).empty()) {
+            way = static_cast<int>(w);
+            break;
+        }
+    }
+    if (way < 0) {
+        // No conflict-free way: clear the way holding the
+        // least-recently-used colliding line (approximating the
+        // LRU the baseline enjoys).
+        for (auto it = s.order.rbegin(); it != s.order.rend();
+             ++it) {
+            const STag &t = s.tags[*it];
+            if (t.valid && !(t.words & words).empty()) {
+                way = t.way;
+                break;
+            }
+        }
+        ldis_assert(way >= 0);
+        for (unsigned i = 0; i < s.tags.size(); ++i) {
+            STag &t = s.tags[i];
+            if (t.valid && t.way == way &&
+                !(t.words & words).empty())
+                evictTag(s, i);
+        }
+    }
+
+    // Find a free tag entry, evicting the LRU tag if necessary.
+    int slot = -1;
+    for (unsigned i = 0; i < s.tags.size(); ++i) {
+        if (!s.tags[i].valid) {
+            slot = static_cast<int>(i);
+            break;
+        }
+    }
+    if (slot < 0) {
+        for (auto it = s.order.rbegin(); it != s.order.rend(); ++it) {
+            if (s.tags[*it].valid) {
+                evictTag(s, *it);
+                slot = *it;
+                break;
+            }
+        }
+        ldis_assert(slot >= 0);
+    }
+
+    STag &t = s.tags[slot];
+    t.valid = true;
+    t.line = line;
+    t.words = words;
+    t.dirty = Footprint{};
+    t.used = Footprint{};
+    t.way = static_cast<std::uint8_t>(way);
+    t.missPc = pc;
+    t.missWord = word;
+    s.occupied[way] |= words;
+    touchTag(s, static_cast<unsigned>(slot));
+
+    extra.wordsInstalled += words.count();
+    if (words.isFull())
+        ++extra.fullInstalls;
+    else
+        ++extra.partialInstalls;
+    return t;
+}
+
+L2Result
+SfpCache::access(Addr addr, bool write, Addr pc, bool instr)
+{
+    ++statsData.accesses;
+    LineAddr line = lineAddrOf(addr);
+    WordIdx word = wordIdxOf(addr);
+    std::uint64_t set_index = setIndexOf(line);
+    SSet &s = sets[set_index];
+
+    bool leader = prm.useReverter &&
+                  reverterUnit->isLeader(set_index);
+    bool predict_enabled = !prm.useReverter || leader ||
+                           reverterUnit->ldisEnabled();
+
+    L2Result res;
+    int idx = tagOf(s, line);
+    if (idx >= 0 && s.tags[idx].words.test(word)) {
+        STag &t = s.tags[idx];
+        t.used.set(word);
+        if (write)
+            t.dirty.set(word);
+        touchTag(s, static_cast<unsigned>(idx));
+        ++statsData.locHits;
+        res = {L2Outcome::LocHit, t.words, prm.hitLatency};
+    } else if (idx >= 0) {
+        // Hole miss: the predictor under-fetched. Refetch with a
+        // fresh (now trained) prediction.
+        ++statsData.holeMisses;
+        evictTag(s, static_cast<unsigned>(idx));
+        Footprint fetch = (predict_enabled && !instr)
+                        ? pred.predict(pc, word)
+                        : Footprint::full();
+        STag &t = installTag(s, line, fetch, pc, word);
+        t.used.set(word);
+        if (write)
+            t.dirty.set(word);
+        res = {L2Outcome::HoleMiss, t.words,
+               prm.hitLatency + prm.memLatency};
+    } else {
+        if (compulsory.firstTouch(line))
+            ++statsData.compulsoryMisses;
+        ++statsData.lineMisses;
+        Footprint fetch = (predict_enabled && !instr)
+                        ? pred.predict(pc, word)
+                        : Footprint::full();
+        STag &t = installTag(s, line, fetch, pc, word);
+        t.used.set(word);
+        if (write)
+            t.dirty.set(word);
+        res = {L2Outcome::LineMiss, t.words,
+               prm.hitLatency + prm.memLatency};
+    }
+
+    if (leader)
+        reverterUnit->recordLeaderAccess(line, isMiss(res.outcome));
+    return res;
+}
+
+void
+SfpCache::l1dEviction(LineAddr line, Footprint used,
+                      Footprint dirty_words)
+{
+    SSet &s = sets[setIndexOf(line)];
+    int idx = tagOf(s, line);
+    if (idx < 0) {
+        if (!dirty_words.empty())
+            ++statsData.writebacks;
+        return;
+    }
+    STag &t = s.tags[idx];
+    t.used |= (used & t.words);
+    Footprint in_cache = dirty_words & t.words;
+    t.dirty |= in_cache;
+    if (!(dirty_words == in_cache))
+        ++statsData.writebacks;
+}
+
+bool
+SfpCache::checkIntegrity() const
+{
+    for (const SSet &s : sets) {
+        std::vector<Footprint> occ(prm.ways);
+        std::vector<LineAddr> seen;
+        for (const STag &t : s.tags) {
+            if (!t.valid)
+                continue;
+            if (t.words.empty())
+                return false;
+            // No slot collision within a way.
+            if (!(occ[t.way] & t.words).empty())
+                return false;
+            occ[t.way] |= t.words;
+            for (LineAddr l : seen)
+                if (l == t.line)
+                    return false;
+            seen.push_back(t.line);
+        }
+        for (unsigned w = 0; w < prm.ways; ++w)
+            if (!(occ[w] == s.occupied[w]))
+                return false;
+    }
+    return true;
+}
+
+} // namespace ldis

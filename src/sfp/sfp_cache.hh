@@ -1,0 +1,138 @@
+/**
+ * @file
+ * SFP-managed L2 (the Figure-13 comparator): a decoupled sectored
+ * cache (Seznec, ISCA'94) in which a spatial footprint predictor
+ * decides, at miss time, which words of the line to fetch and
+ * install.
+ *
+ * Placement restriction of the decoupled sectored data store: word i
+ * of a line can only live in word-slot i of a data way, so two lines
+ * can share a data way only if their installed footprints are
+ * disjoint (Section 9: "if two lines require only the first word in
+ * the line then they cannot reside together in the same data line").
+ * Tag entries are over-provisioned (same count as the distill
+ * cache's LOC + WOC tags) so several partial lines can share the
+ * set's data ways.
+ */
+
+#ifndef DISTILLSIM_SFP_SFP_CACHE_HH
+#define DISTILLSIM_SFP_SFP_CACHE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/l2_interface.hh"
+#include "cache/traditional_l2.hh"
+#include "common/random.hh"
+#include "distill/reverter.hh"
+#include "sfp/sfp_predictor.hh"
+
+namespace ldis
+{
+
+/** SFP cache configuration. */
+struct SfpParams
+{
+    std::uint64_t bytes = 1 << 20; //!< data capacity {1MB}
+    unsigned ways = 8;             //!< data ways per set {8}
+
+    /**
+     * Tag entries per set. The paper gives the decoupled sectored
+     * cache as many tag entries as the distill cache: 6 LOC tags +
+     * 2 * 8 WOC tags = 22 for the default configuration.
+     */
+    unsigned tagEntriesPerSet = 22;
+
+    /** Predictor table entries {16k or 64k}. */
+    std::size_t predictorEntries = 16 * 1024;
+
+    /** Add the reverter circuit (the paper does for Figure 13). */
+    bool useReverter = true;
+
+    ReverterParams reverter{};
+
+    std::uint64_t seed = 33;
+    Cycle hitLatency = 16;
+    Cycle memLatency = 400;
+};
+
+/** SFP-specific statistics. */
+struct SfpStats
+{
+    std::uint64_t partialInstalls = 0; //!< installs with < 8 words
+    std::uint64_t fullInstalls = 0;
+    std::uint64_t wordsInstalled = 0;
+};
+
+/** The SFP-managed decoupled sectored L2. */
+class SfpCache : public SecondLevelCache
+{
+  public:
+    explicit SfpCache(const SfpParams &params);
+
+    L2Result access(Addr addr, bool write, Addr pc,
+                    bool instr) override;
+    void l1dEviction(LineAddr line, Footprint used,
+                     Footprint dirty_words) override;
+    const L2Stats &stats() const override { return statsData; }
+    void
+    resetStats() override
+    {
+        statsData = L2Stats{};
+        extra = SfpStats{};
+    }
+    std::string describe() const override;
+
+    const SfpStats &sfpStats() const { return extra; }
+    const SfpPredictor &predictor() const { return pred; }
+
+    /** Data-way occupancy invariants (tests). */
+    bool checkIntegrity() const;
+
+  private:
+    struct STag
+    {
+        bool valid = false;
+        LineAddr line = 0;
+        Footprint words;      //!< words installed
+        Footprint dirty;      //!< dirty subset
+        Footprint used;       //!< words touched while resident
+        std::uint8_t way = 0; //!< data way holding the words
+        Addr missPc = 0;      //!< training key
+        WordIdx missWord = 0; //!< training key
+    };
+
+    struct SSet
+    {
+        std::vector<STag> tags;
+        /** Tag indices ordered MRU (front) to LRU (back). */
+        std::vector<std::uint8_t> order;
+        /** Per-way occupied word-slots. */
+        std::vector<Footprint> occupied;
+    };
+
+    std::uint64_t setIndexOf(LineAddr line) const;
+    int tagOf(const SSet &s, LineAddr line) const;
+    void touchTag(SSet &s, unsigned idx);
+
+    /** Evict tag @p idx, training the predictor. */
+    void evictTag(SSet &s, unsigned idx);
+
+    /** Install @p line with footprint @p words; returns the tag. */
+    STag &installTag(SSet &s, LineAddr line, Footprint words,
+                     Addr pc, WordIdx word);
+
+    SfpParams prm;
+    unsigned setsCount;
+    std::vector<SSet> sets;
+    SfpPredictor pred;
+    Random rng;
+    std::unique_ptr<Reverter> reverterUnit;
+    CompulsoryTracker compulsory;
+    L2Stats statsData;
+    SfpStats extra;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_SFP_SFP_CACHE_HH

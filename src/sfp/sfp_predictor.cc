@@ -1,0 +1,68 @@
+#include "sfp_predictor.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+namespace
+{
+
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+SfpPredictor::SfpPredictor(std::size_t entries) : table(entries)
+{
+    if (!isPowerOf2(entries))
+        ldis_fatal("SFP table size must be a power of two");
+}
+
+std::size_t
+SfpPredictor::indexOf(Addr pc, WordIdx word) const
+{
+    return mix(pc * kWordsPerLine + word) & (table.size() - 1);
+}
+
+Footprint
+SfpPredictor::predict(Addr pc, WordIdx word)
+{
+    ++statsData.lookups;
+    const Entry &e = table[indexOf(pc, word)];
+    Footprint fp;
+    if (e.valid) {
+        ++statsData.predictions;
+        fp = e.footprint;
+    } else {
+        fp = Footprint::full();
+    }
+    fp.set(word);
+    return fp;
+}
+
+void
+SfpPredictor::train(Addr pc, WordIdx word, Footprint observed)
+{
+    ++statsData.trainings;
+    Entry &e = table[indexOf(pc, word)];
+    e.valid = true;
+    e.footprint = observed;
+}
+
+std::uint64_t
+SfpPredictor::storageBytes() const
+{
+    // Roughly: 8-bit footprint + valid, plus partial tag, ~4B per
+    // entry in the paper's accounting (16k entries = 64kB).
+    return table.size() * 4;
+}
+
+} // namespace ldis

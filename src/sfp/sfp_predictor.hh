@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Spatial Footprint Predictor (Kumar & Wilkerson, ISCA'98), the
+ * comparison baseline of Figure 13. The predictor memorizes, per
+ * (miss PC, miss word offset) key, the footprint the line exhibited
+ * during its last residency, and predicts it at the next miss from
+ * the same key. The paper evaluates 16k-entry (64kB) and 64k-entry
+ * (256kB) tables.
+ */
+
+#ifndef DISTILLSIM_SFP_SFP_PREDICTOR_HH
+#define DISTILLSIM_SFP_SFP_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/footprint.hh"
+#include "common/types.hh"
+
+namespace ldis
+{
+
+/** Prediction-table statistics. */
+struct SfpPredictorStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t predictions = 0; //!< lookups that hit the table
+    std::uint64_t trainings = 0;
+};
+
+/** The footprint history table. */
+class SfpPredictor
+{
+  public:
+    /** @param entries table size (power of two; 16k or 64k). */
+    explicit SfpPredictor(std::size_t entries);
+
+    /**
+     * Predict the footprint for a miss at (@p pc, @p word). The
+     * demand word is always included; without table information the
+     * prediction defaults to the full line (fetch-all).
+     */
+    Footprint predict(Addr pc, WordIdx word);
+
+    /**
+     * Train the table with the footprint @p observed that a line
+     * exhibited, keyed by the (@p pc, @p word) of the miss that
+     * installed it.
+     */
+    void train(Addr pc, WordIdx word, Footprint observed);
+
+    const SfpPredictorStats &stats() const { return statsData; }
+
+    /** Table storage in bytes (footprint + valid per entry). */
+    std::uint64_t storageBytes() const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Footprint footprint;
+    };
+
+    std::size_t indexOf(Addr pc, WordIdx word) const;
+
+    std::vector<Entry> table;
+    SfpPredictorStats statsData;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_SFP_SFP_PREDICTOR_HH

@@ -1,0 +1,140 @@
+#include "configs.hh"
+
+#include "cache/traditional_l2.hh"
+#include "common/logging.hh"
+#include "compression/compressed_l2.hh"
+#include "compression/fac_cache.hh"
+#include "distill/distill_cache.hh"
+#include "sfp/sfp_cache.hh"
+
+namespace ldis
+{
+
+namespace
+{
+
+constexpr std::uint64_t kMB = 1024 * 1024;
+
+L2Instance
+makeTraditional(std::uint64_t bytes, unsigned ways,
+                unsigned line_bytes = kLineBytes)
+{
+    CacheGeometry g;
+    g.bytes = bytes;
+    g.ways = ways;
+    g.lineBytes = line_bytes;
+    L2Instance inst;
+    inst.cache = std::make_unique<TraditionalL2>(g);
+    return inst;
+}
+
+L2Instance
+makeDistill(unsigned woc_ways, bool mt, bool rc)
+{
+    DistillParams p;
+    p.bytes = kMB;
+    p.totalWays = 8;
+    p.wocWays = woc_ways;
+    p.medianThreshold = mt;
+    p.useReverter = rc;
+    L2Instance inst;
+    inst.cache = std::make_unique<DistillCache>(p);
+    return inst;
+}
+
+} // namespace
+
+const char *
+configName(ConfigKind kind)
+{
+    switch (kind) {
+      case ConfigKind::Baseline1MB:
+        return "TRAD-1MB";
+      case ConfigKind::Trad1_5MB:
+        return "TRAD-1.5MB";
+      case ConfigKind::Trad2MB:
+        return "TRAD-2MB";
+      case ConfigKind::Trad4MB:
+        return "TRAD-4MB";
+      case ConfigKind::Trad1MB32B:
+        return "TRAD-1MB-32B";
+      case ConfigKind::LdisBase:
+        return "LDIS-Base";
+      case ConfigKind::LdisMT:
+        return "LDIS-MT";
+      case ConfigKind::LdisMTRC:
+        return "LDIS-MT-RC";
+      case ConfigKind::Ldis4xTags:
+        return "LDIS-4xTags";
+      case ConfigKind::Cmpr4xTags:
+        return "CMPR-4xTags";
+      case ConfigKind::Fac4xTags:
+        return "FAC-4xTags";
+      case ConfigKind::Sfp16k:
+        return "SFP-16k";
+      case ConfigKind::Sfp64k:
+        return "SFP-64k";
+    }
+    return "?";
+}
+
+L2Instance
+makeConfig(ConfigKind kind, const ValueProfile &profile)
+{
+    switch (kind) {
+      case ConfigKind::Baseline1MB:
+        return makeTraditional(kMB, 8);
+      case ConfigKind::Trad1_5MB:
+        // 1.5MB keeps 2048 sets by widening to 12 ways.
+        return makeTraditional(kMB + kMB / 2, 12);
+      case ConfigKind::Trad2MB:
+        return makeTraditional(2 * kMB, 16);
+      case ConfigKind::Trad4MB:
+        return makeTraditional(4 * kMB, 32);
+      case ConfigKind::Trad1MB32B:
+        return makeTraditional(kMB, 8, 32);
+      case ConfigKind::LdisBase:
+        return makeDistill(2, false, false);
+      case ConfigKind::LdisMT:
+        return makeDistill(2, true, false);
+      case ConfigKind::LdisMTRC:
+        return makeDistill(2, true, true);
+      case ConfigKind::Ldis4xTags:
+        return makeDistill(3, true, true);
+      case ConfigKind::Cmpr4xTags: {
+        L2Instance inst;
+        inst.values = std::make_unique<ValueModel>(profile);
+        CompressedL2Params p;
+        p.bytes = kMB;
+        p.ways = 8;
+        p.tagFactor = 4;
+        inst.cache =
+            std::make_unique<CompressedL2>(p, *inst.values);
+        return inst;
+      }
+      case ConfigKind::Fac4xTags: {
+        L2Instance inst;
+        inst.values = std::make_unique<ValueModel>(profile);
+        DistillParams p;
+        p.bytes = kMB;
+        p.totalWays = 8;
+        p.wocWays = 3;
+        p.medianThreshold = true;
+        p.useReverter = true;
+        inst.cache = std::make_unique<FacCache>(p, *inst.values);
+        return inst;
+      }
+      case ConfigKind::Sfp16k:
+      case ConfigKind::Sfp64k: {
+        SfpParams p;
+        p.predictorEntries =
+            kind == ConfigKind::Sfp16k ? 16 * 1024 : 64 * 1024;
+        L2Instance inst;
+        inst.cache = std::make_unique<SfpCache>(p);
+        return inst;
+      }
+    }
+    ldis_panic("unknown config kind");
+}
+
+} // namespace ldis

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Canonical cache configurations used across the experiments: the
+ * Table-1 baseline, the LDIS variants of Figure 6, the capacity
+ * points of Figure 8, the compression configurations of Figure 11,
+ * and the SFP comparators of Figure 13.
+ */
+
+#ifndef DISTILLSIM_SIM_CONFIGS_HH
+#define DISTILLSIM_SIM_CONFIGS_HH
+
+#include <memory>
+#include <string>
+
+#include "cache/l2_interface.hh"
+#include "trace/value_model.hh"
+
+namespace ldis
+{
+
+/** Named experiment configurations. */
+enum class ConfigKind
+{
+    Baseline1MB,  //!< traditional 1MB 8-way LRU (Table 1)
+    Trad1_5MB,    //!< traditional 1.5MB 12-way (Figure 8)
+    Trad2MB,      //!< traditional 2MB 16-way (Figure 8)
+    Trad4MB,      //!< traditional 4MB 32-way (Table 5)
+    Trad1MB32B,   //!< 1MB with 32B lines (Section 2 discussion)
+    LdisBase,     //!< distill 6+2, no MT, no RC
+    LdisMT,       //!< distill 6+2 with median-threshold
+    LdisMTRC,     //!< distill 6+2 with MT and reverter (default)
+    Ldis4xTags,   //!< distill 5+3 with MT and reverter (Figure 11)
+    Cmpr4xTags,   //!< compressed traditional, 4x tags (Figure 11)
+    Fac4xTags,    //!< FAC 5+3 with MT and reverter (Figure 11)
+    Sfp16k,       //!< SFP, 16k-entry predictor (Figure 13)
+    Sfp64k,       //!< SFP, 64k-entry predictor (Figure 13)
+};
+
+/** Display name of a configuration ("LDIS-MT-RC", ...). */
+const char *configName(ConfigKind kind);
+
+/**
+ * A constructed L2 plus the value model it may reference (the
+ * compression configurations synthesize line contents on demand).
+ */
+struct L2Instance
+{
+    std::unique_ptr<ValueModel> values; //!< null unless needed
+    std::unique_ptr<SecondLevelCache> cache;
+};
+
+/**
+ * Build configuration @p kind. @p profile parameterizes the value
+ * model for the compression configurations (pass the workload's
+ * profile); it is ignored by the others.
+ */
+L2Instance makeConfig(ConfigKind kind,
+                      const ValueProfile &profile = {});
+
+} // namespace ldis
+
+#endif // DISTILLSIM_SIM_CONFIGS_HH

@@ -1,0 +1,125 @@
+#include "experiment.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+InstCount
+runLength(InstCount fallback)
+{
+    if (const char *env = std::getenv("LDIS_INSTRUCTIONS")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (end && *end == '\0' && v > 0)
+            return static_cast<InstCount>(v);
+        warn("ignoring malformed LDIS_INSTRUCTIONS='%s'", env);
+    }
+    return fallback;
+}
+
+RunResult
+runTrace(Workload &workload, SecondLevelCache &l2,
+         InstCount instructions)
+{
+    Hierarchy hier(workload, l2);
+    hier.run(instructions);
+
+    RunResult r;
+    r.benchmark = workload.name();
+    r.config = l2.describe();
+    r.instructions = hier.stats().instructions;
+    r.mpki = hier.mpki();
+    r.l2 = l2.stats();
+    r.l1d = hier.l1dStats();
+    r.l1i = hier.l1iStats();
+    return r;
+}
+
+RunResult
+runTraceWarm(Workload &workload, SecondLevelCache &l2,
+             InstCount warmup_instructions, InstCount instructions)
+{
+    Hierarchy hier(workload, l2);
+    hier.run(warmup_instructions);
+    hier.resetStats();
+    hier.run(instructions);
+
+    RunResult r;
+    r.benchmark = workload.name();
+    r.config = l2.describe();
+    r.instructions = hier.stats().instructions;
+    r.mpki = hier.mpki();
+    r.l2 = l2.stats();
+    r.l1d = hier.l1dStats();
+    r.l1i = hier.l1iStats();
+    return r;
+}
+
+RunResult
+runTrace(const std::string &benchmark, ConfigKind kind,
+         InstCount instructions, std::uint64_t seed)
+{
+    auto workload = makeBenchmark(benchmark, seed);
+    L2Instance l2 = makeConfig(kind, workload->valueProfile());
+    RunResult r = runTrace(*workload, *l2.cache, instructions);
+    r.config = configName(kind);
+    return r;
+}
+
+IpcResult
+runIpc(const std::string &benchmark, ConfigKind kind,
+       InstCount instructions, std::uint64_t seed)
+{
+    auto workload = makeBenchmark(benchmark, seed);
+    L2Instance l2 = makeConfig(kind, workload->valueProfile());
+
+    CpuParams cpu_params;
+    OooCore core(cpu_params, *workload, *l2.cache);
+    core.run(instructions);
+
+    IpcResult r;
+    r.benchmark = benchmark;
+    r.config = configName(kind);
+    r.ipc = core.ipc();
+    r.mpki = core.mpki();
+    r.cpu = core.stats();
+    r.branch = core.branchStats();
+    return r;
+}
+
+double
+percentReduction(double base, double value)
+{
+    if (base == 0.0)
+        return 0.0;
+    return 100.0 * (base - value) / base;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geomeanSpeedup(const std::vector<double> &speedups)
+{
+    if (speedups.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double s : speedups)
+        log_sum += std::log(1.0 + s);
+    return std::exp(log_sum / static_cast<double>(speedups.size()))
+         - 1.0;
+}
+
+} // namespace ldis

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Experiment harness shared by the bench binaries and examples: run
+ * a benchmark proxy against an L2 configuration (trace-driven for
+ * MPKI, execution-driven for IPC) and collect the headline numbers.
+ */
+
+#ifndef DISTILLSIM_SIM_EXPERIMENT_HH
+#define DISTILLSIM_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "cpu/ooo_core.hh"
+#include "sim/configs.hh"
+#include "trace/benchmarks.hh"
+
+namespace ldis
+{
+
+/** Outcome of one trace-driven run. */
+struct RunResult
+{
+    std::string benchmark;
+    std::string config;
+    InstCount instructions = 0;
+    double mpki = 0.0;
+    L2Stats l2;
+    L1DStats l1d;
+    L1IStats l1i;
+};
+
+/** Outcome of one execution-driven run. */
+struct IpcResult
+{
+    std::string benchmark;
+    std::string config;
+    double ipc = 0.0;
+    double mpki = 0.0;
+    CpuStats cpu;
+    BranchStats branch;
+};
+
+/**
+ * Number of instructions per run: the LDIS_INSTRUCTIONS environment
+ * variable if set, otherwise @p fallback.
+ */
+InstCount runLength(InstCount fallback = 50'000'000);
+
+/** Trace-driven run of @p benchmark against @p kind. */
+RunResult runTrace(const std::string &benchmark, ConfigKind kind,
+                   InstCount instructions, std::uint64_t seed = 1);
+
+/** Trace-driven run against an already-built L2. */
+RunResult runTrace(Workload &workload, SecondLevelCache &l2,
+                   InstCount instructions);
+
+/**
+ * Trace-driven run with a warmup phase: the first
+ * @p warmup_instructions fill the caches, then all statistics are
+ * reset before the measured @p instructions. Cache contents and
+ * first-touch (compulsory) state carry across the reset.
+ */
+RunResult runTraceWarm(Workload &workload, SecondLevelCache &l2,
+                       InstCount warmup_instructions,
+                       InstCount instructions);
+
+/** Execution-driven run of @p benchmark against @p kind. */
+IpcResult runIpc(const std::string &benchmark, ConfigKind kind,
+                 InstCount instructions, std::uint64_t seed = 1);
+
+/** Percentage reduction of @p value relative to @p base. */
+double percentReduction(double base, double value);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+/** Geometric mean of (1 + x) - 1 style speedups. */
+double geomeanSpeedup(const std::vector<double> &speedups);
+
+} // namespace ldis
+
+#endif // DISTILLSIM_SIM_EXPERIMENT_HH

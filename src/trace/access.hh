@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The unit of work produced by workload generators: one data-memory
+ * access plus the instruction-stream context around it (non-memory op
+ * count, branch count, dependence distance). The cache-only
+ * experiments use the address/PC fields; the execution-driven IPC
+ * model (src/cpu) additionally uses the dependence and branch fields.
+ */
+
+#ifndef DISTILLSIM_TRACE_ACCESS_HH
+#define DISTILLSIM_TRACE_ACCESS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ldis
+{
+
+/** One data access and its surrounding instruction context. */
+struct Access
+{
+    /** Byte address of the 8B (or smaller) data access. */
+    Addr addr = 0;
+
+    /** PC of the load/store instruction (used by the SFP baseline). */
+    Addr pc = 0;
+
+    /** True for stores. */
+    bool write = false;
+
+    /**
+     * Number of non-memory instructions retired between the previous
+     * access and this one (this access itself counts as one more
+     * instruction).
+     */
+    std::uint32_t nonMemOps = 0;
+
+    /** Number of conditional branches among those non-memory ops. */
+    std::uint32_t branches = 0;
+
+    /**
+     * Address-generation dependence distance, in loads: this access's
+     * address depends on the result of the load issued @c depDist
+     * loads earlier. 0 means the address is available immediately
+     * (array-style access, misses can overlap); 1 means strict
+     * pointer chasing (misses serialize).
+     */
+    std::uint8_t depDist = 0;
+
+    /** Instructions this record contributes (ops + the access). */
+    std::uint64_t instructions() const { return nonMemOps + 1ull; }
+};
+
+/**
+ * Parameters of the instruction-fetch side of a workload: the code
+ * footprint and average sequential-run length. The hierarchy driver
+ * walks a synthetic PC through the footprint to produce L1I traffic.
+ */
+struct CodeModel
+{
+    /** Static code footprint in bytes (region the PC jumps within). */
+    std::uint64_t codeBytes = 8 * 1024;
+
+    /** Average instructions executed between taken jumps. */
+    std::uint32_t avgRunInstrs = 12;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_TRACE_ACCESS_HH

@@ -1,0 +1,426 @@
+#include "benchmarks.hh"
+
+#include "common/logging.hh"
+#include "trace/composite.hh"
+
+namespace ldis
+{
+
+namespace
+{
+
+constexpr std::uint64_t kKB = 1024;
+constexpr std::uint64_t kMB = 1024 * 1024;
+
+/** Builder shorthand for a region. */
+RegionParams
+region(std::uint64_t bytes, Pattern pat, WordSel sel, unsigned k,
+       double weight, std::uint32_t mean_ops)
+{
+    RegionParams p;
+    p.bytes = bytes;
+    p.pattern = pat;
+    p.wordSel = sel;
+    p.wordsPerVisit = k;
+    p.weight = weight;
+    p.meanOps = mean_ops;
+    if (pat == Pattern::PointerChase)
+        p.depDist = 1;
+    return p;
+}
+
+struct ProxyDef
+{
+    BenchmarkInfo info;
+    std::vector<RegionParams> regions;
+    CodeModel code;
+    ValueProfile values;
+};
+
+/**
+ * The full proxy catalogue. Region parameters were calibrated by
+ * iterating bench/table2_benchmarks and bench/table6_words_vs_size
+ * against the paper's Tables 2 and 6 (see EXPERIMENTS.md).
+ */
+std::vector<ProxyDef>
+buildCatalogue()
+{
+    std::vector<ProxyDef> defs;
+
+    auto add = [&defs](BenchmarkInfo info,
+                       std::vector<RegionParams> regions,
+                       CodeModel code, ValueProfile values) {
+        ProxyDef d;
+        d.info = std::move(info);
+        d.regions = std::move(regions);
+        d.code = code;
+        d.values = values;
+        defs.push_back(std::move(d));
+    };
+
+    // ---------------- studied benchmarks (Table 2) ----------------
+    //
+    // Sizing rationale: the baseline L2 holds C = 16384 lines. For a
+    // uniformly random region of N lines the L2 miss rate is roughly
+    // max(0, 1 - C/N); the distill cache's effective capacity is
+    // locWays/8 * C plus 32768 WOC word-entries / nextPow2(words per
+    // line). Regions are sized so each proxy's baseline MPKI and its
+    // response to LDIS (Figure 6) land in the paper's regime.
+
+    {
+        // art: thrashing sweeps over a ~4MB dataset touching one
+        // word per line from a 4-word per-line pool that rotates
+        // every other sweep. One-word lines pack densely into the
+        // WOC (capacity ~45k lines vs 16k baseline), reproducing
+        // art's large LDIS gain; pool rotation reproduces both its
+        // hole-misses (Section 7.2) and the growth of words-used
+        // with cache size (Table 6).
+        auto r1 = region(4 * kMB, Pattern::RandomLine,
+                         WordSel::PoolRotate, 1, 0.90, 14);
+        r1.poolSize = 4;
+        r1.rotateEvery = 3;
+        r1.writeFrac = 0.05;
+        auto r2 = region(48 * kKB, Pattern::RandomLine,
+                         WordSel::SparseK, 2, 0.10, 8);
+        add({"art", 38.3, 0.005, 1.81, false}, {r1, r2},
+            {8 * kKB, 12}, {0.05, 0.01, 0.10});
+    }
+    {
+        // mcf: pointer chasing over a heap several times the cache,
+        // with a mix of 1-, 2- and 4-word node footprints (paper
+        // average 1.83). The 4-word population is what the median
+        // threshold filters out (median = 2).
+        auto r1 = region(1 * kMB, Pattern::PointerChase,
+                         WordSel::SparseK, 2, 0.35, 2);
+        auto r2 = region(2 * kMB, Pattern::PointerChase,
+                         WordSel::SparseK, 1, 0.30, 2);
+        auto r3 = region(2 * kMB, Pattern::PointerChase,
+                         WordSel::SparseK, 2, 0.25, 2);
+        r3.pcClasses = 24;
+        auto r4 = region(1536 * kKB, Pattern::PointerChase,
+                         WordSel::SparseK, 4, 0.10, 2);
+        r4.pcClasses = 24;
+        add({"mcf", 136.0, 0.022, 1.83, false}, {r1, r2, r3, r4},
+            {16 * kKB, 10}, {0.50, 0.10, 0.25});
+    }
+    {
+        // twolf: random structure walks, working set ~1.7MB.
+        auto r1 = region(1280 * kKB, Pattern::RandomLine,
+                         WordSel::SparseK, 3, 0.55, 28);
+        r1.pcClasses = 48;
+        auto r2 = region(160 * kKB, Pattern::RandomLine,
+                         WordSel::SparseK, 4, 0.45, 28);
+        r2.pcClasses = 48;
+        add({"twolf", 3.6, 0.029, 3.24, false}, {r1, r2},
+            {16 * kKB, 10}, {0.35, 0.05, 0.30});
+    }
+    {
+        // vpr: like twolf with wider, slowly drifting footprints
+        // (words used grow 3.7 -> 6.1 from 1MB to 2MB, Table 6).
+        auto r1 = region(1280 * kKB, Pattern::RandomLine,
+                         WordSel::PoolRotate, 4, 0.60, 40);
+        r1.poolSize = 6;
+        r1.rotateEvery = 4;
+        auto r2 = region(224 * kKB, Pattern::RandomLine,
+                         WordSel::SparseK, 4, 0.40, 40);
+        r2.pcClasses = 64;
+        add({"vpr", 2.2, 0.043, 3.71, false}, {r1, r2},
+            {16 * kKB, 10}, {0.35, 0.05, 0.30});
+    }
+    {
+        // ammp: pointer chase over ~2MB of small nodes.
+        auto r1 = region(960 * kKB, Pattern::PointerChase,
+                         WordSel::SparseK, 2, 0.70, 11);
+        r1.pcClasses = 16;
+        auto r2 = region(128 * kKB, Pattern::RandomLine,
+                         WordSel::SparseK, 3, 0.30, 11);
+        auto r3 = region(8 * kMB, Pattern::PointerChase,
+                         WordSel::SparseK, 2, 0.02, 11);
+        add({"ammp", 2.8, 0.051, 2.40, false}, {r1, r2, r3},
+            {12 * kKB, 12}, {0.25, 0.05, 0.25});
+    }
+    {
+        // galgel: dense loops that mostly fit plus a cyclic strided
+        // kernel that does not.
+        auto r1 = region(896 * kKB, Pattern::Sequential,
+                         WordSel::Full, 8, 0.60, 16);
+        auto r2 = region(1536 * kKB, Pattern::Strided,
+                         WordSel::Full, 8, 0.40, 16);
+        r2.strideLines = 16;
+        add({"galgel", 4.7, 0.059, 7.60, false}, {r1, r2},
+            {12 * kKB, 16}, {0.04, 0.01, 0.10});
+    }
+    {
+        // bzip2: stream + random dictionary + delayed reuse (the
+        // delayed component is why plain LDIS hurts and the reverter
+        // has to step in, per Fig 6).
+        auto r1 = region(256 * kKB, Pattern::Sequential,
+                         WordSel::PartialSeq, 4, 0.45, 8);
+        auto r2 = region(128 * kKB, Pattern::RandomLine,
+                         WordSel::SparseK, 3, 0.30, 8);
+        r2.pcClasses = 32;
+        auto r3 = region(2 * kMB, Pattern::DelayedSpatial,
+                         WordSel::Full, 8, 0.25, 8);
+        r3.delayLines = 1900;
+        add({"bzip2", 2.4, 0.155, 4.13, false}, {r1, r2, r3},
+            {24 * kKB, 10}, {0.25, 0.05, 0.30});
+    }
+    {
+        // facerec: blocked image sweeps, high spatial locality.
+        auto r1 = region(256 * kKB, Pattern::Sequential,
+                         WordSel::Full, 8, 0.40, 16);
+        auto r2 = region(1152 * kKB, Pattern::RandomLine,
+                         WordSel::SparseK, 2, 0.50, 16);
+        r2.pcClasses = 96;
+        auto r3 = region(3 * kMB, Pattern::Sequential,
+                         WordSel::Full, 8, 0.10, 16);
+        add({"facerec", 4.8, 0.18, 7.01, false}, {r1, r2, r3},
+            {12 * kKB, 14}, {0.05, 0.01, 0.10});
+    }
+    {
+        // parser: dictionary walks with wide (6 of 8 words), slowly
+        // drifting footprints. Wide lines take all 8 WOC slots, so
+        // plain LDIS gains nothing and the drift-induced hole-misses
+        // make it a net loss the reverter must contain.
+        auto r1 = region(1344 * kKB, Pattern::RandomLine,
+                         WordSel::PoolRotate, 6, 0.50, 24);
+        r1.poolSize = 8;
+        r1.rotateEvery = 1;
+        auto r2 = region(6 * kMB, Pattern::PointerChase,
+                         WordSel::SparseK, 6, 0.20, 30);
+        r2.pcClasses = 32;
+        auto r3 = region(96 * kKB, Pattern::RandomLine,
+                         WordSel::SparseK, 7, 0.30, 24);
+        r3.pcClasses = 64;
+        add({"parser", 1.6, 0.203, 6.42, false}, {r1, r2, r3},
+            {24 * kKB, 9}, {0.40, 0.05, 0.30});
+    }
+    {
+        // sixtrack: a 2-word random population and a full-line
+        // population. The median threshold (2) installs only the
+        // narrow lines, which then fit entirely in the WOC -- the
+        // reason LDIS-MT beats LDIS-Base on sixtrack in Figure 6.
+        auto r1 = region(800 * kKB, Pattern::RandomLine,
+                         WordSel::SparseK, 2, 0.55, 55);
+        r1.pcClasses = 32;
+        auto r2 = region(375 * kKB, Pattern::RandomLine,
+                         WordSel::Full, 8, 0.45, 55);
+        add({"sixtrack", 0.4, 0.206, 4.34, false}, {r1, r2},
+            {16 * kKB, 18}, {0.35, 0.05, 0.35});
+    }
+    {
+        // apsi: dense numeric loops over ~1MB.
+        auto r1 = region(1088 * kKB, Pattern::RandomLine,
+                         WordSel::Full, 8, 0.90, 30);
+        auto r2 = region(64 * kKB, Pattern::RandomLine,
+                         WordSel::SparseK, 6, 0.10, 30);
+        r2.pcClasses = 32;
+        add({"apsi", 0.3, 0.228, 7.80, false}, {r1, r2},
+            {16 * kKB, 16}, {0.05, 0.01, 0.12});
+    }
+    {
+        // swim: the delayed-spatial archetype. The trailing
+        // full-line touch trails the leading one-word touch by
+        // ~7000 lines, i.e. ~14000 distinct lines of LRU stack
+        // distance: just inside the baseline's reach, beyond the
+        // 0.75MB LOC. Plain LDIS fills the WOC with one-word lines
+        // that soon hole-miss (Fig 6) until the reverter disables it.
+        auto r1 = region(32 * kMB, Pattern::DelayedSpatial,
+                         WordSel::Full, 8, 0.32, 6);
+        r1.delayLines = 2240;
+        auto r2 = region(64 * kMB, Pattern::DelayedSpatial,
+                         WordSel::Full, 8, 0.63, 6);
+        r2.delayLines = 8000;
+        auto r3 = region(64 * kKB, Pattern::Sequential,
+                         WordSel::Full, 8, 0.05, 6);
+        add({"swim", 26.6, 0.504, 6.91, false}, {r1, r2, r3},
+            {12 * kKB, 20}, {0.03, 0.01, 0.08});
+    }
+    {
+        // vortex: object traversal plus a compulsory-dominated
+        // allocation stream.
+        auto r1 = region(512 * kKB, Pattern::RandomLine,
+                         WordSel::SparseK, 3, 0.94, 30);
+        r1.pcClasses = 64;
+        auto r2 = region(16 * kMB, Pattern::Sequential,
+                         WordSel::SparseK, 3, 0.06, 30);
+        r2.pcClasses = 32;
+        add({"vortex", 0.7, 0.534, 3.04, false}, {r1, r2},
+            {48 * kKB, 8}, {0.40, 0.05, 0.30});
+    }
+    {
+        // gcc: compulsory-heavy data plus a large code footprint
+        // (instruction-cache intensive per Section 7.4).
+        auto r1 = region(10 * kMB, Pattern::Sequential,
+                         WordSel::PartialSeq, 6, 0.10, 40);
+        auto r2 = region(1088 * kKB, Pattern::RandomLine,
+                         WordSel::SparseK, 6, 0.90, 40);
+        r2.pcClasses = 64;
+        add({"gcc", 0.4, 0.774, 6.38, false}, {r1, r2},
+            {192 * kKB, 8}, {0.40, 0.05, 0.30});
+    }
+    {
+        // wupwise: pure streaming; nearly all misses compulsory.
+        auto r1 = region(16 * kMB, Pattern::Sequential,
+                         WordSel::Full, 8, 0.90, 48);
+        auto r2 = region(96 * kKB, Pattern::RandomLine,
+                         WordSel::Full, 8, 0.10, 48);
+        add({"wupwise", 2.3, 0.83, 7.01, false}, {r1, r2},
+            {12 * kKB, 20}, {0.03, 0.01, 0.08});
+    }
+    {
+        // health (olden): linked-list chasing, heavily thrashing.
+        auto r1 = region(2432 * kKB, Pattern::PointerChase,
+                         WordSel::SparseK, 1, 0.55, 3);
+        r1.pcClasses = 8;
+        auto r2 = region(768 * kKB, Pattern::PointerChase,
+                         WordSel::SparseK, 4, 0.31, 3);
+        r2.pcClasses = 8;
+        auto r3 = region(32 * kKB, Pattern::RandomLine,
+                         WordSel::SparseK, 3, 0.14, 3);
+        add({"health", 62.0, 0.0073, 2.44, false}, {r1, r2, r3},
+            {8 * kKB, 10}, {0.40, 0.05, 0.25});
+    }
+
+    // ------------- Appendix A: cache-insensitive set --------------
+
+    {
+        auto r1 = region(24 * kMB, Pattern::RandomLine,
+                         WordSel::SparseK, 4, 1.0, 12);
+        add({"equake", 18.42, 0.0, 0.0, true}, {r1},
+            {12 * kKB, 12}, {0.10, 0.02, 0.20});
+    }
+    {
+        auto r1 = region(32 * kMB, Pattern::Sequential,
+                         WordSel::Full, 8, 1.0, 6);
+        add({"lucas", 16.17, 0.0, 0.0, true}, {r1},
+            {8 * kKB, 24}, {0.03, 0.01, 0.08});
+    }
+    {
+        auto r1 = region(16 * kMB, Pattern::Strided,
+                         WordSel::PartialSeq, 6, 1.0, 20);
+        r1.strideLines = 4;
+        add({"mgrid", 7.73, 0.0, 0.0, true}, {r1},
+            {8 * kKB, 24}, {0.05, 0.01, 0.10});
+    }
+    {
+        auto r1 = region(20 * kMB, Pattern::Sequential,
+                         WordSel::PartialSeq, 7, 1.0, 10);
+        add({"applu", 13.75, 0.0, 0.0, true}, {r1},
+            {8 * kKB, 24}, {0.05, 0.01, 0.10});
+    }
+    {
+        auto r1 = region(384 * kKB, Pattern::RandomLine,
+                         WordSel::SparseK, 5, 0.80, 30);
+        auto r2 = region(8 * kMB, Pattern::Sequential,
+                         WordSel::Full, 8, 0.20, 30);
+        add({"mesa", 0.62, 0.0, 0.0, true}, {r1, r2},
+            {32 * kKB, 10}, {0.10, 0.02, 0.25});
+    }
+    {
+        auto r1 = region(256 * kKB, Pattern::RandomLine,
+                         WordSel::SparseK, 5, 0.90, 60);
+        auto r2 = region(4 * kMB, Pattern::Sequential,
+                         WordSel::Full, 8, 0.10, 60);
+        add({"crafty", 0.09, 0.0, 0.0, true}, {r1, r2},
+            {64 * kKB, 8}, {0.15, 0.05, 0.30});
+    }
+    {
+        auto r1 = region(12 * kMB, Pattern::Sequential,
+                         WordSel::PartialSeq, 5, 1.0, 115);
+        add({"gap", 1.65, 0.0, 0.0, true}, {r1},
+            {24 * kKB, 12}, {0.20, 0.05, 0.30});
+    }
+    {
+        auto r1 = region(576 * kKB, Pattern::RandomLine,
+                         WordSel::SparseK, 4, 0.92, 10);
+        auto r2 = region(6 * kMB, Pattern::Sequential,
+                         WordSel::Full, 8, 0.08, 10);
+        add({"gzip", 1.45, 0.0, 0.0, true}, {r1, r2},
+            {16 * kKB, 12}, {0.10, 0.03, 0.25});
+    }
+    {
+        auto r1 = region(10 * kMB, Pattern::Sequential,
+                         WordSel::Full, 8, 1.0, 26);
+        add({"fma3d", 4.61, 0.0, 0.0, true}, {r1},
+            {32 * kKB, 14}, {0.05, 0.01, 0.12});
+    }
+    {
+        auto r1 = region(128 * kKB, Pattern::RandomLine,
+                         WordSel::SparseK, 4, 1.0, 80);
+        add({"perlbmk", 0.04, 0.0, 0.0, true}, {r1},
+            {48 * kKB, 8}, {0.15, 0.05, 0.30});
+    }
+    {
+        auto r1 = region(96 * kKB, Pattern::RandomLine,
+                         WordSel::SparseK, 4, 1.0, 100);
+        add({"eon", 0.01, 0.0, 0.0, true}, {r1},
+            {32 * kKB, 8}, {0.10, 0.03, 0.25});
+    }
+
+    return defs;
+}
+
+const std::vector<ProxyDef> &
+catalogue()
+{
+    static const std::vector<ProxyDef> defs = buildCatalogue();
+    return defs;
+}
+
+} // namespace
+
+const std::vector<BenchmarkInfo> &
+benchmarkTable()
+{
+    static const std::vector<BenchmarkInfo> infos = [] {
+        std::vector<BenchmarkInfo> v;
+        for (const auto &d : catalogue())
+            v.push_back(d.info);
+        return v;
+    }();
+    return infos;
+}
+
+std::vector<std::string>
+studiedBenchmarks()
+{
+    std::vector<std::string> names;
+    for (const auto &d : catalogue())
+        if (!d.info.insensitive)
+            names.push_back(d.info.name);
+    return names;
+}
+
+std::vector<std::string>
+insensitiveBenchmarks()
+{
+    std::vector<std::string> names;
+    for (const auto &d : catalogue())
+        if (d.info.insensitive)
+            names.push_back(d.info.name);
+    return names;
+}
+
+const BenchmarkInfo &
+benchmarkInfo(const std::string &name)
+{
+    for (const auto &d : catalogue())
+        if (d.info.name == name)
+            return d.info;
+    ldis_fatal("unknown benchmark '%s'", name.c_str());
+}
+
+std::unique_ptr<Workload>
+makeBenchmark(const std::string &name, std::uint64_t seed)
+{
+    for (const auto &d : catalogue()) {
+        if (d.info.name == name) {
+            return std::make_unique<CompositeWorkload>(
+                d.info.name, d.regions, d.code, d.values, seed);
+        }
+    }
+    ldis_fatal("unknown benchmark '%s'", name.c_str());
+}
+
+} // namespace ldis

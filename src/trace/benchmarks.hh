@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Named benchmark proxies. Each proxy is a CompositeWorkload whose
+ * region parameters are calibrated against the characteristics the
+ * paper reports for that benchmark: MPKI and compulsory-miss fraction
+ * (Table 2), average words used per line vs. cache size (Table 6 /
+ * Fig 1), and the qualitative response to Line Distillation (Fig 6).
+ *
+ * The proxies replace the paper's Alpha SPEC CPU2000 SimPoint traces,
+ * which are not redistributable; see DESIGN.md section 2 for the
+ * substitution argument.
+ */
+
+#ifndef DISTILLSIM_TRACE_BENCHMARKS_HH
+#define DISTILLSIM_TRACE_BENCHMARKS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/workload.hh"
+
+namespace ldis
+{
+
+/** Paper-reported reference numbers for one benchmark. */
+struct BenchmarkInfo
+{
+    std::string name;
+
+    /** Table 2: L2 misses per 1000 instructions (baseline 1MB). */
+    double paperMpki = 0.0;
+
+    /** Table 2: fraction of misses that are compulsory. */
+    double paperCompulsory = 0.0;
+
+    /** Table 6: average words used per line at 1MB (0 if absent). */
+    double paperWords1MB = 0.0;
+
+    /** True for the Appendix-A cache-insensitive set. */
+    bool insensitive = false;
+};
+
+/** Reference table for all benchmarks (studied + insensitive). */
+const std::vector<BenchmarkInfo> &benchmarkTable();
+
+/** Names of the 16 studied benchmarks, in the paper's order. */
+std::vector<std::string> studiedBenchmarks();
+
+/** Names of the Appendix-A cache-insensitive benchmarks. */
+std::vector<std::string> insensitiveBenchmarks();
+
+/** Reference info for @p name; fatal if unknown. */
+const BenchmarkInfo &benchmarkInfo(const std::string &name);
+
+/**
+ * Instantiate the proxy workload for @p name.
+ * @param seed stream seed; the default reproduces the shipped runs
+ */
+std::unique_ptr<Workload> makeBenchmark(const std::string &name,
+                                        std::uint64_t seed = 1);
+
+} // namespace ldis
+
+#endif // DISTILLSIM_TRACE_BENCHMARKS_HH

@@ -1,0 +1,94 @@
+#include "composite.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+namespace
+{
+
+/** Gap, in lines, between consecutive regions. */
+constexpr std::uint64_t kRegionGapLines = 1ull << 16;
+
+/** PC space reserved per region. */
+constexpr Addr kPcStride = 1ull << 16;
+
+/** Code lives at the bottom of the address space; data above it. */
+constexpr LineAddr kDataBaseLine = (1ull << 32) / kLineBytes;
+
+} // namespace
+
+CompositeWorkload::CompositeWorkload(std::string name,
+                                     std::vector<RegionParams> regions,
+                                     CodeModel code_model,
+                                     ValueProfile values,
+                                     std::uint64_t seed)
+    : workloadName(std::move(name)), code(code_model), vals(values),
+      masterSeed(seed), pick(seed ^ 0xc0ffee), burstPos(0)
+{
+    if (regions.empty())
+        ldis_fatal("workload '%s' has no regions",
+                   workloadName.c_str());
+
+    LineAddr base = kDataBaseLine;
+    double cum = 0.0;
+    Addr pc_base = 0x1000;
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+        const RegionParams &p = regions[i];
+        if (p.weight <= 0.0)
+            ldis_fatal("region %zu of '%s' has non-positive weight",
+                       i, workloadName.c_str());
+        streams.emplace_back(p, base, pc_base + i * kPcStride,
+                             seed * 1315423911u + i + 1);
+        cum += p.weight;
+        cumWeight.push_back(cum);
+        base += divCeil(p.bytes, kLineBytes) + kRegionGapLines;
+    }
+}
+
+LineAddr
+CompositeWorkload::regionBase(std::size_t i) const
+{
+    ldis_assert(i < streams.size());
+    LineAddr base = kDataBaseLine;
+    for (std::size_t r = 0; r < i; ++r)
+        base += divCeil(streams[r].params().bytes, kLineBytes)
+              + kRegionGapLines;
+    return base;
+}
+
+void
+CompositeWorkload::refill()
+{
+    burst.clear();
+    burstPos = 0;
+    double total = cumWeight.back();
+    double u = pick.uniform() * total;
+    std::size_t r = 0;
+    while (r + 1 < cumWeight.size() && u >= cumWeight[r])
+        ++r;
+    streams[r].produceVisit(burst);
+    ldis_assert(!burst.empty());
+}
+
+Access
+CompositeWorkload::next()
+{
+    if (burstPos >= burst.size())
+        refill();
+    return burst[burstPos++];
+}
+
+void
+CompositeWorkload::reset()
+{
+    for (auto &s : streams)
+        s.reset();
+    pick = Random(masterSeed ^ 0xc0ffee);
+    burst.clear();
+    burstPos = 0;
+}
+
+} // namespace ldis

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * CompositeWorkload: a weighted mix of region streams. Each benchmark
+ * proxy is an instance of this class with calibrated region
+ * parameters (see benchmarks.cc).
+ */
+
+#ifndef DISTILLSIM_TRACE_COMPOSITE_HH
+#define DISTILLSIM_TRACE_COMPOSITE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "trace/region.hh"
+#include "trace/workload.hh"
+
+namespace ldis
+{
+
+/**
+ * A workload assembled from weighted regions. Visits (line-sized
+ * access bursts) are drawn from regions in proportion to their
+ * weights; the burst structure keeps within-line accesses adjacent,
+ * which is what lets the L1D coalesce them like a real machine.
+ */
+class CompositeWorkload : public Workload
+{
+  public:
+    /**
+     * @param name benchmark proxy name
+     * @param regions region descriptions; laid out disjointly in the
+     *        simulated address space in declaration order
+     * @param code instruction-side model
+     * @param values data-value mixture
+     * @param seed master seed (regions get derived seeds)
+     */
+    CompositeWorkload(std::string name,
+                      std::vector<RegionParams> regions,
+                      CodeModel code, ValueProfile values,
+                      std::uint64_t seed = 1);
+
+    Access next() override;
+    void reset() override;
+    const CodeModel &codeModel() const override { return code; }
+    const ValueProfile &valueProfile() const override { return vals; }
+    const std::string &name() const override { return workloadName; }
+
+    /** Number of constituent regions (for tests). */
+    std::size_t numRegions() const { return streams.size(); }
+
+    /** Base line address of region @p i (for tests). */
+    LineAddr regionBase(std::size_t i) const;
+
+  private:
+    void refill();
+
+    std::string workloadName;
+    CodeModel code;
+    ValueProfile vals;
+    std::uint64_t masterSeed;
+
+    std::vector<RegionStream> streams;
+    std::vector<double> cumWeight;
+    Random pick;
+
+    std::vector<Access> burst;
+    std::size_t burstPos;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_TRACE_COMPOSITE_HH

@@ -1,0 +1,250 @@
+#include "region.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+namespace
+{
+
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+RegionStream::RegionStream(const RegionParams &params,
+                           LineAddr base_line, Addr pc_base,
+                           std::uint64_t seed)
+    : regionParams(params), baseLine(base_line), pcBase(pc_base),
+      lines(divCeil(params.bytes, kLineBytes)), rngSeed(seed),
+      rng(seed), cursor(0), chainState(mix(seed)), sweepEpoch(0),
+      delayedPhase(false)
+{
+    ldis_assert(lines > 0);
+    if (params.pattern == Pattern::DelayedSpatial &&
+        params.delayLines >= lines) {
+        ldis_fatal("DelayedSpatial region: delayLines (%u) must be "
+                   "smaller than the region (%llu lines)",
+                   params.delayLines,
+                   static_cast<unsigned long long>(lines));
+    }
+}
+
+void
+RegionStream::reset()
+{
+    rng = Random(rngSeed);
+    cursor = 0;
+    chainState = mix(rngSeed);
+    sweepEpoch = 0;
+    delayedPhase = false;
+}
+
+LineAddr
+RegionStream::advance()
+{
+    switch (regionParams.pattern) {
+      case Pattern::Sequential: {
+        std::uint64_t off = cursor;
+        cursor += 1;
+        if (cursor >= lines) {
+            cursor = 0;
+            ++sweepEpoch;
+        }
+        return baseLine + off;
+      }
+      case Pattern::Strided: {
+        std::uint64_t off = cursor;
+        cursor += regionParams.strideLines;
+        if (cursor >= lines) {
+            // Shift the phase by one so successive sweeps cover the
+            // interleaved lines, like a blocked numeric kernel.
+            cursor = (cursor + 1) % regionParams.strideLines;
+            ++sweepEpoch;
+        }
+        return baseLine + off;
+      }
+      case Pattern::RandomLine: {
+        // Count a pseudo-epoch every `lines` visits so rotateWords
+        // has a slowly moving key for random traversals too.
+        cursor += 1;
+        if (cursor >= lines) {
+            cursor = 0;
+            ++sweepEpoch;
+        }
+        return baseLine + rng.below(lines);
+      }
+      case Pattern::PointerChase: {
+        chainState = mix(chainState);
+        cursor += 1;
+        if (cursor >= lines) {
+            cursor = 0;
+            ++sweepEpoch;
+        }
+        return baseLine + (chainState % lines);
+      }
+      case Pattern::DelayedSpatial:
+        // Handled in produceVisit; advance() returns the front line.
+        return baseLine + cursor;
+    }
+    ldis_panic("unreachable pattern");
+}
+
+void
+RegionStream::selectPool(LineAddr line, unsigned p,
+                         unsigned *pool_out) const
+{
+    ldis_assert(p >= 1 && p <= kWordsPerLine);
+    bool taken[kWordsPerLine] = {};
+    unsigned count = 0;
+    std::uint64_t h = mix(line * 0x9e3779b97f4a7c15ull + 17);
+    while (count < p) {
+        unsigned w = static_cast<unsigned>(h % kWordsPerLine);
+        h = mix(h);
+        if (!taken[w]) {
+            taken[w] = true;
+            pool_out[count++] = w;
+        }
+    }
+}
+
+unsigned
+RegionStream::selectWords(std::uint64_t sel_key, unsigned k,
+                          unsigned *words_out) const
+{
+    ldis_assert(k >= 1 && k <= kWordsPerLine);
+    std::uint64_t key = sel_key * 2654435761u;
+    if (regionParams.rotateWords)
+        key ^= mix(sweepEpoch + 1);
+    // Draw a permutation prefix of size k from the 8 words using a
+    // Feistel-ish selection: stable per (line, epoch).
+    bool taken[kWordsPerLine] = {};
+    unsigned count = 0;
+    std::uint64_t h = mix(key);
+    while (count < k) {
+        unsigned w = static_cast<unsigned>(h % kWordsPerLine);
+        h = mix(h);
+        if (!taken[w]) {
+            taken[w] = true;
+            words_out[count++] = w;
+        }
+    }
+    return count;
+}
+
+void
+RegionStream::emitWords(std::vector<Access> &out, LineAddr line,
+                        const unsigned *words, unsigned count,
+                        std::uint64_t pc_salt)
+{
+    for (unsigned i = 0; i < count; ++i) {
+        Access a;
+        a.addr = lineBaseOf(line) + words[i] * kWordBytes;
+        a.pc = pcBase + pc_salt * 64 + words[i] * 4;
+        a.write = rng.chance(regionParams.writeFrac);
+        // Uniform in [0, 2*mean] keeps the mean while adding jitter.
+        a.nonMemOps = static_cast<std::uint32_t>(
+            rng.below(2 * regionParams.meanOps + 1));
+        a.branches = 0;
+        for (std::uint32_t b = 0; b < a.nonMemOps; ++b)
+            if (rng.chance(regionParams.branchFrac))
+                ++a.branches;
+        a.depDist = (i == 0) ? regionParams.depDist : 0;
+        out.push_back(a);
+    }
+}
+
+void
+RegionStream::produceVisit(std::vector<Access> &out)
+{
+    unsigned words[kWordsPerLine];
+    unsigned count = 0;
+
+    if (regionParams.pattern == Pattern::DelayedSpatial) {
+        if (!delayedPhase) {
+            // Front cursor: a single-word touch of the lead line.
+            LineAddr line = baseLine + cursor;
+            words[0] = 0;
+            emitWords(out, line, words, 1);
+            delayedPhase = true;
+        } else {
+            // Trailing cursor: the full-line touch, delayLines back.
+            std::uint64_t trail =
+                (cursor + lines - regionParams.delayLines) % lines;
+            LineAddr line = baseLine + trail;
+            for (unsigned w = 0; w < kWordsPerLine; ++w)
+                words[w] = w;
+            emitWords(out, line, words, kWordsPerLine);
+            delayedPhase = false;
+            cursor += 1;
+            if (cursor >= lines) {
+                cursor = 0;
+                ++sweepEpoch;
+            }
+        }
+        return;
+    }
+
+    LineAddr line = advance();
+    // Footprint class: per-line by default, or one of pcClasses
+    // PC-correlated classes (learnable by the SFP baseline).
+    std::uint64_t sel_key = line;
+    std::uint64_t pc_salt = 0;
+    if (regionParams.pcClasses > 0) {
+        sel_key = mix(line) % regionParams.pcClasses;
+        pc_salt = sel_key + 1;
+    }
+    switch (regionParams.wordSel) {
+      case WordSel::Full:
+        for (unsigned w = 0; w < kWordsPerLine; ++w)
+            words[w] = w;
+        count = kWordsPerLine;
+        break;
+      case WordSel::Single:
+        count = selectWords(sel_key, 1, words);
+        break;
+      case WordSel::SparseK:
+        count = selectWords(sel_key, regionParams.wordsPerVisit,
+                            words);
+        break;
+      case WordSel::PartialSeq:
+        ldis_assert(regionParams.wordsPerVisit >= 1 &&
+                    regionParams.wordsPerVisit <= kWordsPerLine);
+        for (unsigned w = 0; w < regionParams.wordsPerVisit; ++w)
+            words[w] = w;
+        count = regionParams.wordsPerVisit;
+        break;
+      case WordSel::PoolRotate: {
+        unsigned pool[kWordsPerLine];
+        unsigned p = regionParams.poolSize;
+        ldis_assert(p >= 1 && p <= kWordsPerLine);
+        ldis_assert(regionParams.wordsPerVisit >= 1 &&
+                    regionParams.wordsPerVisit <= p);
+        // The pool is a stable per-line selection (epoch-independent)
+        // so footprints accumulate across epochs for resident lines.
+        selectPool(line, p, pool);
+        count = 0;
+        bool taken[kWordsPerLine] = {};
+        std::uint64_t rot = sweepEpoch / regionParams.rotateEvery;
+        for (unsigned i = 0; i < regionParams.wordsPerVisit; ++i) {
+            unsigned w = pool[(rot + i) % p];
+            if (!taken[w]) {
+                taken[w] = true;
+                words[count++] = w;
+            }
+        }
+        break;
+      }
+    }
+    emitWords(out, line, words, count, pc_salt);
+}
+
+} // namespace ldis

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Region streams: the building block of synthetic benchmark proxies.
+ *
+ * A region is a contiguous chunk of the simulated address space with
+ * a traversal pattern (sequential, strided, random, pointer-chase,
+ * delayed-spatial) and a word-selection model describing which of the
+ * eight words of a visited line get touched. Benchmark proxies are
+ * weighted mixes of regions (see composite.hh); the parameters are
+ * calibrated against the per-benchmark characteristics the paper
+ * reports (Tables 2 and 6).
+ */
+
+#ifndef DISTILLSIM_TRACE_REGION_HH
+#define DISTILLSIM_TRACE_REGION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "trace/access.hh"
+
+namespace ldis
+{
+
+/** How the region's line cursor advances between visits. */
+enum class Pattern
+{
+    /** Lines visited in address order, wrapping (streaming). */
+    Sequential,
+
+    /** Cursor jumps @c strideLines lines per visit, wrapping. */
+    Strided,
+
+    /** Uniformly random line each visit (low temporal order). */
+    RandomLine,
+
+    /**
+     * Deterministic hash chain: the next line is a function of the
+     * current one. Models linked-data traversal; accesses carry
+     * depDist = 1 so the IPC model serializes the misses.
+     */
+    PointerChase,
+
+    /**
+     * The swim archetype: a front cursor touches word 0 of line i
+     * while a trailing cursor, @c delayLines behind, touches all
+     * eight words of its line. Whether the two touches coalesce into
+     * one cached line depends on cache capacity, reproducing the
+     * paper's observation that swim's footprints collapse to
+     * one-word under 1MB and expand to full lines above 1.25MB.
+     */
+    DelayedSpatial,
+};
+
+/** Which words of a visited line are accessed. */
+enum class WordSel
+{
+    /** All eight words, in order. */
+    Full,
+
+    /** A single hash-selected word. */
+    Single,
+
+    /** @c wordsPerVisit distinct hash-selected words. */
+    SparseK,
+
+    /** Words 0 .. wordsPerVisit-1, in order. */
+    PartialSeq,
+
+    /**
+     * Each line owns a small pool of @c poolSize distinct words;
+     * a visit touches @c wordsPerVisit consecutive pool entries
+     * starting at the current epoch's rotation. Lines that stay
+     * resident across epochs accumulate the pool's words in their
+     * footprint (Table 6's words-grow-with-cache-size effect), while
+     * lines evicted every epoch show only @c wordsPerVisit words.
+     */
+    PoolRotate,
+};
+
+/** Static description of one region of a synthetic workload. */
+struct RegionParams
+{
+    /** Region size in bytes (rounded up to whole lines). */
+    std::uint64_t bytes = 1 << 20;
+
+    Pattern pattern = Pattern::Sequential;
+    WordSel wordSel = WordSel::Full;
+
+    /** Word count per visit for SparseK / PartialSeq / PoolRotate. */
+    unsigned wordsPerVisit = 8;
+
+    /** Per-line word-pool size for WordSel::PoolRotate. */
+    unsigned poolSize = 4;
+
+    /**
+     * Epochs between pool-rotation steps (PoolRotate): larger values
+     * keep words stable for longer, so revisits mostly hit and only
+     * occasional epoch transitions produce hole-misses.
+     */
+    unsigned rotateEvery = 1;
+
+    /** Stride, in lines, for Pattern::Strided. */
+    unsigned strideLines = 8;
+
+    /** Trailing-cursor distance, in lines, for DelayedSpatial. */
+    unsigned delayLines = 1 << 14;
+
+    /** Fraction of accesses that are stores. */
+    double writeFrac = 0.2;
+
+    /**
+     * If true, the hash-based word selection also keys on the sweep
+     * epoch, so a line revisited in a later epoch touches different
+     * words. This makes the average used-word count grow with cache
+     * size (lines that survive longer accumulate bigger footprints),
+     * matching Table 6's art/vpr/bzip2 rows.
+     */
+    bool rotateWords = false;
+
+    /** Dependence distance stamped on this region's accesses. */
+    std::uint8_t depDist = 0;
+
+    /**
+     * If nonzero, Single/SparseK word selection is drawn from this
+     * many footprint *classes* instead of being a pure per-line
+     * hash, and the access PC encodes the class. This models
+     * PC-correlated footprints (a loop touching the same fields of
+     * every record), which is what makes the SFP baseline's
+     * (PC, offset)-indexed predictor learnable. 0 = per-line
+     * footprints (pointer-chasing heaps, unpredictable).
+     */
+    unsigned pcClasses = 0;
+
+    /** Selection weight within a composite workload. */
+    double weight = 1.0;
+
+    /** Mean non-memory ops between consecutive accesses. */
+    std::uint32_t meanOps = 3;
+
+    /** Fraction of non-memory ops that are conditional branches. */
+    double branchFrac = 0.15;
+};
+
+/**
+ * Stateful traversal of one region. produceVisit() appends the burst
+ * of accesses for the next visited line; the composite workload
+ * interleaves bursts from its regions.
+ */
+class RegionStream
+{
+  public:
+    /**
+     * @param params traversal description
+     * @param base_line first line address of the region
+     * @param pc_base first synthetic PC for this region's accesses
+     * @param seed RNG seed (distinct per region)
+     */
+    RegionStream(const RegionParams &params, LineAddr base_line,
+                 Addr pc_base, std::uint64_t seed);
+
+    /** Append one visit's burst of accesses to @p out. */
+    void produceVisit(std::vector<Access> &out);
+
+    const RegionParams &params() const { return regionParams; }
+
+    /** Number of lines spanned by the region. */
+    std::uint64_t numLines() const { return lines; }
+
+    /** Completed full sweeps (epochs) over the region. */
+    std::uint64_t epoch() const { return sweepEpoch; }
+
+    /** Restart traversal from the initial state. */
+    void reset();
+
+  private:
+    /** Next line to visit according to the pattern. */
+    LineAddr advance();
+
+    /**
+     * Append accesses for @p line with the given word list;
+     * @p pc_salt distinguishes footprint classes in the PCs.
+     */
+    void emitWords(std::vector<Access> &out, LineAddr line,
+                   const unsigned *words, unsigned count,
+                   std::uint64_t pc_salt = 0);
+
+    /** Select @p k distinct words for @p sel_key (line or class). */
+    unsigned selectWords(std::uint64_t sel_key, unsigned k,
+                         unsigned *words_out) const;
+
+    /** Stable per-line pool of @p p distinct words (PoolRotate). */
+    void selectPool(LineAddr line, unsigned p,
+                    unsigned *pool_out) const;
+
+    RegionParams regionParams;
+    LineAddr baseLine;
+    Addr pcBase;
+    std::uint64_t lines;
+    std::uint64_t rngSeed;
+    Random rng;
+
+    std::uint64_t cursor;      //!< line offset of the front cursor
+    std::uint64_t chainState;  //!< pointer-chase hash state
+    std::uint64_t sweepEpoch;  //!< completed sweeps
+    bool delayedPhase;         //!< DelayedSpatial: trailing touch next
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_TRACE_REGION_HH

@@ -1,0 +1,183 @@
+#include "trace_file.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'L', 'D', 'T', '1'};
+
+/** RAII FILE handle. */
+struct File
+{
+    std::FILE *f = nullptr;
+
+    File(const std::string &path, const char *mode)
+        : f(std::fopen(path.c_str(), mode))
+    {
+        if (!f)
+            ldis_fatal("cannot open trace file '%s'", path.c_str());
+    }
+
+    ~File()
+    {
+        if (f)
+            std::fclose(f);
+    }
+
+    File(const File &) = delete;
+    File &operator=(const File &) = delete;
+};
+
+template <typename T>
+void
+writeScalar(std::FILE *f, T v)
+{
+    if (std::fwrite(&v, sizeof(T), 1, f) != 1)
+        ldis_fatal("trace write failed");
+}
+
+template <typename T>
+T
+readScalar(std::FILE *f)
+{
+    T v{};
+    if (std::fread(&v, sizeof(T), 1, f) != 1)
+        ldis_fatal("trace file truncated");
+    return v;
+}
+
+void
+writeRecord(std::FILE *f, const Access &a)
+{
+    writeScalar<std::uint64_t>(f, a.addr);
+    writeScalar<std::uint64_t>(f, a.pc);
+    writeScalar<std::uint32_t>(f, a.nonMemOps);
+    writeScalar<std::uint32_t>(f, a.branches);
+    writeScalar<std::uint8_t>(f, a.write ? 1 : 0);
+    writeScalar<std::uint8_t>(f, a.depDist);
+}
+
+Access
+readRecord(std::FILE *f)
+{
+    Access a;
+    a.addr = readScalar<std::uint64_t>(f);
+    a.pc = readScalar<std::uint64_t>(f);
+    a.nonMemOps = readScalar<std::uint32_t>(f);
+    a.branches = readScalar<std::uint32_t>(f);
+    a.write = readScalar<std::uint8_t>(f) != 0;
+    a.depDist = readScalar<std::uint8_t>(f);
+    return a;
+}
+
+/** Read+validate the header; returns the record count. */
+std::uint64_t
+readHeader(std::FILE *f, std::string &name, CodeModel &code,
+           ValueProfile &values, const std::string &path)
+{
+    char magic[4];
+    if (std::fread(magic, 1, 4, f) != 4 ||
+        std::memcmp(magic, kMagic, 4) != 0)
+        ldis_fatal("'%s' is not a DistillSim trace", path.c_str());
+    std::uint32_t name_len = readScalar<std::uint32_t>(f);
+    if (name_len > 4096)
+        ldis_fatal("trace '%s': implausible name length",
+                   path.c_str());
+    name.resize(name_len);
+    if (name_len > 0 &&
+        std::fread(name.data(), 1, name_len, f) != name_len)
+        ldis_fatal("trace file truncated");
+    code.codeBytes = readScalar<std::uint64_t>(f);
+    code.avgRunInstrs = readScalar<std::uint32_t>(f);
+    values.pZero = readScalar<double>(f);
+    values.pOne = readScalar<double>(f);
+    values.pNarrow = readScalar<double>(f);
+    return readScalar<std::uint64_t>(f);
+}
+
+} // namespace
+
+void
+recordTrace(Workload &workload, const std::string &path,
+            std::uint64_t num_accesses)
+{
+    ldis_assert(num_accesses > 0);
+    File file(path, "wb");
+    std::FILE *f = file.f;
+
+    if (std::fwrite(kMagic, 1, 4, f) != 4)
+        ldis_fatal("trace write failed");
+    const std::string &name = workload.name();
+    writeScalar<std::uint32_t>(
+        f, static_cast<std::uint32_t>(name.size()));
+    if (!name.empty() &&
+        std::fwrite(name.data(), 1, name.size(), f) != name.size())
+        ldis_fatal("trace write failed");
+    writeScalar<std::uint64_t>(f, workload.codeModel().codeBytes);
+    writeScalar<std::uint32_t>(f, workload.codeModel().avgRunInstrs);
+    writeScalar<double>(f, workload.valueProfile().pZero);
+    writeScalar<double>(f, workload.valueProfile().pOne);
+    writeScalar<double>(f, workload.valueProfile().pNarrow);
+    writeScalar<std::uint64_t>(f, num_accesses);
+
+    for (std::uint64_t i = 0; i < num_accesses; ++i)
+        writeRecord(f, workload.next());
+}
+
+TraceInfo
+traceInfo(const std::string &path)
+{
+    File file(path, "rb");
+    TraceInfo info;
+    std::uint64_t count = readHeader(file.f, info.name, info.code,
+                                     info.values, path);
+    info.records = count;
+    for (std::uint64_t i = 0; i < count; ++i)
+        info.instructions += readRecord(file.f).instructions();
+    return info;
+}
+
+FileWorkload::FileWorkload(const std::string &path)
+{
+    File file(path, "rb");
+    std::uint64_t count =
+        readHeader(file.f, traceName, code, vals, path);
+    if (count == 0)
+        ldis_fatal("trace '%s' is empty", path.c_str());
+    records.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        records.push_back(readRecord(file.f));
+}
+
+Access
+FileWorkload::next()
+{
+    Access a = records[pos];
+    if (++pos >= records.size()) {
+        pos = 0;
+        ++wrapCount;
+        if (!warnedWrap) {
+            warn("trace '%s' wrapped after %zu records; the run is "
+                 "longer than the recording",
+                 traceName.c_str(), records.size());
+            warnedWrap = true;
+        }
+    }
+    return a;
+}
+
+void
+FileWorkload::reset()
+{
+    pos = 0;
+    wrapCount = 0;
+}
+
+} // namespace ldis

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Trace recording and replay. A trace file captures a workload's
+ * access stream (plus its code model and value profile) in a compact
+ * binary format, so experiments can run against externally produced
+ * traces — e.g. converted from ChampSim/gem5 trace formats — or
+ * against frozen snapshots of the synthetic proxies.
+ *
+ * Format (little-endian):
+ *   magic   "LDT1"                       (4 bytes)
+ *   u32     name length, then the name bytes
+ *   u64     codeBytes, u32 avgRunInstrs
+ *   f64 x3  value profile (pZero, pOne, pNarrow)
+ *   u64     record count
+ *   records: u64 addr, u64 pc, u32 nonMemOps, u32 branches,
+ *            u8 flags (bit0 = write), u8 depDist
+ */
+
+#ifndef DISTILLSIM_TRACE_TRACE_FILE_HH
+#define DISTILLSIM_TRACE_TRACE_FILE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/workload.hh"
+
+namespace ldis
+{
+
+/**
+ * Record @p num_accesses accesses of @p workload into @p path.
+ * Fatal on I/O errors.
+ */
+void recordTrace(Workload &workload, const std::string &path,
+                 std::uint64_t num_accesses);
+
+/** Summary of a trace file (for tools / tests). */
+struct TraceInfo
+{
+    std::string name;
+    std::uint64_t records = 0;
+    CodeModel code;
+    ValueProfile values;
+    std::uint64_t instructions = 0; //!< sum over records
+};
+
+/** Read a trace file's header and aggregate counts. */
+TraceInfo traceInfo(const std::string &path);
+
+/**
+ * A workload replaying a recorded trace. The stream wraps around at
+ * the end of the file so it satisfies the infinite-stream contract;
+ * run lengths beyond one pass re-execute the trace (warned once).
+ */
+class FileWorkload : public Workload
+{
+  public:
+    /** Load @p path fully into memory. Fatal on malformed input. */
+    explicit FileWorkload(const std::string &path);
+
+    Access next() override;
+    void reset() override;
+    const CodeModel &codeModel() const override { return code; }
+    const ValueProfile &valueProfile() const override { return vals; }
+    const std::string &name() const override { return traceName; }
+
+    /** Number of records in the trace. */
+    std::uint64_t size() const { return records.size(); }
+
+    /** Completed full passes over the trace. */
+    std::uint64_t wraps() const { return wrapCount; }
+
+  private:
+    std::string traceName;
+    CodeModel code;
+    ValueProfile vals;
+    std::vector<Access> records;
+    std::size_t pos = 0;
+    std::uint64_t wrapCount = 0;
+    bool warnedWrap = false;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_TRACE_TRACE_FILE_HH

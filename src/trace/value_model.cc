@@ -1,0 +1,54 @@
+#include "value_model.hh"
+
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+namespace
+{
+
+/** SplitMix64-style avalanche hash. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+ValueModel::ValueModel(ValueProfile profile, std::uint64_t seed)
+    : prof(profile), seedMix(mix(seed))
+{
+    double total = prof.pZero + prof.pOne + prof.pNarrow;
+    if (total > 1.0)
+        ldis_fatal("value profile probabilities sum to %f > 1", total);
+}
+
+std::uint32_t
+ValueModel::dword(LineAddr line, unsigned dw) const
+{
+    ldis_assert(dw < kDwordsPerLine);
+    std::uint64_t h = mix(seedMix ^ mix(line * kDwordsPerLine + dw));
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u < prof.pZero)
+        return 0;
+    u -= prof.pZero;
+    if (u < prof.pOne)
+        return 1;
+    u -= prof.pOne;
+    if (u < prof.pNarrow) {
+        // Narrow value: upper 16 bits zero, lower 16 nonzero so it
+        // does not collapse into the 0/1 classes.
+        std::uint32_t v = static_cast<std::uint32_t>(h & 0xffff);
+        return v > 1 ? v : 2;
+    }
+    // Incompressible: force a bit above 16 so the encoder cannot
+    // classify it as narrow.
+    return static_cast<std::uint32_t>(h) | 0x80000000u;
+}
+
+} // namespace ldis

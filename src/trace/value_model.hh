@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic synthesis of the data *values* held in memory, used by
+ * the compression experiments (Section 8). Instead of threading data
+ * through every cache model, each 32-bit dword of memory is a pure
+ * function of its address and the benchmark's value profile, so any
+ * component can reconstruct line contents on demand.
+ */
+
+#ifndef DISTILLSIM_TRACE_VALUE_MODEL_HH
+#define DISTILLSIM_TRACE_VALUE_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ldis
+{
+
+/** Number of 32-bit dwords in a 64B line (compression granularity). */
+inline constexpr unsigned kDwordsPerLine = kLineBytes / 4;
+
+/**
+ * Mixture weights describing how compressible a benchmark's data is
+ * under the paper's Table-4 encoding. The remaining probability mass
+ * (1 - pZero - pOne - pNarrow) is incompressible 32-bit data.
+ */
+struct ValueProfile
+{
+    /** Probability a dword is exactly 0 (2-bit encoding). */
+    double pZero = 0.15;
+
+    /** Probability a dword is exactly 1 (2-bit encoding). */
+    double pOne = 0.05;
+
+    /** Probability a dword fits in 16 bits (2+16-bit encoding). */
+    double pNarrow = 0.20;
+};
+
+/**
+ * Deterministic value source. Two line addresses always yield the
+ * same contents within a run, which is all the sampling-based
+ * compressibility study (Fig 10) requires.
+ */
+class ValueModel
+{
+  public:
+    explicit ValueModel(ValueProfile profile, std::uint64_t seed = 1);
+
+    /** The 32-bit dword at position @p dword of line @p line. */
+    std::uint32_t dword(LineAddr line, unsigned dword) const;
+
+    const ValueProfile &profile() const { return prof; }
+
+  private:
+    ValueProfile prof;
+    std::uint64_t seedMix;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_TRACE_VALUE_MODEL_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Abstract workload interface: an infinite, deterministic stream of
+ * Access records plus the side-band models (code footprint for the
+ * L1I, value profile for compression) that some experiments need.
+ */
+
+#ifndef DISTILLSIM_TRACE_WORKLOAD_HH
+#define DISTILLSIM_TRACE_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+
+#include "trace/access.hh"
+#include "trace/value_model.hh"
+
+namespace ldis
+{
+
+/** An infinite reproducible access stream. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Produce the next access. Never exhausts. */
+    virtual Access next() = 0;
+
+    /** Restart the stream from its initial state (same seed). */
+    virtual void reset() = 0;
+
+    /** Instruction-side model for L1I traffic synthesis. */
+    virtual const CodeModel &codeModel() const = 0;
+
+    /** Data-value mixture for the compression experiments. */
+    virtual const ValueProfile &valueProfile() const = 0;
+
+    /** Human-readable name ("art", "mcf", ...). */
+    virtual const std::string &name() const = 0;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_TRACE_WORKLOAD_HH

@@ -1,0 +1,114 @@
+/** @file Unit tests for the command-line argument parser. */
+
+#include <gtest/gtest.h>
+
+#include "common/args.hh"
+
+namespace ldis
+{
+namespace
+{
+
+ArgParser
+makeParser()
+{
+    ArgParser p;
+    p.addOption("benchmark", "proxy name", "mcf");
+    p.addOption("instructions", "run length", "1000");
+    p.addOption("scale", "a float", "1.5");
+    p.addFlag("ipc", "execution driven");
+    return p;
+}
+
+bool
+parseArgs(ArgParser &p, std::initializer_list<const char *> argv)
+{
+    std::vector<const char *> full{"prog"};
+    full.insert(full.end(), argv.begin(), argv.end());
+    return p.parse(static_cast<int>(full.size()), full.data());
+}
+
+TEST(ArgParser, DefaultsApplyWhenAbsent)
+{
+    ArgParser p = makeParser();
+    ASSERT_TRUE(parseArgs(p, {}));
+    EXPECT_EQ(p.get("benchmark"), "mcf");
+    EXPECT_EQ(p.getUint("instructions"), 1000u);
+    EXPECT_DOUBLE_EQ(p.getDouble("scale"), 1.5);
+    EXPECT_FALSE(p.has("ipc"));
+}
+
+TEST(ArgParser, SpaceSeparatedValues)
+{
+    ArgParser p = makeParser();
+    ASSERT_TRUE(parseArgs(p, {"--benchmark", "art",
+                              "--instructions", "42"}));
+    EXPECT_EQ(p.get("benchmark"), "art");
+    EXPECT_EQ(p.getUint("instructions"), 42u);
+    EXPECT_TRUE(p.has("benchmark"));
+}
+
+TEST(ArgParser, EqualsSeparatedValues)
+{
+    ArgParser p = makeParser();
+    ASSERT_TRUE(parseArgs(p, {"--benchmark=swim", "--scale=2.25"}));
+    EXPECT_EQ(p.get("benchmark"), "swim");
+    EXPECT_DOUBLE_EQ(p.getDouble("scale"), 2.25);
+}
+
+TEST(ArgParser, Flags)
+{
+    ArgParser p = makeParser();
+    ASSERT_TRUE(parseArgs(p, {"--ipc"}));
+    EXPECT_TRUE(p.has("ipc"));
+}
+
+TEST(ArgParser, FlagWithValueIsAnError)
+{
+    ArgParser p = makeParser();
+    EXPECT_FALSE(parseArgs(p, {"--ipc=yes"}));
+    EXPECT_FALSE(p.ok());
+}
+
+TEST(ArgParser, UnknownOptionIsAnError)
+{
+    ArgParser p = makeParser();
+    EXPECT_FALSE(parseArgs(p, {"--bogus", "1"}));
+    EXPECT_NE(p.error().find("bogus"), std::string::npos);
+}
+
+TEST(ArgParser, MissingValueIsAnError)
+{
+    ArgParser p = makeParser();
+    EXPECT_FALSE(parseArgs(p, {"--benchmark"}));
+    EXPECT_FALSE(p.ok());
+}
+
+TEST(ArgParser, MalformedNumberSetsError)
+{
+    ArgParser p = makeParser();
+    ASSERT_TRUE(parseArgs(p, {"--instructions", "12x"}));
+    p.getUint("instructions");
+    EXPECT_FALSE(p.ok());
+}
+
+TEST(ArgParser, PositionalArgumentsCollected)
+{
+    ArgParser p = makeParser();
+    ASSERT_TRUE(parseArgs(p, {"one", "--ipc", "two"}));
+    ASSERT_EQ(p.positional().size(), 2u);
+    EXPECT_EQ(p.positional()[0], "one");
+    EXPECT_EQ(p.positional()[1], "two");
+}
+
+TEST(ArgParser, UsageListsOptions)
+{
+    ArgParser p = makeParser();
+    std::string u = p.usage("ldissim");
+    EXPECT_NE(u.find("--benchmark"), std::string::npos);
+    EXPECT_NE(u.find("--ipc"), std::string::npos);
+    EXPECT_NE(u.find("default mcf"), std::string::npos);
+}
+
+} // namespace
+} // namespace ldis

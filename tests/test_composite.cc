@@ -1,0 +1,147 @@
+/** @file Unit tests for composite workloads and benchmark proxies. */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "trace/benchmarks.hh"
+#include "trace/composite.hh"
+
+namespace ldis
+{
+namespace
+{
+
+CompositeWorkload
+makeTwoRegion()
+{
+    RegionParams r1;
+    r1.bytes = 64 * kLineBytes;
+    r1.pattern = Pattern::Sequential;
+    r1.wordSel = WordSel::Full;
+    r1.weight = 3.0;
+    RegionParams r2;
+    r2.bytes = 64 * kLineBytes;
+    r2.pattern = Pattern::RandomLine;
+    r2.wordSel = WordSel::Single;
+    r2.weight = 1.0;
+    return CompositeWorkload("test", {r1, r2}, CodeModel{},
+                             ValueProfile{}, 42);
+}
+
+TEST(CompositeWorkload, RegionsAreDisjoint)
+{
+    CompositeWorkload wl = makeTwoRegion();
+    ASSERT_EQ(wl.numRegions(), 2u);
+    LineAddr b0 = wl.regionBase(0);
+    LineAddr b1 = wl.regionBase(1);
+    EXPECT_GE(b1, b0 + 64); // second region starts past the first
+}
+
+TEST(CompositeWorkload, WeightsSteerVisitShares)
+{
+    CompositeWorkload wl = makeTwoRegion();
+    LineAddr b1 = wl.regionBase(1);
+    std::uint64_t r1_accesses = 0, r2_accesses = 0;
+    for (int i = 0; i < 200000; ++i) {
+        Access a = wl.next();
+        if (lineAddrOf(a.addr) >= b1)
+            ++r2_accesses;
+        else
+            ++r1_accesses;
+    }
+    // Region 1 emits 8-access bursts at 3x weight; region 2 emits
+    // 1-access bursts at 1x: expected access ratio 24:1.
+    double ratio = static_cast<double>(r1_accesses)
+                 / static_cast<double>(r2_accesses);
+    EXPECT_NEAR(ratio, 24.0, 6.0);
+}
+
+TEST(CompositeWorkload, ResetReproducesStream)
+{
+    CompositeWorkload wl = makeTwoRegion();
+    std::vector<Addr> first;
+    for (int i = 0; i < 1000; ++i)
+        first.push_back(wl.next().addr);
+    wl.reset();
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(wl.next().addr, first[i]);
+}
+
+TEST(CompositeWorkload, SameSeedSameStream)
+{
+    CompositeWorkload a = makeTwoRegion();
+    CompositeWorkload b = makeTwoRegion();
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next().addr, b.next().addr);
+}
+
+TEST(Benchmarks, CatalogueHasAllPaperBenchmarks)
+{
+    auto studied = studiedBenchmarks();
+    EXPECT_EQ(studied.size(), 16u);
+    const char *expected[] = {"art", "mcf", "twolf", "vpr", "ammp",
+                              "galgel", "bzip2", "facerec", "parser",
+                              "sixtrack", "apsi", "swim", "vortex",
+                              "gcc", "wupwise", "health"};
+    for (const char *name : expected) {
+        EXPECT_NE(std::find(studied.begin(), studied.end(), name),
+                  studied.end())
+            << name;
+    }
+    EXPECT_EQ(insensitiveBenchmarks().size(), 11u);
+}
+
+TEST(Benchmarks, FactoryProducesWorkingStreams)
+{
+    for (const std::string &name : studiedBenchmarks()) {
+        auto wl = makeBenchmark(name);
+        ASSERT_NE(wl, nullptr) << name;
+        EXPECT_EQ(wl->name(), name);
+        for (int i = 0; i < 100; ++i) {
+            Access a = wl->next();
+            EXPECT_GT(a.addr, 0u) << name;
+        }
+    }
+}
+
+TEST(Benchmarks, InfoLookupMatchesCatalogue)
+{
+    const BenchmarkInfo &info = benchmarkInfo("mcf");
+    EXPECT_DOUBLE_EQ(info.paperMpki, 136.0);
+    EXPECT_FALSE(info.insensitive);
+    const BenchmarkInfo &eq = benchmarkInfo("equake");
+    EXPECT_TRUE(eq.insensitive);
+}
+
+TEST(Benchmarks, PaperReferenceNumbersPresent)
+{
+    for (const auto &info : benchmarkTable()) {
+        EXPECT_GT(info.paperMpki, 0.0) << info.name;
+        if (!info.insensitive)
+            EXPECT_GT(info.paperWords1MB, 0.0) << info.name;
+    }
+}
+
+TEST(Benchmarks, DistinctSeedsGiveDistinctStreams)
+{
+    auto a = makeBenchmark("twolf", 1);
+    auto b = makeBenchmark("twolf", 2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (a->next().addr == b->next().addr)
+            ++same;
+    EXPECT_LT(same, 500);
+}
+
+TEST(BenchmarksDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeBenchmark("no-such-benchmark"),
+                testing::ExitedWithCode(1), "unknown benchmark");
+    EXPECT_EXIT(benchmarkInfo("no-such-benchmark"),
+                testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+} // namespace
+} // namespace ldis

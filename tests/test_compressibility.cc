@@ -1,0 +1,113 @@
+/** @file Tests for the Figure-10 compressibility sampler. */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "cache/traditional_l2.hh"
+#include "compression/compressibility.hh"
+#include "trace/benchmarks.hh"
+
+namespace ldis
+{
+namespace
+{
+
+CacheGeometry
+geom()
+{
+    CacheGeometry g;
+    g.bytes = 1 << 20;
+    g.ways = 8;
+    return g;
+}
+
+TEST(Compressibility, DistributionsSumToOne)
+{
+    auto workload = makeBenchmark("mcf");
+    ValueModel values(workload->valueProfile());
+    TraditionalL2 l2(geom());
+    Hierarchy hier(*workload, l2);
+    hier.run(400000);
+    CompressibilitySampler sampler(values);
+    sampler.sample(l2.tags());
+
+    const CompressDistribution &w = sampler.wholeLine();
+    ASSERT_GT(w.total, 0u);
+    double sum = 0.0;
+    for (auto c : {CompressClass::OneEighth,
+                   CompressClass::OneFourth, CompressClass::OneHalf,
+                   CompressClass::Full})
+        sum += w.fraction(c);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Compressibility, UsedWordsNeverWorseThanWholeLine)
+{
+    // Filtering unused words can only shrink a line, so the
+    // cumulative fraction at or below any class must not decrease.
+    for (const char *name : {"mcf", "art", "wupwise"}) {
+        auto workload = makeBenchmark(name);
+        ValueModel values(workload->valueProfile());
+        TraditionalL2 l2(geom());
+        Hierarchy hier(*workload, l2);
+        hier.run(400000);
+        CompressibilitySampler sampler(values);
+        sampler.sample(l2.tags());
+
+        const CompressDistribution &w = sampler.wholeLine();
+        const CompressDistribution &u = sampler.usedWords();
+        double w_cum = 0.0, u_cum = 0.0;
+        for (auto c : {CompressClass::OneEighth,
+                       CompressClass::OneFourth,
+                       CompressClass::OneHalf}) {
+            w_cum += w.fraction(c);
+            u_cum += u.fraction(c);
+            EXPECT_GE(u_cum, w_cum - 1e-9) << name;
+        }
+    }
+}
+
+TEST(Compressibility, SparseBenchmarksCompressWellWhenFiltered)
+{
+    // Figure 10(b): mcf's used words land overwhelmingly in the 1/8
+    // and 1/4 classes.
+    auto workload = makeBenchmark("mcf");
+    ValueModel values(workload->valueProfile());
+    TraditionalL2 l2(geom());
+    Hierarchy hier(*workload, l2);
+    hier.run(600000);
+    CompressibilitySampler sampler(values);
+    sampler.sample(l2.tags());
+    const CompressDistribution &u = sampler.usedWords();
+    EXPECT_GT(u.fraction(CompressClass::OneEighth) +
+                  u.fraction(CompressClass::OneFourth),
+              0.5);
+}
+
+TEST(Compressibility, RepeatedSamplesAccumulate)
+{
+    auto workload = makeBenchmark("twolf");
+    ValueModel values(workload->valueProfile());
+    TraditionalL2 l2(geom());
+    Hierarchy hier(*workload, l2);
+    hier.run(200000);
+    CompressibilitySampler sampler(values);
+    sampler.sample(l2.tags());
+    std::uint64_t after_one = sampler.wholeLine().total;
+    sampler.sample(l2.tags());
+    EXPECT_EQ(sampler.wholeLine().total, 2 * after_one);
+}
+
+TEST(Compressibility, InstructionLinesExcluded)
+{
+    ValueModel values({0.5, 0.1, 0.2}, 1);
+    TraditionalL2 l2(geom());
+    l2.access(0x1000, false, 0, true);  // instruction line
+    l2.access(0x2000, false, 0, false); // data line
+    CompressibilitySampler sampler(values);
+    sampler.sample(l2.tags());
+    EXPECT_EQ(sampler.wholeLine().total, 1u);
+}
+
+} // namespace
+} // namespace ldis

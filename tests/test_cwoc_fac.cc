@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Unit and property tests for the compressed WOC and the
+ * Footprint-Aware Compression cache (Section 8.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "common/intmath.hh"
+#include "compression/fac_cache.hh"
+#include "trace/benchmarks.hh"
+
+namespace ldis
+{
+namespace
+{
+
+Footprint
+mask(std::initializer_list<WordIdx> words)
+{
+    Footprint fp;
+    for (WordIdx w : words)
+        fp.set(w);
+    return fp;
+}
+
+TEST(CompressedWoc, InstallMoreWordsThanSlots)
+{
+    CompressedWocSet woc(16);
+    Random rng(3);
+    std::vector<WocEvicted> evicted;
+    // Four words compressed into two slots.
+    woc.install(7, mask({0, 2, 4, 6}), Footprint{}, 2, rng, evicted);
+    EXPECT_TRUE(evicted.empty());
+    EXPECT_EQ(woc.wordsOf(7), mask({0, 2, 4, 6}));
+    EXPECT_EQ(woc.validEntryCount(), 2u);
+    EXPECT_TRUE(woc.checkIntegrity());
+}
+
+TEST(CompressedWoc, CapacityScalesWithCompression)
+{
+    CompressedWocSet woc(16);
+    Random rng(3);
+    std::vector<WocEvicted> evicted;
+    // Sixteen 4-word lines at 1 slot each all fit.
+    for (LineAddr l = 0; l < 16; ++l) {
+        woc.install(l, mask({0, 1, 2, 3}), Footprint{}, 1, rng,
+                    evicted);
+        EXPECT_TRUE(evicted.empty()) << l;
+    }
+    EXPECT_EQ(woc.lineCount(), 16u);
+}
+
+TEST(CompressedWoc, EvictionIsWholeLine)
+{
+    CompressedWocSet woc(16);
+    Random rng(3);
+    std::vector<WocEvicted> evicted;
+    // Two 8-slot groups fill the set.
+    woc.install(1, Footprint::full(), mask({3}), 8, rng, evicted);
+    woc.install(2, Footprint::full(), Footprint{}, 8, rng, evicted);
+    ASSERT_TRUE(evicted.empty());
+    // A 1-slot install must evict one whole group.
+    woc.install(3, mask({5}), Footprint{}, 1, rng, evicted);
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_TRUE(evicted[0].words.isFull());
+    EXPECT_TRUE(woc.checkIntegrity());
+}
+
+TEST(CompressedWoc, DirtyTracking)
+{
+    CompressedWocSet woc(16);
+    Random rng(3);
+    std::vector<WocEvicted> evicted;
+    woc.install(9, mask({1, 5}), mask({1}), 2, rng, evicted);
+    woc.markDirty(9, mask({5, 7})); // 7 not resident
+    EXPECT_EQ(woc.dirtyWordsOf(9), mask({1, 5}));
+    WocEvicted ev = woc.invalidateLine(9);
+    EXPECT_EQ(ev.dirty, mask({1, 5}));
+    EXPECT_FALSE(woc.linePresent(9));
+}
+
+TEST(CompressedWoc, FlushClearsAll)
+{
+    CompressedWocSet woc(16);
+    Random rng(3);
+    std::vector<WocEvicted> evicted;
+    woc.install(1, mask({0, 1}), Footprint{}, 1, rng, evicted);
+    woc.install(2, mask({0, 1, 2, 3}), Footprint{}, 2, rng, evicted);
+    evicted.clear();
+    woc.flush(evicted);
+    EXPECT_EQ(evicted.size(), 2u);
+    EXPECT_EQ(woc.validEntryCount(), 0u);
+}
+
+class CWocPropertyTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CWocPropertyTest, RandomOpsPreserveInvariants)
+{
+    const unsigned seed = GetParam();
+    Random rng(seed);
+    Random op_rng(seed * 31 + 5);
+    CompressedWocSet woc(16);
+    std::vector<WocEvicted> evicted;
+    for (int step = 0; step < 2000; ++step) {
+        LineAddr line = 500 + op_rng.below(100);
+        if (op_rng.below(10) < 7) {
+            if (woc.linePresent(line))
+                continue;
+            Footprint used;
+            unsigned count =
+                1 + static_cast<unsigned>(op_rng.below(8));
+            while (used.count() < count)
+                used.set(static_cast<WordIdx>(op_rng.below(8)));
+            // Compressed slot count: any pow2 <= nextPow2(count).
+            unsigned max_slots = static_cast<unsigned>(
+                nextPow2(count));
+            unsigned slots = 1;
+            while (slots * 2 <= max_slots && op_rng.chance(0.5))
+                slots *= 2;
+            evicted.clear();
+            woc.install(line, used, Footprint{}, slots, rng,
+                        evicted);
+            ASSERT_EQ(woc.wordsOf(line), used);
+            for (const WocEvicted &ev : evicted)
+                ASSERT_FALSE(woc.linePresent(ev.line));
+        } else {
+            woc.invalidateLine(line);
+            ASSERT_FALSE(woc.linePresent(line));
+        }
+        ASSERT_TRUE(woc.checkIntegrity()) << "step " << step;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CWocPropertyTest,
+                         ::testing::Range(1u, 9u));
+
+// ---------------------------------------------------------------
+// FAC cache.
+// ---------------------------------------------------------------
+
+DistillParams
+facParams()
+{
+    DistillParams p;
+    p.bytes = 2ull * 8 * kLineBytes;
+    p.totalWays = 8;
+    p.wocWays = 3; // FAC-4xTags shape
+    return p;
+}
+
+Addr
+wordAddr(LineAddr line, WordIdx w)
+{
+    return lineBaseOf(line) + w * kWordBytes;
+}
+
+TEST(FacCache, SlotsNeverExceedPlainWoc)
+{
+    ValueModel values({0.4, 0.1, 0.3}, 3);
+    FacCache fac(facParams(), values);
+    for (LineAddr line = 0; line < 64; ++line) {
+        for (std::uint8_t raw = 1;; ++raw) {
+            Footprint used(raw);
+            unsigned slots = fac.slotsFor(line, used);
+            EXPECT_LE(slots, nextPow2(used.count()));
+            EXPECT_TRUE(isPowerOf2(slots));
+            EXPECT_GE(slots, 1u);
+            if (raw == 255)
+                break;
+        }
+    }
+}
+
+TEST(FacCache, ZeroDataPacksEightWordsInOneSlot)
+{
+    ValueModel zeros({1.0, 0.0, 0.0}, 1);
+    FacCache fac(facParams(), zeros);
+    // 8 words of zeros: 16 dwords x 2 bits = 4 bytes -> 1 slot.
+    EXPECT_EQ(fac.slotsFor(5, Footprint::full()), 1u);
+}
+
+TEST(FacCache, IncompressibleFallsBackToWordCount)
+{
+    ValueModel wide({0.0, 0.0, 0.0}, 1);
+    FacCache fac(facParams(), wide);
+    Footprint two;
+    two.set(0);
+    two.set(1);
+    // 2 words incompressible: 17 bytes -> 3 slots -> pow2 4, but
+    // plain WOC would use 2 -> min is 2.
+    EXPECT_EQ(fac.slotsFor(5, two), 2u);
+}
+
+TEST(FacCache, DistillsCompressedOnEviction)
+{
+    ValueModel zeros({1.0, 0.0, 0.0}, 1);
+    FacCache fac(facParams(), zeros);
+    // Touch all 8 words of line 0 (set 0; lines even).
+    for (WordIdx w = 0; w < 8; ++w)
+        fac.access(wordAddr(0, w), false, 0, false);
+    // Evict from the 5-way LOC.
+    for (unsigned i = 1; i <= 5; ++i)
+        fac.access(wordAddr(i * 2, 0), false, 0, false);
+    EXPECT_EQ(fac.facStats().wocInstalls, 1u);
+    EXPECT_EQ(fac.facStats().slotsStored, 1u);
+    EXPECT_EQ(fac.facStats().wordsStored, 8u);
+    // Full line hits in the compressed WOC.
+    L2Result r = fac.access(wordAddr(0, 7), false, 0, false);
+    EXPECT_EQ(r.outcome, L2Outcome::WocHit);
+    EXPECT_TRUE(r.validWords.isFull());
+    EXPECT_TRUE(fac.checkIntegrity());
+}
+
+TEST(FacCache, HoleMissOnMissingWord)
+{
+    ValueModel zeros({1.0, 0.0, 0.0}, 1);
+    FacCache fac(facParams(), zeros);
+    fac.access(wordAddr(0, 2), false, 0, false);
+    for (unsigned i = 1; i <= 5; ++i)
+        fac.access(wordAddr(i * 2, 0), false, 0, false);
+    L2Result r = fac.access(wordAddr(0, 6), false, 0, false);
+    EXPECT_EQ(r.outcome, L2Outcome::HoleMiss);
+    EXPECT_TRUE(fac.checkIntegrity());
+}
+
+class FacPropertyTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(FacPropertyTest, HierarchyTrafficPreservesIntegrity)
+{
+    DistillParams p;
+    p.bytes = 1 << 20;
+    p.wocWays = 3;
+    p.medianThreshold = true;
+    p.useReverter = true;
+    auto workload = makeBenchmark(GetParam());
+    ValueModel values(workload->valueProfile(), 3);
+    FacCache fac(p, values);
+    Hierarchy hier(*workload, fac);
+    hier.run(300000);
+    EXPECT_TRUE(fac.checkIntegrity());
+    const L2Stats &s = fac.stats();
+    EXPECT_EQ(s.accesses,
+              s.locHits + s.wocHits + s.holeMisses + s.lineMisses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Proxies, FacPropertyTest,
+                         ::testing::Values("mcf", "twolf", "swim",
+                                           "gcc"));
+
+} // namespace
+} // namespace ldis

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Unit, integration and property tests for the Distill Cache —
+ * the paper's core contribution (Sections 4 and 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "distill/distill_cache.hh"
+#include "trace/benchmarks.hh"
+
+namespace ldis
+{
+namespace
+{
+
+/** 2 sets x 8 ways (LOC 6 + WOC 2): tiny but full-featured. */
+DistillParams
+tinyParams()
+{
+    DistillParams p;
+    p.bytes = 2ull * 8 * kLineBytes;
+    p.totalWays = 8;
+    p.wocWays = 2;
+    return p;
+}
+
+Addr
+wordAddr(LineAddr line, WordIdx w)
+{
+    return lineBaseOf(line) + w * kWordBytes;
+}
+
+/** Lines mapping to set 0 of a 2-set cache. */
+LineAddr
+set0(unsigned i)
+{
+    return static_cast<LineAddr>(i) * 2;
+}
+
+/**
+ * Fill set 0's LOC with `count` fresh lines, starting at id
+ * `first`, touching only word 0.
+ */
+void
+fillLoc(DistillCache &dc, unsigned first, unsigned count)
+{
+    for (unsigned i = 0; i < count; ++i)
+        dc.access(wordAddr(set0(first + i), 0), false, 0, false);
+}
+
+TEST(DistillCache, MissThenLocHit)
+{
+    DistillCache dc(tinyParams());
+    L2Result r1 = dc.access(wordAddr(set0(1), 0), false, 0, false);
+    EXPECT_EQ(r1.outcome, L2Outcome::LineMiss);
+    EXPECT_TRUE(r1.validWords.isFull());
+    L2Result r2 = dc.access(wordAddr(set0(1), 0), false, 0, false);
+    EXPECT_EQ(r2.outcome, L2Outcome::LocHit);
+    EXPECT_EQ(dc.stats().locHits, 1u);
+}
+
+TEST(DistillCache, LatenciesIncludeExtraTagCycle)
+{
+    DistillCache dc(tinyParams());
+    L2Result miss = dc.access(wordAddr(set0(1), 0), false, 0, false);
+    EXPECT_EQ(miss.latency, 16u + 400u);
+    L2Result hit = dc.access(wordAddr(set0(1), 0), false, 0, false);
+    EXPECT_EQ(hit.latency, 16u);
+}
+
+TEST(DistillCache, EvictionDistillsUsedWordsIntoWoc)
+{
+    DistillCache dc(tinyParams());
+    // Line A: touch words 2 and 6.
+    dc.access(wordAddr(set0(0), 2), false, 0, false);
+    dc.access(wordAddr(set0(0), 6), false, 0, false);
+    // Six more lines evict A from the 6-way LOC.
+    fillLoc(dc, 1, 6);
+    EXPECT_EQ(dc.distillStats().wocInstalls, 1u);
+
+    // A's used words now hit in the WOC, with the resident mask.
+    L2Result r = dc.access(wordAddr(set0(0), 2), false, 0, false);
+    EXPECT_EQ(r.outcome, L2Outcome::WocHit);
+    EXPECT_TRUE(r.validWords.test(2));
+    EXPECT_TRUE(r.validWords.test(6));
+    EXPECT_EQ(r.validWords.count(), 2u);
+    EXPECT_EQ(r.latency, 16u + 2u); // rearrangement delay
+}
+
+TEST(DistillCache, UnusedWordCausesHoleMiss)
+{
+    DistillCache dc(tinyParams());
+    dc.access(wordAddr(set0(0), 2), false, 0, false);
+    fillLoc(dc, 1, 6);
+    // Word 5 was never used: hole miss, line returns to the LOC.
+    L2Result r = dc.access(wordAddr(set0(0), 5), false, 0, false);
+    EXPECT_EQ(r.outcome, L2Outcome::HoleMiss);
+    EXPECT_TRUE(r.validWords.isFull()); // refetched from memory
+    EXPECT_EQ(dc.stats().holeMisses, 1u);
+    // The WOC copy is gone; the line is a LOC hit now.
+    EXPECT_FALSE(dc.wocOf(0).linePresent(set0(0)));
+    L2Result r2 = dc.access(wordAddr(set0(0), 5), false, 0, false);
+    EXPECT_EQ(r2.outcome, L2Outcome::LocHit);
+    EXPECT_TRUE(dc.checkIntegrity());
+}
+
+TEST(DistillCache, HoleMissIsNotCompulsory)
+{
+    DistillCache dc(tinyParams());
+    dc.access(wordAddr(set0(0), 2), false, 0, false);
+    std::uint64_t compulsory = dc.stats().compulsoryMisses;
+    fillLoc(dc, 1, 6);
+    dc.access(wordAddr(set0(0), 5), false, 0, false); // hole miss
+    EXPECT_EQ(dc.stats().compulsoryMisses, compulsory + 6);
+}
+
+TEST(DistillCache, LineAbsentEverywhereIsLineMiss)
+{
+    DistillCache dc(tinyParams());
+    dc.access(wordAddr(set0(0), 0), false, 0, false);
+    // Evict from LOC (goes to WOC), then evict from WOC by flooding
+    // with one-word lines (WOC holds 16 entries).
+    fillLoc(dc, 1, 6);
+    for (unsigned i = 7; i < 7 + 17; ++i)
+        dc.access(wordAddr(set0(i), 0), false, 0, false);
+    // Line 0 has been pushed out of both structures (it may survive
+    // probabilistically, so only check the stats are consistent).
+    const L2Stats &s = dc.stats();
+    EXPECT_EQ(s.accesses,
+              s.locHits + s.wocHits + s.holeMisses + s.lineMisses);
+    EXPECT_TRUE(dc.checkIntegrity());
+}
+
+TEST(DistillCache, InstructionLinesAreNeverDistilled)
+{
+    DistillCache dc(tinyParams());
+    dc.access(wordAddr(set0(0), 0), false, 0, true); // instr line
+    fillLoc(dc, 1, 6);
+    EXPECT_EQ(dc.distillStats().wocInstalls, 0u);
+    EXPECT_FALSE(dc.wocOf(0).linePresent(set0(0)));
+}
+
+TEST(DistillCache, L1DFootprintMergeWidensDistilledWords)
+{
+    DistillCache dc(tinyParams());
+    dc.access(wordAddr(set0(0), 0), false, 0, false);
+    // The L1D drains a footprint with three more words.
+    Footprint used;
+    used.set(0);
+    used.set(1);
+    used.set(2);
+    used.set(3);
+    dc.l1dEviction(set0(0), used, Footprint{});
+    fillLoc(dc, 1, 6);
+    EXPECT_EQ(dc.wocOf(0).wordsOf(set0(0)).count(), 4u);
+}
+
+TEST(DistillCache, DirtyWordsSurviveDistillation)
+{
+    DistillCache dc(tinyParams());
+    dc.access(wordAddr(set0(0), 3), true, 0, false); // store
+    fillLoc(dc, 1, 6);
+    EXPECT_EQ(dc.wocOf(0).dirtyWordsOf(set0(0)).count(), 1u);
+    // Evicting the dirty WOC line writes it back.
+    std::uint64_t wb_before = dc.stats().writebacks;
+    for (unsigned i = 7; i < 7 + 20; ++i)
+        dc.access(wordAddr(set0(i), 0), false, 0, false);
+    EXPECT_GT(dc.stats().writebacks, wb_before);
+}
+
+TEST(DistillCache, HoleMissPreservesDirtyData)
+{
+    DistillCache dc(tinyParams());
+    dc.access(wordAddr(set0(0), 3), true, 0, false);
+    fillLoc(dc, 1, 6);
+    ASSERT_EQ(dc.wocOf(0).dirtyWordsOf(set0(0)).count(), 1u);
+    // Hole miss on word 5: dirty word 3 must be merged into the
+    // refetched line, not lost.
+    dc.access(wordAddr(set0(0), 5), false, 0, false);
+    // Evict the line again: word 3 must still be dirty in the WOC.
+    fillLoc(dc, 30, 6);
+    Footprint dirty = dc.wocOf(0).dirtyWordsOf(set0(0));
+    EXPECT_TRUE(dirty.test(3));
+}
+
+TEST(DistillCache, MedianThresholdFiltersWideLines)
+{
+    DistillParams p = tinyParams();
+    p.medianThreshold = true;
+    p.fixedThreshold = 2; // install only lines with <= 2 used words
+    DistillCache dc(p);
+    // Line A uses 4 words: must be filtered.
+    for (WordIdx w = 0; w < 4; ++w)
+        dc.access(wordAddr(set0(0), w), false, 0, false);
+    fillLoc(dc, 1, 6);
+    EXPECT_EQ(dc.distillStats().mtFiltered, 1u);
+    EXPECT_FALSE(dc.wocOf(0).linePresent(set0(0)));
+    // A narrow line passes the filter.
+    dc.access(wordAddr(set0(20), 0), false, 0, false);
+    fillLoc(dc, 21, 6);
+    EXPECT_TRUE(dc.wocOf(0).linePresent(set0(20)));
+}
+
+TEST(DistillCache, FilteredDirtyLineIsWrittenBack)
+{
+    DistillParams p = tinyParams();
+    p.medianThreshold = true;
+    p.fixedThreshold = 1;
+    DistillCache dc(p);
+    dc.access(wordAddr(set0(0), 0), true, 0, false);
+    dc.access(wordAddr(set0(0), 1), false, 0, false);
+    std::uint64_t wb = dc.stats().writebacks;
+    fillLoc(dc, 1, 6);
+    EXPECT_EQ(dc.stats().writebacks, wb + 1);
+}
+
+TEST(DistillCache, WordsRetainedAndDiscardedAccounting)
+{
+    DistillCache dc(tinyParams());
+    dc.access(wordAddr(set0(0), 0), false, 0, false);
+    dc.access(wordAddr(set0(0), 4), false, 0, false);
+    fillLoc(dc, 1, 6);
+    EXPECT_EQ(dc.distillStats().wordsRetained, 2u);
+    EXPECT_EQ(dc.distillStats().wordsDiscarded, 6u);
+}
+
+TEST(DistillCache, StatsBalance)
+{
+    DistillCache dc(tinyParams());
+    auto workload = makeBenchmark("twolf");
+    for (int i = 0; i < 20000; ++i) {
+        Access a = workload->next();
+        dc.access(a.addr, a.write, a.pc, false);
+    }
+    const L2Stats &s = dc.stats();
+    EXPECT_EQ(s.accesses,
+              s.locHits + s.wocHits + s.holeMisses + s.lineMisses);
+    EXPECT_LE(s.compulsoryMisses, s.misses());
+}
+
+TEST(DistillCache, WocNeverHoldsLocResidentLine)
+{
+    DistillCache dc(tinyParams());
+    auto workload = makeBenchmark("art");
+    for (int i = 0; i < 20000; ++i) {
+        Access a = workload->next();
+        dc.access(a.addr, a.write, a.pc, false);
+    }
+    EXPECT_TRUE(dc.checkIntegrity());
+}
+
+TEST(DistillCache, DescribeMentionsConfiguration)
+{
+    DistillParams p = tinyParams();
+    p.medianThreshold = true;
+    p.useReverter = true;
+    // The reverter needs >= leaderSets sets; use a bigger cache.
+    p.bytes = 2048ull * 8 * kLineBytes;
+    DistillCache dc(p);
+    std::string d = dc.describe();
+    EXPECT_NE(d.find("MT"), std::string::npos);
+    EXPECT_NE(d.find("RC"), std::string::npos);
+    EXPECT_NE(d.find("LOC 6"), std::string::npos);
+}
+
+TEST(DistillCacheDeath, BadWaySplitIsFatal)
+{
+    DistillParams p = tinyParams();
+    p.wocWays = 0;
+    EXPECT_EXIT(DistillCache dc(p), testing::ExitedWithCode(1),
+                "wocWays");
+    p.wocWays = 8;
+    EXPECT_EXIT(DistillCache dc(p), testing::ExitedWithCode(1),
+                "wocWays");
+}
+
+// ---------------------------------------------------------------
+// Reverter integration: mode switching of follower sets.
+// ---------------------------------------------------------------
+
+DistillParams
+reverterParams()
+{
+    DistillParams p;
+    // 64 sets so the reverter can sample 32 leaders.
+    p.bytes = 64ull * 8 * kLineBytes;
+    p.medianThreshold = true;
+    p.useReverter = true;
+    p.reverter.leaderSets = 32;
+    return p;
+}
+
+TEST(DistillCacheReverter, AdversarialTrafficDisablesFollowers)
+{
+    DistillCache dc(reverterParams());
+    // Leader sets are even (stride 2 for 64 sets / 32 leaders);
+    // followers odd. Adversarial pattern on leader set 0: a working
+    // set of 8 lines that fits 8 ways but not 6+WOC-with-holes.
+    // Touch one word on install, then a *different* word on reuse:
+    // the distilled copy always hole-misses while the ATD hits.
+    for (int round = 0; round < 400; ++round) {
+        WordIdx w = static_cast<WordIdx>(round % 2 == 0 ? 0 : 5);
+        for (unsigned i = 0; i < 8; ++i) {
+            LineAddr line = i * 64; // all in leader set 0
+            dc.access(wordAddr(line, w), false, 0, false);
+        }
+    }
+    ASSERT_NE(dc.reverter(), nullptr);
+    EXPECT_FALSE(dc.reverter()->ldisEnabled());
+
+    // A follower set touched now operates traditionally: 8 resident
+    // lines, empty WOC.
+    for (unsigned i = 0; i < 8; ++i)
+        dc.access(wordAddr(1 + i * 64, 0), false, 0, false);
+    EXPECT_FALSE(dc.setInDistillMode(1));
+    EXPECT_EQ(dc.wocOf(1).validEntryCount(), 0u);
+    // All 8 lines hit (8-way traditional behaviour).
+    std::uint64_t hits_before = dc.stats().locHits;
+    for (unsigned i = 0; i < 8; ++i)
+        dc.access(wordAddr(1 + i * 64, 0), false, 0, false);
+    EXPECT_EQ(dc.stats().locHits, hits_before + 8);
+    EXPECT_TRUE(dc.checkIntegrity());
+}
+
+TEST(DistillCacheReverter, LeadersAlwaysDistill)
+{
+    DistillCache dc(reverterParams());
+    // Even with LDIS globally disabled, leader sets keep
+    // distilling (they must keep sampling).
+    for (int round = 0; round < 400; ++round) {
+        WordIdx w = static_cast<WordIdx>(round % 2 == 0 ? 0 : 5);
+        for (unsigned i = 0; i < 8; ++i)
+            dc.access(wordAddr(i * 64, w), false, 0, false);
+    }
+    ASSERT_FALSE(dc.reverter()->ldisEnabled());
+    EXPECT_TRUE(dc.setInDistillMode(0));
+}
+
+TEST(DistillCacheReverter, ReenableFlushesBackToDistillMode)
+{
+    DistillCache dc(reverterParams());
+    // Disable first (as above).
+    for (int round = 0; round < 400; ++round) {
+        WordIdx w = static_cast<WordIdx>(round % 2 == 0 ? 0 : 5);
+        for (unsigned i = 0; i < 8; ++i)
+            dc.access(wordAddr(i * 64, w), false, 0, false);
+    }
+    // Touch a follower so it transitions to traditional mode.
+    dc.access(wordAddr(1, 0), false, 0, false);
+    ASSERT_FALSE(dc.setInDistillMode(1));
+
+    // Now feed the leaders LDIS-friendly traffic: a large set of
+    // one-word lines that only the WOC can retain, so the ATD
+    // misses and the distill side hits.
+    for (int round = 0; round < 600; ++round) {
+        for (unsigned i = 0; i < 20; ++i)
+            dc.access(wordAddr(i * 64, 0), false, 0, false);
+    }
+    ASSERT_TRUE(dc.reverter()->ldisEnabled());
+    dc.access(wordAddr(1, 0), false, 0, false);
+    EXPECT_TRUE(dc.setInDistillMode(1));
+    EXPECT_GT(dc.distillStats().modeSwitches, 0u);
+    EXPECT_TRUE(dc.checkIntegrity());
+}
+
+// ---------------------------------------------------------------
+// Property test: full-hierarchy traffic keeps invariants intact.
+// ---------------------------------------------------------------
+
+class DistillPropertyTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(DistillPropertyTest, HierarchyTrafficPreservesIntegrity)
+{
+    DistillParams p;
+    p.bytes = 1 << 20;
+    p.medianThreshold = true;
+    p.useReverter = true;
+    DistillCache dc(p);
+    auto workload = makeBenchmark(GetParam());
+    Hierarchy hier(*workload, dc);
+    hier.run(300000);
+    EXPECT_TRUE(dc.checkIntegrity());
+    const L2Stats &s = dc.stats();
+    EXPECT_EQ(s.accesses,
+              s.locHits + s.wocHits + s.holeMisses + s.lineMisses);
+    EXPECT_LE(s.compulsoryMisses, s.misses());
+}
+
+INSTANTIATE_TEST_SUITE_P(Proxies, DistillPropertyTest,
+                         ::testing::Values("art", "mcf", "swim",
+                                           "parser", "health",
+                                           "wupwise", "sixtrack"));
+
+} // namespace
+} // namespace ldis

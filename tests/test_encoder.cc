@@ -1,0 +1,132 @@
+/** @file Unit tests for the Table-4 compression encoding. */
+
+#include <gtest/gtest.h>
+
+#include "compression/encoder.hh"
+
+namespace ldis
+{
+namespace
+{
+
+TEST(Encoder, Table4Codes)
+{
+    EXPECT_EQ(encodedBits(0u), 2u);            // code 00
+    EXPECT_EQ(encodedBits(1u), 2u);            // code 01
+    EXPECT_EQ(encodedBits(2u), 18u);           // code 10
+    EXPECT_EQ(encodedBits(0xffffu), 18u);      // code 10
+    EXPECT_EQ(encodedBits(0x10000u), 34u);     // code 11
+    EXPECT_EQ(encodedBits(0xffffffffu), 34u);  // code 11
+}
+
+TEST(Encoder, AllZeroLineCompressesToEighth)
+{
+    ValueModel zeros({1.0, 0.0, 0.0}, 1);
+    // 16 dwords x 2 bits = 32 bits = 4 bytes.
+    EXPECT_EQ(compressedLineBytes(zeros, 0), 4u);
+    EXPECT_EQ(classifySize(4), CompressClass::OneEighth);
+}
+
+TEST(Encoder, IncompressibleLineIsFull)
+{
+    ValueModel wide({0.0, 0.0, 0.0}, 1);
+    // 16 dwords x 34 bits = 544 bits = 68 bytes (> 64).
+    EXPECT_EQ(compressedLineBytes(wide, 0), 68u);
+    EXPECT_EQ(classifySize(68), CompressClass::Full);
+}
+
+TEST(Encoder, AllNarrowLineJustMissesHalf)
+{
+    ValueModel narrow({0.0, 0.0, 1.0}, 1);
+    // 16 dwords x 18 bits = 288 bits = 36 bytes: the 2-bit codes
+    // push a pure-narrow line past the 32B one-half boundary, so it
+    // classifies as full -- the encoding needs zeros/ones in the mix
+    // to reach the one-half class.
+    EXPECT_EQ(compressedLineBytes(narrow, 0), 36u);
+    EXPECT_EQ(classifySize(36), CompressClass::Full);
+}
+
+TEST(Encoder, MixedZeroNarrowLineIsHalf)
+{
+    // Half zeros, half narrow: 8 x 2 + 8 x 18 = 160 bits = 20 bytes
+    // for 8 dwords... computed per word below via a synthetic line:
+    // 4 words whose dwords are zero (4 x 2 x 2 bits) plus 4 words of
+    // narrow dwords (4 x 2 x 18 bits) = 160 bits = 20 bytes if only
+    // those 8 words are counted. Full-line: 16 dwords alternating
+    // would be 2 + 18 per pair = 160 bits = 20 bytes -> one-fourth.
+    // Use profile mixing to land in (16, 32]: 25% zero, 75% narrow:
+    // expected 16 x (0.25 x 2 + 0.75 x 18) = 224 bits = 28 bytes.
+    // The model is stochastic per dword, so just assert the class
+    // of the aggregate across many lines is dominated by one-half
+    // or better.
+    ValueModel m({0.25, 0.0, 0.75}, 42);
+    unsigned at_most_half = 0;
+    const unsigned lines = 256;
+    for (LineAddr l = 0; l < lines; ++l) {
+        if (compressedLineBytes(m, l) <= 32)
+            ++at_most_half;
+    }
+    EXPECT_GT(at_most_half, lines * 3 / 4);
+}
+
+TEST(Encoder, UsedWordsOnlyShrinksFootprint)
+{
+    ValueModel wide({0.0, 0.0, 0.0}, 1);
+    Footprint two;
+    two.set(0);
+    two.set(5);
+    // 2 words = 4 dwords x 34 bits = 136 bits = 17 bytes.
+    unsigned bytes = compressedBytes(wide, 0, two);
+    EXPECT_EQ(bytes, 17u);
+    // Even incompressible values land in one-half once filtered.
+    EXPECT_EQ(classifySize(bytes), CompressClass::OneHalf);
+    // A single used word of zeros: 2 dwords x 2 bits = 1 byte.
+    ValueModel zeros({1.0, 0.0, 0.0}, 1);
+    Footprint one;
+    one.set(3);
+    EXPECT_EQ(compressedBytes(zeros, 0, one), 1u);
+}
+
+TEST(Encoder, EmptyFootprintIsZeroBytes)
+{
+    ValueModel m({0.3, 0.1, 0.2}, 1);
+    EXPECT_EQ(compressedBytes(m, 0, Footprint{}), 0u);
+}
+
+TEST(Encoder, ClassBoundaries)
+{
+    EXPECT_EQ(classifySize(0), CompressClass::OneEighth);
+    EXPECT_EQ(classifySize(8), CompressClass::OneEighth);
+    EXPECT_EQ(classifySize(9), CompressClass::OneFourth);
+    EXPECT_EQ(classifySize(16), CompressClass::OneFourth);
+    EXPECT_EQ(classifySize(17), CompressClass::OneHalf);
+    EXPECT_EQ(classifySize(32), CompressClass::OneHalf);
+    EXPECT_EQ(classifySize(33), CompressClass::Full);
+    EXPECT_EQ(classifySize(64), CompressClass::Full);
+}
+
+TEST(Encoder, ClassNames)
+{
+    EXPECT_STREQ(compressClassName(CompressClass::OneEighth),
+                 "one-eighth");
+    EXPECT_STREQ(compressClassName(CompressClass::Full), "full");
+}
+
+TEST(Encoder, MonotoneInFootprint)
+{
+    // Adding words never shrinks the compressed size.
+    ValueModel m({0.3, 0.1, 0.2}, 9);
+    for (LineAddr line = 0; line < 32; ++line) {
+        unsigned prev = 0;
+        Footprint fp;
+        for (WordIdx w = 0; w < kWordsPerLine; ++w) {
+            fp.set(w);
+            unsigned bytes = compressedBytes(m, line, fp);
+            EXPECT_GE(bytes, prev);
+            prev = bytes;
+        }
+    }
+}
+
+} // namespace
+} // namespace ldis

@@ -1,0 +1,124 @@
+/** @file Unit tests for the footprint bit-vector. */
+
+#include <gtest/gtest.h>
+
+#include "common/footprint.hh"
+
+namespace ldis
+{
+namespace
+{
+
+TEST(Footprint, StartsEmpty)
+{
+    Footprint fp;
+    EXPECT_TRUE(fp.empty());
+    EXPECT_EQ(fp.count(), 0u);
+    EXPECT_FALSE(fp.isFull());
+    for (WordIdx w = 0; w < kWordsPerLine; ++w)
+        EXPECT_FALSE(fp.test(w));
+}
+
+TEST(Footprint, SetAndTest)
+{
+    Footprint fp;
+    fp.set(3);
+    EXPECT_TRUE(fp.test(3));
+    EXPECT_FALSE(fp.test(2));
+    EXPECT_EQ(fp.count(), 1u);
+    fp.set(3); // idempotent
+    EXPECT_EQ(fp.count(), 1u);
+    fp.set(0);
+    fp.set(7);
+    EXPECT_EQ(fp.count(), 3u);
+}
+
+TEST(Footprint, FullHasAllWords)
+{
+    Footprint fp = Footprint::full();
+    EXPECT_TRUE(fp.isFull());
+    EXPECT_EQ(fp.count(), kWordsPerLine);
+    for (WordIdx w = 0; w < kWordsPerLine; ++w)
+        EXPECT_TRUE(fp.test(w));
+}
+
+TEST(Footprint, OrMergeModelsL1DDrain)
+{
+    // Section 4.1: the L1D footprint is OR-ed into the LOC entry.
+    Footprint loc;
+    loc.set(1);
+    Footprint l1d;
+    l1d.set(1);
+    l1d.set(6);
+    loc |= l1d;
+    EXPECT_TRUE(loc.test(1));
+    EXPECT_TRUE(loc.test(6));
+    EXPECT_EQ(loc.count(), 2u);
+}
+
+TEST(Footprint, AndIntersection)
+{
+    Footprint a;
+    a.set(0);
+    a.set(4);
+    Footprint b;
+    b.set(4);
+    b.set(5);
+    Footprint c = a & b;
+    EXPECT_EQ(c.count(), 1u);
+    EXPECT_TRUE(c.test(4));
+}
+
+TEST(Footprint, Equality)
+{
+    Footprint a;
+    Footprint b;
+    EXPECT_EQ(a, b);
+    a.set(2);
+    EXPECT_FALSE(a == b);
+    b.set(2);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Footprint, RawRoundTrip)
+{
+    Footprint fp(std::uint8_t{0b10100101});
+    EXPECT_EQ(fp.raw(), 0b10100101);
+    EXPECT_EQ(fp.count(), 4u);
+    EXPECT_TRUE(fp.test(0));
+    EXPECT_FALSE(fp.test(1));
+    EXPECT_TRUE(fp.test(2));
+    EXPECT_TRUE(fp.test(5));
+    EXPECT_TRUE(fp.test(7));
+}
+
+TEST(Footprint, Reset)
+{
+    Footprint fp = Footprint::full();
+    fp.reset();
+    EXPECT_TRUE(fp.empty());
+}
+
+TEST(FootprintDeath, OutOfRangeWordPanics)
+{
+    Footprint fp;
+    EXPECT_DEATH(fp.set(kWordsPerLine), "assert");
+    EXPECT_DEATH(fp.test(kWordsPerLine), "assert");
+}
+
+TEST(AddressHelpers, LineAndWordExtraction)
+{
+    Addr addr = 3 * kLineBytes + 2 * kWordBytes + 5;
+    EXPECT_EQ(lineAddrOf(addr), 3u);
+    EXPECT_EQ(wordIdxOf(addr), 2u);
+    EXPECT_EQ(lineBaseOf(3), 3u * kLineBytes);
+}
+
+TEST(AddressHelpers, WordIndexCoversLine)
+{
+    for (unsigned b = 0; b < kLineBytes; ++b)
+        EXPECT_EQ(wordIdxOf(b), b / kWordBytes);
+}
+
+} // namespace
+} // namespace ldis

@@ -1,0 +1,146 @@
+/** @file Tests for the hierarchy driver and the PC code walker. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "cache/traditional_l2.hh"
+#include "trace/benchmarks.hh"
+#include "trace/composite.hh"
+
+namespace ldis
+{
+namespace
+{
+
+TEST(CodeWalker, SequentialWalkFetchesEveryLine)
+{
+    CodeModel model{4 * kLineBytes, 1000000}; // effectively no jumps
+    CodeWalker walker(model, 1);
+    std::set<Addr> fetched;
+    // 4 lines x 16 instructions = 64 instructions covers the region.
+    walker.advance(64, [&](Addr pc) { fetched.insert(pc); });
+    EXPECT_EQ(fetched.size(), 4u);
+    for (Addr pc : fetched)
+        EXPECT_EQ(pc % kLineBytes, 0u);
+}
+
+TEST(CodeWalker, FetchCountScalesWithInstructions)
+{
+    CodeModel model{64 * kLineBytes, 1000000};
+    CodeWalker walker(model, 1);
+    unsigned fetches = 0;
+    walker.advance(16 * 10, [&](Addr) { ++fetches; });
+    // One line fetch per 16 sequential instructions.
+    EXPECT_EQ(fetches, 10u);
+}
+
+TEST(CodeWalker, JumpsStayInFootprint)
+{
+    CodeModel model{8 * kLineBytes, 4}; // jump every ~4 instructions
+    CodeWalker walker(model, 7);
+    Addr lo = walker.currentPc();
+    walker.advance(10000, [&](Addr pc) {
+        EXPECT_GE(pc, lo - (8 * kLineBytes));
+        EXPECT_LT(pc, lo + 8 * kLineBytes);
+    });
+}
+
+TEST(Hierarchy, CountsInstructionsFromAccessStream)
+{
+    auto wl = makeBenchmark("twolf");
+    CacheGeometry g;
+    g.bytes = 1 << 20;
+    g.ways = 8;
+    TraditionalL2 l2(g);
+    Hierarchy hier(*wl, l2);
+    hier.run(100000);
+    EXPECT_GE(hier.stats().instructions, 100000u);
+    // Overshoot is at most one access record.
+    EXPECT_LT(hier.stats().instructions, 100000u + 10000u);
+    EXPECT_GT(hier.stats().dataAccesses, 0u);
+}
+
+TEST(Hierarchy, MpkiMatchesManualComputation)
+{
+    auto wl = makeBenchmark("mcf");
+    CacheGeometry g;
+    g.bytes = 1 << 20;
+    g.ways = 8;
+    TraditionalL2 l2(g);
+    Hierarchy hier(*wl, l2);
+    hier.run(200000);
+    double manual =
+        static_cast<double>(l2.stats().misses())
+        / (static_cast<double>(hier.stats().instructions) / 1000.0);
+    EXPECT_DOUBLE_EQ(hier.mpki(), manual);
+    EXPECT_GT(hier.mpki(), 10.0); // mcf is memory-bound
+}
+
+TEST(Hierarchy, L1DFiltersL2Traffic)
+{
+    auto wl = makeBenchmark("wupwise"); // full-line streaming
+    CacheGeometry g;
+    g.bytes = 1 << 20;
+    g.ways = 8;
+    TraditionalL2 l2(g);
+    Hierarchy hier(*wl, l2);
+    hier.run(500000);
+    // Streaming touches 8 words per line; the L1D coalesces them so
+    // the L2 sees roughly one access per line.
+    EXPECT_LT(l2.stats().accesses,
+              hier.l1dStats().accesses / 4);
+}
+
+TEST(Hierarchy, InstructionSideProducesL2InstrTraffic)
+{
+    // gcc's code footprint (192kB) exceeds the 16kB L1I, so the L2
+    // must see instruction-line fills.
+    auto wl = makeBenchmark("gcc");
+    CacheGeometry g;
+    g.bytes = 1 << 20;
+    g.ways = 8;
+    TraditionalL2 l2(g);
+    Hierarchy hier(*wl, l2);
+    hier.run(300000);
+    EXPECT_GT(hier.l1iStats().misses, 0u);
+    unsigned instr_lines = 0;
+    l2.tags().forEachLine([&](const CacheLineState &l) {
+        if (l.instr)
+            ++instr_lines;
+    });
+    EXPECT_GT(instr_lines, 0u);
+}
+
+TEST(Hierarchy, InstructionSideCanBeDisabled)
+{
+    auto wl = makeBenchmark("gcc");
+    CacheGeometry g;
+    g.bytes = 1 << 20;
+    g.ways = 8;
+    TraditionalL2 l2(g);
+    HierarchyParams params;
+    params.modelInstructionSide = false;
+    Hierarchy hier(*wl, l2, params);
+    hier.run(100000);
+    EXPECT_EQ(hier.l1iStats().accesses, 0u);
+}
+
+TEST(Hierarchy, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        auto wl = makeBenchmark("art");
+        CacheGeometry g;
+        g.bytes = 1 << 20;
+        g.ways = 8;
+        TraditionalL2 l2(g);
+        Hierarchy hier(*wl, l2);
+        hier.run(200000);
+        return l2.stats().misses();
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace
+} // namespace ldis

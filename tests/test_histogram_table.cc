@@ -1,0 +1,94 @@
+/** @file Unit tests for the histogram and the table formatter. */
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hh"
+#include "common/table.hh"
+
+namespace ldis
+{
+namespace
+{
+
+TEST(Histogram, RecordsAndCounts)
+{
+    Histogram h(4);
+    h.record(0);
+    h.record(2);
+    h.record(2);
+    EXPECT_EQ(h.totalSamples(), 3u);
+    EXPECT_EQ(h.countAt(0), 1u);
+    EXPECT_EQ(h.countAt(1), 0u);
+    EXPECT_EQ(h.countAt(2), 2u);
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram h(4);
+    EXPECT_DOUBLE_EQ(h.fractionAt(1), 0.0);
+    h.record(1);
+    h.record(1);
+    h.record(3);
+    EXPECT_DOUBLE_EQ(h.fractionAt(1), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(h.fractionAt(3), 1.0 / 3.0);
+}
+
+TEST(Histogram, Mean)
+{
+    Histogram h(9);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    h.record(2);
+    h.record(4);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+    // Words-used style: buckets 1..8.
+    Histogram words(9);
+    for (int i = 0; i < 3; ++i)
+        words.record(1);
+    words.record(8);
+    EXPECT_DOUBLE_EQ(words.mean(), (3.0 * 1 + 8.0) / 4.0);
+}
+
+TEST(Histogram, Clear)
+{
+    Histogram h(3);
+    h.record(1);
+    h.clear();
+    EXPECT_EQ(h.totalSamples(), 0u);
+    EXPECT_EQ(h.countAt(1), 0u);
+}
+
+TEST(HistogramDeath, OutOfRangeBucketPanics)
+{
+    Histogram h(3);
+    EXPECT_DEATH(h.record(3), "assert");
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "12345"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("long-name"), std::string::npos);
+    EXPECT_NE(s.find("12345"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(3.0, 0), "3");
+    EXPECT_EQ(Table::percent(0.123, 1), "12.3%");
+    EXPECT_EQ(Table::percent(1.0, 0), "100%");
+}
+
+TEST(TableDeath, RowWidthMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "assert");
+}
+
+} // namespace
+} // namespace ldis

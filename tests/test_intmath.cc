@@ -1,0 +1,83 @@
+/** @file Unit tests for common/intmath.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/intmath.hh"
+
+namespace ldis
+{
+namespace
+{
+
+TEST(IntMath, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(4));
+    EXPECT_FALSE(isPowerOf2(6));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(IntMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1ull << 63), 63u);
+}
+
+TEST(IntMath, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(IntMath, NextPow2)
+{
+    EXPECT_EQ(nextPow2(1), 1u);
+    EXPECT_EQ(nextPow2(2), 2u);
+    EXPECT_EQ(nextPow2(3), 4u);
+    EXPECT_EQ(nextPow2(4), 4u);
+    EXPECT_EQ(nextPow2(5), 8u);
+    EXPECT_EQ(nextPow2(7), 8u);
+    EXPECT_EQ(nextPow2(8), 8u);
+    EXPECT_EQ(nextPow2(9), 16u);
+}
+
+TEST(IntMath, NextPow2CoversWocGroupSizes)
+{
+    // The WOC rounds used-word counts (1..8) to group sizes.
+    unsigned expected[9] = {0, 1, 2, 4, 4, 8, 8, 8, 8};
+    for (unsigned words = 1; words <= 8; ++words)
+        EXPECT_EQ(nextPow2(words), expected[words]) << words;
+}
+
+TEST(IntMath, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 8), 0u);
+    EXPECT_EQ(divCeil(1, 8), 1u);
+    EXPECT_EQ(divCeil(8, 8), 1u);
+    EXPECT_EQ(divCeil(9, 8), 2u);
+    EXPECT_EQ(divCeil(64, 64), 1u);
+    EXPECT_EQ(divCeil(65, 64), 2u);
+}
+
+TEST(IntMathDeath, Log2OfZeroPanics)
+{
+    EXPECT_DEATH(floorLog2(0), "assert");
+    EXPECT_DEATH(ceilLog2(0), "assert");
+}
+
+} // namespace
+} // namespace ldis

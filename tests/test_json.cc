@@ -1,0 +1,81 @@
+/** @file Unit tests for the JSON writer. */
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+
+namespace ldis
+{
+namespace
+{
+
+TEST(Json, EmptyObject)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.endObject();
+    EXPECT_EQ(j.str(), "{}");
+}
+
+TEST(Json, ScalarFields)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.field("name", "mcf");
+    j.field("count", std::uint64_t{42});
+    j.field("mpki", 1.5);
+    j.field("ok", true);
+    j.endObject();
+    EXPECT_EQ(j.str(),
+              "{\"name\":\"mcf\",\"count\":42,\"mpki\":1.5,"
+              "\"ok\":true}");
+}
+
+TEST(Json, NestedObjects)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.beginObject("l2");
+    j.field("hits", std::uint64_t{7});
+    j.endObject();
+    j.beginObject("l1");
+    j.field("hits", std::uint64_t{9});
+    j.endObject();
+    j.endObject();
+    EXPECT_EQ(j.str(),
+              "{\"l2\":{\"hits\":7},\"l1\":{\"hits\":9}}");
+}
+
+TEST(Json, Arrays)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.beginArray("values");
+    j.value(std::uint64_t{1});
+    j.value(std::uint64_t{2});
+    j.value(std::string("x"));
+    j.endArray();
+    j.endObject();
+    EXPECT_EQ(j.str(), "{\"values\":[1,2,\"x\"]}");
+}
+
+TEST(Json, StringEscaping)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.field("s", "a\"b\\c\nd");
+    j.endObject();
+    EXPECT_EQ(j.str(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(Json, DoubleFormatting)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.field("v", 0.125);
+    j.endObject();
+    EXPECT_EQ(j.str(), "{\"v\":0.125}");
+}
+
+} // namespace
+} // namespace ldis

@@ -1,0 +1,86 @@
+/** @file Unit tests for the instruction cache. */
+
+#include <gtest/gtest.h>
+
+#include "cache/l1i.hh"
+#include "cache/traditional_l2.hh"
+
+namespace ldis
+{
+namespace
+{
+
+CacheGeometry
+l2Geom()
+{
+    CacheGeometry g;
+    g.bytes = 16ull * 8 * kLineBytes;
+    g.ways = 8;
+    return g;
+}
+
+CacheGeometry
+l1iGeom()
+{
+    CacheGeometry g;
+    g.bytes = 2ull * 2 * kLineBytes; // 2 sets, 2 ways
+    g.ways = 2;
+    return g;
+}
+
+TEST(L1ICache, MissThenHit)
+{
+    TraditionalL2 l2(l2Geom());
+    L1ICache l1i(l1iGeom(), l2, 1);
+    Cycle miss_lat = l1i.fetchLine(0x1000);
+    EXPECT_GT(miss_lat, 1u); // went to the L2
+    Cycle hit_lat = l1i.fetchLine(0x1000);
+    EXPECT_EQ(hit_lat, 1u);
+    EXPECT_EQ(l1i.stats().accesses, 2u);
+    EXPECT_EQ(l1i.stats().misses, 1u);
+}
+
+TEST(L1ICache, SameLineDifferentPcHits)
+{
+    TraditionalL2 l2(l2Geom());
+    L1ICache l1i(l1iGeom(), l2, 1);
+    l1i.fetchLine(0x1000);
+    EXPECT_EQ(l1i.fetchLine(0x1000 + 60), 1u); // same 64B line
+    EXPECT_EQ(l1i.stats().misses, 1u);
+}
+
+TEST(L1ICache, FillsMarkL2LinesAsInstruction)
+{
+    TraditionalL2 l2(l2Geom());
+    L1ICache l1i(l1iGeom(), l2, 1);
+    l1i.fetchLine(0x2000);
+    const CacheLineState *line = l2.tags().find(0x2000 / kLineBytes);
+    ASSERT_NE(line, nullptr);
+    EXPECT_TRUE(line->instr);
+}
+
+TEST(L1ICache, LruEvictionWithinSet)
+{
+    TraditionalL2 l2(l2Geom());
+    L1ICache l1i(l1iGeom(), l2, 1);
+    // Three lines mapping to set 0 (stride = 2 lines).
+    l1i.fetchLine(0 * kLineBytes);
+    l1i.fetchLine(2 * kLineBytes);
+    l1i.fetchLine(0 * kLineBytes); // touch line 0
+    l1i.fetchLine(4 * kLineBytes); // evicts line 2 (LRU)
+    EXPECT_EQ(l1i.fetchLine(0 * kLineBytes), 1u);
+    EXPECT_GT(l1i.fetchLine(2 * kLineBytes), 1u);
+}
+
+TEST(L1ICache, ResetStatsKeepsContents)
+{
+    TraditionalL2 l2(l2Geom());
+    L1ICache l1i(l1iGeom(), l2, 1);
+    l1i.fetchLine(0x1000);
+    l1i.resetStats();
+    EXPECT_EQ(l1i.stats().accesses, 0u);
+    EXPECT_EQ(l1i.fetchLine(0x1000), 1u); // still cached
+}
+
+} // namespace
+} // namespace ldis

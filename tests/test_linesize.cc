@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the 32B-line L2 variant used by the Section-2 line-size
+ * study: half-line delivery, L1D sector misses on the other half,
+ * and footprint splitting on L1D evictions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/sectored_l1d.hh"
+#include "cache/traditional_l2.hh"
+
+namespace ldis
+{
+namespace
+{
+
+CacheGeometry
+geom32()
+{
+    CacheGeometry g;
+    g.bytes = 4ull * 8 * 32; // 4 sets x 8 ways x 32B lines
+    g.ways = 8;
+    g.lineBytes = 32;
+    return g;
+}
+
+TEST(LineSize32, DeliversOnlyTheContainingHalf)
+{
+    TraditionalL2 l2(geom32());
+    // Word 1 of the 64B line = byte 8..15: lower half.
+    L2Result lo = l2.access(8, false, 0, false);
+    EXPECT_EQ(lo.validWords.count(), 4u);
+    EXPECT_TRUE(lo.validWords.test(0));
+    EXPECT_TRUE(lo.validWords.test(3));
+    EXPECT_FALSE(lo.validWords.test(4));
+    // Word 5 = byte 40..47: upper half.
+    L2Result hi = l2.access(40, false, 0, false);
+    EXPECT_FALSE(hi.validWords.test(0));
+    EXPECT_TRUE(hi.validWords.test(5));
+    EXPECT_EQ(hi.validWords.count(), 4u);
+}
+
+TEST(LineSize32, HalvesAreIndependentLines)
+{
+    TraditionalL2 l2(geom32());
+    l2.access(0, false, 0, false);  // lower half: miss
+    l2.access(32, false, 0, false); // upper half: separate miss
+    EXPECT_EQ(l2.stats().lineMisses, 2u);
+    l2.access(8, false, 0, false);  // lower half again: hit
+    EXPECT_EQ(l2.stats().locHits, 1u);
+}
+
+TEST(LineSize32, L1DSectorMissesOnOtherHalf)
+{
+    TraditionalL2 l2(geom32());
+    CacheGeometry l1g;
+    l1g.bytes = 2ull * 2 * kLineBytes;
+    l1g.ways = 2;
+    SectoredL1D l1(l1g, l2);
+    // Touch word 0: fills the lower half only.
+    l1.access(0, false);
+    EXPECT_TRUE(l1.access(8, false).l1Hit);  // word 1: valid
+    // Word 4 (upper half) is invalid: sector miss -> second L2
+    // access, which misses on the upper 32B line.
+    L1DResult r = l1.access(32, false);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_EQ(l1.stats().sectorMisses, 1u);
+    EXPECT_EQ(l2.stats().lineMisses, 2u);
+    // Streaming a full 64B line therefore costs two L2 misses: the
+    // spatial-locality loss the paper's footnote 2 describes.
+}
+
+TEST(LineSize32, L1DEvictionSplitsFootprint)
+{
+    TraditionalL2 l2(geom32());
+    // Make both halves resident.
+    l2.access(0, false, 0, false);
+    l2.access(32, false, 0, false);
+    // A 64B L1D eviction with words {1, 6} used and {6} dirty.
+    Footprint used;
+    used.set(1);
+    used.set(6);
+    Footprint dirty;
+    dirty.set(6);
+    l2.l1dEviction(0, used, dirty);
+    // Lower 32B line: word 1 -> local word 1, clean.
+    const CacheLineState *lo = l2.tags().find(0);
+    ASSERT_NE(lo, nullptr);
+    EXPECT_TRUE(lo->footprint.test(1));
+    EXPECT_FALSE(lo->dirty);
+    // Upper 32B line: word 6 -> local word 2, dirty.
+    const CacheLineState *hi = l2.tags().find(1);
+    ASSERT_NE(hi, nullptr);
+    EXPECT_TRUE(hi->footprint.test(2));
+    EXPECT_TRUE(hi->dirty);
+}
+
+TEST(LineSize32, WordsUsedHistogramCapsAtFour)
+{
+    TraditionalL2 l2(geom32());
+    for (unsigned w = 0; w < 4; ++w)
+        l2.access(w * kWordBytes, false, 0, false);
+    // Evict line 0 (set 0: lines are multiples of 4 at 32B).
+    for (unsigned i = 1; i <= 8; ++i)
+        l2.access(i * 4 * 32, false, 0, false);
+    EXPECT_EQ(l2.wordsUsedAtEviction().countAt(4), 1u);
+}
+
+TEST(LineSize64, DeliveryIsAlwaysFullLine)
+{
+    CacheGeometry g;
+    g.bytes = 4ull * 8 * kLineBytes;
+    g.ways = 8;
+    TraditionalL2 l2(g);
+    EXPECT_TRUE(l2.access(8, false, 0, false).validWords.isFull());
+    EXPECT_TRUE(l2.access(8, false, 0, false).validWords.isFull());
+}
+
+} // namespace
+} // namespace ldis

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Integration matrix: every benchmark proxy against every cache
+ * configuration, asserting the bookkeeping invariants that must hold
+ * regardless of workload or organization. This is the broad-coverage
+ * safety net behind the per-module tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace ldis
+{
+namespace
+{
+
+struct MatrixCase
+{
+    const char *benchmark;
+    ConfigKind kind;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<MatrixCase> &info)
+{
+    std::string name = info.param.benchmark;
+    name += "_";
+    name += configName(info.param.kind);
+    for (char &c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return name;
+}
+
+class MatrixTest : public ::testing::TestWithParam<MatrixCase>
+{
+};
+
+TEST_P(MatrixTest, StatsInvariantsHold)
+{
+    const MatrixCase &mc = GetParam();
+    RunResult r = runTrace(mc.benchmark, mc.kind, 60000);
+
+    // Access accounting balances.
+    EXPECT_EQ(r.l2.accesses,
+              r.l2.locHits + r.l2.wocHits + r.l2.holeMisses +
+                  r.l2.lineMisses)
+        << r.config;
+    // Compulsory misses are a subset of line misses.
+    EXPECT_LE(r.l2.compulsoryMisses, r.l2.lineMisses);
+    // The L2 only sees L1 misses.
+    EXPECT_LE(r.l2.accesses,
+              r.l1d.misses() + r.l1i.misses + r.l1d.accesses);
+    EXPECT_GE(r.mpki, 0.0);
+    EXPECT_GE(r.instructions, 60000u);
+}
+
+std::vector<MatrixCase>
+allCases()
+{
+    const ConfigKind kinds[] = {
+        ConfigKind::Baseline1MB, ConfigKind::Trad2MB,
+        ConfigKind::Trad1MB32B,  ConfigKind::LdisBase,
+        ConfigKind::LdisMTRC,    ConfigKind::Ldis4xTags,
+        ConfigKind::Cmpr4xTags,  ConfigKind::Fac4xTags,
+        ConfigKind::Sfp16k,
+    };
+    std::vector<MatrixCase> cases;
+    for (const std::string &b : studiedBenchmarks())
+        for (ConfigKind k : kinds)
+            cases.push_back({strdup(b.c_str()), k});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, MatrixTest,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+class InsensitiveMatrixTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(InsensitiveMatrixTest, LdisMatchesBaselineClosely)
+{
+    // Appendix A: on cache-insensitive workloads LDIS-MT-RC must
+    // track the baseline (the reverter guarantees it cannot lose
+    // much, and there is nothing to win).
+    RunResult base =
+        runTrace(GetParam(), ConfigKind::Baseline1MB, 400000);
+    RunResult ldis =
+        runTrace(GetParam(), ConfigKind::LdisMTRC, 400000);
+    if (base.l2.misses() < 100)
+        return; // too few misses to compare meaningfully
+    double delta = percentReduction(
+        static_cast<double>(base.l2.misses()),
+        static_cast<double>(ldis.l2.misses()));
+    EXPECT_GT(delta, -12.0) << "LDIS lost too much";
+}
+
+INSTANTIATE_TEST_SUITE_P(Insensitive, InsensitiveMatrixTest,
+                         ::testing::Values("equake", "lucas",
+                                           "mgrid", "applu", "gap",
+                                           "fma3d"));
+
+} // namespace
+} // namespace ldis

@@ -1,0 +1,116 @@
+/** @file Unit tests for median-threshold filtering (Section 5.4). */
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "distill/median_filter.hh"
+
+namespace ldis
+{
+namespace
+{
+
+TEST(MedianFilter, InitialThresholdInstallsEverything)
+{
+    MedianFilter f(4096);
+    EXPECT_EQ(f.currentThreshold(), kWordsPerLine);
+    for (unsigned k = 1; k <= kWordsPerLine; ++k)
+        EXPECT_TRUE(f.shouldInstall(k));
+}
+
+TEST(MedianFilter, MedianOfUniformStream)
+{
+    MedianFilter f(800);
+    // 100 evictions of each count 1..8: the paper's running-sum
+    // definition picks the smallest k whose cumulative count reaches
+    // half the eviction sum -> 4.
+    for (unsigned k = 1; k <= 8; ++k)
+        for (int i = 0; i < 100; ++i)
+            f.recordEviction(k);
+    EXPECT_EQ(f.currentThreshold(), 4u);
+    EXPECT_TRUE(f.shouldInstall(4));
+    EXPECT_FALSE(f.shouldInstall(5));
+}
+
+TEST(MedianFilter, SkewedLowStream)
+{
+    MedianFilter f(100);
+    for (int i = 0; i < 60; ++i)
+        f.recordEviction(1);
+    for (int i = 0; i < 40; ++i)
+        f.recordEviction(8);
+    EXPECT_EQ(f.currentThreshold(), 1u);
+    EXPECT_TRUE(f.shouldInstall(1));
+    EXPECT_FALSE(f.shouldInstall(2));
+}
+
+TEST(MedianFilter, SkewedHighStream)
+{
+    MedianFilter f(100);
+    for (int i = 0; i < 100; ++i)
+        f.recordEviction(8);
+    EXPECT_EQ(f.currentThreshold(), 8u);
+}
+
+TEST(MedianFilter, RecomputesEveryEpoch)
+{
+    MedianFilter f(10);
+    for (int i = 0; i < 10; ++i)
+        f.recordEviction(2);
+    EXPECT_EQ(f.currentThreshold(), 2u);
+    // Phase change: the next epoch sees wide lines.
+    for (int i = 0; i < 10; ++i)
+        f.recordEviction(7);
+    EXPECT_EQ(f.currentThreshold(), 7u);
+    EXPECT_EQ(f.epochEvictions(), 0u);
+}
+
+TEST(MedianFilter, MatchesReferenceMedian)
+{
+    // Property: against a random stream, the filter's threshold at
+    // each epoch boundary equals the smallest k with cumulative
+    // count >= half (cross-checked with a sorted reference).
+    Random rng(99);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::uint64_t epoch = 512;
+        MedianFilter f(epoch);
+        std::vector<unsigned> sample;
+        for (std::uint64_t i = 0; i < epoch; ++i) {
+            unsigned k =
+                1 + static_cast<unsigned>(rng.below(8));
+            sample.push_back(k);
+            f.recordEviction(k);
+        }
+        std::sort(sample.begin(), sample.end());
+        // Reference: smallest k whose cumulative count reaches
+        // epoch/2 == element at index epoch/2 - 1.
+        unsigned ref = sample[epoch / 2 - 1];
+        EXPECT_EQ(f.currentThreshold(), ref) << "trial " << trial;
+    }
+}
+
+TEST(MedianFilter, FrozenThresholdNeverRecomputes)
+{
+    // The ablation study freezes the threshold by combining a huge
+    // epoch with an initial threshold.
+    MedianFilter f(std::numeric_limits<std::uint64_t>::max(), 2);
+    for (int i = 0; i < 100000; ++i)
+        f.recordEviction(8);
+    EXPECT_EQ(f.currentThreshold(), 2u);
+    EXPECT_TRUE(f.shouldInstall(2));
+    EXPECT_FALSE(f.shouldInstall(3));
+}
+
+TEST(MedianFilterDeath, BadEvictionCountPanics)
+{
+    MedianFilter f(10);
+    EXPECT_DEATH(f.recordEviction(0), "assert");
+    EXPECT_DEATH(f.recordEviction(9), "assert");
+}
+
+} // namespace
+} // namespace ldis

@@ -1,0 +1,192 @@
+/** @file Tests for next-line prefetching and LDIS composition. */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "cache/prefetch.hh"
+#include "cache/traditional_l2.hh"
+#include "distill/distill_cache.hh"
+#include "trace/benchmarks.hh"
+#include "trace/composite.hh"
+
+namespace ldis
+{
+namespace
+{
+
+Addr
+wordAddr(LineAddr line, WordIdx w)
+{
+    return lineBaseOf(line) + w * kWordBytes;
+}
+
+CacheGeometry
+tinyGeom()
+{
+    CacheGeometry g;
+    g.bytes = 4ull * 8 * kLineBytes;
+    g.ways = 8;
+    return g;
+}
+
+TEST(Prefetch, TraditionalInstallsWithoutCountingDemand)
+{
+    TraditionalL2 l2(tinyGeom());
+    EXPECT_TRUE(l2.prefetch(5));
+    EXPECT_EQ(l2.stats().accesses, 0u);
+    EXPECT_EQ(l2.stats().misses(), 0u);
+    // The prefetched line now hits on demand.
+    L2Result r = l2.access(wordAddr(5, 0), false, 0, false);
+    EXPECT_EQ(r.outcome, L2Outcome::LocHit);
+    // Prefetching a resident line is rejected.
+    EXPECT_FALSE(l2.prefetch(5));
+}
+
+TEST(Prefetch, DistillInstallsIntoLoc)
+{
+    DistillParams p;
+    p.bytes = 2ull * 8 * kLineBytes;
+    DistillCache dc(p);
+    EXPECT_TRUE(dc.prefetch(4));
+    EXPECT_EQ(dc.stats().accesses, 0u);
+    EXPECT_EQ(dc.access(wordAddr(4, 3), false, 0, false).outcome,
+              L2Outcome::LocHit);
+    EXPECT_FALSE(dc.prefetch(4));
+    EXPECT_TRUE(dc.checkIntegrity());
+}
+
+TEST(Prefetch, UnusedPrefetchIsDiscardedNotDistilled)
+{
+    DistillParams p;
+    p.bytes = 2ull * 8 * kLineBytes;
+    DistillCache dc(p);
+    dc.prefetch(0); // never touched
+    // Evict it from the 6-way LOC.
+    for (unsigned i = 1; i <= 6; ++i)
+        dc.access(wordAddr(i * 2, 0), false, 0, false);
+    EXPECT_EQ(dc.distillStats().wocInstalls, 0u);
+    EXPECT_FALSE(dc.wocOf(0).linePresent(0));
+    EXPECT_TRUE(dc.checkIntegrity());
+}
+
+TEST(Prefetch, UsedPrefetchDistillsItsRealFootprint)
+{
+    DistillParams p;
+    p.bytes = 2ull * 8 * kLineBytes;
+    DistillCache dc(p);
+    dc.prefetch(0);
+    dc.access(wordAddr(0, 6), false, 0, false); // touch one word
+    for (unsigned i = 1; i <= 6; ++i)
+        dc.access(wordAddr(i * 2, 0), false, 0, false);
+    EXPECT_EQ(dc.distillStats().wocInstalls, 1u);
+    EXPECT_TRUE(dc.wocOf(0).wordsOf(0).test(6));
+    EXPECT_EQ(dc.wocOf(0).wordsOf(0).count(), 1u);
+}
+
+TEST(Prefetch, WrapperIssuesNextLinesOnDemandMiss)
+{
+    auto inner = std::make_unique<TraditionalL2>(tinyGeom());
+    TraditionalL2 *raw = inner.get();
+    PrefetchingL2 pf(std::move(inner), 2);
+    pf.access(wordAddr(10, 0), false, 0, false); // miss
+    EXPECT_EQ(pf.prefetchStats().issued, 2u);
+    EXPECT_NE(raw->tags().find(11), nullptr);
+    EXPECT_NE(raw->tags().find(12), nullptr);
+    // A hit issues nothing.
+    pf.access(wordAddr(10, 1), false, 0, false);
+    EXPECT_EQ(pf.prefetchStats().issued, 2u);
+}
+
+TEST(Prefetch, InstructionMissesDoNotPrefetch)
+{
+    auto inner = std::make_unique<TraditionalL2>(tinyGeom());
+    PrefetchingL2 pf(std::move(inner), 1);
+    pf.access(wordAddr(20, 0), false, 0, true);
+    EXPECT_EQ(pf.prefetchStats().issued, 0u);
+}
+
+TEST(Prefetch, HelpsStreamingWorkload)
+{
+    RegionParams r;
+    r.bytes = 8 << 20;
+    r.pattern = Pattern::Sequential;
+    r.wordSel = WordSel::Full;
+    r.meanOps = 4;
+    auto make_wl = [&] {
+        return CompositeWorkload("stream", {r}, CodeModel{},
+                                 ValueProfile{}, 3);
+    };
+
+    CacheGeometry g;
+    g.bytes = 1 << 20;
+    g.ways = 8;
+    auto wl1 = make_wl();
+    TraditionalL2 plain(g);
+    Hierarchy h1(wl1, plain);
+    h1.run(300000);
+
+    auto wl2 = make_wl();
+    PrefetchingL2 pf(std::make_unique<TraditionalL2>(g), 1);
+    Hierarchy h2(wl2, pf);
+    h2.run(300000);
+
+    // Next-line prefetching converts nearly all streaming misses
+    // into hits.
+    EXPECT_LT(pf.stats().misses(), plain.stats().misses() / 2);
+}
+
+TEST(Prefetch, ComposesWithDistillation)
+{
+    // A mixed workload: a stream (prefetch-friendly) plus a sparse
+    // thrashing table (LDIS-friendly). LDIS+prefetch must beat both
+    // single mechanisms.
+    RegionParams stream;
+    stream.bytes = 8 << 20;
+    stream.pattern = Pattern::Sequential;
+    stream.wordSel = WordSel::Full;
+    stream.meanOps = 4;
+    stream.weight = 0.5;
+    RegionParams sparse;
+    sparse.bytes = 2 << 20;
+    sparse.pattern = Pattern::RandomLine;
+    sparse.wordSel = WordSel::Single;
+    sparse.wordsPerVisit = 1;
+    sparse.meanOps = 4;
+    sparse.weight = 0.5;
+    auto make_wl = [&] {
+        return CompositeWorkload("mixed", {stream, sparse},
+                                 CodeModel{}, ValueProfile{}, 3);
+    };
+
+    auto run = [&](bool distill, bool prefetch) {
+        auto wl = make_wl();
+        std::unique_ptr<SecondLevelCache> l2;
+        if (distill) {
+            DistillParams p;
+            p.medianThreshold = true;
+            l2 = std::make_unique<DistillCache>(p);
+        } else {
+            CacheGeometry g;
+            g.bytes = 1 << 20;
+            g.ways = 8;
+            l2 = std::make_unique<TraditionalL2>(g);
+        }
+        if (prefetch)
+            l2 = std::make_unique<PrefetchingL2>(std::move(l2), 1);
+        Hierarchy h(wl, *l2);
+        h.run(1500000);
+        return l2->stats().misses();
+    };
+
+    std::uint64_t base = run(false, false);
+    std::uint64_t pf_only = run(false, true);
+    std::uint64_t ldis_only = run(true, false);
+    std::uint64_t both = run(true, true);
+    EXPECT_LT(pf_only, base);
+    EXPECT_LT(ldis_only, base);
+    EXPECT_LT(both, pf_only);
+    EXPECT_LT(both, ldis_only);
+}
+
+} // namespace
+} // namespace ldis

@@ -1,0 +1,104 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+namespace ldis
+{
+namespace
+{
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(42);
+    Random b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Random a(1);
+    Random b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Random, ZeroSeedIsUsable)
+{
+    Random r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Random r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Random, BetweenInclusive)
+{
+    Random r(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t v = r.between(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 6);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Random r(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Random, BelowIsRoughlyUniform)
+{
+    Random r(13);
+    const unsigned buckets = 8;
+    const int n = 80000;
+    int counts[buckets] = {};
+    for (int i = 0; i < n; ++i)
+        ++counts[r.below(buckets)];
+    for (unsigned b = 0; b < buckets; ++b)
+        EXPECT_NEAR(counts[b], n / buckets, n / buckets * 0.1)
+            << "bucket " << b;
+}
+
+TEST(Random, ChanceMatchesProbability)
+{
+    Random r(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (r.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RandomDeath, BelowZeroBoundPanics)
+{
+    Random r(1);
+    EXPECT_DEATH(r.below(0), "assert");
+}
+
+} // namespace
+} // namespace ldis

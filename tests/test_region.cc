@@ -1,0 +1,329 @@
+/** @file Unit tests for region streams (workload building blocks). */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "trace/region.hh"
+
+namespace ldis
+{
+namespace
+{
+
+RegionParams
+base(Pattern pat, WordSel sel, unsigned k, std::uint64_t bytes)
+{
+    RegionParams p;
+    p.bytes = bytes;
+    p.pattern = pat;
+    p.wordSel = sel;
+    p.wordsPerVisit = k;
+    p.meanOps = 3;
+    return p;
+}
+
+std::vector<Access>
+visit(RegionStream &rs)
+{
+    std::vector<Access> out;
+    rs.produceVisit(out);
+    return out;
+}
+
+TEST(RegionStream, SequentialFullVisitsLinesInOrder)
+{
+    RegionParams p =
+        base(Pattern::Sequential, WordSel::Full, 8, 4 * kLineBytes);
+    RegionStream rs(p, /*base_line=*/100, 0x1000, 1);
+    for (unsigned line = 0; line < 4; ++line) {
+        auto burst = visit(rs);
+        ASSERT_EQ(burst.size(), kWordsPerLine);
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            EXPECT_EQ(lineAddrOf(burst[w].addr), 100 + line);
+            EXPECT_EQ(wordIdxOf(burst[w].addr), w);
+        }
+    }
+    // Wrap restarts at the base line and bumps the epoch.
+    EXPECT_EQ(rs.epoch(), 1u);
+    auto burst = visit(rs);
+    EXPECT_EQ(lineAddrOf(burst[0].addr), 100u);
+}
+
+TEST(RegionStream, PartialSeqTouchesPrefix)
+{
+    RegionParams p = base(Pattern::Sequential, WordSel::PartialSeq,
+                          3, 2 * kLineBytes);
+    RegionStream rs(p, 0, 0x1000, 1);
+    auto burst = visit(rs);
+    ASSERT_EQ(burst.size(), 3u);
+    for (unsigned w = 0; w < 3; ++w)
+        EXPECT_EQ(wordIdxOf(burst[w].addr), w);
+}
+
+TEST(RegionStream, SingleWordIsStablePerLine)
+{
+    RegionParams p = base(Pattern::Sequential, WordSel::Single, 1,
+                          8 * kLineBytes);
+    RegionStream a(p, 0, 0x1000, 1);
+    RegionStream b(p, 0, 0x1000, 99); // different seed
+    for (int i = 0; i < 8; ++i) {
+        auto ba = visit(a);
+        auto bb = visit(b);
+        ASSERT_EQ(ba.size(), 1u);
+        // Word choice is a pure function of the line, not the RNG.
+        EXPECT_EQ(wordIdxOf(ba[0].addr), wordIdxOf(bb[0].addr));
+    }
+}
+
+TEST(RegionStream, SparseKWordsAreDistinct)
+{
+    RegionParams p = base(Pattern::Sequential, WordSel::SparseK, 5,
+                          16 * kLineBytes);
+    RegionStream rs(p, 0, 0x1000, 1);
+    for (int i = 0; i < 16; ++i) {
+        auto burst = visit(rs);
+        ASSERT_EQ(burst.size(), 5u);
+        std::set<WordIdx> words;
+        for (const Access &a : burst)
+            words.insert(wordIdxOf(a.addr));
+        EXPECT_EQ(words.size(), 5u);
+    }
+}
+
+TEST(RegionStream, RandomLineStaysInRegion)
+{
+    RegionParams p = base(Pattern::RandomLine, WordSel::Single, 1,
+                          64 * kLineBytes);
+    RegionStream rs(p, 1000, 0x1000, 1);
+    for (int i = 0; i < 1000; ++i) {
+        auto burst = visit(rs);
+        LineAddr line = lineAddrOf(burst[0].addr);
+        EXPECT_GE(line, 1000u);
+        EXPECT_LT(line, 1064u);
+    }
+}
+
+TEST(RegionStream, RandomLineCoversRegion)
+{
+    RegionParams p = base(Pattern::RandomLine, WordSel::Single, 1,
+                          16 * kLineBytes);
+    RegionStream rs(p, 0, 0x1000, 1);
+    std::set<LineAddr> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(lineAddrOf(visit(rs)[0].addr));
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(RegionStream, StridedCoversAllLinesAcrossSweeps)
+{
+    RegionParams p = base(Pattern::Strided, WordSel::Single, 1,
+                          32 * kLineBytes);
+    p.strideLines = 4;
+    RegionStream rs(p, 0, 0x1000, 1);
+    std::set<LineAddr> seen;
+    for (int i = 0; i < 32; ++i)
+        seen.insert(lineAddrOf(visit(rs)[0].addr));
+    EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(RegionStream, PointerChaseIsDeterministicAndDependent)
+{
+    RegionParams p = base(Pattern::PointerChase, WordSel::SparseK, 2,
+                          256 * kLineBytes);
+    p.depDist = 1;
+    RegionStream a(p, 0, 0x1000, 5);
+    RegionStream b(p, 0, 0x1000, 5);
+    for (int i = 0; i < 50; ++i) {
+        auto ba = visit(a);
+        auto bb = visit(b);
+        ASSERT_EQ(ba.size(), bb.size());
+        EXPECT_EQ(ba[0].addr, bb[0].addr);
+        // First access of a chase burst carries the dependence.
+        EXPECT_EQ(ba[0].depDist, 1);
+        for (std::size_t j = 1; j < ba.size(); ++j)
+            EXPECT_EQ(ba[j].depDist, 0);
+    }
+}
+
+TEST(RegionStream, DelayedSpatialPairsLeadAndTrail)
+{
+    RegionParams p = base(Pattern::DelayedSpatial, WordSel::Full, 8,
+                          64 * kLineBytes);
+    p.delayLines = 16;
+    RegionStream rs(p, 0, 0x1000, 1);
+
+    // First visit: one-word lead touch of line 0.
+    auto lead = visit(rs);
+    ASSERT_EQ(lead.size(), 1u);
+    EXPECT_EQ(lineAddrOf(lead[0].addr), 0u);
+    EXPECT_EQ(wordIdxOf(lead[0].addr), 0u);
+
+    // Second visit: full-line trail touch, delayLines behind
+    // (wrapping).
+    auto trail = visit(rs);
+    ASSERT_EQ(trail.size(), kWordsPerLine);
+    EXPECT_EQ(lineAddrOf(trail[0].addr), 64u - 16u);
+}
+
+TEST(RegionStream, DelayedSpatialTrailEventuallyRevisitsLead)
+{
+    RegionParams p = base(Pattern::DelayedSpatial, WordSel::Full, 8,
+                          32 * kLineBytes);
+    p.delayLines = 4;
+    RegionStream rs(p, 0, 0x1000, 1);
+    std::map<LineAddr, int> lead_seen;
+    bool matched = false;
+    for (int i = 0; i < 200; ++i) {
+        auto burst = visit(rs);
+        LineAddr line = lineAddrOf(burst[0].addr);
+        if (burst.size() == 1) {
+            lead_seen[line] = i;
+        } else if (lead_seen.count(line)) {
+            matched = true; // the trail reached a lead-touched line
+        }
+    }
+    EXPECT_TRUE(matched);
+}
+
+TEST(RegionStream, PoolRotateStableWithinEpochWindow)
+{
+    RegionParams p = base(Pattern::Sequential, WordSel::PoolRotate,
+                          1, 4 * kLineBytes);
+    p.poolSize = 4;
+    p.rotateEvery = 100; // effectively frozen for this test
+    RegionStream rs(p, 0, 0x1000, 1);
+    std::map<LineAddr, WordIdx> first;
+    for (int sweep = 0; sweep < 3; ++sweep) {
+        for (int l = 0; l < 4; ++l) {
+            auto burst = visit(rs);
+            ASSERT_EQ(burst.size(), 1u);
+            LineAddr line = lineAddrOf(burst[0].addr);
+            WordIdx w = wordIdxOf(burst[0].addr);
+            if (first.count(line))
+                EXPECT_EQ(first[line], w) << "sweep " << sweep;
+            else
+                first[line] = w;
+        }
+    }
+}
+
+TEST(RegionStream, PoolRotateChangesAcrossRotationBoundary)
+{
+    RegionParams p = base(Pattern::Sequential, WordSel::PoolRotate,
+                          1, 2 * kLineBytes);
+    p.poolSize = 4;
+    p.rotateEvery = 1; // rotate every sweep
+    RegionStream rs(p, 0, 0x1000, 1);
+    // Collect each line's word across 4 sweeps: with a pool of 4 and
+    // per-sweep rotation we must see more than one distinct word.
+    std::map<LineAddr, std::set<WordIdx>> words;
+    for (int sweep = 0; sweep < 4; ++sweep) {
+        for (int l = 0; l < 2; ++l) {
+            auto burst = visit(rs);
+            words[lineAddrOf(burst[0].addr)]
+                .insert(wordIdxOf(burst[0].addr));
+        }
+    }
+    for (const auto &[line, set] : words)
+        EXPECT_GT(set.size(), 1u) << "line " << line;
+}
+
+TEST(RegionStream, FootprintClassesShareWordSets)
+{
+    // With pcClasses set, lines in the same class touch identical
+    // word sets and carry class-identifying PCs -- the property the
+    // SFP baseline's predictor learns from.
+    RegionParams p = base(Pattern::Sequential, WordSel::SparseK, 3,
+                          256 * kLineBytes);
+    p.pcClasses = 4;
+    RegionStream rs(p, 0, 0x1000, 1);
+    std::map<Addr, std::set<std::uint64_t>> words_by_pc;
+    for (int i = 0; i < 256; ++i) {
+        auto burst = visit(rs);
+        ASSERT_EQ(burst.size(), 3u);
+        std::uint64_t word_mask = 0;
+        for (const Access &a : burst)
+            word_mask |= 1ull << wordIdxOf(a.addr);
+        // Key by the first access's PC: all lines of a class share
+        // it, and must share the word set.
+        words_by_pc[burst[0].pc].insert(word_mask);
+    }
+    // At most 4 distinct classes, each with exactly one word set.
+    EXPECT_LE(words_by_pc.size(), 4u);
+    for (const auto &[pc, masks] : words_by_pc)
+        EXPECT_EQ(masks.size(), 1u) << pc;
+}
+
+TEST(RegionStream, PerLineFootprintsAreDiverse)
+{
+    // Without classes, a region of many lines shows many distinct
+    // word sets (unlearnable by a PC-indexed predictor).
+    RegionParams p = base(Pattern::Sequential, WordSel::SparseK, 3,
+                          256 * kLineBytes);
+    RegionStream rs(p, 0, 0x1000, 1);
+    std::set<std::uint64_t> masks;
+    for (int i = 0; i < 256; ++i) {
+        auto burst = visit(rs);
+        std::uint64_t word_mask = 0;
+        for (const Access &a : burst)
+            word_mask |= 1ull << wordIdxOf(a.addr);
+        masks.insert(word_mask);
+    }
+    EXPECT_GT(masks.size(), 20u);
+}
+
+TEST(RegionStream, ResetReproducesStream)
+{
+    RegionParams p = base(Pattern::RandomLine, WordSel::SparseK, 3,
+                          128 * kLineBytes);
+    RegionStream rs(p, 0, 0x1000, 9);
+    std::vector<Access> first;
+    for (int i = 0; i < 20; ++i) {
+        auto b = visit(rs);
+        first.insert(first.end(), b.begin(), b.end());
+    }
+    rs.reset();
+    std::vector<Access> second;
+    for (int i = 0; i < 20; ++i) {
+        auto b = visit(rs);
+        second.insert(second.end(), b.begin(), b.end());
+    }
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].addr, second[i].addr);
+        EXPECT_EQ(first[i].write, second[i].write);
+        EXPECT_EQ(first[i].nonMemOps, second[i].nonMemOps);
+    }
+}
+
+TEST(RegionStream, OpsAndBranchesWithinBounds)
+{
+    RegionParams p = base(Pattern::Sequential, WordSel::Full, 8,
+                          16 * kLineBytes);
+    p.meanOps = 10;
+    RegionStream rs(p, 0, 0x1000, 3);
+    std::uint64_t total_ops = 0, n = 0;
+    for (int i = 0; i < 500; ++i) {
+        for (const Access &a : visit(rs)) {
+            EXPECT_LE(a.nonMemOps, 20u);
+            EXPECT_LE(a.branches, a.nonMemOps);
+            total_ops += a.nonMemOps;
+            ++n;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(total_ops) / n, 10.0, 1.0);
+}
+
+TEST(RegionStreamDeath, DelayedSpatialDelayMustFitRegion)
+{
+    RegionParams p = base(Pattern::DelayedSpatial, WordSel::Full, 8,
+                          8 * kLineBytes);
+    p.delayLines = 8;
+    EXPECT_EXIT(RegionStream(p, 0, 0x1000, 1),
+                testing::ExitedWithCode(1), "delayLines");
+}
+
+} // namespace
+} // namespace ldis

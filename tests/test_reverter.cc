@@ -1,0 +1,148 @@
+/** @file Unit tests for the reverter circuit (Section 5.5). */
+
+#include <gtest/gtest.h>
+
+#include "distill/reverter.hh"
+
+namespace ldis
+{
+namespace
+{
+
+CacheGeometry
+baselineGeom()
+{
+    CacheGeometry g;
+    g.bytes = 1 << 20;
+    g.ways = 8;
+    return g;
+}
+
+ReverterParams
+paperParams()
+{
+    return ReverterParams{}; // 32 leaders, 64/192, 8-bit PSEL
+}
+
+/** A line mapping to leader set 0 (stride 64 for 2048 sets / 32). */
+LineAddr
+leaderLine(unsigned i)
+{
+    return static_cast<LineAddr>(i) * 2048;
+}
+
+TEST(Reverter, LeaderSelectionIsStrided)
+{
+    Reverter rev(baselineGeom(), paperParams());
+    unsigned leaders = 0;
+    for (unsigned set = 0; set < 2048; ++set)
+        if (rev.isLeader(set))
+            ++leaders;
+    EXPECT_EQ(leaders, 32u);
+    EXPECT_TRUE(rev.isLeader(0));
+    EXPECT_TRUE(rev.isLeader(64));
+    EXPECT_FALSE(rev.isLeader(1));
+}
+
+TEST(Reverter, StartsEnabledAtMidpoint)
+{
+    Reverter rev(baselineGeom(), paperParams());
+    EXPECT_TRUE(rev.ldisEnabled());
+    EXPECT_EQ(rev.psel(), 128u);
+}
+
+TEST(Reverter, DistillMissesDrivePselDown)
+{
+    Reverter rev(baselineGeom(), paperParams());
+    // ATD hits (same line re-accessed) while distill misses: PSEL
+    // falls, eventually disabling LDIS below 64.
+    rev.recordLeaderAccess(leaderLine(0), true); // ATD cold miss
+    for (int i = 0; i < 200; ++i)
+        rev.recordLeaderAccess(leaderLine(0), true);
+    EXPECT_LT(rev.psel(), 64u);
+    EXPECT_FALSE(rev.ldisEnabled());
+}
+
+TEST(Reverter, AtdMissesDrivePselUp)
+{
+    Reverter rev(baselineGeom(), paperParams());
+    // Distinct lines: ATD misses every time; distill claims hits.
+    for (unsigned i = 0; i < 200; ++i)
+        rev.recordLeaderAccess(leaderLine(i), false);
+    EXPECT_GT(rev.psel(), 192u);
+    EXPECT_TRUE(rev.ldisEnabled());
+}
+
+TEST(Reverter, HysteresisRetainsDecisionInBand)
+{
+    Reverter rev(baselineGeom(), paperParams());
+    // Drive PSEL below 64 -> disabled.
+    rev.recordLeaderAccess(leaderLine(0), true);
+    for (int i = 0; i < 200; ++i)
+        rev.recordLeaderAccess(leaderLine(0), true);
+    ASSERT_FALSE(rev.ldisEnabled());
+    // Recover into the middle band (64..192): decision must stick.
+    for (unsigned i = 0; i < 100; ++i)
+        rev.recordLeaderAccess(leaderLine(i + 1), false);
+    ASSERT_GE(rev.psel(), 64u);
+    ASSERT_LE(rev.psel(), 192u);
+    EXPECT_FALSE(rev.ldisEnabled()) << "decision changed in band";
+    // Push above 192 -> re-enabled.
+    for (unsigned i = 0; i < 200; ++i)
+        rev.recordLeaderAccess(leaderLine(i + 200), false);
+    EXPECT_TRUE(rev.ldisEnabled());
+}
+
+TEST(Reverter, PselSaturates)
+{
+    Reverter rev(baselineGeom(), paperParams());
+    for (unsigned i = 0; i < 1000; ++i)
+        rev.recordLeaderAccess(leaderLine(i), false);
+    EXPECT_EQ(rev.psel(), 255u);
+    rev.recordLeaderAccess(leaderLine(0), true); // ATD hit now
+    for (int i = 0; i < 2000; ++i)
+        rev.recordLeaderAccess(leaderLine(0), true);
+    EXPECT_EQ(rev.psel(), 0u);
+}
+
+TEST(Reverter, AtdTracksTraditionalBehaviour)
+{
+    Reverter rev(baselineGeom(), paperParams());
+    // 8 distinct lines fit an 8-way set: re-access hits the ATD, so
+    // with distill also hitting PSEL stays put.
+    for (unsigned i = 0; i < 8; ++i)
+        rev.recordLeaderAccess(leaderLine(i), false);
+    unsigned psel_after_cold = rev.psel();
+    for (unsigned i = 0; i < 8; ++i)
+        rev.recordLeaderAccess(leaderLine(i), false);
+    EXPECT_EQ(rev.psel(), psel_after_cold);
+}
+
+TEST(Reverter, StorageMatchesTable3)
+{
+    Reverter rev(baselineGeom(), paperParams());
+    // 32 sets * 8 ways * 4B = 1kB.
+    EXPECT_EQ(rev.atdStorageBytes(), 1024u);
+}
+
+TEST(ReverterDeath, BadConfigurationsAreFatal)
+{
+    ReverterParams p = paperParams();
+    p.leaderSets = 0;
+    EXPECT_EXIT(Reverter(baselineGeom(), p),
+                testing::ExitedWithCode(1), "leader");
+    ReverterParams q = paperParams();
+    q.lowThreshold = 200;
+    q.highThreshold = 100;
+    EXPECT_EXIT(Reverter(baselineGeom(), q),
+                testing::ExitedWithCode(1), "hysteresis");
+}
+
+TEST(ReverterDeath, NonLeaderAccessPanics)
+{
+    Reverter rev(baselineGeom(), paperParams());
+    EXPECT_DEATH(rev.recordLeaderAccess(1, false), "assert");
+}
+
+} // namespace
+} // namespace ldis

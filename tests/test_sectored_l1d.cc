@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the sectored L1D (Section 4.2): per-word valid
+ * bits, sector misses, footprint accumulation and draining, and
+ * dirty-word propagation. Uses a scripted fake L2 so every
+ * interaction is observable.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/sectored_l1d.hh"
+
+namespace ldis
+{
+namespace
+{
+
+/** Fake L2 that records calls and returns a scripted valid mask. */
+class FakeL2 : public SecondLevelCache
+{
+  public:
+    struct EvictionRecord
+    {
+        LineAddr line;
+        Footprint used;
+        Footprint dirty;
+    };
+
+    L2Result
+    access(Addr addr, bool write, Addr pc, bool instr) override
+    {
+        ++statsData.accesses;
+        ++statsData.lineMisses;
+        accesses.push_back({addr, write, pc, instr});
+        L2Result r;
+        r.outcome = L2Outcome::LineMiss;
+        r.validWords = nextValid;
+        r.latency = 100;
+        return r;
+    }
+
+    void
+    l1dEviction(LineAddr line, Footprint used,
+                Footprint dirty) override
+    {
+        evictions.push_back({line, used, dirty});
+    }
+
+    const L2Stats &stats() const override { return statsData; }
+    void resetStats() override { statsData = L2Stats{}; }
+    std::string describe() const override { return "fake"; }
+
+    struct AccessRecord
+    {
+        Addr addr;
+        bool write;
+        Addr pc;
+        bool instr;
+    };
+
+    std::vector<AccessRecord> accesses;
+    std::vector<EvictionRecord> evictions;
+    Footprint nextValid = Footprint::full();
+    L2Stats statsData;
+};
+
+CacheGeometry
+l1Geom()
+{
+    CacheGeometry g;
+    g.bytes = 2ull * 2 * kLineBytes; // 2 sets, 2 ways
+    g.ways = 2;
+    return g;
+}
+
+Addr
+wordAddr(LineAddr line, WordIdx w)
+{
+    return lineBaseOf(line) + w * kWordBytes;
+}
+
+TEST(SectoredL1D, MissFillsFromL2ThenHits)
+{
+    FakeL2 l2;
+    SectoredL1D l1(l1Geom(), l2, 3);
+    L1DResult r1 = l1.access(wordAddr(0, 0), false);
+    EXPECT_FALSE(r1.l1Hit);
+    EXPECT_EQ(r1.latency, 3u + 100u);
+    L1DResult r2 = l1.access(wordAddr(0, 0), false);
+    EXPECT_TRUE(r2.l1Hit);
+    EXPECT_EQ(r2.latency, 3u);
+    EXPECT_EQ(l2.accesses.size(), 1u);
+    EXPECT_EQ(l1.stats().hits, 1u);
+    EXPECT_EQ(l1.stats().lineMisses, 1u);
+}
+
+TEST(SectoredL1D, FullFillValidatesAllWords)
+{
+    FakeL2 l2;
+    SectoredL1D l1(l1Geom(), l2);
+    l1.access(wordAddr(0, 0), false);
+    // All other words hit without further L2 traffic.
+    for (WordIdx w = 1; w < kWordsPerLine; ++w)
+        EXPECT_TRUE(l1.access(wordAddr(0, w), false).l1Hit);
+    EXPECT_EQ(l2.accesses.size(), 1u);
+}
+
+TEST(SectoredL1D, PartialFillCausesSectorMiss)
+{
+    FakeL2 l2;
+    SectoredL1D l1(l1Geom(), l2);
+    // The L2 (a WOC hit in real life) supplies only words 0 and 3.
+    Footprint partial;
+    partial.set(0);
+    partial.set(3);
+    l2.nextValid = partial;
+    l1.access(wordAddr(0, 0), false);
+
+    EXPECT_TRUE(l1.access(wordAddr(0, 3), false).l1Hit);
+
+    // Word 5 is invalid: sector miss goes back to the L2.
+    l2.nextValid = Footprint::full();
+    L1DResult r = l1.access(wordAddr(0, 5), false);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_EQ(l1.stats().sectorMisses, 1u);
+    EXPECT_EQ(l2.accesses.size(), 2u);
+    // After the refill the whole line is valid.
+    EXPECT_TRUE(l1.access(wordAddr(0, 6), false).l1Hit);
+}
+
+TEST(SectoredL1D, SectorMissMergesValidWords)
+{
+    FakeL2 l2;
+    SectoredL1D l1(l1Geom(), l2);
+    Footprint first;
+    first.set(0);
+    l2.nextValid = first;
+    l1.access(wordAddr(0, 0), false);
+    // Sector miss for word 2; the L2 now supplies words 2 and 4.
+    Footprint second;
+    second.set(2);
+    second.set(4);
+    l2.nextValid = second;
+    l1.access(wordAddr(0, 2), false);
+    // Union is valid: 0, 2, 4.
+    EXPECT_TRUE(l1.access(wordAddr(0, 4), false).l1Hit);
+    EXPECT_TRUE(l1.access(wordAddr(0, 0), false).l1Hit);
+    EXPECT_EQ(l1.stats().sectorMisses, 1u);
+}
+
+TEST(SectoredL1D, EvictionDrainsFootprintToL2)
+{
+    FakeL2 l2;
+    SectoredL1D l1(l1Geom(), l2);
+    // Touch words 0 and 6 of line 0 (set 0).
+    l1.access(wordAddr(0, 0), false);
+    l1.access(wordAddr(0, 6), false);
+    // Fill set 0 (lines are multiples of 2) until line 0 is evicted.
+    l1.access(wordAddr(2, 0), false);
+    l1.access(wordAddr(4, 0), false);
+    ASSERT_EQ(l2.evictions.size(), 1u);
+    EXPECT_EQ(l2.evictions[0].line, 0u);
+    EXPECT_TRUE(l2.evictions[0].used.test(0));
+    EXPECT_TRUE(l2.evictions[0].used.test(6));
+    EXPECT_EQ(l2.evictions[0].used.count(), 2u);
+    EXPECT_TRUE(l2.evictions[0].dirty.empty());
+}
+
+TEST(SectoredL1D, DirtyWordsReported)
+{
+    FakeL2 l2;
+    SectoredL1D l1(l1Geom(), l2);
+    l1.access(wordAddr(0, 1), true); // store to word 1
+    l1.access(wordAddr(0, 2), false);
+    l1.access(wordAddr(2, 0), false);
+    l1.access(wordAddr(4, 0), false);
+    ASSERT_EQ(l2.evictions.size(), 1u);
+    Footprint dirty = l2.evictions[0].dirty;
+    EXPECT_TRUE(dirty.test(1));
+    EXPECT_EQ(dirty.count(), 1u);
+}
+
+TEST(SectoredL1D, WriteToInvalidWordIsSectorMissFirst)
+{
+    FakeL2 l2;
+    SectoredL1D l1(l1Geom(), l2);
+    Footprint partial;
+    partial.set(0);
+    l2.nextValid = partial;
+    l1.access(wordAddr(0, 0), false);
+    // Store to invalid word 7: must fetch through the L2 before the
+    // write (write-allocate per word), so dirty stays within valid.
+    l2.nextValid = Footprint::full();
+    L1DResult r = l1.access(wordAddr(0, 7), true);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_TRUE(l2.accesses.back().write);
+    // Evict and check dirty mask.
+    l1.access(wordAddr(2, 0), false);
+    l1.access(wordAddr(4, 0), false);
+    ASSERT_EQ(l2.evictions.size(), 1u);
+    EXPECT_TRUE(l2.evictions[0].dirty.test(7));
+}
+
+TEST(SectoredL1D, PcForwardedToL2)
+{
+    FakeL2 l2;
+    SectoredL1D l1(l1Geom(), l2);
+    l1.access(wordAddr(0, 0), false, 0xdead);
+    ASSERT_EQ(l2.accesses.size(), 1u);
+    EXPECT_EQ(l2.accesses[0].pc, 0xdeadu);
+}
+
+} // namespace
+} // namespace ldis

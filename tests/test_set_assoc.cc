@@ -1,0 +1,204 @@
+/** @file Unit tests for the generic set-associative tag array. */
+
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc.hh"
+
+namespace ldis
+{
+namespace
+{
+
+CacheGeometry
+smallGeom(unsigned ways = 4)
+{
+    CacheGeometry g;
+    // 4 sets x `ways` ways x 64B lines.
+    g.bytes = 4ull * ways * kLineBytes;
+    g.ways = ways;
+    return g;
+}
+
+/** Lines mapping to set 0 of a 4-set cache: multiples of 4. */
+LineAddr
+set0Line(unsigned i)
+{
+    return static_cast<LineAddr>(i) * 4;
+}
+
+TEST(SetAssoc, GeometryDerived)
+{
+    SetAssocCache c(smallGeom());
+    EXPECT_EQ(c.numSets(), 4u);
+    EXPECT_EQ(c.numWays(), 4u);
+    EXPECT_EQ(c.setIndexOf(0), 0u);
+    EXPECT_EQ(c.setIndexOf(5), 1u);
+    EXPECT_EQ(c.setIndexOf(7), 3u);
+}
+
+TEST(SetAssoc, InstallAndFind)
+{
+    SetAssocCache c(smallGeom());
+    EXPECT_EQ(c.find(8), nullptr);
+    CacheLineState evicted = c.install(8);
+    EXPECT_FALSE(evicted.valid);
+    CacheLineState *l = c.find(8);
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->line, 8u);
+    EXPECT_TRUE(l->valid);
+}
+
+TEST(SetAssoc, LruEvictsLeastRecent)
+{
+    SetAssocCache c(smallGeom());
+    for (unsigned i = 0; i < 4; ++i)
+        c.install(set0Line(i));
+    // Touch line 0 so line 1 becomes LRU.
+    c.touch(set0Line(0));
+    CacheLineState evicted = c.install(set0Line(4));
+    EXPECT_TRUE(evicted.valid);
+    EXPECT_EQ(evicted.line, set0Line(1));
+    EXPECT_EQ(c.find(set0Line(1)), nullptr);
+    EXPECT_NE(c.find(set0Line(0)), nullptr);
+}
+
+TEST(SetAssoc, PositionTracksRecency)
+{
+    SetAssocCache c(smallGeom());
+    c.install(set0Line(0));
+    c.install(set0Line(1));
+    c.install(set0Line(2));
+    // Most recent install is MRU.
+    EXPECT_EQ(c.position(set0Line(2)), 0u);
+    EXPECT_EQ(c.position(set0Line(1)), 1u);
+    EXPECT_EQ(c.position(set0Line(0)), 2u);
+    c.touch(set0Line(0));
+    EXPECT_EQ(c.position(set0Line(0)), 0u);
+    EXPECT_EQ(c.position(set0Line(2)), 1u);
+}
+
+TEST(SetAssoc, PeekVictimMatchesInstall)
+{
+    SetAssocCache c(smallGeom());
+    EXPECT_EQ(c.peekVictim(set0Line(9)), nullptr); // free way
+    for (unsigned i = 0; i < 4; ++i)
+        c.install(set0Line(i));
+    const CacheLineState *victim = c.peekVictim(set0Line(9));
+    ASSERT_NE(victim, nullptr);
+    LineAddr predicted = victim->line;
+    CacheLineState evicted = c.install(set0Line(9));
+    EXPECT_EQ(evicted.line, predicted);
+}
+
+TEST(SetAssoc, InvalidateRemovesAndReportsPrior)
+{
+    SetAssocCache c(smallGeom());
+    c.install(10);
+    c.find(10)->dirty = true;
+    CacheLineState prior = c.invalidate(10);
+    EXPECT_TRUE(prior.valid);
+    EXPECT_TRUE(prior.dirty);
+    EXPECT_EQ(c.find(10), nullptr);
+    // Invalidating a missing line is a no-op.
+    CacheLineState none = c.invalidate(10);
+    EXPECT_FALSE(none.valid);
+}
+
+TEST(SetAssoc, InvalidatedWayIsReusedFirst)
+{
+    SetAssocCache c(smallGeom());
+    for (unsigned i = 0; i < 4; ++i)
+        c.install(set0Line(i));
+    c.invalidate(set0Line(2));
+    CacheLineState evicted = c.install(set0Line(7));
+    EXPECT_FALSE(evicted.valid); // reused the invalid way
+    for (unsigned i : {0u, 1u, 3u})
+        EXPECT_NE(c.find(set0Line(i)), nullptr);
+}
+
+TEST(SetAssoc, ValidCount)
+{
+    SetAssocCache c(smallGeom());
+    EXPECT_EQ(c.validCount(), 0u);
+    c.install(1);
+    c.install(2);
+    EXPECT_EQ(c.validCount(), 2u);
+    c.invalidate(1);
+    EXPECT_EQ(c.validCount(), 1u);
+}
+
+TEST(SetAssoc, ForEachLineVisitsAllValid)
+{
+    SetAssocCache c(smallGeom());
+    c.install(0);
+    c.install(1);
+    c.install(2);
+    unsigned count = 0;
+    c.forEachLine([&](const CacheLineState &) { ++count; });
+    EXPECT_EQ(count, 3u);
+}
+
+TEST(SetAssoc, SetsAreIndependent)
+{
+    SetAssocCache c(smallGeom());
+    // Fill set 0 completely; set 1 lines must be unaffected.
+    for (unsigned i = 0; i < 8; ++i)
+        c.install(set0Line(i));
+    c.install(1); // set 1
+    EXPECT_NE(c.find(1), nullptr);
+    EXPECT_EQ(c.validCount(), 5u);
+}
+
+TEST(SetAssoc, RandomPolicyStillFindsLines)
+{
+    CacheGeometry g = smallGeom();
+    g.repl = ReplPolicy::Random;
+    SetAssocCache c(g);
+    for (unsigned i = 0; i < 16; ++i)
+        c.install(set0Line(i));
+    EXPECT_EQ(c.validCount(), 4u);
+}
+
+TEST(SetAssoc, FreshInstallHasCleanMetadata)
+{
+    SetAssocCache c(smallGeom());
+    c.install(3);
+    CacheLineState *l = c.find(3);
+    l->footprint.set(5);
+    l->dirty = true;
+    c.invalidate(3);
+    c.install(3);
+    l = c.find(3);
+    EXPECT_TRUE(l->footprint.empty());
+    EXPECT_FALSE(l->dirty);
+}
+
+TEST(SetAssocDeath, BadGeometriesAreFatal)
+{
+    CacheGeometry g;
+    g.bytes = 1000; // not divisible
+    g.ways = 8;
+    EXPECT_EXIT(SetAssocCache c(g), testing::ExitedWithCode(1), "");
+
+    CacheGeometry g2;
+    g2.bytes = 3 * 8 * 64; // 3 sets: not a power of two
+    g2.ways = 8;
+    EXPECT_EXIT(SetAssocCache c(g2), testing::ExitedWithCode(1),
+                "power of two");
+}
+
+TEST(SetAssocDeath, DoubleInstallPanics)
+{
+    SetAssocCache c(smallGeom());
+    c.install(5);
+    EXPECT_DEATH(c.install(5), "assert");
+}
+
+TEST(SetAssocDeath, PositionOfMissingLinePanics)
+{
+    SetAssocCache c(smallGeom());
+    EXPECT_DEATH(c.position(5), "assert");
+}
+
+} // namespace
+} // namespace ldis

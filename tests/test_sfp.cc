@@ -1,0 +1,202 @@
+/** @file Unit tests for the SFP baseline (Section 9 / Figure 13). */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "sfp/sfp_cache.hh"
+#include "trace/benchmarks.hh"
+
+namespace ldis
+{
+namespace
+{
+
+TEST(SfpPredictor, DefaultsToFullLine)
+{
+    SfpPredictor pred(1024);
+    Footprint fp = pred.predict(0x400, 3);
+    EXPECT_TRUE(fp.isFull());
+    EXPECT_EQ(pred.stats().lookups, 1u);
+    EXPECT_EQ(pred.stats().predictions, 0u);
+}
+
+TEST(SfpPredictor, LearnsTrainedFootprint)
+{
+    SfpPredictor pred(1024);
+    Footprint observed;
+    observed.set(1);
+    observed.set(4);
+    pred.train(0x400, 1, observed);
+    Footprint fp = pred.predict(0x400, 1);
+    EXPECT_TRUE(fp.test(1));
+    EXPECT_TRUE(fp.test(4));
+    EXPECT_EQ(fp.count(), 2u);
+    EXPECT_EQ(pred.stats().predictions, 1u);
+}
+
+TEST(SfpPredictor, PredictionAlwaysIncludesDemandWord)
+{
+    SfpPredictor pred(1024);
+    Footprint observed;
+    observed.set(7);
+    pred.train(0x400, 2, observed);
+    // Same key, different demanded word: word 2 must be included.
+    Footprint fp = pred.predict(0x400, 2);
+    EXPECT_TRUE(fp.test(2));
+    EXPECT_TRUE(fp.test(7));
+}
+
+TEST(SfpPredictor, DistinctKeysAreIndependent)
+{
+    SfpPredictor pred(1u << 16);
+    Footprint a;
+    a.set(0);
+    pred.train(0x1000, 0, a);
+    Footprint fp = pred.predict(0x2000, 0);
+    EXPECT_TRUE(fp.isFull()) << "untrained key must default";
+}
+
+TEST(SfpPredictor, StorageMatchesPaperSizes)
+{
+    EXPECT_EQ(SfpPredictor(16 * 1024).storageBytes(), 64u * 1024);
+    EXPECT_EQ(SfpPredictor(64 * 1024).storageBytes(), 256u * 1024);
+}
+
+// ---------------------------------------------------------------
+
+SfpParams
+tinyParams()
+{
+    SfpParams p;
+    p.bytes = 2ull * 8 * kLineBytes; // 2 sets x 8 data ways
+    p.ways = 8;
+    p.tagEntriesPerSet = 22;
+    p.predictorEntries = 1024;
+    p.useReverter = false; // too few sets for sampling
+    return p;
+}
+
+Addr
+wordAddr(LineAddr line, WordIdx w)
+{
+    return lineBaseOf(line) + w * kWordBytes;
+}
+
+TEST(SfpCache, ColdMissFetchesFullLine)
+{
+    SfpCache sfp(tinyParams());
+    L2Result r = sfp.access(wordAddr(2, 0), false, 0x500, false);
+    EXPECT_EQ(r.outcome, L2Outcome::LineMiss);
+    EXPECT_TRUE(r.validWords.isFull());
+    EXPECT_EQ(sfp.sfpStats().fullInstalls, 1u);
+}
+
+/**
+ * Evict line 2 deterministically: 24 fresh full lines exhaust the
+ * 22 tag entries, so the LRU tag (line 2's) must be trained out.
+ */
+void
+floodSet0(SfpCache &sfp, unsigned first = 100, unsigned count = 24)
+{
+    for (unsigned i = 0; i < count; ++i)
+        sfp.access(wordAddr(2 * (first + i), 0), false,
+                   0x9000 + i * 64, false);
+}
+
+TEST(SfpCache, TrainedPredictionInstallsPartially)
+{
+    SfpCache sfp(tinyParams());
+    // First residency: use only word 0 of line 2.
+    sfp.access(wordAddr(2, 0), false, 0x500, false);
+    floodSet0(sfp);
+    // Second miss from the same PC/offset: partial install.
+    L2Result r = sfp.access(wordAddr(2, 0), false, 0x500, false);
+    EXPECT_EQ(r.outcome, L2Outcome::LineMiss);
+    EXPECT_EQ(r.validWords.count(), 1u);
+    EXPECT_GE(sfp.sfpStats().partialInstalls, 1u);
+    EXPECT_TRUE(sfp.checkIntegrity());
+}
+
+TEST(SfpCache, UnderPredictionCausesHoleMiss)
+{
+    SfpCache sfp(tinyParams());
+    sfp.access(wordAddr(2, 0), false, 0x500, false);
+    floodSet0(sfp);
+    L2Result partial = sfp.access(wordAddr(2, 0), false, 0x500,
+                                  false);
+    ASSERT_EQ(partial.validWords.count(), 1u);
+    // Word 5 was not predicted: hole miss.
+    L2Result r = sfp.access(wordAddr(2, 5), false, 0x500, false);
+    EXPECT_EQ(r.outcome, L2Outcome::HoleMiss);
+    EXPECT_TRUE(sfp.checkIntegrity());
+    // The hole-miss refetch predicts again with word 5's demand bit
+    // forced in, so the word is now resident.
+    EXPECT_TRUE(sfp.access(wordAddr(2, 5), false, 0x500, false)
+                    .outcome == L2Outcome::LocHit);
+}
+
+TEST(SfpCache, PartialLinesShareDataWay)
+{
+    SfpCache sfp(tinyParams());
+    // Train two lines (distinct PCs) to single, disjoint words.
+    sfp.access(wordAddr(2, 0), false, 0xa00, false);
+    sfp.access(wordAddr(4, 5), false, 0xb00, false);
+    floodSet0(sfp, 100, 24);
+    // The flood leaves every data way holding one full line. The
+    // first partial reinstall must clear exactly one way; the
+    // second uses a *disjoint* word, so it shares that same way and
+    // evicts nothing -- the placement flexibility a plain sectored
+    // cache lacks.
+    std::uint64_t ev0 = sfp.stats().evictions;
+    sfp.access(wordAddr(2, 0), false, 0xa00, false);
+    std::uint64_t ev1 = sfp.stats().evictions;
+    EXPECT_EQ(ev1, ev0 + 1);
+    sfp.access(wordAddr(4, 5), false, 0xb00, false);
+    EXPECT_EQ(sfp.stats().evictions, ev1);
+    // Both partial lines coexist.
+    EXPECT_EQ(sfp.access(wordAddr(2, 0), false, 0xa00, false)
+                  .outcome,
+              L2Outcome::LocHit);
+    EXPECT_EQ(sfp.access(wordAddr(4, 5), false, 0xb00, false)
+                  .outcome,
+              L2Outcome::LocHit);
+    EXPECT_TRUE(sfp.checkIntegrity());
+}
+
+TEST(SfpCache, StatsBalance)
+{
+    SfpParams p;
+    p.bytes = 1 << 20;
+    p.useReverter = true;
+    SfpCache sfp(p);
+    auto workload = makeBenchmark("vpr");
+    Hierarchy hier(*workload, sfp);
+    hier.run(300000);
+    const L2Stats &s = sfp.stats();
+    EXPECT_EQ(s.accesses,
+              s.locHits + s.wocHits + s.holeMisses + s.lineMisses);
+    EXPECT_TRUE(sfp.checkIntegrity());
+}
+
+class SfpPropertyTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(SfpPropertyTest, IntegrityUnderTraffic)
+{
+    SfpParams p;
+    p.bytes = 1 << 20;
+    p.useReverter = true;
+    SfpCache sfp(p);
+    auto workload = makeBenchmark(GetParam());
+    Hierarchy hier(*workload, sfp);
+    hier.run(250000);
+    EXPECT_TRUE(sfp.checkIntegrity());
+}
+
+INSTANTIATE_TEST_SUITE_P(Proxies, SfpPropertyTest,
+                         ::testing::Values("art", "mcf", "parser",
+                                           "wupwise"));
+
+} // namespace
+} // namespace ldis

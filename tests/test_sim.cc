@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the experiment harness (configs, runTrace/runIpc,
+ * aggregation helpers) plus cross-model integration checks.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "distill/overhead.hh"
+#include "sim/experiment.hh"
+
+namespace ldis
+{
+namespace
+{
+
+TEST(Configs, AllKindsConstructAndDescribe)
+{
+    const ConfigKind kinds[] = {
+        ConfigKind::Baseline1MB, ConfigKind::Trad1_5MB,
+        ConfigKind::Trad2MB,     ConfigKind::Trad4MB,
+        ConfigKind::Trad1MB32B,  ConfigKind::LdisBase,
+        ConfigKind::LdisMT,      ConfigKind::LdisMTRC,
+        ConfigKind::Ldis4xTags,  ConfigKind::Cmpr4xTags,
+        ConfigKind::Fac4xTags,   ConfigKind::Sfp16k,
+        ConfigKind::Sfp64k,
+    };
+    for (ConfigKind kind : kinds) {
+        L2Instance inst = makeConfig(kind, ValueProfile{});
+        ASSERT_NE(inst.cache, nullptr) << configName(kind);
+        EXPECT_FALSE(inst.cache->describe().empty());
+        EXPECT_STRNE(configName(kind), "?");
+        // Constructed caches are usable immediately.
+        L2Result r = inst.cache->access(0x100000, false, 0, false);
+        EXPECT_EQ(r.outcome, L2Outcome::LineMiss);
+    }
+}
+
+TEST(Configs, CapacityPointsHave2048Sets)
+{
+    // All Figure-8 capacity points keep the set count constant so
+    // only capacity (associativity) varies.
+    for (ConfigKind kind :
+         {ConfigKind::Trad1_5MB, ConfigKind::Trad2MB,
+          ConfigKind::Trad4MB}) {
+        L2Instance inst = makeConfig(kind);
+        EXPECT_NE(inst.cache->describe().find("traditional"),
+                  std::string::npos);
+    }
+}
+
+TEST(Experiment, RunLengthEnvOverride)
+{
+    ::setenv("LDIS_INSTRUCTIONS", "12345", 1);
+    EXPECT_EQ(runLength(999), 12345u);
+    ::setenv("LDIS_INSTRUCTIONS", "garbage", 1);
+    EXPECT_EQ(runLength(999), 999u);
+    ::unsetenv("LDIS_INSTRUCTIONS");
+    EXPECT_EQ(runLength(999), 999u);
+}
+
+TEST(Experiment, RunTraceFillsResult)
+{
+    RunResult r =
+        runTrace("twolf", ConfigKind::Baseline1MB, 100000);
+    EXPECT_EQ(r.benchmark, "twolf");
+    EXPECT_STREQ(r.config.c_str(), "TRAD-1MB");
+    EXPECT_GE(r.instructions, 100000u);
+    EXPECT_GT(r.l2.accesses, 0u);
+    EXPECT_GE(r.mpki, 0.0);
+}
+
+TEST(Experiment, RunTraceIsDeterministic)
+{
+    RunResult a = runTrace("art", ConfigKind::LdisMTRC, 100000);
+    RunResult b = runTrace("art", ConfigKind::LdisMTRC, 100000);
+    EXPECT_EQ(a.l2.misses(), b.l2.misses());
+    EXPECT_EQ(a.l2.wocHits, b.l2.wocHits);
+}
+
+TEST(Experiment, RunIpcFillsResult)
+{
+    IpcResult r = runIpc("twolf", ConfigKind::Baseline1MB, 100000);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_LE(r.ipc, 8.0);
+    EXPECT_GT(r.cpu.cycles, 0u);
+}
+
+TEST(Experiment, Aggregations)
+{
+    EXPECT_DOUBLE_EQ(percentReduction(10.0, 7.0), 30.0);
+    EXPECT_DOUBLE_EQ(percentReduction(0.0, 7.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentReduction(10.0, 12.0), -20.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(geomeanSpeedup({0.1, 0.1}), 0.1, 1e-9);
+    EXPECT_NEAR(geomeanSpeedup({0.0}), 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------------
+// Cross-model integration checks (the paper's qualitative claims,
+// scaled down to quick runs).
+// ---------------------------------------------------------------
+
+TEST(Integration, BiggerCachesMissLess)
+{
+    const InstCount n = 400000;
+    RunResult base = runTrace("twolf", ConfigKind::Baseline1MB, n);
+    RunResult mid = runTrace("twolf", ConfigKind::Trad1_5MB, n);
+    RunResult big = runTrace("twolf", ConfigKind::Trad2MB, n);
+    EXPECT_LE(mid.l2.misses(), base.l2.misses());
+    EXPECT_LE(big.l2.misses(), mid.l2.misses());
+}
+
+TEST(Integration, LdisHelpsThrashingSparseWorkload)
+{
+    const InstCount n = 400000;
+    RunResult base = runTrace("art", ConfigKind::Baseline1MB, n);
+    RunResult ldis = runTrace("art", ConfigKind::LdisMTRC, n);
+    EXPECT_LT(ldis.l2.misses(), base.l2.misses());
+    EXPECT_GT(ldis.l2.wocHits, 0u);
+}
+
+TEST(Integration, LdisNeutralOnFullLineStreaming)
+{
+    // wupwise uses whole lines: distillation can neither help nor
+    // hurt much (paper Figure 6: ~0).
+    const InstCount n = 400000;
+    RunResult base = runTrace("wupwise", ConfigKind::Baseline1MB, n);
+    RunResult ldis = runTrace("wupwise", ConfigKind::LdisMTRC, n);
+    double delta = percentReduction(
+        static_cast<double>(base.l2.misses()),
+        static_cast<double>(ldis.l2.misses()));
+    EXPECT_NEAR(delta, 0.0, 5.0);
+}
+
+TEST(Integration, CompulsoryMissesAreConfigInvariant)
+{
+    // Compulsory misses depend only on the access stream, not on
+    // the cache organization (same seed -> same stream).
+    const InstCount n = 300000;
+    RunResult a = runTrace("vortex", ConfigKind::Baseline1MB, n);
+    RunResult b = runTrace("vortex", ConfigKind::Trad4MB, n);
+    EXPECT_EQ(a.l2.compulsoryMisses, b.l2.compulsoryMisses);
+}
+
+TEST(Integration, FacBeatsPlainLdisOnCompressibleSparseData)
+{
+    // mcf: sparse footprints *and* compressible values. FAC packs
+    // compressed used-words, so it must retain at least as many
+    // lines as LDIS (Figure 11's positive interaction).
+    const InstCount n = 600000;
+    RunResult ldis = runTrace("mcf", ConfigKind::Ldis4xTags, n);
+    RunResult fac = runTrace("mcf", ConfigKind::Fac4xTags, n);
+    EXPECT_LT(fac.l2.misses(), ldis.l2.misses());
+}
+
+TEST(Integration, OverheadMatchesPaperTable3)
+{
+    OverheadBreakdown b = computeOverhead(OverheadParams{});
+    EXPECT_EQ(b.wocEntryBits, 29u);
+    EXPECT_EQ(b.wocEntries, 32u * 1024);
+    EXPECT_EQ(b.wocTagBytes, 116u * 1024);
+    EXPECT_EQ(b.locFootprintBytes, 16u * 1024);
+    EXPECT_EQ(b.l1dFootprintBytes, 256u);
+    EXPECT_EQ(b.mtBytes, 18u);
+    EXPECT_EQ(b.atdBytes, 1024u);
+    EXPECT_NEAR(b.percentIncrease, 12.2, 0.2);
+}
+
+TEST(Integration, OverheadShrinksWithLineSize)
+{
+    OverheadParams p64;
+    OverheadParams p128;
+    p128.lineBytes = 128;
+    OverheadParams p256;
+    p256.lineBytes = 256;
+    double o64 = computeOverhead(p64).percentIncrease;
+    double o128 = computeOverhead(p128).percentIncrease;
+    double o256 = computeOverhead(p256).percentIncrease;
+    EXPECT_GT(o64, o128);
+    EXPECT_GT(o128, o256);
+    EXPECT_NEAR(o128, 7.0, 1.5); // paper: ~7%
+    EXPECT_NEAR(o256, 4.0, 1.5); // paper: ~4%
+}
+
+} // namespace
+} // namespace ldis

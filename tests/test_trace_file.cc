@@ -1,0 +1,140 @@
+/** @file Tests for trace recording and replay. */
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "sim/experiment.hh"
+#include "trace/benchmarks.hh"
+#include "trace/trace_file.hh"
+
+namespace ldis
+{
+namespace
+{
+
+/** Temp path unique to the test. */
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "ldis_trace_" + tag
+         + ".ldt";
+}
+
+TEST(TraceFile, RoundTripPreservesRecords)
+{
+    std::string path = tempPath("roundtrip");
+    auto original = makeBenchmark("twolf", 7);
+    recordTrace(*original, path, 5000);
+
+    auto reference = makeBenchmark("twolf", 7);
+    FileWorkload replay(path);
+    EXPECT_EQ(replay.name(), "twolf");
+    EXPECT_EQ(replay.size(), 5000u);
+    for (int i = 0; i < 5000; ++i) {
+        Access a = reference->next();
+        Access b = replay.next();
+        ASSERT_EQ(a.addr, b.addr) << i;
+        ASSERT_EQ(a.pc, b.pc) << i;
+        ASSERT_EQ(a.write, b.write) << i;
+        ASSERT_EQ(a.nonMemOps, b.nonMemOps) << i;
+        ASSERT_EQ(a.branches, b.branches) << i;
+        ASSERT_EQ(a.depDist, b.depDist) << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, HeaderCarriesModels)
+{
+    std::string path = tempPath("header");
+    auto wl = makeBenchmark("gcc");
+    recordTrace(*wl, path, 100);
+    TraceInfo info = traceInfo(path);
+    EXPECT_EQ(info.name, "gcc");
+    EXPECT_EQ(info.records, 100u);
+    EXPECT_EQ(info.code.codeBytes, wl->codeModel().codeBytes);
+    EXPECT_DOUBLE_EQ(info.values.pZero, wl->valueProfile().pZero);
+    EXPECT_GT(info.instructions, 100u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, WrapAroundAndReset)
+{
+    std::string path = tempPath("wrap");
+    auto wl = makeBenchmark("art");
+    recordTrace(*wl, path, 50);
+    FileWorkload replay(path);
+    Access first = replay.next();
+    for (int i = 1; i < 50; ++i)
+        replay.next();
+    EXPECT_EQ(replay.wraps(), 1u);
+    // After a full pass, the stream restarts.
+    EXPECT_EQ(replay.next().addr, first.addr);
+    replay.reset();
+    EXPECT_EQ(replay.wraps(), 0u);
+    EXPECT_EQ(replay.next().addr, first.addr);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ReplayMatchesLiveSimulation)
+{
+    // Replaying a recorded stream must give bit-identical cache
+    // behaviour to the live workload it was recorded from.
+    std::string path = tempPath("match");
+    {
+        auto wl = makeBenchmark("ammp", 3);
+        recordTrace(*wl, path, 400000);
+    }
+    auto live = makeBenchmark("ammp", 3);
+    L2Instance l2a = makeConfig(ConfigKind::LdisMTRC);
+    RunResult live_r = runTrace(*live, *l2a.cache, 1000000);
+
+    FileWorkload replay(path);
+    L2Instance l2b = makeConfig(ConfigKind::LdisMTRC);
+    RunResult replay_r = runTrace(replay, *l2b.cache, 1000000);
+
+    EXPECT_EQ(live_r.l2.misses(), replay_r.l2.misses());
+    EXPECT_EQ(live_r.l2.wocHits, replay_r.l2.wocHits);
+    EXPECT_EQ(live_r.instructions, replay_r.instructions);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeath, NotATraceIsFatal)
+{
+    std::string path = tempPath("garbage");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a trace", f);
+    std::fclose(f);
+    EXPECT_EXIT(FileWorkload wl(path), testing::ExitedWithCode(1),
+                "not a DistillSim trace");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeath, TruncatedTraceIsFatal)
+{
+    std::string path = tempPath("trunc");
+    {
+        auto wl = makeBenchmark("art");
+        recordTrace(*wl, path, 100);
+    }
+    // Chop the file mid-record.
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size - 7), 0);
+    EXPECT_EXIT(FileWorkload wl(path), testing::ExitedWithCode(1),
+                "truncated");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(FileWorkload wl("/no/such/file.ldt"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace ldis

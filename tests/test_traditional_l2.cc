@@ -1,0 +1,175 @@
+/** @file Unit tests for the baseline L2 and its instrumentation. */
+
+#include <gtest/gtest.h>
+
+#include "cache/traditional_l2.hh"
+
+namespace ldis
+{
+namespace
+{
+
+CacheGeometry
+tinyGeom()
+{
+    CacheGeometry g;
+    g.bytes = 4ull * 8 * kLineBytes; // 4 sets, 8 ways
+    g.ways = 8;
+    return g;
+}
+
+Addr
+wordAddr(LineAddr line, WordIdx w)
+{
+    return lineBaseOf(line) + w * kWordBytes;
+}
+
+TEST(TraditionalL2, MissThenHit)
+{
+    TraditionalL2 l2(tinyGeom());
+    L2Result r1 = l2.access(wordAddr(8, 0), false, 0, false);
+    EXPECT_EQ(r1.outcome, L2Outcome::LineMiss);
+    L2Result r2 = l2.access(wordAddr(8, 0), false, 0, false);
+    EXPECT_EQ(r2.outcome, L2Outcome::LocHit);
+    EXPECT_EQ(l2.stats().accesses, 2u);
+    EXPECT_EQ(l2.stats().hits(), 1u);
+    EXPECT_EQ(l2.stats().misses(), 1u);
+}
+
+TEST(TraditionalL2, HitDeliversFullLine)
+{
+    TraditionalL2 l2(tinyGeom());
+    l2.access(wordAddr(1, 0), false, 0, false);
+    L2Result r = l2.access(wordAddr(1, 5), false, 0, false);
+    EXPECT_EQ(r.outcome, L2Outcome::LocHit);
+    EXPECT_TRUE(r.validWords.isFull());
+}
+
+TEST(TraditionalL2, LatenciesFollowTable1)
+{
+    L2Latency lat;
+    TraditionalL2 l2(tinyGeom(), lat);
+    L2Result miss = l2.access(wordAddr(1, 0), false, 0, false);
+    EXPECT_EQ(miss.latency, lat.hit + lat.memory);
+    L2Result hit = l2.access(wordAddr(1, 0), false, 0, false);
+    EXPECT_EQ(hit.latency, lat.hit);
+}
+
+TEST(TraditionalL2, CompulsoryMissAccounting)
+{
+    TraditionalL2 l2(tinyGeom());
+    l2.access(wordAddr(0, 0), false, 0, false);  // compulsory
+    l2.access(wordAddr(4, 0), false, 0, false);  // compulsory
+    // Evict line 0 by filling set 0 (lines = multiples of 4).
+    for (unsigned i = 2; i <= 8; ++i)
+        l2.access(wordAddr(i * 4, 0), false, 0, false);
+    // Re-miss on line 0: not compulsory.
+    l2.access(wordAddr(0, 0), false, 0, false);
+    EXPECT_EQ(l2.stats().lineMisses, 10u);
+    EXPECT_EQ(l2.stats().compulsoryMisses, 9u);
+}
+
+TEST(TraditionalL2, FootprintTracksDemandWords)
+{
+    TraditionalL2 l2(tinyGeom());
+    l2.access(wordAddr(1, 2), false, 0, false);
+    l2.access(wordAddr(1, 5), false, 0, false);
+    const CacheLineState *line = l2.tags().find(1);
+    ASSERT_NE(line, nullptr);
+    EXPECT_TRUE(line->footprint.test(2));
+    EXPECT_TRUE(line->footprint.test(5));
+    EXPECT_EQ(line->footprint.count(), 2u);
+}
+
+TEST(TraditionalL2, L1EvictionMergesFootprint)
+{
+    TraditionalL2 l2(tinyGeom());
+    l2.access(wordAddr(1, 0), false, 0, false);
+    Footprint used;
+    used.set(0);
+    used.set(3);
+    used.set(7);
+    l2.l1dEviction(1, used, Footprint{});
+    const CacheLineState *line = l2.tags().find(1);
+    EXPECT_EQ(line->footprint.count(), 3u);
+}
+
+TEST(TraditionalL2, DirtyEvictionWritesBack)
+{
+    TraditionalL2 l2(tinyGeom());
+    l2.access(wordAddr(0, 0), true, 0, false); // store
+    for (unsigned i = 1; i <= 8; ++i)
+        l2.access(wordAddr(i * 4, 0), false, 0, false);
+    EXPECT_EQ(l2.stats().writebacks, 1u);
+}
+
+TEST(TraditionalL2, L1EvictionOfAbsentDirtyLineWritesBack)
+{
+    TraditionalL2 l2(tinyGeom());
+    Footprint dirty;
+    dirty.set(0);
+    l2.l1dEviction(123, Footprint::full(), dirty);
+    EXPECT_EQ(l2.stats().writebacks, 1u);
+    // Clean absent line: no writeback.
+    l2.l1dEviction(124, Footprint::full(), Footprint{});
+    EXPECT_EQ(l2.stats().writebacks, 1u);
+}
+
+TEST(TraditionalL2, WordsUsedHistogramAtEviction)
+{
+    TraditionalL2 l2(tinyGeom());
+    // Line 0: two words used. Then force its eviction.
+    l2.access(wordAddr(0, 0), false, 0, false);
+    l2.access(wordAddr(0, 1), false, 0, false);
+    for (unsigned i = 1; i <= 8; ++i)
+        l2.access(wordAddr(i * 4, 0), false, 0, false);
+    EXPECT_EQ(l2.wordsUsedAtEviction().totalSamples(), 1u);
+    EXPECT_EQ(l2.wordsUsedAtEviction().countAt(2), 1u);
+    EXPECT_DOUBLE_EQ(l2.avgWordsUsed(), 2.0);
+}
+
+TEST(TraditionalL2, InstructionLinesExcludedFromHistogram)
+{
+    TraditionalL2 l2(tinyGeom());
+    l2.access(wordAddr(0, 0), false, 0, true); // instruction line
+    for (unsigned i = 1; i <= 8; ++i)
+        l2.access(wordAddr(i * 4, 0), false, 0, true);
+    EXPECT_EQ(l2.wordsUsedAtEviction().totalSamples(), 0u);
+}
+
+TEST(TraditionalL2, RecencyBeforeChangeMetric)
+{
+    // Reproduce the paper's Section-3 example: line A's footprint
+    // changes at position 0, the line later sinks to position 5,
+    // then a new word is touched -> max position before
+    // footprint-change is 5.
+    CacheGeometry g;
+    g.bytes = 1ull * 8 * kLineBytes; // 1 set, 8 ways
+    g.ways = 8;
+    TraditionalL2 l2(g);
+
+    l2.access(wordAddr(0, 0), false, 0, false); // A: install, pos 0
+    // Five other lines push A to position 5.
+    for (LineAddr l = 1; l <= 5; ++l)
+        l2.access(wordAddr(l, 0), false, 0, false);
+    // New word of A: footprint change with maxRecency = 5.
+    l2.access(wordAddr(0, 1), false, 0, false);
+    // Re-touch lines 1..5 and add 6, 7 so A becomes LRU, then
+    // install line 9 to evict exactly A.
+    for (LineAddr l = 1; l <= 7; ++l)
+        l2.access(wordAddr(l, 0), false, 0, false);
+    l2.access(wordAddr(9, 0), false, 0, false);
+    ASSERT_EQ(l2.recencyBeforeChange().totalSamples(), 1u);
+    EXPECT_EQ(l2.recencyBeforeChange().countAt(5), 1u);
+}
+
+TEST(TraditionalL2, WriteMarksLineDirty)
+{
+    TraditionalL2 l2(tinyGeom());
+    l2.access(wordAddr(3, 0), false, 0, false);
+    l2.access(wordAddr(3, 1), true, 0, false);
+    EXPECT_TRUE(l2.tags().find(3)->dirty);
+}
+
+} // namespace
+} // namespace ldis

@@ -1,0 +1,88 @@
+/** @file Unit tests for the data-value synthesis model. */
+
+#include <gtest/gtest.h>
+
+#include "trace/value_model.hh"
+
+namespace ldis
+{
+namespace
+{
+
+TEST(ValueModel, Deterministic)
+{
+    ValueModel a({0.2, 0.1, 0.3}, 5);
+    ValueModel b({0.2, 0.1, 0.3}, 5);
+    for (LineAddr line = 0; line < 64; ++line)
+        for (unsigned dw = 0; dw < kDwordsPerLine; ++dw)
+            EXPECT_EQ(a.dword(line, dw), b.dword(line, dw));
+}
+
+TEST(ValueModel, DifferentSeedsDiffer)
+{
+    ValueModel a({0.2, 0.1, 0.3}, 5);
+    ValueModel b({0.2, 0.1, 0.3}, 6);
+    int same = 0;
+    for (LineAddr line = 0; line < 64; ++line)
+        for (unsigned dw = 0; dw < kDwordsPerLine; ++dw)
+            if (a.dword(line, dw) == b.dword(line, dw))
+                ++same;
+    EXPECT_LT(same, 64 * 16 / 2);
+}
+
+TEST(ValueModel, MixtureProportionsRespectProfile)
+{
+    ValueProfile prof{0.4, 0.1, 0.2};
+    ValueModel m(prof, 1);
+    int zeros = 0, ones = 0, narrow = 0, full = 0;
+    const int lines = 4096;
+    for (LineAddr line = 0; line < lines; ++line) {
+        for (unsigned dw = 0; dw < kDwordsPerLine; ++dw) {
+            std::uint32_t v = m.dword(line, dw);
+            if (v == 0)
+                ++zeros;
+            else if (v == 1)
+                ++ones;
+            else if ((v >> 16) == 0)
+                ++narrow;
+            else
+                ++full;
+        }
+    }
+    const double n = lines * kDwordsPerLine;
+    EXPECT_NEAR(zeros / n, 0.4, 0.02);
+    EXPECT_NEAR(ones / n, 0.1, 0.02);
+    EXPECT_NEAR(narrow / n, 0.2, 0.02);
+    EXPECT_NEAR(full / n, 0.3, 0.02);
+}
+
+TEST(ValueModel, NarrowValuesNeverCollideWithZeroOne)
+{
+    // The narrow class must stay distinguishable so the encoder's
+    // class fractions match the profile.
+    ValueModel m({0.0, 0.0, 1.0}, 3);
+    for (LineAddr line = 0; line < 256; ++line) {
+        for (unsigned dw = 0; dw < kDwordsPerLine; ++dw) {
+            std::uint32_t v = m.dword(line, dw);
+            EXPECT_GT(v, 1u);
+            EXPECT_EQ(v >> 16, 0u);
+        }
+    }
+}
+
+TEST(ValueModel, IncompressibleValuesAreWide)
+{
+    ValueModel m({0.0, 0.0, 0.0}, 3);
+    for (LineAddr line = 0; line < 256; ++line)
+        for (unsigned dw = 0; dw < kDwordsPerLine; ++dw)
+            EXPECT_NE(m.dword(line, dw) >> 16, 0u);
+}
+
+TEST(ValueModelDeath, OverfullProfileIsFatal)
+{
+    EXPECT_EXIT(ValueModel({0.6, 0.3, 0.3}, 1),
+                testing::ExitedWithCode(1), "profile");
+}
+
+} // namespace
+} // namespace ldis

@@ -1,0 +1,100 @@
+/** @file Tests for warmup / statistics-reset support. */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "cache/traditional_l2.hh"
+#include "distill/distill_cache.hh"
+#include "sim/experiment.hh"
+#include "trace/benchmarks.hh"
+
+namespace ldis
+{
+namespace
+{
+
+TEST(Warmup, ResetZerosCountersKeepsContents)
+{
+    CacheGeometry g;
+    g.bytes = 4ull * 8 * kLineBytes;
+    g.ways = 8;
+    TraditionalL2 l2(g);
+    l2.access(0, false, 0, false);
+    l2.access(64, false, 0, false);
+    ASSERT_EQ(l2.stats().accesses, 2u);
+
+    l2.resetStats();
+    EXPECT_EQ(l2.stats().accesses, 0u);
+    EXPECT_EQ(l2.stats().misses(), 0u);
+    // Contents survived: the warmed lines still hit.
+    EXPECT_EQ(l2.access(0, false, 0, false).outcome,
+              L2Outcome::LocHit);
+    EXPECT_EQ(l2.stats().hits(), 1u);
+}
+
+TEST(Warmup, CompulsoryStatePersistsAcrossReset)
+{
+    CacheGeometry g;
+    g.bytes = 1ull * 8 * kLineBytes;
+    g.ways = 8;
+    TraditionalL2 l2(g);
+    l2.access(0, false, 0, false); // first touch of line 0
+    l2.resetStats();
+    // Evict line 0 and re-miss it: NOT compulsory (seen in warmup).
+    for (unsigned i = 1; i <= 8; ++i)
+        l2.access(i * kLineBytes, false, 0, false);
+    l2.access(0, false, 0, false);
+    const L2Stats &s = l2.stats();
+    EXPECT_GT(s.lineMisses, 0u);
+    EXPECT_EQ(s.compulsoryMisses, 8u); // only the 8 new lines
+}
+
+TEST(Warmup, DistillResetClearsExtraStats)
+{
+    DistillParams p;
+    p.bytes = 2ull * 8 * kLineBytes;
+    DistillCache dc(p);
+    // Force a distillation.
+    dc.access(0, false, 0, false);
+    for (unsigned i = 1; i <= 6; ++i)
+        dc.access(i * 2 * kLineBytes, false, 0, false);
+    ASSERT_GT(dc.distillStats().wocInstalls, 0u);
+    dc.resetStats();
+    EXPECT_EQ(dc.distillStats().wocInstalls, 0u);
+    EXPECT_EQ(dc.stats().accesses, 0u);
+    // The WOC content survived the reset.
+    EXPECT_TRUE(dc.wocOf(0).linePresent(0));
+}
+
+TEST(Warmup, WarmRunsShowLowerColdMissContribution)
+{
+    // A fitting working set: cold misses dominate an unwarmed short
+    // run and vanish after warmup.
+    auto wl_cold = makeBenchmark("apsi");
+    L2Instance cold = makeConfig(ConfigKind::Baseline1MB);
+    RunResult r_cold = runTrace(*wl_cold, *cold.cache, 2000000);
+
+    auto wl_warm = makeBenchmark("apsi");
+    L2Instance warm = makeConfig(ConfigKind::Baseline1MB);
+    RunResult r_warm =
+        runTraceWarm(*wl_warm, *warm.cache, 20000000, 2000000);
+
+    EXPECT_LT(r_warm.mpki, r_cold.mpki);
+    double comp_warm = r_warm.l2.misses() == 0
+        ? 0.0
+        : static_cast<double>(r_warm.l2.compulsoryMisses)
+              / static_cast<double>(r_warm.l2.misses());
+    EXPECT_LT(comp_warm, 0.5);
+}
+
+TEST(Warmup, MeasuredInstructionCountExcludesWarmup)
+{
+    auto wl = makeBenchmark("twolf");
+    L2Instance l2 = makeConfig(ConfigKind::Baseline1MB);
+    RunResult r = runTraceWarm(*wl, *l2.cache, 500000, 250000);
+    EXPECT_GE(r.instructions, 250000u);
+    EXPECT_LT(r.instructions, 400000u);
+}
+
+} // namespace
+} // namespace ldis

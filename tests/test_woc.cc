@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Unit and property tests for the Word-Organized Cache set — the
+ * core data structure of the distill cache (Section 5.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/intmath.hh"
+#include "distill/woc.hh"
+
+namespace ldis
+{
+namespace
+{
+
+Footprint
+mask(std::initializer_list<WordIdx> words)
+{
+    Footprint fp;
+    for (WordIdx w : words)
+        fp.set(w);
+    return fp;
+}
+
+struct WocFixture : public ::testing::Test
+{
+    WocSet woc{16}; // 2 ways x 8 entries, the paper's default
+    Random rng{7};
+    std::vector<WocEvicted> evicted;
+};
+
+TEST_F(WocFixture, InstallAndLookup)
+{
+    woc.install(100, mask({0, 7}), Footprint{}, rng, evicted);
+    EXPECT_TRUE(evicted.empty());
+    EXPECT_TRUE(woc.linePresent(100));
+    Footprint words = woc.wordsOf(100);
+    EXPECT_TRUE(words.test(0));
+    EXPECT_TRUE(words.test(7));
+    EXPECT_EQ(words.count(), 2u);
+    EXPECT_FALSE(woc.linePresent(101));
+}
+
+TEST_F(WocFixture, HeadBitOnFirstEntryOnly)
+{
+    woc.install(100, mask({1, 3, 6}), Footprint{}, rng, evicted);
+    unsigned heads = 0, members = 0;
+    for (unsigned i = 0; i < woc.numEntries(); ++i) {
+        const WocEntry &e = woc.entry(i);
+        if (!e.valid)
+            continue;
+        ++members;
+        if (e.head)
+            ++heads;
+    }
+    EXPECT_EQ(heads, 1u);
+    EXPECT_EQ(members, 3u);
+}
+
+TEST_F(WocFixture, GroupIsAlignedToPow2)
+{
+    // 3 used words occupy a 4-aligned window.
+    woc.install(100, mask({1, 3, 6}), Footprint{}, rng, evicted);
+    int head = -1;
+    for (unsigned i = 0; i < woc.numEntries(); ++i)
+        if (woc.entry(i).valid && woc.entry(i).head)
+            head = static_cast<int>(i);
+    ASSERT_GE(head, 0);
+    EXPECT_EQ(head % 4, 0);
+    EXPECT_TRUE(woc.checkIntegrity());
+}
+
+TEST_F(WocFixture, WordIdsAscendWithinGroup)
+{
+    woc.install(42, mask({2, 5, 7}), Footprint{}, rng, evicted);
+    WordIdx prev = 0;
+    bool first = true;
+    for (unsigned i = 0; i < woc.numEntries(); ++i) {
+        const WocEntry &e = woc.entry(i);
+        if (!e.valid)
+            continue;
+        if (!first)
+            EXPECT_GT(e.wordId, prev);
+        prev = e.wordId;
+        first = false;
+    }
+}
+
+TEST_F(WocFixture, CapacityOneWordLines)
+{
+    // 16 one-word lines fill every entry without eviction.
+    for (LineAddr l = 0; l < 16; ++l) {
+        woc.install(l, mask({0}), Footprint{}, rng, evicted);
+        EXPECT_TRUE(evicted.empty()) << l;
+    }
+    EXPECT_EQ(woc.lineCount(), 16u);
+    EXPECT_EQ(woc.validEntryCount(), 16u);
+    // The 17th evicts exactly one line.
+    woc.install(100, mask({0}), Footprint{}, rng, evicted);
+    EXPECT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(woc.lineCount(), 16u);
+}
+
+TEST_F(WocFixture, EvictingAnyWordEvictsWholeLine)
+{
+    // An 8-word line occupies a whole way; installing a 2-word group
+    // over any part of it must evict all eight words (Section 5.3).
+    woc.install(
+        1, Footprint::full(), Footprint{}, rng, evicted);
+    // Fill the other way so the victim must be the 8-word line.
+    woc.install(2, mask({0, 1, 2, 3}), Footprint{}, rng, evicted);
+    woc.install(3, mask({0, 1, 2, 3}), Footprint{}, rng, evicted);
+    ASSERT_TRUE(evicted.empty());
+
+    woc.install(4, mask({0, 5}), Footprint{}, rng, evicted);
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].line, 1u);
+    EXPECT_TRUE(evicted[0].words.isFull());
+    EXPECT_FALSE(woc.linePresent(1));
+    EXPECT_TRUE(woc.checkIntegrity());
+}
+
+TEST_F(WocFixture, InvalidateReturnsDirtyWords)
+{
+    woc.install(9, mask({2, 4}), mask({4}), rng, evicted);
+    WocEvicted ev = woc.invalidateLine(9);
+    EXPECT_EQ(ev.words, mask({2, 4}));
+    EXPECT_EQ(ev.dirty, mask({4}));
+    EXPECT_FALSE(woc.linePresent(9));
+    // Invalidating again is harmless.
+    WocEvicted none = woc.invalidateLine(9);
+    EXPECT_TRUE(none.words.empty());
+}
+
+TEST_F(WocFixture, MarkDirtyOnlyAffectsResidentWords)
+{
+    woc.install(9, mask({2, 4}), Footprint{}, rng, evicted);
+    woc.markDirty(9, mask({4, 6})); // word 6 is not resident
+    EXPECT_EQ(woc.dirtyWordsOf(9), mask({4}));
+}
+
+TEST_F(WocFixture, FlushEvictsEverything)
+{
+    woc.install(1, mask({0}), Footprint{}, rng, evicted);
+    woc.install(2, mask({1, 2}), mask({1}), rng, evicted);
+    evicted.clear();
+    woc.flush(evicted);
+    EXPECT_EQ(evicted.size(), 2u);
+    EXPECT_EQ(woc.validEntryCount(), 0u);
+    EXPECT_EQ(woc.lineCount(), 0u);
+}
+
+TEST_F(WocFixture, PartialGroupLeavesTailFree)
+{
+    // A 3-word line reserves a 4-aligned window but only occupies 3
+    // entries; the 4th stays invalid and can hold a 1-word line
+    // (the paper's group-extent rule ends a group at an invalid
+    // entry or the next head bit).
+    woc.install(5, mask({0, 1, 2}), Footprint{}, rng, evicted);
+    EXPECT_EQ(woc.validEntryCount(), 3u);
+    // Fill the remaining aligned windows, then one-word lines go
+    // into the leftover slots without evicting.
+    woc.install(6, mask({0, 1, 2, 3}), Footprint{}, rng, evicted);
+    woc.install(7, mask({0, 1, 2, 3}), Footprint{}, rng, evicted);
+    woc.install(8, mask({0, 1, 2, 3}), Footprint{}, rng, evicted);
+    ASSERT_TRUE(evicted.empty());
+    EXPECT_EQ(woc.validEntryCount(), 15u);
+    woc.install(9, mask({5}), Footprint{}, rng, evicted);
+    EXPECT_TRUE(evicted.empty());
+    EXPECT_EQ(woc.validEntryCount(), 16u);
+    EXPECT_TRUE(woc.checkIntegrity());
+}
+
+TEST_F(WocFixture, DirtyMustBeSubsetOfUsed)
+{
+    EXPECT_DEATH(woc.install(1, mask({0}), mask({1}), rng, evicted),
+                 "assert");
+}
+
+TEST_F(WocFixture, DoubleInstallPanics)
+{
+    woc.install(1, mask({0}), Footprint{}, rng, evicted);
+    EXPECT_DEATH(woc.install(1, mask({1}), Footprint{}, rng,
+                             evicted),
+                 "assert");
+}
+
+TEST_F(WocFixture, EmptyFootprintPanics)
+{
+    EXPECT_DEATH(woc.install(1, Footprint{}, Footprint{}, rng,
+                             evicted),
+                 "assert");
+}
+
+TEST(WocVictimPolicy, RoundRobinIsDeterministic)
+{
+    auto run = [] {
+        WocSet woc(16, WocVictim::RoundRobin);
+        Random rng(99); // unused by round-robin choice
+        std::vector<WocEvicted> evicted;
+        std::vector<LineAddr> victims;
+        for (LineAddr l = 0; l < 40; ++l) {
+            evicted.clear();
+            woc.install(l, mask({0}), Footprint{}, rng, evicted);
+            for (const WocEvicted &ev : evicted)
+                victims.push_back(ev.line);
+        }
+        return victims;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(WocVictimPolicy, RoundRobinPreservesInvariants)
+{
+    WocSet woc(16, WocVictim::RoundRobin);
+    Random rng(3);
+    std::vector<WocEvicted> evicted;
+    Random op(17);
+    for (int step = 0; step < 1000; ++step) {
+        LineAddr line = 100 + op.below(60);
+        if (woc.linePresent(line))
+            continue;
+        Footprint used;
+        unsigned count = 1 + static_cast<unsigned>(op.below(8));
+        while (used.count() < count)
+            used.set(static_cast<WordIdx>(op.below(8)));
+        evicted.clear();
+        woc.install(line, used, Footprint{}, rng, evicted);
+        ASSERT_TRUE(woc.checkIntegrity()) << step;
+    }
+}
+
+/**
+ * Property test: a long random stream of installs / invalidations /
+ * dirty-markings keeps every structural invariant intact, never
+ * duplicates a line, and accounts capacity exactly.
+ */
+class WocPropertyTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(WocPropertyTest, RandomOpsPreserveInvariants)
+{
+    const unsigned seed = GetParam();
+    Random rng(seed);
+    Random op_rng(seed * 7919 + 1);
+    WocSet woc(16);
+    std::vector<WocEvicted> evicted;
+    std::vector<LineAddr> resident;
+
+    for (int step = 0; step < 3000; ++step) {
+        std::uint64_t op = op_rng.below(10);
+        if (op < 6) {
+            // Install a new line with a random footprint.
+            LineAddr line = 1000 + op_rng.below(200);
+            if (woc.linePresent(line))
+                continue;
+            Footprint used;
+            unsigned count =
+                1 + static_cast<unsigned>(op_rng.below(8));
+            while (used.count() < count)
+                used.set(static_cast<WordIdx>(op_rng.below(8)));
+            Footprint dirty;
+            for (WordIdx w = 0; w < 8; ++w)
+                if (used.test(w) && op_rng.chance(0.3))
+                    dirty.set(w);
+            evicted.clear();
+            woc.install(line, used, dirty, rng, evicted);
+
+            ASSERT_TRUE(woc.linePresent(line));
+            ASSERT_EQ(woc.wordsOf(line), used);
+            ASSERT_EQ(woc.dirtyWordsOf(line), dirty);
+            // Evicted lines are gone.
+            for (const WocEvicted &ev : evicted) {
+                ASSERT_FALSE(woc.linePresent(ev.line));
+                ASSERT_FALSE(ev.words.empty());
+            }
+        } else if (op < 8) {
+            // Invalidate a random possibly-present line.
+            LineAddr line = 1000 + op_rng.below(200);
+            bool was_present = woc.linePresent(line);
+            Footprint words = woc.wordsOf(line);
+            WocEvicted ev = woc.invalidateLine(line);
+            ASSERT_EQ(ev.words, words);
+            ASSERT_FALSE(woc.linePresent(line));
+            (void)was_present;
+        } else {
+            // Mark random words dirty.
+            LineAddr line = 1000 + op_rng.below(200);
+            Footprint words;
+            words.set(static_cast<WordIdx>(op_rng.below(8)));
+            Footprint before = woc.dirtyWordsOf(line);
+            woc.markDirty(line, words);
+            Footprint after = woc.dirtyWordsOf(line);
+            // Dirty grows only by resident words.
+            ASSERT_EQ(after, before | (words & woc.wordsOf(line)));
+        }
+        ASSERT_TRUE(woc.checkIntegrity()) << "step " << step;
+        ASSERT_LE(woc.validEntryCount(), 16u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WocPropertyTest,
+                         ::testing::Range(1u, 13u));
+
+/** Sweep all 255 footprints: install occupies nextPow2 windows. */
+class WocFootprintSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(WocFootprintSweep, AnyFootprintInstallsCleanly)
+{
+    const std::uint8_t raw = static_cast<std::uint8_t>(GetParam());
+    Footprint used(raw);
+    if (used.empty())
+        return;
+    WocSet woc(16);
+    Random rng(3);
+    std::vector<WocEvicted> evicted;
+    woc.install(77, used, Footprint{}, rng, evicted);
+    EXPECT_TRUE(evicted.empty());
+    EXPECT_EQ(woc.wordsOf(77), used);
+    EXPECT_TRUE(woc.checkIntegrity());
+    // Group head sits on its alignment boundary.
+    for (unsigned i = 0; i < woc.numEntries(); ++i) {
+        if (woc.entry(i).valid && woc.entry(i).head) {
+            unsigned slots = static_cast<unsigned>(
+                nextPow2(used.count()));
+            EXPECT_EQ(i % slots, 0u);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFootprints, WocFootprintSweep,
+                         ::testing::Range(1u, 256u));
+
+} // namespace
+} // namespace ldis

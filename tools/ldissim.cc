@@ -1,0 +1,243 @@
+/**
+ * @file
+ * The `ldissim` command-line driver: run any benchmark proxy against
+ * any cache configuration, trace- or execution-driven, with control
+ * over run length, seed, prefetching, and distill parameters, and
+ * print a full statistics report.
+ *
+ *   ldissim --benchmark mcf --config ldis-mt-rc
+ *   ldissim --benchmark art --config baseline --ipc
+ *   ldissim --benchmark swim --config ldis --woc-ways 3 --no-mt
+ *   ldissim --list
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cache/hierarchy.hh"
+#include "cache/prefetch.hh"
+#include "common/args.hh"
+#include "common/json.hh"
+#include "common/table.hh"
+#include "distill/distill_cache.hh"
+#include "sim/experiment.hh"
+
+using namespace ldis;
+
+namespace
+{
+
+struct CliConfig
+{
+    std::string benchmark = "mcf";
+    std::string config = "ldis-mt-rc";
+    InstCount instructions = 50'000'000;
+    std::uint64_t seed = 1;
+    unsigned wocWays = 2;
+    bool mt = true;
+    bool rc = true;
+    unsigned prefetchDegree = 0;
+    bool ipc = false;
+};
+
+/** Map a --config name to a ConfigKind (or "custom" distill). */
+bool
+kindFor(const std::string &name, ConfigKind &out)
+{
+    static const std::pair<const char *, ConfigKind> table[] = {
+        {"baseline", ConfigKind::Baseline1MB},
+        {"trad-1.5mb", ConfigKind::Trad1_5MB},
+        {"trad-2mb", ConfigKind::Trad2MB},
+        {"trad-4mb", ConfigKind::Trad4MB},
+        {"trad-32b", ConfigKind::Trad1MB32B},
+        {"ldis-base", ConfigKind::LdisBase},
+        {"ldis-mt", ConfigKind::LdisMT},
+        {"ldis-mt-rc", ConfigKind::LdisMTRC},
+        {"ldis-4xtags", ConfigKind::Ldis4xTags},
+        {"cmpr", ConfigKind::Cmpr4xTags},
+        {"fac", ConfigKind::Fac4xTags},
+        {"sfp-16k", ConfigKind::Sfp16k},
+        {"sfp-64k", ConfigKind::Sfp64k},
+    };
+    for (const auto &[key, kind] : table) {
+        if (name == key) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+L2Instance
+buildL2(const CliConfig &cli, const ValueProfile &profile)
+{
+    L2Instance inst;
+    if (cli.config == "ldis") {
+        // Fully custom distill configuration.
+        DistillParams p;
+        p.wocWays = cli.wocWays;
+        p.medianThreshold = cli.mt;
+        p.useReverter = cli.rc;
+        inst.cache = std::make_unique<DistillCache>(p);
+    } else {
+        ConfigKind kind;
+        if (!kindFor(cli.config, kind))
+            ldis_fatal("unknown --config '%s' (try --help)",
+                       cli.config.c_str());
+        inst = makeConfig(kind, profile);
+    }
+    if (cli.prefetchDegree > 0) {
+        inst.cache = std::make_unique<PrefetchingL2>(
+            std::move(inst.cache), cli.prefetchDegree);
+    }
+    return inst;
+}
+
+void
+printJsonReport(const RunResult &r, SecondLevelCache &l2)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.field("benchmark", r.benchmark);
+    j.field("config", l2.describe());
+    j.field("instructions", r.instructions);
+    j.field("mpki", r.mpki);
+    j.beginObject("l2");
+    j.field("accesses", r.l2.accesses);
+    j.field("loc_hits", r.l2.locHits);
+    j.field("woc_hits", r.l2.wocHits);
+    j.field("hole_misses", r.l2.holeMisses);
+    j.field("line_misses", r.l2.lineMisses);
+    j.field("compulsory_misses", r.l2.compulsoryMisses);
+    j.field("writebacks", r.l2.writebacks);
+    j.endObject();
+    j.beginObject("l1d");
+    j.field("accesses", r.l1d.accesses);
+    j.field("hits", r.l1d.hits);
+    j.field("sector_misses", r.l1d.sectorMisses);
+    j.field("line_misses", r.l1d.lineMisses);
+    j.endObject();
+    j.beginObject("l1i");
+    j.field("accesses", r.l1i.accesses);
+    j.field("misses", r.l1i.misses);
+    j.endObject();
+    j.endObject();
+    std::printf("%s\n", j.str().c_str());
+}
+
+void
+printTraceReport(const RunResult &r, SecondLevelCache &l2)
+{
+    std::printf("benchmark     %s\n", r.benchmark.c_str());
+    std::printf("config        %s\n", l2.describe().c_str());
+    std::printf("instructions  %llu\n",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("MPKI          %.3f\n\n", r.mpki);
+
+    Table t({"counter", "value"});
+    auto row = [&t](const char *k, std::uint64_t v) {
+        t.addRow({k, std::to_string(v)});
+    };
+    row("L2 accesses", r.l2.accesses);
+    row("LOC hits", r.l2.locHits);
+    row("WOC hits", r.l2.wocHits);
+    row("hole misses", r.l2.holeMisses);
+    row("line misses", r.l2.lineMisses);
+    row("compulsory misses", r.l2.compulsoryMisses);
+    row("writebacks", r.l2.writebacks);
+    row("L1D accesses", r.l1d.accesses);
+    row("L1D sector misses", r.l1d.sectorMisses);
+    row("L1D line misses", r.l1d.lineMisses);
+    row("L1I misses", r.l1i.misses);
+    std::printf("%s", t.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args;
+    args.addOption("benchmark", "proxy name (see --list)", "mcf");
+    args.addOption("config",
+                   "baseline | trad-1.5mb | trad-2mb | trad-4mb | "
+                   "trad-32b | ldis-base | ldis-mt | ldis-mt-rc | "
+                   "ldis-4xtags | cmpr | fac | sfp-16k | sfp-64k | "
+                   "ldis (custom)",
+                   "ldis-mt-rc");
+    args.addOption("instructions", "run length", "50000000");
+    args.addOption("seed", "workload seed", "1");
+    args.addOption("woc-ways", "WOC ways for --config ldis", "2");
+    args.addFlag("no-mt", "disable median-threshold (ldis)");
+    args.addFlag("no-rc", "disable the reverter (ldis)");
+    args.addOption("prefetch", "next-N-line prefetch degree", "0");
+    args.addFlag("ipc", "execution-driven run (reports IPC)");
+    args.addFlag("json", "emit the report as a JSON object");
+    args.addFlag("list", "list benchmark proxies and exit");
+    args.addFlag("help", "show this help");
+
+    if (!args.parse(argc, argv) || args.has("help")) {
+        std::fprintf(stderr, "%s%s",
+                     args.ok() ? "" : (args.error() + "\n").c_str(),
+                     args.usage("ldissim").c_str());
+        return args.ok() ? 0 : 1;
+    }
+    if (args.has("list")) {
+        std::printf("studied benchmarks:\n");
+        for (const std::string &n : studiedBenchmarks())
+            std::printf("  %s\n", n.c_str());
+        std::printf("cache-insensitive benchmarks:\n");
+        for (const std::string &n : insensitiveBenchmarks())
+            std::printf("  %s\n", n.c_str());
+        return 0;
+    }
+
+    CliConfig cli;
+    cli.benchmark = args.get("benchmark");
+    cli.config = args.get("config");
+    cli.instructions = args.getUint("instructions");
+    cli.seed = args.getUint("seed");
+    cli.wocWays = static_cast<unsigned>(args.getUint("woc-ways"));
+    cli.mt = !args.has("no-mt");
+    cli.rc = !args.has("no-rc");
+    cli.prefetchDegree =
+        static_cast<unsigned>(args.getUint("prefetch"));
+    cli.ipc = args.has("ipc");
+    if (!args.ok()) {
+        std::fprintf(stderr, "%s\n", args.error().c_str());
+        return 1;
+    }
+
+    auto workload = makeBenchmark(cli.benchmark, cli.seed);
+    L2Instance l2 = buildL2(cli, workload->valueProfile());
+
+    if (cli.ipc) {
+        CpuParams params;
+        OooCore core(params, *workload, *l2.cache);
+        core.run(cli.instructions);
+        std::printf("benchmark     %s\n", cli.benchmark.c_str());
+        std::printf("config        %s\n",
+                    l2.cache->describe().c_str());
+        std::printf("instructions  %llu\n",
+                    static_cast<unsigned long long>(
+                        core.stats().instructions));
+        std::printf("cycles        %llu\n",
+                    static_cast<unsigned long long>(
+                        core.stats().cycles));
+        std::printf("IPC           %.4f\n", core.ipc());
+        std::printf("MPKI          %.3f\n", core.mpki());
+        std::printf("bpred miss    %.2f%%\n",
+                    core.branchStats().missRate() * 100.0);
+        std::printf("mem latency   %.1f cycles avg\n",
+                    core.memoryStats().avgLatency());
+        return 0;
+    }
+
+    RunResult r = runTrace(*workload, *l2.cache, cli.instructions);
+    if (args.has("json"))
+        printJsonReport(r, *l2.cache);
+    else
+        printTraceReport(r, *l2.cache);
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The `ldistrace` tool: record a benchmark proxy's access stream to
+ * a trace file, inspect a trace, or replay one against a cache
+ * configuration.
+ *
+ *   ldistrace --record --benchmark mcf --accesses 1000000 \
+ *       --out mcf.ldt
+ *   ldistrace --info mcf.ldt
+ *   ldistrace --replay mcf.ldt --config ldis-mt-rc \
+ *       --instructions 10000000
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/args.hh"
+#include "sim/experiment.hh"
+#include "trace/trace_file.hh"
+
+using namespace ldis;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args;
+    args.addFlag("record", "record a proxy's stream to --out");
+    args.addOption("info", "print a trace file's summary");
+    args.addOption("replay", "replay a trace against --config");
+    args.addOption("benchmark", "proxy to record", "mcf");
+    args.addOption("accesses", "records to capture", "1000000");
+    args.addOption("out", "output trace path", "trace.ldt");
+    args.addOption("seed", "workload seed for recording", "1");
+    args.addOption("config",
+                   "cache configuration for --replay (same names "
+                   "as ldissim)",
+                   "ldis-mt-rc");
+    args.addOption("instructions", "replay run length", "10000000");
+    args.addFlag("help", "show this help");
+
+    if (!args.parse(argc, argv) || args.has("help") ||
+        (!args.has("record") && !args.has("info") &&
+         !args.has("replay"))) {
+        std::fprintf(stderr, "%s%s",
+                     args.ok() ? "" : (args.error() + "\n").c_str(),
+                     args.usage("ldistrace").c_str());
+        return args.ok() && args.has("help") ? 0 : 1;
+    }
+
+    if (args.has("record")) {
+        auto workload = makeBenchmark(args.get("benchmark"),
+                                      args.getUint("seed"));
+        std::uint64_t n = args.getUint("accesses");
+        if (!args.ok()) {
+            std::fprintf(stderr, "%s\n", args.error().c_str());
+            return 1;
+        }
+        recordTrace(*workload, args.get("out"), n);
+        std::printf("recorded %llu accesses of %s to %s\n",
+                    static_cast<unsigned long long>(n),
+                    workload->name().c_str(),
+                    args.get("out").c_str());
+        return 0;
+    }
+
+    if (args.has("info")) {
+        TraceInfo info = traceInfo(args.get("info"));
+        std::printf("trace         %s\n", args.get("info").c_str());
+        std::printf("workload      %s\n", info.name.c_str());
+        std::printf("records       %llu\n",
+                    static_cast<unsigned long long>(info.records));
+        std::printf("instructions  %llu\n",
+                    static_cast<unsigned long long>(
+                        info.instructions));
+        std::printf("code          %llu B footprint, %u-instr runs\n",
+                    static_cast<unsigned long long>(
+                        info.code.codeBytes),
+                    info.code.avgRunInstrs);
+        std::printf("values        pZero=%.2f pOne=%.2f "
+                    "pNarrow=%.2f\n",
+                    info.values.pZero, info.values.pOne,
+                    info.values.pNarrow);
+        return 0;
+    }
+
+    // --replay
+    FileWorkload workload(args.get("replay"));
+    ConfigKind kind = ConfigKind::LdisMTRC;
+    const std::string cfg = args.get("config");
+    const std::pair<const char *, ConfigKind> table[] = {
+        {"baseline", ConfigKind::Baseline1MB},
+        {"trad-2mb", ConfigKind::Trad2MB},
+        {"ldis-base", ConfigKind::LdisBase},
+        {"ldis-mt", ConfigKind::LdisMT},
+        {"ldis-mt-rc", ConfigKind::LdisMTRC},
+        {"cmpr", ConfigKind::Cmpr4xTags},
+        {"fac", ConfigKind::Fac4xTags},
+        {"sfp-16k", ConfigKind::Sfp16k},
+    };
+    bool found = false;
+    for (const auto &[key, k] : table) {
+        if (cfg == key) {
+            kind = k;
+            found = true;
+        }
+    }
+    if (!found)
+        ldis_fatal("unknown --config '%s'", cfg.c_str());
+
+    L2Instance l2 = makeConfig(kind, workload.valueProfile());
+    RunResult r = runTrace(workload, *l2.cache,
+                           args.getUint("instructions"));
+    std::printf("trace      %s (%llu records, wrapped %llu times)\n",
+                workload.name().c_str(),
+                static_cast<unsigned long long>(workload.size()),
+                static_cast<unsigned long long>(workload.wraps()));
+    std::printf("config     %s\n", l2.cache->describe().c_str());
+    std::printf("MPKI       %.3f\n", r.mpki);
+    std::printf("hits       %llu (LOC %llu, WOC %llu)\n",
+                static_cast<unsigned long long>(r.l2.hits()),
+                static_cast<unsigned long long>(r.l2.locHits),
+                static_cast<unsigned long long>(r.l2.wocHits));
+    std::printf("misses     %llu (hole %llu)\n",
+                static_cast<unsigned long long>(r.l2.misses()),
+                static_cast<unsigned long long>(r.l2.holeMisses));
+    return 0;
+}
