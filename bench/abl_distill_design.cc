@@ -13,20 +13,24 @@
 #include "cache/hierarchy.hh"
 #include "common/table.hh"
 #include "distill/distill_cache.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace ldis;
 
 namespace
 {
 
-double
-mpkiFor(const std::string &name, const DistillParams &p,
-        InstCount instructions)
+/** Submit a custom-DistillParams run of @p name to @p matrix. */
+std::size_t
+submit(RunMatrix &matrix, const std::string &name,
+       const DistillParams &p, InstCount instructions)
 {
-    auto workload = makeBenchmark(name);
-    DistillCache l2(p);
-    return runTrace(*workload, l2, instructions).mpki;
+    return matrix.add(name + "/custom-distill",
+                      [name, p, instructions] {
+        auto workload = makeBenchmark(name);
+        DistillCache l2(p);
+        return runTrace(*workload, l2, instructions);
+    });
 }
 
 const char *kBenchmarks[] = {"art", "mcf", "twolf", "sixtrack",
@@ -42,25 +46,72 @@ main()
                 "(%llu instructions)\n\n",
                 static_cast<unsigned long long>(instructions));
 
-    // --- WOC way-count sweep -------------------------------------
-    std::printf("A. %% MPKI reduction vs baseline, by WOC ways "
-                "(MT+RC):\n\n");
-    Table t1({"name", "base MPKI", "1 way", "2 ways", "3 ways",
-              "4 ways"});
+    // Submit every section's jobs to one matrix (per benchmark: one
+    // baseline shared across sections, then the section variants in
+    // order), run once in parallel, and consume in the same order.
+    RunMatrix matrix;
+    std::vector<std::size_t> base_idx;
     for (const char *name : kBenchmarks) {
-        RunResult base = runTrace(name, ConfigKind::Baseline1MB,
-                                  instructions);
-        std::vector<std::string> row{name, Table::num(base.mpki, 2)};
+        base_idx.push_back(matrix.add(name, ConfigKind::Baseline1MB,
+                                      instructions));
+        // A. WOC way-count sweep.
         for (unsigned woc = 1; woc <= 4; ++woc) {
             DistillParams p;
             p.wocWays = woc;
             p.medianThreshold = true;
             p.useReverter = true;
-            row.push_back(Table::num(
-                percentReduction(base.mpki,
-                                 mpkiFor(name, p, instructions)), 1)
-                + "%");
+            submit(matrix, name, p, instructions);
         }
+        // B. Fixed thresholds, then the adaptive median.
+        for (unsigned k : {1u, 2u, 4u, 8u}) {
+            DistillParams pk;
+            pk.medianThreshold = true;
+            pk.fixedThreshold = k;
+            submit(matrix, name, pk, instructions);
+        }
+        DistillParams pm;
+        pm.medianThreshold = true;
+        submit(matrix, name, pm, instructions);
+        // B2. WOC victim selection (footnote 4).
+        for (WocVictim policy :
+             {WocVictim::Random, WocVictim::RoundRobin}) {
+            DistillParams p;
+            p.medianThreshold = true;
+            p.useReverter = true;
+            p.wocVictim = policy;
+            submit(matrix, name, p, instructions);
+        }
+        // C. Reverter leader-set count.
+        for (unsigned leaders : {8u, 16u, 32u, 64u, 128u}) {
+            DistillParams p;
+            p.medianThreshold = true;
+            p.useReverter = true;
+            p.reverter.leaderSets = leaders;
+            submit(matrix, name, p, instructions);
+        }
+    }
+    const std::vector<RunResult> &results = matrix.run();
+
+    // Per-benchmark consumption order mirrors the submission order.
+    const std::size_t kPerBench = 1 + 4 + 5 + 2 + 5;
+    auto reduction_cell = [&](std::size_t bench, std::size_t job) {
+        double base = results[base_idx[bench]].mpki;
+        double v =
+            results[bench * kPerBench + 1 + job].mpki;
+        return Table::num(percentReduction(base, v), 1) + "%";
+    };
+
+    // --- WOC way-count sweep -------------------------------------
+    std::printf("A. %% MPKI reduction vs baseline, by WOC ways "
+                "(MT+RC):\n\n");
+    Table t1({"name", "base MPKI", "1 way", "2 ways", "3 ways",
+              "4 ways"});
+    for (std::size_t b = 0; b < std::size(kBenchmarks); ++b) {
+        std::vector<std::string> row{
+            kBenchmarks[b],
+            Table::num(results[base_idx[b]].mpki, 2)};
+        for (std::size_t j = 0; j < 4; ++j)
+            row.push_back(reduction_cell(b, j));
         t1.addRow(row);
     }
     std::printf("%s\n", t1.render().c_str());
@@ -69,25 +120,10 @@ main()
     std::printf("B. %% MPKI reduction with fixed distillation "
                 "thresholds (no RC), vs the adaptive median:\n\n");
     Table t2({"name", "K=1", "K=2", "K=4", "K=8", "median"});
-    for (const char *name : kBenchmarks) {
-        RunResult base = runTrace(name, ConfigKind::Baseline1MB,
-                                  instructions);
-        std::vector<std::string> row{name};
-        for (unsigned k : {1u, 2u, 4u, 8u}) {
-            DistillParams pk;
-            pk.medianThreshold = true;
-            pk.fixedThreshold = k;
-            row.push_back(Table::num(
-                percentReduction(base.mpki,
-                                 mpkiFor(name, pk, instructions)),
-                1) + "%");
-        }
-        DistillParams pm;
-        pm.medianThreshold = true;
-        row.push_back(Table::num(
-            percentReduction(base.mpki,
-                             mpkiFor(name, pm, instructions)), 1)
-            + "%");
+    for (std::size_t b = 0; b < std::size(kBenchmarks); ++b) {
+        std::vector<std::string> row{kBenchmarks[b]};
+        for (std::size_t j = 4; j < 9; ++j)
+            row.push_back(reduction_cell(b, j));
         t2.addRow(row);
     }
     std::printf("%s\n", t2.render().c_str());
@@ -96,21 +132,10 @@ main()
     std::printf("B2. %% MPKI reduction by WOC victim policy "
                 "(MT+RC) -- the paper claims random ~ LRU:\n\n");
     Table t2b({"name", "random", "round-robin"});
-    for (const char *name : kBenchmarks) {
-        RunResult base = runTrace(name, ConfigKind::Baseline1MB,
-                                  instructions);
-        std::vector<std::string> row{name};
-        for (WocVictim policy :
-             {WocVictim::Random, WocVictim::RoundRobin}) {
-            DistillParams p;
-            p.medianThreshold = true;
-            p.useReverter = true;
-            p.wocVictim = policy;
-            row.push_back(Table::num(
-                percentReduction(base.mpki,
-                                 mpkiFor(name, p, instructions)), 1)
-                + "%");
-        }
+    for (std::size_t b = 0; b < std::size(kBenchmarks); ++b) {
+        std::vector<std::string> row{kBenchmarks[b]};
+        for (std::size_t j = 9; j < 11; ++j)
+            row.push_back(reduction_cell(b, j));
         t2b.addRow(row);
     }
     std::printf("%s\n", t2b.render().c_str());
@@ -119,22 +144,13 @@ main()
     std::printf("C. %% MPKI reduction (MT+RC) by reverter leader-set "
                 "count:\n\n");
     Table t3({"name", "8 leaders", "16", "32", "64", "128"});
-    for (const char *name : kBenchmarks) {
-        RunResult base = runTrace(name, ConfigKind::Baseline1MB,
-                                  instructions);
-        std::vector<std::string> row{name};
-        for (unsigned leaders : {8u, 16u, 32u, 64u, 128u}) {
-            DistillParams p;
-            p.medianThreshold = true;
-            p.useReverter = true;
-            p.reverter.leaderSets = leaders;
-            row.push_back(Table::num(
-                percentReduction(base.mpki,
-                                 mpkiFor(name, p, instructions)), 1)
-                + "%");
-        }
+    for (std::size_t b = 0; b < std::size(kBenchmarks); ++b) {
+        std::vector<std::string> row{kBenchmarks[b]};
+        for (std::size_t j = 11; j < 16; ++j)
+            row.push_back(reduction_cell(b, j));
         t3.addRow(row);
     }
     std::printf("%s\n", t3.render().c_str());
+    std::printf("%s", matrix.summary().c_str());
     return 0;
 }

@@ -12,7 +12,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace ldis;
 
@@ -24,17 +24,23 @@ main()
                 "(%llu instructions)\n\n",
                 static_cast<unsigned long long>(instructions));
 
+    auto names = studiedBenchmarks();
+    RunMatrix matrix;
+    for (const std::string &name : names) {
+        matrix.add(name, ConfigKind::Baseline1MB, instructions);
+        matrix.add(name, ConfigKind::Trad1MB32B, instructions);
+        matrix.add(name, ConfigKind::LdisMTRC, instructions);
+    }
+    const std::vector<RunResult> &results = matrix.run();
+
     Table t({"name", "64B MPKI", "32B MPKI", "32B vs 64B",
              "LDIS vs 64B"});
     unsigned worse_with_32 = 0;
-    auto names = studiedBenchmarks();
+    std::size_t idx = 0;
     for (const std::string &name : names) {
-        RunResult b64 = runTrace(name, ConfigKind::Baseline1MB,
-                                 instructions);
-        RunResult b32 = runTrace(name, ConfigKind::Trad1MB32B,
-                                 instructions);
-        RunResult ldis = runTrace(name, ConfigKind::LdisMTRC,
-                                  instructions);
+        const RunResult &b64 = results[idx++];
+        const RunResult &b32 = results[idx++];
+        const RunResult &ldis = results[idx++];
         double delta32 = percentReduction(b64.mpki, b32.mpki);
         if (delta32 < 0.0)
             ++worse_with_32;
@@ -47,7 +53,8 @@ main()
     std::printf("%s\n", t.render().c_str());
     std::printf("32B lines increase misses for %u of %zu "
                 "benchmarks; distillation filters unused words "
-                "without giving up spatial locality.\n",
+                "without giving up spatial locality.\n\n",
                 worse_with_32, names.size());
+    std::printf("%s", matrix.summary().c_str());
     return 0;
 }

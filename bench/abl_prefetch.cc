@@ -14,14 +14,14 @@
 #include "cache/prefetch.hh"
 #include "common/table.hh"
 #include "distill/distill_cache.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace ldis;
 
 namespace
 {
 
-double
+RunResult
 runOne(const std::string &name, bool distill, bool prefetch,
        InstCount instructions)
 {
@@ -40,7 +40,7 @@ runOne(const std::string &name, bool distill, bool prefetch,
     }
     if (prefetch)
         l2 = std::make_unique<PrefetchingL2>(std::move(l2), 1);
-    return runTrace(*workload, *l2, instructions).mpki;
+    return runTrace(*workload, *l2, instructions);
 }
 
 } // namespace
@@ -53,13 +53,31 @@ main()
                 "(%% MPKI reduction, %llu instructions)\n\n",
                 static_cast<unsigned long long>(instructions));
 
+    RunMatrix matrix;
+    for (const std::string &name : studiedBenchmarks()) {
+        for (bool distill : {false, true}) {
+            for (bool prefetch : {false, true}) {
+                std::string label = name + "/"
+                    + (distill ? "ldis" : "trad")
+                    + (prefetch ? "+pf" : "");
+                matrix.add(std::move(label),
+                           [name, distill, prefetch, instructions] {
+                    return runOne(name, distill, prefetch,
+                                  instructions);
+                });
+            }
+        }
+    }
+    const std::vector<RunResult> &results = matrix.run();
+
     Table t({"name", "base MPKI", "prefetch", "LDIS",
              "LDIS+prefetch"});
+    std::size_t idx = 0;
     for (const std::string &name : studiedBenchmarks()) {
-        double base = runOne(name, false, false, instructions);
-        double pf = runOne(name, false, true, instructions);
-        double ldis = runOne(name, true, false, instructions);
-        double both = runOne(name, true, true, instructions);
+        double base = results[idx++].mpki;
+        double pf = results[idx++].mpki;
+        double ldis = results[idx++].mpki;
+        double both = results[idx++].mpki;
         t.addRow({name, Table::num(base, 2),
                   Table::num(percentReduction(base, pf), 1) + "%",
                   Table::num(percentReduction(base, ldis), 1) + "%",
@@ -70,6 +88,7 @@ main()
     std::printf("Prefetching wins on streaming benchmarks, LDIS on "
                 "sparse ones; the combination covers both (Section "
                 "9: LDIS removes unused words from demand and "
-                "prefetched lines alike).\n");
+                "prefetched lines alike).\n\n");
+    std::printf("%s", matrix.summary().c_str());
     return 0;
 }

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "common/table.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace ldis;
 
@@ -28,18 +28,26 @@ main()
                                   ConfigKind::LdisMT,
                                   ConfigKind::LdisMTRC};
 
+    RunMatrix matrix;
+    for (const std::string &name : studiedBenchmarks()) {
+        matrix.add(name, ConfigKind::Baseline1MB, instructions);
+        for (ConfigKind kind : configs)
+            matrix.add(name, kind, instructions);
+    }
+    const std::vector<RunResult> &results = matrix.run();
+
     Table t({"name", "base MPKI", "LDIS-Base", "LDIS-MT",
              "LDIS-MT-RC"});
     std::vector<double> base_mpki;
     std::vector<std::vector<double>> red(3);
 
+    std::size_t idx = 0;
     for (const std::string &name : studiedBenchmarks()) {
-        RunResult base = runTrace(name, ConfigKind::Baseline1MB,
-                                  instructions);
+        const RunResult &base = results[idx++];
         base_mpki.push_back(base.mpki);
         std::vector<std::string> row{name, Table::num(base.mpki, 2)};
         for (int c = 0; c < 3; ++c) {
-            RunResult r = runTrace(name, configs[c], instructions);
+            const RunResult &r = results[idx++];
             double reduction = percentReduction(base.mpki, r.mpki);
             red[c].push_back(r.mpki);
             row.push_back(Table::num(reduction, 1) + "%");
@@ -76,6 +84,7 @@ main()
 
     std::printf("%s\n", t.render().c_str());
     std::printf("Paper: LDIS-Base 22.8%%, LDIS-MT-RC 30.7%% average "
-                "MPKI reduction; never worse than -2%%.\n");
+                "MPKI reduction; never worse than -2%%.\n\n");
+    std::printf("%s", matrix.summary().c_str());
     return 0;
 }

@@ -10,7 +10,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace ldis;
 
@@ -36,13 +36,19 @@ main()
                 "cache (LDIS-MT-RC, %llu instructions)\n\n",
                 static_cast<unsigned long long>(instructions));
 
+    RunMatrix matrix;
+    for (const std::string &name : studiedBenchmarks()) {
+        matrix.add(name, ConfigKind::Baseline1MB, instructions);
+        matrix.add(name, ConfigKind::LdisMTRC, instructions);
+    }
+    const std::vector<RunResult> &results = matrix.run();
+
     Table t({"name", "base hit", "base miss", "LOC-hit", "WOC-hit",
              "hole-miss", "line-miss"});
+    std::size_t idx = 0;
     for (const std::string &name : studiedBenchmarks()) {
-        RunResult base = runTrace(name, ConfigKind::Baseline1MB,
-                                  instructions);
-        RunResult ldis = runTrace(name, ConfigKind::LdisMTRC,
-                                  instructions);
+        const RunResult &base = results[idx++];
+        const RunResult &ldis = results[idx++];
         std::uint64_t bacc = base.l2.accesses;
         std::uint64_t dacc = ldis.l2.accesses;
         t.addRow({name,
@@ -56,6 +62,7 @@ main()
     std::printf("%s\n", t.render().c_str());
     std::printf("Paper: mcf 12%% baseline hits -> 10%% LOC + 25%% "
                 "WOC hits; art 25%% -> 63%% with half the remaining "
-                "misses being hole-misses.\n");
+                "misses being hole-misses.\n\n");
+    std::printf("%s", matrix.summary().c_str());
     return 0;
 }

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "common/table.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace ldis;
 
@@ -26,14 +26,20 @@ main()
                 "(%llu instructions)\n\n",
                 static_cast<unsigned long long>(instructions));
 
+    IpcMatrix matrix;
+    for (const std::string &name : studiedBenchmarks()) {
+        matrix.add(name, ConfigKind::Baseline1MB, instructions);
+        matrix.add(name, ConfigKind::LdisMTRC, instructions);
+    }
+    const std::vector<IpcResult> &results = matrix.run();
+
     Table t({"name", "base IPC", "distill IPC", "improvement",
              "bpred miss"});
     std::vector<double> speedups;
+    std::size_t idx = 0;
     for (const std::string &name : studiedBenchmarks()) {
-        IpcResult base = runIpc(name, ConfigKind::Baseline1MB,
-                                instructions);
-        IpcResult ldis = runIpc(name, ConfigKind::LdisMTRC,
-                                instructions);
+        const IpcResult &base = results[idx++];
+        const IpcResult &ldis = results[idx++];
         double speedup = base.ipc == 0.0
             ? 0.0
             : ldis.ipc / base.ipc - 1.0;
@@ -49,6 +55,7 @@ main()
     std::printf("%s\n", t.render().c_str());
     std::printf("Paper: 12%% gmean IPC improvement; art, mcf, twolf, "
                 "ammp, health above 30%%; gcc slightly negative "
-                "(instruction-cache intensive, extra tag cycle).\n");
+                "(instruction-cache intensive, extra tag cycle).\n\n");
+    std::printf("%s", matrix.summary().c_str());
     return 0;
 }

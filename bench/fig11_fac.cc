@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "common/table.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace ldis;
 
@@ -32,18 +32,26 @@ main()
         ConfigKind::Fac4xTags,  // FAC-4xTags
     };
 
+    RunMatrix matrix;
+    for (const std::string &name : studiedBenchmarks()) {
+        matrix.add(name, ConfigKind::Baseline1MB, instructions);
+        for (ConfigKind kind : configs)
+            matrix.add(name, kind, instructions);
+    }
+    const std::vector<RunResult> &results = matrix.run();
+
     Table t({"name", "base MPKI", "LDIS-3xTags", "LDIS-4xTags",
              "CMPR-4xTags", "FAC-4xTags"});
     double base_sum = 0.0;
     std::vector<double> cfg_sum(4, 0.0);
 
+    std::size_t idx = 0;
     for (const std::string &name : studiedBenchmarks()) {
-        RunResult base = runTrace(name, ConfigKind::Baseline1MB,
-                                  instructions);
+        const RunResult &base = results[idx++];
         base_sum += base.mpki;
         std::vector<std::string> row{name, Table::num(base.mpki, 2)};
         for (int c = 0; c < 4; ++c) {
-            RunResult r = runTrace(name, configs[c], instructions);
+            const RunResult &r = results[idx++];
             cfg_sum[c] += r.mpki;
             row.push_back(Table::num(
                 percentReduction(base.mpki, r.mpki), 1) + "%");
@@ -59,6 +67,7 @@ main()
 
     std::printf("%s\n", t.render().c_str());
     std::printf("Paper: FAC beats both LDIS and CMPR on mcf, vpr, "
-                "sixtrack, health; FAC averages ~50%% reduction.\n");
+                "sixtrack, health; FAC averages ~50%% reduction.\n\n");
+    std::printf("%s", matrix.summary().c_str());
     return 0;
 }

@@ -10,7 +10,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace ldis;
 
@@ -27,19 +27,27 @@ main()
                                   ConfigKind::Trad2MB,
                                   ConfigKind::Trad4MB};
 
+    RunMatrix matrix;
+    for (const std::string &name : insensitiveBenchmarks())
+        for (ConfigKind kind : configs)
+            matrix.add(name, kind, instructions);
+    const std::vector<RunResult> &results = matrix.run();
+
     Table t({"name", "Trad 1MB", "LDIS 1MB", "Trad 2MB", "Trad 4MB",
              "paper 1MB"});
+    std::size_t idx = 0;
     for (const std::string &name : insensitiveBenchmarks()) {
         std::vector<std::string> row{name};
         for (ConfigKind kind : configs) {
-            RunResult r = runTrace(name, kind, instructions);
-            row.push_back(Table::num(r.mpki, 2));
+            (void)kind;
+            row.push_back(Table::num(results[idx++].mpki, 2));
         }
         row.push_back(Table::num(benchmarkInfo(name).paperMpki, 2));
         t.addRow(row);
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("Paper: MPKI flat across all four configurations "
-                "for these benchmarks.\n");
+                "for these benchmarks.\n\n");
+    std::printf("%s", matrix.summary().c_str());
     return 0;
 }

@@ -114,9 +114,11 @@ SetAssocCache::peekVictim(LineAddr line)
             return nullptr;
     if (geom.repl == ReplPolicy::LRU)
         return &s.lines[s.order.back()];
-    // Random policy: peek is not meaningful without fixing the draw;
-    // return the LRU way as an approximation for observers.
-    return &s.lines[s.order.back()];
+    // Random policy: draw the victim now and memoize it so the next
+    // install() in this set evicts the same way observers saw.
+    if (s.pendingVictim < 0)
+        s.pendingVictim = static_cast<int>(rng.below(waysCount));
+    return &s.lines[s.pendingVictim];
 }
 
 CacheLineState
@@ -136,10 +138,13 @@ SetAssocCache::install(LineAddr line)
     if (victim_way < 0) {
         if (geom.repl == ReplPolicy::LRU) {
             victim_way = s.order.back();
+        } else if (s.pendingVictim >= 0) {
+            victim_way = s.pendingVictim;
         } else {
             victim_way = static_cast<int>(rng.below(waysCount));
         }
     }
+    s.pendingVictim = -1;
 
     CacheLineState evicted = s.lines[victim_way];
     CacheLineState fresh;
@@ -165,6 +170,9 @@ SetAssocCache::invalidate(LineAddr line)
         return CacheLineState{};
     CacheLineState prior = s.lines[w];
     s.lines[w] = CacheLineState{};
+    // The set now has a free way, so any memoized random victim is
+    // stale (install() will fill the free way instead).
+    s.pendingVictim = -1;
     // Demote the invalidated way to LRU so it is reused first.
     auto it = std::find(s.order.begin(), s.order.end(),
                         static_cast<std::uint8_t>(w));

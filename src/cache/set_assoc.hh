@@ -147,6 +147,13 @@ class SetAssocCache
         std::vector<CacheLineState> lines;
         /** Way indices ordered MRU (front) to LRU (back). */
         std::vector<std::uint8_t> order;
+        /**
+         * Random-policy victim drawn by peekVictim() and not yet
+         * consumed by install(); -1 when no draw is pending. Keeps
+         * the way observers saw and the way install() evicts in
+         * agreement.
+         */
+        int pendingVictim = -1;
     };
 
     Set &setOf(LineAddr line);

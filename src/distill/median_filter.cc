@@ -29,8 +29,11 @@ MedianFilter::recomputeMedian()
 {
     // "The median is calculated by adding the counts starting from
     // the first counter ... until one-half of the value of the
-    // eviction-sum is reached." (Section 5.4)
-    std::uint64_t half = evictionSum / 2;
+    // eviction-sum is reached." (Section 5.4) Round the half up: with
+    // floor division an odd, small eviction-sum (e.g. a 1-eviction
+    // epoch) yields half == 0 and the loop would return median 1
+    // regardless of the counters, biasing the threshold low.
+    std::uint64_t half = (evictionSum + 1) / 2;
     std::uint64_t running = 0;
     unsigned median = kWordsPerLine;
     for (unsigned k = 1; k <= kWordsPerLine; ++k) {

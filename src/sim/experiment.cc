@@ -1,5 +1,7 @@
 #include "experiment.hh"
 
+#include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 
@@ -13,22 +15,45 @@ runLength(InstCount fallback)
 {
     if (const char *env = std::getenv("LDIS_INSTRUCTIONS")) {
         char *end = nullptr;
+        errno = 0;
         unsigned long long v = std::strtoull(env, &end, 10);
-        if (end && *end == '\0' && v > 0)
+        // strtoull saturates to ULLONG_MAX on overflow; reject that
+        // via errno instead of silently running "forever".
+        if (errno == 0 && end && *end == '\0' && v > 0)
             return static_cast<InstCount>(v);
         warn("ignoring malformed LDIS_INSTRUCTIONS='%s'", env);
     }
     return fallback;
 }
 
+namespace
+{
+
+/** Seconds elapsed since @p start on the monotonic clock. */
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
 RunResult
 runTrace(Workload &workload, SecondLevelCache &l2,
          InstCount instructions)
 {
     Hierarchy hier(workload, l2);
+    auto start = std::chrono::steady_clock::now();
     hier.run(instructions);
+    double elapsed = secondsSince(start);
 
     RunResult r;
+    r.wallSeconds = elapsed;
+    r.instPerSec = elapsed > 0.0
+        ? static_cast<double>(hier.stats().instructions) / elapsed
+        : 0.0;
     r.benchmark = workload.name();
     r.config = l2.describe();
     r.instructions = hier.stats().instructions;
@@ -46,9 +71,15 @@ runTraceWarm(Workload &workload, SecondLevelCache &l2,
     Hierarchy hier(workload, l2);
     hier.run(warmup_instructions);
     hier.resetStats();
+    auto start = std::chrono::steady_clock::now();
     hier.run(instructions);
+    double elapsed = secondsSince(start);
 
     RunResult r;
+    r.wallSeconds = elapsed;
+    r.instPerSec = elapsed > 0.0
+        ? static_cast<double>(hier.stats().instructions) / elapsed
+        : 0.0;
     r.benchmark = workload.name();
     r.config = l2.describe();
     r.instructions = hier.stats().instructions;
@@ -79,9 +110,15 @@ runIpc(const std::string &benchmark, ConfigKind kind,
 
     CpuParams cpu_params;
     OooCore core(cpu_params, *workload, *l2.cache);
+    auto start = std::chrono::steady_clock::now();
     core.run(instructions);
+    double elapsed = secondsSince(start);
 
     IpcResult r;
+    r.wallSeconds = elapsed;
+    r.instPerSec = elapsed > 0.0
+        ? static_cast<double>(core.stats().instructions) / elapsed
+        : 0.0;
     r.benchmark = benchmark;
     r.config = configName(kind);
     r.ipc = core.ipc();
@@ -89,6 +126,38 @@ runIpc(const std::string &benchmark, ConfigKind kind,
     r.cpu = core.stats();
     r.branch = core.branchStats();
     return r;
+}
+
+void
+writeJson(JsonWriter &j, const RunResult &r, const std::string &key)
+{
+    j.beginObject(key);
+    j.field("benchmark", r.benchmark);
+    j.field("config", r.config);
+    j.field("instructions", r.instructions);
+    j.field("mpki", r.mpki);
+    j.field("wall_seconds", r.wallSeconds);
+    j.field("inst_per_sec", r.instPerSec);
+    j.beginObject("l2");
+    j.field("accesses", r.l2.accesses);
+    j.field("loc_hits", r.l2.locHits);
+    j.field("woc_hits", r.l2.wocHits);
+    j.field("hole_misses", r.l2.holeMisses);
+    j.field("line_misses", r.l2.lineMisses);
+    j.field("compulsory_misses", r.l2.compulsoryMisses);
+    j.field("writebacks", r.l2.writebacks);
+    j.endObject();
+    j.beginObject("l1d");
+    j.field("accesses", r.l1d.accesses);
+    j.field("hits", r.l1d.hits);
+    j.field("sector_misses", r.l1d.sectorMisses);
+    j.field("line_misses", r.l1d.lineMisses);
+    j.endObject();
+    j.beginObject("l1i");
+    j.field("accesses", r.l1i.accesses);
+    j.field("misses", r.l1i.misses);
+    j.endObject();
+    j.endObject();
 }
 
 double

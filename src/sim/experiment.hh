@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cache/hierarchy.hh"
+#include "common/json.hh"
 #include "cpu/ooo_core.hh"
 #include "sim/configs.hh"
 #include "trace/benchmarks.hh"
@@ -29,6 +30,12 @@ struct RunResult
     L2Stats l2;
     L1DStats l1d;
     L1IStats l1i;
+
+    /** Host wall-clock time of the simulation, in seconds. */
+    double wallSeconds = 0.0;
+
+    /** Simulated instructions per host second. */
+    double instPerSec = 0.0;
 };
 
 /** Outcome of one execution-driven run. */
@@ -40,7 +47,26 @@ struct IpcResult
     double mpki = 0.0;
     CpuStats cpu;
     BranchStats branch;
+
+    /** Host wall-clock time of the simulation, in seconds. */
+    double wallSeconds = 0.0;
+
+    /** Simulated instructions per host second. */
+    double instPerSec = 0.0;
 };
+
+/** Simulated instruction count of a result (timing helper). */
+inline InstCount
+simulatedInstructions(const RunResult &r)
+{
+    return r.instructions;
+}
+
+inline InstCount
+simulatedInstructions(const IpcResult &r)
+{
+    return r.cpu.instructions;
+}
 
 /**
  * Number of instructions per run: the LDIS_INSTRUCTIONS environment
@@ -69,6 +95,14 @@ RunResult runTraceWarm(Workload &workload, SecondLevelCache &l2,
 /** Execution-driven run of @p benchmark against @p kind. */
 IpcResult runIpc(const std::string &benchmark, ConfigKind kind,
                  InstCount instructions, std::uint64_t seed = 1);
+
+/**
+ * Serialize @p r — counters and timing — as a JSON object into @p j
+ * (named @p key inside an enclosing object, anonymous otherwise).
+ * Shared by `ldissim --json` and the matrix runner.
+ */
+void writeJson(JsonWriter &j, const RunResult &r,
+               const std::string &key = "");
 
 /** Percentage reduction of @p value relative to @p base. */
 double percentReduction(double base, double value);

@@ -1,0 +1,145 @@
+#include "runner.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace ldis
+{
+
+unsigned
+runnerJobs()
+{
+    if (const char *env = std::getenv("LDIS_JOBS")) {
+        char *end = nullptr;
+        errno = 0;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (errno == 0 && end && *end == '\0' && v > 0 && v <= 4096)
+            return static_cast<unsigned>(v);
+        warn("ignoring malformed LDIS_JOBS='%s'", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+namespace detail
+{
+
+void
+runThunks(const std::vector<std::function<void()>> &thunks,
+          unsigned workers)
+{
+    if (workers > thunks.size())
+        workers = static_cast<unsigned>(thunks.size());
+    if (workers <= 1) {
+        for (const auto &t : thunks)
+            t();
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto work = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= thunks.size() || failed.load())
+                return;
+            try {
+                thunks[i]();
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                failed.store(true);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(work);
+    for (std::thread &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace detail
+
+std::string
+runSummary(const std::vector<JobTiming> &timings, unsigned workers,
+           double wall_seconds)
+{
+    double cumulative = 0.0;
+    InstCount total_inst = 0;
+    const JobTiming *slowest = nullptr;
+    for (const JobTiming &t : timings) {
+        cumulative += t.wallSeconds;
+        total_inst += t.instructions;
+        if (!slowest || t.wallSeconds > slowest->wallSeconds)
+            slowest = &t;
+    }
+
+    Table t({"run summary", "value"});
+    t.addRow({"jobs", std::to_string(timings.size())});
+    t.addRow({"workers", std::to_string(workers)});
+    t.addRow({"simulated Minst",
+              Table::num(static_cast<double>(total_inst) / 1e6, 1)});
+    t.addRow({"wall time", Table::num(wall_seconds, 2) + " s"});
+    t.addRow({"cumulative job time",
+              Table::num(cumulative, 2) + " s"});
+    t.addRow({"parallel speedup",
+              Table::num(wall_seconds > 0.0
+                             ? cumulative / wall_seconds
+                             : 0.0,
+                         2) + "x"});
+    t.addRow({"aggregate Minst/s",
+              Table::num(wall_seconds > 0.0
+                             ? static_cast<double>(total_inst) / 1e6
+                                   / wall_seconds
+                             : 0.0,
+                         2)});
+    if (slowest) {
+        t.addRow({"slowest job",
+                  slowest->label + " ("
+                      + Table::num(slowest->wallSeconds, 2) + " s, "
+                      + Table::num(slowest->instPerSec / 1e6, 2)
+                      + " Minst/s)"});
+    }
+    return t.render();
+}
+
+std::size_t
+RunMatrix::add(const std::string &benchmark, ConfigKind kind,
+               InstCount instructions, std::uint64_t seed)
+{
+    std::string label =
+        benchmark + "/" + configName(kind);
+    return add(std::move(label), [=] {
+        return runTrace(benchmark, kind, instructions, seed);
+    });
+}
+
+std::size_t
+IpcMatrix::add(const std::string &benchmark, ConfigKind kind,
+               InstCount instructions, std::uint64_t seed)
+{
+    std::string label =
+        benchmark + "/" + configName(kind) + "/ipc";
+    return add(std::move(label), [=] {
+        return runIpc(benchmark, kind, instructions, seed);
+    });
+}
+
+} // namespace ldis

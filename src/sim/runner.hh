@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Thread-pool experiment runner. Every paper figure replays many
+ * fully-isolated (benchmark, L2 config) simulations; RunMatrix fans
+ * them out across hardware threads and returns results in submission
+ * order, so parallel sweeps are bit-identical to the serial loops
+ * they replace. Worker count defaults to the hardware concurrency
+ * and can be overridden with the LDIS_JOBS environment variable.
+ *
+ * Each job constructs its own workload and L2 (no simulator state is
+ * shared), which is what makes the fan-out safe: the only shared
+ * structures are the per-job result and timing slots, each written
+ * by exactly one worker.
+ */
+
+#ifndef DISTILLSIM_SIM_RUNNER_HH
+#define DISTILLSIM_SIM_RUNNER_HH
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace ldis
+{
+
+/**
+ * Worker count for parallel sweeps: LDIS_JOBS if set and valid,
+ * otherwise std::thread::hardware_concurrency() (minimum 1).
+ */
+unsigned runnerJobs();
+
+/** Observability record for one completed job. */
+struct JobTiming
+{
+    std::string label;
+    double wallSeconds = 0.0;
+    double instPerSec = 0.0;
+    InstCount instructions = 0;
+};
+
+namespace detail
+{
+
+/**
+ * Execute @p thunks across @p workers threads, each worker pulling
+ * the next un-started index. Serial when workers <= 1. Rethrows the
+ * first job exception after all threads joined.
+ */
+void runThunks(const std::vector<std::function<void()>> &thunks,
+               unsigned workers);
+
+} // namespace detail
+
+/**
+ * Render the observability summary for a completed matrix: job and
+ * worker counts, aggregate simulation throughput, wall vs cumulative
+ * time and the achieved parallel speedup, plus the slowest job.
+ */
+std::string runSummary(const std::vector<JobTiming> &timings,
+                       unsigned workers, double wall_seconds);
+
+/**
+ * A matrix of independent simulation jobs producing @p Result
+ * (RunResult or IpcResult: anything with wallSeconds/instPerSec
+ * fields and a simulatedInstructions() overload). Submit jobs with
+ * add(), then run() executes them on the pool and returns results
+ * in submission order.
+ */
+template <typename Result>
+class RunMatrixT
+{
+  public:
+    /** @param workers pool size; 0 = runnerJobs() */
+    explicit RunMatrixT(unsigned workers = 0)
+        : workerCount(workers ? workers : runnerJobs())
+    {}
+
+    /** Submit a job; @p fn runs on a worker thread. @return index */
+    std::size_t
+    add(std::string label, std::function<Result()> fn)
+    {
+        jobs.push_back({std::move(label), std::move(fn)});
+        return jobs.size() - 1;
+    }
+
+    /** Execute all jobs; results are in submission order. */
+    const std::vector<Result> &
+    run()
+    {
+        using clock = std::chrono::steady_clock;
+        slots.assign(jobs.size(), Result{});
+        jobTimes.assign(jobs.size(), JobTiming{});
+
+        std::vector<std::function<void()>> thunks;
+        thunks.reserve(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            thunks.push_back([this, i] {
+                auto t0 = clock::now();
+                Result r = jobs[i].fn();
+                double s = std::chrono::duration<double>(
+                               clock::now() - t0)
+                               .count();
+                // Whole-job time (workload + cache construction
+                // included), overriding the inner-loop figure the
+                // experiment helpers recorded.
+                r.wallSeconds = s;
+                r.instPerSec = s > 0.0
+                    ? static_cast<double>(simulatedInstructions(r))
+                        / s
+                    : 0.0;
+                jobTimes[i] = {jobs[i].label, r.wallSeconds,
+                               r.instPerSec,
+                               simulatedInstructions(r)};
+                slots[i] = std::move(r);
+            });
+        }
+
+        auto t0 = clock::now();
+        detail::runThunks(thunks, workerCount);
+        matrixWall =
+            std::chrono::duration<double>(clock::now() - t0).count();
+        return slots;
+    }
+
+    const std::vector<Result> &results() const { return slots; }
+    const std::vector<JobTiming> &timings() const { return jobTimes; }
+    std::size_t size() const { return jobs.size(); }
+    unsigned workers() const { return workerCount; }
+
+    /** Wall-clock seconds of the whole run() call. */
+    double wallSeconds() const { return matrixWall; }
+
+    /** Sum of per-job wall seconds (the serial-equivalent cost). */
+    double
+    cumulativeSeconds() const
+    {
+        double sum = 0.0;
+        for (const JobTiming &t : jobTimes)
+            sum += t.wallSeconds;
+        return sum;
+    }
+
+    /** Rendered run-summary table (valid after run()). */
+    std::string
+    summary() const
+    {
+        return runSummary(jobTimes, workerCount, matrixWall);
+    }
+
+  private:
+    struct Job
+    {
+        std::string label;
+        std::function<Result()> fn;
+    };
+
+    unsigned workerCount;
+    std::vector<Job> jobs;
+    std::vector<Result> slots;
+    std::vector<JobTiming> jobTimes;
+    double matrixWall = 0.0;
+};
+
+/** Trace-driven matrix with a typed submission shorthand. */
+class RunMatrix : public RunMatrixT<RunResult>
+{
+  public:
+    using RunMatrixT<RunResult>::RunMatrixT;
+    using RunMatrixT<RunResult>::add;
+
+    /** Submit runTrace(benchmark, kind, instructions, seed). */
+    std::size_t add(const std::string &benchmark, ConfigKind kind,
+                    InstCount instructions, std::uint64_t seed = 1);
+};
+
+/** Execution-driven matrix with a typed submission shorthand. */
+class IpcMatrix : public RunMatrixT<IpcResult>
+{
+  public:
+    using RunMatrixT<IpcResult>::RunMatrixT;
+    using RunMatrixT<IpcResult>::add;
+
+    /** Submit runIpc(benchmark, kind, instructions, seed). */
+    std::size_t add(const std::string &benchmark, ConfigKind kind,
+                    InstCount instructions, std::uint64_t seed = 1);
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_SIM_RUNNER_HH

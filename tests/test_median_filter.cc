@@ -56,6 +56,32 @@ TEST(MedianFilter, SkewedHighStream)
     EXPECT_EQ(f.currentThreshold(), 8u);
 }
 
+TEST(MedianFilter, OddEvictionSumUsesCeilingHalf)
+{
+    // Regression: with floor division a 1-eviction epoch computed
+    // half == 0, so the running sum "reached" it at k == 1 and the
+    // filter returned median 1 no matter what was evicted.
+    MedianFilter f(1);
+    f.recordEviction(6);
+    EXPECT_EQ(f.currentThreshold(), 6u);
+
+    // Odd epoch: the median of {2, 5, 8} is the 2nd-smallest
+    // (ceil(3/2) = 2 running evictions), i.e. 5.
+    MedianFilter g(3);
+    g.recordEviction(8);
+    g.recordEviction(2);
+    g.recordEviction(5);
+    EXPECT_EQ(g.currentThreshold(), 5u);
+
+    // Larger odd skew: 3 narrow + 2 wide -> median is narrow.
+    MedianFilter h(5);
+    for (int i = 0; i < 3; ++i)
+        h.recordEviction(2);
+    for (int i = 0; i < 2; ++i)
+        h.recordEviction(8);
+    EXPECT_EQ(h.currentThreshold(), 2u);
+}
+
 TEST(MedianFilter, RecomputesEveryEpoch)
 {
     MedianFilter f(10);

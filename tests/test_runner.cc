@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tier-1 tests for the parallel RunMatrix experiment runner: the
+ * fan-out must be an implementation detail, producing results
+ * identical to the serial loop it replaces for any worker count.
+ */
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+
+namespace ldis
+{
+namespace
+{
+
+const char *kBenchmarks[] = {"art", "mcf", "twolf"};
+const ConfigKind kConfigs[] = {ConfigKind::Baseline1MB,
+                               ConfigKind::LdisMTRC,
+                               ConfigKind::Trad2MB};
+constexpr InstCount kInstructions = 200000;
+
+/** All simulation counters equal (timing fields excluded). */
+void
+expectSameRun(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.mpki, b.mpki);
+    EXPECT_EQ(a.l2.accesses, b.l2.accesses);
+    EXPECT_EQ(a.l2.locHits, b.l2.locHits);
+    EXPECT_EQ(a.l2.wocHits, b.l2.wocHits);
+    EXPECT_EQ(a.l2.holeMisses, b.l2.holeMisses);
+    EXPECT_EQ(a.l2.lineMisses, b.l2.lineMisses);
+    EXPECT_EQ(a.l2.compulsoryMisses, b.l2.compulsoryMisses);
+    EXPECT_EQ(a.l2.writebacks, b.l2.writebacks);
+    EXPECT_EQ(a.l2.evictions, b.l2.evictions);
+    EXPECT_EQ(a.l1d.accesses, b.l1d.accesses);
+    EXPECT_EQ(a.l1d.hits, b.l1d.hits);
+    EXPECT_EQ(a.l1d.sectorMisses, b.l1d.sectorMisses);
+    EXPECT_EQ(a.l1d.lineMisses, b.l1d.lineMisses);
+    EXPECT_EQ(a.l1i.accesses, b.l1i.accesses);
+    EXPECT_EQ(a.l1i.misses, b.l1i.misses);
+}
+
+std::vector<RunResult>
+serialReference()
+{
+    std::vector<RunResult> serial;
+    for (const char *name : kBenchmarks)
+        for (ConfigKind kind : kConfigs)
+            serial.push_back(runTrace(name, kind, kInstructions));
+    return serial;
+}
+
+/** Run the 3x3 matrix under a forced LDIS_JOBS value. */
+std::vector<RunResult>
+matrixUnderJobs(const char *jobs)
+{
+    ::setenv("LDIS_JOBS", jobs, 1);
+    RunMatrix matrix;
+    for (const char *name : kBenchmarks)
+        for (ConfigKind kind : kConfigs)
+            matrix.add(name, kind, kInstructions);
+    std::vector<RunResult> results = matrix.run();
+    EXPECT_EQ(matrix.workers(),
+              static_cast<unsigned>(std::atoi(jobs)));
+    ::unsetenv("LDIS_JOBS");
+    return results;
+}
+
+TEST(Runner, SerialWorkerMatchesSerialLoop)
+{
+    std::vector<RunResult> serial = serialReference();
+    std::vector<RunResult> matrix = matrixUnderJobs("1");
+    ASSERT_EQ(matrix.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectSameRun(matrix[i], serial[i]);
+}
+
+TEST(Runner, EightWorkersMatchSerialLoop)
+{
+    std::vector<RunResult> serial = serialReference();
+    std::vector<RunResult> matrix = matrixUnderJobs("8");
+    ASSERT_EQ(matrix.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectSameRun(matrix[i], serial[i]);
+}
+
+TEST(Runner, JobsEnvOverride)
+{
+    ::setenv("LDIS_JOBS", "3", 1);
+    EXPECT_EQ(runnerJobs(), 3u);
+    ::setenv("LDIS_JOBS", "garbage", 1);
+    EXPECT_GE(runnerJobs(), 1u); // falls back to hardware
+    ::setenv("LDIS_JOBS", "0", 1);
+    EXPECT_GE(runnerJobs(), 1u);
+    ::unsetenv("LDIS_JOBS");
+    EXPECT_GE(runnerJobs(), 1u);
+}
+
+TEST(Runner, TimingIsPopulated)
+{
+    RunMatrix matrix(2);
+    matrix.add("art", ConfigKind::Baseline1MB, kInstructions);
+    matrix.add("mcf", ConfigKind::Baseline1MB, kInstructions);
+    const std::vector<RunResult> &results = matrix.run();
+    ASSERT_EQ(results.size(), 2u);
+    for (const RunResult &r : results) {
+        EXPECT_GT(r.wallSeconds, 0.0);
+        EXPECT_GT(r.instPerSec, 0.0);
+    }
+    ASSERT_EQ(matrix.timings().size(), 2u);
+    EXPECT_EQ(matrix.timings()[0].label, "art/TRAD-1MB");
+    EXPECT_GE(matrix.cumulativeSeconds(), matrix.wallSeconds());
+    EXPECT_GT(matrix.wallSeconds(), 0.0);
+    std::string summary = matrix.summary();
+    EXPECT_NE(summary.find("jobs"), std::string::npos);
+    EXPECT_NE(summary.find("parallel speedup"), std::string::npos);
+}
+
+TEST(Runner, GenericJobsKeepSubmissionOrder)
+{
+    // Custom closures (the ablation benches) land in their slots
+    // regardless of completion order.
+    RunMatrix matrix(4);
+    for (int i = 0; i < 8; ++i) {
+        std::string name = (i % 2 == 0) ? "art" : "swim";
+        matrix.add(name + "#" + std::to_string(i), [name] {
+            auto workload = makeBenchmark(name);
+            L2Instance l2 = makeConfig(ConfigKind::Baseline1MB);
+            return runTrace(*workload, *l2.cache, 50000);
+        });
+    }
+    const std::vector<RunResult> &results = matrix.run();
+    ASSERT_EQ(results.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(results[i].benchmark,
+                  (i % 2 == 0) ? "art" : "swim")
+            << "slot " << i;
+}
+
+TEST(Runner, IpcMatrixMatchesSerial)
+{
+    IpcResult serial =
+        runIpc("twolf", ConfigKind::Baseline1MB, 50000);
+    IpcMatrix matrix(2);
+    matrix.add("twolf", ConfigKind::Baseline1MB, 50000);
+    matrix.add("twolf", ConfigKind::LdisMTRC, 50000);
+    const std::vector<IpcResult> &results = matrix.run();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].ipc, serial.ipc);
+    EXPECT_EQ(results[0].mpki, serial.mpki);
+    EXPECT_EQ(results[0].cpu.cycles, serial.cpu.cycles);
+    EXPECT_GT(results[1].wallSeconds, 0.0);
+}
+
+TEST(Runner, EmptyMatrixRuns)
+{
+    RunMatrix matrix;
+    EXPECT_TRUE(matrix.run().empty());
+    EXPECT_EQ(matrix.size(), 0u);
+}
+
+} // namespace
+} // namespace ldis

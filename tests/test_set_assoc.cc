@@ -90,6 +90,60 @@ TEST(SetAssoc, PeekVictimMatchesInstall)
     EXPECT_EQ(evicted.line, predicted);
 }
 
+TEST(SetAssoc, RandomPeekVictimMatchesInstall)
+{
+    // Regression: peekVictim used to return the LRU way under
+    // ReplPolicy::Random while install() drew a fresh random victim,
+    // so observers (e.g. MT filtering on the victim's footprint)
+    // decided on a line that was not actually evicted.
+    CacheGeometry g = smallGeom();
+    g.repl = ReplPolicy::Random;
+    SetAssocCache c(g);
+    for (unsigned i = 0; i < 4; ++i)
+        c.install(set0Line(i));
+    for (unsigned i = 4; i < 64; ++i) {
+        const CacheLineState *victim = c.peekVictim(set0Line(i));
+        ASSERT_NE(victim, nullptr);
+        LineAddr predicted = victim->line;
+        // A second peek before the install sees the same draw.
+        EXPECT_EQ(c.peekVictim(set0Line(i))->line, predicted);
+        CacheLineState evicted = c.install(set0Line(i));
+        EXPECT_TRUE(evicted.valid);
+        EXPECT_EQ(evicted.line, predicted) << "install " << i;
+    }
+}
+
+TEST(SetAssoc, RandomInstallWithoutPeekStillEvicts)
+{
+    // install() must keep working when nobody peeked (no stale
+    // memoized draw involved).
+    CacheGeometry g = smallGeom();
+    g.repl = ReplPolicy::Random;
+    SetAssocCache c(g);
+    for (unsigned i = 0; i < 4; ++i)
+        c.install(set0Line(i));
+    CacheLineState evicted = c.install(set0Line(5));
+    EXPECT_TRUE(evicted.valid);
+    EXPECT_EQ(c.validCount(), 4u);
+}
+
+TEST(SetAssoc, RandomPendingVictimClearedByInvalidate)
+{
+    // After an invalidate the set has a free way, so a pre-drawn
+    // victim is stale: install() must fill the free way and evict
+    // nothing.
+    CacheGeometry g = smallGeom();
+    g.repl = ReplPolicy::Random;
+    SetAssocCache c(g);
+    for (unsigned i = 0; i < 4; ++i)
+        c.install(set0Line(i));
+    ASSERT_NE(c.peekVictim(set0Line(9)), nullptr);
+    c.invalidate(set0Line(1));
+    EXPECT_EQ(c.peekVictim(set0Line(9)), nullptr);
+    CacheLineState evicted = c.install(set0Line(9));
+    EXPECT_FALSE(evicted.valid);
+}
+
 TEST(SetAssoc, InvalidateRemovesAndReportsPrior)
 {
     SetAssocCache c(smallGeom());

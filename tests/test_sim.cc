@@ -57,6 +57,12 @@ TEST(Experiment, RunLengthEnvOverride)
     EXPECT_EQ(runLength(999), 12345u);
     ::setenv("LDIS_INSTRUCTIONS", "garbage", 1);
     EXPECT_EQ(runLength(999), 999u);
+    // Out-of-range values saturate strtoull (ERANGE); they must be
+    // rejected rather than silently accepted as ULLONG_MAX.
+    ::setenv("LDIS_INSTRUCTIONS", "99999999999999999999999", 1);
+    EXPECT_EQ(runLength(999), 999u);
+    ::setenv("LDIS_INSTRUCTIONS", "0", 1);
+    EXPECT_EQ(runLength(999), 999u);
     ::unsetenv("LDIS_INSTRUCTIONS");
     EXPECT_EQ(runLength(999), 999u);
 }
@@ -78,6 +84,28 @@ TEST(Experiment, RunTraceIsDeterministic)
     RunResult b = runTrace("art", ConfigKind::LdisMTRC, 100000);
     EXPECT_EQ(a.l2.misses(), b.l2.misses());
     EXPECT_EQ(a.l2.wocHits, b.l2.wocHits);
+}
+
+TEST(Experiment, RunTraceRecordsTiming)
+{
+    RunResult r =
+        runTrace("twolf", ConfigKind::Baseline1MB, 100000);
+    EXPECT_GT(r.wallSeconds, 0.0);
+    EXPECT_GT(r.instPerSec, 0.0);
+}
+
+TEST(Experiment, WriteJsonIncludesCountersAndTiming)
+{
+    RunResult r =
+        runTrace("twolf", ConfigKind::Baseline1MB, 60000);
+    JsonWriter j;
+    writeJson(j, r);
+    const std::string &s = j.str();
+    EXPECT_NE(s.find("\"benchmark\":\"twolf\""), std::string::npos);
+    EXPECT_NE(s.find("\"wall_seconds\":"), std::string::npos);
+    EXPECT_NE(s.find("\"inst_per_sec\":"), std::string::npos);
+    EXPECT_NE(s.find("\"l2\":{"), std::string::npos);
+    EXPECT_NE(s.find("\"l1i\":{"), std::string::npos);
 }
 
 TEST(Experiment, RunIpcFillsResult)

@@ -95,34 +95,10 @@ buildL2(const CliConfig &cli, const ValueProfile &profile)
 }
 
 void
-printJsonReport(const RunResult &r, SecondLevelCache &l2)
+printJsonReport(const RunResult &r)
 {
     JsonWriter j;
-    j.beginObject();
-    j.field("benchmark", r.benchmark);
-    j.field("config", l2.describe());
-    j.field("instructions", r.instructions);
-    j.field("mpki", r.mpki);
-    j.beginObject("l2");
-    j.field("accesses", r.l2.accesses);
-    j.field("loc_hits", r.l2.locHits);
-    j.field("woc_hits", r.l2.wocHits);
-    j.field("hole_misses", r.l2.holeMisses);
-    j.field("line_misses", r.l2.lineMisses);
-    j.field("compulsory_misses", r.l2.compulsoryMisses);
-    j.field("writebacks", r.l2.writebacks);
-    j.endObject();
-    j.beginObject("l1d");
-    j.field("accesses", r.l1d.accesses);
-    j.field("hits", r.l1d.hits);
-    j.field("sector_misses", r.l1d.sectorMisses);
-    j.field("line_misses", r.l1d.lineMisses);
-    j.endObject();
-    j.beginObject("l1i");
-    j.field("accesses", r.l1i.accesses);
-    j.field("misses", r.l1i.misses);
-    j.endObject();
-    j.endObject();
+    writeJson(j, r);
     std::printf("%s\n", j.str().c_str());
 }
 
@@ -133,7 +109,9 @@ printTraceReport(const RunResult &r, SecondLevelCache &l2)
     std::printf("config        %s\n", l2.describe().c_str());
     std::printf("instructions  %llu\n",
                 static_cast<unsigned long long>(r.instructions));
-    std::printf("MPKI          %.3f\n\n", r.mpki);
+    std::printf("MPKI          %.3f\n", r.mpki);
+    std::printf("sim speed     %.2f Minst/s (%.2f s wall)\n\n",
+                r.instPerSec / 1e6, r.wallSeconds);
 
     Table t({"counter", "value"});
     auto row = [&t](const char *k, std::uint64_t v) {
@@ -236,7 +214,7 @@ main(int argc, char **argv)
 
     RunResult r = runTrace(*workload, *l2.cache, cli.instructions);
     if (args.has("json"))
-        printJsonReport(r, *l2.cache);
+        printJsonReport(r);
     else
         printTraceReport(r, *l2.cache);
     return 0;
