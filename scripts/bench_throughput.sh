@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Run the simulator-throughput microbench (bench/micro_throughput)
+# with google-benchmark's JSON reporter and emit a machine-readable
+# BENCH_throughput.json in the repo root.
+#
+#   BUILD=build-rel ./scripts/bench_throughput.sh
+#
+# Knobs (environment):
+#   BUILD     build directory holding bench/micro_throughput (build)
+#   OUT       output JSON path (BENCH_throughput.json)
+#   MIN_TIME  --benchmark_min_time per benchmark, seconds (1)
+#   FILTER    optional --benchmark_filter regex (all benchmarks)
+set -eu
+cd "$(dirname "$0")/.."
+BUILD=${BUILD:-build}
+OUT=${OUT:-BENCH_throughput.json}
+MIN_TIME=${MIN_TIME:-1}
+FILTER=${FILTER:-}
+
+BIN="./$BUILD/bench/micro_throughput"
+if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not built (cmake --build $BUILD)" >&2
+    exit 1
+fi
+
+args=(
+    "--benchmark_out=$OUT"
+    --benchmark_out_format=json
+    "--benchmark_min_time=$MIN_TIME"
+)
+if [ -n "$FILTER" ]; then
+    args+=("--benchmark_filter=$FILTER")
+fi
+
+"$BIN" "${args[@]}"
+echo "wrote $OUT"

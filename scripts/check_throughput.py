@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Gate simulator throughput against a checked-in baseline.
+
+Compares items_per_second of selected benchmarks in a
+google-benchmark JSON report (scripts/bench_throughput.sh output)
+against bench/throughput_baseline.json and fails when any gated
+benchmark regressed by more than the allowed percentage.
+
+Usage:
+    check_throughput.py CURRENT.json BASELINE.json \
+        [--max-regression PCT] [--benchmark NAME ...]
+
+The baseline may be either a full google-benchmark report or a plain
+{"BM_Name": items_per_second, ...} map. Absolute throughput varies
+across machines; the default 25% budget absorbs runner noise, and CI
+exposes the threshold as a workflow input for slower hosts.
+"""
+
+import argparse
+import json
+import sys
+
+
+def items_per_second(doc):
+    """Benchmark-name -> items/s from either accepted schema."""
+    if isinstance(doc, dict) and "benchmarks" in doc:
+        return {
+            b["name"]: float(b["items_per_second"])
+            for b in doc["benchmarks"]
+            if "items_per_second" in b
+        }
+    return {name: float(v) for name, v in doc.items()}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="fresh benchmark JSON report")
+    ap.add_argument("baseline", help="checked-in baseline JSON")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="maximum tolerated items/s drop in percent (default 25)",
+    )
+    ap.add_argument(
+        "--benchmark",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="benchmark(s) to gate (default: BM_DistillCache)",
+    )
+    args = ap.parse_args()
+    gated = args.benchmark or ["BM_DistillCache"]
+
+    with open(args.current) as f:
+        current = items_per_second(json.load(f))
+    with open(args.baseline) as f:
+        baseline = items_per_second(json.load(f))
+
+    failed = False
+    for name in gated:
+        if name not in baseline:
+            print(f"error: {name} missing from baseline")
+            failed = True
+            continue
+        if name not in current:
+            print(f"error: {name} missing from current report")
+            failed = True
+            continue
+        base = baseline[name]
+        cur = current[name]
+        delta = 100.0 * (cur - base) / base
+        verdict = "ok"
+        if delta < -args.max_regression:
+            verdict = f"FAIL (budget {args.max_regression:.0f}%)"
+            failed = True
+        print(
+            f"{name}: {cur / 1e6:.2f}M items/s vs baseline "
+            f"{base / 1e6:.2f}M ({delta:+.1f}%) {verdict}"
+        )
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,7 +44,11 @@ Hierarchy::run(InstCount instructions)
 {
     InstCount target = hierStats.instructions + instructions;
     while (hierStats.instructions < target) {
-        Access a = workload.next();
+        if (batchPos >= batchLen) {
+            batchLen = workload.fill(batch.data(), kBatchSize);
+            batchPos = 0;
+        }
+        const Access &a = batch[batchPos++];
         hierStats.instructions += a.instructions();
         ++hierStats.dataAccesses;
 

@@ -12,6 +12,8 @@
 #define DISTILLSIM_CACHE_HIERARCHY_HH
 
 #include <algorithm>
+#include <array>
+#include <cstddef>
 
 #include "common/random.hh"
 #include "cache/l1i.hh"
@@ -122,6 +124,9 @@ class Hierarchy
     double mpki() const;
 
   private:
+    /** Accesses pulled per Workload::fill call. */
+    static constexpr std::size_t kBatchSize = 256;
+
     Workload &workload;
     SecondLevelCache &l2;
     SectoredL1D l1d;
@@ -129,6 +134,16 @@ class Hierarchy
     CodeWalker walker;
     bool modelISide;
     HierarchyStats hierStats;
+
+    /**
+     * Prefetched slice of the access stream. Unconsumed accesses
+     * carry over between run() calls, so warmup/measure boundaries
+     * fall on exactly the same stream positions as unbatched
+     * next() consumption.
+     */
+    std::array<Access, kBatchSize> batch;
+    std::size_t batchPos = 0;
+    std::size_t batchLen = 0;
 };
 
 } // namespace ldis

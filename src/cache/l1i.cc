@@ -14,10 +14,8 @@ L1ICache::fetchLine(Addr pc)
 {
     ++statsData.accesses;
     LineAddr line = lineAddrOf(pc);
-    if (cache.find(line)) {
-        cache.touch(line);
+    if (cache.findTouch(line))
         return hitLatency;
-    }
     ++statsData.misses;
     L2Result r = l2.access(pc, false, pc, true);
     cache.install(line);

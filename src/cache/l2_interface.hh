@@ -9,9 +9,10 @@
 #ifndef DISTILLSIM_CACHE_L2_INTERFACE_HH
 #define DISTILLSIM_CACHE_L2_INTERFACE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
-#include <unordered_set>
+#include <vector>
 
 #include "common/footprint.hh"
 #include "common/types.hh"
@@ -132,19 +133,70 @@ class SecondLevelCache
 /**
  * Helper shared by all L2 implementations: first-touch tracking for
  * compulsory-miss accounting (Table 2).
+ *
+ * Implemented as a linear-probing table of line addresses rather
+ * than std::unordered_set: the node-based set allocated on every
+ * first touch, which for streaming workloads means an allocation
+ * every few dozen accesses forever. The flat table only allocates
+ * on its rare geometric (4x) growth steps, so steady-state access
+ * paths stay off the heap entirely.
  */
 class CompulsoryTracker
 {
   public:
+    CompulsoryTracker() : slots(kInitialSlots, 0) {}
+
     /** Returns true iff @p line was never seen before (and marks). */
     bool
     firstTouch(LineAddr line)
     {
-        return seen.insert(line).second;
+        // Slot value 0 doubles as "empty"; track line 0 separately.
+        if (line == 0) {
+            if (seenZero)
+                return false;
+            seenZero = true;
+            return true;
+        }
+        std::size_t i = probe(slots, line);
+        if (slots[i] == line)
+            return false;
+        slots[i] = line;
+        ++used;
+        if (2 * used > slots.size())
+            grow();
+        return true;
     }
 
   private:
-    std::unordered_set<LineAddr> seen;
+    static constexpr std::size_t kInitialSlots = std::size_t{1} << 17;
+
+    /** First slot holding @p line or the empty slot to claim. */
+    static std::size_t
+    probe(const std::vector<LineAddr> &table, LineAddr line)
+    {
+        std::size_t mask = table.size() - 1;
+        // Fibonacci-style mix: line addresses are dense and
+        // low-entropy in the high bits.
+        std::uint64_t h = line * 0x9E3779B97F4A7C15ull;
+        std::size_t i = static_cast<std::size_t>(h >> 32) & mask;
+        while (table[i] != 0 && table[i] != line)
+            i = (i + 1) & mask;
+        return i;
+    }
+
+    void
+    grow()
+    {
+        std::vector<LineAddr> bigger(slots.size() * 4, 0);
+        for (LineAddr l : slots)
+            if (l != 0)
+                bigger[probe(bigger, l)] = l;
+        slots.swap(bigger);
+    }
+
+    std::vector<LineAddr> slots;
+    std::size_t used = 0;
+    bool seenZero = false;
 };
 
 } // namespace ldis

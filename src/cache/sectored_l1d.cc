@@ -26,13 +26,14 @@ SectoredL1D::access(Addr addr, bool write, Addr pc)
     LineAddr line = lineAddrOf(addr);
     WordIdx word = wordIdxOf(addr);
 
-    CacheLineState *resident = cache.find(line);
+    // Any resident outcome (word hit or sector miss) promotes the
+    // line, so fold the touch into the lookup scan.
+    CacheLineState *resident = cache.findTouch(line);
     if (resident && resident->validWords.test(word)) {
         ++statsData.hits;
         resident->footprint.set(word);
         if (write)
             resident->dirtyWords.set(word);
-        cache.touch(line);
         return {true, {}, hitLatency};
     }
 
@@ -55,14 +56,13 @@ SectoredL1D::access(Addr addr, bool write, Addr pc)
         resident->footprint.set(word);
         if (write)
             resident->dirtyWords.set(word);
-        cache.touch(line);
     } else {
         // Line miss: allocate, draining the victim's footprint.
         ++statsData.lineMisses;
         res.l2 = l2.access(addr, write, pc, false);
         CacheLineState victim = cache.install(line);
         drainToL2(victim);
-        CacheLineState *fresh = cache.find(line);
+        CacheLineState *fresh = cache.mruLine(line);
         fresh->validWords = res.l2.validWords;
         ldis_assert(fresh->validWords.test(word));
         fresh->footprint.set(word);

@@ -15,26 +15,24 @@ SetAssocCache::SetAssocCache(const CacheGeometry &g)
         ldis_fatal("line size %u is not a power of two", g.lineBytes);
     if (g.ways == 0)
         ldis_fatal("cache must have at least one way");
-    std::uint64_t lines = g.bytes / g.lineBytes;
-    if (lines == 0 || lines % g.ways != 0)
+    std::uint64_t num_lines = g.bytes / g.lineBytes;
+    if (num_lines == 0 || num_lines % g.ways != 0)
         ldis_fatal("capacity %llu B does not divide into %u ways of "
                    "%u B lines",
                    static_cast<unsigned long long>(g.bytes), g.ways,
                    g.lineBytes);
-    std::uint64_t num_sets = lines / g.ways;
+    std::uint64_t num_sets = num_lines / g.ways;
     if (!isPowerOf2(num_sets))
         ldis_fatal("number of sets (%llu) must be a power of two",
                    static_cast<unsigned long long>(num_sets));
 
     setsCount = static_cast<unsigned>(num_sets);
     waysCount = g.ways;
-    sets.resize(setsCount);
-    for (auto &s : sets) {
-        s.lines.resize(waysCount);
-        s.order.resize(waysCount);
-        for (unsigned w = 0; w < waysCount; ++w)
-            s.order[w] = static_cast<std::uint8_t>(w);
-    }
+    lines.resize(static_cast<std::size_t>(setsCount) * waysCount);
+    order.resize(lines.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<std::uint8_t>(i % waysCount);
+    pendingVictim.assign(setsCount, -1);
 }
 
 std::uint64_t
@@ -43,23 +41,17 @@ SetAssocCache::setIndexOf(LineAddr line) const
     return line & (setsCount - 1);
 }
 
-SetAssocCache::Set &
-SetAssocCache::setOf(LineAddr line)
+std::size_t
+SetAssocCache::baseOf(LineAddr line) const
 {
-    return sets[setIndexOf(line)];
-}
-
-const SetAssocCache::Set &
-SetAssocCache::setOf(LineAddr line) const
-{
-    return sets[setIndexOf(line)];
+    return static_cast<std::size_t>(setIndexOf(line)) * waysCount;
 }
 
 int
-SetAssocCache::wayOf(const Set &s, LineAddr line) const
+SetAssocCache::wayOf(std::size_t base, LineAddr line) const
 {
     for (unsigned w = 0; w < waysCount; ++w)
-        if (s.lines[w].valid && s.lines[w].line == line)
+        if (lines[base + w].valid && lines[base + w].line == line)
             return static_cast<int>(w);
     return -1;
 }
@@ -67,27 +59,28 @@ SetAssocCache::wayOf(const Set &s, LineAddr line) const
 CacheLineState *
 SetAssocCache::find(LineAddr line)
 {
-    Set &s = setOf(line);
-    int w = wayOf(s, line);
-    return w < 0 ? nullptr : &s.lines[w];
+    std::size_t base = baseOf(line);
+    int w = wayOf(base, line);
+    return w < 0 ? nullptr : &lines[base + w];
 }
 
 const CacheLineState *
 SetAssocCache::find(LineAddr line) const
 {
-    const Set &s = setOf(line);
-    int w = wayOf(s, line);
-    return w < 0 ? nullptr : &s.lines[w];
+    std::size_t base = baseOf(line);
+    int w = wayOf(base, line);
+    return w < 0 ? nullptr : &lines[base + w];
 }
 
 unsigned
 SetAssocCache::position(LineAddr line) const
 {
-    const Set &s = setOf(line);
-    int w = wayOf(s, line);
+    std::size_t base = baseOf(line);
+    int w = wayOf(base, line);
     ldis_assert(w >= 0);
+    const std::uint8_t *ord = &order[base];
     for (unsigned pos = 0; pos < waysCount; ++pos)
-        if (s.order[pos] == w)
+        if (ord[pos] == w)
             return pos;
     ldis_panic("line present but missing from recency order");
 }
@@ -95,90 +88,135 @@ SetAssocCache::position(LineAddr line) const
 void
 SetAssocCache::touch(LineAddr line)
 {
-    Set &s = setOf(line);
-    int w = wayOf(s, line);
+    std::size_t base = baseOf(line);
+    int w = wayOf(base, line);
     ldis_assert(w >= 0);
-    auto it = std::find(s.order.begin(), s.order.end(),
-                        static_cast<std::uint8_t>(w));
-    ldis_assert(it != s.order.end());
-    s.order.erase(it);
-    s.order.insert(s.order.begin(), static_cast<std::uint8_t>(w));
+    std::uint8_t *ord = &order[base];
+    unsigned pos = 0;
+    while (ord[pos] != w) {
+        ++pos;
+        ldis_assert(pos < waysCount);
+    }
+    // Promote to MRU: shift [0, pos) down one and put w in front.
+    for (; pos > 0; --pos)
+        ord[pos] = ord[pos - 1];
+    ord[0] = static_cast<std::uint8_t>(w);
+}
+
+CacheLineState *
+SetAssocCache::findTouch(LineAddr line, unsigned *pos_before)
+{
+    std::size_t base = baseOf(line);
+    int w = wayOf(base, line);
+    if (w < 0)
+        return nullptr;
+    std::uint8_t *ord = &order[base];
+    unsigned pos = 0;
+    while (ord[pos] != w) {
+        ++pos;
+        ldis_assert(pos < waysCount);
+    }
+    if (pos_before)
+        *pos_before = pos;
+    for (; pos > 0; --pos)
+        ord[pos] = ord[pos - 1];
+    ord[0] = static_cast<std::uint8_t>(w);
+    return &lines[base + w];
+}
+
+CacheLineState *
+SetAssocCache::mruLine(LineAddr line)
+{
+    std::size_t base = baseOf(line);
+    CacheLineState &l = lines[base + order[base]];
+    ldis_assert(l.valid && l.line == line);
+    return &l;
 }
 
 const CacheLineState *
 SetAssocCache::peekVictim(LineAddr line)
 {
-    Set &s = setOf(line);
+    std::size_t base = baseOf(line);
     for (unsigned w = 0; w < waysCount; ++w)
-        if (!s.lines[w].valid)
+        if (!lines[base + w].valid)
             return nullptr;
     if (geom.repl == ReplPolicy::LRU)
-        return &s.lines[s.order.back()];
+        return &lines[base + order[base + waysCount - 1]];
     // Random policy: draw the victim now and memoize it so the next
     // install() in this set evicts the same way observers saw.
-    if (s.pendingVictim < 0)
-        s.pendingVictim = static_cast<int>(rng.below(waysCount));
-    return &s.lines[s.pendingVictim];
+    std::int16_t &pending = pendingVictim[setIndexOf(line)];
+    if (pending < 0)
+        pending = static_cast<std::int16_t>(rng.below(waysCount));
+    return &lines[base + pending];
 }
 
 CacheLineState
 SetAssocCache::install(LineAddr line)
 {
-    Set &s = setOf(line);
-    ldis_assert(wayOf(s, line) < 0);
+    std::size_t base = baseOf(line);
+    ldis_assert(wayOf(base, line) < 0);
 
     // Prefer an invalid way.
     int victim_way = -1;
     for (unsigned w = 0; w < waysCount; ++w) {
-        if (!s.lines[w].valid) {
+        if (!lines[base + w].valid) {
             victim_way = static_cast<int>(w);
             break;
         }
     }
+    std::int16_t &pending = pendingVictim[setIndexOf(line)];
     if (victim_way < 0) {
         if (geom.repl == ReplPolicy::LRU) {
-            victim_way = s.order.back();
-        } else if (s.pendingVictim >= 0) {
-            victim_way = s.pendingVictim;
+            victim_way = order[base + waysCount - 1];
+        } else if (pending >= 0) {
+            victim_way = pending;
         } else {
             victim_way = static_cast<int>(rng.below(waysCount));
         }
     }
-    s.pendingVictim = -1;
+    pending = -1;
 
-    CacheLineState evicted = s.lines[victim_way];
+    CacheLineState evicted = lines[base + victim_way];
     CacheLineState fresh;
     fresh.line = line;
     fresh.valid = true;
-    s.lines[victim_way] = fresh;
+    lines[base + victim_way] = fresh;
 
-    auto it = std::find(s.order.begin(), s.order.end(),
-                        static_cast<std::uint8_t>(victim_way));
-    ldis_assert(it != s.order.end());
-    s.order.erase(it);
-    s.order.insert(s.order.begin(),
-                   static_cast<std::uint8_t>(victim_way));
+    // Promote the filled way to MRU.
+    std::uint8_t *ord = &order[base];
+    unsigned pos = 0;
+    while (ord[pos] != victim_way) {
+        ++pos;
+        ldis_assert(pos < waysCount);
+    }
+    for (; pos > 0; --pos)
+        ord[pos] = ord[pos - 1];
+    ord[0] = static_cast<std::uint8_t>(victim_way);
     return evicted;
 }
 
 CacheLineState
 SetAssocCache::invalidate(LineAddr line)
 {
-    Set &s = setOf(line);
-    int w = wayOf(s, line);
+    std::size_t base = baseOf(line);
+    int w = wayOf(base, line);
     if (w < 0)
         return CacheLineState{};
-    CacheLineState prior = s.lines[w];
-    s.lines[w] = CacheLineState{};
+    CacheLineState prior = lines[base + w];
+    lines[base + w] = CacheLineState{};
     // The set now has a free way, so any memoized random victim is
     // stale (install() will fill the free way instead).
-    s.pendingVictim = -1;
+    pendingVictim[setIndexOf(line)] = -1;
     // Demote the invalidated way to LRU so it is reused first.
-    auto it = std::find(s.order.begin(), s.order.end(),
-                        static_cast<std::uint8_t>(w));
-    ldis_assert(it != s.order.end());
-    s.order.erase(it);
-    s.order.push_back(static_cast<std::uint8_t>(w));
+    std::uint8_t *ord = &order[base];
+    unsigned pos = 0;
+    while (ord[pos] != w) {
+        ++pos;
+        ldis_assert(pos < waysCount);
+    }
+    for (; pos + 1 < waysCount; ++pos)
+        ord[pos] = ord[pos + 1];
+    ord[waysCount - 1] = static_cast<std::uint8_t>(w);
     return prior;
 }
 
@@ -186,10 +224,9 @@ std::uint64_t
 SetAssocCache::validCount() const
 {
     std::uint64_t n = 0;
-    for (const auto &s : sets)
-        for (const auto &l : s.lines)
-            if (l.valid)
-                ++n;
+    for (const CacheLineState &l : lines)
+        if (l.valid)
+            ++n;
     return n;
 }
 

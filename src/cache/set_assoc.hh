@@ -12,6 +12,7 @@
 #ifndef DISTILLSIM_CACHE_SET_ASSOC_HH
 #define DISTILLSIM_CACHE_SET_ASSOC_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -111,6 +112,22 @@ class SetAssocCache
     void touch(LineAddr line);
 
     /**
+     * find() + touch() in one set scan: promote @p line to MRU and
+     * return its state, or nullptr (and no side effect) on a miss.
+     * If @p pos_before is non-null it receives the recency position
+     * the line held before the promotion.
+     */
+    CacheLineState *findTouch(LineAddr line,
+                              unsigned *pos_before = nullptr);
+
+    /**
+     * The MRU line of @p line's set. Intended to retrieve the frame
+     * just filled by install(@p line) without a second tag scan;
+     * panics if the MRU way does not hold @p line.
+     */
+    CacheLineState *mruLine(LineAddr line);
+
+    /**
      * The line that install() would evict for @p line (nullptr if a
      * free way exists). Does not modify state.
      */
@@ -135,37 +152,39 @@ class SetAssocCache
     void
     forEachLine(F &&f) const
     {
-        for (const auto &set : sets)
-            for (const auto &way : set.lines)
-                if (way.valid)
-                    f(way);
+        for (const CacheLineState &l : lines)
+            if (l.valid)
+                f(l);
     }
 
   private:
-    struct Set
-    {
-        std::vector<CacheLineState> lines;
-        /** Way indices ordered MRU (front) to LRU (back). */
-        std::vector<std::uint8_t> order;
-        /**
-         * Random-policy victim drawn by peekVictim() and not yet
-         * consumed by install(); -1 when no draw is pending. Keeps
-         * the way observers saw and the way install() evicts in
-         * agreement.
-         */
-        int pendingVictim = -1;
-    };
+    /**
+     * Storage is flat: way w of set s lives at index s*ways + w of
+     * `lines`, and the set's MRU-to-LRU way ordering occupies the
+     * same slice of `order`. One contiguous block per array keeps a
+     * set's tags and recency stack on as few hardware cache lines as
+     * possible.
+     */
+    std::size_t baseOf(LineAddr line) const;
 
-    Set &setOf(LineAddr line);
-    const Set &setOf(LineAddr line) const;
-
-    /** Index of @p line's way within its set, or -1. */
-    int wayOf(const Set &s, LineAddr line) const;
+    /** Index of @p line's way within its set's slice, or -1. */
+    int wayOf(std::size_t base, LineAddr line) const;
 
     CacheGeometry geom;
     unsigned setsCount;
     unsigned waysCount;
-    std::vector<Set> sets;
+    std::vector<CacheLineState> lines;
+
+    /** Per-set way indices ordered MRU (front) to LRU (back). */
+    std::vector<std::uint8_t> order;
+
+    /**
+     * Per-set random-policy victim drawn by peekVictim() and not yet
+     * consumed by install(); -1 when no draw is pending. Keeps the
+     * way observers saw and the way install() evicts in agreement.
+     */
+    std::vector<std::int16_t> pendingVictim;
+
     Random rng;
 };
 

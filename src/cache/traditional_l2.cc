@@ -75,12 +75,11 @@ TraditionalL2::access(Addr addr, bool write, Addr /*pc*/, bool instr)
         deliver = mask;
     }
 
-    if (CacheLineState *hit = cache.find(line)) {
-        unsigned pos = cache.position(line);
+    unsigned pos = 0;
+    if (CacheLineState *hit = cache.findTouch(line, &pos)) {
         noteFootprintTouch(*hit, word, pos);
         if (write)
             hit->dirty = true;
-        cache.touch(line);
         ++statsData.locHits;
         L2Result res{L2Outcome::LocHit, deliver, latency.hit};
         if (hit->prefetched) {
@@ -98,7 +97,7 @@ TraditionalL2::access(Addr addr, bool write, Addr /*pc*/, bool instr)
     CacheLineState victim = cache.install(line);
     noteEviction(victim);
 
-    CacheLineState *fresh = cache.find(line);
+    CacheLineState *fresh = cache.mruLine(line);
     fresh->instr = instr;
     fresh->footprint.set(word);
     fresh->dirty = write;
@@ -171,7 +170,7 @@ TraditionalL2::prefetch(LineAddr line)
         return false;
     CacheLineState victim = cache.install(line);
     noteEviction(victim);
-    CacheLineState *fresh = cache.find(line);
+    CacheLineState *fresh = cache.mruLine(line);
     fresh->validWords = Footprint::full();
     fresh->prefetched = true;
     return true;

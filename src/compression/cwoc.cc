@@ -7,52 +7,30 @@ namespace ldis
 {
 
 CompressedWocSet::CompressedWocSet(unsigned num_entries)
-    : entries(num_entries)
+    : entryCount(num_entries)
 {
     ldis_assert(num_entries > 0);
     ldis_assert(num_entries % kWordsPerLine == 0);
+    ldis_assert(num_entries <= kMaxEntries);
 }
 
-int
-CompressedWocSet::headOf(LineAddr line) const
+WocEvicted
+CompressedWocSet::takeGroup(unsigned head)
 {
-    for (unsigned i = 0; i < entries.size(); ++i)
-        if (entries[i].valid && entries[i].head &&
-            entries[i].line == line)
-            return static_cast<int>(i);
-    return -1;
-}
-
-Footprint
-CompressedWocSet::wordsOf(LineAddr line) const
-{
-    int h = headOf(line);
-    return h < 0 ? Footprint{} : entries[h].words;
-}
-
-Footprint
-CompressedWocSet::dirtyWordsOf(LineAddr line) const
-{
-    int h = headOf(line);
-    return h < 0 ? Footprint{} : entries[h].dirty;
-}
-
-void
-CompressedWocSet::evictGroup(unsigned head,
-                             std::vector<WocEvicted> &out)
-{
-    CWocEntry &h = entries[head];
-    ldis_assert(h.valid && h.head);
+    ldis_assert(((validMask >> head) & 1u) &&
+                ((headMask >> head) & 1u));
     WocEvicted ev;
-    ev.line = h.line;
-    ev.words = h.words;
-    ev.dirty = h.dirty;
-    unsigned slots = h.slots;
-    for (unsigned i = head; i < head + slots; ++i) {
-        ldis_assert(entries[i].valid && entries[i].line == ev.line);
-        entries[i] = CWocEntry{};
-    }
-    out.push_back(ev);
+    ev.line = lineAt[head];
+    ev.words = wordsAt[head];
+    ev.dirty = dirtyAt[head];
+    unsigned slots = slotsAt[head];
+    std::uint64_t span = (slots >= 64)
+        ? ~0ull
+        : (((1ull << slots) - 1) << head);
+    ldis_assert((validMask & span) == span);
+    validMask &= ~span;
+    headMask &= ~span;
+    return ev;
 }
 
 void
@@ -66,59 +44,55 @@ CompressedWocSet::install(LineAddr line, Footprint used,
     ldis_assert((dirty & used) == dirty);
     ldis_assert(slots >= 1 && slots <= kWordsPerLine);
     ldis_assert(isPowerOf2(slots));
-    ldis_assert(slots <= entries.size());
+    ldis_assert(slots <= entryCount);
 
-    std::vector<unsigned> free_starts;
-    std::vector<unsigned> eligible;
-    for (unsigned s = 0; s + slots <= entries.size(); s += slots) {
-        const CWocEntry &first = entries[s];
-        if (!first.valid || first.head) {
-            bool all_free = true;
-            for (unsigned i = s; i < s + slots; ++i)
-                if (entries[i].valid)
-                    all_free = false;
-            if (all_free)
-                free_starts.push_back(s);
+    std::uint8_t free_starts[kMaxEntries];
+    std::uint8_t eligible[kMaxEntries];
+    unsigned n_free = 0;
+    unsigned n_elig = 0;
+    std::uint64_t window = (slots >= 64) ? ~0ull
+                                         : ((1ull << slots) - 1);
+    for (unsigned s = 0; s + slots <= entryCount; s += slots) {
+        bool first_valid = (validMask >> s) & 1u;
+        bool first_head = (headMask >> s) & 1u;
+        if (!first_valid || first_head) {
+            if (((validMask >> s) & window) == 0)
+                free_starts[n_free++] =
+                    static_cast<std::uint8_t>(s);
             else
-                eligible.push_back(s);
+                eligible[n_elig++] = static_cast<std::uint8_t>(s);
         }
     }
 
     unsigned start;
-    if (!free_starts.empty()) {
-        start = free_starts[rng.below(free_starts.size())];
+    if (n_free > 0) {
+        start = free_starts[rng.below(n_free)];
     } else {
-        ldis_assert(!eligible.empty());
-        start = eligible[rng.below(eligible.size())];
+        ldis_assert(n_elig > 0);
+        start = eligible[rng.below(n_elig)];
     }
 
     for (unsigned i = start; i < start + slots; ++i) {
-        if (!entries[i].valid)
+        if (!((validMask >> i) & 1u))
             continue;
         unsigned h = i;
-        while (!entries[h].head) {
+        while (!((headMask >> h) & 1u)) {
             ldis_assert(h > 0);
             --h;
         }
-        evictGroup(h, evicted_out);
+        evicted_out.push_back(takeGroup(h));
     }
 
-    CWocEntry &head = entries[start];
-    head.valid = true;
-    head.head = true;
-    head.line = line;
-    head.words = used;
-    head.dirty = dirty;
-    head.slots = static_cast<std::uint8_t>(slots);
-    for (unsigned i = start + 1; i < start + slots; ++i) {
-        CWocEntry &e = entries[i];
-        e.valid = true;
-        e.head = false;
-        e.line = line;
-        e.words = Footprint{};
-        e.dirty = Footprint{};
-        e.slots = 0;
-    }
+    std::uint64_t span = (slots >= 64)
+        ? ~0ull
+        : (((1ull << slots) - 1) << start);
+    validMask |= span;
+    headMask |= 1ull << start;
+    for (unsigned i = start; i < start + slots; ++i)
+        lineAt[i] = line;
+    wordsAt[start] = used;
+    dirtyAt[start] = dirty;
+    slotsAt[start] = static_cast<std::uint8_t>(slots);
 }
 
 WocEvicted
@@ -129,10 +103,7 @@ CompressedWocSet::invalidateLine(LineAddr line)
     int h = headOf(line);
     if (h < 0)
         return ev;
-    std::vector<WocEvicted> tmp;
-    evictGroup(static_cast<unsigned>(h), tmp);
-    ldis_assert(tmp.size() == 1);
-    return tmp.front();
+    return takeGroup(static_cast<unsigned>(h));
 }
 
 void
@@ -141,69 +112,60 @@ CompressedWocSet::markDirty(LineAddr line, Footprint words)
     int h = headOf(line);
     if (h < 0)
         return;
-    entries[h].dirty |= (words & entries[h].words);
+    dirtyAt[h] |= (words & wordsAt[h]);
 }
 
 void
 CompressedWocSet::flush(std::vector<WocEvicted> &evicted_out)
 {
-    for (unsigned i = 0; i < entries.size(); ++i)
-        if (entries[i].valid && entries[i].head)
-            evictGroup(i, evicted_out);
+    while (headMask != 0) {
+        unsigned h =
+            static_cast<unsigned>(std::countr_zero(headMask));
+        evicted_out.push_back(takeGroup(h));
+    }
     ldis_assert(validEntryCount() == 0);
-}
-
-unsigned
-CompressedWocSet::validEntryCount() const
-{
-    unsigned n = 0;
-    for (const CWocEntry &e : entries)
-        if (e.valid)
-            ++n;
-    return n;
-}
-
-unsigned
-CompressedWocSet::lineCount() const
-{
-    unsigned n = 0;
-    for (const CWocEntry &e : entries)
-        if (e.valid && e.head)
-            ++n;
-    return n;
 }
 
 bool
 CompressedWocSet::checkIntegrity() const
 {
-    std::vector<LineAddr> seen;
+    std::uint64_t in_range = entryCount >= 64
+        ? ~0ull
+        : ((1ull << entryCount) - 1);
+    if ((validMask & ~in_range) || (headMask & ~validMask))
+        return false;
+
+    LineAddr seen[kMaxEntries];
+    unsigned n_seen = 0;
     unsigned i = 0;
-    while (i < entries.size()) {
-        if (!entries[i].valid) {
+    while (i < entryCount) {
+        if (!((validMask >> i) & 1u)) {
             ++i;
             continue;
         }
-        const CWocEntry &h = entries[i];
-        if (!h.head || h.slots == 0 || !isPowerOf2(h.slots))
+        if (!((headMask >> i) & 1u))
             return false;
-        if (i % h.slots != 0)
+        unsigned slots = slotsAt[i];
+        if (slots == 0 || !isPowerOf2(slots))
             return false;
-        if (h.words.empty())
+        if (i % slots != 0)
             return false;
-        if (!((h.dirty & h.words) == h.dirty))
+        if (wordsAt[i].empty())
             return false;
-        for (unsigned k = i + 1; k < i + h.slots; ++k) {
-            if (k >= entries.size())
+        if (!((dirtyAt[i] & wordsAt[i]) == dirtyAt[i]))
+            return false;
+        for (unsigned k = i + 1; k < i + slots; ++k) {
+            if (k >= entryCount)
                 return false;
-            if (!entries[k].valid || entries[k].head ||
-                entries[k].line != h.line)
+            if (!((validMask >> k) & 1u) ||
+                ((headMask >> k) & 1u) || lineAt[k] != lineAt[i])
                 return false;
         }
-        for (LineAddr l : seen)
-            if (l == h.line)
+        for (unsigned s = 0; s < n_seen; ++s)
+            if (seen[s] == lineAt[i])
                 return false;
-        seen.push_back(h.line);
-        i += h.slots;
+        seen[n_seen++] = lineAt[i];
+        i += slots;
     }
     return true;
 }

@@ -8,11 +8,18 @@
  * and dirty masks and the group's slot count (the paper: "the
  * tag-entries in WOC are modified to support both compressed and
  * uncompressed lines").
+ *
+ * Representation mirrors WocSet: valid/head flags live in two 64-bit
+ * occupancy masks and the per-entry payload is stored in inline
+ * arrays, so lookups walk the head bits and nothing on the install /
+ * invalidate path touches the heap.
  */
 
 #ifndef DISTILLSIM_COMPRESSION_CWOC_HH
 #define DISTILLSIM_COMPRESSION_CWOC_HH
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -41,18 +48,31 @@ struct CWocEntry
 class CompressedWocSet
 {
   public:
+    /** Same single-mask bound as WocSet. */
+    static constexpr unsigned kMaxEntries = WocSet::kMaxEntries;
+
     explicit CompressedWocSet(unsigned num_entries);
 
     /** Words of @p line represented here (empty if absent). */
-    Footprint wordsOf(LineAddr line) const;
+    Footprint
+    wordsOf(LineAddr line) const
+    {
+        int h = headOf(line);
+        return h < 0 ? Footprint{} : wordsAt[h];
+    }
 
     /** Dirty words of @p line. */
-    Footprint dirtyWordsOf(LineAddr line) const;
+    Footprint
+    dirtyWordsOf(LineAddr line) const
+    {
+        int h = headOf(line);
+        return h < 0 ? Footprint{} : dirtyAt[h];
+    }
 
     bool
     linePresent(LineAddr line) const
     {
-        return !wordsOf(line).empty();
+        return headOf(line) >= 0;
     }
 
     /**
@@ -73,24 +93,69 @@ class CompressedWocSet
     /** Evict everything. */
     void flush(std::vector<WocEvicted> &evicted_out);
 
-    unsigned numEntries() const
+    unsigned numEntries() const { return entryCount; }
+
+    unsigned
+    validEntryCount() const
     {
-        return static_cast<unsigned>(entries.size());
+        return static_cast<unsigned>(std::popcount(validMask));
     }
 
-    unsigned validEntryCount() const;
-    unsigned lineCount() const;
-    const CWocEntry &entry(unsigned i) const { return entries[i]; }
+    unsigned
+    lineCount() const
+    {
+        return static_cast<unsigned>(std::popcount(headMask));
+    }
+
+    /** Read-only entry view (tests, integrity checks). */
+    CWocEntry
+    entry(unsigned i) const
+    {
+        CWocEntry e;
+        e.valid = (validMask >> i) & 1u;
+        e.head = (headMask >> i) & 1u;
+        if (e.valid)
+            e.line = lineAt[i];
+        if (e.head) {
+            e.words = wordsAt[i];
+            e.dirty = dirtyAt[i];
+            e.slots = slotsAt[i];
+        }
+        return e;
+    }
 
     /** Structural invariants (group shape, alignment, uniqueness). */
     bool checkIntegrity() const;
 
   private:
-    int headOf(LineAddr line) const;
-    void evictGroup(unsigned head,
-                    std::vector<WocEvicted> &evicted_out);
+    /** Entry index of @p line's head, or -1 if absent. */
+    int
+    headOf(LineAddr line) const
+    {
+        for (std::uint64_t m = headMask; m != 0; m &= m - 1) {
+            unsigned h = static_cast<unsigned>(std::countr_zero(m));
+            if (lineAt[h] == line)
+                return static_cast<int>(h);
+        }
+        return -1;
+    }
 
-    std::vector<CWocEntry> entries;
+    /** Build the WocEvicted for the group at @p head and clear it. */
+    WocEvicted takeGroup(unsigned head);
+
+    unsigned entryCount;
+
+    /** Bit i set = entry i valid / group head. */
+    std::uint64_t validMask = 0;
+    std::uint64_t headMask = 0;
+
+    /** Owning line of each valid entry. */
+    std::array<LineAddr, kMaxEntries> lineAt{};
+
+    // Head-only payload, indexed by the head entry.
+    std::array<Footprint, kMaxEntries> wordsAt{};
+    std::array<Footprint, kMaxEntries> dirtyAt{};
+    std::array<std::uint8_t, kMaxEntries> slotsAt{};
 };
 
 } // namespace ldis

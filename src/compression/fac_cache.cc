@@ -15,6 +15,9 @@ FacCache::FacCache(const DistillParams &params,
     : prm(params), values(vals), encoderKind(encoder),
       rng(params.seed), mtFilter(params.medianEpoch)
 {
+    if (prm.totalWays == 0 || prm.totalWays > kMaxWays)
+        ldis_fatal("FAC cache: totalWays (%u) must be in [1, %u]",
+                   prm.totalWays, kMaxWays);
     if (prm.wocWays == 0 || prm.wocWays >= prm.totalWays)
         ldis_fatal("FAC cache: wocWays (%u) must be in "
                    "[1, totalWays)", prm.wocWays);
@@ -30,7 +33,10 @@ FacCache::FacCache(const DistillParams &params,
     unsigned woc_entries = prm.wocWays * kWordsPerLine;
     sets.reserve(setsCount);
     for (unsigned i = 0; i < setsCount; ++i)
-        sets.emplace_back(prm.totalWays, woc_entries);
+        sets.emplace_back(woc_entries);
+    // Worst case per WOC install is one eviction per entry slot;
+    // reserving once keeps the eviction paths allocation-free.
+    scratchEvicted.reserve(woc_entries);
 
     if (prm.useReverter) {
         CacheGeometry atd_geom;
@@ -67,33 +73,26 @@ FacCache::activeWays(const FSet &s) const
     return s.distillMode ? locWays() : prm.totalWays;
 }
 
-CacheLineState *
-FacCache::findFrame(FSet &s, LineAddr line)
+int
+FacCache::findFrame(const FSet &s, LineAddr line) const
 {
-    for (auto &f : s.frames)
-        if (f.valid && f.line == line)
-            return &f;
-    return nullptr;
-}
-
-unsigned
-FacCache::frameIndexOf(const FSet &s, LineAddr line) const
-{
-    for (unsigned i = 0; i < s.frames.size(); ++i)
+    for (unsigned i = 0; i < prm.totalWays; ++i)
         if (s.frames[i].valid && s.frames[i].line == line)
-            return i;
-    ldis_panic("FacCache::frameIndexOf: line not resident");
+            return static_cast<int>(i);
+    return -1;
 }
 
 void
 FacCache::touchFrame(FSet &s, unsigned frame_idx)
 {
-    auto it = std::find(s.order.begin(), s.order.end(),
-                        static_cast<std::uint8_t>(frame_idx));
-    ldis_assert(it != s.order.end());
-    s.order.erase(it);
-    s.order.insert(s.order.begin(),
-                   static_cast<std::uint8_t>(frame_idx));
+    unsigned pos = 0;
+    while (s.order[pos] != frame_idx) {
+        ++pos;
+        ldis_assert(pos < prm.totalWays);
+    }
+    for (; pos > 0; --pos)
+        s.order[pos] = s.order[pos - 1];
+    s.order[0] = static_cast<std::uint8_t>(frame_idx);
 }
 
 unsigned
@@ -167,9 +166,9 @@ FacCache::installLine(FSet &s, LineAddr line, bool instr)
         }
     }
     if (victim_frame < 0) {
-        for (auto it = s.order.rbegin(); it != s.order.rend(); ++it) {
-            if (*it < active) {
-                victim_frame = *it;
+        for (unsigned i = prm.totalWays; i-- > 0;) {
+            if (s.order[i] < active) {
+                victim_frame = s.order[i];
                 break;
             }
         }
@@ -199,7 +198,7 @@ FacCache::transition(FSet &s, bool distill)
         s.distillMode = false;
     } else {
         s.distillMode = true;
-        for (unsigned i = locWays(); i < s.frames.size(); ++i) {
+        for (unsigned i = locWays(); i < prm.totalWays; ++i) {
             if (s.frames[i].valid) {
                 handleLocEviction(s, s.frames[i]);
                 s.frames[i] = CacheLineState{};
@@ -231,15 +230,23 @@ FacCache::access(Addr addr, bool write, Addr /*pc*/, bool instr)
 
     L2Result res;
 
-    if (CacheLineState *frame = findFrame(s, line)) {
+    // One frame scan and (on a frame miss) one WOC head walk decide
+    // all four outcomes; a resident WOC line always has a non-empty
+    // footprint, so `present` doubles as the presence test.
+    int fi = findFrame(s, line);
+    Footprint present;
+    if (fi < 0 && s.distillMode)
+        present = s.woc.wordsOf(line);
+
+    if (fi >= 0) {
+        CacheLineState *frame = &s.frames[fi];
         frame->footprint.set(word);
         if (write)
             frame->dirtyWords.set(word);
-        touchFrame(s, frameIndexOf(s, line));
+        touchFrame(s, static_cast<unsigned>(fi));
         ++statsData.locHits;
         res = {L2Outcome::LocHit, Footprint::full(), prm.hitLatency};
-    } else if (s.distillMode && s.woc.linePresent(line)) {
-        Footprint present = s.woc.wordsOf(line);
+    } else if (!present.empty()) {
         if (present.test(word)) {
             if (write)
                 s.woc.markDirty(line, Footprint(
@@ -283,13 +290,14 @@ FacCache::l1dEviction(LineAddr line, Footprint used,
                       Footprint dirty_words)
 {
     FSet &s = sets[setIndexOf(line)];
-    if (CacheLineState *frame = findFrame(s, line)) {
-        frame->footprint |= used;
-        frame->dirtyWords |= dirty_words;
+    if (int fi = findFrame(s, line); fi >= 0) {
+        s.frames[fi].footprint |= used;
+        s.frames[fi].dirtyWords |= dirty_words;
         return;
     }
-    if (s.distillMode && s.woc.linePresent(line)) {
-        Footprint present = s.woc.wordsOf(line);
+    Footprint present =
+        s.distillMode ? s.woc.wordsOf(line) : Footprint{};
+    if (!present.empty()) {
         Footprint in_woc = dirty_words & present;
         s.woc.markDirty(line, in_woc);
         if (!(dirty_words == in_woc))
@@ -317,12 +325,13 @@ FacCache::checkIntegrity() const
         if (!s.distillMode && s.woc.validEntryCount() != 0)
             return false;
         if (s.distillMode) {
-            for (unsigned f = locWays(); f < s.frames.size(); ++f)
+            for (unsigned f = locWays(); f < prm.totalWays; ++f)
                 if (s.frames[f].valid)
                     return false;
         }
-        for (const auto &f : s.frames)
-            if (f.valid && s.woc.linePresent(f.line))
+        for (unsigned f = 0; f < prm.totalWays; ++f)
+            if (s.frames[f].valid &&
+                s.woc.linePresent(s.frames[f].line))
                 return false;
     }
     return true;

@@ -10,6 +10,7 @@
 #ifndef DISTILLSIM_COMPRESSION_FAC_CACHE_HH
 #define DISTILLSIM_COMPRESSION_FAC_CACHE_HH
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -74,28 +75,31 @@ class FacCache : public SecondLevelCache
     /** Structural invariants across all sets. */
     bool checkIntegrity() const;
 
+  public:
+    /** Same inline-frame bound as DistillCache. */
+    static constexpr unsigned kMaxWays = DistillCache::kMaxWays;
+
   private:
     struct FSet
     {
-        std::vector<CacheLineState> frames;
-        std::vector<std::uint8_t> order;
+        std::array<CacheLineState, kMaxWays> frames{};
+        std::array<std::uint8_t, kMaxWays> order{};
         CompressedWocSet woc;
         bool distillMode = true;
 
-        FSet(unsigned total_ways, unsigned woc_entries)
-            : frames(total_ways), order(total_ways),
-              woc(woc_entries)
+        explicit FSet(unsigned woc_entries) : woc(woc_entries)
         {
-            for (unsigned i = 0; i < total_ways; ++i)
+            for (unsigned i = 0; i < kMaxWays; ++i)
                 order[i] = static_cast<std::uint8_t>(i);
         }
     };
 
     std::uint64_t setIndexOf(LineAddr line) const;
     unsigned activeWays(const FSet &s) const;
-    CacheLineState *findFrame(FSet &s, LineAddr line);
+
+    /** Frame index of @p line within its set, or -1 on miss. */
+    int findFrame(const FSet &s, LineAddr line) const;
     void touchFrame(FSet &s, unsigned frame_idx);
-    unsigned frameIndexOf(const FSet &s, LineAddr line) const;
     CacheLineState &installLine(FSet &s, LineAddr line, bool instr);
     void handleLocEviction(FSet &s, const CacheLineState &victim);
     void accountWocEvictions(const std::vector<WocEvicted> &evs);

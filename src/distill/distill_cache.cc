@@ -1,6 +1,5 @@
 #include "distill_cache.hh"
 
-#include <algorithm>
 #include <cstdio>
 #include <limits>
 
@@ -18,6 +17,9 @@ DistillCache::DistillCache(const DistillParams &params)
                params.fixedThreshold != 0 ? params.fixedThreshold
                                           : kWordsPerLine)
 {
+    if (prm.totalWays == 0 || prm.totalWays > kMaxWays)
+        ldis_fatal("distill cache: totalWays (%u) must be in [1, %u]",
+                   prm.totalWays, kMaxWays);
     if (prm.wocWays == 0 || prm.wocWays >= prm.totalWays)
         ldis_fatal("distill cache: wocWays (%u) must be in "
                    "[1, totalWays)", prm.wocWays);
@@ -33,8 +35,10 @@ DistillCache::DistillCache(const DistillParams &params)
     unsigned woc_entries = prm.wocWays * kWordsPerLine;
     sets.reserve(setsCount);
     for (unsigned i = 0; i < setsCount; ++i)
-        sets.emplace_back(prm.totalWays, woc_entries,
-                          prm.wocVictim);
+        sets.emplace_back(woc_entries, prm.wocVictim);
+    // Worst case per WOC install is one eviction per entry slot;
+    // reserving once keeps the eviction paths allocation-free.
+    scratchEvicted.reserve(woc_entries);
 
     if (prm.useReverter) {
         CacheGeometry atd_geom;
@@ -77,33 +81,26 @@ DistillCache::activeWays(const DSet &s) const
     return s.distillMode ? locWays() : prm.totalWays;
 }
 
-CacheLineState *
-DistillCache::findFrame(DSet &s, LineAddr line)
+int
+DistillCache::findFrame(const DSet &s, LineAddr line) const
 {
-    for (auto &f : s.frames)
-        if (f.valid && f.line == line)
-            return &f;
-    return nullptr;
-}
-
-unsigned
-DistillCache::frameIndexOf(const DSet &s, LineAddr line) const
-{
-    for (unsigned i = 0; i < s.frames.size(); ++i)
+    for (unsigned i = 0; i < prm.totalWays; ++i)
         if (s.frames[i].valid && s.frames[i].line == line)
-            return i;
-    ldis_panic("frameIndexOf: line not resident");
+            return static_cast<int>(i);
+    return -1;
 }
 
 void
 DistillCache::touchFrame(DSet &s, unsigned frame_idx)
 {
-    auto it = std::find(s.order.begin(), s.order.end(),
-                        static_cast<std::uint8_t>(frame_idx));
-    ldis_assert(it != s.order.end());
-    s.order.erase(it);
-    s.order.insert(s.order.begin(),
-                   static_cast<std::uint8_t>(frame_idx));
+    unsigned pos = 0;
+    while (s.order[pos] != frame_idx) {
+        ++pos;
+        ldis_assert(pos < prm.totalWays);
+    }
+    for (; pos > 0; --pos)
+        s.order[pos] = s.order[pos - 1];
+    s.order[0] = static_cast<std::uint8_t>(frame_idx);
 }
 
 void
@@ -175,9 +172,9 @@ DistillCache::installLine(DSet &s, LineAddr line, bool instr)
     if (victim_frame < 0) {
         // LRU among active frames: scan the order list from the LRU
         // end for the first active frame.
-        for (auto it = s.order.rbegin(); it != s.order.rend(); ++it) {
-            if (*it < active) {
-                victim_frame = *it;
+        for (unsigned i = prm.totalWays; i-- > 0;) {
+            if (s.order[i] < active) {
+                victim_frame = s.order[i];
                 break;
             }
         }
@@ -211,7 +208,7 @@ DistillCache::transition(DSet &s, bool distill)
         // Traditional -> distill: lines in the extension frames are
         // squeezed out through the normal distillation path.
         s.distillMode = true;
-        for (unsigned i = locWays(); i < s.frames.size(); ++i) {
+        for (unsigned i = locWays(); i < prm.totalWays; ++i) {
             if (s.frames[i].valid) {
                 handleLocEviction(s, s.frames[i]);
                 s.frames[i] = CacheLineState{};
@@ -243,20 +240,28 @@ DistillCache::access(Addr addr, bool write, Addr /*pc*/, bool instr)
 
     L2Result res;
 
-    if (CacheLineState *frame = findFrame(s, line)) {
+    // One frame scan and (on a frame miss) one WOC head walk decide
+    // all four outcomes; a resident WOC line always has a non-empty
+    // footprint, so `present` doubles as the presence test.
+    int fi = findFrame(s, line);
+    Footprint present;
+    if (fi < 0 && s.distillMode)
+        present = s.woc.wordsOf(line);
+
+    if (fi >= 0) {
         // LOC hit (or traditional-mode hit).
+        CacheLineState *frame = &s.frames[fi];
         frame->footprint.set(word);
         if (write)
             frame->dirtyWords.set(word);
-        touchFrame(s, frameIndexOf(s, line));
+        touchFrame(s, static_cast<unsigned>(fi));
         ++statsData.locHits;
         res = {L2Outcome::LocHit, Footprint::full(), prm.hitLatency};
         if (frame->prefetched) {
             frame->prefetched = false;
             res.promotedPrefetch = true;
         }
-    } else if (s.distillMode && s.woc.linePresent(line)) {
-        Footprint present = s.woc.wordsOf(line);
+    } else if (!present.empty()) {
         if (present.test(word)) {
             // WOC hit: deliver the resident words (plus their valid
             // bits) after the rearrangement delay.
@@ -308,7 +313,7 @@ DistillCache::prefetch(LineAddr line)
     std::uint64_t set_index = setIndexOf(line);
     DSet &s = sets[set_index];
     syncMode(s, set_index);
-    if (findFrame(s, line))
+    if (findFrame(s, line) >= 0)
         return false;
     if (s.distillMode && s.woc.linePresent(line))
         return false;
@@ -325,13 +330,14 @@ DistillCache::l1dEviction(LineAddr line, Footprint used,
                           Footprint dirty_words)
 {
     DSet &s = setOf(line);
-    if (CacheLineState *frame = findFrame(s, line)) {
-        frame->footprint |= used;
-        frame->dirtyWords |= dirty_words;
+    if (int fi = findFrame(s, line); fi >= 0) {
+        s.frames[fi].footprint |= used;
+        s.frames[fi].dirtyWords |= dirty_words;
         return;
     }
-    if (s.distillMode && s.woc.linePresent(line)) {
-        Footprint present = s.woc.wordsOf(line);
+    Footprint present =
+        s.distillMode ? s.woc.wordsOf(line) : Footprint{};
+    if (!present.empty()) {
         Footprint in_woc = dirty_words & present;
         s.woc.markDirty(line, in_woc);
         // Dirty words whose WOC slots were filtered away go straight
@@ -371,13 +377,14 @@ DistillCache::checkIntegrity() const
             return false;
         // Distill-mode sets must not use the extension frames.
         if (s.distillMode) {
-            for (unsigned f = locWays(); f < s.frames.size(); ++f)
+            for (unsigned f = locWays(); f < prm.totalWays; ++f)
                 if (s.frames[f].valid)
                     return false;
         }
         // No line in both a frame and the WOC.
-        for (const auto &f : s.frames)
-            if (f.valid && s.woc.linePresent(f.line))
+        for (unsigned f = 0; f < prm.totalWays; ++f)
+            if (s.frames[f].valid &&
+                s.woc.linePresent(s.frames[f].line))
                 return false;
     }
     return true;

@@ -21,6 +21,7 @@
 #ifndef DISTILLSIM_DISTILL_DISTILL_CACHE_HH
 #define DISTILLSIM_DISTILL_DISTILL_CACHE_HH
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -136,27 +137,34 @@ class DistillCache : public SecondLevelCache
      */
     bool checkIntegrity() const;
 
+  public:
+    /**
+     * Upper bound on totalWays: line frames and the recency order
+     * are fixed inline arrays so a whole set (frames + order + WOC
+     * masks) is one contiguous block. Every paper configuration uses
+     * 8 total ways.
+     */
+    static constexpr unsigned kMaxWays = 8;
+
   private:
     struct DSet
     {
         /** Line frames: [0, locWays) = LOC, rest = traditional
          *  extension used only when LDIS is disabled. */
-        std::vector<CacheLineState> frames;
+        std::array<CacheLineState, kMaxWays> frames{};
 
         /** Frame indices ordered MRU (front) to LRU (back). */
-        std::vector<std::uint8_t> order;
+        std::array<std::uint8_t, kMaxWays> order{};
 
         WocSet woc;
 
         /** Operating mode; leaders are always true. */
         bool distillMode = true;
 
-        DSet(unsigned total_ways, unsigned woc_entries,
-             WocVictim policy)
-            : frames(total_ways), order(total_ways),
-              woc(woc_entries, policy)
+        DSet(unsigned woc_entries, WocVictim policy)
+            : woc(woc_entries, policy)
         {
-            for (unsigned i = 0; i < total_ways; ++i)
+            for (unsigned i = 0; i < kMaxWays; ++i)
                 order[i] = static_cast<std::uint8_t>(i);
         }
     };
@@ -167,14 +175,11 @@ class DistillCache : public SecondLevelCache
     /** Number of line frames usable in the set's current mode. */
     unsigned activeWays(const DSet &s) const;
 
-    /** Frame of @p line, or nullptr. */
-    CacheLineState *findFrame(DSet &s, LineAddr line);
+    /** Frame index of @p line within its set, or -1 on miss. */
+    int findFrame(const DSet &s, LineAddr line) const;
 
     /** Promote @p frame_idx to MRU. */
     void touchFrame(DSet &s, unsigned frame_idx);
-
-    /** Index of @p line's frame; panics if absent. */
-    unsigned frameIndexOf(const DSet &s, LineAddr line) const;
 
     /**
      * Install @p line into a line frame, evicting (and possibly

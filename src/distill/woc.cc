@@ -7,19 +7,23 @@ namespace ldis
 {
 
 WocSet::WocSet(unsigned num_entries, WocVictim policy)
-    : entries(num_entries), victimPolicy(policy)
+    : entryCount(num_entries), victimPolicy(policy)
 {
     ldis_assert(num_entries > 0);
     ldis_assert(num_entries % kWordsPerLine == 0);
+    ldis_assert(num_entries <= kMaxEntries);
 }
 
 Footprint
 WocSet::wordsOf(LineAddr line) const
 {
     Footprint fp;
-    for (const WocEntry &e : entries)
-        if (e.valid && e.line == line)
-            fp.set(e.wordId);
+    int h = headOf(line);
+    if (h < 0)
+        return fp;
+    unsigned end = groupEnd(static_cast<unsigned>(h));
+    for (unsigned i = static_cast<unsigned>(h); i < end; ++i)
+        fp.set(wordAt[i]);
     return fp;
 }
 
@@ -27,23 +31,30 @@ Footprint
 WocSet::dirtyWordsOf(LineAddr line) const
 {
     Footprint fp;
-    for (const WocEntry &e : entries)
-        if (e.valid && e.dirty && e.line == line)
-            fp.set(e.wordId);
+    int h = headOf(line);
+    if (h < 0)
+        return fp;
+    unsigned end = groupEnd(static_cast<unsigned>(h));
+    for (unsigned i = static_cast<unsigned>(h); i < end; ++i)
+        if ((dirtyMask >> i) & 1u)
+            fp.set(wordAt[i]);
     return fp;
 }
 
 unsigned
 WocSet::groupEnd(unsigned head) const
 {
-    ldis_assert(entries[head].valid && entries[head].head);
-    unsigned end = head + 1;
-    while (end < entries.size() && entries[end].valid &&
-           !entries[end].head && entries[end].line ==
-               entries[head].line) {
-        ++end;
-    }
-    return end;
+    ldis_assert(((validMask >> head) & 1u) &&
+                ((headMask >> head) & 1u));
+    // Group members are the run of valid non-head entries directly
+    // after the head (any later group starts with its own head bit).
+    std::uint64_t members = validMask & ~headMask;
+    unsigned run = head + 1 >= kMaxEntries
+        ? 0
+        : static_cast<unsigned>(std::countr_one(members >>
+                                                (head + 1)));
+    unsigned end = head + 1 + run;
+    return end < entryCount ? end : entryCount;
 }
 
 void
@@ -51,14 +62,41 @@ WocSet::evictGroup(unsigned head, std::vector<WocEvicted> &out)
 {
     unsigned end = groupEnd(head);
     WocEvicted ev;
-    ev.line = entries[head].line;
+    ev.line = lineAt[head];
     for (unsigned i = head; i < end; ++i) {
-        ev.words.set(entries[i].wordId);
-        if (entries[i].dirty)
-            ev.dirty.set(entries[i].wordId);
-        entries[i] = WocEntry{};
+        ev.words.set(wordAt[i]);
+        if ((dirtyMask >> i) & 1u)
+            ev.dirty.set(wordAt[i]);
     }
+    std::uint64_t span = (end - head >= 64)
+        ? ~0ull
+        : (((1ull << (end - head)) - 1) << head);
+    validMask &= ~span;
+    headMask &= ~span;
+    dirtyMask &= ~span;
     out.push_back(ev);
+}
+
+unsigned
+WocSet::pickRoundRobin(const std::uint8_t *starts, unsigned n,
+                       unsigned group)
+{
+    ldis_assert(n > 0);
+    // Advance over aligned slot positions: take the first candidate
+    // at or after the cursor (aligned down to the group size),
+    // wrapping to the lowest candidate. This cycles fairly over slot
+    // positions regardless of how the candidate list shrinks or
+    // grows between installs.
+    unsigned base = (rrCursor % entryCount) / group * group;
+    unsigned chosen = starts[0];
+    for (unsigned i = 0; i < n; ++i) {
+        if (starts[i] >= base) {
+            chosen = starts[i];
+            break;
+        }
+    }
+    rrCursor = chosen + group;
+    return chosen;
 }
 
 void
@@ -72,39 +110,42 @@ WocSet::install(LineAddr line, Footprint used, Footprint dirty,
     unsigned count = used.count();
     unsigned group = static_cast<unsigned>(nextPow2(count));
     ldis_assert(group <= kWordsPerLine);
-    ldis_assert(group <= entries.size());
+    ldis_assert(group <= entryCount);
 
     // Gather eligible start positions: aligned, and either invalid or
     // the head of an existing group. Prefer fully free positions so
-    // nothing is evicted needlessly.
-    std::vector<unsigned> free_starts;
-    std::vector<unsigned> eligible;
-    for (unsigned s = 0; s + group <= entries.size(); s += group) {
-        const WocEntry &first = entries[s];
-        if (!first.valid || first.head) {
-            bool all_free = true;
-            for (unsigned i = s; i < s + group; ++i)
-                if (entries[i].valid)
-                    all_free = false;
-            if (all_free)
-                free_starts.push_back(s);
+    // nothing is evicted needlessly. The candidate lists live on the
+    // stack — a set has at most kMaxEntries slots.
+    std::uint8_t free_starts[kMaxEntries];
+    std::uint8_t eligible[kMaxEntries];
+    unsigned n_free = 0;
+    unsigned n_elig = 0;
+    std::uint64_t window = (group >= 64) ? ~0ull
+                                         : ((1ull << group) - 1);
+    for (unsigned s = 0; s + group <= entryCount; s += group) {
+        bool first_valid = (validMask >> s) & 1u;
+        bool first_head = (headMask >> s) & 1u;
+        if (!first_valid || first_head) {
+            if (((validMask >> s) & window) == 0)
+                free_starts[n_free++] =
+                    static_cast<std::uint8_t>(s);
             else
-                eligible.push_back(s);
+                eligible[n_elig++] = static_cast<std::uint8_t>(s);
         }
     }
 
     unsigned start;
-    if (!free_starts.empty()) {
+    if (n_free > 0) {
         start = victimPolicy == WocVictim::Random
-            ? free_starts[rng.below(free_starts.size())]
-            : free_starts[rrCursor++ % free_starts.size()];
+            ? free_starts[rng.below(n_free)]
+            : pickRoundRobin(free_starts, n_free, group);
     } else {
         // The first entry of each data way is always invalid or a
         // head, so there is always at least one candidate.
-        ldis_assert(!eligible.empty());
+        ldis_assert(n_elig > 0);
         start = victimPolicy == WocVictim::Random
-            ? eligible[rng.below(eligible.size())]
-            : eligible[rrCursor++ % eligible.size()];
+            ? eligible[rng.below(n_elig)]
+            : pickRoundRobin(eligible, n_elig, group);
     }
 
     // Evict every line overlapping [start, start+group). Any valid
@@ -112,10 +153,10 @@ WocSet::install(LineAddr line, Footprint used, Footprint dirty,
     // range (alignment argument; see design notes), but scan
     // backward for the head to stay robust.
     for (unsigned i = start; i < start + group; ++i) {
-        if (!entries[i].valid)
+        if (!((validMask >> i) & 1u))
             continue;
         unsigned h = i;
-        while (!entries[h].head) {
+        while (!((headMask >> h) & 1u)) {
             ldis_assert(h > 0);
             --h;
         }
@@ -125,17 +166,19 @@ WocSet::install(LineAddr line, Footprint used, Footprint dirty,
     // Place the used words, ascending word index, head bit on the
     // first.
     unsigned slot = start;
-    bool first = true;
-    for (WordIdx w = 0; w < kWordsPerLine; ++w) {
-        if (!used.test(w))
-            continue;
-        WocEntry &e = entries[slot++];
-        e.valid = true;
-        e.head = first;
-        e.line = line;
-        e.wordId = w;
-        e.dirty = dirty.test(w);
-        first = false;
+    std::uint8_t raw = used.raw();
+    while (raw != 0) {
+        WordIdx w = static_cast<WordIdx>(
+            std::countr_zero(static_cast<unsigned>(raw)));
+        raw = static_cast<std::uint8_t>(raw & (raw - 1));
+        validMask |= 1ull << slot;
+        if (slot == start)
+            headMask |= 1ull << slot;
+        if (dirty.test(w))
+            dirtyMask |= 1ull << slot;
+        lineAt[slot] = line;
+        wordAt[slot] = static_cast<std::uint8_t>(w);
+        ++slot;
     }
     ldis_assert(slot - start == count);
 }
@@ -145,67 +188,72 @@ WocSet::invalidateLine(LineAddr line)
 {
     WocEvicted ev;
     ev.line = line;
-    for (WocEntry &e : entries) {
-        if (e.valid && e.line == line) {
-            ev.words.set(e.wordId);
-            if (e.dirty)
-                ev.dirty.set(e.wordId);
-            e = WocEntry{};
-        }
+    int h = headOf(line);
+    if (h < 0)
+        return ev;
+    unsigned head = static_cast<unsigned>(h);
+    unsigned end = groupEnd(head);
+    for (unsigned i = head; i < end; ++i) {
+        ev.words.set(wordAt[i]);
+        if ((dirtyMask >> i) & 1u)
+            ev.dirty.set(wordAt[i]);
     }
+    std::uint64_t span = (end - head >= 64)
+        ? ~0ull
+        : (((1ull << (end - head)) - 1) << head);
+    validMask &= ~span;
+    headMask &= ~span;
+    dirtyMask &= ~span;
     return ev;
 }
 
 void
 WocSet::markDirty(LineAddr line, Footprint words)
 {
-    for (WocEntry &e : entries)
-        if (e.valid && e.line == line && words.test(e.wordId))
-            e.dirty = true;
+    int h = headOf(line);
+    if (h < 0)
+        return;
+    unsigned end = groupEnd(static_cast<unsigned>(h));
+    for (unsigned i = static_cast<unsigned>(h); i < end; ++i)
+        if (words.test(wordAt[i]))
+            dirtyMask |= 1ull << i;
 }
 
 void
 WocSet::flush(std::vector<WocEvicted> &evicted_out)
 {
-    for (unsigned i = 0; i < entries.size(); ++i)
-        if (entries[i].valid && entries[i].head)
-            evictGroup(i, evicted_out);
-    // evictGroup clears whole groups, so nothing valid remains.
+    // Evict groups in ascending head order; evictGroup clears whole
+    // groups, so the mask drains to zero.
+    while (headMask != 0) {
+        unsigned h =
+            static_cast<unsigned>(std::countr_zero(headMask));
+        evictGroup(h, evicted_out);
+    }
     ldis_assert(validEntryCount() == 0);
-}
-
-unsigned
-WocSet::validEntryCount() const
-{
-    unsigned n = 0;
-    for (const WocEntry &e : entries)
-        if (e.valid)
-            ++n;
-    return n;
-}
-
-unsigned
-WocSet::lineCount() const
-{
-    unsigned n = 0;
-    for (const WocEntry &e : entries)
-        if (e.valid && e.head)
-            ++n;
-    return n;
 }
 
 bool
 WocSet::checkIntegrity() const
 {
-    std::vector<LineAddr> seen;
+    // Flag masks must be consistent: heads and dirty bits only on
+    // valid entries, nothing set beyond the entry count.
+    std::uint64_t in_range = entryCount >= 64
+        ? ~0ull
+        : ((1ull << entryCount) - 1);
+    if ((validMask & ~in_range) || (headMask & ~validMask) ||
+        (dirtyMask & ~validMask))
+        return false;
+
+    LineAddr seen[kMaxEntries];
+    unsigned n_seen = 0;
     unsigned i = 0;
-    while (i < entries.size()) {
-        if (!entries[i].valid) {
+    while (i < entryCount) {
+        if (!((validMask >> i) & 1u)) {
             ++i;
             continue;
         }
         // Every valid run must begin with a head entry.
-        if (!entries[i].head)
+        if (!((headMask >> i) & 1u))
             return false;
         unsigned end = groupEnd(i);
         unsigned size = end - i;
@@ -215,16 +263,16 @@ WocSet::checkIntegrity() const
             return false;
         // Word-ids strictly ascending within the group.
         for (unsigned k = i + 1; k < end; ++k) {
-            if (entries[k].line != entries[i].line)
+            if (lineAt[k] != lineAt[i])
                 return false;
-            if (entries[k].wordId <= entries[k - 1].wordId)
+            if (wordAt[k] <= wordAt[k - 1])
                 return false;
         }
         // No duplicate lines in the set.
-        for (LineAddr l : seen)
-            if (l == entries[i].line)
+        for (unsigned s = 0; s < n_seen; ++s)
+            if (seen[s] == lineAt[i])
                 return false;
-        seen.push_back(entries[i].line);
+        seen[n_seen++] = lineAt[i];
         i = end;
     }
     return true;

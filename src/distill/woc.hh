@@ -14,11 +14,19 @@
  *  - evicting any word of a line evicts the whole line;
  *  - the victim start position is chosen randomly among eligible
  *    candidates (footnote 4: random ~ LRU for variable-size groups).
+ *
+ * Representation: the per-entry valid/head/dirty flags live in three
+ * 64-bit occupancy masks (bit i = entry i) and the line address /
+ * word-id arrays are stored inline, so a whole set is one contiguous
+ * block with no heap indirection and lookups are bitmask walks over
+ * the group heads rather than full-entry scans.
  */
 
 #ifndef DISTILLSIM_DISTILL_WOC_HH
 #define DISTILLSIM_DISTILL_WOC_HH
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -64,6 +72,13 @@ class WocSet
 {
   public:
     /**
+     * Upper bound on entries per set: the occupancy masks are single
+     * 64-bit words. wocWays < totalWays <= 8 in every configuration,
+     * so 8 ways * 8 words is never exceeded.
+     */
+    static constexpr unsigned kMaxEntries = 64;
+
+    /**
      * @param num_entries wocWays * kWordsPerLine tag entries
      * @param policy victim selection among eligible start positions
      */
@@ -80,7 +95,7 @@ class WocSet
     bool
     linePresent(LineAddr line) const
     {
-        return !wordsOf(line).empty();
+        return headOf(line) >= 0;
     }
 
     /**
@@ -109,28 +124,56 @@ class WocSet
     /** Evict everything (reverter mode switch). */
     void flush(std::vector<WocEvicted> &evicted_out);
 
-    unsigned numEntries() const
+    unsigned numEntries() const { return entryCount; }
+
+    unsigned
+    validEntryCount() const
     {
-        return static_cast<unsigned>(entries.size());
+        return static_cast<unsigned>(std::popcount(validMask));
     }
 
-    unsigned validEntryCount() const;
-
     /** Number of distinct resident lines. */
-    unsigned lineCount() const;
+    unsigned
+    lineCount() const
+    {
+        return static_cast<unsigned>(std::popcount(headMask));
+    }
 
     /** Read-only entry view (tests, integrity checks). */
-    const WocEntry &entry(unsigned i) const { return entries[i]; }
+    WocEntry
+    entry(unsigned i) const
+    {
+        WocEntry e;
+        e.valid = (validMask >> i) & 1u;
+        e.dirty = (dirtyMask >> i) & 1u;
+        e.head = (headMask >> i) & 1u;
+        e.line = e.valid ? lineAt[i] : 0;
+        e.wordId = e.valid ? wordAt[i] : 0;
+        return e;
+    }
 
     /**
      * Verify structural invariants: heads start groups, group words
      * are contiguous ascending word-ids of one line, groups are
-     * power-of-two aligned, no line appears twice.
+     * power-of-two aligned, no line appears twice, and the flag
+     * masks are mutually consistent.
      * @return true if all invariants hold
      */
     bool checkIntegrity() const;
 
   private:
+    /** Entry index of @p line's head, or -1 if absent. */
+    int
+    headOf(LineAddr line) const
+    {
+        for (std::uint64_t m = headMask; m != 0; m &= m - 1) {
+            unsigned h = static_cast<unsigned>(std::countr_zero(m));
+            if (lineAt[h] == line)
+                return static_cast<int>(h);
+        }
+        return -1;
+    }
+
     /** Extent [head, end) of the group whose head is at @p head. */
     unsigned groupEnd(unsigned head) const;
 
@@ -138,9 +181,30 @@ class WocSet
     void evictGroup(unsigned head,
                     std::vector<WocEvicted> &evicted_out);
 
-    std::vector<WocEntry> entries;
+    /**
+     * Round-robin pick among ascending candidate starts: the first
+     * candidate at or after the cursor's slot position (wrapping).
+     * Advances the cursor past the chosen group.
+     */
+    unsigned pickRoundRobin(const std::uint8_t *starts, unsigned n,
+                            unsigned group);
+
+    unsigned entryCount;
     WocVictim victimPolicy;
-    std::uint64_t rrCursor = 0;
+
+    /** Bit i set = entry i valid / group head / dirty word. */
+    std::uint64_t validMask = 0;
+    std::uint64_t headMask = 0;
+    std::uint64_t dirtyMask = 0;
+
+    /** Owning line of each valid entry. */
+    std::array<LineAddr, kMaxEntries> lineAt{};
+
+    /** Word-id stored in each valid entry. */
+    std::array<std::uint8_t, kMaxEntries> wordAt{};
+
+    /** Slot-position cursor for WocVictim::RoundRobin. */
+    unsigned rrCursor = 0;
 };
 
 } // namespace ldis

@@ -38,17 +38,11 @@ secondsSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
-} // namespace
-
+/** Collect every RunResult field from a finished measured run. */
 RunResult
-runTrace(Workload &workload, SecondLevelCache &l2,
-         InstCount instructions)
+packResult(const Workload &workload, const SecondLevelCache &l2,
+           const Hierarchy &hier, double elapsed)
 {
-    Hierarchy hier(workload, l2);
-    auto start = std::chrono::steady_clock::now();
-    hier.run(instructions);
-    double elapsed = secondsSince(start);
-
     RunResult r;
     r.wallSeconds = elapsed;
     r.instPerSec = elapsed > 0.0
@@ -64,6 +58,18 @@ runTrace(Workload &workload, SecondLevelCache &l2,
     return r;
 }
 
+} // namespace
+
+RunResult
+runTrace(Workload &workload, SecondLevelCache &l2,
+         InstCount instructions)
+{
+    Hierarchy hier(workload, l2);
+    auto start = std::chrono::steady_clock::now();
+    hier.run(instructions);
+    return packResult(workload, l2, hier, secondsSince(start));
+}
+
 RunResult
 runTraceWarm(Workload &workload, SecondLevelCache &l2,
              InstCount warmup_instructions, InstCount instructions)
@@ -73,21 +79,7 @@ runTraceWarm(Workload &workload, SecondLevelCache &l2,
     hier.resetStats();
     auto start = std::chrono::steady_clock::now();
     hier.run(instructions);
-    double elapsed = secondsSince(start);
-
-    RunResult r;
-    r.wallSeconds = elapsed;
-    r.instPerSec = elapsed > 0.0
-        ? static_cast<double>(hier.stats().instructions) / elapsed
-        : 0.0;
-    r.benchmark = workload.name();
-    r.config = l2.describe();
-    r.instructions = hier.stats().instructions;
-    r.mpki = hier.mpki();
-    r.l2 = l2.stats();
-    r.l1d = hier.l1dStats();
-    r.l1i = hier.l1iStats();
-    return r;
+    return packResult(workload, l2, hier, secondsSince(start));
 }
 
 RunResult

@@ -1,5 +1,7 @@
 #include "composite.hh"
 
+#include <algorithm>
+
 #include "common/intmath.hh"
 #include "common/logging.hh"
 
@@ -79,6 +81,22 @@ CompositeWorkload::next()
     if (burstPos >= burst.size())
         refill();
     return burst[burstPos++];
+}
+
+std::size_t
+CompositeWorkload::fill(Access *out, std::size_t max)
+{
+    std::size_t n = 0;
+    while (n < max) {
+        if (burstPos >= burst.size())
+            refill();
+        std::size_t take =
+            std::min(max - n, burst.size() - burstPos);
+        std::copy_n(burst.begin() + burstPos, take, out + n);
+        burstPos += take;
+        n += take;
+    }
+    return n;
 }
 
 void

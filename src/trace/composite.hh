@@ -41,6 +41,7 @@ class CompositeWorkload : public Workload
                       std::uint64_t seed = 1);
 
     Access next() override;
+    std::size_t fill(Access *out, std::size_t max) override;
     void reset() override;
     const CodeModel &codeModel() const override { return code; }
     const ValueProfile &valueProfile() const override { return vals; }

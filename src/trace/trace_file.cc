@@ -1,5 +1,6 @@
 #include "trace_file.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -171,6 +172,30 @@ FileWorkload::next()
         }
     }
     return a;
+}
+
+std::size_t
+FileWorkload::fill(Access *out, std::size_t max)
+{
+    std::size_t n = 0;
+    while (n < max) {
+        std::size_t take =
+            std::min(max - n, records.size() - pos);
+        std::copy_n(records.begin() + pos, take, out + n);
+        pos += take;
+        n += take;
+        if (pos >= records.size()) {
+            pos = 0;
+            ++wrapCount;
+            if (!warnedWrap) {
+                warn("trace '%s' wrapped after %zu records; the run "
+                     "is longer than the recording",
+                     traceName.c_str(), records.size());
+                warnedWrap = true;
+            }
+        }
+    }
+    return n;
 }
 
 void

@@ -60,6 +60,7 @@ class FileWorkload : public Workload
     explicit FileWorkload(const std::string &path);
 
     Access next() override;
+    std::size_t fill(Access *out, std::size_t max) override;
     void reset() override;
     const CodeModel &codeModel() const override { return code; }
     const ValueProfile &valueProfile() const override { return vals; }

@@ -8,6 +8,7 @@
 #ifndef DISTILLSIM_TRACE_WORKLOAD_HH
 #define DISTILLSIM_TRACE_WORKLOAD_HH
 
+#include <cstddef>
 #include <memory>
 #include <string>
 
@@ -25,6 +26,22 @@ class Workload
 
     /** Produce the next access. Never exhausts. */
     virtual Access next() = 0;
+
+    /**
+     * Produce the next @p max accesses of the stream into @p out and
+     * return how many were written (always @p max for this infinite
+     * stream; the count is returned so overrides may stop at internal
+     * boundaries). Semantically identical to @p max calls of next();
+     * generators override it to copy whole bursts and amortize the
+     * per-access virtual call.
+     */
+    virtual std::size_t
+    fill(Access *out, std::size_t max)
+    {
+        for (std::size_t n = 0; n < max; ++n)
+            out[n] = next();
+        return max;
+    }
 
     /** Restart the stream from its initial state (same seed). */
     virtual void reset() = 0;

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Steady-state allocation audit: after warmup, the DistillCache
+ * simulation path must not touch the heap at all. A counting global
+ * operator new/delete pair measures a 1M-instruction measured run
+ * driven through the full Hierarchy; the access stream is
+ * pre-generated so the only code under audit is the cache machinery
+ * itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "sim/configs.hh"
+#include "trace/benchmarks.hh"
+
+namespace
+{
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace ldis
+{
+namespace
+{
+
+/** Replays a pre-generated access vector, allocation-free. */
+class ReplayWorkload : public Workload
+{
+  public:
+    ReplayWorkload(std::vector<Access> accesses, CodeModel code,
+                   ValueProfile values)
+        : accesses(std::move(accesses)), code(code), values(values)
+    {
+    }
+
+    Access
+    next() override
+    {
+        Access a = accesses[pos];
+        if (++pos >= accesses.size())
+            pos = 0;
+        return a;
+    }
+
+    std::size_t
+    fill(Access *out, std::size_t max) override
+    {
+        for (std::size_t n = 0; n < max; ++n)
+            out[n] = next();
+        return max;
+    }
+
+    void reset() override { pos = 0; }
+    const CodeModel &codeModel() const override { return code; }
+    const ValueProfile &valueProfile() const override
+    {
+        return values;
+    }
+    const std::string &name() const override { return traceName; }
+
+  private:
+    std::vector<Access> accesses;
+    std::size_t pos = 0;
+    CodeModel code;
+    ValueProfile values;
+    std::string traceName = "replay";
+};
+
+/** Instructions covered by @p accesses starting at index 0. */
+ldis::InstCount
+pregenerate(Workload &src, std::vector<Access> &out,
+            InstCount target)
+{
+    InstCount covered = 0;
+    while (covered < target) {
+        out.push_back(src.next());
+        covered += out.back().instructions();
+    }
+    return covered;
+}
+
+TEST(AllocFree, DistillCacheSteadyStateDoesNotAllocate)
+{
+    constexpr InstCount kWarmup = 1'000'000;
+    constexpr InstCount kMeasure = 1'000'000;
+
+    auto src = makeBenchmark("mcf", 42);
+    std::vector<Access> stream;
+    pregenerate(*src, stream, kWarmup + kMeasure + 10'000);
+
+    ReplayWorkload workload(std::move(stream), src->codeModel(),
+                            src->valueProfile());
+    L2Instance l2 = makeConfig(ConfigKind::LdisMTRC,
+                               workload.valueProfile());
+    Hierarchy hier(workload, *l2.cache);
+
+    // Warmup fills the caches, grows the reusable scratch buffers to
+    // their high-water mark, and primes the batch buffer.
+    hier.run(kWarmup);
+
+    std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    hier.run(kMeasure);
+    std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+
+    EXPECT_EQ(after - before, 0u)
+        << "steady-state DistillCache path allocated "
+        << (after - before) << " times over " << kMeasure
+        << " instructions";
+
+    // Sanity: the run actually simulated work.
+    EXPECT_GE(hier.stats().instructions, kWarmup + kMeasure);
+    EXPECT_GT(l2.cache->stats().accesses, 0u);
+}
+
+TEST(AllocFree, TraditionalBaselineSteadyStateDoesNotAllocate)
+{
+    constexpr InstCount kWarmup = 500'000;
+    constexpr InstCount kMeasure = 500'000;
+
+    auto src = makeBenchmark("art", 7);
+    std::vector<Access> stream;
+    pregenerate(*src, stream, kWarmup + kMeasure + 10'000);
+
+    ReplayWorkload workload(std::move(stream), src->codeModel(),
+                            src->valueProfile());
+    L2Instance l2 = makeConfig(ConfigKind::Baseline1MB,
+                               workload.valueProfile());
+    Hierarchy hier(workload, *l2.cache);
+
+    hier.run(kWarmup);
+
+    std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+    hier.run(kMeasure);
+    std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+
+    EXPECT_EQ(after - before, 0u);
+}
+
+} // namespace
+} // namespace ldis

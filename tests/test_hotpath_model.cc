@@ -1,0 +1,513 @@
+/**
+ * @file
+ * Property tests pitting the optimized hot-path structures against
+ * simple scan-based reference models (the pre-optimization logic,
+ * kept here verbatim in spirit). Both sides consume identical access
+ * streams and identical RNG draw sequences, so victims, footprints
+ * and recency positions must agree at every step.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cache/set_assoc.hh"
+#include "common/intmath.hh"
+#include "distill/woc.hh"
+
+namespace ldis
+{
+namespace
+{
+
+// ------------------------------------------------------------------
+// Reference set-associative cache: per-set vectors, std::find-based
+// LRU update — the original SetAssocCache implementation.
+// ------------------------------------------------------------------
+
+class RefCache
+{
+  public:
+    explicit RefCache(const CacheGeometry &g)
+        : geom(g), rng(g.seed)
+    {
+        setsCount =
+            static_cast<unsigned>(g.bytes / g.lineBytes / g.ways);
+        waysCount = g.ways;
+        sets.resize(setsCount);
+        for (auto &s : sets) {
+            s.lines.resize(waysCount);
+            s.order.resize(waysCount);
+            for (unsigned w = 0; w < waysCount; ++w)
+                s.order[w] = static_cast<std::uint8_t>(w);
+        }
+    }
+
+    CacheLineState *
+    find(LineAddr line)
+    {
+        Set &s = setOf(line);
+        int w = wayOf(s, line);
+        return w < 0 ? nullptr : &s.lines[w];
+    }
+
+    unsigned
+    position(LineAddr line)
+    {
+        Set &s = setOf(line);
+        int w = wayOf(s, line);
+        EXPECT_GE(w, 0);
+        for (unsigned pos = 0; pos < waysCount; ++pos)
+            if (s.order[pos] == w)
+                return pos;
+        return waysCount;
+    }
+
+    void
+    touch(LineAddr line)
+    {
+        Set &s = setOf(line);
+        int w = wayOf(s, line);
+        auto it = std::find(s.order.begin(), s.order.end(),
+                            static_cast<std::uint8_t>(w));
+        s.order.erase(it);
+        s.order.insert(s.order.begin(),
+                       static_cast<std::uint8_t>(w));
+    }
+
+    const CacheLineState *
+    peekVictim(LineAddr line)
+    {
+        Set &s = setOf(line);
+        for (unsigned w = 0; w < waysCount; ++w)
+            if (!s.lines[w].valid)
+                return nullptr;
+        if (geom.repl == ReplPolicy::LRU)
+            return &s.lines[s.order.back()];
+        if (s.pendingVictim < 0)
+            s.pendingVictim = static_cast<int>(rng.below(waysCount));
+        return &s.lines[s.pendingVictim];
+    }
+
+    CacheLineState
+    install(LineAddr line)
+    {
+        Set &s = setOf(line);
+        int victim_way = -1;
+        for (unsigned w = 0; w < waysCount; ++w) {
+            if (!s.lines[w].valid) {
+                victim_way = static_cast<int>(w);
+                break;
+            }
+        }
+        if (victim_way < 0) {
+            if (geom.repl == ReplPolicy::LRU) {
+                victim_way = s.order.back();
+            } else if (s.pendingVictim >= 0) {
+                victim_way = s.pendingVictim;
+            } else {
+                victim_way = static_cast<int>(rng.below(waysCount));
+            }
+        }
+        s.pendingVictim = -1;
+
+        CacheLineState evicted = s.lines[victim_way];
+        CacheLineState fresh;
+        fresh.line = line;
+        fresh.valid = true;
+        s.lines[victim_way] = fresh;
+
+        auto it = std::find(s.order.begin(), s.order.end(),
+                            static_cast<std::uint8_t>(victim_way));
+        s.order.erase(it);
+        s.order.insert(s.order.begin(),
+                       static_cast<std::uint8_t>(victim_way));
+        return evicted;
+    }
+
+    CacheLineState
+    invalidate(LineAddr line)
+    {
+        Set &s = setOf(line);
+        int w = wayOf(s, line);
+        if (w < 0)
+            return CacheLineState{};
+        CacheLineState prior = s.lines[w];
+        s.lines[w] = CacheLineState{};
+        s.pendingVictim = -1;
+        auto it = std::find(s.order.begin(), s.order.end(),
+                            static_cast<std::uint8_t>(w));
+        s.order.erase(it);
+        s.order.push_back(static_cast<std::uint8_t>(w));
+        return prior;
+    }
+
+    std::uint64_t
+    validCount() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &s : sets)
+            for (const auto &l : s.lines)
+                if (l.valid)
+                    ++n;
+        return n;
+    }
+
+  private:
+    struct Set
+    {
+        std::vector<CacheLineState> lines;
+        std::vector<std::uint8_t> order;
+        int pendingVictim = -1;
+    };
+
+    Set &setOf(LineAddr line) { return sets[line & (setsCount - 1)]; }
+
+    int
+    wayOf(const Set &s, LineAddr line) const
+    {
+        for (unsigned w = 0; w < waysCount; ++w)
+            if (s.lines[w].valid && s.lines[w].line == line)
+                return static_cast<int>(w);
+        return -1;
+    }
+
+    CacheGeometry geom;
+    unsigned setsCount;
+    unsigned waysCount;
+    std::vector<Set> sets;
+    Random rng;
+};
+
+class SetAssocModelTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, int>>
+{
+};
+
+TEST_P(SetAssocModelTest, MatchesReferenceModel)
+{
+    const unsigned seed = std::get<0>(GetParam());
+    const bool random_repl = std::get<1>(GetParam()) != 0;
+
+    CacheGeometry g;
+    g.ways = 4;
+    g.bytes = 8ull * g.ways * kLineBytes; // 8 sets
+    g.repl = random_repl ? ReplPolicy::Random : ReplPolicy::LRU;
+    g.seed = 1000 + seed;
+
+    SetAssocCache opt(g);
+    RefCache ref(g);
+    Random op(seed * 2654435761u + 1);
+
+    for (int step = 0; step < 5000; ++step) {
+        LineAddr line = op.below(64);
+        std::uint64_t what = op.below(10);
+        if (what < 5) {
+            // Access: touch on hit, peek + install on miss.
+            CacheLineState *o = opt.find(line);
+            CacheLineState *r = ref.find(line);
+            ASSERT_EQ(o != nullptr, r != nullptr) << step;
+            if (o) {
+                ASSERT_EQ(opt.position(line), ref.position(line))
+                    << step;
+                opt.touch(line);
+                ref.touch(line);
+            } else {
+                const CacheLineState *ov = opt.peekVictim(line);
+                const CacheLineState *rv = ref.peekVictim(line);
+                ASSERT_EQ(ov != nullptr, rv != nullptr) << step;
+                // Copy now: install() reuses the victim's frame.
+                LineAddr peeked = ov ? ov->line : 0;
+                if (ov)
+                    ASSERT_EQ(peeked, rv->line) << step;
+                CacheLineState oe = opt.install(line);
+                CacheLineState re = ref.install(line);
+                ASSERT_EQ(oe.valid, re.valid) << step;
+                if (oe.valid)
+                    ASSERT_EQ(oe.line, re.line) << step;
+                if (ov)
+                    ASSERT_EQ(oe.line, peeked) << step;
+            }
+        } else if (what < 7) {
+            // Install without peeking (if not resident).
+            if (!opt.find(line)) {
+                CacheLineState oe = opt.install(line);
+                CacheLineState re = ref.install(line);
+                ASSERT_EQ(oe.valid, re.valid) << step;
+                if (oe.valid)
+                    ASSERT_EQ(oe.line, re.line) << step;
+            }
+        } else if (what < 9) {
+            // Metadata mutation on a resident line.
+            CacheLineState *o = opt.find(line);
+            CacheLineState *r = ref.find(line);
+            ASSERT_EQ(o != nullptr, r != nullptr) << step;
+            if (o) {
+                WordIdx w = static_cast<WordIdx>(op.below(8));
+                o->footprint.set(w);
+                r->footprint.set(w);
+                o->dirty = r->dirty = true;
+            }
+        } else {
+            CacheLineState oe = opt.invalidate(line);
+            CacheLineState re = ref.invalidate(line);
+            ASSERT_EQ(oe.valid, re.valid) << step;
+            if (oe.valid) {
+                ASSERT_EQ(oe.line, re.line) << step;
+                ASSERT_EQ(oe.dirty, re.dirty) << step;
+                ASSERT_EQ(oe.footprint.raw(),
+                          re.footprint.raw()) << step;
+            }
+        }
+        ASSERT_EQ(opt.validCount(), ref.validCount()) << step;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, SetAssocModelTest,
+    ::testing::Combine(::testing::Range(1u, 7u),
+                       ::testing::Values(0, 1)));
+
+// ------------------------------------------------------------------
+// Reference WOC set: vector of per-entry structs, full-entry scans,
+// heap-allocated candidate lists — the original WocSet logic.
+// ------------------------------------------------------------------
+
+class RefWoc
+{
+  public:
+    explicit RefWoc(unsigned num_entries) : entries(num_entries) {}
+
+    int
+    headOf(LineAddr line) const
+    {
+        for (unsigned i = 0; i < entries.size(); ++i)
+            if (entries[i].valid && entries[i].head &&
+                entries[i].line == line)
+                return static_cast<int>(i);
+        return -1;
+    }
+
+    bool linePresent(LineAddr line) const { return headOf(line) >= 0; }
+
+    unsigned
+    groupEnd(unsigned head) const
+    {
+        unsigned end = head + 1;
+        while (end < entries.size() && entries[end].valid &&
+               !entries[end].head)
+            ++end;
+        return end;
+    }
+
+    Footprint
+    wordsOf(LineAddr line) const
+    {
+        Footprint fp;
+        int h = headOf(line);
+        if (h < 0)
+            return fp;
+        for (unsigned i = h; i < groupEnd(h); ++i)
+            fp.set(entries[i].wordId);
+        return fp;
+    }
+
+    Footprint
+    dirtyWordsOf(LineAddr line) const
+    {
+        Footprint fp;
+        int h = headOf(line);
+        if (h < 0)
+            return fp;
+        for (unsigned i = h; i < groupEnd(h); ++i)
+            if (entries[i].dirty)
+                fp.set(entries[i].wordId);
+        return fp;
+    }
+
+    void
+    evictGroup(unsigned head, std::vector<WocEvicted> &out)
+    {
+        // Snapshot the run end before clearing: groupEnd() reads the
+        // entries being invalidated.
+        unsigned end = groupEnd(head);
+        WocEvicted ev;
+        ev.line = entries[head].line;
+        for (unsigned i = head; i < end; ++i) {
+            ev.words.set(entries[i].wordId);
+            if (entries[i].dirty)
+                ev.dirty.set(entries[i].wordId);
+        }
+        for (unsigned i = head; i < end; ++i)
+            entries[i] = WocEntry{};
+        out.push_back(ev);
+    }
+
+    void
+    install(LineAddr line, Footprint used, Footprint dirty,
+            Random &rng, std::vector<WocEvicted> &evicted_out)
+    {
+        unsigned count = used.count();
+        unsigned group = static_cast<unsigned>(nextPow2(count));
+
+        std::vector<unsigned> free_starts;
+        std::vector<unsigned> eligible;
+        for (unsigned s = 0; s + group <= entries.size();
+             s += group) {
+            const WocEntry &first = entries[s];
+            if (!first.valid || first.head) {
+                bool all_free = true;
+                for (unsigned i = s; i < s + group; ++i)
+                    if (entries[i].valid)
+                        all_free = false;
+                if (all_free)
+                    free_starts.push_back(s);
+                else
+                    eligible.push_back(s);
+            }
+        }
+
+        unsigned start;
+        if (!free_starts.empty())
+            start = free_starts[rng.below(free_starts.size())];
+        else
+            start = eligible[rng.below(eligible.size())];
+
+        for (unsigned i = start; i < start + group; ++i) {
+            if (!entries[i].valid)
+                continue;
+            unsigned h = i;
+            while (!entries[h].head)
+                --h;
+            evictGroup(h, evicted_out);
+        }
+
+        unsigned slot = start;
+        for (WordIdx w = 0; w < kWordsPerLine; ++w) {
+            if (!used.test(w))
+                continue;
+            WocEntry &e = entries[slot];
+            e.valid = true;
+            e.head = (slot == start);
+            e.dirty = dirty.test(w);
+            e.line = line;
+            e.wordId = w;
+            ++slot;
+        }
+    }
+
+    WocEvicted
+    invalidateLine(LineAddr line)
+    {
+        WocEvicted ev;
+        ev.line = line;
+        int h = headOf(line);
+        if (h < 0)
+            return ev;
+        std::vector<WocEvicted> tmp;
+        evictGroup(static_cast<unsigned>(h), tmp);
+        return tmp.front();
+    }
+
+    void
+    markDirty(LineAddr line, Footprint words)
+    {
+        int h = headOf(line);
+        if (h < 0)
+            return;
+        for (unsigned i = h; i < groupEnd(h); ++i)
+            if (words.test(entries[i].wordId))
+                entries[i].dirty = true;
+    }
+
+    unsigned
+    validEntryCount() const
+    {
+        unsigned n = 0;
+        for (const WocEntry &e : entries)
+            if (e.valid)
+                ++n;
+        return n;
+    }
+
+  private:
+    std::vector<WocEntry> entries;
+};
+
+class WocModelTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(WocModelTest, MatchesReferenceModel)
+{
+    const unsigned seed = GetParam();
+    // Identical seeds on both sides: the candidate gathering order
+    // and rng.below() draw sequence must line up exactly.
+    Random opt_rng(seed * 31 + 5);
+    Random ref_rng(seed * 31 + 5);
+    Random op(seed * 7919 + 3);
+
+    WocSet opt(16);
+    RefWoc ref(16);
+    std::vector<WocEvicted> opt_ev;
+    std::vector<WocEvicted> ref_ev;
+
+    for (int step = 0; step < 4000; ++step) {
+        LineAddr line = 500 + op.below(100);
+        std::uint64_t what = op.below(10);
+        if (what < 6) {
+            if (opt.linePresent(line))
+                continue;
+            Footprint used;
+            unsigned count =
+                1 + static_cast<unsigned>(op.below(8));
+            while (used.count() < count)
+                used.set(static_cast<WordIdx>(op.below(8)));
+            Footprint dirty;
+            for (WordIdx w = 0; w < kWordsPerLine; ++w)
+                if (used.test(w) && op.chance(0.25))
+                    dirty.set(w);
+            opt_ev.clear();
+            ref_ev.clear();
+            opt.install(line, used, dirty, opt_rng, opt_ev);
+            ref.install(line, used, dirty, ref_rng, ref_ev);
+
+            ASSERT_EQ(opt_ev.size(), ref_ev.size()) << step;
+            for (std::size_t i = 0; i < opt_ev.size(); ++i) {
+                ASSERT_EQ(opt_ev[i].line, ref_ev[i].line) << step;
+                ASSERT_EQ(opt_ev[i].words, ref_ev[i].words) << step;
+                ASSERT_EQ(opt_ev[i].dirty, ref_ev[i].dirty) << step;
+            }
+        } else if (what < 8) {
+            ASSERT_EQ(opt.linePresent(line), ref.linePresent(line))
+                << step;
+            WocEvicted oe = opt.invalidateLine(line);
+            WocEvicted re = ref.invalidateLine(line);
+            ASSERT_EQ(oe.words, re.words) << step;
+            ASSERT_EQ(oe.dirty, re.dirty) << step;
+        } else {
+            Footprint words;
+            words.set(static_cast<WordIdx>(op.below(8)));
+            opt.markDirty(line, words);
+            ref.markDirty(line, words);
+        }
+
+        // Full-state comparison every step.
+        ASSERT_TRUE(opt.checkIntegrity()) << step;
+        ASSERT_EQ(opt.validEntryCount(), ref.validEntryCount())
+            << step;
+        for (LineAddr l = 500; l < 600; ++l) {
+            ASSERT_EQ(opt.wordsOf(l), ref.wordsOf(l))
+                << "line " << l << " step " << step;
+            ASSERT_EQ(opt.dirtyWordsOf(l), ref.dirtyWordsOf(l))
+                << "line " << l << " step " << step;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WocModelTest,
+                         ::testing::Range(1u, 9u));
+
+} // namespace
+} // namespace ldis

@@ -211,6 +211,48 @@ TEST(WocVictimPolicy, RoundRobinIsDeterministic)
     EXPECT_EQ(run(), run());
 }
 
+TEST(WocVictimPolicy, RoundRobinCyclesOverAlignedSlots)
+{
+    // Regression: the cursor used to index the *candidate list*
+    // (whose size changes between installs), which biased the choice
+    // and was not round-robin over slot positions. The cursor now
+    // advances over aligned slot positions, so with one-entry groups
+    // the victims come out in strict ascending slot order, wrapping.
+    WocSet woc(16, WocVictim::RoundRobin);
+    Random rng(99); // unused by round-robin choice
+    std::vector<WocEvicted> evicted;
+    for (LineAddr l = 0; l < 16; ++l) {
+        woc.install(l, mask({0}), Footprint{}, rng, evicted);
+        ASSERT_TRUE(evicted.empty()) << l;
+    }
+    for (unsigned i = 0; i < 32; ++i) {
+        evicted.clear();
+        woc.install(100 + i, mask({0}), Footprint{}, rng, evicted);
+        ASSERT_EQ(evicted.size(), 1u) << i;
+        LineAddr expect = i < 16 ? i : 100 + (i - 16);
+        EXPECT_EQ(evicted[0].line, expect) << i;
+    }
+}
+
+TEST(WocVictimPolicy, RoundRobinAdvancesByGroupSize)
+{
+    WocSet woc(16, WocVictim::RoundRobin);
+    Random rng(5);
+    std::vector<WocEvicted> evicted;
+    // Eight two-entry groups fill the set in slot order.
+    for (LineAddr l = 0; l < 8; ++l) {
+        woc.install(l, mask({0, 1}), Footprint{}, rng, evicted);
+        ASSERT_TRUE(evicted.empty()) << l;
+    }
+    // Further two-word installs evict slots 0, 2, 4, ... in order.
+    for (unsigned i = 0; i < 8; ++i) {
+        evicted.clear();
+        woc.install(50 + i, mask({2, 3}), Footprint{}, rng, evicted);
+        ASSERT_EQ(evicted.size(), 1u) << i;
+        EXPECT_EQ(evicted[0].line, i) << i;
+    }
+}
+
 TEST(WocVictimPolicy, RoundRobinPreservesInvariants)
 {
     WocSet woc(16, WocVictim::RoundRobin);
