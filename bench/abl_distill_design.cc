@@ -13,6 +13,7 @@
 #include "cache/hierarchy.hh"
 #include "common/table.hh"
 #include "distill/distill_cache.hh"
+#include "sim/replay.hh"
 #include "sim/runner.hh"
 
 using namespace ldis;
@@ -25,11 +26,11 @@ std::size_t
 submit(RunMatrix &matrix, const std::string &name,
        const DistillParams &p, InstCount instructions)
 {
-    return matrix.add(name + "/custom-distill",
-                      [name, p, instructions] {
-        auto workload = makeBenchmark(name);
+    return matrix.addReplay(name, instructions,
+                            name + "/custom-distill",
+                            [p](ReplaySource &src) {
         DistillCache l2(p);
-        return runTrace(*workload, l2, instructions);
+        return src.run(l2);
     });
 }
 
@@ -52,8 +53,8 @@ main()
     RunMatrix matrix;
     std::vector<std::size_t> base_idx;
     for (const char *name : kBenchmarks) {
-        base_idx.push_back(matrix.add(name, ConfigKind::Baseline1MB,
-                                      instructions));
+        base_idx.push_back(matrix.addReplay(
+            name, ConfigKind::Baseline1MB, instructions));
         // A. WOC way-count sweep.
         for (unsigned woc = 1; woc <= 4; ++woc) {
             DistillParams p;

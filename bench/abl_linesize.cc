@@ -27,9 +27,9 @@ main()
     auto names = studiedBenchmarks();
     RunMatrix matrix;
     for (const std::string &name : names) {
-        matrix.add(name, ConfigKind::Baseline1MB, instructions);
-        matrix.add(name, ConfigKind::Trad1MB32B, instructions);
-        matrix.add(name, ConfigKind::LdisMTRC, instructions);
+        matrix.addReplay(name, ConfigKind::Baseline1MB, instructions);
+        matrix.addReplay(name, ConfigKind::Trad1MB32B, instructions);
+        matrix.addReplay(name, ConfigKind::LdisMTRC, instructions);
     }
     const std::vector<RunResult> &results = matrix.run();
 

@@ -14,6 +14,7 @@
 #include "cache/prefetch.hh"
 #include "common/table.hh"
 #include "distill/distill_cache.hh"
+#include "sim/replay.hh"
 #include "sim/runner.hh"
 
 using namespace ldis;
@@ -22,10 +23,8 @@ namespace
 {
 
 RunResult
-runOne(const std::string &name, bool distill, bool prefetch,
-       InstCount instructions)
+runOne(ReplaySource &src, bool distill, bool prefetch)
 {
-    auto workload = makeBenchmark(name);
     std::unique_ptr<SecondLevelCache> l2;
     if (distill) {
         DistillParams p;
@@ -40,7 +39,7 @@ runOne(const std::string &name, bool distill, bool prefetch,
     }
     if (prefetch)
         l2 = std::make_unique<PrefetchingL2>(std::move(l2), 1);
-    return runTrace(*workload, *l2, instructions);
+    return src.run(*l2);
 }
 
 } // namespace
@@ -60,10 +59,11 @@ main()
                 std::string label = name + "/"
                     + (distill ? "ldis" : "trad")
                     + (prefetch ? "+pf" : "");
-                matrix.add(std::move(label),
-                           [name, distill, prefetch, instructions] {
-                    return runOne(name, distill, prefetch,
-                                  instructions);
+                matrix.addReplay(name, instructions,
+                                 std::move(label),
+                                 [distill, prefetch](
+                                     ReplaySource &src) {
+                    return runOne(src, distill, prefetch);
                 });
             }
         }

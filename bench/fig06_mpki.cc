@@ -28,11 +28,13 @@ main()
                                   ConfigKind::LdisMT,
                                   ConfigKind::LdisMTRC};
 
+    // One shared front-end pass per benchmark; the four config
+    // cells replay it (LDIS_REPLAY=0 restores per-cell simulation).
     RunMatrix matrix;
     for (const std::string &name : studiedBenchmarks()) {
-        matrix.add(name, ConfigKind::Baseline1MB, instructions);
+        matrix.addReplay(name, ConfigKind::Baseline1MB, instructions);
         for (ConfigKind kind : configs)
-            matrix.add(name, kind, instructions);
+            matrix.addReplay(name, kind, instructions);
     }
     const std::vector<RunResult> &results = matrix.run();
 

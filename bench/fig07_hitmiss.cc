@@ -38,8 +38,8 @@ main()
 
     RunMatrix matrix;
     for (const std::string &name : studiedBenchmarks()) {
-        matrix.add(name, ConfigKind::Baseline1MB, instructions);
-        matrix.add(name, ConfigKind::LdisMTRC, instructions);
+        matrix.addReplay(name, ConfigKind::Baseline1MB, instructions);
+        matrix.addReplay(name, ConfigKind::LdisMTRC, instructions);
     }
     const std::vector<RunResult> &results = matrix.run();
 

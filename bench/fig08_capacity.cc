@@ -10,7 +10,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace ldis;
 
@@ -27,14 +27,23 @@ main()
                                   ConfigKind::Trad1_5MB,
                                   ConfigKind::Trad2MB};
 
+    RunMatrix matrix;
+    for (const std::string &name : studiedBenchmarks()) {
+        matrix.addReplay(name, ConfigKind::Baseline1MB, instructions);
+        for (ConfigKind kind : configs)
+            matrix.addReplay(name, kind, instructions);
+    }
+    const std::vector<RunResult> &results = matrix.run();
+
     Table t({"name", "base MPKI", "DISTILL-1MB", "TRAD-1.5MB",
              "TRAD-2MB"});
+    std::size_t idx = 0;
     for (const std::string &name : studiedBenchmarks()) {
-        RunResult base = runTrace(name, ConfigKind::Baseline1MB,
-                                  instructions);
+        const RunResult &base = results[idx++];
         std::vector<std::string> row{name, Table::num(base.mpki, 2)};
         for (ConfigKind kind : configs) {
-            RunResult r = runTrace(name, kind, instructions);
+            (void)kind;
+            const RunResult &r = results[idx++];
             row.push_back(Table::num(
                 percentReduction(base.mpki, r.mpki), 1) + "%");
         }
@@ -42,6 +51,7 @@ main()
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("Paper: distill ~ TRAD-1.5MB for facerec/ammp/"
-                "sixtrack; distill > TRAD-2MB for mcf and health.\n");
+                "sixtrack; distill > TRAD-2MB for mcf and health.\n\n");
+    std::printf("%s", matrix.summary().c_str());
     return 0;
 }

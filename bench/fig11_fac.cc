@@ -34,9 +34,9 @@ main()
 
     RunMatrix matrix;
     for (const std::string &name : studiedBenchmarks()) {
-        matrix.add(name, ConfigKind::Baseline1MB, instructions);
+        matrix.addReplay(name, ConfigKind::Baseline1MB, instructions);
         for (ConfigKind kind : configs)
-            matrix.add(name, kind, instructions);
+            matrix.addReplay(name, kind, instructions);
     }
     const std::vector<RunResult> &results = matrix.run();
 

@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 using namespace ldis;
 
@@ -29,16 +29,24 @@ main()
                                   ConfigKind::Sfp64k,
                                   ConfigKind::LdisMTRC};
 
+    RunMatrix matrix;
+    for (const std::string &name : studiedBenchmarks()) {
+        matrix.addReplay(name, ConfigKind::Baseline1MB, instructions);
+        for (ConfigKind kind : configs)
+            matrix.addReplay(name, kind, instructions);
+    }
+    const std::vector<RunResult> &results = matrix.run();
+
     Table t({"name", "base MPKI", "SFP-16k", "SFP-64k", "LDIS"});
     double base_sum = 0.0;
     double cfg_sum[3] = {0.0, 0.0, 0.0};
+    std::size_t idx = 0;
     for (const std::string &name : studiedBenchmarks()) {
-        RunResult base = runTrace(name, ConfigKind::Baseline1MB,
-                                  instructions);
+        const RunResult &base = results[idx++];
         base_sum += base.mpki;
         std::vector<std::string> row{name, Table::num(base.mpki, 2)};
         for (int c = 0; c < 3; ++c) {
-            RunResult r = runTrace(name, configs[c], instructions);
+            const RunResult &r = results[idx++];
             cfg_sum[c] += r.mpki;
             row.push_back(Table::num(
                 percentReduction(base.mpki, r.mpki), 1) + "%");
@@ -54,6 +62,7 @@ main()
                   + "%"});
     std::printf("%s\n", t.render().c_str());
     std::printf("Paper: SFP reduces misses vs baseline but "
-                "significantly less than LDIS.\n");
+                "significantly less than LDIS.\n\n");
+    std::printf("%s", matrix.summary().c_str());
     return 0;
 }

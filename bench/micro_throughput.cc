@@ -12,6 +12,7 @@
 #include "common/random.hh"
 #include "distill/woc.hh"
 #include "sim/experiment.hh"
+#include "sim/replay.hh"
 
 using namespace ldis;
 
@@ -65,6 +66,28 @@ BM_SfpCache(benchmark::State &state)
     runModel(state, ConfigKind::Sfp16k);
 }
 BENCHMARK(BM_SfpCache)->Unit(benchmark::kMillisecond);
+
+void
+BM_L2Replay(benchmark::State &state)
+{
+    // Replay throughput of the generate-once engine: the front end
+    // is recorded once up front; each iteration replays the whole
+    // stream into a fresh distill cache. Items = simulated
+    // instructions, comparable with the direct-model benches above.
+    auto workload = makeBenchmark("mcf");
+    const InstCount chunk = 1'000'000;
+    L2Stream stream = recordStream(*workload, 1, 0, chunk);
+    for (auto _ : state) {
+        L2Instance l2 =
+            makeConfig(ConfigKind::LdisMTRC, stream.values);
+        benchmark::DoNotOptimize(
+            replayStream(stream, *l2.cache).l2.accesses);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(stream.meas.instructions));
+}
+BENCHMARK(BM_L2Replay)->Unit(benchmark::kMillisecond);
 
 void
 BM_OooCore(benchmark::State &state)

@@ -30,7 +30,7 @@ main()
     RunMatrix matrix;
     for (const std::string &name : insensitiveBenchmarks())
         for (ConfigKind kind : configs)
-            matrix.add(name, kind, instructions);
+            matrix.addReplay(name, kind, instructions);
     const std::vector<RunResult> &results = matrix.run();
 
     Table t({"name", "Trad 1MB", "LDIS 1MB", "Trad 2MB", "Trad 4MB",

@@ -19,6 +19,7 @@
 #include "cache/hierarchy.hh"
 #include "cache/traditional_l2.hh"
 #include "common/table.hh"
+#include "sim/replay.hh"
 #include "sim/runner.hh"
 
 using namespace ldis;
@@ -72,15 +73,15 @@ main()
         for (const SizePoint &sp : sizes) {
             unsigned ways = sp.ways;
             double *out = &avg_words[slot++];
-            matrix.add(name + "/" + sp.label,
-                       [name, ways, out, instructions] {
-                auto workload = makeBenchmark(name);
+            matrix.addReplay(name, instructions,
+                             name + "/" + sp.label,
+                             [ways, out](ReplaySource &src) {
                 CacheGeometry g;
                 g.bytes =
                     static_cast<std::uint64_t>(2048) * 64 * ways;
                 g.ways = ways;
                 TraditionalL2 l2(g);
-                RunResult r = runTrace(*workload, l2, instructions);
+                RunResult r = src.run(l2);
                 *out = avgWordsBlended(l2);
                 return r;
             });

@@ -14,6 +14,9 @@ The baseline may be either a full google-benchmark report or a plain
 {"BM_Name": items_per_second, ...} map. Absolute throughput varies
 across machines; the default 25% budget absorbs runner noise, and CI
 exposes the threshold as a workflow input for slower hosts.
+
+All failure modes (missing file, malformed JSON, wrong schema) exit
+with a one-line "error: ..." message rather than a traceback.
 """
 
 import argparse
@@ -21,15 +24,57 @@ import json
 import sys
 
 
-def items_per_second(doc):
+class ReportError(Exception):
+    """A report file could not be loaded or parsed."""
+
+
+def items_per_second(doc, origin):
     """Benchmark-name -> items/s from either accepted schema."""
     if isinstance(doc, dict) and "benchmarks" in doc:
-        return {
-            b["name"]: float(b["items_per_second"])
-            for b in doc["benchmarks"]
-            if "items_per_second" in b
-        }
-    return {name: float(v) for name, v in doc.items()}
+        doc = doc["benchmarks"]
+        if not isinstance(doc, list):
+            raise ReportError(
+                f"{origin}: 'benchmarks' is not a list"
+            )
+        out = {}
+        for b in doc:
+            if not isinstance(b, dict) or "name" not in b:
+                raise ReportError(
+                    f"{origin}: benchmark entry without a name"
+                )
+            if "items_per_second" not in b:
+                continue
+            try:
+                out[b["name"]] = float(b["items_per_second"])
+            except (TypeError, ValueError):
+                raise ReportError(
+                    f"{origin}: non-numeric items_per_second "
+                    f"for {b['name']}"
+                ) from None
+        return out
+    if not isinstance(doc, dict):
+        raise ReportError(
+            f"{origin}: expected a JSON object, got "
+            f"{type(doc).__name__}"
+        )
+    try:
+        return {name: float(v) for name, v in doc.items()}
+    except (TypeError, ValueError):
+        raise ReportError(
+            f"{origin}: values must be numeric items/s"
+        ) from None
+
+
+def load_report(path):
+    """Parse @p path into a name -> items/s map (or ReportError)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        raise ReportError(f"{path}: {e.strerror}") from None
+    except json.JSONDecodeError as e:
+        raise ReportError(f"{path}: invalid JSON ({e})") from None
+    return items_per_second(doc, path)
 
 
 def main():
@@ -48,15 +93,22 @@ def main():
         action="append",
         default=None,
         metavar="NAME",
-        help="benchmark(s) to gate (default: BM_DistillCache)",
+        help="benchmark(s) to gate (default: BM_DistillCache, "
+        "BM_TraditionalL2, BM_FacCache)",
     )
     args = ap.parse_args()
-    gated = args.benchmark or ["BM_DistillCache"]
+    gated = args.benchmark or [
+        "BM_DistillCache",
+        "BM_TraditionalL2",
+        "BM_FacCache",
+    ]
 
-    with open(args.current) as f:
-        current = items_per_second(json.load(f))
-    with open(args.baseline) as f:
-        baseline = items_per_second(json.load(f))
+    try:
+        current = load_report(args.current)
+        baseline = load_report(args.baseline)
+    except ReportError as e:
+        print(f"error: {e}")
+        return 1
 
     failed = False
     for name in gated:
@@ -70,6 +122,10 @@ def main():
             continue
         base = baseline[name]
         cur = current[name]
+        if base <= 0.0:
+            print(f"error: {name} baseline is not positive")
+            failed = True
+            continue
         delta = 100.0 * (cur - base) / base
         verdict = "ok"
         if delta < -args.max_regression:

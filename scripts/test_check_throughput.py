@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/check_throughput.py (stdlib only).
+
+Run directly or via CI:
+
+    python3 scripts/test_check_throughput.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(__file__),
+                      "check_throughput.py")
+
+
+def report(names_to_items):
+    """A minimal google-benchmark JSON report."""
+    return {
+        "benchmarks": [
+            {"name": n, "items_per_second": v}
+            for n, v in names_to_items.items()
+        ]
+    }
+
+
+class CheckThroughputTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def path(self, name, content):
+        p = os.path.join(self.dir.name, name)
+        with open(p, "w") as f:
+            if isinstance(content, str):
+                f.write(content)
+            else:
+                json.dump(content, f)
+        return p
+
+    def run_check(self, current, baseline, *extra):
+        return subprocess.run(
+            [sys.executable, SCRIPT, current, baseline, *extra],
+            capture_output=True,
+            text=True,
+        )
+
+    def test_pass_within_budget(self):
+        cur = self.path("cur.json", report({"BM_DistillCache": 9e6}))
+        base = self.path("base.json", {"BM_DistillCache": 10e6})
+        r = self.run_check(cur, base, "--benchmark",
+                           "BM_DistillCache")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("ok", r.stdout)
+
+    def test_fail_beyond_budget(self):
+        cur = self.path("cur.json", report({"BM_DistillCache": 5e6}))
+        base = self.path("base.json", {"BM_DistillCache": 10e6})
+        r = self.run_check(cur, base, "--benchmark",
+                           "BM_DistillCache")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("FAIL", r.stdout)
+
+    def test_default_gates_three_models(self):
+        vals = {
+            "BM_DistillCache": 1e6,
+            "BM_TraditionalL2": 1e6,
+            "BM_FacCache": 1e6,
+        }
+        cur = self.path("cur.json", report(vals))
+        base = self.path("base.json", vals)
+        r = self.run_check(cur, base)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        for name in vals:
+            self.assertIn(name, r.stdout)
+
+    def test_missing_file_is_one_line_error(self):
+        base = self.path("base.json", {"BM_DistillCache": 10e6})
+        r = self.run_check(os.path.join(self.dir.name, "nope.json"),
+                           base)
+        self.assertEqual(r.returncode, 1)
+        self.assertNotIn("Traceback", r.stdout + r.stderr)
+        self.assertTrue(r.stdout.startswith("error:"), r.stdout)
+
+    def test_invalid_json_is_one_line_error(self):
+        cur = self.path("cur.json", "{not json")
+        base = self.path("base.json", {"BM_DistillCache": 10e6})
+        r = self.run_check(cur, base)
+        self.assertEqual(r.returncode, 1)
+        self.assertNotIn("Traceback", r.stdout + r.stderr)
+        self.assertIn("invalid JSON", r.stdout)
+
+    def test_wrong_schema_is_one_line_error(self):
+        cur = self.path("cur.json", [1, 2, 3])
+        base = self.path("base.json", {"BM_DistillCache": 10e6})
+        r = self.run_check(cur, base)
+        self.assertEqual(r.returncode, 1)
+        self.assertNotIn("Traceback", r.stdout + r.stderr)
+        self.assertIn("expected a JSON object", r.stdout)
+
+    def test_non_numeric_value_is_one_line_error(self):
+        cur = self.path("cur.json", {"BM_DistillCache": "fast"})
+        base = self.path("base.json", {"BM_DistillCache": 10e6})
+        r = self.run_check(cur, base)
+        self.assertEqual(r.returncode, 1)
+        self.assertNotIn("Traceback", r.stdout + r.stderr)
+        self.assertIn("numeric", r.stdout)
+
+    def test_zero_baseline_is_error_not_crash(self):
+        cur = self.path("cur.json", {"BM_DistillCache": 1e6})
+        base = self.path("base.json", {"BM_DistillCache": 0})
+        r = self.run_check(cur, base, "--benchmark",
+                           "BM_DistillCache")
+        self.assertEqual(r.returncode, 1)
+        self.assertNotIn("Traceback", r.stdout + r.stderr)
+        self.assertIn("not positive", r.stdout)
+
+    def test_missing_benchmark_reported(self):
+        cur = self.path("cur.json", {"BM_Other": 1e6})
+        base = self.path("base.json", {"BM_Other": 1e6})
+        r = self.run_check(cur, base, "--benchmark",
+                           "BM_DistillCache")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("missing from baseline", r.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Golden-pair validation of the generate-once replay engine: for
+# every benchmark x config pair, `ldissim --json` must emit identical
+# statistics with and without --replay (timing fields excluded —
+# they measure the host, not the simulation).
+#
+#   ./scripts/verify_replay.sh
+#
+# Knobs (environment):
+#   BUILD              build directory holding tools/ldissim (build)
+#   LDIS_INSTRUCTIONS  run length per pair (2000000)
+#   BENCHMARKS         space-separated proxy names (5 defaults)
+set -eu
+cd "$(dirname "$0")/.."
+BUILD=${BUILD:-build}
+INSTRUCTIONS=${LDIS_INSTRUCTIONS:-2000000}
+BENCHMARKS=${BENCHMARKS:-"art mcf twolf vpr health"}
+CONFIGS="baseline trad-1.5mb trad-2mb trad-4mb trad-32b ldis-base \
+ldis-mt ldis-mt-rc ldis-4xtags cmpr fac sfp-16k sfp-64k"
+
+BIN="./$BUILD/tools/ldissim"
+if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not built (cmake --build $BUILD)" >&2
+    exit 1
+fi
+
+strip_timing() {
+    sed -E 's/"(wall_seconds|inst_per_sec)": *[0-9.eE+-]+,? *//g'
+}
+
+pairs=0
+failures=0
+for bench in $BENCHMARKS; do
+    for config in $CONFIGS; do
+        pairs=$((pairs + 1))
+        direct=$("$BIN" --benchmark "$bench" --config "$config" \
+            --instructions "$INSTRUCTIONS" --json | strip_timing)
+        replay=$("$BIN" --benchmark "$bench" --config "$config" \
+            --instructions "$INSTRUCTIONS" --replay --json \
+            | strip_timing)
+        if [ "$direct" != "$replay" ]; then
+            failures=$((failures + 1))
+            echo "MISMATCH $bench/$config"
+            diff <(echo "$direct" | tr ',' '\n') \
+                 <(echo "$replay" | tr ',' '\n') | head -20 || true
+        else
+            echo "ok $bench/$config"
+        fi
+    done
+done
+
+echo
+if [ "$failures" -ne 0 ]; then
+    echo "verify_replay: $failures of $pairs pairs MISMATCHED"
+    exit 1
+fi
+echo "verify_replay: all $pairs pairs bit-identical"

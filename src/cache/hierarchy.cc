@@ -51,6 +51,8 @@ Hierarchy::run(InstCount instructions)
         const Access &a = batch[batchPos++];
         hierStats.instructions += a.instructions();
         ++hierStats.dataAccesses;
+        if (sink)
+            sink->advance(a.instructions());
 
         if (modelISide) {
             walker.advance(a.instructions(), [this](Addr line_pc) {

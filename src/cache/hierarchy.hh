@@ -123,6 +123,19 @@ class Hierarchy
     /** Misses per kilo-instruction of the backing L2. */
     double mpki() const;
 
+    /**
+     * Attach a front-end event observer to the hierarchy and both
+     * L1s (null to detach). Used by the stream recorder to capture
+     * the L2-visible reference stream (src/sim/replay).
+     */
+    void
+    attachSink(FrontEndSink *s)
+    {
+        sink = s;
+        l1d.setSink(s);
+        l1i.setSink(s);
+    }
+
   private:
     /** Accesses pulled per Workload::fill call. */
     static constexpr std::size_t kBatchSize = 256;
@@ -134,6 +147,7 @@ class Hierarchy
     CodeWalker walker;
     bool modelISide;
     HierarchyStats hierStats;
+    FrontEndSink *sink = nullptr;
 
     /**
      * Prefetched slice of the access stream. Unconsumed accesses

@@ -17,6 +17,8 @@ L1ICache::fetchLine(Addr pc)
     if (cache.findTouch(line))
         return hitLatency;
     ++statsData.misses;
+    if (sink)
+        sink->ifetchMiss(pc);
     L2Result r = l2.access(pc, false, pc, true);
     cache.install(line);
     return hitLatency + r.latency;

@@ -11,6 +11,7 @@
 
 #include "cache/l2_interface.hh"
 #include "cache/set_assoc.hh"
+#include "cache/stream_sink.hh"
 
 namespace ldis
 {
@@ -40,11 +41,15 @@ class L1ICache
     /** Zero the counters (warmup support); contents untouched. */
     void resetStats() { statsData = L1IStats{}; }
 
+    /** Attach a front-end event observer (null to detach). */
+    void setSink(FrontEndSink *s) { sink = s; }
+
   private:
     SetAssocCache cache;
     SecondLevelCache &l2;
     Cycle hitLatency;
     L1IStats statsData;
+    FrontEndSink *sink = nullptr;
 };
 
 } // namespace ldis

@@ -31,6 +31,12 @@ SectoredL1D::access(Addr addr, bool write, Addr pc)
     CacheLineState *resident = cache.findTouch(line);
     if (resident && resident->validWords.test(word)) {
         ++statsData.hits;
+        // The footprint doubles as the "words touched this
+        // residency" set, so a clear bit identifies a first touch —
+        // the only kind of resident access that could have been a
+        // sector miss under an L2 that fills lines partially.
+        if (sink && !resident->footprint.test(word))
+            sink->dataFirstTouch(addr, write, pc);
         resident->footprint.set(word);
         if (write)
             resident->dirtyWords.set(word);
@@ -47,6 +53,8 @@ SectoredL1D::access(Addr addr, bool write, Addr pc)
         // fresh access (hole-miss path if the word is absent there
         // too).
         ++statsData.sectorMisses;
+        if (sink && !resident->footprint.test(word))
+            sink->dataFirstTouch(addr, write, pc);
         res.l2 = l2.access(addr, write, pc, false);
         // Merge the newly delivered words. Fills from LOC/memory are
         // full lines; WOC hits deliver the resident subset, which by
@@ -62,6 +70,8 @@ SectoredL1D::access(Addr addr, bool write, Addr pc)
         res.l2 = l2.access(addr, write, pc, false);
         CacheLineState victim = cache.install(line);
         drainToL2(victim);
+        if (sink)
+            sink->dataLineMiss(addr, write, pc, victim);
         CacheLineState *fresh = cache.mruLine(line);
         fresh->validWords = res.l2.validWords;
         ldis_assert(fresh->validWords.test(word));

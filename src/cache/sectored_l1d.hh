@@ -12,6 +12,7 @@
 
 #include "cache/l2_interface.hh"
 #include "cache/set_assoc.hh"
+#include "cache/stream_sink.hh"
 
 namespace ldis
 {
@@ -67,6 +68,9 @@ class SectoredL1D
     /** Underlying tag array (read-only, for tests). */
     const SetAssocCache &tags() const { return cache; }
 
+    /** Attach a front-end event observer (null to detach). */
+    void setSink(FrontEndSink *s) { sink = s; }
+
   private:
     /** Evict @p victim, draining footprint/dirty info to the L2. */
     void drainToL2(const CacheLineState &victim);
@@ -75,6 +79,7 @@ class SectoredL1D
     SecondLevelCache &l2;
     Cycle hitLatency;
     L1DStats statsData;
+    FrontEndSink *sink = nullptr;
 };
 
 } // namespace ldis

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Observer interface of the hierarchy front end (workload + L1I +
+ * sectored L1D). The stream recorder (src/sim/replay) attaches one
+ * sink while simulating against a full-line-fill backing store and
+ * captures exactly the events from which the L2-visible reference
+ * stream of ANY second-level cache can be reconstructed:
+ *
+ *  - every L1I miss (the fetch reaches the L2 with instr = true),
+ *  - every L1D line miss, together with the victim it evicted — the
+ *    victim's footprint and dirty words are L2-configuration-
+ *    independent, because the L1D sets them on every touch
+ *    regardless of which words the L2 delivered, and
+ *  - every *first touch* of a word within an L1D residency. Only a
+ *    residency's first touch of a word can become a sector miss
+ *    (the L1D validates the word when the L2 answers one), so the
+ *    first-touch sequence is what lets a replay re-derive the
+ *    config-dependent sector misses produced by partial WOC fills.
+ *
+ * The sink pointers default to null and cost the hot paths a single
+ * predictable branch; normal (non-recording) runs are unaffected.
+ */
+
+#ifndef DISTILLSIM_CACHE_STREAM_SINK_HH
+#define DISTILLSIM_CACHE_STREAM_SINK_HH
+
+#include <cstdint>
+
+#include "cache/set_assoc.hh"
+#include "common/types.hh"
+
+namespace ldis
+{
+
+/** Front-end event observer (see file comment). */
+class FrontEndSink
+{
+  public:
+    virtual ~FrontEndSink() = default;
+
+    /**
+     * @p instructions more instructions retired (called once per
+     * consumed workload access, before its L1I/L1D traffic).
+     */
+    virtual void advance(std::uint64_t instructions) = 0;
+
+    /** The L1I missed on the line containing @p pc. */
+    virtual void ifetchMiss(Addr pc) = 0;
+
+    /**
+     * The L1D missed on @p addr's line and installed it, evicting
+     * @p victim (victim.valid == false when a free way was used).
+     * The L2 sees the demand access first, then the eviction
+     * notification for a valid victim.
+     */
+    virtual void dataLineMiss(Addr addr, bool write, Addr pc,
+                              const CacheLineState &victim) = 0;
+
+    /**
+     * First touch of a word within a resident L1D line's current
+     * residency (excluding the word that installed the line).
+     */
+    virtual void dataFirstTouch(Addr addr, bool write, Addr pc) = 0;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_CACHE_STREAM_SINK_HH

@@ -1,0 +1,448 @@
+#include "replay.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/logging.hh"
+#include "trace/benchmarks.hh"
+#include "trace/trace_file.hh"
+
+namespace ldis
+{
+
+namespace
+{
+
+/**
+ * The recording backend: a "second-level cache" that answers every
+ * access with a full line, like an infinite L2. Under full fills the
+ * sectored L1D never sector-misses, so the front end's tag, LRU,
+ * footprint and dirty evolution — everything the recorded stream
+ * depends on — matches what it would be under any real L2.
+ */
+class RecordingL2 final : public SecondLevelCache
+{
+  public:
+    L2Result
+    access(Addr, bool, Addr, bool) override
+    {
+        ++st.accesses;
+        ++st.lineMisses;
+        return {L2Outcome::LineMiss, Footprint::full(), 0, false};
+    }
+
+    void l1dEviction(LineAddr, Footprint, Footprint) override {}
+    const L2Stats &stats() const override { return st; }
+    void resetStats() override { st = L2Stats{}; }
+    std::string describe() const override { return "RECORD"; }
+
+  private:
+    L2Stats st;
+};
+
+/** FrontEndSink that appends events to an L2Stream. */
+class StreamRecorder final : public FrontEndSink
+{
+  public:
+    explicit StreamRecorder(L2Stream &s) : out(s) {}
+
+    void
+    advance(std::uint64_t instructions) override
+    {
+        pending += instructions;
+    }
+
+    void
+    ifetchMiss(Addr pc) override
+    {
+        push(StreamOp::IFetch, pc, pc, 0);
+    }
+
+    void
+    dataLineMiss(Addr addr, bool write, Addr pc,
+                 const CacheLineState &victim) override
+    {
+        std::uint8_t flags = write ? kStreamWrite : 0;
+        if (victim.valid) {
+            flags |= kStreamHasVictim;
+            out.victims.push_back({victim.line,
+                                   victim.footprint.raw(),
+                                   victim.dirtyWords.raw()});
+        }
+        push(StreamOp::LineMiss, addr, pc, flags);
+        ++out.totalLineMisses;
+    }
+
+    void
+    dataFirstTouch(Addr addr, bool write, Addr pc) override
+    {
+        push(StreamOp::FirstTouch, addr, pc,
+             write ? kStreamWrite : 0);
+    }
+
+  private:
+    void
+    push(StreamOp op, Addr addr, Addr pc, std::uint8_t flags)
+    {
+        constexpr std::uint64_t kMax =
+            std::numeric_limits<std::uint32_t>::max();
+        std::uint32_t delta =
+            static_cast<std::uint32_t>(std::min(pending, kMax));
+        pending = 0;
+        out.events.push_back({addr, pc, delta, op, flags});
+    }
+
+    L2Stream &out;
+    std::uint64_t pending = 0;
+};
+
+/**
+ * Open-addressing map from line address to that line's valid-word
+ * mask in the (virtual) replayed L1D. Only lines installed by a
+ * LineMiss event are ever looked up, so entries of evicted lines can
+ * simply go stale — the next residency's LineMiss overwrites them.
+ */
+class LineWordsMap
+{
+  public:
+    LineWordsMap() : keys(kInitialSlots, 0), vals(kInitialSlots, 0) {}
+
+    /** Value slot for @p line, inserted zero-initialized if new. */
+    std::uint8_t &
+    operator[](LineAddr line)
+    {
+        // Keys are stored +1 so slot value 0 can mean "empty"
+        // (line 0 is a valid line address).
+        std::uint64_t key = line + 1;
+        std::size_t i = probe(keys, key);
+        if (keys[i] != key) {
+            keys[i] = key;
+            vals[i] = 0;
+            ++used;
+            if (2 * used > keys.size()) {
+                grow();
+                i = probe(keys, key);
+            }
+        }
+        return vals[i];
+    }
+
+  private:
+    static constexpr std::size_t kInitialSlots = std::size_t{1} << 14;
+
+    static std::size_t
+    probe(const std::vector<std::uint64_t> &table, std::uint64_t key)
+    {
+        std::size_t mask = table.size() - 1;
+        std::uint64_t h = key * 0x9E3779B97F4A7C15ull;
+        std::size_t i = static_cast<std::size_t>(h >> 32) & mask;
+        while (table[i] != 0 && table[i] != key)
+            i = (i + 1) & mask;
+        return i;
+    }
+
+    void
+    grow()
+    {
+        std::vector<std::uint64_t> bigger_keys(keys.size() * 4, 0);
+        std::vector<std::uint8_t> bigger_vals(keys.size() * 4, 0);
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+            if (keys[i] == 0)
+                continue;
+            std::size_t j = probe(bigger_keys, keys[i]);
+            bigger_keys[j] = keys[i];
+            bigger_vals[j] = vals[i];
+        }
+        keys.swap(bigger_keys);
+        vals.swap(bigger_vals);
+    }
+
+    std::vector<std::uint64_t> keys;
+    std::vector<std::uint8_t> vals;
+    std::size_t used = 0;
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** FNV-1a step helper for the geometry key. */
+std::uint64_t
+fnvMix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v;
+    return h * 0x100000001B3ull;
+}
+
+std::uint64_t
+geometryKey(std::uint64_t h, const CacheGeometry &g)
+{
+    h = fnvMix(h, g.bytes);
+    h = fnvMix(h, g.ways);
+    h = fnvMix(h, g.lineBytes);
+    h = fnvMix(h, static_cast<std::uint64_t>(g.repl));
+    h = fnvMix(h, g.seed);
+    return h;
+}
+
+} // namespace
+
+bool
+replayEnabled()
+{
+    if (const char *env = std::getenv("LDIS_REPLAY"))
+        return !(env[0] == '0' && env[1] == '\0');
+    return true;
+}
+
+std::uint64_t
+frontEndParamsKey(const HierarchyParams &params)
+{
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    h = geometryKey(h, params.l1i);
+    h = geometryKey(h, params.l1d);
+    h = fnvMix(h, params.modelInstructionSide ? 1 : 0);
+    return h;
+}
+
+L2Stream
+recordStream(Workload &workload, std::uint64_t seed,
+             InstCount warmup, InstCount instructions,
+             const HierarchyParams &params)
+{
+    L2Stream s;
+    s.benchmark = workload.name();
+    s.seed = seed;
+    s.warmupInstructions = warmup;
+    s.instructions = instructions;
+    s.frontEndKey = frontEndParamsKey(params);
+    s.code = workload.codeModel();
+    s.values = workload.valueProfile();
+
+    // Reserve for a dense stream (mcf peaks near one event per three
+    // instructions) so recording never re-copies a multi-hundred-MB
+    // vector; untouched reserve pages cost nothing on Linux.
+    InstCount total = warmup + instructions;
+    s.events.reserve(static_cast<std::size_t>(total / 3) + 1024);
+    s.victims.reserve(static_cast<std::size_t>(total / 5) + 1024);
+
+    RecordingL2 backend;
+    Hierarchy hier(workload, backend, params);
+    StreamRecorder recorder(s);
+    hier.attachSink(&recorder);
+
+    if (warmup > 0) {
+        hier.run(warmup);
+        hier.resetStats();
+    }
+    s.markerEvents = s.events.size();
+    s.markerVictims = s.victims.size();
+
+    hier.run(instructions);
+    hier.attachSink(nullptr);
+
+    // Under full-line fills the L1D cannot sector-miss; if this ever
+    // fires, the recording backend no longer models "any L2's"
+    // front end and the stream would be unsound.
+    ldis_assert(hier.l1dStats().sectorMisses == 0);
+
+    s.meas.instructions = hier.stats().instructions;
+    s.meas.dataAccesses = hier.stats().dataAccesses;
+    s.meas.l1dAccesses = hier.l1dStats().accesses;
+    s.meas.l1dLineMisses = hier.l1dStats().lineMisses;
+    s.meas.l1iAccesses = hier.l1iStats().accesses;
+    s.meas.l1iMisses = hier.l1iStats().misses;
+    return s;
+}
+
+RunResult
+replayStream(const L2Stream &stream, SecondLevelCache &l2)
+{
+    LineWordsMap words;
+    std::size_t victim_cursor = 0;
+    std::uint64_t sector_misses = 0;
+
+    // Data events cluster on the line just missed, so memoize the
+    // last line's mask slot to skip the hash probe. The pointer is
+    // refreshed by every map access, so a grow() inside operator[]
+    // can never leave it dangling.
+    LineAddr memo_line = ~LineAddr{0};
+    std::uint8_t *memo_mask = nullptr;
+    auto mask_of = [&](LineAddr line) -> std::uint8_t & {
+        if (line != memo_line) {
+            memo_mask = &words[line];
+            memo_line = line;
+        }
+        return *memo_mask;
+    };
+
+    auto replay_span = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const StreamEvent &e = stream.events[i];
+            switch (e.op) {
+            case StreamOp::IFetch:
+                l2.access(e.addr, false, e.pc, true);
+                break;
+            case StreamOp::LineMiss: {
+                L2Result r = l2.access(e.addr,
+                                       e.flags & kStreamWrite,
+                                       e.pc, false);
+                ldis_assert(
+                    r.validWords.test(wordIdxOf(e.addr)));
+                mask_of(lineAddrOf(e.addr)) = r.validWords.raw();
+                if (e.flags & kStreamHasVictim) {
+                    ldis_assert(victim_cursor <
+                                stream.victims.size());
+                    const StreamVictim &v =
+                        stream.victims[victim_cursor++];
+                    l2.l1dEviction(v.line, Footprint(v.used),
+                                   Footprint(v.dirty));
+                }
+                break;
+            }
+            case StreamOp::FirstTouch: {
+                std::uint8_t &mask = mask_of(lineAddrOf(e.addr));
+                WordIdx word = wordIdxOf(e.addr);
+                if (!((mask >> word) & 1u)) {
+                    // The word was filled partially and this touch
+                    // would have gone back to the L2: a sector miss.
+                    ++sector_misses;
+                    L2Result r = l2.access(e.addr,
+                                           e.flags & kStreamWrite,
+                                           e.pc, false);
+                    ldis_assert(r.validWords.test(word));
+                    mask |= r.validWords.raw();
+                }
+                break;
+            }
+            }
+        }
+    };
+
+    auto start = std::chrono::steady_clock::now();
+
+    // Warmup window: fills caches, then statistics restart exactly
+    // as in runTraceWarm (contents and first-touch state persist).
+    replay_span(0, stream.markerEvents);
+    ldis_assert(victim_cursor == stream.markerVictims);
+    if (stream.warmupInstructions > 0) {
+        l2.resetStats();
+        sector_misses = 0;
+    }
+
+    replay_span(stream.markerEvents, stream.events.size());
+    ldis_assert(victim_cursor == stream.victims.size());
+
+    double elapsed = secondsSince(start);
+
+    RunResult r;
+    r.benchmark = stream.benchmark;
+    r.config = l2.describe();
+    r.instructions = stream.meas.instructions;
+    r.l2 = l2.stats();
+    r.mpki = stream.meas.instructions == 0
+        ? 0.0
+        : static_cast<double>(r.l2.misses())
+            / (static_cast<double>(stream.meas.instructions)
+               / 1000.0);
+    r.l1d.accesses = stream.meas.l1dAccesses;
+    r.l1d.lineMisses = stream.meas.l1dLineMisses;
+    r.l1d.sectorMisses = sector_misses;
+    r.l1d.hits = stream.meas.l1dAccesses
+        - stream.meas.l1dLineMisses - sector_misses;
+    r.l1i.accesses = stream.meas.l1iAccesses;
+    r.l1i.misses = stream.meas.l1iMisses;
+    r.wallSeconds = elapsed;
+    r.instPerSec = elapsed > 0.0
+        ? static_cast<double>(stream.meas.instructions) / elapsed
+        : 0.0;
+    return r;
+}
+
+std::string
+streamCachePath(const std::string &benchmark, std::uint64_t seed,
+                InstCount warmup, InstCount instructions,
+                const HierarchyParams &params)
+{
+    const char *dir = std::getenv("LDIS_TRACE_CACHE");
+    if (!dir || !*dir)
+        return "";
+    std::string safe;
+    for (char c : benchmark)
+        safe += std::isalnum(static_cast<unsigned char>(c)) ? c
+                                                            : '_';
+    std::uint64_t key = 0xCBF29CE484222325ull;
+    key = fnvMix(key, seed);
+    key = fnvMix(key, warmup);
+    key = fnvMix(key, instructions);
+    key = fnvMix(key, frontEndParamsKey(params));
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "-%016llx.l2s",
+                  static_cast<unsigned long long>(key));
+    return std::string(dir) + "/" + safe + buf;
+}
+
+std::shared_ptr<const L2Stream>
+loadOrRecordStream(const std::string &benchmark, std::uint64_t seed,
+                   InstCount warmup, InstCount instructions,
+                   const HierarchyParams &params)
+{
+    std::string path = streamCachePath(benchmark, seed, warmup,
+                                       instructions, params);
+    if (!path.empty()) {
+        auto cached = std::make_shared<L2Stream>();
+        if (readL2Stream(path, *cached) &&
+            cached->benchmark == benchmark &&
+            cached->seed == seed &&
+            cached->warmupInstructions == warmup &&
+            cached->instructions == instructions &&
+            cached->frontEndKey == frontEndParamsKey(params))
+            return cached;
+    }
+
+    auto workload = makeBenchmark(benchmark, seed);
+    auto fresh = std::make_shared<L2Stream>(recordStream(
+        *workload, seed, warmup, instructions, params));
+    if (!path.empty())
+        writeL2Stream(path, *fresh);
+    return fresh;
+}
+
+RunResult
+runReplay(const std::string &benchmark, ConfigKind kind,
+          InstCount instructions, std::uint64_t seed)
+{
+    auto stream =
+        loadOrRecordStream(benchmark, seed, 0, instructions);
+    L2Instance l2 = makeConfig(kind, stream->values);
+    RunResult r = replayStream(*stream, *l2.cache);
+    r.config = configName(kind);
+    return r;
+}
+
+RunResult
+ReplaySource::run(SecondLevelCache &l2) const
+{
+    if (stream)
+        return replayStream(*stream, l2);
+    auto workload = makeBenchmark(bench, streamSeed);
+    return runTrace(*workload, l2, instCount);
+}
+
+ValueProfile
+ReplaySource::valueProfile() const
+{
+    if (stream)
+        return stream->values;
+    return makeBenchmark(bench, streamSeed)->valueProfile();
+}
+
+} // namespace ldis

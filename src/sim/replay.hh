@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Generate-once L2 replay (the front-end deduplication engine).
+ *
+ * Every paper figure sweeps one benchmark across many L2
+ * configurations, but workload generation and L1I/L1D filtering are
+ * (almost) independent of the L2: the L1 tag arrays, LRU stacks,
+ * footprints and dirty masks evolve purely from the line-address
+ * sequence. The one feedback path from the L2 into the front end is
+ * the set of valid words a partial WOC fill delivers to the sectored
+ * L1D — it decides whether a later touch is an L1 hit or a sector
+ * miss (and hence another L2 access).
+ *
+ * recordStream() therefore runs the front end ONCE per benchmark
+ * against a full-line-fill recording backend and captures
+ *  - every L1I miss and L1D line miss (config-independent),
+ *  - each line miss's eviction victim with its final footprint and
+ *    dirty words (config-independent), and
+ *  - every first touch of a word within an L1D residency — the only
+ *    accesses whose hit/sector-miss outcome depends on the L2.
+ *
+ * replayStream() then drives ANY SecondLevelCache from the recorded
+ * stream, tracking per-line valid words to re-derive the sector
+ * misses a partial-filling L2 would have produced. The resulting
+ * RunResult is bit-identical to a direct Hierarchy run of the same
+ * benchmark/config pair, at a fraction of the cost: the workload
+ * generator, code walker and L1 simulations run once per benchmark
+ * instead of once per (benchmark, config) cell.
+ *
+ * With LDIS_TRACE_CACHE=<dir> set, recorded streams are additionally
+ * persisted to a versioned, checksummed binary cache (see
+ * src/trace/trace_file), so repeated harness invocations skip
+ * generation entirely. LDIS_REPLAY=0 forces the harnesses back into
+ * direct mode (each cell re-simulates its own front end), which is
+ * what the execution-driven IPC experiments always use.
+ */
+
+#ifndef DISTILLSIM_SIM_REPLAY_HH
+#define DISTILLSIM_SIM_REPLAY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "sim/configs.hh"
+#include "sim/experiment.hh"
+
+namespace ldis
+{
+
+/** Kind of one recorded front-end event. */
+enum class StreamOp : std::uint8_t
+{
+    IFetch = 0,     //!< L1I miss; the L2 sees (pc, instr = true)
+    LineMiss = 1,   //!< L1D line miss (+ optional eviction victim)
+    FirstTouch = 2, //!< first word touch within an L1D residency
+};
+
+/** StreamEvent::flags bits. */
+inline constexpr std::uint8_t kStreamWrite = 1u << 0;
+inline constexpr std::uint8_t kStreamHasVictim = 1u << 1;
+
+/**
+ * One compact L2-visible request record. For IFetch, addr == pc is
+ * the fetch address. instrDelta is the number of instructions
+ * retired since the previous event (saturated at 2^32-1; window
+ * totals are carried exactly in StreamWindow).
+ */
+struct StreamEvent
+{
+    Addr addr = 0;
+    Addr pc = 0;
+    std::uint32_t instrDelta = 0;
+    StreamOp op = StreamOp::IFetch;
+    std::uint8_t flags = 0;
+};
+
+/** Eviction payload of a LineMiss event with kStreamHasVictim. */
+struct StreamVictim
+{
+    LineAddr line = 0;
+    std::uint8_t used = 0;  //!< Footprint::raw() at eviction
+    std::uint8_t dirty = 0; //!< dirty-word mask at eviction
+};
+
+/** Config-independent totals of the measured window. */
+struct StreamWindow
+{
+    InstCount instructions = 0;
+    std::uint64_t dataAccesses = 0;
+    std::uint64_t l1dAccesses = 0;
+    std::uint64_t l1dLineMisses = 0;
+    std::uint64_t l1iAccesses = 0;
+    std::uint64_t l1iMisses = 0;
+};
+
+/** A recorded L2-visible reference stream for one benchmark run. */
+struct L2Stream
+{
+    std::string benchmark;
+    std::uint64_t seed = 1;
+    InstCount warmupInstructions = 0; //!< requested warmup length
+    InstCount instructions = 0;       //!< requested measured length
+
+    /** Front-end geometry key (frontEndParamsKey of the recorder). */
+    std::uint64_t frontEndKey = 0;
+
+    /** Side-band models, so configs can be built without the
+     *  workload (the compression L2s need the value profile). */
+    CodeModel code;
+    ValueProfile values;
+
+    /** Totals of the measured (post-warmup) window. */
+    StreamWindow meas;
+
+    /** LineMiss events across both windows (replay map sizing). */
+    std::uint64_t totalLineMisses = 0;
+
+    /** Warmup/measure boundary: replay resets stats here. */
+    std::size_t markerEvents = 0;
+    std::size_t markerVictims = 0;
+
+    std::vector<StreamEvent> events;
+    std::vector<StreamVictim> victims;
+};
+
+/**
+ * True unless LDIS_REPLAY=0: the RunMatrix replay submissions fall
+ * back to direct per-cell simulation when disabled.
+ */
+bool replayEnabled();
+
+/** Hash of the front-end geometry that shaped a stream. */
+std::uint64_t frontEndParamsKey(const HierarchyParams &params);
+
+/**
+ * Front-end pass: simulate @p workload's L1I/L1D against a
+ * full-line-fill backend for @p warmup then @p instructions
+ * instructions, recording the L2-visible stream. @p seed is stored
+ * for cache keying only — the caller constructs the workload.
+ */
+L2Stream recordStream(Workload &workload, std::uint64_t seed,
+                      InstCount warmup, InstCount instructions,
+                      const HierarchyParams &params = {});
+
+/**
+ * Replay pass: drive @p l2 from @p stream. Statistics (including
+ * the re-derived L1D sector misses and hits) are bit-identical to
+ * the direct runTrace/runTraceWarm of the same pair.
+ */
+RunResult replayStream(const L2Stream &stream, SecondLevelCache &l2);
+
+/**
+ * Obtain the stream for (benchmark, seed, warmup, instructions):
+ * loaded from the LDIS_TRACE_CACHE directory when set and a valid
+ * cached file exists, freshly recorded (and written back to the
+ * cache, best-effort) otherwise.
+ */
+std::shared_ptr<const L2Stream>
+loadOrRecordStream(const std::string &benchmark, std::uint64_t seed,
+                   InstCount warmup, InstCount instructions,
+                   const HierarchyParams &params = {});
+
+/** Cache-file path for a stream key ("" when LDIS_TRACE_CACHE unset). */
+std::string streamCachePath(const std::string &benchmark,
+                            std::uint64_t seed, InstCount warmup,
+                            InstCount instructions,
+                            const HierarchyParams &params = {});
+
+/**
+ * Replay-mode equivalent of runTrace(benchmark, kind, ...): record
+ * (or load) the stream, then replay it into a fresh @p kind L2.
+ */
+RunResult runReplay(const std::string &benchmark, ConfigKind kind,
+                    InstCount instructions, std::uint64_t seed = 1);
+
+/**
+ * The benchmark source handed to custom replay jobs (see
+ * RunMatrix::addReplay): run(l2) replays the shared recorded stream
+ * in replay mode, or rebuilds the workload and simulates directly
+ * when replay is disabled. Either way the statistics are identical.
+ */
+class ReplaySource
+{
+  public:
+    /** Replay-mode source over a shared recorded stream. */
+    explicit ReplaySource(std::shared_ptr<const L2Stream> s)
+        : stream(std::move(s)), bench(stream->benchmark),
+          streamSeed(stream->seed),
+          instCount(stream->instructions)
+    {}
+
+    /** Direct-mode source (replay disabled). */
+    ReplaySource(std::string benchmark, std::uint64_t seed,
+                 InstCount instructions)
+        : bench(std::move(benchmark)), streamSeed(seed),
+          instCount(instructions)
+    {}
+
+    /** Simulate the benchmark against @p l2 (replay or direct). */
+    RunResult run(SecondLevelCache &l2) const;
+
+    const std::string &benchmark() const { return bench; }
+    InstCount instructions() const { return instCount; }
+    bool replaying() const { return stream != nullptr; }
+
+    /** The workload's value profile (compression configs need it). */
+    ValueProfile valueProfile() const;
+
+  private:
+    std::shared_ptr<const L2Stream> stream; //!< null in direct mode
+    std::string bench;
+    std::uint64_t streamSeed = 1;
+    InstCount instCount = 0;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_SIM_REPLAY_HH

@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <cerrno>
+#include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "sim/replay.hh"
 
 namespace ldis
 {
@@ -33,35 +36,65 @@ namespace detail
 
 void
 runThunks(const std::vector<std::function<void()>> &thunks,
-          unsigned workers)
+          const std::vector<std::size_t> &deps, unsigned workers)
 {
-    if (workers > thunks.size())
-        workers = static_cast<unsigned>(thunks.size());
+    std::size_t n = thunks.size();
+    ldis_assert(deps.empty() || deps.size() == n);
+    for (std::size_t i = 0; i < deps.size(); ++i)
+        ldis_assert(deps[i] == kNoDep || deps[i] < i);
+
+    if (workers > n)
+        workers = static_cast<unsigned>(n);
     if (workers <= 1) {
+        // Submission order satisfies every dependency (deps point
+        // strictly backwards), so the serial path needs no queue —
+        // and stays bit-compatible with the pre-dependency runner.
         for (const auto &t : thunks)
             t();
         return;
     }
 
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::size_t> ready;
+    std::vector<std::vector<std::size_t>> dependents(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (deps.empty() || deps[i] == kNoDep)
+            ready.push_back(i);
+        else
+            dependents[deps[i]].push_back(i);
+    }
+
+    std::size_t completed = 0;
+    bool failed = false;
     std::exception_ptr first_error;
-    std::mutex error_mutex;
 
     auto work = [&] {
+        std::unique_lock<std::mutex> lock(mutex);
         for (;;) {
-            std::size_t i = next.fetch_add(1);
-            if (i >= thunks.size() || failed.load())
+            cv.wait(lock, [&] {
+                return failed || completed == n || !ready.empty();
+            });
+            if (failed || completed == n)
                 return;
+            std::size_t i = ready.front();
+            ready.pop_front();
+            lock.unlock();
             try {
                 thunks[i]();
             } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
+                lock.lock();
                 if (!first_error)
                     first_error = std::current_exception();
-                failed.store(true);
+                failed = true;
+                cv.notify_all();
                 return;
             }
+            lock.lock();
+            ++completed;
+            for (std::size_t j : dependents[i])
+                ready.push_back(j);
+            cv.notify_all();
         }
     };
 
@@ -91,6 +124,11 @@ runSummary(const std::vector<JobTiming> &timings, unsigned workers,
             slowest = &t;
     }
 
+    // Sub-microsecond walls happen (empty or fully disk-cached
+    // matrices); dividing by them turns the derived rows into
+    // noise (or inf), so report them as 0 instead.
+    constexpr double kMinWall = 1e-6;
+
     Table t({"run summary", "value"});
     t.addRow({"jobs", std::to_string(timings.size())});
     t.addRow({"workers", std::to_string(workers)});
@@ -100,12 +138,12 @@ runSummary(const std::vector<JobTiming> &timings, unsigned workers,
     t.addRow({"cumulative job time",
               Table::num(cumulative, 2) + " s"});
     t.addRow({"parallel speedup",
-              Table::num(wall_seconds > 0.0
+              Table::num(wall_seconds > kMinWall
                              ? cumulative / wall_seconds
                              : 0.0,
                          2) + "x"});
     t.addRow({"aggregate Minst/s",
-              Table::num(wall_seconds > 0.0
+              Table::num(wall_seconds > kMinWall
                              ? static_cast<double>(total_inst) / 1e6
                                    / wall_seconds
                              : 0.0,
@@ -129,6 +167,111 @@ RunMatrix::add(const std::string &benchmark, ConfigKind kind,
     return add(std::move(label), [=] {
         return runTrace(benchmark, kind, instructions, seed);
     });
+}
+
+/**
+ * One benchmark's shared front-end stream: filled by the setup job,
+ * read by every replay job depending on it, and released by the last
+ * of them (streams can be hundreds of MB; holding all benchmarks'
+ * streams until the matrix finishes would defeat the point).
+ */
+struct RunMatrix::StreamHolder
+{
+    std::shared_ptr<const L2Stream> stream;
+    std::size_t setupHandle = 0;
+    std::size_t total = 0; //!< replay jobs registered (at add time)
+    std::atomic<std::size_t> completed{0};
+
+    /**
+     * Take a reference for one replay job, dropping the holder's own
+     * reference after the last job. The release order is safe: a
+     * job's take() happens before its completed increment, and the
+     * last increment (acq_rel) happens before the reset.
+     */
+    std::shared_ptr<const L2Stream>
+    take()
+    {
+        return stream;
+    }
+
+    void
+    release()
+    {
+        if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            total)
+            stream.reset();
+    }
+};
+
+std::shared_ptr<RunMatrix::StreamHolder>
+RunMatrix::streamFor(const std::string &benchmark,
+                     std::uint64_t seed, InstCount instructions)
+{
+    std::string key = benchmark + '\0' + std::to_string(seed) +
+                      '\0' + std::to_string(instructions);
+    std::shared_ptr<StreamHolder> &holder = streams[key];
+    if (!holder) {
+        holder = std::make_shared<StreamHolder>();
+        auto h = holder;
+        holder->setupHandle = addSetup(
+            benchmark + "/frontend", [h, benchmark, seed,
+                                      instructions]() -> InstCount {
+                h->stream = loadOrRecordStream(benchmark, seed, 0,
+                                               instructions);
+                return h->stream->meas.instructions;
+            });
+    }
+    return holder;
+}
+
+std::size_t
+RunMatrix::addReplay(const std::string &benchmark, ConfigKind kind,
+                     InstCount instructions, std::uint64_t seed)
+{
+    if (!replayEnabled())
+        return add(benchmark, kind, instructions, seed);
+    auto holder = streamFor(benchmark, seed, instructions);
+    ++holder->total;
+    std::string label = benchmark + "/" + configName(kind);
+    std::size_t idx = add(
+        std::move(label),
+        [holder, kind] {
+            ReplaySource source(holder->take());
+            L2Instance l2 = makeConfig(kind, source.valueProfile());
+            RunResult r = source.run(*l2.cache);
+            r.config = configName(kind);
+            holder->release();
+            return r;
+        },
+        holder->setupHandle);
+    return idx;
+}
+
+std::size_t
+RunMatrix::addReplay(const std::string &benchmark,
+                     InstCount instructions, std::string label,
+                     std::function<RunResult(ReplaySource &)> fn,
+                     std::uint64_t seed)
+{
+    if (!replayEnabled()) {
+        return add(std::move(label),
+                   [benchmark, seed, instructions, fn] {
+                       ReplaySource source(benchmark, seed,
+                                           instructions);
+                       return fn(source);
+                   });
+    }
+    auto holder = streamFor(benchmark, seed, instructions);
+    ++holder->total;
+    return add(
+        std::move(label),
+        [holder, fn] {
+            ReplaySource source(holder->take());
+            RunResult r = fn(source);
+            holder->release();
+            return r;
+        },
+        holder->setupHandle);
 }
 
 std::size_t

@@ -19,6 +19,8 @@
 #include <chrono>
 #include <cstddef>
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -43,15 +45,25 @@ struct JobTiming
     InstCount instructions = 0;
 };
 
+/** "No dependency" sentinel for job submission. */
+inline constexpr std::size_t kNoDep =
+    static_cast<std::size_t>(-1);
+
 namespace detail
 {
 
 /**
- * Execute @p thunks across @p workers threads, each worker pulling
- * the next un-started index. Serial when workers <= 1. Rethrows the
- * first job exception after all threads joined.
+ * Execute @p thunks across @p workers threads. @p deps (empty, or
+ * one entry per thunk) gives each thunk an optional prerequisite
+ * thunk index (kNoDep for none, and always lower than the thunk's
+ * own index): a thunk is only started once its prerequisite has
+ * completed, while independent thunks keep every worker busy.
+ * Serial when workers <= 1, running in submission order (which
+ * satisfies every dependency by construction). Rethrows the first
+ * job exception after all threads joined.
  */
 void runThunks(const std::vector<std::function<void()>> &thunks,
+               const std::vector<std::size_t> &deps,
                unsigned workers);
 
 } // namespace detail
@@ -65,11 +77,19 @@ std::string runSummary(const std::vector<JobTiming> &timings,
                        unsigned workers, double wall_seconds);
 
 /**
- * A matrix of independent simulation jobs producing @p Result
- * (RunResult or IpcResult: anything with wallSeconds/instPerSec
- * fields and a simulatedInstructions() overload). Submit jobs with
- * add(), then run() executes them on the pool and returns results
- * in submission order.
+ * A matrix of simulation jobs producing @p Result (RunResult or
+ * IpcResult: anything with wallSeconds/instPerSec fields and a
+ * simulatedInstructions() overload). Submit jobs with add(), then
+ * run() executes them on the pool and returns results in submission
+ * order.
+ *
+ * Jobs are independent by default. A job may alternatively depend on
+ * one *setup* job (addSetup): the pool then starts it only after the
+ * setup completed, while unrelated jobs keep the workers busy. The
+ * replay engine uses this to run one front-end pass per benchmark
+ * and fan the per-config replays out behind it (RunMatrix::
+ * addReplay); setup jobs produce no result slot, only a timing
+ * entry.
  */
 template <typename Result>
 class RunMatrixT
@@ -80,12 +100,33 @@ class RunMatrixT
         : workerCount(workers ? workers : runnerJobs())
     {}
 
-    /** Submit a job; @p fn runs on a worker thread. @return index */
+    /**
+     * Submit a job; @p fn runs on a worker thread once the setup job
+     * @p dep (a handle returned by addSetup; kNoDep for none) has
+     * completed.
+     * @return index of the job's slot in run()'s results
+     */
     std::size_t
-    add(std::string label, std::function<Result()> fn)
+    add(std::string label, std::function<Result()> fn,
+        std::size_t dep = kNoDep)
     {
-        jobs.push_back({std::move(label), std::move(fn)});
-        return jobs.size() - 1;
+        entries.push_back({std::move(label), std::move(fn), {}, dep,
+                           numResults});
+        return numResults++;
+    }
+
+    /**
+     * Submit a setup job: it produces no result slot, but other jobs
+     * can depend on it. @p fn returns the number of instructions it
+     * simulated (for the timing summary; 0 if none).
+     * @return dependency handle for add()
+     */
+    std::size_t
+    addSetup(std::string label, std::function<InstCount()> fn)
+    {
+        entries.push_back({std::move(label), {}, std::move(fn),
+                           kNoDep, kNoSlot});
+        return entries.size() - 1;
     }
 
     /** Execute all jobs; results are in submission order. */
@@ -93,15 +134,31 @@ class RunMatrixT
     run()
     {
         using clock = std::chrono::steady_clock;
-        slots.assign(jobs.size(), Result{});
-        jobTimes.assign(jobs.size(), JobTiming{});
+        slots.assign(numResults, Result{});
+        jobTimes.assign(entries.size(), JobTiming{});
 
         std::vector<std::function<void()>> thunks;
-        thunks.reserve(jobs.size());
-        for (std::size_t i = 0; i < jobs.size(); ++i) {
+        std::vector<std::size_t> deps;
+        thunks.reserve(entries.size());
+        deps.reserve(entries.size());
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            deps.push_back(entries[i].dep);
             thunks.push_back([this, i] {
+                const Entry &e = entries[i];
                 auto t0 = clock::now();
-                Result r = jobs[i].fn();
+                if (e.slot == kNoSlot) {
+                    InstCount n = e.setup();
+                    double s = std::chrono::duration<double>(
+                                   clock::now() - t0)
+                                   .count();
+                    jobTimes[i] = {e.label, s,
+                                   s > 0.0
+                                       ? static_cast<double>(n) / s
+                                       : 0.0,
+                                   n};
+                    return;
+                }
+                Result r = e.fn();
                 double s = std::chrono::duration<double>(
                                clock::now() - t0)
                                .count();
@@ -113,23 +170,31 @@ class RunMatrixT
                     ? static_cast<double>(simulatedInstructions(r))
                         / s
                     : 0.0;
-                jobTimes[i] = {jobs[i].label, r.wallSeconds,
+                jobTimes[i] = {e.label, r.wallSeconds,
                                r.instPerSec,
                                simulatedInstructions(r)};
-                slots[i] = std::move(r);
+                slots[e.slot] = std::move(r);
             });
         }
 
         auto t0 = clock::now();
-        detail::runThunks(thunks, workerCount);
+        detail::runThunks(thunks, deps, workerCount);
         matrixWall =
             std::chrono::duration<double>(clock::now() - t0).count();
         return slots;
     }
 
     const std::vector<Result> &results() const { return slots; }
+
+    /**
+     * Per-job timings in submission order, setup jobs included (a
+     * matrix without setups has exactly one entry per result).
+     */
     const std::vector<JobTiming> &timings() const { return jobTimes; }
-    std::size_t size() const { return jobs.size(); }
+
+    /** Number of result-producing jobs (setups excluded). */
+    std::size_t size() const { return numResults; }
+
     unsigned workers() const { return workerCount; }
 
     /** Wall-clock seconds of the whole run() call. */
@@ -153,18 +218,28 @@ class RunMatrixT
     }
 
   private:
-    struct Job
+    /** "Produces no result slot" marker for setup entries. */
+    static constexpr std::size_t kNoSlot =
+        static_cast<std::size_t>(-1);
+
+    struct Entry
     {
         std::string label;
-        std::function<Result()> fn;
+        std::function<Result()> fn;       //!< result jobs only
+        std::function<InstCount()> setup; //!< setup jobs only
+        std::size_t dep = kNoDep;         //!< entry-sequence index
+        std::size_t slot = kNoSlot;       //!< result index
     };
 
     unsigned workerCount;
-    std::vector<Job> jobs;
+    std::vector<Entry> entries;
+    std::size_t numResults = 0;
     std::vector<Result> slots;
     std::vector<JobTiming> jobTimes;
     double matrixWall = 0.0;
 };
+
+class ReplaySource;
 
 /** Trace-driven matrix with a typed submission shorthand. */
 class RunMatrix : public RunMatrixT<RunResult>
@@ -176,6 +251,41 @@ class RunMatrix : public RunMatrixT<RunResult>
     /** Submit runTrace(benchmark, kind, instructions, seed). */
     std::size_t add(const std::string &benchmark, ConfigKind kind,
                     InstCount instructions, std::uint64_t seed = 1);
+
+    /**
+     * Replay-mode equivalent of add(benchmark, kind, ...): the first
+     * submission for a (benchmark, seed, instructions) triple
+     * schedules one shared front-end setup job; the per-config
+     * replay jobs run behind it and produce statistics bit-identical
+     * to direct simulation. Falls back to the direct add() when
+     * LDIS_REPLAY=0. The shared stream is released after its last
+     * replay job.
+     */
+    std::size_t addReplay(const std::string &benchmark,
+                          ConfigKind kind, InstCount instructions,
+                          std::uint64_t seed = 1);
+
+    /**
+     * Custom-closure variant for jobs that build their own L2 (the
+     * ablation sweeps): @p fn receives a ReplaySource for the
+     * benchmark's shared stream (or a direct-mode source when
+     * LDIS_REPLAY=0) and runs it against whatever cache it likes.
+     */
+    std::size_t addReplay(const std::string &benchmark,
+                          InstCount instructions, std::string label,
+                          std::function<RunResult(ReplaySource &)> fn,
+                          std::uint64_t seed = 1);
+
+  private:
+    struct StreamHolder;
+
+    /** Holder (and setup job) for one front-end stream, memoized. */
+    std::shared_ptr<StreamHolder>
+    streamFor(const std::string &benchmark, std::uint64_t seed,
+              InstCount instructions);
+
+    /** Key: benchmark \\0 seed \\0 instructions. */
+    std::map<std::string, std::shared_ptr<StreamHolder>> streams;
 };
 
 /** Execution-driven matrix with a typed submission shorthand. */

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "sim/replay.hh"
 
 namespace ldis
 {
@@ -203,6 +204,264 @@ FileWorkload::reset()
 {
     pos = 0;
     wrapCount = 0;
+}
+
+namespace
+{
+
+constexpr char kStreamMagic[4] = {'L', 'D', 'S', '1'};
+constexpr std::uint32_t kStreamVersion = 1;
+
+/** FNV-1a over a byte range, continuing from @p sum. */
+std::uint64_t
+fnv1a(std::uint64_t sum, const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        sum ^= bytes[i];
+        sum *= 0x100000001B3ull;
+    }
+    return sum;
+}
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+
+/**
+ * Checksumming writer. Unlike writeScalar above, failures latch into
+ * a flag instead of aborting — stream-cache writes are best-effort.
+ */
+class StreamWriter
+{
+  public:
+    explicit StreamWriter(std::FILE *file) : f(file) {}
+
+    void
+    bytes(const void *data, std::size_t len)
+    {
+        sum = fnv1a(sum, data, len);
+        if (!failed && std::fwrite(data, 1, len, f) != len)
+            failed = true;
+    }
+
+    template <typename T>
+    void
+    scalar(T v)
+    {
+        bytes(&v, sizeof(T));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        scalar<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+        bytes(s.data(), s.size());
+    }
+
+    std::uint64_t checksum() const { return sum; }
+    bool ok() const { return !failed; }
+
+  private:
+    std::FILE *f;
+    std::uint64_t sum = kFnvOffset;
+    bool failed = false;
+};
+
+/** Checksumming reader with the same latched-failure contract. */
+class StreamReader
+{
+  public:
+    explicit StreamReader(std::FILE *file) : f(file) {}
+
+    void
+    bytes(void *data, std::size_t len)
+    {
+        if (failed || std::fread(data, 1, len, f) != len) {
+            failed = true;
+            return;
+        }
+        sum = fnv1a(sum, data, len);
+    }
+
+    template <typename T>
+    T
+    scalar()
+    {
+        T v{};
+        bytes(&v, sizeof(T));
+        return v;
+    }
+
+    bool
+    str(std::string &out)
+    {
+        std::uint32_t len = scalar<std::uint32_t>();
+        if (failed || len > 4096)
+            return false;
+        out.resize(len);
+        if (len > 0)
+            bytes(out.data(), len);
+        return !failed;
+    }
+
+    std::uint64_t checksum() const { return sum; }
+    bool ok() const { return !failed; }
+
+  private:
+    std::FILE *f;
+    std::uint64_t sum = kFnvOffset;
+    bool failed = false;
+};
+
+} // namespace
+
+bool
+writeL2Stream(const std::string &path, const L2Stream &stream)
+{
+    // Temp-and-rename so a concurrent reader (another harness
+    // process sharing LDIS_TRACE_CACHE) never sees a partial file.
+    std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        warn("cannot write stream cache '%s'", tmp.c_str());
+        return false;
+    }
+
+    bool ok = std::fwrite(kStreamMagic, 1, 4, f) == 4;
+    StreamWriter w(f);
+    w.scalar<std::uint32_t>(kStreamVersion);
+    w.str(stream.benchmark);
+    w.scalar<std::uint64_t>(stream.seed);
+    w.scalar<std::uint64_t>(stream.warmupInstructions);
+    w.scalar<std::uint64_t>(stream.instructions);
+    w.scalar<std::uint64_t>(stream.frontEndKey);
+    w.scalar<std::uint64_t>(stream.code.codeBytes);
+    w.scalar<std::uint32_t>(stream.code.avgRunInstrs);
+    w.scalar<double>(stream.values.pZero);
+    w.scalar<double>(stream.values.pOne);
+    w.scalar<double>(stream.values.pNarrow);
+    w.scalar<std::uint64_t>(stream.meas.instructions);
+    w.scalar<std::uint64_t>(stream.meas.dataAccesses);
+    w.scalar<std::uint64_t>(stream.meas.l1dAccesses);
+    w.scalar<std::uint64_t>(stream.meas.l1dLineMisses);
+    w.scalar<std::uint64_t>(stream.meas.l1iAccesses);
+    w.scalar<std::uint64_t>(stream.meas.l1iMisses);
+    w.scalar<std::uint64_t>(stream.totalLineMisses);
+    w.scalar<std::uint64_t>(stream.markerEvents);
+    w.scalar<std::uint64_t>(stream.markerVictims);
+    w.scalar<std::uint64_t>(stream.events.size());
+    w.scalar<std::uint64_t>(stream.victims.size());
+    for (const StreamEvent &e : stream.events) {
+        w.scalar<std::uint64_t>(e.addr);
+        w.scalar<std::uint64_t>(e.pc);
+        w.scalar<std::uint32_t>(e.instrDelta);
+        w.scalar<std::uint8_t>(static_cast<std::uint8_t>(e.op));
+        w.scalar<std::uint8_t>(e.flags);
+    }
+    for (const StreamVictim &v : stream.victims) {
+        w.scalar<std::uint64_t>(v.line);
+        w.scalar<std::uint8_t>(v.used);
+        w.scalar<std::uint8_t>(v.dirty);
+    }
+    std::uint64_t sum = w.checksum();
+    ok = ok && w.ok() &&
+         std::fwrite(&sum, sizeof(sum), 1, f) == 1 &&
+         std::fflush(f) == 0;
+    std::fclose(f);
+    ok = ok && std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        warn("failed to write stream cache '%s'", path.c_str());
+    }
+    return ok;
+}
+
+bool
+readL2Stream(const std::string &path, L2Stream &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false; // cache miss: not worth a warning
+
+    char magic[4];
+    bool ok = std::fread(magic, 1, 4, f) == 4 &&
+              std::memcmp(magic, kStreamMagic, 4) == 0;
+
+    StreamReader r(f);
+    if (ok) {
+        std::uint32_t version = r.scalar<std::uint32_t>();
+        if (r.ok() && version != kStreamVersion) {
+            warn("stream cache '%s': format version %u (expected "
+                 "%u); regenerating",
+                 path.c_str(), version, kStreamVersion);
+            std::fclose(f);
+            return false;
+        }
+        ok = r.ok() && r.str(out.benchmark);
+    }
+    if (ok) {
+        out.seed = r.scalar<std::uint64_t>();
+        out.warmupInstructions = r.scalar<std::uint64_t>();
+        out.instructions = r.scalar<std::uint64_t>();
+        out.frontEndKey = r.scalar<std::uint64_t>();
+        out.code.codeBytes = r.scalar<std::uint64_t>();
+        out.code.avgRunInstrs = r.scalar<std::uint32_t>();
+        out.values.pZero = r.scalar<double>();
+        out.values.pOne = r.scalar<double>();
+        out.values.pNarrow = r.scalar<double>();
+        out.meas.instructions = r.scalar<std::uint64_t>();
+        out.meas.dataAccesses = r.scalar<std::uint64_t>();
+        out.meas.l1dAccesses = r.scalar<std::uint64_t>();
+        out.meas.l1dLineMisses = r.scalar<std::uint64_t>();
+        out.meas.l1iAccesses = r.scalar<std::uint64_t>();
+        out.meas.l1iMisses = r.scalar<std::uint64_t>();
+        out.totalLineMisses = r.scalar<std::uint64_t>();
+        out.markerEvents =
+            static_cast<std::size_t>(r.scalar<std::uint64_t>());
+        out.markerVictims =
+            static_cast<std::size_t>(r.scalar<std::uint64_t>());
+
+        std::uint64_t num_events = r.scalar<std::uint64_t>();
+        std::uint64_t num_victims = r.scalar<std::uint64_t>();
+        // Cap the reserve: a corrupt count would otherwise try to
+        // allocate the moon before the checksum gets a say.
+        out.events.clear();
+        out.events.reserve(static_cast<std::size_t>(
+            std::min<std::uint64_t>(num_events, 1u << 20)));
+        for (std::uint64_t i = 0; r.ok() && i < num_events; ++i) {
+            StreamEvent e;
+            e.addr = r.scalar<std::uint64_t>();
+            e.pc = r.scalar<std::uint64_t>();
+            e.instrDelta = r.scalar<std::uint32_t>();
+            e.op = static_cast<StreamOp>(r.scalar<std::uint8_t>());
+            e.flags = r.scalar<std::uint8_t>();
+            if (r.ok())
+                out.events.push_back(e);
+        }
+        out.victims.clear();
+        out.victims.reserve(static_cast<std::size_t>(
+            std::min<std::uint64_t>(num_victims, 1u << 20)));
+        for (std::uint64_t i = 0; r.ok() && i < num_victims; ++i) {
+            StreamVictim v;
+            v.line = r.scalar<std::uint64_t>();
+            v.used = r.scalar<std::uint8_t>();
+            v.dirty = r.scalar<std::uint8_t>();
+            if (r.ok())
+                out.victims.push_back(v);
+        }
+
+        std::uint64_t expected = r.checksum();
+        std::uint64_t stored = 0;
+        ok = r.ok() &&
+             std::fread(&stored, sizeof(stored), 1, f) == 1 &&
+             stored == expected &&
+             out.markerEvents <= out.events.size() &&
+             out.markerVictims <= out.victims.size();
+    }
+    std::fclose(f);
+    if (!ok)
+        warn("stream cache '%s' is corrupt or truncated; "
+             "regenerating", path.c_str());
+    return ok;
 }
 
 } // namespace ldis

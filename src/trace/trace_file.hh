@@ -14,6 +14,14 @@
  *   u64     record count
  *   records: u64 addr, u64 pc, u32 nonMemOps, u32 branches,
  *            u8 flags (bit0 = write), u8 depDist
+ *
+ * A second format ("LDS1") stores recorded L2-visible reference
+ * streams for the replay engine (src/sim/replay): a versioned header
+ * with the stream key, the payload, and a trailing FNV-1a checksum
+ * over everything after the magic. Unlike the trace format, stream
+ * reads are non-fatal — a corrupt, truncated or version-mismatched
+ * file makes readL2Stream() return false so the caller regenerates
+ * the stream (the file is a cache, not a source of truth).
  */
 
 #ifndef DISTILLSIM_TRACE_TRACE_FILE_HH
@@ -27,6 +35,8 @@
 
 namespace ldis
 {
+
+struct L2Stream;
 
 /**
  * Record @p num_accesses accesses of @p workload into @p path.
@@ -81,6 +91,23 @@ class FileWorkload : public Workload
     std::uint64_t wrapCount = 0;
     bool warnedWrap = false;
 };
+
+/**
+ * Write @p stream to @p path in the checksummed "LDS1" format. The
+ * file is written to a temporary sibling and renamed into place, so
+ * concurrent readers never observe a partial file.
+ * @return false (with a warning) on I/O failure — callers treat the
+ *         disk cache as best-effort
+ */
+bool writeL2Stream(const std::string &path, const L2Stream &stream);
+
+/**
+ * Load a recorded stream from @p path into @p out.
+ * @return false if the file is missing, truncated, corrupted, or of
+ *         a different format version; @p out is unspecified then and
+ *         the caller should regenerate the stream
+ */
+bool readL2Stream(const std::string &path, L2Stream &out);
 
 } // namespace ldis
 

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * The generate-once replay engine's correctness contract: replaying
+ * a recorded L2 stream into any configuration reproduces the direct
+ * simulation's statistics bit-for-bit, and the on-disk stream cache
+ * round-trips, rejects corruption, and regenerates transparently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "sim/replay.hh"
+#include "trace/benchmarks.hh"
+#include "trace/trace_file.hh"
+
+namespace ldis
+{
+namespace
+{
+
+constexpr InstCount kRun = 2'000'000;
+
+/** Every counter and derived figure, exactly. */
+void
+expectSameRun(const RunResult &direct, const RunResult &replayed)
+{
+    EXPECT_EQ(direct.benchmark, replayed.benchmark);
+    EXPECT_EQ(direct.config, replayed.config);
+    EXPECT_EQ(direct.instructions, replayed.instructions);
+    EXPECT_EQ(direct.mpki, replayed.mpki);
+    EXPECT_EQ(direct.l2.accesses, replayed.l2.accesses);
+    EXPECT_EQ(direct.l2.locHits, replayed.l2.locHits);
+    EXPECT_EQ(direct.l2.wocHits, replayed.l2.wocHits);
+    EXPECT_EQ(direct.l2.holeMisses, replayed.l2.holeMisses);
+    EXPECT_EQ(direct.l2.lineMisses, replayed.l2.lineMisses);
+    EXPECT_EQ(direct.l2.compulsoryMisses,
+              replayed.l2.compulsoryMisses);
+    EXPECT_EQ(direct.l2.writebacks, replayed.l2.writebacks);
+    EXPECT_EQ(direct.l2.evictions, replayed.l2.evictions);
+    EXPECT_EQ(direct.l1d.accesses, replayed.l1d.accesses);
+    EXPECT_EQ(direct.l1d.hits, replayed.l1d.hits);
+    EXPECT_EQ(direct.l1d.sectorMisses, replayed.l1d.sectorMisses);
+    EXPECT_EQ(direct.l1d.lineMisses, replayed.l1d.lineMisses);
+    EXPECT_EQ(direct.l1i.accesses, replayed.l1i.accesses);
+    EXPECT_EQ(direct.l1i.misses, replayed.l1i.misses);
+}
+
+std::string
+tempPath(const std::string &file)
+{
+    std::string dir = ::testing::TempDir() + "ldis_replay_test";
+    ::mkdir(dir.c_str(), 0755);
+    return dir + "/" + file;
+}
+
+/** XOR one byte of @p path at @p offset. */
+void
+flipByte(const std::string &path, long offset)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+}
+
+long
+fileSize(const std::string &path)
+{
+    struct stat st{};
+    EXPECT_EQ(::stat(path.c_str(), &st), 0);
+    return static_cast<long>(st.st_size);
+}
+
+TEST(Replay, BitIdenticalAcrossConfigGrid)
+{
+    const std::vector<std::string> benchmarks = {"art", "mcf",
+                                                 "health"};
+    const std::vector<ConfigKind> kinds = {
+        ConfigKind::Baseline1MB, ConfigKind::Trad1MB32B,
+        ConfigKind::LdisMTRC,    ConfigKind::Cmpr4xTags,
+        ConfigKind::Sfp16k,
+    };
+
+    for (const auto &bench : benchmarks) {
+        auto workload = makeBenchmark(bench, 1);
+        L2Stream stream = recordStream(*workload, 1, 0, kRun);
+        for (ConfigKind kind : kinds) {
+            SCOPED_TRACE(bench + "/" + configName(kind));
+            RunResult direct = runTrace(bench, kind, kRun);
+            L2Instance l2 = makeConfig(kind, stream.values);
+            RunResult replayed = replayStream(stream, *l2.cache);
+            replayed.config = configName(kind);
+            expectSameRun(direct, replayed);
+        }
+    }
+}
+
+TEST(Replay, BitIdenticalWithWarmup)
+{
+    constexpr InstCount kWarm = 500'000;
+    auto workload = makeBenchmark("art", 1);
+    L2Stream stream = recordStream(*workload, 1, kWarm, kRun);
+    for (ConfigKind kind :
+         {ConfigKind::Baseline1MB, ConfigKind::LdisMTRC}) {
+        SCOPED_TRACE(configName(kind));
+        auto direct_wl = makeBenchmark("art", 1);
+        L2Instance direct_l2 =
+            makeConfig(kind, direct_wl->valueProfile());
+        RunResult direct =
+            runTraceWarm(*direct_wl, *direct_l2.cache, kWarm, kRun);
+        L2Instance l2 = makeConfig(kind, stream.values);
+        RunResult replayed = replayStream(stream, *l2.cache);
+        expectSameRun(direct, replayed);
+    }
+}
+
+TEST(Replay, RunReplayMatchesRunTrace)
+{
+    ::unsetenv("LDIS_TRACE_CACHE");
+    RunResult direct =
+        runTrace("twolf", ConfigKind::LdisMTRC, kRun);
+    RunResult replayed =
+        runReplay("twolf", ConfigKind::LdisMTRC, kRun);
+    expectSameRun(direct, replayed);
+}
+
+TEST(Replay, DiskCacheRoundTrips)
+{
+    auto workload = makeBenchmark("art", 1);
+    L2Stream stream = recordStream(*workload, 1, 100'000, kRun);
+    std::string path = tempPath("roundtrip.l2s");
+    ASSERT_TRUE(writeL2Stream(path, stream));
+
+    L2Stream loaded;
+    ASSERT_TRUE(readL2Stream(path, loaded));
+    EXPECT_EQ(loaded.benchmark, stream.benchmark);
+    EXPECT_EQ(loaded.seed, stream.seed);
+    EXPECT_EQ(loaded.warmupInstructions, stream.warmupInstructions);
+    EXPECT_EQ(loaded.instructions, stream.instructions);
+    EXPECT_EQ(loaded.frontEndKey, stream.frontEndKey);
+    EXPECT_EQ(loaded.code.codeBytes, stream.code.codeBytes);
+    EXPECT_EQ(loaded.code.avgRunInstrs, stream.code.avgRunInstrs);
+    EXPECT_EQ(loaded.values.pZero, stream.values.pZero);
+    EXPECT_EQ(loaded.values.pOne, stream.values.pOne);
+    EXPECT_EQ(loaded.values.pNarrow, stream.values.pNarrow);
+    EXPECT_EQ(loaded.meas.instructions, stream.meas.instructions);
+    EXPECT_EQ(loaded.meas.l1dAccesses, stream.meas.l1dAccesses);
+    EXPECT_EQ(loaded.totalLineMisses, stream.totalLineMisses);
+    EXPECT_EQ(loaded.markerEvents, stream.markerEvents);
+    EXPECT_EQ(loaded.markerVictims, stream.markerVictims);
+    ASSERT_EQ(loaded.events.size(), stream.events.size());
+    for (std::size_t i = 0; i < stream.events.size(); ++i) {
+        EXPECT_EQ(loaded.events[i].addr, stream.events[i].addr);
+        EXPECT_EQ(loaded.events[i].pc, stream.events[i].pc);
+        EXPECT_EQ(loaded.events[i].instrDelta,
+                  stream.events[i].instrDelta);
+        EXPECT_EQ(loaded.events[i].op, stream.events[i].op);
+        EXPECT_EQ(loaded.events[i].flags, stream.events[i].flags);
+    }
+    ASSERT_EQ(loaded.victims.size(), stream.victims.size());
+    for (std::size_t i = 0; i < stream.victims.size(); ++i) {
+        EXPECT_EQ(loaded.victims[i].line, stream.victims[i].line);
+        EXPECT_EQ(loaded.victims[i].used, stream.victims[i].used);
+        EXPECT_EQ(loaded.victims[i].dirty, stream.victims[i].dirty);
+    }
+
+    // And the loaded stream drives a replay to the same numbers.
+    L2Instance a = makeConfig(ConfigKind::LdisMTRC, stream.values);
+    L2Instance b = makeConfig(ConfigKind::LdisMTRC, loaded.values);
+    expectSameRun(replayStream(stream, *a.cache),
+                  replayStream(loaded, *b.cache));
+}
+
+TEST(Replay, DiskCacheRejectsCorruption)
+{
+    auto workload = makeBenchmark("vpr", 1);
+    L2Stream stream = recordStream(*workload, 1, 0, 200'000);
+    std::string path = tempPath("corrupt.l2s");
+    ASSERT_TRUE(writeL2Stream(path, stream));
+    L2Stream out;
+
+    // Missing file: quiet failure.
+    EXPECT_FALSE(readL2Stream(tempPath("nonexistent.l2s"), out));
+
+    // A flipped payload byte breaks the checksum.
+    flipByte(path, fileSize(path) / 2);
+    EXPECT_FALSE(readL2Stream(path, out));
+    flipByte(path, fileSize(path) / 2); // restore
+    ASSERT_TRUE(readL2Stream(path, out));
+
+    // Version mismatch (byte 4 is the low byte of the u32 version).
+    flipByte(path, 4);
+    EXPECT_FALSE(readL2Stream(path, out));
+    flipByte(path, 4);
+
+    // Bad magic.
+    flipByte(path, 0);
+    EXPECT_FALSE(readL2Stream(path, out));
+    flipByte(path, 0);
+
+    // Truncation.
+    ASSERT_EQ(::truncate(path.c_str(), fileSize(path) - 16), 0);
+    EXPECT_FALSE(readL2Stream(path, out));
+}
+
+TEST(Replay, TraceCacheEnvRegeneratesCorruptFiles)
+{
+    std::string dir = ::testing::TempDir() + "ldis_replay_env";
+    ::mkdir(dir.c_str(), 0755);
+    ASSERT_EQ(::setenv("LDIS_TRACE_CACHE", dir.c_str(), 1), 0);
+
+    auto first = loadOrRecordStream("gcc", 1, 0, 200'000);
+    std::string path = streamCachePath("gcc", 1, 0, 200'000);
+    ASSERT_FALSE(path.empty());
+    EXPECT_GT(fileSize(path), 0);
+
+    // Second lookup is served from disk and matches exactly.
+    auto second = loadOrRecordStream("gcc", 1, 0, 200'000);
+    ASSERT_EQ(second->events.size(), first->events.size());
+    EXPECT_EQ(second->meas.l1dAccesses, first->meas.l1dAccesses);
+    EXPECT_EQ(second->frontEndKey, first->frontEndKey);
+
+    // Corrupt the cached file: the loader regenerates (and the
+    // regenerated stream matches the original recording).
+    flipByte(path, fileSize(path) / 2);
+    auto third = loadOrRecordStream("gcc", 1, 0, 200'000);
+    ASSERT_EQ(third->events.size(), first->events.size());
+    EXPECT_EQ(third->meas.l1dAccesses, first->meas.l1dAccesses);
+    ASSERT_EQ(::unsetenv("LDIS_TRACE_CACHE"), 0);
+
+    // Without the env var there is no cache path.
+    EXPECT_TRUE(streamCachePath("gcc", 1, 0, 200'000).empty());
+}
+
+TEST(Replay, FrontEndKeyTracksGeometry)
+{
+    HierarchyParams base;
+    HierarchyParams bigger_l1d = base;
+    bigger_l1d.l1d.bytes *= 2;
+    HierarchyParams no_iside = base;
+    no_iside.modelInstructionSide = false;
+    EXPECT_NE(frontEndParamsKey(base),
+              frontEndParamsKey(bigger_l1d));
+    EXPECT_NE(frontEndParamsKey(base),
+              frontEndParamsKey(no_iside));
+    EXPECT_EQ(frontEndParamsKey(base),
+              frontEndParamsKey(HierarchyParams{}));
+}
+
+TEST(Replay, EnabledUnlessEnvZero)
+{
+    ASSERT_EQ(::setenv("LDIS_REPLAY", "0", 1), 0);
+    EXPECT_FALSE(replayEnabled());
+    ASSERT_EQ(::setenv("LDIS_REPLAY", "1", 1), 0);
+    EXPECT_TRUE(replayEnabled());
+    ASSERT_EQ(::unsetenv("LDIS_REPLAY"), 0);
+    EXPECT_TRUE(replayEnabled());
+}
+
+} // namespace
+} // namespace ldis

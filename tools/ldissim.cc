@@ -22,6 +22,7 @@
 #include "common/table.hh"
 #include "distill/distill_cache.hh"
 #include "sim/experiment.hh"
+#include "sim/replay.hh"
 
 using namespace ldis;
 
@@ -151,6 +152,9 @@ main(int argc, char **argv)
     args.addFlag("no-rc", "disable the reverter (ldis)");
     args.addOption("prefetch", "next-N-line prefetch degree", "0");
     args.addFlag("ipc", "execution-driven run (reports IPC)");
+    args.addFlag("replay",
+                 "drive the L2 from a recorded front-end stream "
+                 "(bit-identical stats; honors LDIS_TRACE_CACHE)");
     args.addFlag("json", "emit the report as a JSON object");
     args.addFlag("list", "list benchmark proxies and exit");
     args.addFlag("help", "show this help");
@@ -212,7 +216,14 @@ main(int argc, char **argv)
         return 0;
     }
 
-    RunResult r = runTrace(*workload, *l2.cache, cli.instructions);
+    RunResult r;
+    if (args.has("replay")) {
+        auto stream = loadOrRecordStream(cli.benchmark, cli.seed, 0,
+                                         cli.instructions);
+        r = replayStream(*stream, *l2.cache);
+    } else {
+        r = runTrace(*workload, *l2.cache, cli.instructions);
+    }
     if (args.has("json"))
         printJsonReport(r);
     else
