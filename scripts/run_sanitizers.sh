@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# One-command local sanitizer wall: build the tree with audit hooks
+# compiled in, run the full tier-1 test suite under the selected
+# sanitizer, then drive an audited fig06 slice through the simulator
+# (the TSan leg additionally exercises the threaded RunMatrix with
+# LDIS_JOBS workers).
+#
+#   ./scripts/run_sanitizers.sh            # asan, then tsan
+#   SAN=asan ./scripts/run_sanitizers.sh   # one sanitizer only
+#
+# Build directories (build-asan/, build-tsan/) are reused across
+# invocations, so only the first run pays for a full compile.
+#
+# Knobs (environment):
+#   SAN                sanitizers to run: "asan tsan" (default), or
+#                      any subset ("asan", "tsan")
+#   JOBS               parallel build/test jobs (nproc)
+#   LDIS_JOBS          RunMatrix worker threads for the TSan slice (4)
+#   LDIS_INSTRUCTIONS  run length of the fig06 slice (2000000)
+set -eu
+cd "$(dirname "$0")/.."
+SAN=${SAN:-"asan tsan"}
+JOBS=${JOBS:-$(nproc)}
+TSAN_WORKERS=${LDIS_JOBS:-4}
+INSTRUCTIONS=${LDIS_INSTRUCTIONS:-2000000}
+
+run_one() {
+    local kind="$1" flags="$2" build="build-$1"
+    echo "== $kind: configure ($build) =="
+    cmake -B "$build" -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DLDIS_AUDIT=ON \
+        -DCMAKE_CXX_FLAGS="$flags" \
+        -DCMAKE_EXE_LINKER_FLAGS="$flags" >/dev/null
+    echo "== $kind: build =="
+    cmake --build "$build" -j "$JOBS"
+    echo "== $kind: tier-1 tests =="
+    ctest --test-dir "$build" --output-on-failure -j "$JOBS"
+    if [ "$kind" = tsan ]; then
+        echo "== $kind: threaded runner (LDIS_JOBS=$TSAN_WORKERS) =="
+        LDIS_JOBS=$TSAN_WORKERS ctest --test-dir "$build" \
+            --output-on-failure -j "$JOBS" -R Matrix
+        echo "== $kind: audited fig06 slice, $TSAN_WORKERS jobs =="
+        LDIS_AUDIT=1 LDIS_JOBS=$TSAN_WORKERS \
+            LDIS_INSTRUCTIONS=$INSTRUCTIONS \
+            "./$build/bench/fig06_mpki" >/dev/null
+    else
+        echo "== $kind: audited fig06 slice =="
+        LDIS_AUDIT=1 LDIS_INSTRUCTIONS=$INSTRUCTIONS \
+            "./$build/bench/fig06_mpki" >/dev/null
+    fi
+    echo "== $kind: audited simulator run =="
+    "./$build/tools/ldissim" --benchmark mcf --config ldis-mt-rc \
+        --instructions "$INSTRUCTIONS" --audit \
+        --audit-interval 1024 >/dev/null
+    echo "== $kind: PASS =="
+}
+
+for kind in $SAN; do
+    case "$kind" in
+        asan) run_one asan "-fsanitize=address,undefined \
+-fno-sanitize-recover=all -fno-omit-frame-pointer" ;;
+        tsan) run_one tsan "-fsanitize=thread" ;;
+        *) echo "error: unknown sanitizer '$kind' (asan|tsan)" >&2
+           exit 1 ;;
+    esac
+done
+echo "run_sanitizers: all clean ($SAN)"

@@ -13,6 +13,7 @@ Cycle
 L1ICache::fetchLine(Addr pc)
 {
     ++statsData.accesses;
+    LDIS_AUDIT_POINT(auditClock, "L1ICache", *this);
     LineAddr line = lineAddrOf(pc);
     if (cache.findTouch(line))
         return hitLatency;

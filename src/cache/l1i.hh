@@ -9,9 +9,12 @@
 #ifndef DISTILLSIM_CACHE_L1I_HH
 #define DISTILLSIM_CACHE_L1I_HH
 
+#include <string>
+
 #include "cache/l2_interface.hh"
 #include "cache/set_assoc.hh"
 #include "cache/stream_sink.hh"
+#include "common/audit.hh"
 
 namespace ldis
 {
@@ -44,12 +47,20 @@ class L1ICache
     /** Attach a front-end event observer (null to detach). */
     void setSink(FrontEndSink *s) { sink = s; }
 
+    /** Tag-array audit (see common/audit.hh). */
+    std::string
+    auditInvariants() const
+    {
+        return cache.auditInvariants();
+    }
+
   private:
     SetAssocCache cache;
     SecondLevelCache &l2;
     Cycle hitLatency;
     L1IStats statsData;
     FrontEndSink *sink = nullptr;
+    audit::Clock auditClock;
 };
 
 } // namespace ldis

@@ -19,10 +19,30 @@ SectoredL1D::drainToL2(const CacheLineState &victim)
     l2.l1dEviction(victim.line, victim.footprint, victim.dirtyWords);
 }
 
+std::string
+SectoredL1D::auditInvariants() const
+{
+    std::string violation;
+    cache.forEachLine([&](const CacheLineState &l) {
+        if (!violation.empty())
+            return;
+        if (!((l.footprint & l.validWords) == l.footprint))
+            violation = "footprint outside the valid words of line " +
+                std::to_string(l.line);
+        else if (!((l.dirtyWords & l.footprint) == l.dirtyWords))
+            violation = "dirty words outside the footprint of line " +
+                std::to_string(l.line);
+    });
+    if (!violation.empty())
+        return violation;
+    return cache.auditInvariants();
+}
+
 L1DResult
 SectoredL1D::access(Addr addr, bool write, Addr pc)
 {
     ++statsData.accesses;
+    LDIS_AUDIT_POINT(auditClock, "SectoredL1D", *this);
     LineAddr line = lineAddrOf(addr);
     WordIdx word = wordIdxOf(addr);
 

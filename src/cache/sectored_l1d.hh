@@ -10,9 +10,12 @@
 #ifndef DISTILLSIM_CACHE_SECTORED_L1D_HH
 #define DISTILLSIM_CACHE_SECTORED_L1D_HH
 
+#include <string>
+
 #include "cache/l2_interface.hh"
 #include "cache/set_assoc.hh"
 #include "cache/stream_sink.hh"
+#include "common/audit.hh"
 
 namespace ldis
 {
@@ -71,6 +74,14 @@ class SectoredL1D
     /** Attach a front-end event observer (null to detach). */
     void setSink(FrontEndSink *s) { sink = s; }
 
+    /**
+     * Audit sector bookkeeping on top of the tag-array invariants:
+     * dirty words and the usage footprint never exceed the valid
+     * (filled) words of a resident line.
+     * @return "" when well-formed, else the first violation
+     */
+    std::string auditInvariants() const;
+
   private:
     /** Evict @p victim, draining footprint/dirty info to the L2. */
     void drainToL2(const CacheLineState &victim);
@@ -80,6 +91,7 @@ class SectoredL1D
     Cycle hitLatency;
     L1DStats statsData;
     FrontEndSink *sink = nullptr;
+    audit::Clock auditClock;
 };
 
 } // namespace ldis

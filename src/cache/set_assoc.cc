@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/audit.hh"
 #include "common/intmath.hh"
 #include "common/logging.hh"
 
@@ -176,22 +177,29 @@ SetAssocCache::install(LineAddr line)
     }
     pending = -1;
 
-    CacheLineState evicted = lines[base + victim_way];
+    // The selection loops above only ever produce ways in range;
+    // carry on in unsigned so the indexing below never mixes signs.
+    unsigned vw = static_cast<unsigned>(victim_way);
+    CacheLineState evicted = lines[base + vw];
     CacheLineState fresh;
     fresh.line = line;
     fresh.valid = true;
-    lines[base + victim_way] = fresh;
+    lines[base + vw] = fresh;
 
     // Promote the filled way to MRU.
     std::uint8_t *ord = &order[base];
     unsigned pos = 0;
-    while (ord[pos] != victim_way) {
+    while (ord[pos] != vw) {
         ++pos;
         ldis_assert(pos < waysCount);
     }
     for (; pos > 0; --pos)
         ord[pos] = ord[pos - 1];
-    ord[0] = static_cast<std::uint8_t>(victim_way);
+    ord[0] = static_cast<std::uint8_t>(vw);
+
+    LDIS_AUDIT_CHECK("SetAssocCache",
+                     evicted.valid ? auditSet(setIndexOf(line))
+                                   : std::string());
     return evicted;
 }
 
@@ -228,6 +236,72 @@ SetAssocCache::validCount() const
         if (l.valid)
             ++n;
     return n;
+}
+
+std::string
+SetAssocCache::auditSet(std::uint64_t set_index) const
+{
+    auto where = [set_index](const std::string &what) {
+        return "set " + std::to_string(set_index) + ": " + what;
+    };
+    std::size_t base =
+        static_cast<std::size_t>(set_index) * waysCount;
+
+    // The recency order must be a permutation of [0, ways).
+    std::uint64_t seen_ways = 0;
+    for (unsigned p = 0; p < waysCount; ++p) {
+        unsigned w = order[base + p];
+        if (w >= waysCount)
+            return where("recency slot " + std::to_string(p) +
+                         " holds way " + std::to_string(w) +
+                         " >= ways " + std::to_string(waysCount));
+        if ((seen_ways >> w) & 1u)
+            return where("way " + std::to_string(w) +
+                         " appears twice in the recency order");
+        seen_ways |= std::uint64_t{1} << w;
+    }
+
+    // Valid lines: unique tags, each mapping to this set.
+    for (unsigned w = 0; w < waysCount; ++w) {
+        const CacheLineState &l = lines[base + w];
+        if (!l.valid)
+            continue;
+        if (setIndexOf(l.line) != set_index)
+            return where("way " + std::to_string(w) + " holds line " +
+                         std::to_string(l.line) +
+                         " of another set");
+        for (unsigned o = w + 1; o < waysCount; ++o) {
+            const CacheLineState &other = lines[base + o];
+            if (other.valid && other.line == l.line)
+                return where("line " + std::to_string(l.line) +
+                             " is duplicated in ways " +
+                             std::to_string(w) + " and " +
+                             std::to_string(o));
+        }
+        // Per-word metadata consistency (sectored users): every
+        // dirty word must be valid in the sector sense, and the
+        // word-granular dirty bits imply usage.
+        if (!((l.dirtyWords & l.validWords) == l.dirtyWords) &&
+            !l.validWords.empty())
+            return where("way " + std::to_string(w) +
+                         " has dirty words outside its valid words");
+    }
+
+    // A memoized random victim must name a real way.
+    std::int16_t pending = pendingVictim[set_index];
+    if (pending < -1 || pending >= static_cast<int>(waysCount))
+        return where("pending random victim " +
+                     std::to_string(pending) + " out of range");
+    return "";
+}
+
+std::string
+SetAssocCache::auditInvariants() const
+{
+    for (std::uint64_t s = 0; s < setsCount; ++s)
+        if (std::string err = auditSet(s); !err.empty())
+            return err;
+    return "";
 }
 
 } // namespace ldis

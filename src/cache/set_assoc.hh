@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/footprint.hh"
@@ -147,6 +148,17 @@ class SetAssocCache
     /** Number of valid lines (for tests/occupancy studies). */
     std::uint64_t validCount() const;
 
+    /**
+     * Audit one set: the recency order is a permutation of the ways,
+     * no tag appears twice among the valid lines, every valid line
+     * maps to the set, and any memoized random victim is in range.
+     * @return "" when well-formed, else the first violation
+     */
+    std::string auditSet(std::uint64_t set_index) const;
+
+    /** auditSet() over every set (see common/audit.hh). */
+    std::string auditInvariants() const;
+
     /** Visit every valid line (sampling experiments). */
     template <typename F>
     void
@@ -158,6 +170,9 @@ class SetAssocCache
     }
 
   private:
+    /** Test-only state-corruption backdoor (tests/test_audit.cc). */
+    friend struct AuditBackdoor;
+
     /**
      * Storage is flat: way w of set s lives at index s*ways + w of
      * `lines`, and the set's MRU-to-LRU way ordering occupies the

@@ -55,6 +55,7 @@ L2Result
 TraditionalL2::access(Addr addr, bool write, Addr /*pc*/, bool instr)
 {
     ++statsData.accesses;
+    LDIS_AUDIT_POINT(auditClock, "TraditionalL2", *this);
     // Line geometry follows the configured line size (the Section-2
     // line-size study uses 32B lines; the default is 64B).
     unsigned line_bytes = cache.geometry().lineBytes;

@@ -10,7 +10,9 @@
 #define DISTILLSIM_CACHE_TRADITIONAL_L2_HH
 
 #include <memory>
+#include <string>
 
+#include "common/audit.hh"
 #include "common/histogram.hh"
 #include "cache/l2_interface.hh"
 #include "cache/set_assoc.hh"
@@ -71,6 +73,13 @@ class TraditionalL2 : public SecondLevelCache
     /** Underlying tag array (read-only, for sampling experiments). */
     const SetAssocCache &tags() const { return cache; }
 
+    /** Tag-array audit (see common/audit.hh). */
+    std::string
+    auditInvariants() const
+    {
+        return cache.auditInvariants();
+    }
+
   private:
     /** Record instrumentation and stats for an evicted line. */
     void noteEviction(const CacheLineState &victim);
@@ -89,6 +98,7 @@ class TraditionalL2 : public SecondLevelCache
     CompulsoryTracker compulsory;
     Histogram wordsHist;
     Histogram recHist;
+    audit::Clock auditClock;
 };
 
 } // namespace ldis

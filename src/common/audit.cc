@@ -1,0 +1,78 @@
+#include "audit.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace ldis
+{
+namespace audit
+{
+
+namespace
+{
+
+std::atomic<bool> auditEnabled{false};
+std::atomic<std::uint64_t> auditInterval{4096};
+std::once_flag envOnce;
+
+/** Latch LDIS_AUDIT / LDIS_AUDIT_INTERVAL once, before first use. */
+void
+initFromEnv()
+{
+    if (const char *env = std::getenv("LDIS_AUDIT")) {
+        bool off = env[0] == '\0' || (env[0] == '0' && env[1] == '\0');
+        auditEnabled.store(!off, std::memory_order_relaxed);
+    }
+    if (const char *env = std::getenv("LDIS_AUDIT_INTERVAL")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (end == env || *end != '\0' || v == 0)
+            ldis_fatal("LDIS_AUDIT_INTERVAL='%s' is not a positive "
+                       "integer", env);
+        auditInterval.store(v, std::memory_order_relaxed);
+    }
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    std::call_once(envOnce, initFromEnv);
+    return auditEnabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    std::call_once(envOnce, initFromEnv);
+    auditEnabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t
+interval()
+{
+    std::call_once(envOnce, initFromEnv);
+    return auditInterval.load(std::memory_order_relaxed);
+}
+
+void
+setInterval(std::uint64_t points)
+{
+    std::call_once(envOnce, initFromEnv);
+    if (points == 0)
+        ldis_fatal("audit interval must be positive");
+    auditInterval.store(points, std::memory_order_relaxed);
+}
+
+void
+fail(const char *model, const std::string &violation)
+{
+    ldis_panic("audit[%s]: %s", model, violation.c_str());
+}
+
+} // namespace audit
+} // namespace ldis

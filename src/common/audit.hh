@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Invariant-audit engine. Every stateful model exposes an
+ * `auditInvariants()` hook that returns a description of the first
+ * violated invariant ("" when the state is well-formed); this header
+ * supplies the runtime switchboard and the zero-cost-when-off macros
+ * that wire those hooks into the simulation hot paths.
+ *
+ * Two knobs, both independent of the build flag:
+ *  - compile-time: the CMake option LDIS_AUDIT defines
+ *    LDIS_AUDIT_BUILD and compiles the macro call sites in. Without
+ *    it the macros expand to nothing, so Release/bench builds carry
+ *    no audit overhead at all (not even a branch).
+ *  - run-time: audits only execute when enabled via `ldissim
+ *    --audit`, the LDIS_AUDIT=1 environment variable (read once, so
+ *    harnesses like fig06_mpki can run audited), or
+ *    audit::setEnabled(). Full-state audits fire every interval()
+ *    audit points (LDIS_AUDIT_INTERVAL / --audit-interval, default
+ *    4096); per-set audits additionally fire on every eviction.
+ *
+ * Audits are strictly read-only: an audited run produces bit-exact
+ * statistics to an unaudited one (enforced by tests/test_audit.cc).
+ */
+
+#ifndef DISTILLSIM_COMMON_AUDIT_HH
+#define DISTILLSIM_COMMON_AUDIT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ldis
+{
+namespace audit
+{
+
+/** True iff the build carries the audit call sites (LDIS_AUDIT=ON). */
+constexpr bool
+compiledIn()
+{
+#if defined(LDIS_AUDIT_BUILD) && LDIS_AUDIT_BUILD
+    return true;
+#else
+    return false;
+#endif
+}
+
+/**
+ * Runtime switch. The first call latches the LDIS_AUDIT environment
+ * variable; setEnabled() overrides it. Thread-safe (the RunMatrix
+ * workers consult it concurrently).
+ */
+bool enabled();
+void setEnabled(bool on);
+
+/** Full-audit period, in audit points (accesses). Never zero. */
+std::uint64_t interval();
+void setInterval(std::uint64_t points);
+
+/**
+ * Panic with the model name and violation text. @p violation must be
+ * non-empty; call sites gate on it (see require()).
+ */
+[[noreturn]] void fail(const char *model,
+                       const std::string &violation);
+
+/** Panic iff @p violation is non-empty. */
+inline void
+require(const char *model, const std::string &violation)
+{
+    if (!violation.empty())
+        fail(model, violation);
+}
+
+/**
+ * Per-object countdown deciding when a full-state audit is due.
+ * Cheap enough to embed unconditionally; only the macro call sites
+ * are compiled out in non-audit builds.
+ */
+class Clock
+{
+  public:
+    /** True every interval()-th call while audits are enabled. */
+    bool
+    due()
+    {
+        if (!enabled()) {
+            ticks = 0;
+            return false;
+        }
+        if (++ticks < interval())
+            return false;
+        ticks = 0;
+        return true;
+    }
+
+  private:
+    std::uint64_t ticks = 0;
+};
+
+} // namespace audit
+} // namespace ldis
+
+#if defined(LDIS_AUDIT_BUILD) && LDIS_AUDIT_BUILD
+
+/**
+ * Full-state audit point (hot paths: one call per access). Runs
+ * @p obj.auditInvariants() every interval() calls while enabled.
+ */
+#define LDIS_AUDIT_POINT(clock, model, obj)                           \
+    do {                                                              \
+        if ((clock).due())                                            \
+            ::ldis::audit::require((model), (obj).auditInvariants()); \
+    } while (0)
+
+/**
+ * Event-driven audit (eviction paths): evaluates @p expr — typically
+ * a per-set audit — on every call while audits are enabled.
+ */
+#define LDIS_AUDIT_CHECK(model, expr)                                 \
+    do {                                                              \
+        if (::ldis::audit::enabled())                                 \
+            ::ldis::audit::require((model), (expr));                  \
+    } while (0)
+
+#else
+
+#define LDIS_AUDIT_POINT(clock, model, obj) ((void)0)
+#define LDIS_AUDIT_CHECK(model, expr) ((void)0)
+
+#endif // LDIS_AUDIT_BUILD
+
+#endif // DISTILLSIM_COMMON_AUDIT_HH

@@ -52,6 +52,19 @@ divCeil(std::uint64_t a, std::uint64_t b)
     return (a + b - 1) / b;
 }
 
+/**
+ * Mask with the low @p n bits set. Well-defined for the full
+ * [0, 64] range — `(1ull << 64) - 1` is undefined behaviour, and the
+ * WOC occupancy math legitimately produces n == 64 (a full 8-way,
+ * 64-entry set).
+ */
+constexpr std::uint64_t
+lowMask64(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0}
+                   : (std::uint64_t{1} << n) - 1;
+}
+
 } // namespace ldis
 
 #endif // DISTILLSIM_COMMON_INTMATH_HH

@@ -83,6 +83,9 @@ CompressedL2::evictTag(CSet &s, unsigned idx)
     if (t.dirty)
         ++statsData.writebacks;
     t = CTag{};
+    LDIS_AUDIT_CHECK("CompressedL2",
+                     auditSet(static_cast<std::uint64_t>(
+                         &s - sets.data())));
 }
 
 unsigned
@@ -154,6 +157,7 @@ CompressedL2::access(Addr addr, bool write, Addr /*pc*/, bool /*i*/)
     extra.segmentsStored += need;
     ++extra.linesInstalled;
 
+    LDIS_AUDIT_POINT(auditClock, "CompressedL2", *this);
     return {L2Outcome::LineMiss, Footprint::full(),
             prm.latency.hit + prm.latency.memory};
 }
@@ -182,18 +186,55 @@ CompressedL2::avgSegmentsPerLine() const
          / static_cast<double>(extra.linesInstalled);
 }
 
-bool
-CompressedL2::checkIntegrity() const
+std::string
+CompressedL2::auditSet(std::uint64_t set_index) const
 {
-    for (const CSet &s : sets) {
-        unsigned sum = 0;
-        for (const CTag &t : s.tags)
-            if (t.valid)
-                sum += t.segments;
-        if (sum != s.usedSegments || sum > segmentsPerSet)
-            return false;
+    ldis_assert(set_index < setsCount);
+    const CSet &s = sets[set_index];
+    auto in_set = [&](const char *what) {
+        return std::string(what) + " in set " +
+               std::to_string(set_index);
+    };
+
+    bool seen_tags[256] = {};
+    if (s.order.size() != s.tags.size())
+        return in_set("recency order size mismatch");
+    for (std::uint8_t idx : s.order) {
+        if (idx >= s.tags.size() || seen_tags[idx])
+            return in_set("recency order is not a permutation");
+        seen_tags[idx] = true;
     }
-    return true;
+
+    unsigned sum = 0;
+    for (unsigned i = 0; i < s.tags.size(); ++i) {
+        const CTag &t = s.tags[i];
+        if (!t.valid)
+            continue;
+        if (setIndexOf(t.line) != set_index)
+            return in_set("tag line maps to a different set");
+        if (t.segments < 1 || t.segments > kWordsPerLine)
+            return in_set("segment count outside [1, 8]");
+        for (unsigned k = i + 1; k < s.tags.size(); ++k)
+            if (s.tags[k].valid && s.tags[k].line == t.line)
+                return in_set("line occupies two tags");
+        sum += t.segments;
+    }
+    if (sum != s.usedSegments)
+        return in_set("segment accounting disagrees with the tags");
+    if (sum > segmentsPerSet)
+        return in_set("segments overrun the data store");
+    return "";
+}
+
+std::string
+CompressedL2::auditInvariants() const
+{
+    for (unsigned i = 0; i < setsCount; ++i) {
+        std::string violation = auditSet(i);
+        if (!violation.empty())
+            return violation;
+    }
+    return "";
 }
 
 } // namespace ldis

@@ -15,10 +15,12 @@
 #define DISTILLSIM_COMPRESSION_COMPRESSED_L2_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cache/l2_interface.hh"
 #include "cache/traditional_l2.hh"
+#include "common/audit.hh"
 #include "compression/encoder.hh"
 #include "trace/value_model.hh"
 
@@ -67,10 +69,29 @@ class CompressedL2 : public SecondLevelCache
     /** Average segments per installed line (compression ratio). */
     double avgSegmentsPerLine() const;
 
-    /** Verify per-set segment accounting (tests). */
-    bool checkIntegrity() const;
+    /**
+     * Audit one set: recency order is a permutation of the tags,
+     * valid tags map here and are unique, per-line segment counts
+     * are in [1, 8], and the set's segment accounting matches the
+     * tags and never exceeds the data store.
+     * @return "" when well-formed, else the first violation
+     */
+    std::string auditSet(std::uint64_t set_index) const;
+
+    /** auditSet() over every set (see common/audit.hh). */
+    std::string auditInvariants() const;
+
+    /** auditInvariants() as a predicate (legacy tests). */
+    bool
+    checkIntegrity() const
+    {
+        return auditInvariants().empty();
+    }
 
   private:
+    /** Test-only state-corruption backdoor (tests/test_audit.cc). */
+    friend struct AuditBackdoor;
+
     struct CTag
     {
         bool valid = false;
@@ -103,6 +124,7 @@ class CompressedL2 : public SecondLevelCache
     CompulsoryTracker compulsory;
     L2Stats statsData;
     CompressedL2Stats extra;
+    audit::Clock auditClock;
 };
 
 } // namespace ldis

@@ -24,9 +24,7 @@ CompressedWocSet::takeGroup(unsigned head)
     ev.words = wordsAt[head];
     ev.dirty = dirtyAt[head];
     unsigned slots = slotsAt[head];
-    std::uint64_t span = (slots >= 64)
-        ? ~0ull
-        : (((1ull << slots) - 1) << head);
+    std::uint64_t span = lowMask64(slots) << head;
     ldis_assert((validMask & span) == span);
     validMask &= ~span;
     headMask &= ~span;
@@ -50,8 +48,7 @@ CompressedWocSet::install(LineAddr line, Footprint used,
     std::uint8_t eligible[kMaxEntries];
     unsigned n_free = 0;
     unsigned n_elig = 0;
-    std::uint64_t window = (slots >= 64) ? ~0ull
-                                         : ((1ull << slots) - 1);
+    std::uint64_t window = lowMask64(slots);
     for (unsigned s = 0; s + slots <= entryCount; s += slots) {
         bool first_valid = (validMask >> s) & 1u;
         bool first_head = (headMask >> s) & 1u;
@@ -83,9 +80,7 @@ CompressedWocSet::install(LineAddr line, Footprint used,
         evicted_out.push_back(takeGroup(h));
     }
 
-    std::uint64_t span = (slots >= 64)
-        ? ~0ull
-        : (((1ull << slots) - 1) << start);
+    std::uint64_t span = lowMask64(slots) << start;
     validMask |= span;
     headMask |= 1ull << start;
     for (unsigned i = start; i < start + slots; ++i)
@@ -126,14 +121,18 @@ CompressedWocSet::flush(std::vector<WocEvicted> &evicted_out)
     ldis_assert(validEntryCount() == 0);
 }
 
-bool
-CompressedWocSet::checkIntegrity() const
+std::string
+CompressedWocSet::auditInvariants() const
 {
-    std::uint64_t in_range = entryCount >= 64
-        ? ~0ull
-        : ((1ull << entryCount) - 1);
-    if ((validMask & ~in_range) || (headMask & ~validMask))
-        return false;
+    auto at = [](const char *what, unsigned i) {
+        return std::string(what) + " at entry " + std::to_string(i);
+    };
+
+    std::uint64_t in_range = lowMask64(entryCount);
+    if (validMask & ~in_range)
+        return "valid bits beyond the entry count";
+    if (headMask & ~validMask)
+        return "head bit on an invalid entry";
 
     LineAddr seen[kMaxEntries];
     unsigned n_seen = 0;
@@ -143,31 +142,40 @@ CompressedWocSet::checkIntegrity() const
             ++i;
             continue;
         }
+        // Walking extent-by-extent from ascending heads means any
+        // overlap shows up as a non-head valid entry at an extent
+        // boundary, so this single pass also proves disjointness.
         if (!((headMask >> i) & 1u))
-            return false;
+            return at("extent without a head bit", i);
         unsigned slots = slotsAt[i];
         if (slots == 0 || !isPowerOf2(slots))
-            return false;
+            return at("extent size is not a power of two", i);
         if (i % slots != 0)
-            return false;
+            return at("misaligned extent", i);
+        if (i + slots > entryCount)
+            return at("extent overruns the data array", i);
         if (wordsAt[i].empty())
-            return false;
+            return at("extent represents no words", i);
         if (!((dirtyAt[i] & wordsAt[i]) == dirtyAt[i]))
-            return false;
+            return at("dirty words outside the represented words",
+                      i);
         for (unsigned k = i + 1; k < i + slots; ++k) {
-            if (k >= entryCount)
-                return false;
-            if (!((validMask >> k) & 1u) ||
-                ((headMask >> k) & 1u) || lineAt[k] != lineAt[i])
-                return false;
+            if (!((validMask >> k) & 1u))
+                return at("hole inside an extent", k);
+            if ((headMask >> k) & 1u)
+                return at("overlapping extents (head inside an "
+                          "extent)", k);
+            if (lineAt[k] != lineAt[i])
+                return at("extent spans two lines", k);
         }
         for (unsigned s = 0; s < n_seen; ++s)
             if (seen[s] == lineAt[i])
-                return false;
+                return "line " + std::to_string(lineAt[i]) +
+                       " occupies two extents";
         seen[n_seen++] = lineAt[i];
         i += slots;
     }
-    return true;
+    return "";
 }
 
 } // namespace ldis

@@ -21,6 +21,7 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/footprint.hh"
@@ -124,10 +125,26 @@ class CompressedWocSet
         return e;
     }
 
-    /** Structural invariants (group shape, alignment, uniqueness). */
-    bool checkIntegrity() const;
+    /**
+     * Audit structural invariants: every compressed extent starts at
+     * a head, stays within the entry array, is power-of-two sized
+     * and aligned, extents do not overlap, dirty masks are subsets
+     * of the represented words, and no line appears twice.
+     * @return "" when well-formed, else the first violation
+     */
+    std::string auditInvariants() const;
+
+    /** auditInvariants() as a predicate (legacy tests). */
+    bool
+    checkIntegrity() const
+    {
+        return auditInvariants().empty();
+    }
 
   private:
+    /** Test-only state-corruption backdoor (tests/test_audit.cc). */
+    friend struct AuditBackdoor;
+
     /** Entry index of @p line's head, or -1 if absent. */
     int
     headOf(LineAddr line) const

@@ -151,6 +151,7 @@ FacCache::handleLocEviction(FSet &s, const CacheLineState &victim)
     ++extra.wocInstalls;
     extra.slotsStored += slots;
     extra.wordsStored += count;
+    LDIS_AUDIT_CHECK("FacCache", auditEvictionScratch(s));
 }
 
 CacheLineState &
@@ -176,13 +177,14 @@ FacCache::installLine(FSet &s, LineAddr line, bool instr)
         handleLocEviction(s, s.frames[victim_frame]);
     }
 
+    unsigned vf = static_cast<unsigned>(victim_frame);
     CacheLineState fresh;
     fresh.line = line;
     fresh.valid = true;
     fresh.instr = instr;
-    s.frames[victim_frame] = fresh;
-    touchFrame(s, static_cast<unsigned>(victim_frame));
-    return s.frames[victim_frame];
+    s.frames[vf] = fresh;
+    touchFrame(s, vf);
+    return s.frames[vf];
 }
 
 void
@@ -266,6 +268,9 @@ FacCache::access(Addr addr, bool write, Addr /*pc*/, bool instr)
                 fresh.dirtyWords.set(word);
             res = {L2Outcome::HoleMiss, Footprint::full(),
                    prm.hitLatency + prm.memLatency};
+            // The install may have distilled a victim; audit only
+            // now that the fresh line carries its demand word.
+            LDIS_AUDIT_CHECK("FacCache", auditSet(set_index));
         }
     } else {
         if (compulsory.firstTouch(line))
@@ -277,11 +282,15 @@ FacCache::access(Addr addr, bool write, Addr /*pc*/, bool instr)
             fresh.dirtyWords.set(word);
         res = {L2Outcome::LineMiss, Footprint::full(),
                prm.hitLatency + prm.memLatency};
+        // The install may have distilled a victim; audit only now
+        // that the fresh line carries its demand word.
+        LDIS_AUDIT_CHECK("FacCache", auditSet(set_index));
     }
 
     if (prm.useReverter && reverterUnit->isLeader(set_index))
         reverterUnit->recordLeaderAccess(line, isMiss(res.outcome));
 
+    LDIS_AUDIT_POINT(auditClock, "FacCache", *this);
     return res;
 }
 
@@ -315,26 +324,88 @@ FacCache::wocOf(std::uint64_t set_index) const
     return sets[set_index].woc;
 }
 
-bool
-FacCache::checkIntegrity() const
+std::string
+FacCache::auditSet(std::uint64_t set_index) const
+{
+    ldis_assert(set_index < setsCount);
+    const FSet &s = sets[set_index];
+    auto in_set = [&](const char *what) {
+        return std::string(what) + " in set " +
+               std::to_string(set_index);
+    };
+
+    unsigned seen_frames = 0;
+    for (unsigned i = 0; i < prm.totalWays; ++i) {
+        unsigned f = s.order[i];
+        if (f >= prm.totalWays || (seen_frames & (1u << f)))
+            return in_set("recency order is not a permutation");
+        seen_frames |= 1u << f;
+    }
+
+    for (unsigned f = 0; f < prm.totalWays; ++f) {
+        const CacheLineState &frame = s.frames[f];
+        if (!frame.valid)
+            continue;
+        if (setIndexOf(frame.line) != set_index)
+            return in_set("frame line maps to a different set");
+        if (!((frame.dirtyWords & frame.footprint) ==
+              frame.dirtyWords))
+            return in_set("dirty words outside the footprint");
+        if (frame.footprint.empty() && !frame.prefetched)
+            return in_set("demand line with an empty footprint");
+        for (unsigned g = f + 1; g < prm.totalWays; ++g)
+            if (s.frames[g].valid &&
+                s.frames[g].line == frame.line)
+                return in_set("line occupies two frames");
+        if (s.woc.linePresent(frame.line))
+            return in_set("line in both a frame and the WOC");
+        if (s.distillMode && f >= locWays())
+            return in_set("extension frame valid in distill mode");
+    }
+
+    if (!s.distillMode && s.woc.validEntryCount() != 0)
+        return in_set("traditional-mode set with WOC content");
+    if (prm.useReverter && reverterUnit->isLeader(set_index) &&
+        !s.distillMode)
+        return in_set("leader set left distill mode");
+
+    std::string woc_violation = s.woc.auditInvariants();
+    if (!woc_violation.empty())
+        return in_set("WOC") + ": " + woc_violation;
+    return "";
+}
+
+std::string
+FacCache::auditInvariants() const
 {
     for (unsigned i = 0; i < setsCount; ++i) {
-        const FSet &s = sets[i];
-        if (!s.woc.checkIntegrity())
-            return false;
-        if (!s.distillMode && s.woc.validEntryCount() != 0)
-            return false;
-        if (s.distillMode) {
-            for (unsigned f = locWays(); f < prm.totalWays; ++f)
-                if (s.frames[f].valid)
-                    return false;
-        }
-        for (unsigned f = 0; f < prm.totalWays; ++f)
-            if (s.frames[f].valid &&
-                s.woc.linePresent(s.frames[f].line))
-                return false;
+        std::string violation = auditSet(i);
+        if (!violation.empty())
+            return violation;
     }
-    return true;
+    std::string mt_violation = mtFilter.auditInvariants();
+    if (!mt_violation.empty())
+        return "MT filter: " + mt_violation;
+    if (reverterUnit) {
+        std::string rc_violation = reverterUnit->auditInvariants();
+        if (!rc_violation.empty())
+            return "reverter: " + rc_violation;
+    }
+    return "";
+}
+
+std::string
+FacCache::auditEvictionScratch(const FSet &s) const
+{
+    for (const WocEvicted &ev : scratchEvicted) {
+        if (s.woc.linePresent(ev.line))
+            return "evicted line " + std::to_string(ev.line) +
+                   " still resident in the WOC";
+        if (findFrame(s, ev.line) >= 0)
+            return "evicted line " + std::to_string(ev.line) +
+                   " still resident in a frame";
+    }
+    return "";
 }
 
 } // namespace ldis

@@ -12,10 +12,12 @@
 
 #include <array>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/l2_interface.hh"
 #include "cache/set_assoc.hh"
+#include "common/audit.hh"
 #include "compression/cwoc.hh"
 #include "compression/encoder.hh"
 #include "distill/distill_cache.hh"
@@ -72,14 +74,35 @@ class FacCache : public SecondLevelCache
     /** Slot count a given (line, used-words) pair would occupy. */
     unsigned slotsFor(LineAddr line, Footprint used) const;
 
-    /** Structural invariants across all sets. */
-    bool checkIntegrity() const;
+    /**
+     * Audit one set: recency permutation, no duplicate lines, dirty
+     * words within the footprint, LOC/WOC exclusivity, operating
+     * mode consistent with occupancy, compressed WOC well-formed.
+     * @return "" when well-formed, else the first violation
+     */
+    std::string auditSet(std::uint64_t set_index) const;
+
+    /**
+     * auditSet() over every set plus the MT filter and reverter
+     * audits (see common/audit.hh).
+     */
+    std::string auditInvariants() const;
+
+    /** auditInvariants() as a predicate (legacy tests). */
+    bool
+    checkIntegrity() const
+    {
+        return auditInvariants().empty();
+    }
 
   public:
     /** Same inline-frame bound as DistillCache. */
     static constexpr unsigned kMaxWays = DistillCache::kMaxWays;
 
   private:
+    /** Test-only state-corruption backdoor (tests/test_audit.cc). */
+    friend struct AuditBackdoor;
+
     struct FSet
     {
         std::array<CacheLineState, kMaxWays> frames{};
@@ -106,6 +129,12 @@ class FacCache : public SecondLevelCache
     void syncMode(FSet &s, std::uint64_t set_index);
     void transition(FSet &s, bool distill);
 
+    /**
+     * Audit that nothing drained into the eviction scratch buffer is
+     * still live in @p s (see DistillCache::auditEvictionScratch).
+     */
+    std::string auditEvictionScratch(const FSet &s) const;
+
     DistillParams prm;
     const ValueModel &values;
     EncoderKind encoderKind;
@@ -118,6 +147,7 @@ class FacCache : public SecondLevelCache
     L2Stats statsData;
     FacStats extra;
     std::vector<WocEvicted> scratchEvicted;
+    audit::Clock auditClock;
 };
 
 } // namespace ldis

@@ -154,6 +154,7 @@ DistillCache::handleLocEviction(DSet &s, const CacheLineState &victim)
     ++extra.wocInstalls;
     extra.wordsRetained += count;
     extra.wordsDiscarded += kWordsPerLine - count;
+    LDIS_AUDIT_CHECK("DistillCache", auditEvictionScratch(s));
 }
 
 CacheLineState &
@@ -182,13 +183,14 @@ DistillCache::installLine(DSet &s, LineAddr line, bool instr)
         handleLocEviction(s, s.frames[victim_frame]);
     }
 
+    unsigned vf = static_cast<unsigned>(victim_frame);
     CacheLineState fresh;
     fresh.line = line;
     fresh.valid = true;
     fresh.instr = instr;
-    s.frames[victim_frame] = fresh;
-    touchFrame(s, static_cast<unsigned>(victim_frame));
-    return s.frames[victim_frame];
+    s.frames[vf] = fresh;
+    touchFrame(s, vf);
+    return s.frames[vf];
 }
 
 void
@@ -287,6 +289,9 @@ DistillCache::access(Addr addr, bool write, Addr /*pc*/, bool instr)
                 fresh.dirtyWords.set(word);
             res = {L2Outcome::HoleMiss, Footprint::full(),
                    prm.hitLatency + prm.memLatency};
+            // The install may have distilled a victim; audit only
+            // now that the fresh line carries its demand word.
+            LDIS_AUDIT_CHECK("DistillCache", auditSet(set_index));
         }
     } else {
         // Line miss.
@@ -299,11 +304,15 @@ DistillCache::access(Addr addr, bool write, Addr /*pc*/, bool instr)
             fresh.dirtyWords.set(word);
         res = {L2Outcome::LineMiss, Footprint::full(),
                prm.hitLatency + prm.memLatency};
+        // The install may have distilled a victim; audit only now
+        // that the fresh line carries its demand word.
+        LDIS_AUDIT_CHECK("DistillCache", auditSet(set_index));
     }
 
     if (prm.useReverter && reverterUnit->isLeader(set_index))
         reverterUnit->recordLeaderAccess(line, isMiss(res.outcome));
 
+    LDIS_AUDIT_POINT(auditClock, "DistillCache", *this);
     return res;
 }
 
@@ -365,29 +374,94 @@ DistillCache::setInDistillMode(std::uint64_t set_index) const
     return sets[set_index].distillMode;
 }
 
-bool
-DistillCache::checkIntegrity() const
+std::string
+DistillCache::auditSet(std::uint64_t set_index) const
+{
+    ldis_assert(set_index < setsCount);
+    const DSet &s = sets[set_index];
+    auto in_set = [&](const char *what) {
+        return std::string(what) + " in set " +
+               std::to_string(set_index);
+    };
+
+    // The recency order must be a permutation of the frame indices.
+    unsigned seen_frames = 0;
+    for (unsigned i = 0; i < prm.totalWays; ++i) {
+        unsigned f = s.order[i];
+        if (f >= prm.totalWays || (seen_frames & (1u << f)))
+            return in_set("recency order is not a permutation");
+        seen_frames |= 1u << f;
+    }
+
+    for (unsigned f = 0; f < prm.totalWays; ++f) {
+        const CacheLineState &frame = s.frames[f];
+        if (!frame.valid)
+            continue;
+        if (setIndexOf(frame.line) != set_index)
+            return in_set("frame line maps to a different set");
+        if (!((frame.dirtyWords & frame.footprint) ==
+              frame.dirtyWords))
+            return in_set("dirty words outside the footprint");
+        // Demand installs always touch one word; only prefetched
+        // lines may sit with an empty footprint.
+        if (frame.footprint.empty() && !frame.prefetched)
+            return in_set("demand line with an empty footprint");
+        for (unsigned g = f + 1; g < prm.totalWays; ++g)
+            if (s.frames[g].valid &&
+                s.frames[g].line == frame.line)
+                return in_set("line occupies two frames");
+        // LOC/WOC exclusivity.
+        if (s.woc.linePresent(frame.line))
+            return in_set("line in both a frame and the WOC");
+        // Distill-mode sets must not use the extension frames.
+        if (s.distillMode && f >= locWays())
+            return in_set("extension frame valid in distill mode");
+    }
+
+    // Traditional-mode sets must have empty WOCs.
+    if (!s.distillMode && s.woc.validEntryCount() != 0)
+        return in_set("traditional-mode set with WOC content");
+    if (prm.useReverter && reverterUnit->isLeader(set_index) &&
+        !s.distillMode)
+        return in_set("leader set left distill mode");
+
+    std::string woc_violation = s.woc.auditInvariants();
+    if (!woc_violation.empty())
+        return in_set("WOC") + ": " + woc_violation;
+    return "";
+}
+
+std::string
+DistillCache::auditInvariants() const
 {
     for (unsigned i = 0; i < setsCount; ++i) {
-        const DSet &s = sets[i];
-        if (!s.woc.checkIntegrity())
-            return false;
-        // Traditional-mode sets must have empty WOCs.
-        if (!s.distillMode && s.woc.validEntryCount() != 0)
-            return false;
-        // Distill-mode sets must not use the extension frames.
-        if (s.distillMode) {
-            for (unsigned f = locWays(); f < prm.totalWays; ++f)
-                if (s.frames[f].valid)
-                    return false;
-        }
-        // No line in both a frame and the WOC.
-        for (unsigned f = 0; f < prm.totalWays; ++f)
-            if (s.frames[f].valid &&
-                s.woc.linePresent(s.frames[f].line))
-                return false;
+        std::string violation = auditSet(i);
+        if (!violation.empty())
+            return violation;
     }
-    return true;
+    std::string mt_violation = mtFilter.auditInvariants();
+    if (!mt_violation.empty())
+        return "MT filter: " + mt_violation;
+    if (reverterUnit) {
+        std::string rc_violation = reverterUnit->auditInvariants();
+        if (!rc_violation.empty())
+            return "reverter: " + rc_violation;
+    }
+    return "";
+}
+
+std::string
+DistillCache::auditEvictionScratch(const DSet &s) const
+{
+    for (const WocEvicted &ev : scratchEvicted) {
+        if (s.woc.linePresent(ev.line))
+            return "evicted line " + std::to_string(ev.line) +
+                   " still resident in the WOC";
+        if (findFrame(s, ev.line) >= 0)
+            return "evicted line " + std::to_string(ev.line) +
+                   " still resident in a frame";
+    }
+    return "";
 }
 
 } // namespace ldis

@@ -23,9 +23,11 @@
 
 #include <array>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/l2_interface.hh"
+#include "common/audit.hh"
 #include "cache/set_assoc.hh"
 #include "cache/traditional_l2.hh"
 #include "common/random.hh"
@@ -131,11 +133,26 @@ class DistillCache : public SecondLevelCache
     bool setInDistillMode(std::uint64_t set_index) const;
 
     /**
-     * Verify cross-structure invariants on every set: WOC integrity,
-     * no line resident in both LOC and WOC, traditional-mode sets
-     * have empty WOCs.
+     * Audit one set: recency order is a permutation of the frames,
+     * no duplicate lines, dirty words are a subset of the footprint,
+     * LOC and WOC never both hold a line, the operating mode matches
+     * the frames/WOC occupancy, and the WOC itself is well-formed.
+     * @return "" when well-formed, else the first violation
      */
-    bool checkIntegrity() const;
+    std::string auditSet(std::uint64_t set_index) const;
+
+    /**
+     * auditSet() over every set plus the MT filter and reverter
+     * audits (see common/audit.hh).
+     */
+    std::string auditInvariants() const;
+
+    /** auditInvariants() as a predicate (legacy tests). */
+    bool
+    checkIntegrity() const
+    {
+        return auditInvariants().empty();
+    }
 
   public:
     /**
@@ -147,6 +164,9 @@ class DistillCache : public SecondLevelCache
     static constexpr unsigned kMaxWays = 8;
 
   private:
+    /** Test-only state-corruption backdoor (tests/test_audit.cc). */
+    friend struct AuditBackdoor;
+
     struct DSet
     {
         /** Line frames: [0, locWays) = LOC, rest = traditional
@@ -193,6 +213,14 @@ class DistillCache : public SecondLevelCache
     /** Account a WOC eviction list (writebacks, stats). */
     void accountWocEvictions(const std::vector<WocEvicted> &evs);
 
+    /**
+     * Audit that nothing drained into the eviction scratch buffer is
+     * still live in @p s (the scratch must never alias a resident
+     * frame or WOC group).
+     * @return "" when clean, else the first violation
+     */
+    std::string auditEvictionScratch(const DSet &s) const;
+
     /** Lazily align the set's mode with the reverter decision. */
     void syncMode(DSet &s, std::uint64_t set_index);
 
@@ -209,6 +237,7 @@ class DistillCache : public SecondLevelCache
     L2Stats statsData;
     DistillStats extra;
     std::vector<WocEvicted> scratchEvicted;
+    audit::Clock auditClock;
 };
 
 } // namespace ldis

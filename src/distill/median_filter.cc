@@ -50,4 +50,25 @@ MedianFilter::recomputeMedian()
     evictionSum = 0;
 }
 
+std::string
+MedianFilter::auditInvariants() const
+{
+    if (threshold < 1 || threshold > kWordsPerLine)
+        return "threshold " + std::to_string(threshold) +
+               " outside [1, " + std::to_string(kWordsPerLine) + "]";
+    if (counters[0] != 0)
+        return "eviction recorded with zero words used";
+    std::uint64_t mass = 0;
+    for (unsigned k = 1; k <= kWordsPerLine; ++k)
+        mass += counters[k];
+    if (mass != evictionSum)
+        return "histogram mass " + std::to_string(mass) +
+               " != eviction-sum " + std::to_string(evictionSum);
+    // recordEviction() recomputes (and zeroes) at the boundary, so a
+    // mid-epoch sum at or past the epoch length means a lost reset.
+    if (evictionSum >= epochLen)
+        return "epoch overran its recompute boundary";
+    return "";
+}
+
 } // namespace ldis

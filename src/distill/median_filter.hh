@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "common/types.hh"
 
@@ -53,7 +54,19 @@ class MedianFilter
     /** Evictions observed in the current epoch. */
     std::uint64_t epochEvictions() const { return evictionSum; }
 
+    /**
+     * Audit counter bookkeeping: the histogram mass equals the
+     * eviction-sum, counter 0 is never used, the epoch has not
+     * overrun its recompute boundary, and the threshold is a legal
+     * word count.
+     * @return "" when well-formed, else the first violation
+     */
+    std::string auditInvariants() const;
+
   private:
+    /** Test-only state-corruption backdoor (tests/test_audit.cc). */
+    friend struct AuditBackdoor;
+
     void recomputeMedian();
 
     std::uint64_t epochLen;

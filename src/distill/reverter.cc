@@ -64,6 +64,37 @@ Reverter::updateDecision()
         enabled = true;
 }
 
+std::string
+Reverter::auditInvariants() const
+{
+    if (pselValue > params.pselMax)
+        return "PSEL " + std::to_string(pselValue) +
+               " beyond saturation max " +
+               std::to_string(params.pselMax);
+    // Hysteresis: outside the dead band the decision is forced.
+    if (pselValue < params.lowThreshold && enabled)
+        return "LDIS enabled with PSEL below the low threshold";
+    if (pselValue > params.highThreshold && !enabled)
+        return "LDIS disabled with PSEL above the high threshold";
+    if (leaderStride == 0 ||
+        leaderStride * params.leaderSets != atd.numSets())
+        return "leader stride does not tile the set count";
+    // Strided sampling must never leak lines into follower sets.
+    std::string follower_line;
+    atd.forEachLine([&](const CacheLineState &l) {
+        if (!isLeader(atd.setIndexOf(l.line)) &&
+            follower_line.empty())
+            follower_line = "ATD line in non-leader set " +
+                std::to_string(atd.setIndexOf(l.line));
+    });
+    if (!follower_line.empty())
+        return follower_line;
+    std::string atd_violation = atd.auditInvariants();
+    if (!atd_violation.empty())
+        return "ATD: " + atd_violation;
+    return "";
+}
+
 std::uint64_t
 Reverter::atdStorageBytes() const
 {

@@ -12,6 +12,7 @@
 #define DISTILLSIM_DISTILL_REVERTER_HH
 
 #include <cstdint>
+#include <string>
 
 #include "cache/set_assoc.hh"
 #include "common/types.hh"
@@ -71,7 +72,19 @@ class Reverter
     /** Storage overhead of the ATD in bytes (Table 3: 1kB). */
     std::uint64_t atdStorageBytes() const;
 
+    /**
+     * Audit sampling state: PSEL saturates within [0, pselMax], the
+     * decision respects the hysteresis thresholds, the leader stride
+     * tiles the set count (so sampled sets are disjoint), only
+     * leader sets hold ATD lines, and the ATD itself is well-formed.
+     * @return "" when well-formed, else the first violation
+     */
+    std::string auditInvariants() const;
+
   private:
+    /** Test-only state-corruption backdoor (tests/test_audit.cc). */
+    friend struct AuditBackdoor;
+
     void updateDecision();
 
     ReverterParams params;

@@ -68,9 +68,7 @@ WocSet::evictGroup(unsigned head, std::vector<WocEvicted> &out)
         if ((dirtyMask >> i) & 1u)
             ev.dirty.set(wordAt[i]);
     }
-    std::uint64_t span = (end - head >= 64)
-        ? ~0ull
-        : (((1ull << (end - head)) - 1) << head);
+    std::uint64_t span = lowMask64(end - head) << head;
     validMask &= ~span;
     headMask &= ~span;
     dirtyMask &= ~span;
@@ -120,8 +118,7 @@ WocSet::install(LineAddr line, Footprint used, Footprint dirty,
     std::uint8_t eligible[kMaxEntries];
     unsigned n_free = 0;
     unsigned n_elig = 0;
-    std::uint64_t window = (group >= 64) ? ~0ull
-                                         : ((1ull << group) - 1);
+    std::uint64_t window = lowMask64(group);
     for (unsigned s = 0; s + group <= entryCount; s += group) {
         bool first_valid = (validMask >> s) & 1u;
         bool first_head = (headMask >> s) & 1u;
@@ -198,9 +195,7 @@ WocSet::invalidateLine(LineAddr line)
         if ((dirtyMask >> i) & 1u)
             ev.dirty.set(wordAt[i]);
     }
-    std::uint64_t span = (end - head >= 64)
-        ? ~0ull
-        : (((1ull << (end - head)) - 1) << head);
+    std::uint64_t span = lowMask64(end - head) << head;
     validMask &= ~span;
     headMask &= ~span;
     dirtyMask &= ~span;
@@ -232,17 +227,22 @@ WocSet::flush(std::vector<WocEvicted> &evicted_out)
     ldis_assert(validEntryCount() == 0);
 }
 
-bool
-WocSet::checkIntegrity() const
+std::string
+WocSet::auditInvariants() const
 {
+    auto at = [](const char *what, unsigned i) {
+        return std::string(what) + " at entry " + std::to_string(i);
+    };
+
     // Flag masks must be consistent: heads and dirty bits only on
     // valid entries, nothing set beyond the entry count.
-    std::uint64_t in_range = entryCount >= 64
-        ? ~0ull
-        : ((1ull << entryCount) - 1);
-    if ((validMask & ~in_range) || (headMask & ~validMask) ||
-        (dirtyMask & ~validMask))
-        return false;
+    std::uint64_t in_range = lowMask64(entryCount);
+    if (validMask & ~in_range)
+        return "valid bits beyond the entry count";
+    if (headMask & ~validMask)
+        return "head bit on an invalid entry";
+    if (dirtyMask & ~validMask)
+        return "dirty bit on an invalid entry";
 
     LineAddr seen[kMaxEntries];
     unsigned n_seen = 0;
@@ -254,28 +254,29 @@ WocSet::checkIntegrity() const
         }
         // Every valid run must begin with a head entry.
         if (!((headMask >> i) & 1u))
-            return false;
+            return at("valid run without a head bit", i);
         unsigned end = groupEnd(i);
         unsigned size = end - i;
         unsigned slots = static_cast<unsigned>(nextPow2(size));
         // Group must start on its power-of-two alignment boundary.
         if (i % slots != 0)
-            return false;
+            return at("misaligned group", i);
         // Word-ids strictly ascending within the group.
         for (unsigned k = i + 1; k < end; ++k) {
             if (lineAt[k] != lineAt[i])
-                return false;
+                return at("group spans two lines", k);
             if (wordAt[k] <= wordAt[k - 1])
-                return false;
+                return at("non-ascending word-ids", k);
         }
         // No duplicate lines in the set.
         for (unsigned s = 0; s < n_seen; ++s)
             if (seen[s] == lineAt[i])
-                return false;
+                return "line " + std::to_string(lineAt[i]) +
+                       " occupies two groups";
         seen[n_seen++] = lineAt[i];
         i = end;
     }
-    return true;
+    return "";
 }
 
 } // namespace ldis

@@ -28,6 +28,7 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/footprint.hh"
@@ -153,15 +154,26 @@ class WocSet
     }
 
     /**
-     * Verify structural invariants: heads start groups, group words
+     * Audit structural invariants: heads start groups, group words
      * are contiguous ascending word-ids of one line, groups are
      * power-of-two aligned, no line appears twice, and the flag
-     * masks are mutually consistent.
-     * @return true if all invariants hold
+     * masks are mutually consistent (dirty/head bits only on valid
+     * entries, nothing beyond the entry count).
+     * @return "" when well-formed, else the first violation
      */
-    bool checkIntegrity() const;
+    std::string auditInvariants() const;
+
+    /** auditInvariants() as a predicate (legacy tests). */
+    bool
+    checkIntegrity() const
+    {
+        return auditInvariants().empty();
+    }
 
   private:
+    /** Test-only state-corruption backdoor (tests/test_audit.cc). */
+    friend struct AuditBackdoor;
+
     /** Entry index of @p line's head, or -1 if absent. */
     int
     headOf(LineAddr line) const

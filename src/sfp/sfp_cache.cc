@@ -100,6 +100,9 @@ SfpCache::evictTag(SSet &s, unsigned idx)
     occ = Footprint(static_cast<std::uint8_t>(
         occ.raw() & ~t.words.raw()));
     t = STag{};
+    LDIS_AUDIT_CHECK("SfpCache",
+                     auditSet(static_cast<std::uint64_t>(
+                         &s - sets.data())));
 }
 
 SfpCache::STag &
@@ -232,6 +235,7 @@ SfpCache::access(Addr addr, bool write, Addr pc, bool instr)
 
     if (leader)
         reverterUnit->recordLeaderAccess(line, isMiss(res.outcome));
+    LDIS_AUDIT_POINT(auditClock, "SfpCache", *this);
     return res;
 }
 
@@ -246,7 +250,7 @@ SfpCache::l1dEviction(LineAddr line, Footprint used,
             ++statsData.writebacks;
         return;
     }
-    STag &t = s.tags[idx];
+    STag &t = s.tags[static_cast<unsigned>(idx)];
     t.used |= (used & t.words);
     Footprint in_cache = dirty_words & t.words;
     t.dirty |= in_cache;
@@ -254,31 +258,71 @@ SfpCache::l1dEviction(LineAddr line, Footprint used,
         ++statsData.writebacks;
 }
 
-bool
-SfpCache::checkIntegrity() const
+std::string
+SfpCache::auditSet(std::uint64_t set_index) const
 {
-    for (const SSet &s : sets) {
-        std::vector<Footprint> occ(prm.ways);
-        std::vector<LineAddr> seen;
-        for (const STag &t : s.tags) {
-            if (!t.valid)
-                continue;
-            if (t.words.empty())
-                return false;
-            // No slot collision within a way.
-            if (!(occ[t.way] & t.words).empty())
-                return false;
-            occ[t.way] |= t.words;
-            for (LineAddr l : seen)
-                if (l == t.line)
-                    return false;
-            seen.push_back(t.line);
-        }
-        for (unsigned w = 0; w < prm.ways; ++w)
-            if (!(occ[w] == s.occupied[w]))
-                return false;
+    ldis_assert(set_index < setsCount);
+    const SSet &s = sets[set_index];
+    auto in_set = [&](const char *what) {
+        return std::string(what) + " in set " +
+               std::to_string(set_index);
+    };
+
+    // The recency order must be a permutation of the tag indices
+    // (255 tags max, so a fixed bitmap suffices).
+    bool seen_tags[256] = {};
+    if (s.order.size() != s.tags.size())
+        return in_set("recency order size mismatch");
+    for (std::uint8_t idx : s.order) {
+        if (idx >= s.tags.size() || seen_tags[idx])
+            return in_set("recency order is not a permutation");
+        seen_tags[idx] = true;
     }
-    return true;
+
+    std::vector<Footprint> occ(prm.ways);
+    std::vector<LineAddr> seen;
+    for (const STag &t : s.tags) {
+        if (!t.valid)
+            continue;
+        if (setIndexOf(t.line) != set_index)
+            return in_set("tag line maps to a different set");
+        if (t.words.empty())
+            return in_set("valid tag with no installed words");
+        if (t.way >= prm.ways)
+            return in_set("tag points at a nonexistent data way");
+        if (!((t.used & t.words) == t.used))
+            return in_set("usage outside the installed words");
+        if (!((t.dirty & t.words) == t.dirty))
+            return in_set("dirty words outside the installed words");
+        // No slot collision within a way.
+        if (!(occ[t.way] & t.words).empty())
+            return in_set("word-slot collision within a data way");
+        occ[t.way] |= t.words;
+        for (LineAddr l : seen)
+            if (l == t.line)
+                return in_set("line occupies two tags");
+        seen.push_back(t.line);
+    }
+    for (unsigned w = 0; w < prm.ways; ++w)
+        if (!(occ[w] == s.occupied[w]))
+            return in_set("occupancy mask disagrees with the tags");
+    return "";
+}
+
+std::string
+SfpCache::auditInvariants() const
+{
+    for (unsigned i = 0; i < setsCount; ++i) {
+        std::string violation = auditSet(i);
+        if (!violation.empty())
+            return violation;
+    }
+    if (reverterUnit) {
+        std::string rc_violation = reverterUnit->auditInvariants();
+        if (!rc_violation.empty())
+            return "reverter: " + rc_violation;
+    }
+    return "";
 }
 
 } // namespace ldis

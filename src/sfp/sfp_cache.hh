@@ -19,10 +19,12 @@
 #define DISTILLSIM_SFP_SFP_CACHE_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/l2_interface.hh"
 #include "cache/traditional_l2.hh"
+#include "common/audit.hh"
 #include "common/random.hh"
 #include "distill/reverter.hh"
 #include "sfp/sfp_predictor.hh"
@@ -86,10 +88,29 @@ class SfpCache : public SecondLevelCache
     const SfpStats &sfpStats() const { return extra; }
     const SfpPredictor &predictor() const { return pred; }
 
-    /** Data-way occupancy invariants (tests). */
-    bool checkIntegrity() const;
+    /**
+     * Audit one set: recency order is a permutation of the tag
+     * entries, valid tags map here and are unique, installed words
+     * never collide within a data way, usage/dirty masks stay within
+     * the installed words, and the occupancy masks match the tags.
+     * @return "" when well-formed, else the first violation
+     */
+    std::string auditSet(std::uint64_t set_index) const;
+
+    /** auditSet() over every set plus the reverter audit. */
+    std::string auditInvariants() const;
+
+    /** auditInvariants() as a predicate (legacy tests). */
+    bool
+    checkIntegrity() const
+    {
+        return auditInvariants().empty();
+    }
 
   private:
+    /** Test-only state-corruption backdoor (tests/test_audit.cc). */
+    friend struct AuditBackdoor;
+
     struct STag
     {
         bool valid = false;
@@ -131,6 +152,7 @@ class SfpCache : public SecondLevelCache
     CompulsoryTracker compulsory;
     L2Stats statsData;
     SfpStats extra;
+    audit::Clock auditClock;
 };
 
 } // namespace ldis

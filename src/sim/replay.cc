@@ -6,7 +6,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <unordered_map>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 #include "trace/benchmarks.hh"
 #include "trace/trace_file.hh"
@@ -260,12 +262,89 @@ recordStream(Workload &workload, std::uint64_t seed,
     s.meas.l1dLineMisses = hier.l1dStats().lineMisses;
     s.meas.l1iAccesses = hier.l1iStats().accesses;
     s.meas.l1iMisses = hier.l1iStats().misses;
+    LDIS_AUDIT_CHECK("L2Stream", auditStream(s));
     return s;
+}
+
+std::string
+auditStream(const L2Stream &stream)
+{
+    if (stream.markerEvents > stream.events.size())
+        return "warmup event marker beyond the event array";
+    if (stream.markerVictims > stream.victims.size())
+        return "warmup victim marker beyond the victim array";
+
+    // Words first-touched during each line's current L1D residency:
+    // seeded with the demand word at the LineMiss that opens the
+    // residency, grown by FirstTouch events, compared against the
+    // footprint the line's eviction victim record reports.
+    std::unordered_map<LineAddr, std::uint8_t> touched;
+    std::size_t victim_cursor = 0;
+    std::uint64_t line_misses = 0;
+
+    for (std::size_t i = 0; i < stream.events.size(); ++i) {
+        const StreamEvent &e = stream.events[i];
+        auto at_event = [&](const char *what) {
+            return std::string(what) + " at event " +
+                   std::to_string(i);
+        };
+        switch (e.op) {
+        case StreamOp::IFetch:
+            if (e.flags & kStreamHasVictim)
+                return at_event("victim flag on an ifetch");
+            break;
+        case StreamOp::LineMiss: {
+            ++line_misses;
+            if (e.flags & kStreamHasVictim) {
+                if (victim_cursor >= stream.victims.size())
+                    return at_event("victim flag without a victim "
+                                    "record");
+                const StreamVictim &v =
+                    stream.victims[victim_cursor++];
+                if (v.dirty & ~v.used)
+                    return at_event("victim dirty words outside its "
+                                    "used words");
+                auto it = touched.find(v.line);
+                if (it != touched.end()) {
+                    if (it->second & ~v.used)
+                        return at_event("victim footprint missing "
+                                        "first-touched words");
+                    touched.erase(it);
+                }
+            }
+            touched[lineAddrOf(e.addr)] = static_cast<std::uint8_t>(
+                1u << wordIdxOf(e.addr));
+            break;
+        }
+        case StreamOp::FirstTouch: {
+            if (e.flags & kStreamHasVictim)
+                return at_event("victim flag on a first touch");
+            auto it = touched.find(lineAddrOf(e.addr));
+            if (it != touched.end())
+                it->second |= static_cast<std::uint8_t>(
+                    1u << wordIdxOf(e.addr));
+            break;
+        }
+        default:
+            return at_event("unknown stream op");
+        }
+        if (i + 1 == stream.markerEvents &&
+            victim_cursor != stream.markerVictims)
+            return "victim marker disagrees with the flagged events "
+                   "in the warmup window";
+    }
+    if (victim_cursor != stream.victims.size())
+        return "victim records not consumed one-to-one by the "
+               "flagged events";
+    if (line_misses != stream.totalLineMisses)
+        return "line-miss total disagrees with the events";
+    return "";
 }
 
 RunResult
 replayStream(const L2Stream &stream, SecondLevelCache &l2)
 {
+    LDIS_AUDIT_CHECK("L2Stream", auditStream(stream));
     LineWordsMap words;
     std::size_t victim_cursor = 0;
     std::uint64_t sector_misses = 0;

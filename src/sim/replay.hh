@@ -127,6 +127,16 @@ struct L2Stream
 };
 
 /**
+ * Audit a recorded stream: the warmup markers bracket the event and
+ * victim arrays consistently, victim records pair one-to-one (and in
+ * order) with flagged LineMiss events, every victim's dirty words
+ * are used words, and the words first-touched during each L1D
+ * residency are a subset of the footprint its eviction reports.
+ * @return "" when well-formed, else the first violation
+ */
+std::string auditStream(const L2Stream &stream);
+
+/**
  * True unless LDIS_REPLAY=0: the RunMatrix replay submissions fall
  * back to direct per-cell simulation when disabled.
  */

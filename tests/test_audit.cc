@@ -1,0 +1,525 @@
+/**
+ * @file
+ * Tests for the LDIS_AUDIT invariant engine (common/audit.hh).
+ *
+ * Every stateful model's auditInvariants() hook is probed two ways:
+ *  - a clean, legally-driven instance must audit to "" (no false
+ *    positives), and
+ *  - targeted state corruptions through the AuditBackdoor must each
+ *    produce a non-empty violation (no false negatives).
+ *
+ * A final test checks the audit layer is read-only: a run with
+ * audits enabled is bit-identical to the same run with them off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cache/set_assoc.hh"
+#include "common/audit.hh"
+#include "compression/compressed_l2.hh"
+#include "compression/fac_cache.hh"
+#include "distill/distill_cache.hh"
+#include "distill/median_filter.hh"
+#include "distill/reverter.hh"
+#include "distill/woc.hh"
+#include "sfp/sfp_cache.hh"
+#include "sim/replay.hh"
+
+namespace ldis
+{
+
+/**
+ * The test-only corruption backdoor every audited model befriends.
+ * Each method damages exactly one invariant so the matching audit
+ * message can be asserted.
+ */
+struct AuditBackdoor
+{
+    // --- SetAssocCache -------------------------------------------
+    static void
+    duplicateRecency(SetAssocCache &c)
+    {
+        c.order[0] = c.order[1];
+    }
+
+    static void
+    duplicateTag(SetAssocCache &c)
+    {
+        c.lines[1] = c.lines[0];
+    }
+
+    static void
+    strayPendingVictim(SetAssocCache &c)
+    {
+        c.pendingVictim[0] = static_cast<std::int16_t>(c.waysCount);
+    }
+
+    static void
+    dirtyOutsideValidWords(SetAssocCache &c)
+    {
+        c.lines[0].validWords = Footprint(0x01);
+        c.lines[0].dirtyWords = Footprint(0x80);
+    }
+
+    // --- WocSet / CompressedWocSet -------------------------------
+    static void
+    dropHeadBit(WocSet &w)
+    {
+        w.headMask = 0;
+    }
+
+    static void
+    dirtyInvalidEntry(WocSet &w)
+    {
+        w.dirtyMask = ~w.validMask;
+    }
+
+    static void
+    orphanOccupancyBit(WocSet &w)
+    {
+        // A lone valid entry with no head bit at an aligned slot.
+        w.validMask |= std::uint64_t{1} << (w.entryCount - 1);
+    }
+
+    static void
+    overlapExtent(CompressedWocSet &w, unsigned entry)
+    {
+        w.headMask |= std::uint64_t{1} << entry;
+        w.wordsAt[entry] = Footprint(0x01);
+        w.slotsAt[entry] = 1;
+    }
+
+    static void
+    overrunExtent(CompressedWocSet &w)
+    {
+        // Stretch the first head's extent past the data array.
+        for (unsigned i = 0; i < w.entryCount; ++i) {
+            if ((w.headMask >> i) & 1u) {
+                w.slotsAt[i] = 64;
+                return;
+            }
+        }
+        FAIL() << "no head to corrupt";
+    }
+
+    // --- MedianFilter --------------------------------------------
+    static void
+    unbalanceHistogram(MedianFilter &m)
+    {
+        ++m.counters[3];
+    }
+
+    static void
+    zeroWordEviction(MedianFilter &m)
+    {
+        ++m.counters[0];
+    }
+
+    static void
+    illegalThreshold(MedianFilter &m)
+    {
+        m.threshold = kWordsPerLine + 1;
+    }
+
+    // --- Reverter ------------------------------------------------
+    static void
+    overflowPsel(Reverter &r)
+    {
+        r.pselValue = r.params.pselMax + 7;
+    }
+
+    static void
+    desyncDecision(Reverter &r)
+    {
+        r.pselValue = 0;
+        r.enabled = true;
+    }
+
+    static void
+    leakIntoFollowerSet(Reverter &r)
+    {
+        // Line 1 maps to set 1, a follower for any stride > 1.
+        r.atd.install(1);
+    }
+
+    // --- DistillCache --------------------------------------------
+    static void
+    duplicateFrameOrder(DistillCache &dc)
+    {
+        dc.sets[0].order[0] = dc.sets[0].order[1];
+    }
+
+    static void
+    duplicateFrameLine(DistillCache &dc)
+    {
+        dc.sets[0].frames[1] = dc.sets[0].frames[0];
+    }
+
+    static void
+    dirtyOutsideFootprint(DistillCache &dc)
+    {
+        CacheLineState &f = dc.sets[0].frames[0];
+        f.footprint = Footprint(0x01);
+        f.dirtyWords = Footprint(0x80);
+    }
+
+    static void
+    aliasFrameIntoWoc(DistillCache &dc)
+    {
+        Random rng(7);
+        std::vector<WocEvicted> evicted;
+        dc.sets[0].woc.install(dc.sets[0].frames[0].line,
+                               Footprint(0x01), Footprint{}, rng,
+                               evicted);
+    }
+
+    // --- FacCache ------------------------------------------------
+    static void
+    duplicateFrameOrder(FacCache &fc)
+    {
+        fc.sets[0].order[0] = fc.sets[0].order[1];
+    }
+
+    // --- SfpCache ------------------------------------------------
+    static void
+    corruptOccupancy(SfpCache &sc)
+    {
+        // Claim word slots in the last data way, which no tag backs.
+        sc.sets[0].occupied[sc.prm.ways - 1] = Footprint(0x01);
+    }
+
+    static void
+    duplicateTagOrder(SfpCache &sc)
+    {
+        sc.sets[0].order[0] = sc.sets[0].order[1];
+    }
+
+    // --- CompressedL2 --------------------------------------------
+    static void
+    corruptSegmentSum(CompressedL2 &cl)
+    {
+        cl.sets[0].usedSegments += 3;
+    }
+};
+
+namespace
+{
+
+Addr
+wordAddr(LineAddr line, WordIdx w)
+{
+    return lineBaseOf(line) + w * kWordBytes;
+}
+
+/** 2 sets x 8 ways (LOC 6 + WOC 2). */
+DistillParams
+tinyDistillParams()
+{
+    DistillParams p;
+    p.bytes = 2ull * 8 * kLineBytes;
+    p.totalWays = 8;
+    p.wocWays = 2;
+    return p;
+}
+
+/** Drive some demand traffic so the audited state is non-trivial. */
+template <typename L2>
+void
+warm(L2 &l2, unsigned lines)
+{
+    for (unsigned i = 0; i < lines; ++i)
+        l2.access(wordAddr(i, i % kWordsPerLine), i % 3 == 0, 0,
+                  false);
+}
+
+TEST(Audit, CleanModelsPass)
+{
+    DistillCache dc(tinyDistillParams());
+    warm(dc, 64);
+    EXPECT_EQ(dc.auditInvariants(), "");
+
+    ValueModel values(ValueProfile{}, 5);
+    FacCache fc(tinyDistillParams(), values);
+    warm(fc, 64);
+    EXPECT_EQ(fc.auditInvariants(), "");
+
+    SfpParams sp;
+    sp.bytes = 64ull * 8 * kLineBytes;
+    sp.reverter.leaderSets = 8;
+    SfpCache sc(sp);
+    warm(sc, 512);
+    EXPECT_EQ(sc.auditInvariants(), "");
+
+    CompressedL2Params cp;
+    cp.bytes = 64ull * 8 * kLineBytes;
+    CompressedL2 cl(cp, values);
+    warm(cl, 512);
+    EXPECT_EQ(cl.auditInvariants(), "");
+}
+
+TEST(Audit, SetAssocRecencyCorruptionFires)
+{
+    SetAssocCache c(CacheGeometry{});
+    c.install(0);
+    c.install(1 << 11); // same set, different tag
+    EXPECT_EQ(c.auditInvariants(), "");
+    AuditBackdoor::duplicateRecency(c);
+    EXPECT_NE(c.auditInvariants(), "");
+}
+
+TEST(Audit, SetAssocDuplicateTagFires)
+{
+    SetAssocCache c(CacheGeometry{});
+    c.install(0);
+    c.install(1 << 11);
+    AuditBackdoor::duplicateTag(c);
+    EXPECT_NE(c.auditInvariants(), "");
+}
+
+TEST(Audit, SetAssocStrayPendingVictimFires)
+{
+    SetAssocCache c(CacheGeometry{});
+    AuditBackdoor::strayPendingVictim(c);
+    EXPECT_NE(c.auditInvariants(), "");
+}
+
+TEST(Audit, SetAssocDirtyWordCorruptionFires)
+{
+    SetAssocCache c(CacheGeometry{});
+    c.install(0);
+    AuditBackdoor::dirtyOutsideValidWords(c);
+    EXPECT_NE(c.auditInvariants(), "");
+}
+
+TEST(Audit, WocOccupancyCorruptionsFire)
+{
+    Random rng(3);
+    std::vector<WocEvicted> evicted;
+
+    WocSet a(16, WocVictim::Random);
+    a.install(1, Footprint(0x0F), Footprint(0x01), rng, evicted);
+    EXPECT_EQ(a.auditInvariants(), "");
+    AuditBackdoor::dropHeadBit(a);
+    EXPECT_NE(a.auditInvariants(), "");
+
+    WocSet b(16, WocVictim::Random);
+    b.install(1, Footprint(0x0F), Footprint{}, rng, evicted);
+    AuditBackdoor::dirtyInvalidEntry(b);
+    EXPECT_NE(b.auditInvariants(), "");
+
+    WocSet c(16, WocVictim::Random);
+    AuditBackdoor::orphanOccupancyBit(c);
+    EXPECT_NE(c.auditInvariants(), "");
+}
+
+TEST(Audit, CompressedWocExtentCorruptionsFire)
+{
+    Random rng(3);
+    std::vector<WocEvicted> evicted;
+
+    CompressedWocSet a(16);
+    a.install(1, Footprint(0x0F), Footprint{}, 4, rng, evicted);
+    EXPECT_EQ(a.auditInvariants(), "");
+    // The 4-slot extent sits at an aligned start; planting a second
+    // head two entries in makes the extents overlap.
+    for (unsigned i = 0; i < 16; ++i) {
+        if (a.entry(i).head) {
+            AuditBackdoor::overlapExtent(a, i + 2);
+            break;
+        }
+    }
+    EXPECT_NE(a.auditInvariants(), "");
+
+    CompressedWocSet b(16);
+    b.install(1, Footprint(0x0F), Footprint{}, 4, rng, evicted);
+    AuditBackdoor::overrunExtent(b);
+    EXPECT_NE(b.auditInvariants(), "");
+}
+
+TEST(Audit, MedianFilterCorruptionsFire)
+{
+    MedianFilter clean(64);
+    clean.recordEviction(3);
+    clean.recordEviction(5);
+    EXPECT_EQ(clean.auditInvariants(), "");
+
+    MedianFilter a(64);
+    a.recordEviction(3);
+    AuditBackdoor::unbalanceHistogram(a);
+    EXPECT_NE(a.auditInvariants(), "");
+
+    MedianFilter b(64);
+    AuditBackdoor::zeroWordEviction(b);
+    EXPECT_NE(b.auditInvariants(), "");
+
+    MedianFilter c(64);
+    AuditBackdoor::illegalThreshold(c);
+    EXPECT_NE(c.auditInvariants(), "");
+}
+
+TEST(Audit, ReverterCorruptionsFire)
+{
+    CacheGeometry geom;
+    geom.bytes = 64ull * 8 * kLineBytes; // 64 sets
+    ReverterParams params;
+    params.leaderSets = 8; // stride 8: set 1 is a follower
+
+    Reverter clean(geom, params);
+    clean.recordLeaderAccess(0, false);
+    EXPECT_EQ(clean.auditInvariants(), "");
+
+    Reverter a(geom, params);
+    AuditBackdoor::overflowPsel(a);
+    EXPECT_NE(a.auditInvariants(), "");
+
+    Reverter b(geom, params);
+    AuditBackdoor::desyncDecision(b);
+    EXPECT_NE(b.auditInvariants(), "");
+
+    Reverter c(geom, params);
+    AuditBackdoor::leakIntoFollowerSet(c);
+    EXPECT_NE(c.auditInvariants(), "");
+}
+
+TEST(Audit, DistillCacheCorruptionsFire)
+{
+    auto fresh = [] {
+        auto dc = std::make_unique<DistillCache>(tinyDistillParams());
+        warm(*dc, 8);
+        EXPECT_EQ(dc->auditInvariants(), "");
+        return dc;
+    };
+
+    auto a = fresh();
+    AuditBackdoor::duplicateFrameOrder(*a);
+    EXPECT_NE(a->auditInvariants(), "");
+
+    auto b = fresh();
+    AuditBackdoor::duplicateFrameLine(*b);
+    EXPECT_NE(b->auditInvariants(), "");
+
+    auto c = fresh();
+    AuditBackdoor::dirtyOutsideFootprint(*c);
+    EXPECT_NE(c->auditInvariants(), "");
+
+    auto d = fresh();
+    AuditBackdoor::aliasFrameIntoWoc(*d);
+    EXPECT_NE(d->auditInvariants(), "");
+}
+
+TEST(Audit, FacSfpCompressedCorruptionsFire)
+{
+    ValueModel values(ValueProfile{}, 5);
+
+    FacCache fc(tinyDistillParams(), values);
+    warm(fc, 8);
+    AuditBackdoor::duplicateFrameOrder(fc);
+    EXPECT_NE(fc.auditInvariants(), "");
+
+    SfpParams sp;
+    sp.bytes = 64ull * 8 * kLineBytes;
+    sp.reverter.leaderSets = 8;
+    {
+        SfpCache sc(sp);
+        warm(sc, 64);
+        AuditBackdoor::corruptOccupancy(sc);
+        EXPECT_NE(sc.auditInvariants(), "");
+    }
+    {
+        SfpCache sc(sp);
+        warm(sc, 64);
+        AuditBackdoor::duplicateTagOrder(sc);
+        EXPECT_NE(sc.auditInvariants(), "");
+    }
+
+    CompressedL2Params cp;
+    cp.bytes = 64ull * 8 * kLineBytes;
+    CompressedL2 cl(cp, values);
+    warm(cl, 64);
+    AuditBackdoor::corruptSegmentSum(cl);
+    EXPECT_NE(cl.auditInvariants(), "");
+}
+
+TEST(Audit, StreamCorruptionsFire)
+{
+    auto stream = loadOrRecordStream("mcf", 1, 0, 50'000);
+    ASSERT_EQ(auditStream(*stream), "");
+
+    // Victim dirty words outside its used words.
+    {
+        L2Stream s = *stream;
+        ASSERT_FALSE(s.victims.empty());
+        s.victims[0].used = 0x01;
+        s.victims[0].dirty = 0x80;
+        EXPECT_NE(auditStream(s), "");
+    }
+    // Victim footprint missing first-touched words: zero a victim's
+    // used mask entirely (the demand word of its residency is gone).
+    {
+        L2Stream s = *stream;
+        ASSERT_FALSE(s.victims.empty());
+        s.victims.back().used = 0;
+        s.victims.back().dirty = 0;
+        EXPECT_NE(auditStream(s), "");
+    }
+    // Victim records no longer one-to-one with the flagged events.
+    {
+        L2Stream s = *stream;
+        ASSERT_FALSE(s.victims.empty());
+        s.victims.pop_back();
+        EXPECT_NE(auditStream(s), "");
+    }
+    // Line-miss total out of sync.
+    {
+        L2Stream s = *stream;
+        ++s.totalLineMisses;
+        EXPECT_NE(auditStream(s), "");
+    }
+    // Warmup markers out of range.
+    {
+        L2Stream s = *stream;
+        s.markerEvents = s.events.size() + 1;
+        EXPECT_NE(auditStream(s), "");
+    }
+}
+
+/**
+ * Audits are strictly read-only: the same replayed run produces
+ * bit-identical statistics with audits on and off. In LDIS_AUDIT
+ * builds the enabled run actually executes every audit hook; in
+ * plain builds the hooks are compiled out and the runs are trivially
+ * identical — the test is valid (just weaker) either way.
+ */
+TEST(Audit, EnabledRunIsBitIdentical)
+{
+    auto run = [] {
+        return runReplay("mcf", ConfigKind::LdisMTRC, 200'000, 1);
+    };
+
+    audit::setEnabled(false);
+    RunResult off = run();
+
+    audit::setEnabled(true);
+    audit::setInterval(64); // audit frequently to earn the coverage
+    RunResult on = run();
+    audit::setEnabled(false);
+
+    EXPECT_EQ(off.l2.accesses, on.l2.accesses);
+    EXPECT_EQ(off.l2.locHits, on.l2.locHits);
+    EXPECT_EQ(off.l2.wocHits, on.l2.wocHits);
+    EXPECT_EQ(off.l2.holeMisses, on.l2.holeMisses);
+    EXPECT_EQ(off.l2.lineMisses, on.l2.lineMisses);
+    EXPECT_EQ(off.l2.compulsoryMisses, on.l2.compulsoryMisses);
+    EXPECT_EQ(off.l2.writebacks, on.l2.writebacks);
+    EXPECT_EQ(off.l2.evictions, on.l2.evictions);
+    EXPECT_EQ(off.l1d.sectorMisses, on.l1d.sectorMisses);
+    EXPECT_EQ(off.l1d.accesses, on.l1d.accesses);
+    EXPECT_EQ(off.l1i.misses, on.l1i.misses);
+    EXPECT_DOUBLE_EQ(off.mpki, on.mpki);
+}
+
+} // namespace
+} // namespace ldis

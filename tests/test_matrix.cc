@@ -66,10 +66,15 @@ allCases()
         ConfigKind::Cmpr4xTags,  ConfigKind::Fac4xTags,
         ConfigKind::Sfp16k,
     };
+    // Parameter names must outlive test registration; anchoring the
+    // strings in a static container keeps them reachable (and clean
+    // under LeakSanitizer) instead of strdup-and-forget.
+    static const std::vector<std::string> benchmarks =
+        studiedBenchmarks();
     std::vector<MatrixCase> cases;
-    for (const std::string &b : studiedBenchmarks())
+    for (const std::string &b : benchmarks)
         for (ConfigKind k : kinds)
-            cases.push_back({strdup(b.c_str()), k});
+            cases.push_back({b.c_str(), k});
     return cases;
 }
 

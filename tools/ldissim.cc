@@ -18,6 +18,7 @@
 #include "cache/hierarchy.hh"
 #include "cache/prefetch.hh"
 #include "common/args.hh"
+#include "common/audit.hh"
 #include "common/json.hh"
 #include "common/table.hh"
 #include "distill/distill_cache.hh"
@@ -156,6 +157,11 @@ main(int argc, char **argv)
                  "drive the L2 from a recorded front-end stream "
                  "(bit-identical stats; honors LDIS_TRACE_CACHE)");
     args.addFlag("json", "emit the report as a JSON object");
+    args.addFlag("audit",
+                 "run invariant audits during the simulation "
+                 "(needs an LDIS_AUDIT=ON build)");
+    args.addOption("audit-interval",
+                   "accesses between full-state audits", "4096");
     args.addFlag("list", "list benchmark proxies and exit");
     args.addFlag("help", "show this help");
 
@@ -186,6 +192,14 @@ main(int argc, char **argv)
     cli.prefetchDegree =
         static_cast<unsigned>(args.getUint("prefetch"));
     cli.ipc = args.has("ipc");
+    if (args.has("audit")) {
+        if (!audit::compiledIn())
+            std::fprintf(stderr,
+                         "ldissim: warning: --audit ignored (this "
+                         "build has LDIS_AUDIT=OFF)\n");
+        audit::setEnabled(true);
+        audit::setInterval(args.getUint("audit-interval"));
+    }
     if (!args.ok()) {
         std::fprintf(stderr, "%s\n", args.error().c_str());
         return 1;
