@@ -15,6 +15,7 @@
 #include "distill/distill_cache.hh"
 #include "sim/replay.hh"
 #include "sim/runner.hh"
+#include "sim/telemetry.hh"
 
 using namespace ldis;
 
@@ -42,6 +43,7 @@ const char *kBenchmarks[] = {"art", "mcf", "twolf", "sixtrack",
 int
 main()
 {
+    telemetry::setExperiment("abl_distill_design");
     InstCount instructions = runLength(20'000'000);
     std::printf("Ablation: distill-cache design choices "
                 "(%llu instructions)\n\n",

@@ -13,12 +13,14 @@
 
 #include "common/table.hh"
 #include "sim/runner.hh"
+#include "sim/telemetry.hh"
 
 using namespace ldis;
 
 int
 main()
 {
+    telemetry::setExperiment("abl_linesize");
     InstCount instructions = runLength();
     std::printf("Line-size study: 64B vs 32B lines vs distillation "
                 "(%llu instructions)\n\n",

@@ -16,6 +16,7 @@
 #include "distill/distill_cache.hh"
 #include "sim/replay.hh"
 #include "sim/runner.hh"
+#include "sim/telemetry.hh"
 
 using namespace ldis;
 
@@ -47,6 +48,7 @@ runOne(ReplaySource &src, bool distill, bool prefetch)
 int
 main()
 {
+    telemetry::setExperiment("abl_prefetch");
     InstCount instructions = runLength(20'000'000);
     std::printf("Ablation: LDIS x next-line prefetching "
                 "(%% MPKI reduction, %llu instructions)\n\n",

@@ -13,12 +13,14 @@
 
 #include "common/table.hh"
 #include "sim/runner.hh"
+#include "sim/telemetry.hh"
 
 using namespace ldis;
 
 int
 main()
 {
+    telemetry::setExperiment("fig06_mpki");
     InstCount instructions = runLength();
     std::printf("Figure 6: %% MPKI reduction vs baseline "
                 "(%llu instructions per run)\n\n",

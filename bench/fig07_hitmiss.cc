@@ -11,6 +11,7 @@
 
 #include "common/table.hh"
 #include "sim/runner.hh"
+#include "sim/telemetry.hh"
 
 using namespace ldis;
 
@@ -31,6 +32,7 @@ pct(std::uint64_t part, std::uint64_t whole)
 int
 main()
 {
+    telemetry::setExperiment("fig07_hitmiss");
     InstCount instructions = runLength();
     std::printf("Figure 7: L2 access breakdown, baseline vs distill "
                 "cache (LDIS-MT-RC, %llu instructions)\n\n",

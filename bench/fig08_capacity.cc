@@ -11,12 +11,14 @@
 
 #include "common/table.hh"
 #include "sim/runner.hh"
+#include "sim/telemetry.hh"
 
 using namespace ldis;
 
 int
 main()
 {
+    telemetry::setExperiment("fig08_capacity");
     InstCount instructions = runLength();
     std::printf("Figure 8: distill cache vs bigger traditional "
                 "caches (%% MPKI reduction vs 1MB baseline, "

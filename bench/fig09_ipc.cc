@@ -13,12 +13,14 @@
 
 #include "common/table.hh"
 #include "sim/runner.hh"
+#include "sim/telemetry.hh"
 
 using namespace ldis;
 
 int
 main()
 {
+    telemetry::setExperiment("fig09_ipc");
     // The execution-driven model is slower per instruction than the
     // trace-driven one, so use a shorter default run.
     InstCount instructions = runLength(20'000'000);

@@ -13,12 +13,14 @@
 
 #include "common/table.hh"
 #include "sim/runner.hh"
+#include "sim/telemetry.hh"
 
 using namespace ldis;
 
 int
 main()
 {
+    telemetry::setExperiment("fig11_fac");
     InstCount instructions = runLength();
     std::printf("Figure 11: LDIS vs compression vs footprint-aware "
                 "compression (%% MPKI reduction, %llu "

@@ -14,12 +14,14 @@
 
 #include "common/table.hh"
 #include "sim/runner.hh"
+#include "sim/telemetry.hh"
 
 using namespace ldis;
 
 int
 main()
 {
+    telemetry::setExperiment("fig13_sfp");
     InstCount instructions = runLength();
     std::printf("Figure 13: LDIS vs SFP (%% MPKI reduction, "
                 "%llu instructions)\n\n",

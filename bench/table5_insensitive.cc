@@ -11,12 +11,14 @@
 
 #include "common/table.hh"
 #include "sim/runner.hh"
+#include "sim/telemetry.hh"
 
 using namespace ldis;
 
 int
 main()
 {
+    telemetry::setExperiment("table5_insensitive");
     InstCount instructions = runLength();
     std::printf("Table 5: cache-insensitive benchmarks "
                 "(%llu instructions)\n\n",

@@ -21,6 +21,7 @@
 #include "common/table.hh"
 #include "sim/replay.hh"
 #include "sim/runner.hh"
+#include "sim/telemetry.hh"
 
 using namespace ldis;
 
@@ -47,6 +48,7 @@ avgWordsBlended(const TraditionalL2 &l2)
 int
 main()
 {
+    telemetry::setExperiment("table6_words_vs_size");
     InstCount instructions = runLength();
     std::printf("Table 6: average words used per line vs cache size "
                 "(%llu instructions)\n\n",

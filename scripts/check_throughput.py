@@ -136,6 +136,18 @@ def main():
             f"{base / 1e6:.2f}M ({delta:+.1f}%) {verdict}"
         )
 
+    # Every baseline benchmark must exist in the current report,
+    # gated or not: a benchmark that silently vanished (renamed,
+    # dropped from the suite, crashed before registering) would
+    # otherwise pass the gate forever.
+    for name in sorted(baseline):
+        if name not in current:
+            print(
+                f"error: {name} present in baseline but missing "
+                f"from current report"
+            )
+            failed = True
+
     return 1 if failed else 0
 
 

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Diff two telemetry JSONL run logs (LDIS_METRICS output).
+
+Loads every "run" and "ipc" record from each log, keys them by
+(label, benchmark, config), and reports the per-cell MPKI delta plus
+the throughput (inst_per_sec) delta. Two logs of the same experiment
+matrix must agree on MPKI exactly — the simulator is deterministic —
+so the default budget is zero; wall-clock throughput is noisy and is
+informational unless --max-throughput-drop is given.
+
+Usage:
+    compare_runs.py BASELINE.jsonl CURRENT.jsonl \
+        [--max-mpki-delta ABS] [--max-throughput-drop PCT]
+
+Failure modes (missing file, malformed line, duplicate or missing
+cells, MPKI beyond budget) print a one-line "error: ..." or FAIL
+verdict and exit 1, matching check_throughput.py.
+"""
+
+import argparse
+import json
+import sys
+
+
+class LogError(Exception):
+    """A run log could not be loaded or parsed."""
+
+
+def load_log(path):
+    """Parse @p path into a {(label, benchmark, config): result}
+    map, rejecting duplicates and unparseable lines."""
+    try:
+        with open(path) as f:
+            lines = f.readlines()
+    except OSError as e:
+        raise LogError(f"{path}: {e.strerror}") from None
+
+    out = {}
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise LogError(
+                f"{path}:{lineno}: invalid JSON ({e})"
+            ) from None
+        if not isinstance(rec, dict):
+            raise LogError(
+                f"{path}:{lineno}: record is not an object"
+            )
+        if rec.get("kind") not in ("run", "ipc"):
+            continue
+        result = rec.get("result")
+        if not isinstance(result, dict):
+            raise LogError(
+                f"{path}:{lineno}: {rec['kind']} record without "
+                f"a result object"
+            )
+        key = (
+            rec.get("label", ""),
+            result.get("benchmark", ""),
+            result.get("config", ""),
+        )
+        for field in ("mpki", "inst_per_sec"):
+            if not isinstance(result.get(field), (int, float)):
+                raise LogError(
+                    f"{path}:{lineno}: result field '{field}' is "
+                    f"missing or non-numeric"
+                )
+        if key in out:
+            raise LogError(
+                f"{path}:{lineno}: duplicate record for "
+                f"label='{key[0]}' benchmark='{key[1]}' "
+                f"config='{key[2]}'"
+            )
+        out[key] = result
+    if not out:
+        raise LogError(f"{path}: no run records")
+    return out
+
+
+def describe(key):
+    label, benchmark, config = key
+    return f"{label or benchmark or '?'} [{config}]"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="baseline JSONL run log")
+    ap.add_argument("current", help="current JSONL run log")
+    ap.add_argument(
+        "--max-mpki-delta",
+        type=float,
+        default=0.0,
+        metavar="ABS",
+        help="maximum tolerated absolute MPKI delta per cell "
+        "(default 0: identical)",
+    )
+    ap.add_argument(
+        "--max-throughput-drop",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail when a cell's inst_per_sec drops by more than "
+        "PCT percent (default: informational only)",
+    )
+    args = ap.parse_args()
+
+    try:
+        baseline = load_log(args.baseline)
+        current = load_log(args.current)
+    except LogError as e:
+        print(f"error: {e}")
+        return 1
+
+    failed = False
+    for key in sorted(baseline.keys() | current.keys()):
+        if key not in current:
+            print(f"error: {describe(key)} missing from "
+                  f"{args.current}")
+            failed = True
+            continue
+        if key not in baseline:
+            print(f"error: {describe(key)} missing from "
+                  f"{args.baseline}")
+            failed = True
+            continue
+        base = baseline[key]
+        cur = current[key]
+        mpki_delta = cur["mpki"] - base["mpki"]
+        base_ips = base["inst_per_sec"]
+        ips_delta = (
+            100.0 * (cur["inst_per_sec"] - base_ips) / base_ips
+            if base_ips > 0.0
+            else 0.0
+        )
+        verdict = "ok"
+        if abs(mpki_delta) > args.max_mpki_delta:
+            verdict = (
+                f"FAIL (mpki budget {args.max_mpki_delta:g})"
+            )
+            failed = True
+        elif (
+            args.max_throughput_drop is not None
+            and ips_delta < -args.max_throughput_drop
+        ):
+            verdict = (
+                f"FAIL (throughput budget "
+                f"{args.max_throughput_drop:g}%)"
+            )
+            failed = True
+        print(
+            f"{describe(key)}: mpki {cur['mpki']:.4f} vs "
+            f"{base['mpki']:.4f} ({mpki_delta:+.4f}), "
+            f"throughput {ips_delta:+.1f}% {verdict}"
+        )
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -126,6 +126,20 @@ class CheckThroughputTest(unittest.TestCase):
         self.assertEqual(r.returncode, 1)
         self.assertIn("missing from baseline", r.stdout)
 
+    def test_ungated_baseline_benchmark_must_exist_in_current(self):
+        # A baseline benchmark outside the gated set that vanished
+        # from the current report must fail, not silently pass.
+        base = self.path(
+            "base.json",
+            {"BM_DistillCache": 1e6, "BM_L2Replay": 1e6},
+        )
+        cur = self.path("cur.json", report({"BM_DistillCache": 1e6}))
+        r = self.run_check(cur, base, "--benchmark",
+                           "BM_DistillCache")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("BM_L2Replay", r.stdout)
+        self.assertIn("missing from current report", r.stdout)
+
 
 if __name__ == "__main__":
     unittest.main()

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/compare_runs.py (stdlib only).
+
+Run directly or via CI:
+
+    python3 scripts/test_compare_runs.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(__file__), "compare_runs.py")
+
+
+def record(label, benchmark, config, mpki, ips=1e6, kind="run"):
+    """One telemetry JSONL record as compare_runs.py reads it."""
+    return {
+        "schema": 1,
+        "kind": kind,
+        "experiment": "test",
+        "label": label,
+        "result": {
+            "benchmark": benchmark,
+            "config": config,
+            "mpki": mpki,
+            "inst_per_sec": ips,
+        },
+    }
+
+
+class CompareRunsTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def log(self, name, records):
+        p = os.path.join(self.dir.name, name)
+        with open(p, "w") as f:
+            if isinstance(records, str):
+                f.write(records)
+            else:
+                for r in records:
+                    f.write(json.dumps(r) + "\n")
+        return p
+
+    def run_compare(self, baseline, current, *extra):
+        return subprocess.run(
+            [sys.executable, SCRIPT, baseline, current, *extra],
+            capture_output=True,
+            text=True,
+        )
+
+    def test_identical_logs_pass(self):
+        recs = [
+            record("mcf/base", "mcf", "Trad 1MB", 12.5),
+            record("mcf/ldis", "mcf", "LDIS-MT-RC", 8.1),
+        ]
+        base = self.log("base.jsonl", recs)
+        cur = self.log("cur.jsonl", recs)
+        r = self.run_compare(base, cur)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("ok", r.stdout)
+
+    def test_mpki_delta_fails_by_default(self):
+        base = self.log(
+            "base.jsonl", [record("mcf/base", "mcf", "Trad", 12.5)]
+        )
+        cur = self.log(
+            "cur.jsonl", [record("mcf/base", "mcf", "Trad", 12.6)]
+        )
+        r = self.run_compare(base, cur)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("FAIL", r.stdout)
+
+    def test_mpki_delta_within_budget_passes(self):
+        base = self.log(
+            "base.jsonl", [record("mcf/base", "mcf", "Trad", 12.5)]
+        )
+        cur = self.log(
+            "cur.jsonl", [record("mcf/base", "mcf", "Trad", 12.6)]
+        )
+        r = self.run_compare(base, cur, "--max-mpki-delta", "0.2")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_throughput_informational_by_default(self):
+        base = self.log(
+            "base.jsonl",
+            [record("mcf/base", "mcf", "Trad", 12.5, ips=2e6)],
+        )
+        cur = self.log(
+            "cur.jsonl",
+            [record("mcf/base", "mcf", "Trad", 12.5, ips=1e6)],
+        )
+        r = self.run_compare(base, cur)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("-50.0%", r.stdout)
+
+    def test_throughput_budget_enforced_when_given(self):
+        base = self.log(
+            "base.jsonl",
+            [record("mcf/base", "mcf", "Trad", 12.5, ips=2e6)],
+        )
+        cur = self.log(
+            "cur.jsonl",
+            [record("mcf/base", "mcf", "Trad", 12.5, ips=1e6)],
+        )
+        r = self.run_compare(
+            base, cur, "--max-throughput-drop", "25"
+        )
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("FAIL", r.stdout)
+
+    def test_missing_cell_reported_both_ways(self):
+        a = record("mcf/base", "mcf", "Trad", 12.5)
+        b = record("art/base", "art", "Trad", 3.2)
+        base = self.log("base.jsonl", [a, b])
+        cur = self.log("cur.jsonl", [a])
+        r = self.run_compare(base, cur)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("missing from", r.stdout)
+
+    def test_duplicate_cell_is_error(self):
+        a = record("mcf/base", "mcf", "Trad", 12.5)
+        base = self.log("base.jsonl", [a, a])
+        cur = self.log("cur.jsonl", [a])
+        r = self.run_compare(base, cur)
+        self.assertEqual(r.returncode, 1)
+        self.assertNotIn("Traceback", r.stdout + r.stderr)
+        self.assertIn("duplicate", r.stdout)
+
+    def test_missing_file_is_one_line_error(self):
+        cur = self.log(
+            "cur.jsonl", [record("mcf/base", "mcf", "Trad", 12.5)]
+        )
+        r = self.run_compare(
+            os.path.join(self.dir.name, "nope.jsonl"), cur
+        )
+        self.assertEqual(r.returncode, 1)
+        self.assertNotIn("Traceback", r.stdout + r.stderr)
+        self.assertTrue(r.stdout.startswith("error:"), r.stdout)
+
+    def test_invalid_line_reports_line_number(self):
+        base = self.log("base.jsonl", "{broken\n")
+        cur = self.log(
+            "cur.jsonl", [record("mcf/base", "mcf", "Trad", 12.5)]
+        )
+        r = self.run_compare(base, cur)
+        self.assertEqual(r.returncode, 1)
+        self.assertNotIn("Traceback", r.stdout + r.stderr)
+        self.assertIn(":1:", r.stdout)
+        self.assertIn("invalid JSON", r.stdout)
+
+    def test_no_run_records_is_error(self):
+        base = self.log(
+            "base.jsonl",
+            [{"schema": 1, "kind": "matrix", "result": {}}],
+        )
+        cur = self.log(
+            "cur.jsonl", [record("mcf/base", "mcf", "Trad", 12.5)]
+        )
+        r = self.run_compare(base, cur)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("no run records", r.stdout)
+
+    def test_non_numeric_mpki_is_error(self):
+        rec = record("mcf/base", "mcf", "Trad", 12.5)
+        rec["result"]["mpki"] = "fast"
+        base = self.log("base.jsonl", [rec])
+        cur = self.log(
+            "cur.jsonl", [record("mcf/base", "mcf", "Trad", 12.5)]
+        )
+        r = self.run_compare(base, cur)
+        self.assertEqual(r.returncode, 1)
+        self.assertNotIn("Traceback", r.stdout + r.stderr)
+        self.assertIn("non-numeric", r.stdout)
+
+    def test_ipc_records_compared_too(self):
+        recs = [
+            record("mcf", "mcf", "ooo", 5.0, kind="ipc"),
+        ]
+        base = self.log("base.jsonl", recs)
+        cur = self.log(
+            "cur.jsonl",
+            [record("mcf", "mcf", "ooo", 6.0, kind="ipc")],
+        )
+        r = self.run_compare(base, cur)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("FAIL", r.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

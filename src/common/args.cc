@@ -1,10 +1,32 @@
 #include "args.hh"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 
 namespace ldis
 {
+
+namespace
+{
+
+/**
+ * True iff @p v starts (after the whitespace strtoull itself skips)
+ * with a minus sign. strtoull accepts "-5" and silently wraps it to
+ * 2^64-5, so unsigned parsing has to reject the sign up front.
+ */
+bool
+leadingMinus(const std::string &v)
+{
+    std::size_t i = 0;
+    while (i < v.size() &&
+           std::isspace(static_cast<unsigned char>(v[i])))
+        ++i;
+    return i < v.size() && v[i] == '-';
+}
+
+} // namespace
 
 void
 ArgParser::addOption(const std::string &name, const std::string &help,
@@ -85,11 +107,24 @@ std::uint64_t
 ArgParser::getUint(const std::string &name)
 {
     std::string v = get(name);
+    if (leadingMinus(v)) {
+        errorText = "option --" + name
+                  + " expects a non-negative integer, got '" + v
+                  + "'";
+        return 0;
+    }
     char *end = nullptr;
+    errno = 0;
     std::uint64_t out = std::strtoull(v.c_str(), &end, 10);
     if (v.empty() || !end || *end != '\0') {
         errorText = "option --" + name + " expects an integer, got '"
                   + v + "'";
+        return 0;
+    }
+    // strtoull clamps to ULLONG_MAX on overflow instead of failing.
+    if (errno == ERANGE) {
+        errorText = "option --" + name + " value '" + v
+                  + "' is out of range";
         return 0;
     }
     return out;
@@ -100,10 +135,18 @@ ArgParser::getDouble(const std::string &name)
 {
     std::string v = get(name);
     char *end = nullptr;
+    errno = 0;
     double out = std::strtod(v.c_str(), &end);
     if (v.empty() || !end || *end != '\0') {
         errorText = "option --" + name + " expects a number, got '"
                   + v + "'";
+        return 0.0;
+    }
+    // Overflow clamps to ±HUGE_VAL (and underflow to ~0) with
+    // ERANGE; both silently distort a sweep parameter, so reject.
+    if (errno == ERANGE) {
+        errorText = "option --" + name + " value '" + v
+                  + "' is out of range";
         return 0.0;
     }
     return out;

@@ -1,0 +1,165 @@
+#include "stats.hh"
+
+#include <cstdlib>
+
+#include "common/json.hh"
+
+namespace ldis
+{
+namespace stats
+{
+
+namespace
+{
+
+std::atomic<bool> statsEnabled{false};
+std::once_flag envOnce;
+
+/** Latch LDIS_STATS / LDIS_METRICS once, before first use. */
+void
+initFromEnv()
+{
+    if (const char *env = std::getenv("LDIS_STATS")) {
+        bool off = env[0] == '\0' || (env[0] == '0' && env[1] == '\0');
+        statsEnabled.store(!off, std::memory_order_relaxed);
+        return;
+    }
+    // A metrics sink implies stats: the JSONL summary records carry
+    // the registry snapshot, so asking for one turns collection on.
+    if (const char *env = std::getenv("LDIS_METRICS")) {
+        if (env[0] != '\0')
+            statsEnabled.store(true, std::memory_order_relaxed);
+    }
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    std::call_once(envOnce, initFromEnv);
+    return statsEnabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    std::call_once(envOnce, initFromEnv);
+    statsEnabled.store(on, std::memory_order_relaxed);
+}
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    if (!enabled())
+        return;
+    unsigned b = 0;
+    if (v > 0)
+        b = 64 - static_cast<unsigned>(__builtin_clzll(v));
+    buckets[b].fetch_add(1, std::memory_order_relaxed);
+    total.fetch_add(1, std::memory_order_relaxed);
+    sumValues.fetch_add(v, std::memory_order_relaxed);
+    // Lock-free running min/max: retry while our sample improves on
+    // the published value.
+    std::uint64_t seen = minValue.load(std::memory_order_relaxed);
+    while (v < seen &&
+           !minValue.compare_exchange_weak(seen, v,
+                                           std::memory_order_relaxed))
+        ;
+    seen = maxValue.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !maxValue.compare_exchange_weak(seen, v,
+                                           std::memory_order_relaxed))
+        ;
+}
+
+std::uint64_t
+Histogram::min() const
+{
+    std::uint64_t v = minValue.load(std::memory_order_relaxed);
+    return v == UINT64_MAX ? 0 : v;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets)
+        b.store(0, std::memory_order_relaxed);
+    total.store(0, std::memory_order_relaxed);
+    sumValues.store(0, std::memory_order_relaxed);
+    minValue.store(UINT64_MAX, std::memory_order_relaxed);
+    maxValue.store(0, std::memory_order_relaxed);
+}
+
+Counter &
+StatRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return counters[name];
+}
+
+Timer &
+StatRegistry::timer(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return timers[name];
+}
+
+Histogram &
+StatRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return histograms[name];
+}
+
+void
+StatRegistry::writeJson(JsonWriter &j, const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    j.beginObject(key);
+    for (const auto &[name, c] : counters)
+        j.field(name, c.value());
+    for (const auto &[name, t] : timers) {
+        j.beginObject(name);
+        j.field("seconds", t.seconds());
+        j.field("count", t.count());
+        j.endObject();
+    }
+    for (const auto &[name, h] : histograms) {
+        j.beginObject(name);
+        j.field("count", h.count());
+        j.field("sum", h.sum());
+        j.field("min", h.min());
+        j.field("max", h.max());
+        j.beginObject("buckets");
+        for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+            if (h.bucket(b) > 0)
+                j.field(std::to_string(b), h.bucket(b));
+        }
+        j.endObject();
+        j.endObject();
+    }
+    j.endObject();
+}
+
+void
+StatRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    for (auto &[name, c] : counters)
+        c.reset();
+    for (auto &[name, t] : timers)
+        t.reset();
+    for (auto &[name, h] : histograms)
+        h.reset();
+}
+
+StatRegistry &
+registry()
+{
+    static StatRegistry instance;
+    return instance;
+}
+
+} // namespace stats
+} // namespace ldis

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Lightweight run-statistics registry: named counters, timers and
+ * log2-bucket histograms that any subsystem can bump without wiring
+ * a dependency on the experiment harness. The registry feeds the
+ * telemetry JSONL sink (src/sim/telemetry) and the matrix runner's
+ * summary records.
+ *
+ * Same latch pattern as the LDIS_AUDIT engine: collection only
+ * happens while enabled() is true, which the first call latches from
+ * the environment (LDIS_STATS=1, or implicitly when LDIS_METRICS
+ * names a sink) and setEnabled() overrides. When disabled, every
+ * recording call is a single relaxed atomic load and a predicted
+ * branch — cheap enough that call sites need no compile-time gate,
+ * and the registry stays out of the per-access simulation hot path
+ * by construction (stats are bumped at job/stream granularity).
+ *
+ * All entry points are thread-safe: the RunMatrix workers bump
+ * counters concurrently, and lookup returns references that stay
+ * valid for the registry's lifetime (node-based storage).
+ */
+
+#ifndef DISTILLSIM_COMMON_STATS_HH
+#define DISTILLSIM_COMMON_STATS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace ldis
+{
+
+class JsonWriter;
+
+namespace stats
+{
+
+/**
+ * Runtime switch. The first call latches LDIS_STATS / LDIS_METRICS
+ * from the environment; setEnabled() overrides it.
+ */
+bool enabled();
+void setEnabled(bool on);
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t delta = 1)
+    {
+        if (enabled())
+            count.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return count.load(std::memory_order_relaxed);
+    }
+
+    void reset() { count.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> count{0};
+};
+
+/** Accumulated wall time across scoped sections. */
+class Timer
+{
+  public:
+    /** RAII section: samples the clock only while stats are on. */
+    class Scope
+    {
+      public:
+        explicit Scope(Timer &t)
+            : timer(t), active(enabled()),
+              start(active ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{})
+        {}
+
+        ~Scope()
+        {
+            if (active)
+                timer.add(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+        }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        Timer &timer;
+        bool active;
+        std::chrono::steady_clock::time_point start;
+    };
+
+    void
+    add(double secs)
+    {
+        if (!enabled())
+            return;
+        nanos.fetch_add(static_cast<std::uint64_t>(secs * 1e9),
+                        std::memory_order_relaxed);
+        sections.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    double
+    seconds() const
+    {
+        return static_cast<double>(
+                   nanos.load(std::memory_order_relaxed)) /
+               1e9;
+    }
+
+    std::uint64_t
+    count() const
+    {
+        return sections.load(std::memory_order_relaxed);
+    }
+
+    void
+    reset()
+    {
+        nanos.store(0, std::memory_order_relaxed);
+        sections.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> nanos{0};
+    std::atomic<std::uint64_t> sections{0};
+};
+
+/**
+ * Power-of-two bucket histogram: sample v lands in bucket
+ * floor(log2(v)) + 1 (bucket 0 holds v == 0), so bucket b covers
+ * [2^(b-1), 2^b). Tracks count/sum/min/max exactly.
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 65;
+
+    void sample(std::uint64_t v);
+
+    std::uint64_t
+    count() const
+    {
+        return total.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    sum() const
+    {
+        return sumValues.load(std::memory_order_relaxed);
+    }
+
+    /** Minimum sampled value (0 when empty). */
+    std::uint64_t min() const;
+
+    std::uint64_t
+    max() const
+    {
+        return maxValue.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    bucket(unsigned b) const
+    {
+        return buckets[b].load(std::memory_order_relaxed);
+    }
+
+    void reset();
+
+  private:
+    std::atomic<std::uint64_t> buckets[kBuckets]{};
+    std::atomic<std::uint64_t> total{0};
+    std::atomic<std::uint64_t> sumValues{0};
+    std::atomic<std::uint64_t> minValue{UINT64_MAX};
+    std::atomic<std::uint64_t> maxValue{0};
+};
+
+/**
+ * Name -> stat table. counter()/timer()/histogram() create on first
+ * use and return references that remain valid until the registry is
+ * destroyed; lookups take a mutex, so call sites that care should
+ * hoist the reference out of loops.
+ */
+class StatRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Timer &timer(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /**
+     * Serialize every stat as one JSON object (@p key names it
+     * inside an enclosing object): counters as integers, timers as
+     * {seconds, count}, histograms as {count, sum, min, max,
+     * buckets{...}} with empty buckets omitted. Names are emitted in
+     * sorted order so records diff cleanly.
+     */
+    void writeJson(JsonWriter &j, const std::string &key = "") const;
+
+    /** Zero every stat (tests and repeated in-process runs). */
+    void resetAll();
+
+  private:
+    mutable std::mutex mutex;
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Timer> timers;
+    std::map<std::string, Histogram> histograms;
+};
+
+/** The process-wide registry the simulator subsystems report into. */
+StatRegistry &registry();
+
+} // namespace stats
+} // namespace ldis
+
+#endif // DISTILLSIM_COMMON_STATS_HH

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 
 namespace ldis
 {
@@ -44,6 +45,7 @@ packResult(const Workload &workload, const SecondLevelCache &l2,
            const Hierarchy &hier, double elapsed)
 {
     RunResult r;
+    r.streamSource = "direct";
     r.wallSeconds = elapsed;
     r.instPerSec = elapsed > 0.0
         ? static_cast<double>(hier.stats().instructions) / elapsed
@@ -64,6 +66,7 @@ RunResult
 runTrace(Workload &workload, SecondLevelCache &l2,
          InstCount instructions)
 {
+    stats::registry().counter("experiment.trace_runs").add();
     Hierarchy hier(workload, l2);
     auto start = std::chrono::steady_clock::now();
     hier.run(instructions);
@@ -97,6 +100,7 @@ IpcResult
 runIpc(const std::string &benchmark, ConfigKind kind,
        InstCount instructions, std::uint64_t seed)
 {
+    stats::registry().counter("experiment.ipc_runs").add();
     auto workload = makeBenchmark(benchmark, seed);
     L2Instance l2 = makeConfig(kind, workload->valueProfile());
 

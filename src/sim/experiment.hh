@@ -36,6 +36,15 @@ struct RunResult
 
     /** Simulated instructions per host second. */
     double instPerSec = 0.0;
+
+    /**
+     * Provenance of the front-end reference stream that drove the
+     * run: "direct" (full hierarchy simulation), "record" (freshly
+     * recorded replay stream) or "disk-cache" (LDIS_TRACE_CACHE
+     * hit). Telemetry records carry it so a sweep's replay-cache
+     * behaviour is auditable; excluded from stat comparisons.
+     */
+    std::string streamSource;
 };
 
 /** Outcome of one execution-driven run. */

@@ -10,6 +10,7 @@
 
 #include "common/audit.hh"
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "trace/benchmarks.hh"
 #include "trace/trace_file.hh"
 
@@ -472,24 +473,46 @@ streamCachePath(const std::string &benchmark, std::uint64_t seed,
 std::shared_ptr<const L2Stream>
 loadOrRecordStream(const std::string &benchmark, std::uint64_t seed,
                    InstCount warmup, InstCount instructions,
-                   const HierarchyParams &params)
+                   const HierarchyParams &params,
+                   StreamLoadInfo *info)
 {
     std::string path = streamCachePath(benchmark, seed, warmup,
                                        instructions, params);
+    if (info)
+        info->cacheConfigured = !path.empty();
     if (!path.empty()) {
         auto cached = std::make_shared<L2Stream>();
-        if (readL2Stream(path, *cached) &&
-            cached->benchmark == benchmark &&
-            cached->seed == seed &&
-            cached->warmupInstructions == warmup &&
-            cached->instructions == instructions &&
-            cached->frontEndKey == frontEndParamsKey(params))
+        bool hit;
+        {
+            stats::Timer::Scope scope(
+                stats::registry().timer("replay.stream_disk_load"));
+            hit = readL2Stream(path, *cached) &&
+                  cached->benchmark == benchmark &&
+                  cached->seed == seed &&
+                  cached->warmupInstructions == warmup &&
+                  cached->instructions == instructions &&
+                  cached->frontEndKey == frontEndParamsKey(params);
+        }
+        if (hit) {
+            stats::registry()
+                .counter("replay.stream_disk_hits")
+                .add();
+            if (info)
+                info->fromDiskCache = true;
             return cached;
+        }
+        stats::registry().counter("replay.stream_disk_misses").add();
     }
 
     auto workload = makeBenchmark(benchmark, seed);
-    auto fresh = std::make_shared<L2Stream>(recordStream(
-        *workload, seed, warmup, instructions, params));
+    stats::registry().counter("replay.streams_recorded").add();
+    std::shared_ptr<L2Stream> fresh;
+    {
+        stats::Timer::Scope scope(
+            stats::registry().timer("replay.stream_record"));
+        fresh = std::make_shared<L2Stream>(recordStream(
+            *workload, seed, warmup, instructions, params));
+    }
     if (!path.empty())
         writeL2Stream(path, *fresh);
     return fresh;
@@ -499,11 +522,14 @@ RunResult
 runReplay(const std::string &benchmark, ConfigKind kind,
           InstCount instructions, std::uint64_t seed)
 {
+    StreamLoadInfo info;
     auto stream =
-        loadOrRecordStream(benchmark, seed, 0, instructions);
+        loadOrRecordStream(benchmark, seed, 0, instructions, {},
+                           &info);
     L2Instance l2 = makeConfig(kind, stream->values);
     RunResult r = replayStream(*stream, *l2.cache);
     r.config = configName(kind);
+    r.streamSource = info.fromDiskCache ? "disk-cache" : "record";
     return r;
 }
 

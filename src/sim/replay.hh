@@ -162,16 +162,27 @@ L2Stream recordStream(Workload &workload, std::uint64_t seed,
  */
 RunResult replayStream(const L2Stream &stream, SecondLevelCache &l2);
 
+/** Provenance report of one loadOrRecordStream() call. */
+struct StreamLoadInfo
+{
+    bool cacheConfigured = false; //!< LDIS_TRACE_CACHE was set
+    bool fromDiskCache = false;   //!< stream came from the cache
+};
+
 /**
  * Obtain the stream for (benchmark, seed, warmup, instructions):
  * loaded from the LDIS_TRACE_CACHE directory when set and a valid
  * cached file exists, freshly recorded (and written back to the
- * cache, best-effort) otherwise.
+ * cache, best-effort) otherwise. @p info, when non-null, reports
+ * where the stream came from (telemetry records carry it), and the
+ * stat registry counts disk hits/misses and recording time either
+ * way.
  */
 std::shared_ptr<const L2Stream>
 loadOrRecordStream(const std::string &benchmark, std::uint64_t seed,
                    InstCount warmup, InstCount instructions,
-                   const HierarchyParams &params = {});
+                   const HierarchyParams &params = {},
+                   StreamLoadInfo *info = nullptr);
 
 /** Cache-file path for a stream key ("" when LDIS_TRACE_CACHE unset). */
 std::string streamCachePath(const std::string &benchmark,
@@ -218,6 +229,16 @@ class ReplaySource
 
     /** The workload's value profile (compression configs need it). */
     ValueProfile valueProfile() const;
+
+    /**
+     * The shared stream driving this source (null in direct mode).
+     * Exposed so lifetime tests can observe when the last reference
+     * is dropped.
+     */
+    const std::shared_ptr<const L2Stream> &sharedStream() const
+    {
+        return stream;
+    }
 
   private:
     std::shared_ptr<const L2Stream> stream; //!< null in direct mode

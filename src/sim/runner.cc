@@ -182,6 +182,9 @@ struct RunMatrix::StreamHolder
     std::size_t total = 0; //!< replay jobs registered (at add time)
     std::atomic<std::size_t> completed{0};
 
+    /** Set by the setup job (before any dependent replay runs). */
+    bool fromDiskCache = false;
+
     /**
      * Take a reference for one replay job, dropping the holder's own
      * reference after the last job. The release order is safe: a
@@ -198,9 +201,31 @@ struct RunMatrix::StreamHolder
     release()
     {
         if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-            total)
+            total) {
             stream.reset();
+            stats::registry()
+                .counter("runner.streams_released")
+                .add();
+        }
     }
+
+    /**
+     * Scoped release for one replay job. Jobs hold it across the
+     * whole closure so a throwing job still drops its reference —
+     * without it, one failed job would pin the benchmark's
+     * multi-hundred-MB stream until matrix teardown.
+     */
+    class Ref
+    {
+      public:
+        explicit Ref(StreamHolder &holder) : h(holder) {}
+        ~Ref() { h.release(); }
+        Ref(const Ref &) = delete;
+        Ref &operator=(const Ref &) = delete;
+
+      private:
+        StreamHolder &h;
+    };
 };
 
 std::shared_ptr<RunMatrix::StreamHolder>
@@ -216,8 +241,11 @@ RunMatrix::streamFor(const std::string &benchmark,
         holder->setupHandle = addSetup(
             benchmark + "/frontend", [h, benchmark, seed,
                                       instructions]() -> InstCount {
+                StreamLoadInfo info;
                 h->stream = loadOrRecordStream(benchmark, seed, 0,
-                                               instructions);
+                                               instructions, {},
+                                               &info);
+                h->fromDiskCache = info.fromDiskCache;
                 return h->stream->meas.instructions;
             });
     }
@@ -236,11 +264,13 @@ RunMatrix::addReplay(const std::string &benchmark, ConfigKind kind,
     std::size_t idx = add(
         std::move(label),
         [holder, kind] {
+            StreamHolder::Ref ref(*holder);
             ReplaySource source(holder->take());
             L2Instance l2 = makeConfig(kind, source.valueProfile());
             RunResult r = source.run(*l2.cache);
             r.config = configName(kind);
-            holder->release();
+            r.streamSource =
+                holder->fromDiskCache ? "disk-cache" : "record";
             return r;
         },
         holder->setupHandle);
@@ -266,9 +296,11 @@ RunMatrix::addReplay(const std::string &benchmark,
     return add(
         std::move(label),
         [holder, fn] {
+            StreamHolder::Ref ref(*holder);
             ReplaySource source(holder->take());
             RunResult r = fn(source);
-            holder->release();
+            r.streamSource =
+                holder->fromDiskCache ? "disk-cache" : "record";
             return r;
         },
         holder->setupHandle);

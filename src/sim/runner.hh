@@ -25,7 +25,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/stats.hh"
 #include "sim/experiment.hh"
+#include "sim/telemetry.hh"
 
 namespace ldis
 {
@@ -137,25 +139,38 @@ class RunMatrixT
         slots.assign(numResults, Result{});
         jobTimes.assign(entries.size(), JobTiming{});
 
+        // Observability: live progress to stderr while the matrix
+        // runs, one JSONL record per finished job, and a wall-time
+        // histogram in the stat registry. All of it early-outs when
+        // the respective sink is off, so a plain run stays
+        // bit-identical and allocation-pattern-identical.
+        telemetry::Progress progress(entries.size());
+        stats::Histogram &wall_hist =
+            stats::registry().histogram("runner.job_wall_ms");
+
         std::vector<std::function<void()>> thunks;
         std::vector<std::size_t> deps;
         thunks.reserve(entries.size());
         deps.reserve(entries.size());
         for (std::size_t i = 0; i < entries.size(); ++i) {
             deps.push_back(entries[i].dep);
-            thunks.push_back([this, i] {
+            thunks.push_back([this, i, &progress, &wall_hist] {
                 const Entry &e = entries[i];
+                progress.started(i, e.label);
                 auto t0 = clock::now();
                 if (e.slot == kNoSlot) {
                     InstCount n = e.setup();
                     double s = std::chrono::duration<double>(
                                    clock::now() - t0)
                                    .count();
-                    jobTimes[i] = {e.label, s,
-                                   s > 0.0
-                                       ? static_cast<double>(n) / s
-                                       : 0.0,
-                                   n};
+                    double ips = s > 0.0
+                        ? static_cast<double>(n) / s
+                        : 0.0;
+                    jobTimes[i] = {e.label, s, ips, n};
+                    wall_hist.sample(
+                        static_cast<std::uint64_t>(s * 1e3));
+                    telemetry::emitSetup(e.label, s, ips, n);
+                    progress.finished(i, e.label, s);
                     return;
                 }
                 Result r = e.fn();
@@ -173,6 +188,9 @@ class RunMatrixT
                 jobTimes[i] = {e.label, r.wallSeconds,
                                r.instPerSec,
                                simulatedInstructions(r)};
+                wall_hist.sample(static_cast<std::uint64_t>(s * 1e3));
+                telemetry::emitJob(e.label, r);
+                progress.finished(i, e.label, s);
                 slots[e.slot] = std::move(r);
             });
         }
@@ -181,6 +199,9 @@ class RunMatrixT
         detail::runThunks(thunks, deps, workerCount);
         matrixWall =
             std::chrono::duration<double>(clock::now() - t0).count();
+        telemetry::emitMatrixSummary(numResults, workerCount,
+                                     matrixWall,
+                                     cumulativeSeconds());
         return slots;
     }
 

@@ -1,0 +1,324 @@
+#include "telemetry.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace ldis
+{
+namespace telemetry
+{
+
+namespace
+{
+
+/** The process-wide sink: path + lazily opened append handle. */
+struct Sink
+{
+    std::mutex mutex;
+    std::string path;
+    std::string experimentName;
+    std::FILE *file = nullptr;
+    bool latched = false;
+    bool warnedOpenFailure = false;
+
+    ~Sink()
+    {
+        if (file)
+            std::fclose(file);
+    }
+
+    /** Latch LDIS_METRICS once (callers hold the mutex). */
+    void
+    latch()
+    {
+        if (latched)
+            return;
+        latched = true;
+        if (const char *env = std::getenv("LDIS_METRICS"))
+            path = env;
+    }
+
+    /** Append one serialized record (callers hold the mutex). */
+    void
+    append(const std::string &line)
+    {
+        if (!file) {
+            file = std::fopen(path.c_str(), "a");
+            if (!file) {
+                if (!warnedOpenFailure) {
+                    warn("cannot open metrics sink '%s'; telemetry "
+                         "disabled",
+                         path.c_str());
+                    warnedOpenFailure = true;
+                }
+                path.clear();
+                return;
+            }
+        }
+        std::fputs(line.c_str(), file);
+        std::fputc('\n', file);
+        std::fflush(file);
+    }
+};
+
+Sink &
+sink()
+{
+    static Sink instance;
+    return instance;
+}
+
+/** Cached host name for the per-record metadata block. */
+const std::string &
+hostName()
+{
+    static const std::string name = [] {
+        char buf[256] = {0};
+        if (::gethostname(buf, sizeof(buf) - 1) != 0)
+            return std::string("unknown");
+        return std::string(buf);
+    }();
+    return name;
+}
+
+/** Seconds since the Unix epoch (record timestamping). */
+std::uint64_t
+unixTime()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Open a record: schema/kind/experiment/label/time/host preamble. */
+void
+beginRecord(JsonWriter &j, const char *kind, const std::string &label)
+{
+    j.beginObject();
+    j.field("schema", kSchemaVersion);
+    j.field("kind", kind);
+    j.field("experiment", experiment());
+    if (!label.empty())
+        j.field("label", label);
+    j.field("unix_time", unixTime());
+    j.beginObject("host");
+    j.field("name", hostName());
+    j.field("hw_threads",
+            static_cast<std::uint64_t>(
+                std::thread::hardware_concurrency()));
+    j.endObject();
+}
+
+/** Serialize under the sink lock and append. */
+void
+emitLine(const JsonWriter &j)
+{
+    Sink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.latch();
+    if (s.path.empty())
+        return;
+    s.append(j.str());
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    Sink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.latch();
+    return !s.path.empty();
+}
+
+std::string
+sinkPath()
+{
+    Sink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.latch();
+    return s.path;
+}
+
+void
+setSink(const std::string &path)
+{
+    Sink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.latch();
+    if (s.file) {
+        std::fclose(s.file);
+        s.file = nullptr;
+    }
+    s.path = path;
+    s.warnedOpenFailure = false;
+    // Metrics imply stats, mirroring the LDIS_METRICS env latch.
+    if (!path.empty())
+        stats::setEnabled(true);
+}
+
+void
+setExperiment(const std::string &name)
+{
+    Sink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.experimentName = name;
+}
+
+std::string
+experiment()
+{
+    Sink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.experimentName;
+}
+
+void
+emitJob(const std::string &label, const RunResult &r)
+{
+    if (!enabled())
+        return;
+    JsonWriter j;
+    beginRecord(j, "run", label);
+    j.field("stream_source",
+            r.streamSource.empty() ? "none" : r.streamSource);
+    writeJson(j, r, "result");
+    j.endObject();
+    emitLine(j);
+}
+
+void
+emitJob(const std::string &label, const IpcResult &r)
+{
+    if (!enabled())
+        return;
+    JsonWriter j;
+    beginRecord(j, "ipc", label);
+    j.beginObject("result");
+    j.field("benchmark", r.benchmark);
+    j.field("config", r.config);
+    j.field("instructions", r.cpu.instructions);
+    j.field("cycles", r.cpu.cycles);
+    j.field("ipc", r.ipc);
+    j.field("mpki", r.mpki);
+    j.field("wall_seconds", r.wallSeconds);
+    j.field("inst_per_sec", r.instPerSec);
+    j.endObject();
+    j.endObject();
+    emitLine(j);
+}
+
+void
+emitSetup(const std::string &label, double wall_seconds,
+          double inst_per_sec, InstCount instructions)
+{
+    if (!enabled())
+        return;
+    JsonWriter j;
+    beginRecord(j, "setup", label);
+    j.field("instructions", instructions);
+    j.field("wall_seconds", wall_seconds);
+    j.field("inst_per_sec", inst_per_sec);
+    j.endObject();
+    emitLine(j);
+}
+
+void
+emitMatrixSummary(std::size_t jobs, unsigned workers,
+                  double wall_seconds, double cumulative_seconds)
+{
+    if (!enabled())
+        return;
+    JsonWriter j;
+    beginRecord(j, "matrix", "");
+    j.field("jobs", static_cast<std::uint64_t>(jobs));
+    j.field("workers", static_cast<std::uint64_t>(workers));
+    j.field("wall_seconds", wall_seconds);
+    j.field("cumulative_seconds", cumulative_seconds);
+    stats::registry().writeJson(j, "stats");
+    j.endObject();
+    emitLine(j);
+}
+
+bool
+progressEnabled()
+{
+    static const bool on = [] {
+        if (const char *env = std::getenv("LDIS_PROGRESS")) {
+            return !(env[0] == '\0' ||
+                     (env[0] == '0' && env[1] == '\0'));
+        }
+        return ::isatty(STDERR_FILENO) == 1;
+    }();
+    return on;
+}
+
+Progress::Progress(std::size_t total_jobs)
+    : active(progressEnabled() && total_jobs > 0), total(total_jobs),
+      begin(std::chrono::steady_clock::now())
+{}
+
+void
+Progress::started(std::size_t index, const std::string &label)
+{
+    if (!active)
+        return;
+    std::lock_guard<std::mutex> lock(mutex);
+    inFlight.emplace(index,
+                     std::make_pair(
+                         label, std::chrono::steady_clock::now()));
+}
+
+void
+Progress::finished(std::size_t index, const std::string &label,
+                   double wall_seconds)
+{
+    if (!active)
+        return;
+    auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mutex);
+    inFlight.erase(index);
+    ++done;
+
+    double elapsed =
+        std::chrono::duration<double>(now - begin).count();
+    double eta = done > 0
+        ? elapsed / static_cast<double>(done) *
+              static_cast<double>(total - done)
+        : 0.0;
+
+    std::string slowest;
+    double slowest_age = 0.0;
+    for (const auto &[idx, entry] : inFlight) {
+        double age =
+            std::chrono::duration<double>(now - entry.second)
+                .count();
+        if (age >= slowest_age) {
+            slowest_age = age;
+            slowest = entry.first;
+        }
+    }
+
+    std::string line = "[" + std::to_string(done) + "/" +
+                       std::to_string(total) + "] " + label + " (" +
+                       Table::num(wall_seconds, 2) + " s) eta " +
+                       Table::num(eta, 1) + " s";
+    if (!slowest.empty()) {
+        line += " | in flight: " + slowest + " (" +
+                Table::num(slowest_age, 1) + " s)";
+    }
+    std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+} // namespace telemetry
+} // namespace ldis

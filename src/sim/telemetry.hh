@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Run-telemetry layer: a JSONL run-log sink plus live matrix
+ * progress. When a sink is configured (the LDIS_METRICS environment
+ * variable, or `ldissim --metrics`), every completed experiment job
+ * appends one schema-versioned JSON record to the log — benchmark,
+ * config, MPKI, the full L2/L1 counter block, wall time, simulation
+ * speed, the replay stream's provenance, and host metadata — and
+ * every finished matrix appends a summary record carrying the
+ * StatRegistry snapshot (replay-cache hits/misses, per-stage timers,
+ * job wall-time histogram). scripts/compare_runs.py diffs two such
+ * logs per (label, benchmark, config) cell, which is what turns a
+ * perf PR's "before/after" claim into a checked artifact.
+ *
+ * Record schema (schema = 1):
+ *   {"schema":1, "kind":"run",
+ *    "experiment":"fig06_mpki", "label":"mcf/LDIS-MT-RC",
+ *    "unix_time":…, "host":{"name":…, "hw_threads":…},
+ *    "stream_source":"record|disk-cache|direct|none",
+ *    "result":{…writeJson(RunResult)…}}
+ *   kind "ipc":    result carries ipc/mpki/instructions/cycles
+ *   kind "setup":  a front-end recording job (label, timing only)
+ *   kind "matrix": jobs/workers/wall/cumulative + "stats" snapshot
+ *
+ * With no sink configured every entry point is a cheap early-out
+ * (one latched check), so `LDIS_METRICS` off keeps benches
+ * bit-identical and within noise of their previous throughput.
+ *
+ * Live progress ([done/total], ETA, slowest in-flight job) prints to
+ * stderr while a matrix runs: on by default when stderr is a TTY,
+ * forced with LDIS_PROGRESS=1, silenced with LDIS_PROGRESS=0.
+ */
+
+#ifndef DISTILLSIM_SIM_TELEMETRY_HH
+#define DISTILLSIM_SIM_TELEMETRY_HH
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "sim/experiment.hh"
+
+namespace ldis
+{
+namespace telemetry
+{
+
+/** Telemetry record schema version (bump on breaking changes). */
+inline constexpr std::uint64_t kSchemaVersion = 1;
+
+/**
+ * True iff a JSONL sink is configured. The first call latches
+ * LDIS_METRICS from the environment; setSink() overrides it.
+ */
+bool enabled();
+
+/** The sink path ("" when disabled). */
+std::string sinkPath();
+
+/** Override the sink ("" disables). Closes any open log first. */
+void setSink(const std::string &path);
+
+/**
+ * Name of the running experiment (harness), stamped into every
+ * record — each bench main sets this once.
+ */
+void setExperiment(const std::string &name);
+std::string experiment();
+
+/** Append one record for a finished trace-driven job. */
+void emitJob(const std::string &label, const RunResult &r);
+
+/** Append one record for a finished execution-driven job. */
+void emitJob(const std::string &label, const IpcResult &r);
+
+/** Append one record for a finished setup (front-end) job. */
+void emitSetup(const std::string &label, double wall_seconds,
+               double inst_per_sec, InstCount instructions);
+
+/**
+ * Append the end-of-matrix summary record, including the
+ * StatRegistry snapshot.
+ */
+void emitMatrixSummary(std::size_t jobs, unsigned workers,
+                       double wall_seconds,
+                       double cumulative_seconds);
+
+/** True iff live progress lines should be printed to stderr. */
+bool progressEnabled();
+
+/**
+ * Live progress for one matrix run: completion counter, ETA from
+ * the mean finished-job cost over the remaining jobs, and the
+ * longest-running in-flight job. All methods are thread-safe and
+ * no-ops when progress is disabled.
+ */
+class Progress
+{
+  public:
+    explicit Progress(std::size_t total_jobs);
+
+    /** A worker picked up job @p label. */
+    void started(std::size_t index, const std::string &label);
+
+    /** Job @p label finished after @p wall_seconds. */
+    void finished(std::size_t index, const std::string &label,
+                  double wall_seconds);
+
+  private:
+    bool active;
+    std::size_t total;
+    std::size_t done = 0;
+    std::chrono::steady_clock::time_point begin;
+    std::mutex mutex;
+    /** index -> (label, start time) of jobs currently running. */
+    std::map<std::size_t,
+             std::pair<std::string,
+                       std::chrono::steady_clock::time_point>>
+        inFlight;
+};
+
+} // namespace telemetry
+} // namespace ldis
+
+#endif // DISTILLSIM_SIM_TELEMETRY_HH

@@ -79,6 +79,9 @@ readRecord(std::FILE *f)
     return a;
 }
 
+/** On-disk size of one writeRecord()/readRecord() record. */
+constexpr std::uint64_t kRecordBytes = 8 + 8 + 4 + 4 + 1 + 1;
+
 /** Read+validate the header; returns the record count. */
 std::uint64_t
 readHeader(std::FILE *f, std::string &name, CodeModel &code,
@@ -101,7 +104,37 @@ readHeader(std::FILE *f, std::string &name, CodeModel &code,
     values.pZero = readScalar<double>(f);
     values.pOne = readScalar<double>(f);
     values.pNarrow = readScalar<double>(f);
-    return readScalar<std::uint64_t>(f);
+    std::uint64_t count = readScalar<std::uint64_t>(f);
+
+    // Check the advertised record count against the actual payload
+    // size up front: a header count larger than the file would
+    // otherwise only surface as a mid-read abort (or, for a corrupt
+    // oversized count, an attempted giant allocation), and trailing
+    // garbage would pass entirely unnoticed.
+    long header_end = std::ftell(f);
+    if (header_end >= 0 && std::fseek(f, 0, SEEK_END) == 0) {
+        long file_end = std::ftell(f);
+        if (file_end >= 0) {
+            std::uint64_t payload =
+                static_cast<std::uint64_t>(file_end - header_end);
+            if (count > payload / kRecordBytes)
+                ldis_fatal("trace '%s' is truncated: header "
+                           "promises %llu records but only %llu "
+                           "payload bytes follow",
+                           path.c_str(),
+                           static_cast<unsigned long long>(count),
+                           static_cast<unsigned long long>(payload));
+            if (payload > count * kRecordBytes)
+                ldis_fatal("trace '%s' has %llu trailing bytes "
+                           "after the last record",
+                           path.c_str(),
+                           static_cast<unsigned long long>(
+                               payload - count * kRecordBytes));
+        }
+        if (std::fseek(f, header_end, SEEK_SET) != 0)
+            ldis_fatal("cannot seek in trace '%s'", path.c_str());
+    }
+    return count;
 }
 
 } // namespace

@@ -1,5 +1,7 @@
 /** @file Unit tests for the command-line argument parser. */
 
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "common/args.hh"
@@ -90,6 +92,53 @@ TEST(ArgParser, MalformedNumberSetsError)
     ASSERT_TRUE(parseArgs(p, {"--instructions", "12x"}));
     p.getUint("instructions");
     EXPECT_FALSE(p.ok());
+}
+
+TEST(ArgParser, NegativeUintIsAnError)
+{
+    // strtoull would happily wrap "-5" to 2^64-5.
+    ArgParser p = makeParser();
+    ASSERT_TRUE(parseArgs(p, {"--instructions", "-5"}));
+    EXPECT_EQ(p.getUint("instructions"), 0u);
+    EXPECT_FALSE(p.ok());
+    EXPECT_NE(p.error().find("non-negative"), std::string::npos);
+}
+
+TEST(ArgParser, NegativeUintWithLeadingSpaceIsAnError)
+{
+    ArgParser p = makeParser();
+    ASSERT_TRUE(parseArgs(p, {"--instructions", "  -1"}));
+    p.getUint("instructions");
+    EXPECT_FALSE(p.ok());
+}
+
+TEST(ArgParser, OverflowingUintIsAnError)
+{
+    // 2^64 exactly: strtoull clamps to ULLONG_MAX with ERANGE.
+    ArgParser p = makeParser();
+    ASSERT_TRUE(
+        parseArgs(p, {"--instructions", "18446744073709551616"}));
+    EXPECT_EQ(p.getUint("instructions"), 0u);
+    EXPECT_FALSE(p.ok());
+    EXPECT_NE(p.error().find("out of range"), std::string::npos);
+}
+
+TEST(ArgParser, MaxUintStillParses)
+{
+    ArgParser p = makeParser();
+    ASSERT_TRUE(
+        parseArgs(p, {"--instructions", "18446744073709551615"}));
+    EXPECT_EQ(p.getUint("instructions"), UINT64_MAX);
+    EXPECT_TRUE(p.ok());
+}
+
+TEST(ArgParser, OverflowingDoubleIsAnError)
+{
+    ArgParser p = makeParser();
+    ASSERT_TRUE(parseArgs(p, {"--scale", "1e999999"}));
+    EXPECT_EQ(p.getDouble("scale"), 0.0);
+    EXPECT_FALSE(p.ok());
+    EXPECT_NE(p.error().find("out of range"), std::string::npos);
 }
 
 TEST(ArgParser, PositionalArgumentsCollected)

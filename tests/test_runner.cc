@@ -5,7 +5,10 @@
  * identical to the serial loop it replaces for any worker count.
  */
 
+#include <atomic>
 #include <cstdlib>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -264,6 +267,99 @@ TEST(Runner, ReplayDisabledFallsBackToDirect)
                                        kInstructions));
     expectSameRun(results[1], runTrace("art", ConfigKind::LdisMTRC,
                                        kInstructions));
+}
+
+TEST(Runner, FirstErrorPropagatesFromWorkers)
+{
+    for (const char *jobs : {"1", "4"}) {
+        SCOPED_TRACE(std::string("LDIS_JOBS=") + jobs);
+        ::setenv("LDIS_JOBS", jobs, 1);
+        RunMatrix matrix;
+        matrix.add("ok", [] {
+            return runTrace("art", ConfigKind::Baseline1MB, 10000);
+        });
+        matrix.add("boom", []() -> RunResult {
+            throw std::runtime_error("job exploded");
+        });
+        EXPECT_THROW(
+            {
+                try {
+                    matrix.run();
+                } catch (const std::runtime_error &e) {
+                    EXPECT_STREQ(e.what(), "job exploded");
+                    throw;
+                }
+            },
+            std::runtime_error);
+        ::unsetenv("LDIS_JOBS");
+    }
+}
+
+TEST(Runner, DependentsOfFailedSetupNeverRun)
+{
+    for (const char *jobs : {"1", "4"}) {
+        SCOPED_TRACE(std::string("LDIS_JOBS=") + jobs);
+        ::setenv("LDIS_JOBS", jobs, 1);
+        RunMatrix matrix;
+        std::size_t setup =
+            matrix.addSetup("bad-setup", []() -> InstCount {
+                throw std::runtime_error("setup failed");
+            });
+        auto ran = std::make_shared<std::atomic<bool>>(false);
+        matrix.add(
+            "dependent",
+            [ran] {
+                ran->store(true);
+                return RunResult{};
+            },
+            setup);
+        EXPECT_THROW(matrix.run(), std::runtime_error);
+        EXPECT_FALSE(ran->load());
+        ::unsetenv("LDIS_JOBS");
+    }
+}
+
+TEST(Runner, ThrowingReplayJobReleasesItsStream)
+{
+    // The recorded front-end stream is memoized in a holder that the
+    // last replay job resets. If a job throws, the RAII guard must
+    // still drop the reference — otherwise the multi-MB stream stays
+    // pinned for the harness's lifetime.
+    for (const char *jobs : {"1", "4"}) {
+        SCOPED_TRACE(std::string("LDIS_JOBS=") + jobs);
+        ::setenv("LDIS_JOBS", jobs, 1);
+        RunMatrix matrix;
+        auto observed =
+            std::make_shared<std::weak_ptr<const L2Stream>>();
+        matrix.addReplay(
+            "art", kInstructions, "art/throws",
+            [observed](ReplaySource &src) -> RunResult {
+                *observed = src.sharedStream();
+                throw std::runtime_error("replay job failed");
+            });
+        EXPECT_THROW(matrix.run(), std::runtime_error);
+        // The job observed a live stream, and nothing pins it after
+        // the matrix finished.
+        EXPECT_TRUE(observed->expired());
+        ::unsetenv("LDIS_JOBS");
+    }
+}
+
+TEST(Runner, StreamReleasedAfterSuccessfulReplayRun)
+{
+    RunMatrix matrix(2);
+    auto observed =
+        std::make_shared<std::weak_ptr<const L2Stream>>();
+    matrix.addReplay("art", kInstructions, "art/trad",
+                     [observed](ReplaySource &src) {
+                         *observed = src.sharedStream();
+                         L2Instance l2 = makeConfig(
+                             ConfigKind::Trad2MB,
+                             src.valueProfile());
+                         return src.run(*l2.cache);
+                     });
+    matrix.run();
+    EXPECT_TRUE(observed->expired());
 }
 
 TEST(Runner, CustomReplayClosureMatchesDirect)

@@ -1,0 +1,176 @@
+/** @file Unit tests for the stats registry (common/stats). */
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+
+namespace ldis
+{
+namespace
+{
+
+/** Force stats collection on for a test, restoring on exit. */
+class StatsOn
+{
+  public:
+    StatsOn() { stats::setEnabled(true); }
+    ~StatsOn() { stats::setEnabled(false); }
+};
+
+TEST(Stats, CounterAccumulates)
+{
+    StatsOn on;
+    stats::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, DisabledCounterIgnoresAdds)
+{
+    stats::setEnabled(false);
+    stats::Counter c;
+    c.add(7);
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, TimerScopeAccumulates)
+{
+    StatsOn on;
+    stats::Timer t;
+    {
+        stats::Timer::Scope scope(t);
+    }
+    {
+        stats::Timer::Scope scope(t);
+    }
+    EXPECT_EQ(t.count(), 2u);
+    EXPECT_GE(t.seconds(), 0.0);
+    t.reset();
+    EXPECT_EQ(t.count(), 0u);
+}
+
+TEST(Stats, DisabledTimerScopeRecordsNothing)
+{
+    stats::setEnabled(false);
+    stats::Timer t;
+    {
+        stats::Timer::Scope scope(t);
+    }
+    EXPECT_EQ(t.count(), 0u);
+    EXPECT_EQ(t.seconds(), 0.0);
+}
+
+TEST(Stats, HistogramBucketsByLog2)
+{
+    StatsOn on;
+    stats::Histogram h;
+    h.sample(0); // bucket 0
+    h.sample(1); // bucket 1: [1, 2)
+    h.sample(2); // bucket 2: [2, 4)
+    h.sample(3); // bucket 2
+    h.sample(4); // bucket 3: [4, 8)
+    h.sample(UINT64_MAX); // bucket 64
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.bucket(64), 1u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), UINT64_MAX);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Stats, HistogramMinMaxUnderConcurrency)
+{
+    StatsOn on;
+    stats::Histogram h;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&h, t] {
+            for (std::uint64_t i = 1; i <= 1000; ++i)
+                h.sample(i + static_cast<std::uint64_t>(t) * 1000);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(h.count(), 4000u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 4000u);
+}
+
+TEST(Stats, RegistryReferencesAreStable)
+{
+    StatsOn on;
+    stats::StatRegistry reg;
+    stats::Counter &a = reg.counter("first");
+    // Creating many more entries must not invalidate `a`.
+    for (int i = 0; i < 100; ++i)
+        reg.counter("other-" + std::to_string(i));
+    a.add(3);
+    EXPECT_EQ(reg.counter("first").value(), 3u);
+    EXPECT_EQ(&reg.counter("first"), &a);
+}
+
+TEST(Stats, RegistryConcurrentLookupAndBump)
+{
+    StatsOn on;
+    stats::StatRegistry reg;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&reg] {
+            for (int i = 0; i < 1000; ++i)
+                reg.counter("shared").add();
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(reg.counter("shared").value(), 4000u);
+}
+
+TEST(Stats, WriteJsonSnapshot)
+{
+    StatsOn on;
+    stats::StatRegistry reg;
+    reg.counter("events").add(5);
+    reg.timer("phase").add(0.25);
+    reg.histogram("sizes").sample(3);
+    JsonWriter j;
+    j.beginObject();
+    reg.writeJson(j, "stats");
+    j.endObject();
+    std::string out = j.str();
+    EXPECT_NE(out.find("\"events\":5"), std::string::npos) << out;
+    EXPECT_NE(out.find("\"phase\""), std::string::npos);
+    EXPECT_NE(out.find("\"count\":1"), std::string::npos);
+    EXPECT_NE(out.find("\"sizes\""), std::string::npos);
+    EXPECT_NE(out.find("\"sum\":3"), std::string::npos);
+}
+
+TEST(Stats, ResetAllZeroesEverything)
+{
+    StatsOn on;
+    stats::StatRegistry reg;
+    reg.counter("a").add(1);
+    reg.timer("b").add(1.0);
+    reg.histogram("c").sample(9);
+    reg.resetAll();
+    EXPECT_EQ(reg.counter("a").value(), 0u);
+    EXPECT_EQ(reg.timer("b").count(), 0u);
+    EXPECT_EQ(reg.histogram("c").count(), 0u);
+}
+
+} // namespace
+} // namespace ldis

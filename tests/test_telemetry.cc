@@ -1,0 +1,194 @@
+/** @file Tests for the telemetry JSONL run-log sink. */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+#include "sim/telemetry.hh"
+
+namespace ldis
+{
+namespace
+{
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "ldis_metrics_" + tag
+         + ".jsonl";
+}
+
+/** The sink file's lines (empty when the file does not exist). */
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::vector<std::string> lines;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/** Configure the sink for one test, restoring the off state after. */
+class SinkGuard
+{
+  public:
+    explicit SinkGuard(const std::string &path)
+    {
+        telemetry::setSink(path);
+    }
+
+    ~SinkGuard()
+    {
+        telemetry::setSink("");
+        stats::setEnabled(false);
+    }
+};
+
+TEST(Telemetry, DisabledSinkEmitsNothing)
+{
+    std::string path = tempPath("disabled");
+    std::remove(path.c_str());
+    telemetry::setSink("");
+    EXPECT_FALSE(telemetry::enabled());
+    RunResult r;
+    r.benchmark = "mcf";
+    telemetry::emitJob("mcf/none", r);
+    telemetry::emitMatrixSummary(1, 1, 0.1, 0.1);
+    EXPECT_TRUE(readLines(path).empty());
+}
+
+TEST(Telemetry, EmitJobWritesOneSchemaVersionedRecord)
+{
+    std::string path = tempPath("record");
+    std::remove(path.c_str());
+    SinkGuard guard(path);
+    ASSERT_TRUE(telemetry::enabled());
+    EXPECT_EQ(telemetry::sinkPath(), path);
+    telemetry::setExperiment("test_telemetry");
+
+    RunResult r;
+    r.benchmark = "mcf";
+    r.config = "Trad 1MB";
+    r.instructions = 1000;
+    r.mpki = 12.5;
+    telemetry::emitJob("mcf/base", r);
+
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_EQ(lines.size(), 1u);
+    const std::string &rec = lines[0];
+    EXPECT_NE(rec.find("\"schema\":1"), std::string::npos) << rec;
+    EXPECT_NE(rec.find("\"kind\":\"run\""), std::string::npos);
+    EXPECT_NE(rec.find("\"experiment\":\"test_telemetry\""),
+              std::string::npos);
+    EXPECT_NE(rec.find("\"label\":\"mcf/base\""), std::string::npos);
+    EXPECT_NE(rec.find("\"host\""), std::string::npos);
+    EXPECT_NE(rec.find("\"unix_time\""), std::string::npos);
+    // No replay provenance set -> "none".
+    EXPECT_NE(rec.find("\"stream_source\":\"none\""),
+              std::string::npos);
+    EXPECT_NE(rec.find("\"benchmark\":\"mcf\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Telemetry, StreamSourceProvenanceIsForwarded)
+{
+    std::string path = tempPath("provenance");
+    std::remove(path.c_str());
+    SinkGuard guard(path);
+    RunResult r;
+    r.benchmark = "art";
+    r.streamSource = "disk-cache";
+    telemetry::emitJob("art/ldis", r);
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"stream_source\":\"disk-cache\""),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Telemetry, MatrixRunEmitsOneRecordPerJobPlusSummary)
+{
+    std::string path = tempPath("matrix");
+    std::remove(path.c_str());
+    SinkGuard guard(path);
+    telemetry::setExperiment("test_telemetry");
+
+    RunMatrix matrix(2);
+    matrix.add("art", ConfigKind::Baseline1MB, 50000);
+    matrix.add("art", ConfigKind::LdisMTRC, 50000);
+    matrix.run();
+
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_EQ(lines.size(), 3u);
+    std::size_t runs = 0, matrices = 0;
+    for (const std::string &rec : lines) {
+        EXPECT_NE(rec.find("\"schema\":1"), std::string::npos);
+        if (rec.find("\"kind\":\"run\"") != std::string::npos)
+            ++runs;
+        if (rec.find("\"kind\":\"matrix\"") != std::string::npos)
+            ++matrices;
+    }
+    EXPECT_EQ(runs, 2u);
+    EXPECT_EQ(matrices, 1u);
+    // The summary carries the stats snapshot.
+    EXPECT_NE(lines.back().find("\"stats\""), std::string::npos);
+    EXPECT_NE(lines.back().find("\"jobs\":2"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Telemetry, ReplayMatrixRecordsSetupAndProvenance)
+{
+    std::string path = tempPath("replay");
+    std::remove(path.c_str());
+    SinkGuard guard(path);
+    telemetry::setExperiment("test_telemetry");
+
+    RunMatrix matrix(2);
+    matrix.addReplay("art", ConfigKind::Baseline1MB, 50000);
+    matrix.addReplay("art", ConfigKind::LdisMTRC, 50000);
+    matrix.run();
+
+    std::vector<std::string> lines = readLines(path);
+    // 1 frontend setup + 2 replay jobs + 1 summary.
+    ASSERT_EQ(lines.size(), 4u);
+    std::size_t setups = 0, records = 0;
+    for (const std::string &rec : lines) {
+        if (rec.find("\"kind\":\"setup\"") != std::string::npos)
+            ++setups;
+        if (rec.find("\"stream_source\":\"record\"") !=
+            std::string::npos)
+            ++records;
+    }
+    EXPECT_EQ(setups, 1u);
+    EXPECT_EQ(records, 2u);
+    std::remove(path.c_str());
+}
+
+TEST(Telemetry, IpcJobsEmitIpcRecords)
+{
+    std::string path = tempPath("ipc");
+    std::remove(path.c_str());
+    SinkGuard guard(path);
+    telemetry::setExperiment("test_telemetry");
+
+    IpcMatrix matrix(1);
+    matrix.add("twolf", ConfigKind::Baseline1MB, 50000);
+    matrix.run();
+
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("\"kind\":\"ipc\""), std::string::npos);
+    EXPECT_NE(lines[0].find("\"ipc\""), std::string::npos);
+    EXPECT_NE(lines[0].find("\"cycles\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace ldis

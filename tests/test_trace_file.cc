@@ -1,5 +1,6 @@
 /** @file Tests for trace recording and replay. */
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -134,6 +135,48 @@ TEST(TraceFileDeath, MissingFileIsFatal)
 {
     EXPECT_EXIT(FileWorkload wl("/no/such/file.ldt"),
                 testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceFileDeath, OversizedRecordCountIsFatalUpFront)
+{
+    // A header that promises more records than the file holds must
+    // be rejected before any record is read (a corrupt count would
+    // otherwise drive a giant reserve + slow mid-read abort). The
+    // error names the offending file.
+    std::string path = tempPath("overcount");
+    {
+        auto wl = makeBenchmark("art");
+        recordTrace(*wl, path, 100);
+    }
+    // The record-count field is the last 8 header bytes before the
+    // payload; for 100 26-byte records the payload is 2600 bytes.
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, -2608, SEEK_END), 0);
+    std::uint64_t bogus = 1u << 30;
+    ASSERT_EQ(std::fwrite(&bogus, sizeof(bogus), 1, f), 1u);
+    std::fclose(f);
+    EXPECT_EXIT(FileWorkload wl(path), testing::ExitedWithCode(1),
+                "overcount.*truncated");
+    EXPECT_EXIT(traceInfo(path), testing::ExitedWithCode(1),
+                "truncated");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeath, TrailingGarbageIsFatal)
+{
+    std::string path = tempPath("trailing");
+    {
+        auto wl = makeBenchmark("art");
+        recordTrace(*wl, path, 100);
+    }
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("junk", f);
+    std::fclose(f);
+    EXPECT_EXIT(FileWorkload wl(path), testing::ExitedWithCode(1),
+                "trailing\\.ldt.*trailing bytes");
+    std::remove(path.c_str());
 }
 
 } // namespace

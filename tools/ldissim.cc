@@ -11,6 +11,7 @@
  *   ldissim --list
  */
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -24,6 +25,7 @@
 #include "distill/distill_cache.hh"
 #include "sim/experiment.hh"
 #include "sim/replay.hh"
+#include "sim/telemetry.hh"
 
 using namespace ldis;
 
@@ -157,6 +159,10 @@ main(int argc, char **argv)
                  "drive the L2 from a recorded front-end stream "
                  "(bit-identical stats; honors LDIS_TRACE_CACHE)");
     args.addFlag("json", "emit the report as a JSON object");
+    args.addOption("metrics",
+                   "append one telemetry record per run to this "
+                   "JSONL file (same format as LDIS_METRICS)",
+                   "");
     args.addFlag("audit",
                  "run invariant audits during the simulation "
                  "(needs an LDIS_AUDIT=ON build)");
@@ -192,18 +198,25 @@ main(int argc, char **argv)
     cli.prefetchDegree =
         static_cast<unsigned>(args.getUint("prefetch"));
     cli.ipc = args.has("ipc");
+    std::uint64_t audit_interval = args.getUint("audit-interval");
+    // Fail fast on any malformed numeric option before acting on
+    // partially-parsed state (setting the audit interval, building
+    // the workload, opening the metrics log).
+    if (!args.ok()) {
+        std::fprintf(stderr, "%s\n", args.error().c_str());
+        return 1;
+    }
     if (args.has("audit")) {
         if (!audit::compiledIn())
             std::fprintf(stderr,
                          "ldissim: warning: --audit ignored (this "
                          "build has LDIS_AUDIT=OFF)\n");
         audit::setEnabled(true);
-        audit::setInterval(args.getUint("audit-interval"));
+        audit::setInterval(audit_interval);
     }
-    if (!args.ok()) {
-        std::fprintf(stderr, "%s\n", args.error().c_str());
-        return 1;
-    }
+    if (args.has("metrics"))
+        telemetry::setSink(args.get("metrics"));
+    telemetry::setExperiment("ldissim");
 
     auto workload = makeBenchmark(cli.benchmark, cli.seed);
     L2Instance l2 = buildL2(cli, workload->valueProfile());
@@ -211,7 +224,27 @@ main(int argc, char **argv)
     if (cli.ipc) {
         CpuParams params;
         OooCore core(params, *workload, *l2.cache);
+        auto begin = std::chrono::steady_clock::now();
         core.run(cli.instructions);
+        double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - begin)
+                .count();
+        IpcResult ipc_result;
+        ipc_result.benchmark = cli.benchmark;
+        ipc_result.config = l2.cache->describe();
+        ipc_result.ipc = core.ipc();
+        ipc_result.mpki = core.mpki();
+        ipc_result.cpu = core.stats();
+        ipc_result.branch = core.branchStats();
+        ipc_result.wallSeconds = wall;
+        ipc_result.instPerSec =
+            wall > 0.0 ? static_cast<double>(
+                             core.stats().instructions) /
+                             wall
+                       : 0.0;
+        telemetry::emitJob(cli.benchmark + "/" + cli.config,
+                           ipc_result);
         std::printf("benchmark     %s\n", cli.benchmark.c_str());
         std::printf("config        %s\n",
                     l2.cache->describe().c_str());
@@ -232,12 +265,17 @@ main(int argc, char **argv)
 
     RunResult r;
     if (args.has("replay")) {
+        StreamLoadInfo info;
         auto stream = loadOrRecordStream(cli.benchmark, cli.seed, 0,
-                                         cli.instructions);
+                                         cli.instructions, {},
+                                         &info);
         r = replayStream(*stream, *l2.cache);
+        r.streamSource = info.fromDiskCache ? "disk-cache"
+                                            : "record";
     } else {
         r = runTrace(*workload, *l2.cache, cli.instructions);
     }
+    telemetry::emitJob(cli.benchmark + "/" + cli.config, r);
     if (args.has("json"))
         printJsonReport(r);
     else

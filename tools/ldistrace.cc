@@ -48,13 +48,15 @@ main(int argc, char **argv)
     }
 
     if (args.has("record")) {
-        auto workload = makeBenchmark(args.get("benchmark"),
-                                      args.getUint("seed"));
+        // Validate every numeric option before building the
+        // workload or touching the output file.
+        std::uint64_t seed = args.getUint("seed");
         std::uint64_t n = args.getUint("accesses");
         if (!args.ok()) {
             std::fprintf(stderr, "%s\n", args.error().c_str());
             return 1;
         }
+        auto workload = makeBenchmark(args.get("benchmark"), seed);
         recordTrace(*workload, args.get("out"), n);
         std::printf("recorded %llu accesses of %s to %s\n",
                     static_cast<unsigned long long>(n),
@@ -84,6 +86,12 @@ main(int argc, char **argv)
     }
 
     // --replay
+    std::uint64_t replay_instructions =
+        args.getUint("instructions");
+    if (!args.ok()) {
+        std::fprintf(stderr, "%s\n", args.error().c_str());
+        return 1;
+    }
     FileWorkload workload(args.get("replay"));
     ConfigKind kind = ConfigKind::LdisMTRC;
     const std::string cfg = args.get("config");
@@ -109,7 +117,7 @@ main(int argc, char **argv)
 
     L2Instance l2 = makeConfig(kind, workload.valueProfile());
     RunResult r = runTrace(workload, *l2.cache,
-                           args.getUint("instructions"));
+                           replay_instructions);
     std::printf("trace      %s (%llu records, wrapped %llu times)\n",
                 workload.name().c_str(),
                 static_cast<unsigned long long>(workload.size()),
