@@ -22,17 +22,17 @@ using namespace ldis;
 namespace
 {
 
-/** Submit a custom-DistillParams run of @p name to @p matrix. */
-std::size_t
-submit(RunMatrix &matrix, const std::string &name,
-       const DistillParams &p, InstCount instructions)
+/** A gang lane running a custom-DistillParams cache. */
+GangJob
+lane(const std::string &name, const DistillParams &p)
 {
-    return matrix.addReplay(name, instructions,
-                            name + "/custom-distill",
-                            [p](ReplaySource &src) {
-        DistillCache l2(p);
-        return src.run(l2);
-    });
+    return {name + "/custom-distill",
+            [p](const ValueProfile &) {
+                L2Instance inst;
+                inst.cache = std::make_unique<DistillCache>(p);
+                return inst;
+            },
+            {}};
 }
 
 const char *kBenchmarks[] = {"art", "mcf", "twolf", "sixtrack",
@@ -50,31 +50,32 @@ main()
                 static_cast<unsigned long long>(instructions));
 
     // Submit every section's jobs to one matrix (per benchmark: one
-    // baseline shared across sections, then the section variants in
+    // gang group — the shared baseline, then the section variants in
     // order), run once in parallel, and consume in the same order.
     RunMatrix matrix;
     std::vector<std::size_t> base_idx;
     for (const char *name : kBenchmarks) {
-        base_idx.push_back(matrix.addReplay(
-            name, ConfigKind::Baseline1MB, instructions));
+        std::vector<GangJob> jobs;
+        jobs.push_back(
+            makeGangJob(name, ConfigKind::Baseline1MB));
         // A. WOC way-count sweep.
         for (unsigned woc = 1; woc <= 4; ++woc) {
             DistillParams p;
             p.wocWays = woc;
             p.medianThreshold = true;
             p.useReverter = true;
-            submit(matrix, name, p, instructions);
+            jobs.push_back(lane(name, p));
         }
         // B. Fixed thresholds, then the adaptive median.
         for (unsigned k : {1u, 2u, 4u, 8u}) {
             DistillParams pk;
             pk.medianThreshold = true;
             pk.fixedThreshold = k;
-            submit(matrix, name, pk, instructions);
+            jobs.push_back(lane(name, pk));
         }
         DistillParams pm;
         pm.medianThreshold = true;
-        submit(matrix, name, pm, instructions);
+        jobs.push_back(lane(name, pm));
         // B2. WOC victim selection (footnote 4).
         for (WocVictim policy :
              {WocVictim::Random, WocVictim::RoundRobin}) {
@@ -82,7 +83,7 @@ main()
             p.medianThreshold = true;
             p.useReverter = true;
             p.wocVictim = policy;
-            submit(matrix, name, p, instructions);
+            jobs.push_back(lane(name, p));
         }
         // C. Reverter leader-set count.
         for (unsigned leaders : {8u, 16u, 32u, 64u, 128u}) {
@@ -90,8 +91,10 @@ main()
             p.medianThreshold = true;
             p.useReverter = true;
             p.reverter.leaderSets = leaders;
-            submit(matrix, name, p, instructions);
+            jobs.push_back(lane(name, p));
         }
+        base_idx.push_back(matrix.addReplayGroup(
+            name, instructions, std::move(jobs)));
     }
     const std::vector<RunResult> &results = matrix.run();
 

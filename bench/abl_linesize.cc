@@ -29,9 +29,11 @@ main()
     auto names = studiedBenchmarks();
     RunMatrix matrix;
     for (const std::string &name : names) {
-        matrix.addReplay(name, ConfigKind::Baseline1MB, instructions);
-        matrix.addReplay(name, ConfigKind::Trad1MB32B, instructions);
-        matrix.addReplay(name, ConfigKind::LdisMTRC, instructions);
+        matrix.addReplayGroup(name,
+                              {ConfigKind::Baseline1MB,
+                               ConfigKind::Trad1MB32B,
+                               ConfigKind::LdisMTRC},
+                              instructions);
     }
     const std::vector<RunResult> &results = matrix.run();
 

@@ -23,8 +23,8 @@ using namespace ldis;
 namespace
 {
 
-RunResult
-runOne(ReplaySource &src, bool distill, bool prefetch)
+std::unique_ptr<SecondLevelCache>
+buildOne(bool distill, bool prefetch)
 {
     std::unique_ptr<SecondLevelCache> l2;
     if (distill) {
@@ -40,7 +40,7 @@ runOne(ReplaySource &src, bool distill, bool prefetch)
     }
     if (prefetch)
         l2 = std::make_unique<PrefetchingL2>(std::move(l2), 1);
-    return src.run(*l2);
+    return l2;
 }
 
 } // namespace
@@ -56,19 +56,23 @@ main()
 
     RunMatrix matrix;
     for (const std::string &name : studiedBenchmarks()) {
+        std::vector<GangJob> jobs;
         for (bool distill : {false, true}) {
             for (bool prefetch : {false, true}) {
                 std::string label = name + "/"
                     + (distill ? "ldis" : "trad")
                     + (prefetch ? "+pf" : "");
-                matrix.addReplay(name, instructions,
-                                 std::move(label),
-                                 [distill, prefetch](
-                                     ReplaySource &src) {
-                    return runOne(src, distill, prefetch);
-                });
+                jobs.push_back(
+                    {std::move(label),
+                     [distill, prefetch](const ValueProfile &) {
+                         L2Instance inst;
+                         inst.cache = buildOne(distill, prefetch);
+                         return inst;
+                     },
+                     {}});
             }
         }
+        matrix.addReplayGroup(name, instructions, std::move(jobs));
     }
     const std::vector<RunResult> &results = matrix.run();
 

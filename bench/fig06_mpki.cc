@@ -30,13 +30,15 @@ main()
                                   ConfigKind::LdisMT,
                                   ConfigKind::LdisMTRC};
 
-    // One shared front-end pass per benchmark; the four config
-    // cells replay it (LDIS_REPLAY=0 restores per-cell simulation).
+    // One shared front-end pass per benchmark, then ONE gang walk
+    // over its stream feeding all four config cells (LDIS_GANG=0
+    // restores per-cell replay, LDIS_REPLAY=0 per-cell simulation).
     RunMatrix matrix;
     for (const std::string &name : studiedBenchmarks()) {
-        matrix.addReplay(name, ConfigKind::Baseline1MB, instructions);
+        std::vector<ConfigKind> kinds{ConfigKind::Baseline1MB};
         for (ConfigKind kind : configs)
-            matrix.addReplay(name, kind, instructions);
+            kinds.push_back(kind);
+        matrix.addReplayGroup(name, kinds, instructions);
     }
     const std::vector<RunResult> &results = matrix.run();
 

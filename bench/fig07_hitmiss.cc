@@ -40,8 +40,10 @@ main()
 
     RunMatrix matrix;
     for (const std::string &name : studiedBenchmarks()) {
-        matrix.addReplay(name, ConfigKind::Baseline1MB, instructions);
-        matrix.addReplay(name, ConfigKind::LdisMTRC, instructions);
+        matrix.addReplayGroup(name,
+                              {ConfigKind::Baseline1MB,
+                               ConfigKind::LdisMTRC},
+                              instructions);
     }
     const std::vector<RunResult> &results = matrix.run();
 

@@ -33,9 +33,10 @@ main()
 
     RunMatrix matrix;
     for (const std::string &name : studiedBenchmarks()) {
-        matrix.addReplay(name, ConfigKind::Baseline1MB, instructions);
+        std::vector<ConfigKind> kinds{ConfigKind::Baseline1MB};
         for (ConfigKind kind : configs)
-            matrix.addReplay(name, kind, instructions);
+            kinds.push_back(kind);
+        matrix.addReplayGroup(name, kinds, instructions);
     }
     const std::vector<RunResult> &results = matrix.run();
 

@@ -90,6 +90,36 @@ BM_L2Replay(benchmark::State &state)
 BENCHMARK(BM_L2Replay)->Unit(benchmark::kMillisecond);
 
 void
+BM_GangReplay(benchmark::State &state)
+{
+    // Gang-walk throughput: one decode of the recorded stream feeds
+    // four configurations in lockstep. Items = simulated
+    // instructions x configs, so items/s is directly comparable
+    // with BM_L2Replay (the per-config solo walk).
+    auto workload = makeBenchmark("mcf");
+    const InstCount chunk = 1'000'000;
+    L2Stream stream = recordStream(*workload, 1, 0, chunk);
+    const ConfigKind kinds[] = {
+        ConfigKind::Baseline1MB, ConfigKind::LdisMTRC,
+        ConfigKind::Cmpr4xTags, ConfigKind::Sfp16k};
+    for (auto _ : state) {
+        std::vector<L2Instance> gang;
+        std::vector<SecondLevelCache *> caches;
+        for (ConfigKind kind : kinds) {
+            gang.push_back(makeConfig(kind, stream.values));
+            caches.push_back(gang.back().cache.get());
+        }
+        benchmark::DoNotOptimize(
+            replayMany(stream, caches)[0].l2.accesses);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(stream.meas.instructions) *
+        static_cast<std::int64_t>(std::size(kinds)));
+}
+BENCHMARK(BM_GangReplay)->Unit(benchmark::kMillisecond);
+
+void
 BM_OooCore(benchmark::State &state)
 {
     auto workload = makeBenchmark("mcf");

@@ -30,9 +30,12 @@ main()
                                   ConfigKind::Trad4MB};
 
     RunMatrix matrix;
-    for (const std::string &name : insensitiveBenchmarks())
-        for (ConfigKind kind : configs)
-            matrix.addReplay(name, kind, instructions);
+    for (const std::string &name : insensitiveBenchmarks()) {
+        matrix.addReplayGroup(
+            name,
+            {configs[0], configs[1], configs[2], configs[3]},
+            instructions);
+    }
     const std::vector<RunResult> &results = matrix.run();
 
     Table t({"name", "Trad 1MB", "LDIS 1MB", "Trad 2MB", "Trad 4MB",

@@ -69,25 +69,34 @@ main()
     auto names = studiedBenchmarks();
     std::vector<double> avg_words(names.size() * std::size(sizes));
 
+    // One gang walk per benchmark covers all five size points; the
+    // finish hook reads the blended average off each lane's cache
+    // before it is torn down.
     RunMatrix matrix;
     std::size_t slot = 0;
     for (const std::string &name : names) {
+        std::vector<GangJob> jobs;
         for (const SizePoint &sp : sizes) {
             unsigned ways = sp.ways;
             double *out = &avg_words[slot++];
-            matrix.addReplay(name, instructions,
-                             name + "/" + sp.label,
-                             [ways, out](ReplaySource &src) {
-                CacheGeometry g;
-                g.bytes =
-                    static_cast<std::uint64_t>(2048) * 64 * ways;
-                g.ways = ways;
-                TraditionalL2 l2(g);
-                RunResult r = src.run(l2);
-                *out = avgWordsBlended(l2);
-                return r;
-            });
+            jobs.push_back(
+                {name + "/" + sp.label,
+                 [ways](const ValueProfile &) {
+                     CacheGeometry g;
+                     g.bytes = static_cast<std::uint64_t>(2048) *
+                               64 * ways;
+                     g.ways = ways;
+                     L2Instance inst;
+                     inst.cache =
+                         std::make_unique<TraditionalL2>(g);
+                     return inst;
+                 },
+                 [out](SecondLevelCache &l2, RunResult &) {
+                     *out = avgWordsBlended(
+                         static_cast<const TraditionalL2 &>(l2));
+                 }});
         }
+        matrix.addReplayGroup(name, instructions, std::move(jobs));
     }
     matrix.run();
 

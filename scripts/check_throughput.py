@@ -94,13 +94,14 @@ def main():
         default=None,
         metavar="NAME",
         help="benchmark(s) to gate (default: BM_DistillCache, "
-        "BM_TraditionalL2, BM_FacCache)",
+        "BM_TraditionalL2, BM_FacCache, BM_GangReplay)",
     )
     args = ap.parse_args()
     gated = args.benchmark or [
         "BM_DistillCache",
         "BM_TraditionalL2",
         "BM_FacCache",
+        "BM_GangReplay",
     ]
 
     try:

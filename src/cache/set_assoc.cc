@@ -1,6 +1,8 @@
 #include "set_assoc.hh"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
 #include "common/audit.hh"
 #include "common/intmath.hh"
@@ -8,6 +10,37 @@
 
 namespace ldis
 {
+
+namespace
+{
+
+/**
+ * Promote way @p w to MRU within the @p ways -entry stack at
+ * @p ord. The ubiquitous 8-way shape runs as one branchless 64-bit
+ * SWAR update; other associativities keep the shift loop.
+ */
+inline void
+promoteWay(std::uint8_t *ord, unsigned ways, unsigned w)
+{
+    if (ways == 8) {
+        std::uint64_t v;
+        std::memcpy(&v, ord, 8);
+        unsigned pos = byteFind(v, static_cast<std::uint8_t>(w));
+        v = mruPromote(v, pos, static_cast<std::uint8_t>(w));
+        std::memcpy(ord, &v, 8);
+        return;
+    }
+    unsigned pos = 0;
+    while (ord[pos] != w) {
+        ++pos;
+        ldis_assert(pos < ways);
+    }
+    for (; pos > 0; --pos)
+        ord[pos] = ord[pos - 1];
+    ord[0] = static_cast<std::uint8_t>(w);
+}
+
+} // namespace
 
 SetAssocCache::SetAssocCache(const CacheGeometry &g)
     : geom(g), rng(g.seed)
@@ -30,6 +63,7 @@ SetAssocCache::SetAssocCache(const CacheGeometry &g)
     setsCount = static_cast<unsigned>(num_sets);
     waysCount = g.ways;
     lines.resize(static_cast<std::size_t>(setsCount) * waysCount);
+    tags.assign(lines.size(), kNoTag);
     order.resize(lines.size());
     for (std::size_t i = 0; i < order.size(); ++i)
         order[i] = static_cast<std::uint8_t>(i % waysCount);
@@ -51,8 +85,19 @@ SetAssocCache::baseOf(LineAddr line) const
 int
 SetAssocCache::wayOf(std::size_t base, LineAddr line) const
 {
+    const LineAddr *t = &tags[base];
+    if (waysCount == 8) {
+        // Fixed-count branchless scan: the compiler unrolls the
+        // eight compares into a match mask with no early-exit
+        // branches to mispredict (the hit way is uniformly
+        // distributed, so an exiting loop predicts poorly).
+        unsigned m = 0;
+        for (unsigned w = 0; w < 8; ++w)
+            m |= static_cast<unsigned>(t[w] == line) << w;
+        return m ? static_cast<int>(std::countr_zero(m)) : -1;
+    }
     for (unsigned w = 0; w < waysCount; ++w)
-        if (lines[base + w].valid && lines[base + w].line == line)
+        if (t[w] == line)
             return static_cast<int>(w);
     return -1;
 }
@@ -92,16 +137,7 @@ SetAssocCache::touch(LineAddr line)
     std::size_t base = baseOf(line);
     int w = wayOf(base, line);
     ldis_assert(w >= 0);
-    std::uint8_t *ord = &order[base];
-    unsigned pos = 0;
-    while (ord[pos] != w) {
-        ++pos;
-        ldis_assert(pos < waysCount);
-    }
-    // Promote to MRU: shift [0, pos) down one and put w in front.
-    for (; pos > 0; --pos)
-        ord[pos] = ord[pos - 1];
-    ord[0] = static_cast<std::uint8_t>(w);
+    promoteWay(&order[base], waysCount, static_cast<unsigned>(w));
 }
 
 CacheLineState *
@@ -112,6 +148,16 @@ SetAssocCache::findTouch(LineAddr line, unsigned *pos_before)
     if (w < 0)
         return nullptr;
     std::uint8_t *ord = &order[base];
+    if (waysCount == 8) {
+        std::uint64_t v;
+        std::memcpy(&v, ord, 8);
+        unsigned pos = byteFind(v, static_cast<std::uint8_t>(w));
+        if (pos_before)
+            *pos_before = pos;
+        v = mruPromote(v, pos, static_cast<std::uint8_t>(w));
+        std::memcpy(ord, &v, 8);
+        return &lines[base + w];
+    }
     unsigned pos = 0;
     while (ord[pos] != w) {
         ++pos;
@@ -139,7 +185,7 @@ SetAssocCache::peekVictim(LineAddr line)
 {
     std::size_t base = baseOf(line);
     for (unsigned w = 0; w < waysCount; ++w)
-        if (!lines[base + w].valid)
+        if (tags[base + w] == kNoTag)
             return nullptr;
     if (geom.repl == ReplPolicy::LRU)
         return &lines[base + order[base + waysCount - 1]];
@@ -155,12 +201,13 @@ CacheLineState
 SetAssocCache::install(LineAddr line)
 {
     std::size_t base = baseOf(line);
+    ldis_assert(line != kNoTag);
     ldis_assert(wayOf(base, line) < 0);
 
     // Prefer an invalid way.
     int victim_way = -1;
     for (unsigned w = 0; w < waysCount; ++w) {
-        if (!lines[base + w].valid) {
+        if (tags[base + w] == kNoTag) {
             victim_way = static_cast<int>(w);
             break;
         }
@@ -185,17 +232,10 @@ SetAssocCache::install(LineAddr line)
     fresh.line = line;
     fresh.valid = true;
     lines[base + vw] = fresh;
+    tags[base + vw] = line;
 
     // Promote the filled way to MRU.
-    std::uint8_t *ord = &order[base];
-    unsigned pos = 0;
-    while (ord[pos] != vw) {
-        ++pos;
-        ldis_assert(pos < waysCount);
-    }
-    for (; pos > 0; --pos)
-        ord[pos] = ord[pos - 1];
-    ord[0] = static_cast<std::uint8_t>(vw);
+    promoteWay(&order[base], waysCount, vw);
 
     LDIS_AUDIT_CHECK("SetAssocCache",
                      evicted.valid ? auditSet(setIndexOf(line))
@@ -212,11 +252,20 @@ SetAssocCache::invalidate(LineAddr line)
         return CacheLineState{};
     CacheLineState prior = lines[base + w];
     lines[base + w] = CacheLineState{};
+    tags[base + w] = kNoTag;
     // The set now has a free way, so any memoized random victim is
     // stale (install() will fill the free way instead).
     pendingVictim[setIndexOf(line)] = -1;
     // Demote the invalidated way to LRU so it is reused first.
     std::uint8_t *ord = &order[base];
+    if (waysCount == 8) {
+        std::uint64_t v;
+        std::memcpy(&v, ord, 8);
+        unsigned pos = byteFind(v, static_cast<std::uint8_t>(w));
+        v = mruDemote8(v, pos, static_cast<std::uint8_t>(w));
+        std::memcpy(ord, &v, 8);
+        return prior;
+    }
     unsigned pos = 0;
     while (ord[pos] != w) {
         ++pos;
@@ -285,6 +334,16 @@ SetAssocCache::auditSet(std::uint64_t set_index) const
             !l.validWords.empty())
             return where("way " + std::to_string(w) +
                          " has dirty words outside its valid words");
+    }
+
+    // The tag scan array must mirror the metadata records exactly
+    // (a desync would make wayOf() disagree with the line states).
+    for (unsigned w = 0; w < waysCount; ++w) {
+        const CacheLineState &l = lines[base + w];
+        LineAddr expect = l.valid ? l.line : kNoTag;
+        if (tags[base + w] != expect)
+            return where("tag scan array out of sync at way " +
+                         std::to_string(w));
     }
 
     // A memoized random victim must name a real way.

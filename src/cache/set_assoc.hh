@@ -174,6 +174,13 @@ class SetAssocCache
     friend struct AuditBackdoor;
 
     /**
+     * `tags` slot of an invalid way. Line addresses are byte
+     * addresses shifted right by the line-offset bits, so no real
+     * line can ever equal the all-ones pattern (install() asserts).
+     */
+    static constexpr LineAddr kNoTag = ~LineAddr{0};
+
+    /**
      * Storage is flat: way w of set s lives at index s*ways + w of
      * `lines`, and the set's MRU-to-LRU way ordering occupies the
      * same slice of `order`. One contiguous block per array keeps a
@@ -189,6 +196,15 @@ class SetAssocCache
     unsigned setsCount;
     unsigned waysCount;
     std::vector<CacheLineState> lines;
+
+    /**
+     * Tag scan array: tags[i] mirrors lines[i].line when valid and
+     * holds kNoTag otherwise, so wayOf() touches one 64B slice per
+     * 8-way set instead of striding through the full metadata
+     * records. Kept in sync at the two mutation points (install,
+     * invalidate) and audited against `lines`.
+     */
+    std::vector<LineAddr> tags;
 
     /** Per-set way indices ordered MRU (front) to LRU (back). */
     std::vector<std::uint8_t> order;

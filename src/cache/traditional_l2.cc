@@ -2,12 +2,15 @@
 
 #include <cstdio>
 
+#include "common/intmath.hh"
+
 namespace ldis
 {
 
 TraditionalL2::TraditionalL2(const CacheGeometry &geom, L2Latency lat)
-    : cache(geom), latency(lat), wordsHist(kWordsPerLine + 1),
-      recHist(geom.ways)
+    : cache(geom), latency(lat),
+      lineShift(static_cast<unsigned>(floorLog2(geom.lineBytes))),
+      wordsHist(kWordsPerLine + 1), recHist(geom.ways)
 {
 }
 
@@ -58,10 +61,10 @@ TraditionalL2::access(Addr addr, bool write, Addr /*pc*/, bool instr)
     LDIS_AUDIT_POINT(auditClock, "TraditionalL2", *this);
     // Line geometry follows the configured line size (the Section-2
     // line-size study uses 32B lines; the default is 64B).
-    unsigned line_bytes = cache.geometry().lineBytes;
-    LineAddr line = addr / line_bytes;
-    WordIdx word =
-        static_cast<WordIdx>((addr % line_bytes) / kWordBytes);
+    unsigned line_bytes = 1u << lineShift;
+    LineAddr line = addr >> lineShift;
+    WordIdx word = static_cast<WordIdx>(
+        (addr & (line_bytes - 1)) / kWordBytes);
 
     // Words delivered to the (64B-line) L1D: with 32B L2 lines only
     // the containing half is supplied, so the L1D sector-misses on

@@ -27,8 +27,11 @@ struct L2Latency
     Cycle memory = 400;
 };
 
-/** Traditional (non-distilling) L2 with usage instrumentation. */
-class TraditionalL2 : public SecondLevelCache
+/**
+ * Traditional (non-distilling) L2 with usage instrumentation.
+ * `final` so the gang-replay fast path devirtualizes access calls.
+ */
+class TraditionalL2 final : public SecondLevelCache
 {
   public:
     /**
@@ -94,6 +97,13 @@ class TraditionalL2 : public SecondLevelCache
 
     SetAssocCache cache;
     L2Latency latency;
+
+    /**
+     * log2 of the configured line size (a validated power of two),
+     * so the per-access line/word split is a shift and a mask
+     * rather than two hardware divisions by a runtime value.
+     */
+    unsigned lineShift;
     L2Stats statsData;
     CompulsoryTracker compulsory;
     Histogram wordsHist;

@@ -65,6 +65,59 @@ lowMask64(unsigned n)
                    : (std::uint64_t{1} << n) - 1;
 }
 
+/**
+ * Byte-SWAR helpers for the 8-entry MRU recency stacks: an 8-way
+ * set's MRU-to-LRU way ordering is 8 bytes, so the find-and-shift
+ * update on every cache hit runs branchlessly on one 64-bit word
+ * instead of a data-dependent loop with unpredictable exits.
+ * The stack is packed little-endian: byte 0 = MRU, byte 7 = LRU.
+ */
+
+/**
+ * Position (0-7) of the byte equal to @p val in @p v. @p val must
+ * occur in @p v (the recency stacks are permutations, so it occurs
+ * exactly once); the classic zero-byte scan is exact for the lowest
+ * match, which is then the only one.
+ */
+inline unsigned
+byteFind(std::uint64_t v, std::uint8_t val)
+{
+    std::uint64_t x = v ^ (0x0101010101010101ull * val);
+    std::uint64_t z = (x - 0x0101010101010101ull) & ~x &
+                      0x8080808080808080ull;
+    return static_cast<unsigned>(std::countr_zero(z)) >> 3;
+}
+
+/**
+ * Promote the byte at @p pos to position 0 (MRU), shifting bytes
+ * [0, pos) up one position; @p val is the byte being promoted.
+ */
+inline std::uint64_t
+mruPromote(std::uint64_t v, unsigned pos, std::uint8_t val)
+{
+    std::uint64_t low =
+        v & ((std::uint64_t{1} << (8 * pos)) - 1);
+    // Bytes above pos, kept in place (two sub-64 shifts each way so
+    // pos == 7 never shifts by 64).
+    std::uint64_t high =
+        ((((v >> (8 * pos)) >> 8) << (8 * pos)) << 8);
+    return high | (low << 8) | val;
+}
+
+/**
+ * Demote the byte at @p pos to position 7 (LRU), shifting bytes
+ * (pos, 7] down one position; @p val is the byte being demoted.
+ * Only meaningful for full 8-entry stacks.
+ */
+inline std::uint64_t
+mruDemote8(std::uint64_t v, unsigned pos, std::uint8_t val)
+{
+    std::uint64_t low =
+        v & ((std::uint64_t{1} << (8 * pos)) - 1);
+    std::uint64_t high = ((v >> (8 * pos)) >> 8) << (8 * pos);
+    return low | high | (std::uint64_t{val} << 56);
+}
+
 } // namespace ldis
 
 #endif // DISTILLSIM_COMMON_INTMATH_HH

@@ -1,6 +1,8 @@
 #include "distill_cache.hh"
 
+#include <bit>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 
 #include "common/intmath.hh"
@@ -47,6 +49,8 @@ DistillCache::DistillCache(const DistillParams &params)
         atd_geom.lineBytes = kLineBytes;
         reverterUnit =
             std::make_unique<Reverter>(atd_geom, prm.reverter);
+        for (unsigned i = 0; i < setsCount; ++i)
+            sets[i].leader = reverterUnit->isLeader(i);
     }
 }
 
@@ -84,23 +88,31 @@ DistillCache::activeWays(const DSet &s) const
 int
 DistillCache::findFrame(const DSet &s, LineAddr line) const
 {
-    for (unsigned i = 0; i < prm.totalWays; ++i)
-        if (s.frames[i].valid && s.frames[i].line == line)
-            return static_cast<int>(i);
-    return -1;
+    // Scan all kMaxWays entries with a fixed trip count so the
+    // compiler unrolls the compares into a branchless match mask.
+    // Frames beyond totalWays hold kNoFrameTag, which no real line
+    // can equal (installLine asserts), so they never match.
+    unsigned m = 0;
+    for (unsigned i = 0; i < kMaxWays; ++i)
+        m |= static_cast<unsigned>(s.frameTags[i] == line) << i;
+    return m ? static_cast<int>(std::countr_zero(m)) : -1;
 }
 
 void
 DistillCache::touchFrame(DSet &s, unsigned frame_idx)
 {
-    unsigned pos = 0;
-    while (s.order[pos] != frame_idx) {
-        ++pos;
-        ldis_assert(pos < prm.totalWays);
-    }
-    for (; pos > 0; --pos)
-        s.order[pos] = s.order[pos - 1];
-    s.order[0] = static_cast<std::uint8_t>(frame_idx);
+    // The recency stack is a fixed 8-byte array, so promote with one
+    // branchless SWAR update. Entries beyond totalWays (when a config
+    // uses fewer ways) hold frame indices >= totalWays, stay behind
+    // the active ones, and are never matched, so this is exactly the
+    // find-and-shift loop it replaces.
+    static_assert(kMaxWays == 8, "SWAR promote assumes 8-byte order");
+    std::uint64_t v;
+    std::memcpy(&v, s.order.data(), 8);
+    unsigned pos = byteFind(v, static_cast<std::uint8_t>(frame_idx));
+    ldis_assert(pos < prm.totalWays);
+    v = mruPromote(v, pos, static_cast<std::uint8_t>(frame_idx));
+    std::memcpy(s.order.data(), &v, 8);
 }
 
 void
@@ -160,12 +172,13 @@ DistillCache::handleLocEviction(DSet &s, const CacheLineState &victim)
 CacheLineState &
 DistillCache::installLine(DSet &s, LineAddr line, bool instr)
 {
+    ldis_assert(line != kNoFrameTag);
     unsigned active = activeWays(s);
 
     // Prefer an invalid active frame.
     int victim_frame = -1;
     for (unsigned i = 0; i < active; ++i) {
-        if (!s.frames[i].valid) {
+        if (s.frameTags[i] == kNoFrameTag) {
             victim_frame = static_cast<int>(i);
             break;
         }
@@ -189,6 +202,7 @@ DistillCache::installLine(DSet &s, LineAddr line, bool instr)
     fresh.valid = true;
     fresh.instr = instr;
     s.frames[vf] = fresh;
+    s.frameTags[vf] = line;
     touchFrame(s, vf);
     return s.frames[vf];
 }
@@ -214,20 +228,30 @@ DistillCache::transition(DSet &s, bool distill)
             if (s.frames[i].valid) {
                 handleLocEviction(s, s.frames[i]);
                 s.frames[i] = CacheLineState{};
+                s.frameTags[i] = kNoFrameTag;
             }
         }
     }
 }
 
 void
-DistillCache::syncMode(DSet &s, std::uint64_t set_index)
+DistillCache::syncMode(DSet &s, std::uint64_t /*set_index*/)
 {
     if (!prm.useReverter)
         return;
-    bool desired = reverterUnit->isLeader(set_index)
-                 ? true
-                 : reverterUnit->ldisEnabled();
-    transition(s, desired);
+    // Leaders always distill; a follower only needs to re-derive its
+    // mode when the reverter's decision has actually flipped since
+    // this set last looked (the epoch check), not on every access.
+    if (s.leader) {
+        if (!s.distillMode)
+            transition(s, true);
+        return;
+    }
+    std::uint32_t epoch = reverterUnit->decisionEpoch();
+    if (s.modeEpoch != epoch) {
+        s.modeEpoch = epoch;
+        transition(s, reverterUnit->ldisEnabled());
+    }
 }
 
 L2Result
@@ -309,7 +333,7 @@ DistillCache::access(Addr addr, bool write, Addr /*pc*/, bool instr)
         LDIS_AUDIT_CHECK("DistillCache", auditSet(set_index));
     }
 
-    if (prm.useReverter && reverterUnit->isLeader(set_index))
+    if (prm.useReverter && s.leader)
         reverterUnit->recordLeaderAccess(line, isMiss(res.outcome));
 
     LDIS_AUDIT_POINT(auditClock, "DistillCache", *this);
@@ -416,6 +440,15 @@ DistillCache::auditSet(std::uint64_t set_index) const
         // Distill-mode sets must not use the extension frames.
         if (s.distillMode && f >= locWays())
             return in_set("extension frame valid in distill mode");
+    }
+
+    // The tag scan array must mirror the frame records exactly (a
+    // desync would make findFrame() disagree with the frames).
+    for (unsigned f = 0; f < prm.totalWays; ++f) {
+        const CacheLineState &frame = s.frames[f];
+        LineAddr expect = frame.valid ? frame.line : kNoFrameTag;
+        if (s.frameTags[f] != expect)
+            return in_set("frame tag array out of sync");
     }
 
     // Traditional-mode sets must have empty WOCs.

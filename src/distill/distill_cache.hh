@@ -95,8 +95,12 @@ struct DistillStats
     std::uint64_t modeSwitches = 0;   //!< reverter set transitions
 };
 
-/** The distill cache. */
-class DistillCache : public SecondLevelCache
+/**
+ * The distill cache. `final` so callers holding a concrete
+ * `DistillCache` (the gang-replay fast path) devirtualize the
+ * per-event access calls.
+ */
+class DistillCache final : public SecondLevelCache
 {
   public:
     explicit DistillCache(const DistillParams &params);
@@ -167,11 +171,23 @@ class DistillCache : public SecondLevelCache
     /** Test-only state-corruption backdoor (tests/test_audit.cc). */
     friend struct AuditBackdoor;
 
+    /** `frameTags` slot of an invalid frame (cf. SetAssocCache). */
+    static constexpr LineAddr kNoFrameTag = ~LineAddr{0};
+
     struct DSet
     {
         /** Line frames: [0, locWays) = LOC, rest = traditional
          *  extension used only when LDIS is disabled. */
         std::array<CacheLineState, kMaxWays> frames{};
+
+        /**
+         * Tag scan array: frameTags[i] mirrors frames[i].line when
+         * valid and holds kNoFrameTag otherwise, so findFrame()
+         * scans one 64B block instead of the full frame records.
+         * Synced at the frame mutation points (installLine,
+         * transition) and audited against `frames`.
+         */
+        std::array<LineAddr, kMaxWays> frameTags{};
 
         /** Frame indices ordered MRU (front) to LRU (back). */
         std::array<std::uint8_t, kMaxWays> order{};
@@ -181,11 +197,19 @@ class DistillCache : public SecondLevelCache
         /** Operating mode; leaders are always true. */
         bool distillMode = true;
 
+        /** Reverter leader set (precomputed; false without one). */
+        bool leader = false;
+
+        /** Last reverter decision epoch this set synced to. */
+        std::uint32_t modeEpoch = 0;
+
         DSet(unsigned woc_entries, WocVictim policy)
             : woc(woc_entries, policy)
         {
-            for (unsigned i = 0; i < kMaxWays; ++i)
+            for (unsigned i = 0; i < kMaxWays; ++i) {
                 order[i] = static_cast<std::uint8_t>(i);
+                frameTags[i] = kNoFrameTag;
+            }
         }
     };
 

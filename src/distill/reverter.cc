@@ -58,10 +58,13 @@ Reverter::updateDecision()
 {
     // Hysteresis (Figure 5B): switch only beyond the outer
     // thresholds; retain the previous decision in between.
+    bool was = enabled;
     if (pselValue < params.lowThreshold)
         enabled = false;
     else if (pselValue > params.highThreshold)
         enabled = true;
+    if (enabled != was)
+        ++epochValue;
 }
 
 std::string

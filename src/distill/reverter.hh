@@ -66,6 +66,14 @@ class Reverter
     /** Current decision: should follower sets run LDIS? */
     bool ldisEnabled() const { return enabled; }
 
+    /**
+     * Decision epoch: bumped every time ldisEnabled() flips. A
+     * follower set whose cached epoch matches needs no mode check at
+     * all — the hot path compares one integer instead of re-deriving
+     * the leader/decision state on every access.
+     */
+    std::uint32_t decisionEpoch() const { return epochValue; }
+
     /** Current PSEL value (tests / introspection). */
     unsigned psel() const { return pselValue; }
 
@@ -92,6 +100,7 @@ class Reverter
     std::uint64_t leaderStride;
     unsigned pselValue;
     bool enabled;
+    std::uint32_t epochValue = 1;
 };
 
 } // namespace ldis

@@ -14,49 +14,6 @@ WocSet::WocSet(unsigned num_entries, WocVictim policy)
     ldis_assert(num_entries <= kMaxEntries);
 }
 
-Footprint
-WocSet::wordsOf(LineAddr line) const
-{
-    Footprint fp;
-    int h = headOf(line);
-    if (h < 0)
-        return fp;
-    unsigned end = groupEnd(static_cast<unsigned>(h));
-    for (unsigned i = static_cast<unsigned>(h); i < end; ++i)
-        fp.set(wordAt[i]);
-    return fp;
-}
-
-Footprint
-WocSet::dirtyWordsOf(LineAddr line) const
-{
-    Footprint fp;
-    int h = headOf(line);
-    if (h < 0)
-        return fp;
-    unsigned end = groupEnd(static_cast<unsigned>(h));
-    for (unsigned i = static_cast<unsigned>(h); i < end; ++i)
-        if ((dirtyMask >> i) & 1u)
-            fp.set(wordAt[i]);
-    return fp;
-}
-
-unsigned
-WocSet::groupEnd(unsigned head) const
-{
-    ldis_assert(((validMask >> head) & 1u) &&
-                ((headMask >> head) & 1u));
-    // Group members are the run of valid non-head entries directly
-    // after the head (any later group starts with its own head bit).
-    std::uint64_t members = validMask & ~headMask;
-    unsigned run = head + 1 >= kMaxEntries
-        ? 0
-        : static_cast<unsigned>(std::countr_one(members >>
-                                                (head + 1)));
-    unsigned end = head + 1 + run;
-    return end < entryCount ? end : entryCount;
-}
-
 void
 WocSet::evictGroup(unsigned head, std::vector<WocEvicted> &out)
 {
@@ -72,6 +29,8 @@ WocSet::evictGroup(unsigned head, std::vector<WocEvicted> &out)
     validMask &= ~span;
     headMask &= ~span;
     dirtyMask &= ~span;
+    ldis_assert(sigCount[sigOf(ev.line)] > 0);
+    --sigCount[sigOf(ev.line)];
     out.push_back(ev);
 }
 
@@ -178,6 +137,7 @@ WocSet::install(LineAddr line, Footprint used, Footprint dirty,
         ++slot;
     }
     ldis_assert(slot - start == count);
+    ++sigCount[sigOf(line)];
 }
 
 WocEvicted
@@ -199,6 +159,8 @@ WocSet::invalidateLine(LineAddr line)
     validMask &= ~span;
     headMask &= ~span;
     dirtyMask &= ~span;
+    ldis_assert(sigCount[sigOf(line)] > 0);
+    --sigCount[sigOf(line)];
     return ev;
 }
 
@@ -276,6 +238,16 @@ WocSet::auditInvariants() const
         seen[n_seen++] = lineAt[i];
         i = end;
     }
+
+    // The presence filter must count exactly the resident lines per
+    // bucket — a stale count would make headOf report false misses.
+    std::uint8_t expected[kMaxEntries] = {};
+    for (unsigned s = 0; s < n_seen; ++s)
+        ++expected[sigOf(seen[s])];
+    for (unsigned b = 0; b < kMaxEntries; ++b)
+        if (sigCount[b] != expected[b])
+            return "presence-filter count out of sync in bucket " +
+                   std::to_string(b);
     return "";
 }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/footprint.hh"
+#include "common/logging.hh"
 #include "common/random.hh"
 #include "common/types.hh"
 
@@ -86,11 +87,39 @@ class WocSet
     explicit WocSet(unsigned num_entries,
                     WocVictim policy = WocVictim::Random);
 
-    /** Words of @p line resident in this set (empty if none). */
-    Footprint wordsOf(LineAddr line) const;
+    /**
+     * Words of @p line resident in this set (empty if none).
+     * Inline so the presence-filter early-out in headOf() folds
+     * into the caller's miss path (the overwhelmingly common case
+     * is "not resident", answered without a call).
+     */
+    Footprint
+    wordsOf(LineAddr line) const
+    {
+        Footprint fp;
+        int h = headOf(line);
+        if (h < 0)
+            return fp;
+        unsigned end = groupEnd(static_cast<unsigned>(h));
+        for (unsigned i = static_cast<unsigned>(h); i < end; ++i)
+            fp.set(wordAt[i]);
+        return fp;
+    }
 
     /** Dirty words of @p line resident in this set. */
-    Footprint dirtyWordsOf(LineAddr line) const;
+    Footprint
+    dirtyWordsOf(LineAddr line) const
+    {
+        Footprint fp;
+        int h = headOf(line);
+        if (h < 0)
+            return fp;
+        unsigned end = groupEnd(static_cast<unsigned>(h));
+        for (unsigned i = static_cast<unsigned>(h); i < end; ++i)
+            if ((dirtyMask >> i) & 1u)
+                fp.set(wordAt[i]);
+        return fp;
+    }
 
     /** True iff any word of @p line is resident. */
     bool
@@ -174,10 +203,27 @@ class WocSet
     /** Test-only state-corruption backdoor (tests/test_audit.cc). */
     friend struct AuditBackdoor;
 
+    /**
+     * Presence-filter bucket of @p line. Residency probes vastly
+     * outnumber resident lines (every L2 miss asks the WOC first),
+     * so sigCount keeps a per-bucket count of resident lines and
+     * headOf answers "absent" without walking the heads whenever the
+     * line's bucket is empty. No false negatives: every install /
+     * evict path adjusts the count of exactly the lines it moves.
+     */
+    static unsigned
+    sigOf(LineAddr line)
+    {
+        return static_cast<unsigned>(
+            (line * 0x9E3779B97F4A7C15ull) >> 58);
+    }
+
     /** Entry index of @p line's head, or -1 if absent. */
     int
     headOf(LineAddr line) const
     {
+        if (sigCount[sigOf(line)] == 0)
+            return -1;
         for (std::uint64_t m = headMask; m != 0; m &= m - 1) {
             unsigned h = static_cast<unsigned>(std::countr_zero(m));
             if (lineAt[h] == line)
@@ -187,7 +233,22 @@ class WocSet
     }
 
     /** Extent [head, end) of the group whose head is at @p head. */
-    unsigned groupEnd(unsigned head) const;
+    unsigned
+    groupEnd(unsigned head) const
+    {
+        ldis_assert(((validMask >> head) & 1u) &&
+                    ((headMask >> head) & 1u));
+        // Group members are the run of valid non-head entries
+        // directly after the head (any later group starts with its
+        // own head bit).
+        std::uint64_t members = validMask & ~headMask;
+        unsigned run = head + 1 >= kMaxEntries
+            ? 0
+            : static_cast<unsigned>(std::countr_one(members >>
+                                                    (head + 1)));
+        unsigned end = head + 1 + run;
+        return end < entryCount ? end : entryCount;
+    }
 
     /** Evict the whole group with head entry @p head. */
     void evictGroup(unsigned head,
@@ -214,6 +275,9 @@ class WocSet
 
     /** Word-id stored in each valid entry. */
     std::array<std::uint8_t, kMaxEntries> wordAt{};
+
+    /** Resident lines per presence-filter bucket (see sigOf). */
+    std::array<std::uint8_t, kMaxEntries> sigCount{};
 
     /** Slot-position cursor for WocVictim::RoundRobin. */
     unsigned rrCursor = 0;

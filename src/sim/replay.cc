@@ -8,9 +8,11 @@
 #include <limits>
 #include <unordered_map>
 
+#include "cache/traditional_l2.hh"
 #include "common/audit.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "distill/distill_cache.hh"
 #include "trace/benchmarks.hh"
 #include "trace/trace_file.hh"
 
@@ -47,11 +49,11 @@ class RecordingL2 final : public SecondLevelCache
     L2Stats st;
 };
 
-/** FrontEndSink that appends events to an L2Stream. */
+/** FrontEndSink that encodes events into an L2Stream. */
 class StreamRecorder final : public FrontEndSink
 {
   public:
-    explicit StreamRecorder(L2Stream &s) : out(s) {}
+    explicit StreamRecorder(L2Stream &s) : out(s), enc(s) {}
 
     void
     advance(std::uint64_t instructions) override
@@ -72,9 +74,8 @@ class StreamRecorder final : public FrontEndSink
         std::uint8_t flags = write ? kStreamWrite : 0;
         if (victim.valid) {
             flags |= kStreamHasVictim;
-            out.victims.push_back({victim.line,
-                                   victim.footprint.raw(),
-                                   victim.dirtyWords.raw()});
+            enc.victim(victim.line, victim.footprint.raw(),
+                       victim.dirtyWords.raw());
         }
         push(StreamOp::LineMiss, addr, pc, flags);
         ++out.totalLineMisses;
@@ -96,10 +97,11 @@ class StreamRecorder final : public FrontEndSink
         std::uint32_t delta =
             static_cast<std::uint32_t>(std::min(pending, kMax));
         pending = 0;
-        out.events.push_back({addr, pc, delta, op, flags});
+        enc.event(op, addr, pc, delta, flags);
     }
 
     L2Stream &out;
+    StreamEncoder enc;
     std::uint64_t pending = 0;
 };
 
@@ -169,6 +171,76 @@ class LineWordsMap
     std::size_t used = 0;
 };
 
+/**
+ * Open-addressing map from line address to a dense slot id,
+ * assigned in first-seen order. The gang walk resolves each data
+ * event's line to a slot once during chunk decode; every lane then
+ * keeps its valid-word masks in a plain array indexed by slot, so
+ * the per-lane cost of a mask lookup is one load instead of a hash
+ * probe. Same table scheme as LineWordsMap (keys stored +1, grow at
+ * 50% load).
+ */
+class LineSlotMap
+{
+  public:
+    LineSlotMap() : keys(kInitialSlots, 0), ids(kInitialSlots, 0) {}
+
+    /** Number of distinct lines seen so far. */
+    std::size_t size() const { return used; }
+
+    /** Dense id of @p line, assigned on first sight. */
+    std::uint32_t
+    operator[](LineAddr line)
+    {
+        std::uint64_t key = line + 1;
+        std::size_t i = probe(keys, key);
+        if (keys[i] != key) {
+            keys[i] = key;
+            ids[i] = static_cast<std::uint32_t>(used);
+            ++used;
+            if (2 * used > keys.size()) {
+                grow();
+                i = probe(keys, key);
+            }
+        }
+        return ids[i];
+    }
+
+  private:
+    static constexpr std::size_t kInitialSlots = std::size_t{1} << 14;
+
+    static std::size_t
+    probe(const std::vector<std::uint64_t> &table, std::uint64_t key)
+    {
+        std::size_t mask = table.size() - 1;
+        std::uint64_t h = key * 0x9E3779B97F4A7C15ull;
+        std::size_t i = static_cast<std::size_t>(h >> 32) & mask;
+        while (table[i] != 0 && table[i] != key)
+            i = (i + 1) & mask;
+        return i;
+    }
+
+    void
+    grow()
+    {
+        std::vector<std::uint64_t> bigger_keys(keys.size() * 4, 0);
+        std::vector<std::uint32_t> bigger_ids(keys.size() * 4, 0);
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+            if (keys[i] == 0)
+                continue;
+            std::size_t j = probe(bigger_keys, keys[i]);
+            bigger_keys[j] = keys[i];
+            bigger_ids[j] = ids[i];
+        }
+        keys.swap(bigger_keys);
+        ids.swap(bigger_ids);
+    }
+
+    std::vector<std::uint64_t> keys;
+    std::vector<std::uint32_t> ids;
+    std::size_t used = 0;
+};
+
 double
 secondsSince(std::chrono::steady_clock::time_point start)
 {
@@ -196,12 +268,54 @@ geometryKey(std::uint64_t h, const CacheGeometry &g)
     return h;
 }
 
+/**
+ * Fill a RunResult from a finished replay walk: the L2's own stats,
+ * the config-independent window totals, and the re-derived sectored
+ * L1D statistics (every access is a hit unless it line-missed or
+ * sector-missed).
+ */
+RunResult
+assembleResult(const L2Stream &stream, SecondLevelCache &l2,
+               std::uint64_t sector_misses, double elapsed)
+{
+    RunResult r;
+    r.benchmark = stream.benchmark;
+    r.config = l2.describe();
+    r.instructions = stream.meas.instructions;
+    r.l2 = l2.stats();
+    r.mpki = stream.meas.instructions == 0
+        ? 0.0
+        : static_cast<double>(r.l2.misses())
+            / (static_cast<double>(stream.meas.instructions)
+               / 1000.0);
+    r.l1d.accesses = stream.meas.l1dAccesses;
+    r.l1d.lineMisses = stream.meas.l1dLineMisses;
+    r.l1d.sectorMisses = sector_misses;
+    r.l1d.hits = stream.meas.l1dAccesses
+        - stream.meas.l1dLineMisses - sector_misses;
+    r.l1i.accesses = stream.meas.l1iAccesses;
+    r.l1i.misses = stream.meas.l1iMisses;
+    r.wallSeconds = elapsed;
+    r.instPerSec = elapsed > 0.0
+        ? static_cast<double>(stream.meas.instructions) / elapsed
+        : 0.0;
+    return r;
+}
+
 } // namespace
 
 bool
 replayEnabled()
 {
     if (const char *env = std::getenv("LDIS_REPLAY"))
+        return !(env[0] == '0' && env[1] == '\0');
+    return true;
+}
+
+bool
+gangEnabled()
+{
+    if (const char *env = std::getenv("LDIS_GANG"))
         return !(env[0] == '0' && env[1] == '\0');
     return true;
 }
@@ -232,10 +346,16 @@ recordStream(Workload &workload, std::uint64_t seed,
 
     // Reserve for a dense stream (mcf peaks near one event per three
     // instructions) so recording never re-copies a multi-hundred-MB
-    // vector; untouched reserve pages cost nothing on Linux.
+    // vector; untouched reserve pages cost nothing on Linux. Delta
+    // locality keeps the varint streams near 2 B/event in practice.
     InstCount total = warmup + instructions;
-    s.events.reserve(static_cast<std::size_t>(total / 3) + 1024);
-    s.victims.reserve(static_cast<std::size_t>(total / 5) + 1024);
+    auto est = static_cast<std::size_t>(total / 3) + 1024;
+    s.heads.reserve(est);
+    s.instrBytes.reserve(est);
+    s.addrBytes.reserve(2 * est);
+    s.pcBytes.reserve(2 * est);
+    s.victimBytes.reserve(3 * (static_cast<std::size_t>(total / 5) +
+                               1024));
 
     RecordingL2 backend;
     Hierarchy hier(workload, backend, params);
@@ -246,8 +366,8 @@ recordStream(Workload &workload, std::uint64_t seed,
         hier.run(warmup);
         hier.resetStats();
     }
-    s.markerEvents = s.events.size();
-    s.markerVictims = s.victims.size();
+    s.markerEvents = static_cast<std::size_t>(s.numEvents());
+    s.markerVictims = static_cast<std::size_t>(s.numVictims());
 
     hier.run(instructions);
     hier.attachSink(nullptr);
@@ -270,25 +390,29 @@ recordStream(Workload &workload, std::uint64_t seed,
 std::string
 auditStream(const L2Stream &stream)
 {
-    if (stream.markerEvents > stream.events.size())
-        return "warmup event marker beyond the event array";
-    if (stream.markerVictims > stream.victims.size())
-        return "warmup victim marker beyond the victim array";
+    if (stream.markerEvents > stream.numEvents())
+        return "warmup event marker beyond the event stream";
+    if (stream.markerVictims > stream.numVictims())
+        return "warmup victim marker beyond the victim stream";
 
     // Words first-touched during each line's current L1D residency:
     // seeded with the demand word at the LineMiss that opens the
     // residency, grown by FirstTouch events, compared against the
     // footprint the line's eviction victim record reports.
     std::unordered_map<LineAddr, std::uint8_t> touched;
-    std::size_t victim_cursor = 0;
+    StreamDecoder dec(stream);
     std::uint64_t line_misses = 0;
+    std::uint64_t count = stream.numEvents();
 
-    for (std::size_t i = 0; i < stream.events.size(); ++i) {
-        const StreamEvent &e = stream.events[i];
+    for (std::uint64_t i = 0; i < count; ++i) {
+        StreamEvent e = dec.next();
         auto at_event = [&](const char *what) {
             return std::string(what) + " at event " +
                    std::to_string(i);
         };
+        if (!dec.ok())
+            return at_event("packed stream decode overran a byte "
+                            "stream");
         switch (e.op) {
         case StreamOp::IFetch:
             if (e.flags & kStreamHasVictim)
@@ -297,11 +421,13 @@ auditStream(const L2Stream &stream)
         case StreamOp::LineMiss: {
             ++line_misses;
             if (e.flags & kStreamHasVictim) {
-                if (victim_cursor >= stream.victims.size())
+                if (dec.victimsDecoded() >= stream.numVictims())
                     return at_event("victim flag without a victim "
                                     "record");
-                const StreamVictim &v =
-                    stream.victims[victim_cursor++];
+                StreamVictim v = dec.nextVictim();
+                if (!dec.ok())
+                    return at_event("packed victim decode overran "
+                                    "its byte stream");
                 if (v.dirty & ~v.used)
                     return at_event("victim dirty words outside its "
                                     "used words");
@@ -330,13 +456,16 @@ auditStream(const L2Stream &stream)
             return at_event("unknown stream op");
         }
         if (i + 1 == stream.markerEvents &&
-            victim_cursor != stream.markerVictims)
+            dec.victimsDecoded() != stream.markerVictims)
             return "victim marker disagrees with the flagged events "
                    "in the warmup window";
     }
-    if (victim_cursor != stream.victims.size())
+    if (dec.victimsDecoded() != stream.numVictims())
         return "victim records not consumed one-to-one by the "
                "flagged events";
+    if (!dec.fullyConsumed())
+        return "packed byte streams not consumed exactly by the "
+               "decoded records";
     if (line_misses != stream.totalLineMisses)
         return "line-miss total disagrees with the events";
     return "";
@@ -347,8 +476,8 @@ replayStream(const L2Stream &stream, SecondLevelCache &l2)
 {
     LDIS_AUDIT_CHECK("L2Stream", auditStream(stream));
     LineWordsMap words;
-    std::size_t victim_cursor = 0;
     std::uint64_t sector_misses = 0;
+    StreamDecoder dec(stream);
 
     // Data events cluster on the line just missed, so memoize the
     // last line's mask slot to skip the hash probe. The pointer is
@@ -364,9 +493,9 @@ replayStream(const L2Stream &stream, SecondLevelCache &l2)
         return *memo_mask;
     };
 
-    auto replay_span = [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-            const StreamEvent &e = stream.events[i];
+    auto replay_span = [&](std::uint64_t count) {
+        for (std::uint64_t i = 0; i < count; ++i) {
+            StreamEvent e = dec.next();
             switch (e.op) {
             case StreamOp::IFetch:
                 l2.access(e.addr, false, e.pc, true);
@@ -379,10 +508,7 @@ replayStream(const L2Stream &stream, SecondLevelCache &l2)
                     r.validWords.test(wordIdxOf(e.addr)));
                 mask_of(lineAddrOf(e.addr)) = r.validWords.raw();
                 if (e.flags & kStreamHasVictim) {
-                    ldis_assert(victim_cursor <
-                                stream.victims.size());
-                    const StreamVictim &v =
-                        stream.victims[victim_cursor++];
+                    StreamVictim v = dec.nextVictim();
                     l2.l1dEviction(v.line, Footprint(v.used),
                                    Footprint(v.dirty));
                 }
@@ -411,40 +537,233 @@ replayStream(const L2Stream &stream, SecondLevelCache &l2)
 
     // Warmup window: fills caches, then statistics restart exactly
     // as in runTraceWarm (contents and first-touch state persist).
-    replay_span(0, stream.markerEvents);
-    ldis_assert(victim_cursor == stream.markerVictims);
+    replay_span(stream.markerEvents);
+    ldis_assert(dec.victimsDecoded() == stream.markerVictims);
     if (stream.warmupInstructions > 0) {
         l2.resetStats();
         sector_misses = 0;
     }
 
-    replay_span(stream.markerEvents, stream.events.size());
-    ldis_assert(victim_cursor == stream.victims.size());
+    replay_span(stream.numEvents() - stream.markerEvents);
+    ldis_assert(dec.victimsDecoded() == stream.numVictims());
+    ldis_assert(dec.ok());
 
     double elapsed = secondsSince(start);
+    return assembleResult(stream, l2, sector_misses, elapsed);
+}
 
-    RunResult r;
-    r.benchmark = stream.benchmark;
-    r.config = l2.describe();
-    r.instructions = stream.meas.instructions;
-    r.l2 = l2.stats();
-    r.mpki = stream.meas.instructions == 0
-        ? 0.0
-        : static_cast<double>(r.l2.misses())
-            / (static_cast<double>(stream.meas.instructions)
-               / 1000.0);
-    r.l1d.accesses = stream.meas.l1dAccesses;
-    r.l1d.lineMisses = stream.meas.l1dLineMisses;
-    r.l1d.sectorMisses = sector_misses;
-    r.l1d.hits = stream.meas.l1dAccesses
-        - stream.meas.l1dLineMisses - sector_misses;
-    r.l1i.accesses = stream.meas.l1iAccesses;
-    r.l1i.misses = stream.meas.l1iMisses;
-    r.wallSeconds = elapsed;
-    r.instPerSec = elapsed > 0.0
-        ? static_cast<double>(stream.meas.instructions) / elapsed
-        : 0.0;
-    return r;
+std::vector<RunResult>
+replayMany(const L2Stream &stream,
+           const std::vector<SecondLevelCache *> &l2s,
+           GangReplayInfo *info)
+{
+    if (l2s.empty())
+        return {};
+    LDIS_AUDIT_CHECK("L2Stream", auditStream(stream));
+
+    // One lane per config: its valid-word masks (dense, indexed by
+    // the shared line-slot map below) and sector-miss count. Each
+    // lane observes exactly the call sequence its solo replayStream
+    // would have issued (in stream order), so every result is
+    // bit-identical to the per-config walk.
+    struct Lane
+    {
+        SecondLevelCache *l2 = nullptr;
+        std::vector<std::uint8_t> masks;
+        std::uint64_t sectorMisses = 0;
+    };
+    std::vector<Lane> lanes(l2s.size());
+    for (std::size_t i = 0; i < l2s.size(); ++i)
+        lanes[i].l2 = l2s[i];
+
+    // The walk proceeds in large chunks: decode a block of events
+    // once — resolving each data event's line to a dense slot id in
+    // the shared LineSlotMap — then let every lane replay the whole
+    // block before the next lane starts. The decoded block is
+    // struct-of-records that the lane pass streams sequentially, so
+    // a lane's pass costs less than a solo walk: no varint decode,
+    // and its valid-word mask is one indexed load (lane.masks[slot])
+    // instead of a hash probe. Chunks are deliberately huge
+    // (millions of events): a simulated cache model's metadata is
+    // about the size of a host L2, so fine-grained interleaving
+    // evicts every lane's model state between turns, while at this
+    // granularity the refill cost of a lane switch amortizes to
+    // noise. Mask values persist across chunks exactly like
+    // LineWordsMap entries persist in the solo walk (stale entries
+    // are overwritten by the line's next LineMiss), so per-lane
+    // behaviour is unchanged.
+    // The decoded block is struct-of-arrays: four parallel streams
+    // (addr, pc, slot, op|flags packed in one byte as in the stream
+    // head) instead of one padded record, so each lane pass streams
+    // 21B per event rather than 24B and every array is read with
+    // unit stride.
+    constexpr std::size_t kChunkEvents = std::size_t{1} << 21;
+    const std::size_t chunkCap = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kChunkEvents, stream.numEvents()));
+    std::vector<Addr> evAddr;
+    std::vector<Addr> evPc;
+    std::vector<std::uint32_t> evSlot;
+    std::vector<std::uint8_t> evHead;
+    std::vector<StreamVictim> vbuf;
+    evAddr.reserve(chunkCap);
+    evPc.reserve(chunkCap);
+    evSlot.reserve(chunkCap);
+    evHead.reserve(chunkCap);
+    vbuf.reserve(
+        std::min<std::uint64_t>(chunkCap, stream.numVictims()));
+    LineSlotMap slots;
+
+    StreamDecoder dec(stream);
+    auto replay_span = [&](std::uint64_t count) {
+        while (count > 0) {
+            const std::size_t n = static_cast<std::size_t>(
+                std::min<std::uint64_t>(kChunkEvents, count));
+            count -= n;
+
+            // Decode once for every lane. Consecutive data events
+            // cluster on the line just missed, so memoize the last
+            // line -> slot resolution.
+            evAddr.clear();
+            evPc.clear();
+            evSlot.clear();
+            evHead.clear();
+            vbuf.clear();
+            LineAddr memo_line = ~LineAddr{0};
+            std::uint32_t memo_slot = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                StreamEvent e = dec.next();
+                std::uint32_t slot = 0;
+                if (e.op != StreamOp::IFetch) {
+                    LineAddr line = lineAddrOf(e.addr);
+                    if (line != memo_line) {
+                        memo_slot = slots[line];
+                        memo_line = line;
+                    }
+                    slot = memo_slot;
+                }
+                evAddr.push_back(e.addr);
+                evPc.push_back(e.pc);
+                evSlot.push_back(slot);
+                evHead.push_back(static_cast<std::uint8_t>(
+                    static_cast<unsigned>(e.op) |
+                    (static_cast<unsigned>(e.flags) << 2)));
+                if (e.op == StreamOp::LineMiss &&
+                    (e.flags & kStreamHasVictim))
+                    vbuf.push_back(dec.nextVictim());
+            }
+
+            // The chunk walk is generic over the concrete L2 type:
+            // instantiated below for the two models every default
+            // bench gangs (devirtualizing ~4 calls per event per
+            // lane) and once for the interface as the general case.
+            auto walk_chunk = [&](Lane &lane, auto &l2) {
+                std::uint8_t *masks = lane.masks.data();
+                std::size_t vi = 0;
+                const std::size_t total = evHead.size();
+                for (std::size_t i = 0; i < total; ++i) {
+                    const Addr addr = evAddr[i];
+                    const std::uint8_t head = evHead[i];
+                    const auto op =
+                        static_cast<StreamOp>(head & 0x3u);
+                    const std::uint8_t flags = head >> 2;
+                    switch (op) {
+                    case StreamOp::IFetch:
+                        l2.access(addr, false, evPc[i], true);
+                        break;
+                    case StreamOp::LineMiss: {
+                        L2Result r =
+                            l2.access(addr, flags & kStreamWrite,
+                                      evPc[i], false);
+                        ldis_assert(
+                            r.validWords.test(wordIdxOf(addr)));
+                        masks[evSlot[i]] = r.validWords.raw();
+                        if (flags & kStreamHasVictim) {
+                            // Decoded once; the eviction call goes
+                            // to every lane, after its own fill, as
+                            // in the solo walk.
+                            const StreamVictim &v = vbuf[vi++];
+                            l2.l1dEviction(v.line,
+                                           Footprint(v.used),
+                                           Footprint(v.dirty));
+                        }
+                        break;
+                    }
+                    case StreamOp::FirstTouch: {
+                        // Lanes diverge here: whether the touch
+                        // sector-misses depends on each config's
+                        // own fill masks.
+                        std::uint8_t mask = masks[evSlot[i]];
+                        WordIdx word = wordIdxOf(addr);
+                        if (!((mask >> word) & 1u)) {
+                            ++lane.sectorMisses;
+                            L2Result r =
+                                l2.access(addr,
+                                          flags & kStreamWrite,
+                                          evPc[i], false);
+                            ldis_assert(r.validWords.test(word));
+                            masks[evSlot[i]] =
+                                mask | r.validWords.raw();
+                        }
+                        break;
+                    }
+                    }
+                }
+                ldis_assert(vi == vbuf.size());
+            };
+
+            for (Lane &lane : lanes) {
+                // New slots start as zero masks, exactly as a fresh
+                // LineWordsMap entry would.
+                if (lane.masks.size() < slots.size())
+                    lane.masks.resize(slots.size(), 0);
+                if (auto *dc = dynamic_cast<DistillCache *>(lane.l2))
+                    walk_chunk(lane, *dc);
+                else if (auto *tr =
+                             dynamic_cast<TraditionalL2 *>(lane.l2))
+                    walk_chunk(lane, *tr);
+                else
+                    walk_chunk(lane, *lane.l2);
+            }
+        }
+    };
+
+    stats::registry().counter("replay.gang_walks").add();
+    stats::registry()
+        .counter("replay.gang_configs")
+        .add(l2s.size());
+
+    auto start = std::chrono::steady_clock::now();
+    {
+        stats::Timer::Scope scope(
+            stats::registry().timer("replay.gang_walk"));
+        replay_span(stream.markerEvents);
+        ldis_assert(dec.victimsDecoded() == stream.markerVictims);
+        if (stream.warmupInstructions > 0) {
+            for (Lane &lane : lanes) {
+                lane.l2->resetStats();
+                lane.sectorMisses = 0;
+            }
+        }
+        replay_span(stream.numEvents() - stream.markerEvents);
+        ldis_assert(dec.victimsDecoded() == stream.numVictims());
+        ldis_assert(dec.ok());
+    }
+    double elapsed = secondsSince(start);
+
+    if (info) {
+        info->configs = l2s.size();
+        info->events = stream.numEvents();
+        info->streamBytes = stream.packedBytes();
+        info->wallSeconds = elapsed;
+    }
+
+    std::vector<RunResult> results;
+    results.reserve(lanes.size());
+    for (Lane &lane : lanes)
+        results.push_back(assembleResult(stream, *lane.l2,
+                                         lane.sectorMisses,
+                                         elapsed));
+    return results;
 }
 
 std::string
@@ -464,9 +783,14 @@ streamCachePath(const std::string &benchmark, std::uint64_t seed,
     key = fnvMix(key, warmup);
     key = fnvMix(key, instructions);
     key = fnvMix(key, frontEndParamsKey(params));
+    // The format version is part of the key AND visible in the name:
+    // a cache directory shared with an older binary neither serves
+    // nor clobbers another version's files.
+    key = fnvMix(key, kStreamFormatVersion);
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "-%016llx.l2s",
-                  static_cast<unsigned long long>(key));
+    std::snprintf(buf, sizeof(buf), "-%016llx.v%u.l2s",
+                  static_cast<unsigned long long>(key),
+                  kStreamFormatVersion);
     return std::string(dir) + "/" + safe + buf;
 }
 

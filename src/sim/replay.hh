@@ -19,20 +19,33 @@
  *  - every first touch of a word within an L1D residency — the only
  *    accesses whose hit/sector-miss outcome depends on the L2.
  *
- * replayStream() then drives ANY SecondLevelCache from the recorded
+ * The recorded stream is stored in a compact structure-of-arrays
+ * form: one head byte per event (op + flags), and separate varint
+ * byte streams for the instruction deltas and the zigzag-delta
+ * encoded addresses / PCs (victim line addresses likewise). Spatial
+ * locality makes most deltas one or two bytes, so the resident
+ * stream is ~4-5x smaller than the naive array-of-structs record —
+ * and a replay walk moves that much less memory. StreamEncoder /
+ * StreamDecoder are the only readers and writers of the packed
+ * form.
+ *
+ * replayStream() drives ANY SecondLevelCache from the recorded
  * stream, tracking per-line valid words to re-derive the sector
- * misses a partial-filling L2 would have produced. The resulting
- * RunResult is bit-identical to a direct Hierarchy run of the same
- * benchmark/config pair, at a fraction of the cost: the workload
- * generator, code walker and L1 simulations run once per benchmark
- * instead of once per (benchmark, config) cell.
+ * misses a partial-filling L2 would have produced. replayMany() is
+ * the gang engine: it decodes the stream ONCE and feeds any number
+ * of L2 configurations in lockstep, keeping per-config valid-word
+ * maps, so a 9-config sweep walks the multi-hundred-MB event stream
+ * a single time instead of nine. Either way the resulting RunResult
+ * is bit-identical to a direct Hierarchy run of the same
+ * benchmark/config pair: each config observes exactly the access
+ * sequence its solo replay would have issued.
  *
  * With LDIS_TRACE_CACHE=<dir> set, recorded streams are additionally
  * persisted to a versioned, checksummed binary cache (see
- * src/trace/trace_file), so repeated harness invocations skip
- * generation entirely. LDIS_REPLAY=0 forces the harnesses back into
- * direct mode (each cell re-simulates its own front end), which is
- * what the execution-driven IPC experiments always use.
+ * src/trace/trace_file; format "LDS2", with read-compat for the v1
+ * files). LDIS_REPLAY=0 forces the harnesses back into direct mode,
+ * and LDIS_GANG=0 falls back from the gang walk to one replay per
+ * config.
  */
 
 #ifndef DISTILLSIM_SIM_REPLAY_HH
@@ -50,6 +63,16 @@
 namespace ldis
 {
 
+/**
+ * On-disk / in-memory stream format version. Version 2 is the
+ * packed SoA layout ("LDS2" files); version 1 was the
+ * array-of-structs record ("LDS1", still readable). The version is
+ * part of the stream-cache file key (streamCachePath), so a cache
+ * directory shared across binary versions never serves a stale
+ * older-format file to a newer writer's key.
+ */
+inline constexpr std::uint32_t kStreamFormatVersion = 2;
+
 /** Kind of one recorded front-end event. */
 enum class StreamOp : std::uint8_t
 {
@@ -63,10 +86,12 @@ inline constexpr std::uint8_t kStreamWrite = 1u << 0;
 inline constexpr std::uint8_t kStreamHasVictim = 1u << 1;
 
 /**
- * One compact L2-visible request record. For IFetch, addr == pc is
+ * One decoded L2-visible request record. For IFetch, addr == pc is
  * the fetch address. instrDelta is the number of instructions
  * retired since the previous event (saturated at 2^32-1; window
- * totals are carried exactly in StreamWindow).
+ * totals are carried exactly in StreamWindow). This is the logical
+ * record StreamDecoder yields; the stream itself stores the packed
+ * form.
  */
 struct StreamEvent
 {
@@ -96,7 +121,18 @@ struct StreamWindow
     std::uint64_t l1iMisses = 0;
 };
 
-/** A recorded L2-visible reference stream for one benchmark run. */
+/**
+ * A recorded L2-visible reference stream for one benchmark run.
+ *
+ * Events live in packed structure-of-arrays form: heads carries one
+ * byte per event (op in bits 0-1, flags in bits 2-3), and the
+ * remaining byte streams carry LEB128 varints — the instruction
+ * delta, and zigzag-encoded deltas of the event address, the PC and
+ * the victim line address (each field deltas against its own
+ * previous value, IFetch addresses ride on the PC stream). Decode
+ * is strictly sequential; use StreamDecoder (or the decodeEvents /
+ * decodeVictims helpers) rather than touching the arrays.
+ */
 struct L2Stream
 {
     std::string benchmark;
@@ -115,21 +151,286 @@ struct L2Stream
     /** Totals of the measured (post-warmup) window. */
     StreamWindow meas;
 
-    /** LineMiss events across both windows (replay map sizing). */
+    /** LineMiss events across both windows. */
     std::uint64_t totalLineMisses = 0;
 
     /** Warmup/measure boundary: replay resets stats here. */
     std::size_t markerEvents = 0;
     std::size_t markerVictims = 0;
 
-    std::vector<StreamEvent> events;
-    std::vector<StreamVictim> victims;
+    /** Victim records (count; the payload is in victimBytes). */
+    std::uint64_t victimCount = 0;
+
+    /** Packed SoA event streams — see the struct comment. */
+    std::vector<std::uint8_t> heads;
+    std::vector<std::uint8_t> instrBytes;
+    std::vector<std::uint8_t> addrBytes;
+    std::vector<std::uint8_t> pcBytes;
+    std::vector<std::uint8_t> victimBytes;
+
+    /** Number of recorded events. */
+    std::uint64_t numEvents() const { return heads.size(); }
+
+    /** Number of recorded victim records. */
+    std::uint64_t numVictims() const { return victimCount; }
+
+    /** Total packed payload size, in bytes. */
+    std::uint64_t
+    packedBytes() const
+    {
+        return heads.size() + instrBytes.size() + addrBytes.size() +
+               pcBytes.size() + victimBytes.size();
+    }
 };
 
 /**
- * Audit a recorded stream: the warmup markers bracket the event and
- * victim arrays consistently, victim records pair one-to-one (and in
- * order) with flagged LineMiss events, every victim's dirty words
+ * Append-side codec of the packed stream form. One encoder instance
+ * must write the whole stream in order (it carries the running
+ * delta bases); event() and victim() calls may interleave freely —
+ * the byte streams are independent.
+ */
+class StreamEncoder
+{
+  public:
+    explicit StreamEncoder(L2Stream &s) : out(s) {}
+
+    void
+    event(StreamOp op, Addr addr, Addr pc, std::uint32_t instr_delta,
+          std::uint8_t flags)
+    {
+        out.heads.push_back(static_cast<std::uint8_t>(
+            static_cast<std::uint8_t>(op) |
+            static_cast<std::uint8_t>(flags << 2)));
+        varint(out.instrBytes, instr_delta);
+        if (op == StreamOp::IFetch) {
+            // addr == pc for fetches: one delta on the PC stream.
+            zigzag(out.pcBytes, pc - prevPc);
+            prevPc = pc;
+        } else {
+            zigzag(out.addrBytes, addr - prevAddr);
+            prevAddr = addr;
+            zigzag(out.pcBytes, pc - prevPc);
+            prevPc = pc;
+        }
+    }
+
+    void
+    victim(LineAddr line, std::uint8_t used, std::uint8_t dirty)
+    {
+        zigzag(out.victimBytes, line - prevVictimLine);
+        prevVictimLine = line;
+        out.victimBytes.push_back(used);
+        out.victimBytes.push_back(dirty);
+        ++out.victimCount;
+    }
+
+  private:
+    static void
+    varint(std::vector<std::uint8_t> &v, std::uint64_t x)
+    {
+        while (x >= 0x80) {
+            v.push_back(static_cast<std::uint8_t>(x) | 0x80);
+            x >>= 7;
+        }
+        v.push_back(static_cast<std::uint8_t>(x));
+    }
+
+    /** Two's-complement delta, zigzag-folded so small magnitudes of
+     *  either sign stay short. */
+    static void
+    zigzag(std::vector<std::uint8_t> &v, std::uint64_t delta)
+    {
+        auto d = static_cast<std::int64_t>(delta);
+        varint(v, (static_cast<std::uint64_t>(d) << 1) ^
+                      static_cast<std::uint64_t>(d >> 63));
+    }
+
+    L2Stream &out;
+    Addr prevAddr = 0;
+    Addr prevPc = 0;
+    LineAddr prevVictimLine = 0;
+};
+
+/**
+ * Sequential decoder over the packed streams. Malformed input never
+ * reads out of bounds: an overrunning cursor latches ok() == false
+ * and further reads yield zeros (auditStream reports it; replay of
+ * an audited/checksummed stream never trips it).
+ */
+class StreamDecoder
+{
+  public:
+    explicit StreamDecoder(const L2Stream &s) : in(s) {}
+
+    /** Events not yet decoded. */
+    std::uint64_t
+    remaining() const
+    {
+        return in.heads.size() - eventCursor;
+    }
+
+    /** Decode the next event (precondition: remaining() > 0). */
+    StreamEvent
+    next()
+    {
+        StreamEvent e;
+        std::uint8_t head = in.heads[eventCursor++];
+        if (head & 0xF0)
+            failed = true;
+        e.op = static_cast<StreamOp>(head & 0x3);
+        e.flags = static_cast<std::uint8_t>((head >> 2) & 0x3);
+        e.instrDelta = static_cast<std::uint32_t>(
+            varint(in.instrBytes, instrCursor));
+        if (e.op == StreamOp::IFetch) {
+            prevPc += zigzag(in.pcBytes, pcCursor);
+            e.pc = prevPc;
+            e.addr = prevPc;
+        } else {
+            prevAddr += zigzag(in.addrBytes, addrCursor);
+            e.addr = prevAddr;
+            prevPc += zigzag(in.pcBytes, pcCursor);
+            e.pc = prevPc;
+        }
+        return e;
+    }
+
+    /** Victim records not yet decoded. */
+    std::uint64_t victimsDecoded() const { return victimCursor; }
+
+    /** Decode the next victim record. */
+    StreamVictim
+    nextVictim()
+    {
+        StreamVictim v;
+        prevVictimLine += zigzag(in.victimBytes, victimByteCursor);
+        v.line = prevVictimLine;
+        v.used = byte(in.victimBytes, victimByteCursor);
+        v.dirty = byte(in.victimBytes, victimByteCursor);
+        ++victimCursor;
+        return v;
+    }
+
+    /** No cursor ever overran its byte stream. */
+    bool ok() const { return !failed; }
+
+    /**
+     * True once every byte stream has been consumed exactly: all
+     * events and victims decoded with no trailing bytes left over.
+     */
+    bool
+    fullyConsumed() const
+    {
+        return !failed && eventCursor == in.heads.size() &&
+               instrCursor == in.instrBytes.size() &&
+               addrCursor == in.addrBytes.size() &&
+               pcCursor == in.pcBytes.size() &&
+               victimByteCursor == in.victimBytes.size() &&
+               victimCursor == in.victimCount;
+    }
+
+  private:
+    std::uint8_t
+    byte(const std::vector<std::uint8_t> &v, std::size_t &cursor)
+    {
+        if (cursor >= v.size()) {
+            failed = true;
+            return 0;
+        }
+        return v[cursor++];
+    }
+
+    std::uint64_t
+    varint(const std::vector<std::uint8_t> &v, std::size_t &cursor)
+    {
+        std::uint64_t x = 0;
+        unsigned shift = 0;
+        for (;;) {
+            std::uint8_t b = byte(v, cursor);
+            x |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+            if (!(b & 0x80))
+                return x;
+            shift += 7;
+            if (shift >= 64) {
+                failed = true;
+                return x;
+            }
+        }
+    }
+
+    std::uint64_t
+    zigzag(const std::vector<std::uint8_t> &v, std::size_t &cursor)
+    {
+        std::uint64_t z = varint(v, cursor);
+        return (z >> 1) ^ (~(z & 1) + 1);
+    }
+
+    const L2Stream &in;
+    std::size_t eventCursor = 0;
+    std::size_t instrCursor = 0;
+    std::size_t addrCursor = 0;
+    std::size_t pcCursor = 0;
+    std::size_t victimByteCursor = 0;
+    std::uint64_t victimCursor = 0;
+    Addr prevAddr = 0;
+    Addr prevPc = 0;
+    LineAddr prevVictimLine = 0;
+    bool failed = false;
+};
+
+/** Decode every event of @p stream (tests, tools, format shims). */
+inline std::vector<StreamEvent>
+decodeEvents(const L2Stream &stream)
+{
+    StreamDecoder dec(stream);
+    std::vector<StreamEvent> out;
+    out.reserve(stream.heads.size());
+    while (dec.remaining() > 0)
+        out.push_back(dec.next());
+    return out;
+}
+
+/** Decode every victim record of @p stream. */
+inline std::vector<StreamVictim>
+decodeVictims(const L2Stream &stream)
+{
+    StreamDecoder dec(stream);
+    std::vector<StreamVictim> out;
+    out.reserve(static_cast<std::size_t>(stream.victimCount));
+    for (std::uint64_t i = 0; i < stream.victimCount; ++i)
+        out.push_back(dec.nextVictim());
+    return out;
+}
+
+/**
+ * Rebuild @p stream's packed arrays from decoded records (leaves
+ * the metadata fields untouched). Test/tool support for mutating a
+ * stream at the logical-record level. Inline (with the codecs
+ * above) so the trace library's format shims can use it without a
+ * link-time dependency on the simulator library.
+ */
+inline void
+encodeStream(L2Stream &stream,
+             const std::vector<StreamEvent> &events,
+             const std::vector<StreamVictim> &victims)
+{
+    stream.heads.clear();
+    stream.instrBytes.clear();
+    stream.addrBytes.clear();
+    stream.pcBytes.clear();
+    stream.victimBytes.clear();
+    stream.victimCount = 0;
+    StreamEncoder enc(stream);
+    for (const StreamEvent &e : events)
+        enc.event(e.op, e.addr, e.pc, e.instrDelta, e.flags);
+    for (const StreamVictim &v : victims)
+        enc.victim(v.line, v.used, v.dirty);
+}
+
+/**
+ * Audit a recorded stream: the packed byte streams decode cleanly
+ * and are consumed exactly, the warmup markers bracket the event and
+ * victim records consistently, victim records pair one-to-one (and
+ * in order) with flagged LineMiss events, every victim's dirty words
  * are used words, and the words first-touched during each L1D
  * residency are a subset of the footprint its eviction reports.
  * @return "" when well-formed, else the first violation
@@ -141,6 +442,13 @@ std::string auditStream(const L2Stream &stream);
  * back to direct per-cell simulation when disabled.
  */
 bool replayEnabled();
+
+/**
+ * True unless LDIS_GANG=0: replay sweeps walk each benchmark's
+ * stream once for all configs (replayMany); when disabled, every
+ * config replays the stream independently.
+ */
+bool gangEnabled();
 
 /** Hash of the front-end geometry that shaped a stream. */
 std::uint64_t frontEndParamsKey(const HierarchyParams &params);
@@ -161,6 +469,30 @@ L2Stream recordStream(Workload &workload, std::uint64_t seed,
  * the direct runTrace/runTraceWarm of the same pair.
  */
 RunResult replayStream(const L2Stream &stream, SecondLevelCache &l2);
+
+/** Observability record of one replayMany() walk. */
+struct GangReplayInfo
+{
+    std::size_t configs = 0;       //!< L2s fed by the walk
+    std::uint64_t events = 0;      //!< events decoded (once)
+    std::uint64_t streamBytes = 0; //!< packed payload walked
+    double wallSeconds = 0.0;      //!< whole-walk wall time
+};
+
+/**
+ * Gang replay: decode @p stream exactly once and drive every cache
+ * in @p l2s from the shared walk, keeping per-config valid-word
+ * state. Each result is bit-identical to replayStream(stream, *l2)
+ * of the same cache — every config sees exactly the access sequence
+ * its solo replay would have issued, in stream order. The results'
+ * wallSeconds all report the shared walk. @p info, when non-null,
+ * receives the walk's observability record (telemetry gang records
+ * carry it).
+ */
+std::vector<RunResult>
+replayMany(const L2Stream &stream,
+           const std::vector<SecondLevelCache *> &l2s,
+           GangReplayInfo *info = nullptr);
 
 /** Provenance report of one loadOrRecordStream() call. */
 struct StreamLoadInfo
@@ -184,7 +516,13 @@ loadOrRecordStream(const std::string &benchmark, std::uint64_t seed,
                    const HierarchyParams &params = {},
                    StreamLoadInfo *info = nullptr);
 
-/** Cache-file path for a stream key ("" when LDIS_TRACE_CACHE unset). */
+/**
+ * Cache-file path for a stream key ("" when LDIS_TRACE_CACHE unset).
+ * The key hashes the run parameters AND kStreamFormatVersion, and
+ * the name carries a ".v<N>" marker — a cache directory shared with
+ * an older binary never serves (or clobbers) another format
+ * version's files.
+ */
 std::string streamCachePath(const std::string &benchmark,
                             std::uint64_t seed, InstCount warmup,
                             InstCount instructions,

@@ -306,6 +306,115 @@ RunMatrix::addReplay(const std::string &benchmark,
         holder->setupHandle);
 }
 
+GangJob
+makeGangJob(const std::string &benchmark, ConfigKind kind)
+{
+    return {benchmark + "/" + configName(kind),
+            [kind](const ValueProfile &values) {
+                return makeConfig(kind, values);
+            },
+            [kind](SecondLevelCache &, RunResult &r) {
+                r.config = configName(kind);
+            }};
+}
+
+std::size_t
+RunMatrix::addReplayGroup(const std::string &benchmark,
+                          const std::vector<ConfigKind> &kinds,
+                          InstCount instructions, std::uint64_t seed)
+{
+    ldis_assert(!kinds.empty());
+    std::vector<GangJob> jobs;
+    jobs.reserve(kinds.size());
+    for (ConfigKind kind : kinds)
+        jobs.push_back(makeGangJob(benchmark, kind));
+    return addReplayGroup(benchmark, instructions, std::move(jobs),
+                          seed);
+}
+
+std::size_t
+RunMatrix::addReplayGroup(const std::string &benchmark,
+                          InstCount instructions,
+                          std::vector<GangJob> jobs,
+                          std::uint64_t seed)
+{
+    ldis_assert(!jobs.empty());
+
+    if (!replayEnabled() || !gangEnabled()) {
+        // Per-lane fallback: the same result slots with the same
+        // labels and bit-identical statistics — one stream walk per
+        // lane instead of one per group. addReplay() handles the
+        // further LDIS_REPLAY=0 fallback to direct simulation.
+        std::size_t first = 0;
+        for (std::size_t k = 0; k < jobs.size(); ++k) {
+            auto build = jobs[k].build;
+            auto finish = jobs[k].finish;
+            std::size_t idx = addReplay(
+                benchmark, instructions, jobs[k].label,
+                [build, finish](ReplaySource &source) {
+                    L2Instance l2 = build(source.valueProfile());
+                    RunResult r = source.run(*l2.cache);
+                    if (finish)
+                        finish(*l2.cache, r);
+                    return r;
+                },
+                seed);
+            if (k == 0)
+                first = idx;
+        }
+        return first;
+    }
+
+    auto holder = streamFor(benchmark, seed, instructions);
+    ++holder->total; // the whole group takes ONE stream reference
+
+    std::vector<std::string> slot_labels;
+    slot_labels.reserve(jobs.size());
+    for (const GangJob &job : jobs)
+        slot_labels.push_back(job.label);
+
+    std::string group_label = benchmark + "/gang[" +
+                              std::to_string(jobs.size()) + "]";
+    auto lanes =
+        std::make_shared<std::vector<GangJob>>(std::move(jobs));
+    return addGroup(
+        group_label, std::move(slot_labels),
+        [holder, lanes, benchmark, group_label] {
+            StreamHolder::Ref ref(*holder);
+            std::shared_ptr<const L2Stream> stream = holder->take();
+
+            // Build every lane's cache up front (the L2Instance
+            // keeps each value model alive alongside its cache),
+            // then walk the stream once for all of them.
+            std::vector<L2Instance> instances;
+            instances.reserve(lanes->size());
+            std::vector<SecondLevelCache *> caches;
+            caches.reserve(lanes->size());
+            for (const GangJob &job : *lanes) {
+                instances.push_back(job.build(stream->values));
+                caches.push_back(instances.back().cache.get());
+            }
+
+            GangReplayInfo info;
+            std::vector<RunResult> rs =
+                replayMany(*stream, caches, &info);
+            for (std::size_t k = 0; k < rs.size(); ++k) {
+                rs[k].streamSource = holder->fromDiskCache
+                    ? "disk-cache"
+                    : "record";
+                const GangJob &job = (*lanes)[k];
+                if (job.finish)
+                    job.finish(*caches[k], rs[k]);
+            }
+            telemetry::emitGang(group_label, benchmark,
+                                info.configs, info.events,
+                                info.streamBytes,
+                                info.wallSeconds);
+            return rs;
+        },
+        holder->setupHandle);
+}
+
 std::size_t
 IpcMatrix::add(const std::string &benchmark, ConfigKind kind,
                InstCount instructions, std::uint64_t seed)

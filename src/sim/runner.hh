@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "sim/experiment.hh"
 #include "sim/telemetry.hh"
@@ -113,7 +114,7 @@ class RunMatrixT
         std::size_t dep = kNoDep)
     {
         entries.push_back({std::move(label), std::move(fn), {}, dep,
-                           numResults});
+                           numResults, {}, {}, 0});
         return numResults++;
     }
 
@@ -127,8 +128,34 @@ class RunMatrixT
     addSetup(std::string label, std::function<InstCount()> fn)
     {
         entries.push_back({std::move(label), {}, std::move(fn),
-                           kNoDep, kNoSlot});
+                           kNoDep, kNoSlot, {}, {}, 0});
         return entries.size() - 1;
+    }
+
+    /**
+     * Submit a group job: one closure that produces one result per
+     * entry of @p slot_labels, filling that many consecutive result
+     * slots (the gang replay engine runs one stream walk for a whole
+     * config group this way). The group gets a single timing entry
+     * (label @p label, instructions summed over the results), while
+     * each result keeps the closure's per-result wall figures and is
+     * emitted to telemetry under its own slot label.
+     * @return index of the group's FIRST result slot; the remaining
+     *         results follow in slot-label order
+     */
+    std::size_t
+    addGroup(std::string label, std::vector<std::string> slot_labels,
+             std::function<std::vector<Result>()> fn,
+             std::size_t dep = kNoDep)
+    {
+        ldis_assert(!slot_labels.empty());
+        std::size_t first = numResults;
+        std::size_t count = slot_labels.size();
+        entries.push_back({std::move(label), {}, {}, dep, first,
+                           std::move(fn), std::move(slot_labels),
+                           count});
+        numResults += count;
+        return first;
     }
 
     /** Execute all jobs; results are in submission order. */
@@ -171,6 +198,32 @@ class RunMatrixT
                         static_cast<std::uint64_t>(s * 1e3));
                     telemetry::emitSetup(e.label, s, ips, n);
                     progress.finished(i, e.label, s);
+                    return;
+                }
+                if (e.groupSize > 0) {
+                    std::vector<Result> rs = e.group();
+                    double s = std::chrono::duration<double>(
+                                   clock::now() - t0)
+                                   .count();
+                    ldis_assert(rs.size() == e.groupSize);
+                    InstCount n = 0;
+                    for (const Result &r : rs)
+                        n += simulatedInstructions(r);
+                    double ips = s > 0.0
+                        ? static_cast<double>(n) / s
+                        : 0.0;
+                    // One timing entry for the shared walk; the
+                    // per-result wall figures (the walk time the
+                    // closure recorded) are left alone — they all
+                    // describe the same single pass.
+                    jobTimes[i] = {e.label, s, ips, n};
+                    wall_hist.sample(
+                        static_cast<std::uint64_t>(s * 1e3));
+                    for (std::size_t k = 0; k < rs.size(); ++k)
+                        telemetry::emitJob(e.slotLabels[k], rs[k]);
+                    progress.finished(i, e.label, s);
+                    for (std::size_t k = 0; k < rs.size(); ++k)
+                        slots[e.slot + k] = std::move(rs[k]);
                     return;
                 }
                 Result r = e.fn();
@@ -249,7 +302,11 @@ class RunMatrixT
         std::function<Result()> fn;       //!< result jobs only
         std::function<InstCount()> setup; //!< setup jobs only
         std::size_t dep = kNoDep;         //!< entry-sequence index
-        std::size_t slot = kNoSlot;       //!< result index
+        std::size_t slot = kNoSlot;       //!< (first) result index
+        /** Group jobs only: one closure, groupSize result slots. */
+        std::function<std::vector<Result>()> group;
+        std::vector<std::string> slotLabels;
+        std::size_t groupSize = 0;
     };
 
     unsigned workerCount;
@@ -261,6 +318,28 @@ class RunMatrixT
 };
 
 class ReplaySource;
+
+/**
+ * One lane of a custom gang-replay group (RunMatrix::
+ * addReplayGroup): @p build constructs the lane's L2 (an L2Instance,
+ * so a value model can outlive its cache) and the optional @p finish
+ * post-processes the lane's result with its cache still alive —
+ * config naming, derived-statistic extraction (e.g. average stored
+ * words), prefetcher unwrapping.
+ */
+struct GangJob
+{
+    std::string label; //!< result/telemetry label, e.g. "mcf/LDIS"
+    std::function<L2Instance(const ValueProfile &)> build;
+    std::function<void(SecondLevelCache &, RunResult &)> finish;
+};
+
+/**
+ * The GangJob lane equivalent of addReplay(benchmark, kind, ...):
+ * builds makeConfig(kind) and names the result configName(kind).
+ * For groups that mix named configurations with custom lanes.
+ */
+GangJob makeGangJob(const std::string &benchmark, ConfigKind kind);
 
 /** Trace-driven matrix with a typed submission shorthand. */
 class RunMatrix : public RunMatrixT<RunResult>
@@ -296,6 +375,33 @@ class RunMatrix : public RunMatrixT<RunResult>
                           InstCount instructions, std::string label,
                           std::function<RunResult(ReplaySource &)> fn,
                           std::uint64_t seed = 1);
+
+    /**
+     * Gang submission: one job that replays the benchmark's shared
+     * stream ONCE for every kind in @p kinds (replayMany), producing
+     * one result slot per kind in @p kinds order — bit-identical to
+     * (and slot-compatible with) the equivalent sequence of
+     * addReplay(benchmark, kind, ...) calls. Falls back to exactly
+     * that sequence when LDIS_GANG=0 (or replay is off entirely).
+     * @return index of the FIRST kind's result slot
+     */
+    std::size_t addReplayGroup(const std::string &benchmark,
+                               const std::vector<ConfigKind> &kinds,
+                               InstCount instructions,
+                               std::uint64_t seed = 1);
+
+    /**
+     * Custom gang submission for sweeps whose lanes build their own
+     * caches: one shared walk over the benchmark's stream feeding
+     * every lane of @p jobs, one result slot per lane in order.
+     * Falls back to one custom addReplay job per lane when
+     * LDIS_GANG=0.
+     * @return index of the FIRST lane's result slot
+     */
+    std::size_t addReplayGroup(const std::string &benchmark,
+                               InstCount instructions,
+                               std::vector<GangJob> jobs,
+                               std::uint64_t seed = 1);
 
   private:
     struct StreamHolder;

@@ -234,6 +234,37 @@ emitSetup(const std::string &label, double wall_seconds,
 }
 
 void
+emitGang(const std::string &label, const std::string &benchmark,
+         std::size_t configs, std::uint64_t events,
+         std::uint64_t stream_bytes, double wall_seconds)
+{
+    if (!enabled())
+        return;
+    JsonWriter j;
+    beginRecord(j, "gang", label);
+    j.field("benchmark", benchmark);
+    j.field("configs", static_cast<std::uint64_t>(configs));
+    j.field("events", events);
+    j.field("stream_bytes", stream_bytes);
+    j.field("bytes_per_event",
+            events > 0 ? static_cast<double>(stream_bytes) /
+                             static_cast<double>(events)
+                       : 0.0);
+    j.field("wall_seconds", wall_seconds);
+    j.field("decode_events_per_sec",
+            wall_seconds > 0.0
+                ? static_cast<double>(events) / wall_seconds
+                : 0.0);
+    j.field("dispatch_events_per_sec",
+            wall_seconds > 0.0
+                ? static_cast<double>(events) *
+                      static_cast<double>(configs) / wall_seconds
+                : 0.0);
+    j.endObject();
+    emitLine(j);
+}
+
+void
 emitMatrixSummary(std::size_t jobs, unsigned workers,
                   double wall_seconds, double cumulative_seconds)
 {

@@ -20,6 +20,9 @@
  *    "result":{…writeJson(RunResult)…}}
  *   kind "ipc":    result carries ipc/mpki/instructions/cycles
  *   kind "setup":  a front-end recording job (label, timing only)
+ *   kind "gang":   one shared gang-replay walk (configs per walk,
+ *                  events, packed bytes, decode and dispatch
+ *                  throughput)
  *   kind "matrix": jobs/workers/wall/cumulative + "stats" snapshot
  *
  * With no sink configured every entry point is a cheap early-out
@@ -78,6 +81,18 @@ void emitJob(const std::string &label, const IpcResult &r);
 /** Append one record for a finished setup (front-end) job. */
 void emitSetup(const std::string &label, double wall_seconds,
                double inst_per_sec, InstCount instructions);
+
+/**
+ * Append one record for a completed gang replay walk (kind "gang"):
+ * how many configs shared the walk, the decoded event count and
+ * packed payload size, and the derived decode / dispatch
+ * throughputs (events per second through the shared decoder, and
+ * events x configs per second into the L2s).
+ */
+void emitGang(const std::string &label,
+              const std::string &benchmark, std::size_t configs,
+              std::uint64_t events, std::uint64_t stream_bytes,
+              double wall_seconds);
 
 /**
  * Append the end-of-matrix summary record, including the

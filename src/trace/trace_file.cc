@@ -242,8 +242,9 @@ FileWorkload::reset()
 namespace
 {
 
-constexpr char kStreamMagic[4] = {'L', 'D', 'S', '1'};
-constexpr std::uint32_t kStreamVersion = 1;
+constexpr char kStreamMagicV1[4] = {'L', 'D', 'S', '1'};
+constexpr char kStreamMagicV2[4] = {'L', 'D', 'S', '2'};
+constexpr std::uint32_t kStreamVersionV1 = 1;
 
 /** FNV-1a over a byte range, continuing from @p sum. */
 std::uint64_t
@@ -345,24 +346,11 @@ class StreamReader
     bool failed = false;
 };
 
-} // namespace
-
-bool
-writeL2Stream(const std::string &path, const L2Stream &stream)
+/** Header scalars shared by the LDS1 and LDS2 layouts (everything
+ *  between the benchmark name and the array sizes). */
+void
+writeStreamScalars(StreamWriter &w, const L2Stream &stream)
 {
-    // Temp-and-rename so a concurrent reader (another harness
-    // process sharing LDIS_TRACE_CACHE) never sees a partial file.
-    std::string tmp = path + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f) {
-        warn("cannot write stream cache '%s'", tmp.c_str());
-        return false;
-    }
-
-    bool ok = std::fwrite(kStreamMagic, 1, 4, f) == 4;
-    StreamWriter w(f);
-    w.scalar<std::uint32_t>(kStreamVersion);
-    w.str(stream.benchmark);
     w.scalar<std::uint64_t>(stream.seed);
     w.scalar<std::uint64_t>(stream.warmupInstructions);
     w.scalar<std::uint64_t>(stream.instructions);
@@ -381,16 +369,230 @@ writeL2Stream(const std::string &path, const L2Stream &stream)
     w.scalar<std::uint64_t>(stream.totalLineMisses);
     w.scalar<std::uint64_t>(stream.markerEvents);
     w.scalar<std::uint64_t>(stream.markerVictims);
-    w.scalar<std::uint64_t>(stream.events.size());
-    w.scalar<std::uint64_t>(stream.victims.size());
-    for (const StreamEvent &e : stream.events) {
+}
+
+void
+readStreamScalars(StreamReader &r, L2Stream &out)
+{
+    out.seed = r.scalar<std::uint64_t>();
+    out.warmupInstructions = r.scalar<std::uint64_t>();
+    out.instructions = r.scalar<std::uint64_t>();
+    out.frontEndKey = r.scalar<std::uint64_t>();
+    out.code.codeBytes = r.scalar<std::uint64_t>();
+    out.code.avgRunInstrs = r.scalar<std::uint32_t>();
+    out.values.pZero = r.scalar<double>();
+    out.values.pOne = r.scalar<double>();
+    out.values.pNarrow = r.scalar<double>();
+    out.meas.instructions = r.scalar<std::uint64_t>();
+    out.meas.dataAccesses = r.scalar<std::uint64_t>();
+    out.meas.l1dAccesses = r.scalar<std::uint64_t>();
+    out.meas.l1dLineMisses = r.scalar<std::uint64_t>();
+    out.meas.l1iAccesses = r.scalar<std::uint64_t>();
+    out.meas.l1iMisses = r.scalar<std::uint64_t>();
+    out.totalLineMisses = r.scalar<std::uint64_t>();
+    out.markerEvents =
+        static_cast<std::size_t>(r.scalar<std::uint64_t>());
+    out.markerVictims =
+        static_cast<std::size_t>(r.scalar<std::uint64_t>());
+}
+
+/**
+ * Bytes left in @p f from the current position; negative on a seek
+ * failure (unseekable streams skip the up-front size validation).
+ */
+long
+remainingBytes(std::FILE *f)
+{
+    long pos = std::ftell(f);
+    if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0)
+        return -1;
+    long end = std::ftell(f);
+    if (end < 0 || std::fseek(f, pos, SEEK_SET) != 0)
+        return -1;
+    return end - pos;
+}
+
+/** Payload of the current "LDS2" layout (everything after the
+ *  magic; the version scalar rides inside the checksummed region,
+ *  exactly as in the v1 layout). */
+bool
+readStreamV2(std::FILE *f, const std::string &path, L2Stream &out)
+{
+    StreamReader r(f);
+    std::uint32_t version = r.scalar<std::uint32_t>();
+    if (!r.ok())
+        return false;
+    if (version != kStreamFormatVersion) {
+        warn("stream cache '%s': format version %u (expected %u); "
+             "regenerating",
+             path.c_str(), version, kStreamFormatVersion);
+        return false;
+    }
+    if (!r.str(out.benchmark))
+        return false;
+    readStreamScalars(r, out);
+    out.victimCount = r.scalar<std::uint64_t>();
+
+    std::uint64_t sizes[5];
+    for (std::uint64_t &s : sizes)
+        s = r.scalar<std::uint64_t>();
+    if (!r.ok())
+        return false;
+
+    // Validate the declared array sizes against the actual bytes
+    // left in the file BEFORE allocating: a corrupt size would
+    // otherwise try to allocate the moon ahead of the checksum, and
+    // truncation / trailing garbage would only surface mid-read.
+    long remaining = remainingBytes(f);
+    if (remaining >= 0) {
+        std::uint64_t want = sizeof(std::uint64_t); // the checksum
+        for (std::uint64_t s : sizes)
+            want += s;
+        if (static_cast<std::uint64_t>(remaining) != want)
+            return false;
+    }
+
+    std::vector<std::uint8_t> *arrays[5] = {
+        &out.heads, &out.instrBytes, &out.addrBytes, &out.pcBytes,
+        &out.victimBytes};
+    for (std::size_t i = 0; i < 5; ++i) {
+        arrays[i]->resize(static_cast<std::size_t>(sizes[i]));
+        if (sizes[i] > 0)
+            r.bytes(arrays[i]->data(), arrays[i]->size());
+    }
+
+    std::uint64_t expected = r.checksum();
+    std::uint64_t stored = 0;
+    return r.ok() &&
+           std::fread(&stored, sizeof(stored), 1, f) == 1 &&
+           stored == expected &&
+           out.markerEvents <= out.numEvents() &&
+           out.markerVictims <= out.numVictims();
+}
+
+/** Payload of the superseded array-of-structs "LDS1" layout,
+ *  transcoded into the packed in-memory form on the way in. */
+bool
+readStreamV1(std::FILE *f, L2Stream &out)
+{
+    StreamReader r(f);
+    std::uint32_t version = r.scalar<std::uint32_t>();
+    if (!r.ok() || version != kStreamVersionV1)
+        return false;
+    if (!r.str(out.benchmark))
+        return false;
+    readStreamScalars(r, out);
+
+    std::uint64_t num_events = r.scalar<std::uint64_t>();
+    std::uint64_t num_victims = r.scalar<std::uint64_t>();
+    // Cap the reserve: a corrupt count would otherwise try to
+    // allocate the moon before the checksum gets a say.
+    std::vector<StreamEvent> events;
+    events.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(num_events, 1u << 20)));
+    for (std::uint64_t i = 0; r.ok() && i < num_events; ++i) {
+        StreamEvent e;
+        e.addr = r.scalar<std::uint64_t>();
+        e.pc = r.scalar<std::uint64_t>();
+        e.instrDelta = r.scalar<std::uint32_t>();
+        e.op = static_cast<StreamOp>(r.scalar<std::uint8_t>());
+        e.flags = r.scalar<std::uint8_t>();
+        if (r.ok())
+            events.push_back(e);
+    }
+    std::vector<StreamVictim> victims;
+    victims.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(num_victims, 1u << 20)));
+    for (std::uint64_t i = 0; r.ok() && i < num_victims; ++i) {
+        StreamVictim v;
+        v.line = r.scalar<std::uint64_t>();
+        v.used = r.scalar<std::uint8_t>();
+        v.dirty = r.scalar<std::uint8_t>();
+        if (r.ok())
+            victims.push_back(v);
+    }
+
+    std::uint64_t expected = r.checksum();
+    std::uint64_t stored = 0;
+    if (!(r.ok() &&
+          std::fread(&stored, sizeof(stored), 1, f) == 1 &&
+          stored == expected &&
+          out.markerEvents <= events.size() &&
+          out.markerVictims <= victims.size()))
+        return false;
+    encodeStream(out, events, victims);
+    return true;
+}
+
+} // namespace
+
+bool
+writeL2Stream(const std::string &path, const L2Stream &stream)
+{
+    // Temp-and-rename so a concurrent reader (another harness
+    // process sharing LDIS_TRACE_CACHE) never sees a partial file.
+    std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        warn("cannot write stream cache '%s'", tmp.c_str());
+        return false;
+    }
+
+    bool ok = std::fwrite(kStreamMagicV2, 1, 4, f) == 4;
+    StreamWriter w(f);
+    w.scalar<std::uint32_t>(kStreamFormatVersion);
+    w.str(stream.benchmark);
+    writeStreamScalars(w, stream);
+    w.scalar<std::uint64_t>(stream.victimCount);
+    const std::vector<std::uint8_t> *arrays[5] = {
+        &stream.heads, &stream.instrBytes, &stream.addrBytes,
+        &stream.pcBytes, &stream.victimBytes};
+    for (const auto *a : arrays)
+        w.scalar<std::uint64_t>(a->size());
+    for (const auto *a : arrays)
+        if (!a->empty())
+            w.bytes(a->data(), a->size());
+    std::uint64_t sum = w.checksum();
+    ok = ok && w.ok() &&
+         std::fwrite(&sum, sizeof(sum), 1, f) == 1 &&
+         std::fflush(f) == 0;
+    std::fclose(f);
+    ok = ok && std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        warn("failed to write stream cache '%s'", path.c_str());
+    }
+    return ok;
+}
+
+bool
+writeL2StreamV1(const std::string &path, const L2Stream &stream)
+{
+    std::vector<StreamEvent> events = decodeEvents(stream);
+    std::vector<StreamVictim> victims = decodeVictims(stream);
+
+    std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        warn("cannot write stream cache '%s'", tmp.c_str());
+        return false;
+    }
+
+    bool ok = std::fwrite(kStreamMagicV1, 1, 4, f) == 4;
+    StreamWriter w(f);
+    w.scalar<std::uint32_t>(kStreamVersionV1);
+    w.str(stream.benchmark);
+    writeStreamScalars(w, stream);
+    w.scalar<std::uint64_t>(events.size());
+    w.scalar<std::uint64_t>(victims.size());
+    for (const StreamEvent &e : events) {
         w.scalar<std::uint64_t>(e.addr);
         w.scalar<std::uint64_t>(e.pc);
         w.scalar<std::uint32_t>(e.instrDelta);
         w.scalar<std::uint8_t>(static_cast<std::uint8_t>(e.op));
         w.scalar<std::uint8_t>(e.flags);
     }
-    for (const StreamVictim &v : stream.victims) {
+    for (const StreamVictim &v : victims) {
         w.scalar<std::uint64_t>(v.line);
         w.scalar<std::uint8_t>(v.used);
         w.scalar<std::uint8_t>(v.dirty);
@@ -416,80 +618,13 @@ readL2Stream(const std::string &path, L2Stream &out)
         return false; // cache miss: not worth a warning
 
     char magic[4];
-    bool ok = std::fread(magic, 1, 4, f) == 4 &&
-              std::memcmp(magic, kStreamMagic, 4) == 0;
-
-    StreamReader r(f);
-    if (ok) {
-        std::uint32_t version = r.scalar<std::uint32_t>();
-        if (r.ok() && version != kStreamVersion) {
-            warn("stream cache '%s': format version %u (expected "
-                 "%u); regenerating",
-                 path.c_str(), version, kStreamVersion);
-            std::fclose(f);
-            return false;
-        }
-        ok = r.ok() && r.str(out.benchmark);
-    }
-    if (ok) {
-        out.seed = r.scalar<std::uint64_t>();
-        out.warmupInstructions = r.scalar<std::uint64_t>();
-        out.instructions = r.scalar<std::uint64_t>();
-        out.frontEndKey = r.scalar<std::uint64_t>();
-        out.code.codeBytes = r.scalar<std::uint64_t>();
-        out.code.avgRunInstrs = r.scalar<std::uint32_t>();
-        out.values.pZero = r.scalar<double>();
-        out.values.pOne = r.scalar<double>();
-        out.values.pNarrow = r.scalar<double>();
-        out.meas.instructions = r.scalar<std::uint64_t>();
-        out.meas.dataAccesses = r.scalar<std::uint64_t>();
-        out.meas.l1dAccesses = r.scalar<std::uint64_t>();
-        out.meas.l1dLineMisses = r.scalar<std::uint64_t>();
-        out.meas.l1iAccesses = r.scalar<std::uint64_t>();
-        out.meas.l1iMisses = r.scalar<std::uint64_t>();
-        out.totalLineMisses = r.scalar<std::uint64_t>();
-        out.markerEvents =
-            static_cast<std::size_t>(r.scalar<std::uint64_t>());
-        out.markerVictims =
-            static_cast<std::size_t>(r.scalar<std::uint64_t>());
-
-        std::uint64_t num_events = r.scalar<std::uint64_t>();
-        std::uint64_t num_victims = r.scalar<std::uint64_t>();
-        // Cap the reserve: a corrupt count would otherwise try to
-        // allocate the moon before the checksum gets a say.
-        out.events.clear();
-        out.events.reserve(static_cast<std::size_t>(
-            std::min<std::uint64_t>(num_events, 1u << 20)));
-        for (std::uint64_t i = 0; r.ok() && i < num_events; ++i) {
-            StreamEvent e;
-            e.addr = r.scalar<std::uint64_t>();
-            e.pc = r.scalar<std::uint64_t>();
-            e.instrDelta = r.scalar<std::uint32_t>();
-            e.op = static_cast<StreamOp>(r.scalar<std::uint8_t>());
-            e.flags = r.scalar<std::uint8_t>();
-            if (r.ok())
-                out.events.push_back(e);
-        }
-        out.victims.clear();
-        out.victims.reserve(static_cast<std::size_t>(
-            std::min<std::uint64_t>(num_victims, 1u << 20)));
-        for (std::uint64_t i = 0; r.ok() && i < num_victims; ++i) {
-            StreamVictim v;
-            v.line = r.scalar<std::uint64_t>();
-            v.used = r.scalar<std::uint8_t>();
-            v.dirty = r.scalar<std::uint8_t>();
-            if (r.ok())
-                out.victims.push_back(v);
-        }
-
-        std::uint64_t expected = r.checksum();
-        std::uint64_t stored = 0;
-        ok = r.ok() &&
-             std::fread(&stored, sizeof(stored), 1, f) == 1 &&
-             stored == expected &&
-             out.markerEvents <= out.events.size() &&
-             out.markerVictims <= out.victims.size();
-    }
+    bool ok = std::fread(magic, 1, 4, f) == 4;
+    if (ok && std::memcmp(magic, kStreamMagicV2, 4) == 0)
+        ok = readStreamV2(f, path, out);
+    else if (ok && std::memcmp(magic, kStreamMagicV1, 4) == 0)
+        ok = readStreamV1(f, out);
+    else
+        ok = false;
     std::fclose(f);
     if (!ok)
         warn("stream cache '%s' is corrupt or truncated; "

@@ -15,13 +15,19 @@
  *   records: u64 addr, u64 pc, u32 nonMemOps, u32 branches,
  *            u8 flags (bit0 = write), u8 depDist
  *
- * A second format ("LDS1") stores recorded L2-visible reference
+ * A second family of formats stores recorded L2-visible reference
  * streams for the replay engine (src/sim/replay): a versioned header
  * with the stream key, the payload, and a trailing FNV-1a checksum
- * over everything after the magic. Unlike the trace format, stream
- * reads are non-fatal — a corrupt, truncated or version-mismatched
- * file makes readL2Stream() return false so the caller regenerates
- * the stream (the file is a cache, not a source of truth).
+ * over everything after the magic. The current format ("LDS2",
+ * version 2) persists the packed structure-of-arrays byte streams
+ * verbatim — five bulk arrays instead of per-event records — so the
+ * files are several times smaller than the superseded
+ * array-of-structs "LDS1" files, which readL2Stream() still accepts
+ * (transcoding them into the packed in-memory form on load). Unlike
+ * the trace format, stream reads are non-fatal — a corrupt,
+ * truncated or unknown-version file makes readL2Stream() return
+ * false so the caller regenerates the stream (the file is a cache,
+ * not a source of truth).
  */
 
 #ifndef DISTILLSIM_TRACE_TRACE_FILE_HH
@@ -93,7 +99,7 @@ class FileWorkload : public Workload
 };
 
 /**
- * Write @p stream to @p path in the checksummed "LDS1" format. The
+ * Write @p stream to @p path in the checksummed "LDS2" format. The
  * file is written to a temporary sibling and renamed into place, so
  * concurrent readers never observe a partial file.
  * @return false (with a warning) on I/O failure — callers treat the
@@ -102,9 +108,21 @@ class FileWorkload : public Workload
 bool writeL2Stream(const std::string &path, const L2Stream &stream);
 
 /**
- * Load a recorded stream from @p path into @p out.
+ * Write @p stream to @p path in the superseded array-of-structs
+ * "LDS1" format (the event/victim records are decoded from the
+ * packed stream first). Kept for the read-compat tests and for
+ * producing files older binaries can read; new files should use
+ * writeL2Stream().
+ */
+bool writeL2StreamV1(const std::string &path,
+                     const L2Stream &stream);
+
+/**
+ * Load a recorded stream from @p path into @p out. Accepts the
+ * current "LDS2" files and, for compatibility, "LDS1" files (which
+ * are transcoded into the packed in-memory form).
  * @return false if the file is missing, truncated, corrupted, or of
- *         a different format version; @p out is unspecified then and
+ *         an unknown format version; @p out is unspecified then and
  *         the caller should regenerate the stream
  */
 bool readL2Stream(const std::string &path, L2Stream &out);

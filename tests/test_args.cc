@@ -150,6 +150,27 @@ TEST(ArgParser, PositionalArgumentsCollected)
     EXPECT_EQ(p.positional()[1], "two");
 }
 
+TEST(ArgParser, PairedOnOffFlagsBothVisible)
+{
+    // Drivers with --foo/--no-foo pairs (ldissim --gang/--no-gang)
+    // detect the conflict themselves: the parser must report both
+    // flags as present rather than letting one shadow the other.
+    ArgParser p;
+    p.addFlag("gang", "on");
+    p.addFlag("no-gang", "off");
+    ASSERT_TRUE(parseArgs(p, {"--gang", "--no-gang"}));
+    EXPECT_TRUE(p.ok());
+    EXPECT_TRUE(p.has("gang"));
+    EXPECT_TRUE(p.has("no-gang"));
+
+    ArgParser q;
+    q.addFlag("gang", "on");
+    q.addFlag("no-gang", "off");
+    ASSERT_TRUE(parseArgs(q, {"--no-gang"}));
+    EXPECT_FALSE(q.has("gang"));
+    EXPECT_TRUE(q.has("no-gang"));
+}
+
 TEST(ArgParser, UsageListsOptions)
 {
     ArgParser p = makeParser();

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -448,28 +449,39 @@ TEST(Audit, StreamCorruptionsFire)
     auto stream = loadOrRecordStream("mcf", 1, 0, 50'000);
     ASSERT_EQ(auditStream(*stream), "");
 
+    // The packed byte streams are immutable in place; corrupt a copy
+    // by decoding to records, mutating, and re-encoding.
+    const std::vector<StreamEvent> events = decodeEvents(*stream);
+    const std::vector<StreamVictim> victims = decodeVictims(*stream);
+    ASSERT_FALSE(victims.empty());
+    auto reencoded = [&](const std::vector<StreamVictim> &vs) {
+        L2Stream s = *stream;
+        encodeStream(s, events, vs);
+        return s;
+    };
+
     // Victim dirty words outside its used words.
     {
-        L2Stream s = *stream;
-        ASSERT_FALSE(s.victims.empty());
-        s.victims[0].used = 0x01;
-        s.victims[0].dirty = 0x80;
-        EXPECT_NE(auditStream(s), "");
+        std::vector<StreamVictim> vs = victims;
+        vs[0].used = 0x01;
+        vs[0].dirty = 0x80;
+        EXPECT_NE(auditStream(reencoded(vs)), "");
     }
     // Victim footprint missing first-touched words: zero a victim's
     // used mask entirely (the demand word of its residency is gone).
     {
-        L2Stream s = *stream;
-        ASSERT_FALSE(s.victims.empty());
-        s.victims.back().used = 0;
-        s.victims.back().dirty = 0;
-        EXPECT_NE(auditStream(s), "");
+        std::vector<StreamVictim> vs = victims;
+        vs.back().used = 0;
+        vs.back().dirty = 0;
+        EXPECT_NE(auditStream(reencoded(vs)), "");
     }
     // Victim records no longer one-to-one with the flagged events.
     {
-        L2Stream s = *stream;
-        ASSERT_FALSE(s.victims.empty());
-        s.victims.pop_back();
+        std::vector<StreamVictim> vs = victims;
+        vs.pop_back();
+        L2Stream s = reencoded(vs);
+        s.markerVictims =
+            std::min<std::size_t>(s.markerVictims, vs.size());
         EXPECT_NE(auditStream(s), "");
     }
     // Line-miss total out of sync.
@@ -481,7 +493,14 @@ TEST(Audit, StreamCorruptionsFire)
     // Warmup markers out of range.
     {
         L2Stream s = *stream;
-        s.markerEvents = s.events.size() + 1;
+        s.markerEvents = s.numEvents() + 1;
+        EXPECT_NE(auditStream(s), "");
+    }
+    // A trailing garbage byte in a packed byte stream means the
+    // decode no longer consumes every stream exactly.
+    {
+        L2Stream s = *stream;
+        s.addrBytes.push_back(0x00);
         EXPECT_NE(auditStream(s), "");
     }
 }

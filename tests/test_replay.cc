@@ -158,27 +158,161 @@ TEST(Replay, DiskCacheRoundTrips)
     EXPECT_EQ(loaded.totalLineMisses, stream.totalLineMisses);
     EXPECT_EQ(loaded.markerEvents, stream.markerEvents);
     EXPECT_EQ(loaded.markerVictims, stream.markerVictims);
-    ASSERT_EQ(loaded.events.size(), stream.events.size());
-    for (std::size_t i = 0; i < stream.events.size(); ++i) {
-        EXPECT_EQ(loaded.events[i].addr, stream.events[i].addr);
-        EXPECT_EQ(loaded.events[i].pc, stream.events[i].pc);
-        EXPECT_EQ(loaded.events[i].instrDelta,
-                  stream.events[i].instrDelta);
-        EXPECT_EQ(loaded.events[i].op, stream.events[i].op);
-        EXPECT_EQ(loaded.events[i].flags, stream.events[i].flags);
-    }
-    ASSERT_EQ(loaded.victims.size(), stream.victims.size());
-    for (std::size_t i = 0; i < stream.victims.size(); ++i) {
-        EXPECT_EQ(loaded.victims[i].line, stream.victims[i].line);
-        EXPECT_EQ(loaded.victims[i].used, stream.victims[i].used);
-        EXPECT_EQ(loaded.victims[i].dirty, stream.victims[i].dirty);
-    }
+    // The packed byte streams round-trip verbatim.
+    EXPECT_EQ(loaded.victimCount, stream.victimCount);
+    EXPECT_EQ(loaded.heads, stream.heads);
+    EXPECT_EQ(loaded.instrBytes, stream.instrBytes);
+    EXPECT_EQ(loaded.addrBytes, stream.addrBytes);
+    EXPECT_EQ(loaded.pcBytes, stream.pcBytes);
+    EXPECT_EQ(loaded.victimBytes, stream.victimBytes);
 
     // And the loaded stream drives a replay to the same numbers.
     L2Instance a = makeConfig(ConfigKind::LdisMTRC, stream.values);
     L2Instance b = makeConfig(ConfigKind::LdisMTRC, loaded.values);
     expectSameRun(replayStream(stream, *a.cache),
                   replayStream(loaded, *b.cache));
+}
+
+/**
+ * The gang walk is the solo walk run N-wide: replayMany over every
+ * configuration kind (including the reverter's set-dueling and the
+ * compression models) must equal per-config replayStream bit for
+ * bit, and the walk info must describe the shared decode.
+ */
+TEST(Replay, GangMatchesSoloAcrossAllConfigs)
+{
+    const std::vector<ConfigKind> kinds = {
+        ConfigKind::Baseline1MB, ConfigKind::Trad1_5MB,
+        ConfigKind::Trad2MB,     ConfigKind::Trad4MB,
+        ConfigKind::Trad1MB32B,  ConfigKind::LdisBase,
+        ConfigKind::LdisMT,      ConfigKind::LdisMTRC,
+        ConfigKind::Ldis4xTags,  ConfigKind::Cmpr4xTags,
+        ConfigKind::Fac4xTags,   ConfigKind::Sfp16k,
+        ConfigKind::Sfp64k,
+    };
+    auto workload = makeBenchmark("mcf", 1);
+    L2Stream stream = recordStream(*workload, 1, 250'000, kRun);
+
+    std::vector<L2Instance> gang;
+    std::vector<SecondLevelCache *> caches;
+    for (ConfigKind kind : kinds) {
+        gang.push_back(makeConfig(kind, stream.values));
+        caches.push_back(gang.back().cache.get());
+    }
+    GangReplayInfo info;
+    std::vector<RunResult> ganged =
+        replayMany(stream, caches, &info);
+    ASSERT_EQ(ganged.size(), kinds.size());
+    EXPECT_EQ(info.configs, kinds.size());
+    EXPECT_EQ(info.events, stream.numEvents());
+    EXPECT_EQ(info.streamBytes, stream.packedBytes());
+
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        SCOPED_TRACE(configName(kinds[i]));
+        L2Instance solo = makeConfig(kinds[i], stream.values);
+        RunResult expected = replayStream(stream, *solo.cache);
+        expectSameRun(expected, ganged[i]);
+    }
+}
+
+/** A gang of one is just a solo replay. */
+TEST(Replay, GangOfOneMatchesSolo)
+{
+    auto workload = makeBenchmark("art", 1);
+    L2Stream stream = recordStream(*workload, 1, 0, 500'000);
+    L2Instance one = makeConfig(ConfigKind::LdisMTRC, stream.values);
+    std::vector<RunResult> ganged =
+        replayMany(stream, {one.cache.get()});
+    ASSERT_EQ(ganged.size(), 1u);
+    L2Instance solo =
+        makeConfig(ConfigKind::LdisMTRC, stream.values);
+    expectSameRun(replayStream(stream, *solo.cache), ganged[0]);
+}
+
+/**
+ * Streams written in the legacy LDS1 layout still load: the reader
+ * transcodes to the packed in-memory form, which re-encodes to the
+ * exact bytes the LDS2 writer would have produced.
+ */
+TEST(Replay, Lds1FilesStillLoad)
+{
+    auto workload = makeBenchmark("art", 1);
+    L2Stream stream = recordStream(*workload, 1, 100'000, kRun);
+    std::string path = tempPath("legacy.l2s");
+    ASSERT_TRUE(writeL2StreamV1(path, stream));
+
+    L2Stream loaded;
+    ASSERT_TRUE(readL2Stream(path, loaded));
+    EXPECT_EQ(loaded.benchmark, stream.benchmark);
+    EXPECT_EQ(loaded.markerEvents, stream.markerEvents);
+    EXPECT_EQ(loaded.markerVictims, stream.markerVictims);
+    EXPECT_EQ(loaded.totalLineMisses, stream.totalLineMisses);
+    EXPECT_EQ(loaded.victimCount, stream.victimCount);
+    EXPECT_EQ(loaded.heads, stream.heads);
+    EXPECT_EQ(loaded.instrBytes, stream.instrBytes);
+    EXPECT_EQ(loaded.addrBytes, stream.addrBytes);
+    EXPECT_EQ(loaded.pcBytes, stream.pcBytes);
+    EXPECT_EQ(loaded.victimBytes, stream.victimBytes);
+
+    // And it drives a replay to the same numbers.
+    L2Instance a = makeConfig(ConfigKind::LdisMTRC, stream.values);
+    L2Instance b = makeConfig(ConfigKind::LdisMTRC, loaded.values);
+    expectSameRun(replayStream(stream, *a.cache),
+                  replayStream(loaded, *b.cache));
+
+    // The packed LDS2 encoding is measurably smaller than LDS1.
+    std::string v2path = tempPath("packed.l2s");
+    ASSERT_TRUE(writeL2Stream(v2path, stream));
+    EXPECT_LT(fileSize(v2path), fileSize(path));
+}
+
+/**
+ * LDS2 declares its array sizes up front and they must account for
+ * the rest of the file exactly — trailing garbage and mid-array
+ * truncation are both rejected before any allocation happens.
+ */
+TEST(Replay, Lds2RejectsSizeMismatch)
+{
+    auto workload = makeBenchmark("vpr", 1);
+    L2Stream stream = recordStream(*workload, 1, 0, 200'000);
+    std::string path = tempPath("sizecheck.l2s");
+    ASSERT_TRUE(writeL2Stream(path, stream));
+    long size = fileSize(path);
+    L2Stream out;
+
+    // Trailing garbage byte.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "ab");
+        ASSERT_NE(f, nullptr);
+        std::fputc(0x5A, f);
+        std::fclose(f);
+    }
+    EXPECT_FALSE(readL2Stream(path, out));
+    ASSERT_EQ(::truncate(path.c_str(), size), 0);
+    ASSERT_TRUE(readL2Stream(path, out));
+
+    // Truncating into the bulk arrays.
+    ASSERT_EQ(::truncate(path.c_str(), size / 2), 0);
+    EXPECT_FALSE(readL2Stream(path, out));
+}
+
+/**
+ * The stream-cache filename is keyed on the on-disk format version,
+ * so upgrading the format can never serve a stale older-format file
+ * under the new code (it simply records a fresh stream).
+ */
+TEST(Replay, CachePathEncodesFormatVersion)
+{
+    std::string dir = ::testing::TempDir() + "ldis_replay_ver";
+    ::mkdir(dir.c_str(), 0755);
+    ASSERT_EQ(::setenv("LDIS_TRACE_CACHE", dir.c_str(), 1), 0);
+    std::string path = streamCachePath("art", 1, 0, 100'000);
+    ASSERT_EQ(::unsetenv("LDIS_TRACE_CACHE"), 0);
+    ASSERT_FALSE(path.empty());
+    std::string suffix =
+        ".v" + std::to_string(kStreamFormatVersion) + ".l2s";
+    ASSERT_GE(path.size(), suffix.size());
+    EXPECT_EQ(path.substr(path.size() - suffix.size()), suffix);
 }
 
 TEST(Replay, DiskCacheRejectsCorruption)
@@ -226,7 +360,7 @@ TEST(Replay, TraceCacheEnvRegeneratesCorruptFiles)
 
     // Second lookup is served from disk and matches exactly.
     auto second = loadOrRecordStream("gcc", 1, 0, 200'000);
-    ASSERT_EQ(second->events.size(), first->events.size());
+    ASSERT_EQ(second->numEvents(), first->numEvents());
     EXPECT_EQ(second->meas.l1dAccesses, first->meas.l1dAccesses);
     EXPECT_EQ(second->frontEndKey, first->frontEndKey);
 
@@ -234,7 +368,7 @@ TEST(Replay, TraceCacheEnvRegeneratesCorruptFiles)
     // regenerated stream matches the original recording).
     flipByte(path, fileSize(path) / 2);
     auto third = loadOrRecordStream("gcc", 1, 0, 200'000);
-    ASSERT_EQ(third->events.size(), first->events.size());
+    ASSERT_EQ(third->numEvents(), first->numEvents());
     EXPECT_EQ(third->meas.l1dAccesses, first->meas.l1dAccesses);
     ASSERT_EQ(::unsetenv("LDIS_TRACE_CACHE"), 0);
 
@@ -265,6 +399,16 @@ TEST(Replay, EnabledUnlessEnvZero)
     EXPECT_TRUE(replayEnabled());
     ASSERT_EQ(::unsetenv("LDIS_REPLAY"), 0);
     EXPECT_TRUE(replayEnabled());
+}
+
+TEST(Replay, GangEnabledUnlessEnvZero)
+{
+    ASSERT_EQ(::setenv("LDIS_GANG", "0", 1), 0);
+    EXPECT_FALSE(gangEnabled());
+    ASSERT_EQ(::setenv("LDIS_GANG", "1", 1), 0);
+    EXPECT_TRUE(gangEnabled());
+    ASSERT_EQ(::unsetenv("LDIS_GANG"), 0);
+    EXPECT_TRUE(gangEnabled());
 }
 
 } // namespace

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/stats.hh"
 #include "sim/replay.hh"
 #include "sim/runner.hh"
 
@@ -360,6 +361,170 @@ TEST(Runner, StreamReleasedAfterSuccessfulReplayRun)
                      });
     matrix.run();
     EXPECT_TRUE(observed->expired());
+}
+
+/** Gang-group submissions under a forced LDIS_JOBS value. */
+std::vector<RunResult>
+groupMatrixUnderJobs(const char *jobs)
+{
+    ::setenv("LDIS_JOBS", jobs, 1);
+    RunMatrix matrix;
+    for (const char *name : kBenchmarks)
+        matrix.addReplayGroup(
+            name, {kConfigs[0], kConfigs[1], kConfigs[2]},
+            kInstructions);
+    std::vector<RunResult> results = matrix.run();
+    ::unsetenv("LDIS_JOBS");
+    return results;
+}
+
+TEST(Runner, ReplayGroupMatchesSerialLoop)
+{
+    // One gang walk per benchmark fills the same slots, in the same
+    // order, with the same numbers as the serial per-cell loop.
+    std::vector<RunResult> serial = serialReference();
+    for (const char *jobs : {"1", "8"}) {
+        SCOPED_TRACE(std::string("LDIS_JOBS=") + jobs);
+        std::vector<RunResult> matrix = groupMatrixUnderJobs(jobs);
+        ASSERT_EQ(matrix.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            expectSameRun(matrix[i], serial[i]);
+    }
+}
+
+TEST(Runner, ReplayGroupRunsOneWalkPerBenchmark)
+{
+    RunMatrix matrix(2);
+    for (const char *name : kBenchmarks)
+        matrix.addReplayGroup(
+            name, {kConfigs[0], kConfigs[1], kConfigs[2]},
+            kInstructions);
+    const std::vector<RunResult> &results = matrix.run();
+    ASSERT_EQ(results.size(), 9u);
+    // One frontend setup plus ONE gang job per benchmark — not one
+    // job per cell.
+    ASSERT_EQ(matrix.timings().size(), 6u);
+    std::size_t gangs = 0;
+    for (const JobTiming &t : matrix.timings())
+        if (t.label.find("/gang[3]") != std::string::npos)
+            ++gangs;
+    EXPECT_EQ(gangs, 3u);
+    for (const RunResult &r : results)
+        EXPECT_EQ(r.streamSource, "record");
+}
+
+TEST(Runner, ReplayGroupFallsBackWhenGangDisabled)
+{
+    ::setenv("LDIS_GANG", "0", 1);
+    RunMatrix matrix(2);
+    matrix.addReplayGroup(
+        "art", {kConfigs[0], kConfigs[1], kConfigs[2]},
+        kInstructions);
+    const std::vector<RunResult> &results = matrix.run();
+    ::unsetenv("LDIS_GANG");
+    ASSERT_EQ(results.size(), 3u);
+    // Per-lane replay jobs behind one frontend setup.
+    EXPECT_EQ(matrix.timings().size(), 4u);
+    for (std::size_t i = 0; i < 3; ++i)
+        expectSameRun(results[i],
+                      runTrace("art", kConfigs[i], kInstructions));
+}
+
+TEST(Runner, ReplayGroupFallsBackToDirectWhenReplayDisabled)
+{
+    ::setenv("LDIS_REPLAY", "0", 1);
+    RunMatrix matrix(2);
+    matrix.addReplayGroup("art", {kConfigs[0], kConfigs[1]},
+                          kInstructions);
+    const std::vector<RunResult> &results = matrix.run();
+    ::unsetenv("LDIS_REPLAY");
+    ASSERT_EQ(results.size(), 2u);
+    // No setup job, no gang job: two direct-simulation jobs.
+    EXPECT_EQ(matrix.timings().size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i)
+        expectSameRun(results[i],
+                      runTrace("art", kConfigs[i], kInstructions));
+}
+
+TEST(Runner, GangGroupReleasesItsStream)
+{
+    stats::setEnabled(true); // counters are env-gated by default
+    std::uint64_t before = stats::registry()
+                               .counter("runner.streams_released")
+                               .value();
+    RunMatrix matrix(2);
+    matrix.addReplayGroup("art",
+                          {ConfigKind::Baseline1MB,
+                           ConfigKind::LdisMTRC},
+                          kInstructions);
+    matrix.run();
+    // The group holds one reference for the whole walk and is the
+    // only taker, so the stream drops right after the gang job.
+    EXPECT_EQ(stats::registry()
+                  .counter("runner.streams_released")
+                  .value(),
+              before + 1);
+    stats::setEnabled(false);
+}
+
+TEST(Runner, GroupSlotsKeepSubmissionOrder)
+{
+    // A generic group's results land in consecutive slots between
+    // neighboring single jobs, whatever the completion order.
+    RunMatrix matrix(4);
+    matrix.add("single#0", [] {
+        RunResult r;
+        r.benchmark = "s0";
+        return r;
+    });
+    matrix.addGroup("grp", {"g/a", "g/b", "g/c"}, [] {
+        std::vector<RunResult> rs(3);
+        rs[0].benchmark = "a";
+        rs[1].benchmark = "b";
+        rs[2].benchmark = "c";
+        return rs;
+    });
+    matrix.add("single#1", [] {
+        RunResult r;
+        r.benchmark = "s1";
+        return r;
+    });
+    const std::vector<RunResult> &results = matrix.run();
+    ASSERT_EQ(results.size(), 5u);
+    EXPECT_EQ(results[0].benchmark, "s0");
+    EXPECT_EQ(results[1].benchmark, "a");
+    EXPECT_EQ(results[2].benchmark, "b");
+    EXPECT_EQ(results[3].benchmark, "c");
+    EXPECT_EQ(results[4].benchmark, "s1");
+    // One timing entry per job, groups included.
+    ASSERT_EQ(matrix.timings().size(), 3u);
+    EXPECT_EQ(matrix.timings()[1].label, "grp");
+}
+
+TEST(Runner, GroupRunsAfterItsSetupDependency)
+{
+    RunMatrix matrix(8);
+    auto shared = std::make_shared<std::vector<int>>();
+    std::size_t setup =
+        matrix.addSetup("setup", [shared]() -> InstCount {
+            shared->assign(100, 7);
+            return 0;
+        });
+    matrix.addGroup(
+        "grp", {"g/a", "g/b"},
+        [shared] {
+            std::vector<RunResult> rs(2);
+            rs[0].instructions =
+                static_cast<InstCount>(shared->at(99));
+            rs[1].instructions =
+                static_cast<InstCount>(shared->at(0));
+            return rs;
+        },
+        setup);
+    const std::vector<RunResult> &results = matrix.run();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].instructions, 7u);
+    EXPECT_EQ(results[1].instructions, 7u);
 }
 
 TEST(Runner, CustomReplayClosureMatchesDirect)

@@ -158,6 +158,12 @@ main(int argc, char **argv)
     args.addFlag("replay",
                  "drive the L2 from a recorded front-end stream "
                  "(bit-identical stats; honors LDIS_TRACE_CACHE)");
+    args.addFlag("gang",
+                 "with --replay: use the gang walk engine "
+                 "(replayMany; overrides LDIS_GANG=0)");
+    args.addFlag("no-gang",
+                 "with --replay: per-config walk engine "
+                 "(overrides LDIS_GANG=1)");
     args.addFlag("json", "emit the report as a JSON object");
     args.addOption("metrics",
                    "append one telemetry record per run to this "
@@ -206,6 +212,14 @@ main(int argc, char **argv)
         std::fprintf(stderr, "%s\n", args.error().c_str());
         return 1;
     }
+    if (args.has("gang") && args.has("no-gang")) {
+        std::fprintf(stderr, "ldissim: --gang and --no-gang are "
+                             "mutually exclusive\n");
+        return 1;
+    }
+    // Flag beats environment beats the default (gang on).
+    bool gang = args.has("gang") ||
+                (!args.has("no-gang") && gangEnabled());
     if (args.has("audit")) {
         if (!audit::compiledIn())
             std::fprintf(stderr,
@@ -269,7 +283,10 @@ main(int argc, char **argv)
         auto stream = loadOrRecordStream(cli.benchmark, cli.seed, 0,
                                          cli.instructions, {},
                                          &info);
-        r = replayStream(*stream, *l2.cache);
+        if (gang)
+            r = replayMany(*stream, {l2.cache.get()})[0];
+        else
+            r = replayStream(*stream, *l2.cache);
         r.streamSource = info.fromDiskCache ? "disk-cache"
                                             : "record";
     } else {
