@@ -10,6 +10,7 @@
 
 #include "cache/hierarchy.hh"
 #include "common/random.hh"
+#include "common/workshare.hh"
 #include "distill/woc.hh"
 #include "sim/experiment.hh"
 #include "sim/replay.hh"
@@ -95,13 +96,19 @@ BM_GangReplay(benchmark::State &state)
     // Gang-walk throughput: one decode of the recorded stream feeds
     // four configurations in lockstep. Items = simulated
     // instructions x configs, so items/s is directly comparable
-    // with BM_L2Replay (the per-config solo walk).
+    // with BM_L2Replay (the per-config solo walk). The argument is
+    // the walk's thread budget (1 = the serial walk; more buys the
+    // decode pipeline plus lane workers), sweeping the lane-parallel
+    // engine's scaling on the host.
     auto workload = makeBenchmark("mcf");
     const InstCount chunk = 1'000'000;
     L2Stream stream = recordStream(*workload, 1, 0, chunk);
     const ConfigKind kinds[] = {
         ConfigKind::Baseline1MB, ConfigKind::LdisMTRC,
         ConfigKind::Cmpr4xTags, ConfigKind::Sfp16k};
+    const unsigned lanes = static_cast<unsigned>(state.range(0));
+    WorkerLeaseHub hub(lanes);
+    hub.setBusyWorkers(1);
     for (auto _ : state) {
         std::vector<L2Instance> gang;
         std::vector<SecondLevelCache *> caches;
@@ -109,15 +116,27 @@ BM_GangReplay(benchmark::State &state)
             gang.push_back(makeConfig(kind, stream.values));
             caches.push_back(gang.back().cache.get());
         }
+        GangParallel par;
+        par.hub = lanes > 1 ? &hub : nullptr;
+        par.lanes = lanes;
         benchmark::DoNotOptimize(
-            replayMany(stream, caches)[0].l2.accesses);
+            replayMany(stream, caches, nullptr, par)[0]
+                .l2.accesses);
     }
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) *
         static_cast<std::int64_t>(stream.meas.instructions) *
         static_cast<std::int64_t>(std::size(kinds)));
 }
-BENCHMARK(BM_GangReplay)->Unit(benchmark::kMillisecond);
+// Wall clock, not main-thread CPU time: with lanes > 1 most of the
+// walk runs on leased helper threads, so CPU-time-based items/s
+// would be meaninglessly inflated.
+BENCHMARK(BM_GangReplay)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_OooCore(benchmark::State &state)

@@ -23,6 +23,11 @@ if [ ! -x "$BIN" ]; then
     exit 1
 fi
 
+# A stray LDIS_LANES would hand the gang-replay benchmarks extra
+# lane workers and make the numbers incomparable to the pinned
+# baseline; the lane sweep is explicit (BM_GangReplay/<lanes>).
+export LDIS_LANES=1
+
 args=(
     "--benchmark_out=$OUT"
     --benchmark_out_format=json

@@ -94,14 +94,17 @@ def main():
         default=None,
         metavar="NAME",
         help="benchmark(s) to gate (default: BM_DistillCache, "
-        "BM_TraditionalL2, BM_FacCache, BM_GangReplay)",
+        "BM_TraditionalL2, BM_FacCache and the BM_GangReplay "
+        "lane sweep)",
     )
     args = ap.parse_args()
     gated = args.benchmark or [
         "BM_DistillCache",
         "BM_TraditionalL2",
         "BM_FacCache",
-        "BM_GangReplay",
+        "BM_GangReplay/1/real_time",
+        "BM_GangReplay/2/real_time",
+        "BM_GangReplay/4/real_time",
     ]
 
     try:

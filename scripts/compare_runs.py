@@ -8,6 +8,13 @@ matrix must agree on MPKI exactly — the simulator is deterministic —
 so the default budget is zero; wall-clock throughput is noisy and is
 informational unless --max-throughput-drop is given.
 
+"gang" records (schema v2 adds the walk's lane-parallelism block:
+lanes, decode_wall_ms, replay_wall_ms, lane_wall_ms) are compared
+informationally only — lane counts and wall-clock split legitimately
+differ between an LDIS_LANES=1 and an LDIS_LANES=4 run of the same
+matrix, and must never fail a bit-identity gate. v1 logs without the
+block still load (lanes defaults to 1).
+
 Usage:
     compare_runs.py BASELINE.jsonl CURRENT.jsonl \
         [--max-mpki-delta ABS] [--max-throughput-drop PCT]
@@ -36,6 +43,7 @@ def load_log(path):
         raise LogError(f"{path}: {e.strerror}") from None
 
     out = {}
+    gangs = {}
     for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
@@ -50,6 +58,12 @@ def load_log(path):
             raise LogError(
                 f"{path}:{lineno}: record is not an object"
             )
+        if rec.get("kind") == "gang":
+            # Timing-only record; keep the last walk per key.
+            gang_key = (rec.get("label", ""),
+                        rec.get("benchmark", ""))
+            gangs[gang_key] = rec
+            continue
         if rec.get("kind") not in ("run", "ipc"):
             continue
         result = rec.get("result")
@@ -78,7 +92,18 @@ def load_log(path):
         out[key] = result
     if not out:
         raise LogError(f"{path}: no run records")
-    return out
+    return out, gangs
+
+
+def gang_info(rec):
+    """(lanes, wall_seconds) of a gang record, with v1 defaults."""
+    lanes = rec.get("lanes", 1)
+    if not isinstance(lanes, int) or lanes < 1:
+        lanes = 1
+    wall = rec.get("wall_seconds", 0.0)
+    if not isinstance(wall, (int, float)):
+        wall = 0.0
+    return lanes, wall
 
 
 def describe(key):
@@ -109,8 +134,8 @@ def main():
     args = ap.parse_args()
 
     try:
-        baseline = load_log(args.baseline)
-        current = load_log(args.current)
+        baseline, base_gangs = load_log(args.baseline)
+        current, cur_gangs = load_log(args.current)
     except LogError as e:
         print(f"error: {e}")
         return 1
@@ -155,6 +180,23 @@ def main():
             f"{describe(key)}: mpki {cur['mpki']:.4f} vs "
             f"{base['mpki']:.4f} ({mpki_delta:+.4f}), "
             f"throughput {ips_delta:+.1f}% {verdict}"
+        )
+
+    # Gang walk timing is informational: the whole point of a lane
+    # sweep is that these numbers change while MPKI does not.
+    for key in sorted(set(base_gangs) & set(cur_gangs)):
+        base_lanes, base_wall = gang_info(base_gangs[key])
+        cur_lanes, cur_wall = gang_info(cur_gangs[key])
+        wall_delta = (
+            100.0 * (cur_wall - base_wall) / base_wall
+            if base_wall > 0.0
+            else 0.0
+        )
+        label, benchmark = key
+        print(
+            f"gang {label or benchmark or '?'}: lanes "
+            f"{base_lanes} -> {cur_lanes}, walk wall "
+            f"{wall_delta:+.1f}% (info)"
         )
 
     return 1 if failed else 0

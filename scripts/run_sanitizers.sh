@@ -3,7 +3,8 @@
 # compiled in, run the full tier-1 test suite under the selected
 # sanitizer, then drive an audited fig06 slice through the simulator
 # (the TSan leg additionally exercises the threaded RunMatrix with
-# LDIS_JOBS workers).
+# LDIS_JOBS workers and the lane-parallel gang walk with LDIS_LANES
+# lane workers).
 #
 #   ./scripts/run_sanitizers.sh            # asan, then tsan
 #   SAN=asan ./scripts/run_sanitizers.sh   # one sanitizer only
@@ -16,12 +17,14 @@
 #                      any subset ("asan", "tsan")
 #   JOBS               parallel build/test jobs (nproc)
 #   LDIS_JOBS          RunMatrix worker threads for the TSan slice (4)
+#   LDIS_LANES         gang walk lane budget for the TSan slice (4)
 #   LDIS_INSTRUCTIONS  run length of the fig06 slice (2000000)
 set -eu
 cd "$(dirname "$0")/.."
 SAN=${SAN:-"asan tsan"}
 JOBS=${JOBS:-$(nproc)}
 TSAN_WORKERS=${LDIS_JOBS:-4}
+TSAN_LANES=${LDIS_LANES:-4}
 INSTRUCTIONS=${LDIS_INSTRUCTIONS:-2000000}
 
 run_one() {
@@ -42,6 +45,11 @@ run_one() {
             --output-on-failure -j "$JOBS" -R Matrix
         echo "== $kind: audited fig06 slice, $TSAN_WORKERS jobs =="
         LDIS_AUDIT=1 LDIS_JOBS=$TSAN_WORKERS \
+            LDIS_INSTRUCTIONS=$INSTRUCTIONS \
+            "./$build/bench/fig06_mpki" >/dev/null
+        echo "== $kind: lane-parallel fig06 slice" \
+             "(LDIS_JOBS=1 LDIS_LANES=$TSAN_LANES) =="
+        LDIS_AUDIT=1 LDIS_JOBS=1 LDIS_LANES=$TSAN_LANES \
             LDIS_INSTRUCTIONS=$INSTRUCTIONS \
             "./$build/bench/fig06_mpki" >/dev/null
     else

@@ -69,6 +69,9 @@ class CheckThroughputTest(unittest.TestCase):
             "BM_DistillCache": 1e6,
             "BM_TraditionalL2": 1e6,
             "BM_FacCache": 1e6,
+            "BM_GangReplay/1/real_time": 1e6,
+            "BM_GangReplay/2/real_time": 1e6,
+            "BM_GangReplay/4/real_time": 1e6,
         }
         cur = self.path("cur.json", report(vals))
         base = self.path("base.json", vals)

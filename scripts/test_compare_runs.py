@@ -32,6 +32,23 @@ def record(label, benchmark, config, mpki, ips=1e6, kind="run"):
     }
 
 
+def gang_record(label, benchmark, lanes, wall_seconds):
+    """One schema-v2 gang walk record with the lane block."""
+    return {
+        "schema": 2,
+        "kind": "gang",
+        "experiment": "test",
+        "label": label,
+        "benchmark": benchmark,
+        "configs": 13,
+        "wall_seconds": wall_seconds,
+        "lanes": lanes,
+        "decode_wall_ms": 1000.0 * wall_seconds / 2,
+        "replay_wall_ms": 1000.0 * wall_seconds,
+        "lane_wall_ms": [1000.0 * wall_seconds / lanes] * lanes,
+    }
+
+
 class CompareRunsTest(unittest.TestCase):
     def setUp(self):
         self.dir = tempfile.TemporaryDirectory()
@@ -177,6 +194,52 @@ class CompareRunsTest(unittest.TestCase):
         self.assertEqual(r.returncode, 1)
         self.assertNotIn("Traceback", r.stdout + r.stderr)
         self.assertIn("non-numeric", r.stdout)
+
+    def test_gang_records_are_informational_only(self):
+        # A 1-lane baseline vs a 4-lane current: wall time and lane
+        # count differ wildly, MPKI does not -> still a pass.
+        run = record("mcf/ldis", "mcf", "LDIS-MT-RC", 8.1)
+        base = self.log(
+            "base.jsonl",
+            [run, gang_record("mcf/gang[13]", "mcf", 1, 10.0)],
+        )
+        cur = self.log(
+            "cur.jsonl",
+            [run, gang_record("mcf/gang[13]", "mcf", 4, 3.0)],
+        )
+        r = self.run_compare(base, cur)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("gang mcf/gang[13]: lanes 1 -> 4", r.stdout)
+        self.assertIn("(info)", r.stdout)
+
+    def test_v1_gang_records_without_lane_block_tolerated(self):
+        run = record("mcf/ldis", "mcf", "LDIS-MT-RC", 8.1)
+        old = {
+            "schema": 1,
+            "kind": "gang",
+            "label": "mcf/gang[13]",
+            "benchmark": "mcf",
+            "wall_seconds": 10.0,
+        }
+        base = self.log("base.jsonl", [run, old])
+        cur = self.log(
+            "cur.jsonl",
+            [run, gang_record("mcf/gang[13]", "mcf", 4, 5.0)],
+        )
+        r = self.run_compare(base, cur)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("lanes 1 -> 4", r.stdout)
+
+    def test_gang_record_in_one_log_only_is_not_an_error(self):
+        run = record("mcf/ldis", "mcf", "LDIS-MT-RC", 8.1)
+        base = self.log("base.jsonl", [run])
+        cur = self.log(
+            "cur.jsonl",
+            [run, gang_record("mcf/gang[13]", "mcf", 2, 4.0)],
+        )
+        r = self.run_compare(base, cur)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertNotIn("gang mcf/gang[13]", r.stdout)
 
     def test_ipc_records_compared_too(self):
         recs = [

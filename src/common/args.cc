@@ -130,6 +130,22 @@ ArgParser::getUint(const std::string &name)
     return out;
 }
 
+std::uint64_t
+ArgParser::getUintInRange(const std::string &name, std::uint64_t lo,
+                          std::uint64_t hi)
+{
+    std::uint64_t out = getUint(name);
+    if (!ok())
+        return lo;
+    if (out < lo || out > hi) {
+        errorText = "option --" + name + " expects a value in ["
+                  + std::to_string(lo) + ", " + std::to_string(hi)
+                  + "], got '" + get(name) + "'";
+        return lo;
+    }
+    return out;
+}
+
 double
 ArgParser::getDouble(const std::string &name)
 {

@@ -52,6 +52,15 @@ class ArgParser
     /** Integer value; sets an error on malformed input. */
     std::uint64_t getUint(const std::string &name);
 
+    /**
+     * Integer value constrained to [lo, hi]. Inherits getUint()'s
+     * rejection of negative, malformed and overflowing input, and
+     * additionally sets an error when the value falls outside the
+     * range (returning lo so callers always hold a legal value).
+     */
+    std::uint64_t getUintInRange(const std::string &name,
+                                 std::uint64_t lo, std::uint64_t hi);
+
     /** Floating-point value; sets an error on malformed input. */
     double getDouble(const std::string &name);
 

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Bounded blocking single-producer/single-consumer ring with close
+ * semantics, sized for coarse-grained pipeline handoff (the gang
+ * replay walk passes 2M-event chunk buffers through depth-2 rings,
+ * so a handoff happens every few milliseconds and a mutex + condvar
+ * costs nothing while staying trivially TSan-clean).
+ *
+ * close() is the shutdown edge for both directions: a producer's
+ * push() starts failing immediately, while a consumer's pop() keeps
+ * draining queued items and only fails once the ring is empty. Either
+ * side may close: the producer to signal end-of-stream, the consumer
+ * to refuse further input after a failure.
+ */
+
+#ifndef DISTILLSIM_COMMON_SPSC_HH
+#define DISTILLSIM_COMMON_SPSC_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace ldis
+{
+
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity)
+        : cap(capacity ? capacity : 1)
+    {}
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /**
+     * Block until there is room, then enqueue @p v.
+     * @return false iff the ring was closed (item not enqueued)
+     */
+    bool
+    push(T v)
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return closedFlag || q.size() < cap; });
+        if (closedFlag)
+            return false;
+        q.push_back(std::move(v));
+        cv.notify_all();
+        return true;
+    }
+
+    /**
+     * Block until an item is available, then dequeue into @p out.
+     * @return false iff the ring is closed AND drained
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return closedFlag || !q.empty(); });
+        if (q.empty())
+            return false;
+        out = std::move(q.front());
+        q.pop_front();
+        cv.notify_all();
+        return true;
+    }
+
+    /** Fail future pushes; pops drain what is queued, then fail. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(m);
+        closedFlag = true;
+        cv.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(m);
+        return closedFlag;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(m);
+        return q.size();
+    }
+
+    std::size_t capacity() const { return cap; }
+
+  private:
+    mutable std::mutex m;
+    std::condition_variable cv;
+    std::deque<T> q;
+    const std::size_t cap;
+    bool closedFlag = false;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_COMMON_SPSC_HH

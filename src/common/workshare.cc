@@ -1,0 +1,143 @@
+#include "workshare.hh"
+
+#include "logging.hh"
+
+namespace ldis
+{
+
+WorkerLeaseHub::WorkerLeaseHub(unsigned thread_budget)
+    : budget(thread_budget ? thread_budget : 1)
+{}
+
+WorkerLeaseHub::~WorkerLeaseHub()
+{
+    {
+        std::lock_guard<std::mutex> lock(m);
+        ldis_assert(active == 0);
+        stopping = true;
+        cv.notify_all();
+    }
+    for (std::thread &t : threads)
+        t.join();
+}
+
+void
+WorkerLeaseHub::setBusyWorkers(unsigned n)
+{
+    std::lock_guard<std::mutex> lock(m);
+    busy = n;
+}
+
+unsigned
+WorkerLeaseHub::threadBudget() const
+{
+    return budget;
+}
+
+unsigned
+WorkerLeaseHub::busyWorkers() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return busy;
+}
+
+unsigned
+WorkerLeaseHub::activeHelpers() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return active;
+}
+
+unsigned
+WorkerLeaseHub::idleThreads() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    unsigned used = busy + active;
+    return used < budget ? budget - used : 0;
+}
+
+void
+WorkerLeaseHub::helperMain()
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(m);
+            ++parked;
+            cv.wait(lock,
+                    [&] { return stopping || !queue.empty(); });
+            --parked;
+            if (queue.empty())
+                return; // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        try {
+            task.fn();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(task.state->m);
+            if (!task.state->firstError)
+                task.state->firstError = std::current_exception();
+        }
+        // Return the thread to the budget BEFORE signalling the
+        // lease: once Lease::wait() returns, none of its helpers
+        // still count against activeHelpers().
+        {
+            std::lock_guard<std::mutex> lock(m);
+            --active;
+        }
+        {
+            std::lock_guard<std::mutex> lock(task.state->m);
+            --task.state->running;
+            task.state->cv.notify_all();
+        }
+    }
+}
+
+bool
+WorkerLeaseHub::Lease::launch(std::function<void()> fn)
+{
+    if (!state)
+        state = std::make_shared<State>();
+    std::lock_guard<std::mutex> lock(hub.m);
+    if (hub.stopping || hub.busy + hub.active >= hub.budget)
+        return false;
+    ++hub.active;
+    {
+        std::lock_guard<std::mutex> slock(state->m);
+        ++state->running;
+    }
+    hub.queue.push_back({std::move(fn), state});
+    // Helpers are reused across leases and walks; spawn only when
+    // every existing helper is occupied.
+    if (hub.parked < hub.queue.size())
+        hub.threads.emplace_back(&WorkerLeaseHub::helperMain, &hub);
+    hub.cv.notify_one();
+    ++launched;
+    return true;
+}
+
+void
+WorkerLeaseHub::Lease::wait()
+{
+    if (!state)
+        return;
+    std::unique_lock<std::mutex> lock(state->m);
+    state->cv.wait(lock, [&] { return state->running == 0; });
+    if (state->firstError && !reported) {
+        reported = true;
+        std::exception_ptr err = state->firstError;
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+WorkerLeaseHub::Lease::~Lease()
+{
+    if (!state)
+        return;
+    std::unique_lock<std::mutex> lock(state->m);
+    state->cv.wait(lock, [&] { return state->running == 0; });
+}
+
+} // namespace ldis

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Cooperative work-sharing between the experiment runner's job pool
+ * and the gang-replay walk: a WorkerLeaseHub owns the process's
+ * thread budget and lends helper threads to jobs that can use them
+ * (the lane-parallel gang walk), reclaiming capacity as ordinary
+ * jobs occupy workers. A walker never spawns threads of its own, so
+ * LDIS_JOBS x LDIS_LANES can never oversubscribe the host: at any
+ * instant, busy pool workers + granted helpers <= the budget.
+ *
+ * Grants are best-effort and instantaneous: Lease::launch() either
+ * starts @p fn on a (lazily spawned, reused) helper thread right
+ * away or returns false; there is no queueing of denied requests.
+ * The walk polls again at its next chunk boundary, which is how
+ * "the runner grants threads as record jobs finish" falls out
+ * without any callback machinery.
+ */
+
+#ifndef DISTILLSIM_COMMON_WORKSHARE_HH
+#define DISTILLSIM_COMMON_WORKSHARE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ldis
+{
+
+class WorkerLeaseHub
+{
+  public:
+    /**
+     * @param thread_budget total threads the process may keep busy
+     *        (pool workers and leased helpers combined; minimum 1)
+     */
+    explicit WorkerLeaseHub(unsigned thread_budget);
+
+    /** Joins every helper thread. No lease may still be active. */
+    ~WorkerLeaseHub();
+
+    WorkerLeaseHub(const WorkerLeaseHub &) = delete;
+    WorkerLeaseHub &operator=(const WorkerLeaseHub &) = delete;
+
+    /**
+     * Report how many pool workers are currently running jobs. The
+     * runner calls this as jobs start and finish; grants only cover
+     * the difference to the budget.
+     */
+    void setBusyWorkers(unsigned busy);
+
+    unsigned threadBudget() const;
+    unsigned busyWorkers() const;
+
+    /** Helper threads currently running leased work. */
+    unsigned activeHelpers() const;
+
+    /** Threads the budget could still grant right now. */
+    unsigned idleThreads() const;
+
+    /**
+     * One job's handle on leased helpers. launch() starts work on a
+     * helper if the budget allows; wait() blocks until every helper
+     * launched through this lease finished and rethrows the first
+     * exception any of them threw. The destructor waits too (without
+     * throwing), so a lease can never outlive its stack frame with
+     * helpers still running — "no leaked leases" by construction.
+     */
+    class Lease
+    {
+      public:
+        explicit Lease(WorkerLeaseHub &h) : hub(h) {}
+        ~Lease();
+
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+
+        /**
+         * Try to start @p fn on a helper thread.
+         * @return true iff a thread was granted and the work started
+         */
+        bool launch(std::function<void()> fn);
+
+        /** Helpers granted to this lease so far. */
+        unsigned size() const { return launched; }
+
+        /**
+         * Block until every launched helper finished; rethrow the
+         * first exception one of them threw (once).
+         */
+        void wait();
+
+      private:
+        friend class WorkerLeaseHub;
+
+        /** Completion state shared with the helpers (outlives us). */
+        struct State
+        {
+            std::mutex m;
+            std::condition_variable cv;
+            unsigned running = 0;
+            std::exception_ptr firstError;
+        };
+
+        WorkerLeaseHub &hub;
+        std::shared_ptr<State> state;
+        unsigned launched = 0;
+        bool reported = false;
+    };
+
+  private:
+    struct Task
+    {
+        std::function<void()> fn;
+        std::shared_ptr<Lease::State> state;
+    };
+
+    void helperMain();
+
+    mutable std::mutex m;
+    std::condition_variable cv;
+    std::deque<Task> queue;
+    std::vector<std::thread> threads;
+    unsigned budget;
+    unsigned busy = 0;
+    unsigned active = 0;   //!< helpers running (or queued) leased work
+    unsigned parked = 0;   //!< helper threads idle in the queue wait
+    bool stopping = false;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_COMMON_WORKSHARE_HH

@@ -1,17 +1,24 @@
 #include "replay.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "cache/traditional_l2.hh"
 #include "common/audit.hh"
 #include "common/logging.hh"
+#include "common/spsc.hh"
 #include "common/stats.hh"
+#include "common/workshare.hh"
 #include "distill/distill_cache.hh"
 #include "trace/benchmarks.hh"
 #include "trace/trace_file.hh"
@@ -320,6 +327,38 @@ gangEnabled()
     return true;
 }
 
+namespace
+{
+
+/** setGangLanes() override (ldissim --lanes); 0 = none. */
+std::atomic<unsigned> gangLanesOverride{0};
+
+} // namespace
+
+unsigned
+gangLanes()
+{
+    unsigned forced =
+        gangLanesOverride.load(std::memory_order_relaxed);
+    if (forced)
+        return forced;
+    if (const char *env = std::getenv("LDIS_LANES")) {
+        char *end = nullptr;
+        errno = 0;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (errno == 0 && end && *end == '\0' && v > 0 && v <= 4096)
+            return static_cast<unsigned>(v);
+        warn("ignoring malformed LDIS_LANES='%s'", env);
+    }
+    return 0;
+}
+
+void
+setGangLanes(unsigned lanes)
+{
+    gangLanesOverride.store(lanes, std::memory_order_relaxed);
+}
+
 std::uint64_t
 frontEndParamsKey(const HierarchyParams &params)
 {
@@ -552,10 +591,52 @@ replayStream(const L2Stream &stream, SecondLevelCache &l2)
     return assembleResult(stream, l2, sector_misses, elapsed);
 }
 
+namespace
+{
+
+/**
+ * One decoded event chunk of the gang walk, in struct-of-arrays
+ * form: four parallel streams (addr, pc, slot, op|flags packed in
+ * one byte as in the stream head) plus the chunk's victim records,
+ * so each lane pass streams 21B per event with unit stride and no
+ * varint decode. In the pipelined walk two of these double-buffer
+ * between the decode producer and the lane workers.
+ */
+struct GangChunk
+{
+    std::vector<Addr> addr;
+    std::vector<Addr> pc;
+    std::vector<std::uint32_t> slot;
+    std::vector<std::uint8_t> head;
+    std::vector<StreamVictim> victims;
+    std::size_t slotCount = 0; //!< LineSlotMap size after decode
+    bool resetStatsAfter = false; //!< warmup window ends here
+    unsigned shards = 0;          //!< lane partition when published
+    std::atomic<unsigned> pending{0}; //!< shard walks outstanding
+};
+
+/**
+ * Contiguous static partition of @p lanes lanes into @p shards
+ * parts: shard @p s owns [first, second). Static assignment is what
+ * keeps per-lane stat streams byte-identical for any worker count —
+ * each lane is walked by exactly one thread per chunk, in chunk
+ * order.
+ */
+std::pair<std::size_t, std::size_t>
+shardLanes(std::size_t lanes, unsigned shards, unsigned s)
+{
+    std::size_t base = lanes / shards;
+    std::size_t rem = lanes % shards;
+    std::size_t lo = s * base + std::min<std::size_t>(s, rem);
+    return {lo, lo + base + (s < rem ? 1 : 0)};
+}
+
+} // namespace
+
 std::vector<RunResult>
 replayMany(const L2Stream &stream,
            const std::vector<SecondLevelCache *> &l2s,
-           GangReplayInfo *info)
+           GangReplayInfo *info, const GangParallel &par)
 {
     if (l2s.empty())
         return {};
@@ -565,12 +646,15 @@ replayMany(const L2Stream &stream,
     // the shared line-slot map below) and sector-miss count. Each
     // lane observes exactly the call sequence its solo replayStream
     // would have issued (in stream order), so every result is
-    // bit-identical to the per-config walk.
+    // bit-identical to the per-config walk. Lane state is touched
+    // by one thread at a time (chunk handoffs order the accesses),
+    // which is what makes lane sharding safe.
     struct Lane
     {
         SecondLevelCache *l2 = nullptr;
         std::vector<std::uint8_t> masks;
         std::uint64_t sectorMisses = 0;
+        double wallSeconds = 0.0;
     };
     std::vector<Lane> lanes(l2s.size());
     for (std::size_t i = 0; i < l2s.size(); ++i)
@@ -579,150 +663,270 @@ replayMany(const L2Stream &stream,
     // The walk proceeds in large chunks: decode a block of events
     // once — resolving each data event's line to a dense slot id in
     // the shared LineSlotMap — then let every lane replay the whole
-    // block before the next lane starts. The decoded block is
-    // struct-of-records that the lane pass streams sequentially, so
-    // a lane's pass costs less than a solo walk: no varint decode,
-    // and its valid-word mask is one indexed load (lane.masks[slot])
-    // instead of a hash probe. Chunks are deliberately huge
-    // (millions of events): a simulated cache model's metadata is
-    // about the size of a host L2, so fine-grained interleaving
-    // evicts every lane's model state between turns, while at this
-    // granularity the refill cost of a lane switch amortizes to
-    // noise. Mask values persist across chunks exactly like
-    // LineWordsMap entries persist in the solo walk (stale entries
-    // are overwritten by the line's next LineMiss), so per-lane
-    // behaviour is unchanged.
-    // The decoded block is struct-of-arrays: four parallel streams
-    // (addr, pc, slot, op|flags packed in one byte as in the stream
-    // head) instead of one padded record, so each lane pass streams
-    // 21B per event rather than 24B and every array is read with
-    // unit stride.
-    constexpr std::size_t kChunkEvents = std::size_t{1} << 21;
+    // block before the next block is decoded. A lane's pass costs
+    // less than a solo walk: no varint decode, and its valid-word
+    // mask is one indexed load (lane.masks[slot]) instead of a hash
+    // probe. Chunks are deliberately huge (millions of events): a
+    // simulated cache model's metadata is about the size of a host
+    // L2, so fine-grained interleaving evicts every lane's model
+    // state between turns, while at this granularity the refill
+    // cost of a lane switch amortizes to noise. Mask values persist
+    // across chunks exactly like LineWordsMap entries persist in
+    // the solo walk (stale entries are overwritten by the line's
+    // next LineMiss), so per-lane behaviour is unchanged.
+    constexpr std::size_t kDefaultChunkEvents = std::size_t{1} << 21;
+    const std::size_t chunkEvents =
+        par.chunkEvents ? par.chunkEvents : kDefaultChunkEvents;
     const std::size_t chunkCap = static_cast<std::size_t>(
-        std::min<std::uint64_t>(kChunkEvents, stream.numEvents()));
-    std::vector<Addr> evAddr;
-    std::vector<Addr> evPc;
-    std::vector<std::uint32_t> evSlot;
-    std::vector<std::uint8_t> evHead;
-    std::vector<StreamVictim> vbuf;
-    evAddr.reserve(chunkCap);
-    evPc.reserve(chunkCap);
-    evSlot.reserve(chunkCap);
-    evHead.reserve(chunkCap);
-    vbuf.reserve(
-        std::min<std::uint64_t>(chunkCap, stream.numVictims()));
+        std::min<std::uint64_t>(chunkEvents, stream.numEvents()));
+
     LineSlotMap slots;
-
     StreamDecoder dec(stream);
-    auto replay_span = [&](std::uint64_t count) {
-        while (count > 0) {
-            const std::size_t n = static_cast<std::size_t>(
-                std::min<std::uint64_t>(kChunkEvents, count));
-            count -= n;
+    double decodeWall = 0.0;
 
-            // Decode once for every lane. Consecutive data events
-            // cluster on the line just missed, so memoize the last
-            // line -> slot resolution.
-            evAddr.clear();
-            evPc.clear();
-            evSlot.clear();
-            evHead.clear();
-            vbuf.clear();
-            LineAddr memo_line = ~LineAddr{0};
-            std::uint32_t memo_slot = 0;
-            for (std::size_t i = 0; i < n; ++i) {
-                StreamEvent e = dec.next();
-                std::uint32_t slot = 0;
-                if (e.op != StreamOp::IFetch) {
-                    LineAddr line = lineAddrOf(e.addr);
-                    if (line != memo_line) {
-                        memo_slot = slots[line];
-                        memo_line = line;
-                    }
-                    slot = memo_slot;
+    // Decode @p n events into @p c (producer side only: the decoder
+    // and the slot map are strictly sequential). Consecutive data
+    // events cluster on the line just missed, so memoize the last
+    // line -> slot resolution.
+    auto decode_chunk = [&](GangChunk &c, std::size_t n) {
+        auto t0 = std::chrono::steady_clock::now();
+        c.addr.clear();
+        c.pc.clear();
+        c.slot.clear();
+        c.head.clear();
+        c.victims.clear();
+        c.addr.reserve(chunkCap);
+        c.pc.reserve(chunkCap);
+        c.slot.reserve(chunkCap);
+        c.head.reserve(chunkCap);
+        LineAddr memo_line = ~LineAddr{0};
+        std::uint32_t memo_slot = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            StreamEvent e = dec.next();
+            std::uint32_t slot = 0;
+            if (e.op != StreamOp::IFetch) {
+                LineAddr line = lineAddrOf(e.addr);
+                if (line != memo_line) {
+                    memo_slot = slots[line];
+                    memo_line = line;
                 }
-                evAddr.push_back(e.addr);
-                evPc.push_back(e.pc);
-                evSlot.push_back(slot);
-                evHead.push_back(static_cast<std::uint8_t>(
-                    static_cast<unsigned>(e.op) |
-                    (static_cast<unsigned>(e.flags) << 2)));
-                if (e.op == StreamOp::LineMiss &&
-                    (e.flags & kStreamHasVictim))
-                    vbuf.push_back(dec.nextVictim());
+                slot = memo_slot;
             }
+            c.addr.push_back(e.addr);
+            c.pc.push_back(e.pc);
+            c.slot.push_back(slot);
+            c.head.push_back(static_cast<std::uint8_t>(
+                static_cast<unsigned>(e.op) |
+                (static_cast<unsigned>(e.flags) << 2)));
+            if (e.op == StreamOp::LineMiss &&
+                (e.flags & kStreamHasVictim))
+                c.victims.push_back(dec.nextVictim());
+        }
+        c.slotCount = slots.size();
+        c.resetStatsAfter = false;
+        decodeWall += secondsSince(t0);
+    };
 
-            // The chunk walk is generic over the concrete L2 type:
-            // instantiated below for the two models every default
-            // bench gangs (devirtualizing ~4 calls per event per
-            // lane) and once for the interface as the general case.
-            auto walk_chunk = [&](Lane &lane, auto &l2) {
-                std::uint8_t *masks = lane.masks.data();
-                std::size_t vi = 0;
-                const std::size_t total = evHead.size();
-                for (std::size_t i = 0; i < total; ++i) {
-                    const Addr addr = evAddr[i];
-                    const std::uint8_t head = evHead[i];
-                    const auto op =
-                        static_cast<StreamOp>(head & 0x3u);
-                    const std::uint8_t flags = head >> 2;
-                    switch (op) {
-                    case StreamOp::IFetch:
-                        l2.access(addr, false, evPc[i], true);
-                        break;
-                    case StreamOp::LineMiss: {
-                        L2Result r =
-                            l2.access(addr, flags & kStreamWrite,
-                                      evPc[i], false);
-                        ldis_assert(
-                            r.validWords.test(wordIdxOf(addr)));
-                        masks[evSlot[i]] = r.validWords.raw();
-                        if (flags & kStreamHasVictim) {
-                            // Decoded once; the eviction call goes
-                            // to every lane, after its own fill, as
-                            // in the solo walk.
-                            const StreamVictim &v = vbuf[vi++];
-                            l2.l1dEviction(v.line,
-                                           Footprint(v.used),
-                                           Footprint(v.dirty));
-                        }
-                        break;
-                    }
-                    case StreamOp::FirstTouch: {
-                        // Lanes diverge here: whether the touch
-                        // sector-misses depends on each config's
-                        // own fill masks.
-                        std::uint8_t mask = masks[evSlot[i]];
-                        WordIdx word = wordIdxOf(addr);
-                        if (!((mask >> word) & 1u)) {
-                            ++lane.sectorMisses;
-                            L2Result r =
-                                l2.access(addr,
-                                          flags & kStreamWrite,
-                                          evPc[i], false);
-                            ldis_assert(r.validWords.test(word));
-                            masks[evSlot[i]] =
-                                mask | r.validWords.raw();
-                        }
-                        break;
-                    }
-                    }
+    // The chunk walk is generic over the concrete L2 type:
+    // instantiated below for the two models every default bench
+    // gangs (devirtualizing ~4 calls per event per lane) and once
+    // for the interface as the general case.
+    auto walk_chunk = [](Lane &lane, auto &l2, const GangChunk &c) {
+        std::uint8_t *masks = lane.masks.data();
+        std::size_t vi = 0;
+        const std::size_t total = c.head.size();
+        for (std::size_t i = 0; i < total; ++i) {
+            const Addr addr = c.addr[i];
+            const std::uint8_t head = c.head[i];
+            const auto op = static_cast<StreamOp>(head & 0x3u);
+            const std::uint8_t flags = head >> 2;
+            switch (op) {
+            case StreamOp::IFetch:
+                l2.access(addr, false, c.pc[i], true);
+                break;
+            case StreamOp::LineMiss: {
+                L2Result r = l2.access(addr, flags & kStreamWrite,
+                                       c.pc[i], false);
+                ldis_assert(r.validWords.test(wordIdxOf(addr)));
+                masks[c.slot[i]] = r.validWords.raw();
+                if (flags & kStreamHasVictim) {
+                    // Decoded once; the eviction call goes to every
+                    // lane, after its own fill, as in the solo walk.
+                    const StreamVictim &v = c.victims[vi++];
+                    l2.l1dEviction(v.line, Footprint(v.used),
+                                   Footprint(v.dirty));
                 }
-                ldis_assert(vi == vbuf.size());
-            };
+                break;
+            }
+            case StreamOp::FirstTouch: {
+                // Lanes diverge here: whether the touch
+                // sector-misses depends on each config's own fill
+                // masks.
+                std::uint8_t mask = masks[c.slot[i]];
+                WordIdx word = wordIdxOf(addr);
+                if (!((mask >> word) & 1u)) {
+                    ++lane.sectorMisses;
+                    L2Result r =
+                        l2.access(addr, flags & kStreamWrite,
+                                  c.pc[i], false);
+                    ldis_assert(r.validWords.test(word));
+                    masks[c.slot[i]] = mask | r.validWords.raw();
+                }
+                break;
+            }
+            }
+        }
+        ldis_assert(vi == c.victims.size());
+    };
 
-            for (Lane &lane : lanes) {
-                // New slots start as zero masks, exactly as a fresh
-                // LineWordsMap entry would.
-                if (lane.masks.size() < slots.size())
-                    lane.masks.resize(slots.size(), 0);
-                if (auto *dc = dynamic_cast<DistillCache *>(lane.l2))
-                    walk_chunk(lane, *dc);
-                else if (auto *tr =
-                             dynamic_cast<TraditionalL2 *>(lane.l2))
-                    walk_chunk(lane, *tr);
-                else
-                    walk_chunk(lane, *lane.l2);
+    auto walk_lane = [&](Lane &lane, const GangChunk &c) {
+        auto t0 = std::chrono::steady_clock::now();
+        // New slots start as zero masks, exactly as a fresh
+        // LineWordsMap entry would.
+        if (lane.masks.size() < c.slotCount)
+            lane.masks.resize(c.slotCount, 0);
+        if (auto *dc = dynamic_cast<DistillCache *>(lane.l2))
+            walk_chunk(lane, *dc, c);
+        else if (auto *tr = dynamic_cast<TraditionalL2 *>(lane.l2))
+            walk_chunk(lane, *tr, c);
+        else
+            walk_chunk(lane, *lane.l2, c);
+        lane.wallSeconds += secondsSince(t0);
+    };
+
+    auto reset_lane = [](Lane &lane) {
+        lane.l2->resetStats();
+        lane.sectorMisses = 0;
+    };
+
+    // Thread budget of this walk: an explicit lanes count asks for
+    // (lanes - 1) helpers on top of the producer, "auto" (0) takes
+    // whatever the hub's budget has idle. Never more helpers than
+    // lanes — a shard must own at least one.
+    const unsigned lanesCfg = par.lanes ? par.lanes : gangLanes();
+    unsigned want = 0;
+    if (par.hub) {
+        std::size_t cap = l2s.size();
+        want = lanesCfg == 0
+            ? static_cast<unsigned>(cap)
+            : static_cast<unsigned>(
+                  std::min<std::size_t>(lanesCfg - 1, cap));
+    }
+
+    // Pipeline plumbing. Two chunk buffers double-buffer between
+    // the decode producer (this thread) and the lane workers: the
+    // producer decodes chunk k+1 while the workers walk chunk k.
+    // Each worker has its own depth-2 ready ring (every worker must
+    // see every chunk, so this is a fan-out of SPSC rings, not one
+    // MPMC queue); the free ring returns a buffer to the producer
+    // once the last shard finished it (the atomic pending count).
+    constexpr unsigned kBuffers = 2;
+    GangChunk bufs[kBuffers];
+    SpscRing<GangChunk *> freeRing(kBuffers);
+    std::vector<std::unique_ptr<SpscRing<GangChunk *>>> ready;
+    ready.reserve(want);
+    for (unsigned s = 0; s < want; ++s)
+        ready.push_back(
+            std::make_unique<SpscRing<GangChunk *>>(kBuffers));
+    for (GangChunk &b : bufs)
+        freeRing.push(&b);
+
+    // The lease joins (and its destructor waits for) every helper
+    // before the rings and buffers above are torn down.
+    std::optional<WorkerLeaseHub::Lease> lease;
+    if (par.hub && want > 0)
+        lease.emplace(*par.hub);
+
+    unsigned g = 0; //!< shard workers granted so far
+
+    auto shard_main = [&](unsigned s) {
+        GangChunk *c = nullptr;
+        while (ready[s]->pop(c)) {
+            auto [lo, hi] = shardLanes(lanes.size(), c->shards, s);
+            try {
+                for (std::size_t i = lo; i < hi; ++i)
+                    walk_lane(lanes[i], *c);
+                if (c->resetStatsAfter)
+                    for (std::size_t i = lo; i < hi; ++i)
+                        reset_lane(lanes[i]);
+            } catch (...) {
+                // Refuse further chunks (the producer's next push
+                // fails, so it stops decoding and closes every
+                // ring), recycle what we already hold so no thread
+                // blocks on a buffer, and surface the error through
+                // the lease.
+                ready[s]->close();
+                GangChunk *dead = c;
+                do {
+                    if (dead->pending.fetch_sub(
+                            1, std::memory_order_acq_rel) == 1)
+                        freeRing.push(dead);
+                } while (ready[s]->pop(dead));
+                throw;
+            }
+            if (c->pending.fetch_sub(1, std::memory_order_acq_rel)
+                == 1)
+                freeRing.push(c);
+        }
+    };
+
+    // Opportunistic growth at a chunk boundary: the hub grants
+    // threads as record jobs finish, so a walk that started solo
+    // picks up lane workers mid-stream. Resharding changes the
+    // lane -> worker map, so it must not overlap in-flight chunks:
+    // holding every buffer is the barrier (all published chunks
+    // walked, all workers idle in pop).
+    auto grow = [&] {
+        if (!lease || g >= want || par.hub->idleThreads() == 0)
+            return;
+        GangChunk *held[kBuffers] = {};
+        for (GangChunk *&h : held)
+            freeRing.pop(h);
+        while (g < want &&
+               lease->launch([&, s = g] { shard_main(s); }))
+            ++g;
+        for (GangChunk *h : held)
+            freeRing.push(h);
+    };
+
+    bool ok = true;
+    auto produce_span = [&](std::uint64_t count, bool reset_after) {
+        while (count > 0 && ok) {
+            grow();
+            GangChunk *c = nullptr;
+            if (g == 0) {
+                // Serial walk: reuse one buffer without ring
+                // round-trips (both buffers stay parked in the free
+                // ring; no worker exists to contend for them).
+                c = &bufs[0];
+            } else {
+                freeRing.pop(c);
+            }
+            const std::size_t n = static_cast<std::size_t>(
+                std::min<std::uint64_t>(chunkEvents, count));
+            count -= n;
+            decode_chunk(*c, n);
+            c->resetStatsAfter = reset_after && count == 0;
+            if (g == 0) {
+                for (Lane &lane : lanes)
+                    walk_lane(lane, *c);
+                if (c->resetStatsAfter)
+                    for (Lane &lane : lanes)
+                        reset_lane(lane);
+                continue;
+            }
+            c->shards = g;
+            c->pending.store(g, std::memory_order_relaxed);
+            for (unsigned s = 0; s < g; ++s) {
+                if (!ready[s]->push(c)) {
+                    // A lane worker failed and closed its ring;
+                    // stop decoding. Chunks it never received keep
+                    // a nonzero pending count and are simply
+                    // abandoned — nobody waits for the free ring
+                    // past this point.
+                    ok = false;
+                    break;
+                }
             }
         }
     };
@@ -736,25 +940,54 @@ replayMany(const L2Stream &stream,
     {
         stats::Timer::Scope scope(
             stats::registry().timer("replay.gang_walk"));
-        replay_span(stream.markerEvents);
-        ldis_assert(dec.victimsDecoded() == stream.markerVictims);
-        if (stream.warmupInstructions > 0) {
-            for (Lane &lane : lanes) {
-                lane.l2->resetStats();
-                lane.sectorMisses = 0;
+
+        // Warmup window: fills caches, then statistics restart
+        // exactly as in runTraceWarm (contents and first-touch
+        // state persist). The reset rides on the window's last
+        // chunk so each shard resets its own lanes in walk order.
+        produce_span(stream.markerEvents,
+                     stream.warmupInstructions > 0);
+        if (ok) {
+            ldis_assert(dec.victimsDecoded() ==
+                        stream.markerVictims);
+            if (stream.warmupInstructions > 0 &&
+                stream.markerEvents == 0) {
+                // No warmup events were recorded, so no chunk could
+                // carry the reset; the lanes are untouched and all
+                // workers idle — reset in line.
+                for (Lane &lane : lanes)
+                    reset_lane(lane);
             }
+            produce_span(stream.numEvents() - stream.markerEvents,
+                         false);
         }
-        replay_span(stream.numEvents() - stream.markerEvents);
+
+        for (auto &r : ready)
+            r->close();
+        if (lease)
+            lease->wait(); // rethrows a failed lane's exception
+        ldis_assert(ok);
         ldis_assert(dec.victimsDecoded() == stream.numVictims());
         ldis_assert(dec.ok());
     }
     double elapsed = secondsSince(start);
+
+    stats::registry().counter("replay.gang_lane_workers").add(g);
 
     if (info) {
         info->configs = l2s.size();
         info->events = stream.numEvents();
         info->streamBytes = stream.packedBytes();
         info->wallSeconds = elapsed;
+        info->laneWorkers = g ? g : 1;
+        info->decodeWallSeconds = decodeWall;
+        info->laneWallSeconds.clear();
+        info->laneWallSeconds.reserve(lanes.size());
+        info->replayWallSeconds = 0.0;
+        for (const Lane &lane : lanes) {
+            info->laneWallSeconds.push_back(lane.wallSeconds);
+            info->replayWallSeconds += lane.wallSeconds;
+        }
     }
 
     std::vector<RunResult> results;

@@ -450,6 +450,19 @@ bool replayEnabled();
  */
 bool gangEnabled();
 
+/**
+ * Thread budget of one gang walk: LDIS_LANES if set and valid
+ * (1..4096), unless overridden by setGangLanes() (ldissim --lanes;
+ * CLI wins over the environment). The walk uses one decode producer
+ * plus up to N-1 lane workers, subject to the lease hub's budget.
+ * @return 0 for "auto" (use whatever pool workers are idle),
+ *         1 for the serial walk, N for at most N threads per walk
+ */
+unsigned gangLanes();
+
+/** Override LDIS_LANES (0 restores the environment/auto value). */
+void setGangLanes(unsigned lanes);
+
 /** Hash of the front-end geometry that shaped a stream. */
 std::uint64_t frontEndParamsKey(const HierarchyParams &params);
 
@@ -477,6 +490,32 @@ struct GangReplayInfo
     std::uint64_t events = 0;      //!< events decoded (once)
     std::uint64_t streamBytes = 0; //!< packed payload walked
     double wallSeconds = 0.0;      //!< whole-walk wall time
+    /** Threads that walked lanes (1 = the serial in-line walk). */
+    unsigned laneWorkers = 1;
+    double decodeWallSeconds = 0.0; //!< producer time in chunk decode
+    /** Summed per-lane model time (overlaps decode when pipelined). */
+    double replayWallSeconds = 0.0;
+    /** Per-lane model wall seconds, in @p l2s order. */
+    std::vector<double> laneWallSeconds;
+};
+
+class WorkerLeaseHub;
+
+/**
+ * Parallelism plumbing for one gang walk. Without a hub the walk is
+ * the serial decode-then-every-lane loop; with one it may lease
+ * helper threads from the hub's budget to pipeline chunk decode
+ * against lane replay and to shard lanes across workers. Results are
+ * bit-identical either way (lane state is thread-private; every lane
+ * sees the same call sequence in the same order).
+ */
+struct GangParallel
+{
+    WorkerLeaseHub *hub = nullptr; //!< lease source; null = serial
+    /** Thread budget of this walk; 0 = gangLanes(). */
+    unsigned lanes = 0;
+    /** Events per decoded chunk; 0 = the default 2M (tests only). */
+    std::size_t chunkEvents = 0;
 };
 
 /**
@@ -487,12 +526,14 @@ struct GangReplayInfo
  * its solo replay would have issued, in stream order. The results'
  * wallSeconds all report the shared walk. @p info, when non-null,
  * receives the walk's observability record (telemetry gang records
- * carry it).
+ * carry it). @p par, when carrying a lease hub, lets the walk run
+ * lane-parallel with decode pipelined ahead of replay.
  */
 std::vector<RunResult>
 replayMany(const L2Stream &stream,
            const std::vector<SecondLevelCache *> &l2s,
-           GangReplayInfo *info = nullptr);
+           GangReplayInfo *info = nullptr,
+           const GangParallel &par = {});
 
 /** Provenance report of one loadOrRecordStream() call. */
 struct StreamLoadInfo

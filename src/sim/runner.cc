@@ -1,5 +1,6 @@
 #include "runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <condition_variable>
@@ -31,12 +32,20 @@ runnerJobs()
     return hw ? hw : 1;
 }
 
+unsigned
+gangThreadBudget(unsigned workers)
+{
+    unsigned lanes = gangLanes();
+    return std::max(workers, lanes ? lanes : workers);
+}
+
 namespace detail
 {
 
 void
 runThunks(const std::vector<std::function<void()>> &thunks,
-          const std::vector<std::size_t> &deps, unsigned workers)
+          const std::vector<std::size_t> &deps, unsigned workers,
+          WorkerLeaseHub *hub)
 {
     std::size_t n = thunks.size();
     ldis_assert(deps.empty() || deps.size() == n);
@@ -49,8 +58,15 @@ runThunks(const std::vector<std::function<void()>> &thunks,
         // Submission order satisfies every dependency (deps point
         // strictly backwards), so the serial path needs no queue —
         // and stays bit-compatible with the pre-dependency runner.
+        // The one busy worker is this thread; a gang walk may still
+        // lease whatever the budget has beyond it (LDIS_JOBS=1
+        // LDIS_LANES=4 runs the walk four-wide).
+        if (hub)
+            hub->setBusyWorkers(1);
         for (const auto &t : thunks)
             t();
+        if (hub)
+            hub->setBusyWorkers(0);
         return;
     }
 
@@ -66,8 +82,19 @@ runThunks(const std::vector<std::function<void()>> &thunks,
     }
 
     std::size_t completed = 0;
+    std::size_t running = 0;
     bool failed = false;
     std::exception_ptr first_error;
+
+    // Busy-worker reporting into the lease hub happens under the
+    // scheduler lock (the hub never calls back into the runner, so
+    // the nested hub lock cannot invert). As jobs finish, the
+    // reported count drops and in-flight gang walks can grow into
+    // the freed capacity at their next chunk boundary.
+    auto report_busy = [&] {
+        if (hub)
+            hub->setBusyWorkers(static_cast<unsigned>(running));
+    };
 
     auto work = [&] {
         std::unique_lock<std::mutex> lock(mutex);
@@ -79,11 +106,15 @@ runThunks(const std::vector<std::function<void()>> &thunks,
                 return;
             std::size_t i = ready.front();
             ready.pop_front();
+            ++running;
+            report_busy();
             lock.unlock();
             try {
                 thunks[i]();
             } catch (...) {
                 lock.lock();
+                --running;
+                report_busy();
                 if (!first_error)
                     first_error = std::current_exception();
                 failed = true;
@@ -91,6 +122,8 @@ runThunks(const std::vector<std::function<void()>> &thunks,
                 return;
             }
             lock.lock();
+            --running;
+            report_busy();
             ++completed;
             for (std::size_t j : dependents[i])
                 ready.push_back(j);
@@ -379,7 +412,7 @@ RunMatrix::addReplayGroup(const std::string &benchmark,
         std::make_shared<std::vector<GangJob>>(std::move(jobs));
     return addGroup(
         group_label, std::move(slot_labels),
-        [holder, lanes, benchmark, group_label] {
+        [this, holder, lanes, benchmark, group_label] {
             StreamHolder::Ref ref(*holder);
             std::shared_ptr<const L2Stream> stream = holder->take();
 
@@ -395,9 +428,15 @@ RunMatrix::addReplayGroup(const std::string &benchmark,
                 caches.push_back(instances.back().cache.get());
             }
 
+            // Lease lane workers from the run's hub: the walk goes
+            // wide when workers are idle and stays serial when the
+            // pool is saturated, never exceeding the thread budget.
+            GangParallel par;
+            par.hub = leaseHub();
+
             GangReplayInfo info;
             std::vector<RunResult> rs =
-                replayMany(*stream, caches, &info);
+                replayMany(*stream, caches, &info, par);
             for (std::size_t k = 0; k < rs.size(); ++k) {
                 rs[k].streamSource = holder->fromDiskCache
                     ? "disk-cache"
@@ -406,10 +445,7 @@ RunMatrix::addReplayGroup(const std::string &benchmark,
                 if (job.finish)
                     job.finish(*caches[k], rs[k]);
             }
-            telemetry::emitGang(group_label, benchmark,
-                                info.configs, info.events,
-                                info.streamBytes,
-                                info.wallSeconds);
+            telemetry::emitGang(group_label, benchmark, info);
             return rs;
         },
         holder->setupHandle);

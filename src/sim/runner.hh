@@ -27,6 +27,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "common/workshare.hh"
 #include "sim/experiment.hh"
 #include "sim/telemetry.hh"
 
@@ -38,6 +39,15 @@ namespace ldis
  * otherwise std::thread::hardware_concurrency() (minimum 1).
  */
 unsigned runnerJobs();
+
+/**
+ * Thread budget of one matrix run: enough for the pool workers, or
+ * for one gang walk's lane threads (gangLanes()), whichever is
+ * larger. The lease hub keeps pool jobs and leased lane helpers
+ * within this budget combined, so LDIS_JOBS x LDIS_LANES never
+ * oversubscribes the host.
+ */
+unsigned gangThreadBudget(unsigned workers);
 
 /** Observability record for one completed job. */
 struct JobTiming
@@ -63,11 +73,13 @@ namespace detail
  * completed, while independent thunks keep every worker busy.
  * Serial when workers <= 1, running in submission order (which
  * satisfies every dependency by construction). Rethrows the first
- * job exception after all threads joined.
+ * job exception after all threads joined. @p hub, when non-null, is
+ * kept informed of the number of busy workers so gang walks can
+ * lease exactly the capacity the pool is not using.
  */
 void runThunks(const std::vector<std::function<void()>> &thunks,
                const std::vector<std::size_t> &deps,
-               unsigned workers);
+               unsigned workers, WorkerLeaseHub *hub = nullptr);
 
 } // namespace detail
 
@@ -166,12 +178,26 @@ class RunMatrixT
         slots.assign(numResults, Result{});
         jobTimes.assign(entries.size(), JobTiming{});
 
+        // The run's lease hub: gang walks borrow idle capacity from
+        // it (see addReplayGroup), and runThunks reports busy
+        // workers into it. Declared before the Progress/scope
+        // objects below so everything that references it dies
+        // first.
+        WorkerLeaseHub hub(gangThreadBudget(workerCount));
+        hubPtr = &hub;
+        struct HubScope
+        {
+            RunMatrixT *m;
+            ~HubScope() { m->hubPtr = nullptr; }
+        } hub_scope{this};
+
         // Observability: live progress to stderr while the matrix
         // runs, one JSONL record per finished job, and a wall-time
         // histogram in the stat registry. All of it early-outs when
         // the respective sink is off, so a plain run stays
         // bit-identical and allocation-pattern-identical.
-        telemetry::Progress progress(entries.size());
+        telemetry::Progress progress(entries.size(), workerCount,
+                                     &hub);
         stats::Histogram &wall_hist =
             stats::registry().histogram("runner.job_wall_ms");
 
@@ -249,7 +275,7 @@ class RunMatrixT
         }
 
         auto t0 = clock::now();
-        detail::runThunks(thunks, deps, workerCount);
+        detail::runThunks(thunks, deps, workerCount, &hub);
         matrixWall =
             std::chrono::duration<double>(clock::now() - t0).count();
         telemetry::emitMatrixSummary(numResults, workerCount,
@@ -270,6 +296,13 @@ class RunMatrixT
     std::size_t size() const { return numResults; }
 
     unsigned workers() const { return workerCount; }
+
+    /**
+     * The lease hub of the run() in progress (null outside run()).
+     * Jobs that can use extra threads — the gang replay walk —
+     * lease them from here instead of spawning their own.
+     */
+    WorkerLeaseHub *leaseHub() const { return hubPtr; }
 
     /** Wall-clock seconds of the whole run() call. */
     double wallSeconds() const { return matrixWall; }
@@ -310,6 +343,7 @@ class RunMatrixT
     };
 
     unsigned workerCount;
+    WorkerLeaseHub *hubPtr = nullptr;
     std::vector<Entry> entries;
     std::size_t numResults = 0;
     std::vector<Result> slots;

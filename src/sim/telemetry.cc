@@ -10,6 +10,8 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "common/workshare.hh"
+#include "sim/replay.hh"
 
 namespace ldis
 {
@@ -235,31 +237,44 @@ emitSetup(const std::string &label, double wall_seconds,
 
 void
 emitGang(const std::string &label, const std::string &benchmark,
-         std::size_t configs, std::uint64_t events,
-         std::uint64_t stream_bytes, double wall_seconds)
+         const GangReplayInfo &info)
 {
     if (!enabled())
         return;
     JsonWriter j;
     beginRecord(j, "gang", label);
     j.field("benchmark", benchmark);
-    j.field("configs", static_cast<std::uint64_t>(configs));
-    j.field("events", events);
-    j.field("stream_bytes", stream_bytes);
+    j.field("configs", static_cast<std::uint64_t>(info.configs));
+    j.field("events", info.events);
+    j.field("stream_bytes", info.streamBytes);
     j.field("bytes_per_event",
-            events > 0 ? static_cast<double>(stream_bytes) /
-                             static_cast<double>(events)
-                       : 0.0);
-    j.field("wall_seconds", wall_seconds);
+            info.events > 0
+                ? static_cast<double>(info.streamBytes) /
+                      static_cast<double>(info.events)
+                : 0.0);
+    j.field("wall_seconds", info.wallSeconds);
     j.field("decode_events_per_sec",
-            wall_seconds > 0.0
-                ? static_cast<double>(events) / wall_seconds
+            info.wallSeconds > 0.0
+                ? static_cast<double>(info.events) /
+                      info.wallSeconds
                 : 0.0);
     j.field("dispatch_events_per_sec",
-            wall_seconds > 0.0
-                ? static_cast<double>(events) *
-                      static_cast<double>(configs) / wall_seconds
+            info.wallSeconds > 0.0
+                ? static_cast<double>(info.events) *
+                      static_cast<double>(info.configs) /
+                      info.wallSeconds
                 : 0.0);
+    // Schema v2: the walk's lane-parallelism block. decode and
+    // replay wall overlap when the walk pipelined, so they do not
+    // sum to wall_seconds.
+    j.field("lanes",
+            static_cast<std::uint64_t>(info.laneWorkers));
+    j.field("decode_wall_ms", info.decodeWallSeconds * 1e3);
+    j.field("replay_wall_ms", info.replayWallSeconds * 1e3);
+    j.beginArray("lane_wall_ms");
+    for (double s : info.laneWallSeconds)
+        j.value(s * 1e3);
+    j.endArray();
     j.endObject();
     emitLine(j);
 }
@@ -294,8 +309,30 @@ progressEnabled()
     return on;
 }
 
-Progress::Progress(std::size_t total_jobs)
+double
+etaSeconds(double mean_job_seconds, std::size_t remaining,
+           std::size_t in_flight, unsigned workers)
+{
+    if (mean_job_seconds <= 0.0 || remaining + in_flight == 0)
+        return 0.0;
+    // Remaining serial-equivalent work: every unstarted job at full
+    // cost, every in-flight job at half (we do not know how far
+    // along it is). Spread over the workers that can still be kept
+    // busy — a tail of 2 jobs on 8 workers drains at 2-wide, not
+    // 8-wide.
+    double work = mean_job_seconds *
+                  (static_cast<double>(remaining) +
+                   static_cast<double>(in_flight) * 0.5);
+    std::size_t usable = remaining + in_flight;
+    if (workers < usable)
+        usable = workers ? workers : 1;
+    return work / static_cast<double>(usable);
+}
+
+Progress::Progress(std::size_t total_jobs, unsigned workers,
+                   const WorkerLeaseHub *lease_hub)
     : active(progressEnabled() && total_jobs > 0), total(total_jobs),
+      workerCount(workers ? workers : 1), hub(lease_hub),
       begin(std::chrono::steady_clock::now())
 {}
 
@@ -320,13 +357,15 @@ Progress::finished(std::size_t index, const std::string &label,
     std::lock_guard<std::mutex> lock(mutex);
     inFlight.erase(index);
     ++done;
+    doneSeconds += wall_seconds;
 
-    double elapsed =
-        std::chrono::duration<double>(now - begin).count();
-    double eta = done > 0
-        ? elapsed / static_cast<double>(done) *
-              static_cast<double>(total - done)
-        : 0.0;
+    // Mean finished-job cost over the remaining work, divided by
+    // the pool worker count (NOT the wall-elapsed rate: that would
+    // credit a leasing gang walk's extra lane helpers to every
+    // remaining job and swing the estimate as leases come and go).
+    double mean = doneSeconds / static_cast<double>(done);
+    double eta = etaSeconds(mean, total - done - inFlight.size(),
+                            inFlight.size(), workerCount);
 
     std::string slowest;
     double slowest_age = 0.0;
@@ -348,6 +387,12 @@ Progress::finished(std::size_t index, const std::string &label,
         line += " | in flight: " + slowest + " (" +
                 Table::num(slowest_age, 1) + " s)";
     }
+    // A slow-looking in-flight gang walk may be slow precisely
+    // because it leased the idle workers; make that visible rather
+    // than leaving the line to suggest a stuck pool.
+    unsigned leased = hub ? hub->activeHelpers() : 0;
+    if (leased > 0)
+        line += " | leased lane workers: " + std::to_string(leased);
     std::fprintf(stderr, "%s\n", line.c_str());
 }
 

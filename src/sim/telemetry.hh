@@ -12,8 +12,10 @@
  * logs per (label, benchmark, config) cell, which is what turns a
  * perf PR's "before/after" claim into a checked artifact.
  *
- * Record schema (schema = 1):
- *   {"schema":1, "kind":"run",
+ * Record schema (schema = 2; v2 adds the gang records' lane
+ * parallelism block — lanes, decode_wall_ms, replay_wall_ms,
+ * lane_wall_ms — everything else is unchanged from v1):
+ *   {"schema":2, "kind":"run",
  *    "experiment":"fig06_mpki", "label":"mcf/LDIS-MT-RC",
  *    "unix_time":…, "host":{"name":…, "hw_threads":…},
  *    "stream_source":"record|disk-cache|direct|none",
@@ -22,7 +24,8 @@
  *   kind "setup":  a front-end recording job (label, timing only)
  *   kind "gang":   one shared gang-replay walk (configs per walk,
  *                  events, packed bytes, decode and dispatch
- *                  throughput)
+ *                  throughput, lane workers, decode vs replay wall
+ *                  and the per-lane wall breakdown)
  *   kind "matrix": jobs/workers/wall/cumulative + "stats" snapshot
  *
  * With no sink configured every entry point is a cheap early-out
@@ -47,11 +50,15 @@
 
 namespace ldis
 {
+
+struct GangReplayInfo;
+class WorkerLeaseHub;
+
 namespace telemetry
 {
 
 /** Telemetry record schema version (bump on breaking changes). */
-inline constexpr std::uint64_t kSchemaVersion = 1;
+inline constexpr std::uint64_t kSchemaVersion = 2;
 
 /**
  * True iff a JSONL sink is configured. The first call latches
@@ -85,14 +92,15 @@ void emitSetup(const std::string &label, double wall_seconds,
 /**
  * Append one record for a completed gang replay walk (kind "gang"):
  * how many configs shared the walk, the decoded event count and
- * packed payload size, and the derived decode / dispatch
- * throughputs (events per second through the shared decoder, and
- * events x configs per second into the L2s).
+ * packed payload size, the derived decode / dispatch throughputs
+ * (events per second through the shared decoder, and events x
+ * configs per second into the L2s), plus the walk's parallelism
+ * block — lane workers, decode vs summed replay wall, and the
+ * per-lane wall breakdown.
  */
 void emitGang(const std::string &label,
-              const std::string &benchmark, std::size_t configs,
-              std::uint64_t events, std::uint64_t stream_bytes,
-              double wall_seconds);
+              const std::string &benchmark,
+              const GangReplayInfo &info);
 
 /**
  * Append the end-of-matrix summary record, including the
@@ -106,15 +114,30 @@ void emitMatrixSummary(std::size_t jobs, unsigned workers,
 bool progressEnabled();
 
 /**
+ * ETA for a matrix in progress: the remaining serial-equivalent
+ * work (mean finished-job cost times the jobs left, counting
+ * in-flight jobs as half done) spread over the workers that can
+ * still be applied to it. Deliberately a function of per-job costs
+ * and the pool worker count only: a gang walk that leases extra
+ * lane helpers speeds its own job's wall time up — which the mean
+ * already reflects — without inflating the apparent worker count,
+ * so leasing cannot skew the estimate. Pure (and tested) helper.
+ */
+double etaSeconds(double mean_job_seconds, std::size_t remaining,
+                  std::size_t in_flight, unsigned workers);
+
+/**
  * Live progress for one matrix run: completion counter, ETA from
- * the mean finished-job cost over the remaining jobs, and the
- * longest-running in-flight job. All methods are thread-safe and
- * no-ops when progress is disabled.
+ * etaSeconds() over the finished-job mean, and the longest-running
+ * in-flight job (annotated with the lease hub's currently granted
+ * lane helpers, when any). All methods are thread-safe and no-ops
+ * when progress is disabled.
  */
 class Progress
 {
   public:
-    explicit Progress(std::size_t total_jobs);
+    explicit Progress(std::size_t total_jobs, unsigned workers = 1,
+                      const WorkerLeaseHub *lease_hub = nullptr);
 
     /** A worker picked up job @p label. */
     void started(std::size_t index, const std::string &label);
@@ -126,7 +149,10 @@ class Progress
   private:
     bool active;
     std::size_t total;
+    unsigned workerCount;
+    const WorkerLeaseHub *hub;
     std::size_t done = 0;
+    double doneSeconds = 0.0; //!< summed finished-job wall time
     std::chrono::steady_clock::time_point begin;
     std::mutex mutex;
     /** index -> (label, start time) of jobs currently running. */

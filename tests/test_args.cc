@@ -132,6 +132,63 @@ TEST(ArgParser, MaxUintStillParses)
     EXPECT_TRUE(p.ok());
 }
 
+TEST(ArgParser, UintInRangeAcceptsBoundaries)
+{
+    ArgParser p = makeParser();
+    ASSERT_TRUE(parseArgs(p, {"--instructions", "1"}));
+    EXPECT_EQ(p.getUintInRange("instructions", 1, 4096), 1u);
+    EXPECT_TRUE(p.ok());
+
+    ArgParser q = makeParser();
+    ASSERT_TRUE(parseArgs(q, {"--instructions", "4096"}));
+    EXPECT_EQ(q.getUintInRange("instructions", 1, 4096), 4096u);
+    EXPECT_TRUE(q.ok());
+}
+
+TEST(ArgParser, UintBelowRangeIsAnError)
+{
+    ArgParser p = makeParser();
+    ASSERT_TRUE(parseArgs(p, {"--instructions", "0"}));
+    // Returns lo so callers always hold a legal value.
+    EXPECT_EQ(p.getUintInRange("instructions", 1, 4096), 1u);
+    EXPECT_FALSE(p.ok());
+    EXPECT_NE(p.error().find("[1, 4096]"), std::string::npos);
+}
+
+TEST(ArgParser, UintAboveRangeIsAnError)
+{
+    ArgParser p = makeParser();
+    ASSERT_TRUE(parseArgs(p, {"--instructions", "4097"}));
+    EXPECT_EQ(p.getUintInRange("instructions", 1, 4096), 1u);
+    EXPECT_FALSE(p.ok());
+    EXPECT_NE(p.error().find("[1, 4096]"), std::string::npos);
+}
+
+TEST(ArgParser, UintInRangePreservesUnderlyingParseErrors)
+{
+    // Negative, malformed and overflowing input keep getUint()'s
+    // message, not a misleading range complaint.
+    ArgParser p = makeParser();
+    ASSERT_TRUE(parseArgs(p, {"--instructions", "-3"}));
+    EXPECT_EQ(p.getUintInRange("instructions", 1, 4096), 1u);
+    EXPECT_FALSE(p.ok());
+    EXPECT_NE(p.error().find("non-negative"), std::string::npos);
+
+    ArgParser q = makeParser();
+    ASSERT_TRUE(parseArgs(q, {"--instructions", "many"}));
+    EXPECT_EQ(q.getUintInRange("instructions", 1, 4096), 1u);
+    EXPECT_FALSE(q.ok());
+    EXPECT_NE(q.error().find("expects an integer"),
+              std::string::npos);
+
+    ArgParser r = makeParser();
+    ASSERT_TRUE(
+        parseArgs(r, {"--instructions", "99999999999999999999"}));
+    EXPECT_EQ(r.getUintInRange("instructions", 1, 4096), 1u);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("out of range"), std::string::npos);
+}
+
 TEST(ArgParser, OverflowingDoubleIsAnError)
 {
     ArgParser p = makeParser();

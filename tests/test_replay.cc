@@ -11,10 +11,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <sys/stat.h>
 #include <vector>
 
+#include "cache/l2_interface.hh"
+#include "common/workshare.hh"
 #include "sim/replay.hh"
 #include "trace/benchmarks.hh"
 #include "trace/trace_file.hh"
@@ -230,6 +233,124 @@ TEST(Replay, GangOfOneMatchesSolo)
 }
 
 /**
+ * The tentpole contract: lane-parallel, decode-pipelined walks are
+ * bit-identical to the solo replay for every lane count — fewer
+ * helpers than lanes, an exact split, an odd split, and far more
+ * lanes than configs. A tiny chunk size forces many chunks through
+ * the double-buffered pipeline (including the warmup-reset chunk).
+ */
+TEST(Replay, LaneGridMatchesSoloAcrossChunks)
+{
+    const std::vector<ConfigKind> kinds = {
+        ConfigKind::Baseline1MB,
+        ConfigKind::LdisMTRC,
+        ConfigKind::Fac4xTags,
+    };
+    auto workload = makeBenchmark("art", 1);
+    L2Stream stream = recordStream(*workload, 1, 50'000, 500'000);
+
+    std::vector<RunResult> expected;
+    for (ConfigKind kind : kinds) {
+        L2Instance solo = makeConfig(kind, stream.values);
+        expected.push_back(replayStream(stream, *solo.cache));
+    }
+
+    for (unsigned lanes : {1u, 2u, 3u, 5u, 32u}) {
+        SCOPED_TRACE("lanes=" + std::to_string(lanes));
+        std::vector<L2Instance> gang;
+        std::vector<SecondLevelCache *> caches;
+        for (ConfigKind kind : kinds) {
+            gang.push_back(makeConfig(kind, stream.values));
+            caches.push_back(gang.back().cache.get());
+        }
+        WorkerLeaseHub hub(16);
+        GangReplayInfo info;
+        GangParallel par;
+        par.hub = &hub;
+        par.lanes = lanes;
+        par.chunkEvents = 4096;
+        std::vector<RunResult> ganged =
+            replayMany(stream, caches, &info, par);
+        ASSERT_EQ(ganged.size(), kinds.size());
+        for (std::size_t i = 0; i < kinds.size(); ++i) {
+            SCOPED_TRACE(configName(kinds[i]));
+            expectSameRun(expected[i], ganged[i]);
+        }
+        // All leased helpers were returned by the time the walk
+        // finished, and the telemetry block is populated.
+        EXPECT_EQ(hub.activeHelpers(), 0u);
+        EXPECT_GE(info.laneWorkers, 1u);
+        EXPECT_LE(info.laneWorkers, lanes);
+        EXPECT_EQ(info.laneWallSeconds.size(), kinds.size());
+        EXPECT_GT(info.replayWallSeconds, 0.0);
+    }
+}
+
+/** An L2 stub that fails partway through the replay. */
+class ThrowingL2 : public SecondLevelCache
+{
+  public:
+    explicit ThrowingL2(std::uint64_t throw_after)
+        : throwAfter(throw_after)
+    {}
+
+    L2Result
+    access(Addr, bool, Addr, bool) override
+    {
+        if (++counters.accesses >= throwAfter)
+            throw std::runtime_error("injected lane failure");
+        return L2Result{};
+    }
+
+    void l1dEviction(LineAddr, Footprint, Footprint) override {}
+    const L2Stats &stats() const override { return counters; }
+    void resetStats() override { counters = L2Stats{}; }
+    std::string describe() const override { return "throwing"; }
+
+  private:
+    std::uint64_t throwAfter;
+    L2Stats counters;
+};
+
+/**
+ * A lane throwing mid-chunk aborts the whole walk cleanly: the
+ * producer stops decoding, replayMany() rethrows the lane's error,
+ * and no leased helper is left running (so the hub can be reused).
+ */
+TEST(Replay, ThrowingLaneSurfacesErrorWithoutLeakingLeases)
+{
+    auto workload = makeBenchmark("art", 1);
+    L2Stream stream = recordStream(*workload, 1, 0, 300'000);
+
+    L2Instance good = makeConfig(ConfigKind::Baseline1MB,
+                                 stream.values);
+    ThrowingL2 bad(100);
+    L2Instance good2 = makeConfig(ConfigKind::LdisMTRC,
+                                  stream.values);
+
+    WorkerLeaseHub hub(8);
+    GangParallel par;
+    par.hub = &hub;
+    par.lanes = 3;
+    par.chunkEvents = 4096;
+    EXPECT_THROW(replayMany(stream,
+                            {good.cache.get(), &bad,
+                             good2.cache.get()},
+                            nullptr, par),
+                 std::runtime_error);
+    EXPECT_EQ(hub.activeHelpers(), 0u);
+
+    // The hub survives for the next walk.
+    L2Instance retry = makeConfig(ConfigKind::Baseline1MB,
+                                  stream.values);
+    std::vector<RunResult> ganged =
+        replayMany(stream, {retry.cache.get()}, nullptr, par);
+    L2Instance solo = makeConfig(ConfigKind::Baseline1MB,
+                                 stream.values);
+    expectSameRun(replayStream(stream, *solo.cache), ganged[0]);
+}
+
+/**
  * Streams written in the legacy LDS1 layout still load: the reader
  * transcodes to the packed in-memory form, which re-encodes to the
  * exact bytes the LDS2 writer would have produced.
@@ -409,6 +530,32 @@ TEST(Replay, GangEnabledUnlessEnvZero)
     EXPECT_TRUE(gangEnabled());
     ASSERT_EQ(::unsetenv("LDIS_GANG"), 0);
     EXPECT_TRUE(gangEnabled());
+}
+
+TEST(Replay, LanesEnvParsedWithinRangeAndOverridable)
+{
+    setGangLanes(0);
+    ASSERT_EQ(::setenv("LDIS_LANES", "4", 1), 0);
+    EXPECT_EQ(gangLanes(), 4u);
+    ASSERT_EQ(::setenv("LDIS_LANES", "4096", 1), 0);
+    EXPECT_EQ(gangLanes(), 4096u);
+    // Malformed, zero and out-of-range values fall back to auto.
+    ASSERT_EQ(::setenv("LDIS_LANES", "0", 1), 0);
+    EXPECT_EQ(gangLanes(), 0u);
+    ASSERT_EQ(::setenv("LDIS_LANES", "4097", 1), 0);
+    EXPECT_EQ(gangLanes(), 0u);
+    ASSERT_EQ(::setenv("LDIS_LANES", "-3", 1), 0);
+    EXPECT_EQ(gangLanes(), 0u);
+    ASSERT_EQ(::setenv("LDIS_LANES", "two", 1), 0);
+    EXPECT_EQ(gangLanes(), 0u);
+    // The CLI override (ldissim --lanes) beats the environment.
+    ASSERT_EQ(::setenv("LDIS_LANES", "3", 1), 0);
+    setGangLanes(7);
+    EXPECT_EQ(gangLanes(), 7u);
+    setGangLanes(0);
+    EXPECT_EQ(gangLanes(), 3u);
+    ASSERT_EQ(::unsetenv("LDIS_LANES"), 0);
+    EXPECT_EQ(gangLanes(), 0u);
 }
 
 } // namespace

@@ -527,6 +527,56 @@ TEST(Runner, GroupRunsAfterItsSetupDependency)
     EXPECT_EQ(results[1].instructions, 7u);
 }
 
+TEST(Runner, ReplayGroupMatchesSerialUnderJobsLanesGrid)
+{
+    // Lane-parallel walks inside a parallel matrix: every jobs x
+    // lanes combination must reproduce the serial loop bit-for-bit.
+    std::vector<RunResult> serial = serialReference();
+    for (const char *jobs : {"1", "4"}) {
+        for (const char *lanes : {"1", "2", "4"}) {
+            SCOPED_TRACE(std::string("LDIS_JOBS=") + jobs +
+                         " LDIS_LANES=" + lanes);
+            ::setenv("LDIS_LANES", lanes, 1);
+            std::vector<RunResult> matrix =
+                groupMatrixUnderJobs(jobs);
+            ::unsetenv("LDIS_LANES");
+            ASSERT_EQ(matrix.size(), serial.size());
+            for (std::size_t i = 0; i < serial.size(); ++i)
+                expectSameRun(matrix[i], serial[i]);
+        }
+    }
+}
+
+TEST(Runner, GangThreadBudgetCoversWorkersAndLanes)
+{
+    // Auto lanes: the walk borrows only idle pool workers, so the
+    // pool size is the whole budget.
+    setGangLanes(0);
+    ::unsetenv("LDIS_LANES");
+    EXPECT_EQ(gangThreadBudget(4), 4u);
+    // An explicit lane count may exceed the pool (LDIS_JOBS=1
+    // LDIS_LANES=4 must still parallelize the walk)...
+    ::setenv("LDIS_LANES", "4", 1);
+    EXPECT_EQ(gangThreadBudget(1), 4u);
+    // ...but never shrinks the budget below the pool.
+    EXPECT_EQ(gangThreadBudget(8), 8u);
+    ::unsetenv("LDIS_LANES");
+}
+
+TEST(Runner, LeaseHubScopedToMatrixRun)
+{
+    // The hub only exists while run() executes: leases cannot leak
+    // past the matrix, and back-to-back runs get fresh hubs.
+    RunMatrix matrix(2);
+    EXPECT_EQ(matrix.leaseHub(), nullptr);
+    ::setenv("LDIS_LANES", "4", 1);
+    matrix.addReplayGroup("art", {kConfigs[0], kConfigs[1]},
+                          kInstructions);
+    matrix.run();
+    ::unsetenv("LDIS_LANES");
+    EXPECT_EQ(matrix.leaseHub(), nullptr);
+}
+
 TEST(Runner, CustomReplayClosureMatchesDirect)
 {
     auto job = [](ReplaySource &src) {

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/replay.hh"
 #include "sim/runner.hh"
 #include "sim/telemetry.hh"
 
@@ -83,7 +84,7 @@ TEST(Telemetry, EmitJobWritesOneSchemaVersionedRecord)
     std::vector<std::string> lines = readLines(path);
     ASSERT_EQ(lines.size(), 1u);
     const std::string &rec = lines[0];
-    EXPECT_NE(rec.find("\"schema\":1"), std::string::npos) << rec;
+    EXPECT_NE(rec.find("\"schema\":2"), std::string::npos) << rec;
     EXPECT_NE(rec.find("\"kind\":\"run\""), std::string::npos);
     EXPECT_NE(rec.find("\"experiment\":\"test_telemetry\""),
               std::string::npos);
@@ -129,7 +130,7 @@ TEST(Telemetry, MatrixRunEmitsOneRecordPerJobPlusSummary)
     ASSERT_EQ(lines.size(), 3u);
     std::size_t runs = 0, matrices = 0;
     for (const std::string &rec : lines) {
-        EXPECT_NE(rec.find("\"schema\":1"), std::string::npos);
+        EXPECT_NE(rec.find("\"schema\":2"), std::string::npos);
         if (rec.find("\"kind\":\"run\"") != std::string::npos)
             ++runs;
         if (rec.find("\"kind\":\"matrix\"") != std::string::npos)
@@ -169,6 +170,58 @@ TEST(Telemetry, ReplayMatrixRecordsSetupAndProvenance)
     EXPECT_EQ(setups, 1u);
     EXPECT_EQ(records, 2u);
     std::remove(path.c_str());
+}
+
+TEST(Telemetry, GangRecordsCarryLaneParallelismBlock)
+{
+    std::string path = tempPath("gang");
+    std::remove(path.c_str());
+    SinkGuard guard(path);
+    telemetry::setExperiment("test_telemetry");
+
+    GangReplayInfo info;
+    info.configs = 3;
+    info.events = 1000;
+    info.streamBytes = 9000;
+    info.wallSeconds = 2.0;
+    info.laneWorkers = 2;
+    info.decodeWallSeconds = 0.5;
+    info.replayWallSeconds = 3.0;
+    info.laneWallSeconds = {1.0, 2.0};
+    telemetry::emitGang("fig06", "mcf", info);
+
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_EQ(lines.size(), 1u);
+    const std::string &rec = lines[0];
+    EXPECT_NE(rec.find("\"schema\":2"), std::string::npos) << rec;
+    EXPECT_NE(rec.find("\"kind\":\"gang\""), std::string::npos);
+    EXPECT_NE(rec.find("\"configs\":3"), std::string::npos);
+    EXPECT_NE(rec.find("\"lanes\":2"), std::string::npos) << rec;
+    EXPECT_NE(rec.find("\"decode_wall_ms\":500"), std::string::npos)
+        << rec;
+    EXPECT_NE(rec.find("\"replay_wall_ms\":3000"), std::string::npos)
+        << rec;
+    EXPECT_NE(rec.find("\"lane_wall_ms\":[1000,2000]"),
+              std::string::npos)
+        << rec;
+    std::remove(path.c_str());
+}
+
+TEST(Telemetry, EtaSpreadsRemainingWorkOverPoolWorkers)
+{
+    using telemetry::etaSeconds;
+    // No finished-job mean or no work left -> no estimate.
+    EXPECT_EQ(etaSeconds(0.0, 5, 1, 4), 0.0);
+    EXPECT_EQ(etaSeconds(2.0, 0, 0, 4), 0.0);
+    // Serial pool: remaining at full cost, in-flight at half.
+    EXPECT_DOUBLE_EQ(etaSeconds(2.0, 3, 0, 1), 6.0);
+    EXPECT_DOUBLE_EQ(etaSeconds(2.0, 3, 1, 1), 7.0);
+    // Wide pool: work spreads across workers...
+    EXPECT_DOUBLE_EQ(etaSeconds(2.0, 8, 0, 4), 4.0);
+    // ...but a short tail drains only as wide as the jobs left.
+    EXPECT_DOUBLE_EQ(etaSeconds(2.0, 2, 0, 8), 2.0);
+    // A degenerate zero-worker pool never divides by zero.
+    EXPECT_DOUBLE_EQ(etaSeconds(2.0, 1, 0, 0), 2.0);
 }
 
 TEST(Telemetry, IpcJobsEmitIpcRecords)

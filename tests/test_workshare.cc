@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the gang walk's concurrency primitives: the bounded
+ * SpscRing used by the decode-prefetch pipeline, and the
+ * WorkerLeaseHub thread-budget accountant that lets walker jobs
+ * borrow idle RunMatrix pool workers without oversubscribing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/spsc.hh"
+#include "common/workshare.hh"
+
+namespace ldis
+{
+namespace
+{
+
+using namespace std::chrono_literals;
+
+TEST(SpscRing, FifoWithinCapacity)
+{
+    SpscRing<int> ring(4);
+    EXPECT_EQ(ring.capacity(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(ring.push(i));
+    EXPECT_EQ(ring.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        int v = -1;
+        EXPECT_TRUE(ring.pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(SpscRing, ProducerFasterThanConsumer)
+{
+    // A tiny ring forces the producer to block on every push; the
+    // consumer deliberately lags. Order and count must survive.
+    SpscRing<int> ring(2);
+    constexpr int kItems = 500;
+    std::thread producer([&] {
+        for (int i = 0; i < kItems; ++i)
+            ASSERT_TRUE(ring.push(i));
+        ring.close();
+    });
+    int v = -1, expect = 0;
+    while (ring.pop(v)) {
+        EXPECT_EQ(v, expect++);
+        if (expect % 64 == 0)
+            std::this_thread::sleep_for(1ms);
+    }
+    producer.join();
+    EXPECT_EQ(expect, kItems);
+}
+
+TEST(SpscRing, ConsumerFasterThanProducer)
+{
+    // The consumer starts first and blocks on the empty ring; the
+    // producer trickles items in.
+    SpscRing<int> ring(8);
+    constexpr int kItems = 100;
+    std::thread consumer([&] {
+        int v = -1, expect = 0;
+        while (ring.pop(v))
+            EXPECT_EQ(v, expect++);
+        EXPECT_EQ(expect, kItems);
+    });
+    for (int i = 0; i < kItems; ++i) {
+        ASSERT_TRUE(ring.push(i));
+        if (i % 16 == 0)
+            std::this_thread::sleep_for(1ms);
+    }
+    ring.close();
+    consumer.join();
+}
+
+TEST(SpscRing, CloseDrainsThenSignalsEnd)
+{
+    SpscRing<int> ring(4);
+    EXPECT_TRUE(ring.push(1));
+    EXPECT_TRUE(ring.push(2));
+    ring.close();
+    EXPECT_TRUE(ring.closed());
+    int v = -1;
+    EXPECT_TRUE(ring.pop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(ring.pop(v));
+    EXPECT_EQ(v, 2);
+    EXPECT_FALSE(ring.pop(v));
+    // Pushing into a closed ring is refused, not silently dropped.
+    EXPECT_FALSE(ring.push(3));
+}
+
+TEST(SpscRing, CloseWakesBlockedProducer)
+{
+    SpscRing<int> ring(1);
+    ASSERT_TRUE(ring.push(0));
+    std::atomic<bool> pushed{true};
+    std::thread producer([&] { pushed = ring.push(1); });
+    // Give the producer time to block on the full ring, then close.
+    std::this_thread::sleep_for(5ms);
+    ring.close();
+    producer.join();
+    EXPECT_FALSE(pushed);
+}
+
+TEST(SpscRing, CloseWakesBlockedConsumer)
+{
+    SpscRing<int> ring(1);
+    std::atomic<bool> popped{true};
+    std::thread consumer([&] {
+        int v = -1;
+        popped = ring.pop(v);
+    });
+    std::this_thread::sleep_for(5ms);
+    ring.close();
+    consumer.join();
+    EXPECT_FALSE(popped);
+}
+
+/** A latch the test can hold helper tasks on. */
+struct Gate
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool open = false;
+
+    void
+    release()
+    {
+        std::lock_guard<std::mutex> lock(m);
+        open = true;
+        cv.notify_all();
+    }
+
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return open; });
+    }
+};
+
+TEST(WorkerLeaseHub, GrantsOnlyWithinBudget)
+{
+    WorkerLeaseHub hub(4);
+    hub.setBusyWorkers(2);
+    EXPECT_EQ(hub.threadBudget(), 4u);
+    EXPECT_EQ(hub.idleThreads(), 2u);
+
+    Gate gate;
+    WorkerLeaseHub::Lease lease(hub);
+    EXPECT_TRUE(lease.launch([&] { gate.wait(); }));
+    EXPECT_TRUE(lease.launch([&] { gate.wait(); }));
+    // busy(2) + active(2) == budget(4): the next ask is denied.
+    EXPECT_FALSE(lease.launch([&] { gate.wait(); }));
+    EXPECT_EQ(lease.size(), 2u);
+    gate.release();
+    lease.wait();
+    EXPECT_EQ(hub.activeHelpers(), 0u);
+}
+
+TEST(WorkerLeaseHub, BusyWorkersReclaimAndReleaseBudget)
+{
+    WorkerLeaseHub hub(2);
+    hub.setBusyWorkers(2);
+    WorkerLeaseHub::Lease lease(hub);
+    // No idle workers -> the lease API degrades to serial.
+    EXPECT_FALSE(lease.launch([] {}));
+    // A record job finishing frees one worker for lane duty.
+    hub.setBusyWorkers(1);
+    Gate gate;
+    EXPECT_TRUE(lease.launch([&] { gate.wait(); }));
+    EXPECT_FALSE(lease.launch([&] { gate.wait(); }));
+    gate.release();
+    lease.wait();
+    EXPECT_EQ(hub.activeHelpers(), 0u);
+}
+
+TEST(WorkerLeaseHub, HelpersAreReusedAcrossLeases)
+{
+    WorkerLeaseHub hub(2);
+    hub.setBusyWorkers(1);
+    for (int round = 0; round < 8; ++round) {
+        WorkerLeaseHub::Lease lease(hub);
+        std::atomic<int> ran{0};
+        ASSERT_TRUE(lease.launch([&] { ++ran; }));
+        lease.wait();
+        EXPECT_EQ(ran.load(), 1);
+        EXPECT_EQ(hub.activeHelpers(), 0u);
+    }
+}
+
+TEST(WorkerLeaseHub, WaitRethrowsFirstHelperError)
+{
+    WorkerLeaseHub hub(4);
+    hub.setBusyWorkers(1);
+    WorkerLeaseHub::Lease lease(hub);
+    ASSERT_TRUE(lease.launch(
+        [] { throw std::runtime_error("lane failed mid-chunk"); }));
+    ASSERT_TRUE(lease.launch([] {}));
+    EXPECT_THROW(lease.wait(), std::runtime_error);
+    // The failed helper is returned to the hub, not leaked: the
+    // budget is fully available again.
+    EXPECT_EQ(hub.activeHelpers(), 0u);
+    std::atomic<int> ran{0};
+    WorkerLeaseHub::Lease retry(hub);
+    EXPECT_TRUE(retry.launch([&] { ++ran; }));
+    retry.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(WorkerLeaseHub, LeaseDestructorWaitsWithoutThrowing)
+{
+    WorkerLeaseHub hub(2);
+    hub.setBusyWorkers(1);
+    std::atomic<bool> ran{false};
+    {
+        WorkerLeaseHub::Lease lease(hub);
+        ASSERT_TRUE(lease.launch([&] {
+            std::this_thread::sleep_for(5ms);
+            ran = true;
+            throw std::runtime_error("ignored by the destructor");
+        }));
+        // No wait(): the destructor must join and swallow.
+    }
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(hub.activeHelpers(), 0u);
+}
+
+TEST(WorkerLeaseHub, ConcurrentLeasesShareTheBudget)
+{
+    WorkerLeaseHub hub(3);
+    hub.setBusyWorkers(1);
+    Gate gate;
+    WorkerLeaseHub::Lease a(hub);
+    WorkerLeaseHub::Lease b(hub);
+    EXPECT_TRUE(a.launch([&] { gate.wait(); }));
+    EXPECT_TRUE(b.launch([&] { gate.wait(); }));
+    // 1 busy + 2 active == budget: both leases are now refused.
+    EXPECT_FALSE(a.launch([&] { gate.wait(); }));
+    EXPECT_FALSE(b.launch([&] { gate.wait(); }));
+    gate.release();
+    a.wait();
+    b.wait();
+    EXPECT_EQ(hub.activeHelpers(), 0u);
+}
+
+} // namespace
+} // namespace ldis

@@ -22,6 +22,7 @@
 #include "common/audit.hh"
 #include "common/json.hh"
 #include "common/table.hh"
+#include "common/workshare.hh"
 #include "distill/distill_cache.hh"
 #include "sim/experiment.hh"
 #include "sim/replay.hh"
@@ -164,6 +165,11 @@ main(int argc, char **argv)
     args.addFlag("no-gang",
                  "with --replay: per-config walk engine "
                  "(overrides LDIS_GANG=1)");
+    args.addOption("lanes",
+                   "with --replay --gang: thread budget of the "
+                   "walk, 1..4096 (1 = serial; overrides "
+                   "LDIS_LANES)",
+                   "");
     args.addFlag("json", "emit the report as a JSON object");
     args.addOption("metrics",
                    "append one telemetry record per run to this "
@@ -205,6 +211,9 @@ main(int argc, char **argv)
         static_cast<unsigned>(args.getUint("prefetch"));
     cli.ipc = args.has("ipc");
     std::uint64_t audit_interval = args.getUint("audit-interval");
+    std::uint64_t lanes_flag = 0;
+    if (args.has("lanes"))
+        lanes_flag = args.getUintInRange("lanes", 1, 4096);
     // Fail fast on any malformed numeric option before acting on
     // partially-parsed state (setting the audit interval, building
     // the workload, opening the metrics log).
@@ -220,6 +229,10 @@ main(int argc, char **argv)
     // Flag beats environment beats the default (gang on).
     bool gang = args.has("gang") ||
                 (!args.has("no-gang") && gangEnabled());
+    // Same precedence for the walk's thread budget: --lanes beats
+    // LDIS_LANES beats the default (auto).
+    if (lanes_flag)
+        setGangLanes(static_cast<unsigned>(lanes_flag));
     if (args.has("audit")) {
         if (!audit::compiledIn())
             std::fprintf(stderr,
@@ -283,10 +296,20 @@ main(int argc, char **argv)
         auto stream = loadOrRecordStream(cli.benchmark, cli.seed, 0,
                                          cli.instructions, {},
                                          &info);
-        if (gang)
-            r = replayMany(*stream, {l2.cache.get()})[0];
-        else
+        if (gang) {
+            // Standalone walk: the tool itself is the one "busy
+            // worker"; LDIS_LANES / --lanes beyond 1 buys a decode
+            // pipeline helper for the single lane.
+            unsigned lanes = gangLanes();
+            WorkerLeaseHub hub(lanes ? lanes : 1);
+            hub.setBusyWorkers(1);
+            GangParallel par;
+            par.hub = &hub;
+            r = replayMany(*stream, {l2.cache.get()}, nullptr,
+                           par)[0];
+        } else {
             r = replayStream(*stream, *l2.cache);
+        }
         r.streamSource = info.fromDiskCache ? "disk-cache"
                                             : "record";
     } else {
