@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Negative-compile harness for the Clang thread-safety wall.
+#
+# Every tests/thread_safety_fixtures/ts_bad_*.cc must FAIL to compile
+# under -Werror=thread-safety (each seeds one class of locking bug:
+# guarded access without the lock, REQUIRES unheld, EXCLUDES held,
+# lock leaked past a return). ts_good_*.cc are positive controls that
+# must compile cleanly — they prove a fixture failure means "the
+# analysis caught the bug", not "the harness flags are broken".
+#
+# Clang-only by construction: the annotation macros expand to nothing
+# elsewhere, so on GCC the bad fixtures compile fine and prove
+# nothing. Without a clang++ on PATH (or in $CXX) the script skips
+# with exit 0 so local GCC-only checkouts stay green; the
+# clang-thread-safety CI job always provides one.
+
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+fixture_dir="${root}/tests/thread_safety_fixtures"
+
+cxx="${CXX:-}"
+if [ -n "${cxx}" ] && ! "${cxx}" --version 2>/dev/null | grep -qi clang; then
+    cxx=""
+fi
+if [ -z "${cxx}" ]; then
+    for cand in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+                clang++-16 clang++-15 clang++-14; do
+        if command -v "${cand}" >/dev/null 2>&1; then
+            cxx="${cand}"
+            break
+        fi
+    done
+fi
+if [ -z "${cxx}" ]; then
+    echo "check_thread_safety_fixtures: no clang++ found" \
+         "(set \$CXX or install clang); skipping — the annotations" \
+         "are no-ops off Clang, so there is nothing to test here."
+    exit 0
+fi
+
+echo "check_thread_safety_fixtures: using $(${cxx} --version | head -n 1)"
+
+flags=(-std=c++20 -fsyntax-only -I "${root}/src"
+       -Wthread-safety -Wthread-safety-beta
+       -Werror=thread-safety -Werror=thread-safety-beta)
+
+failures=0
+checked=0
+
+for f in "${fixture_dir}"/ts_bad_*.cc; do
+    checked=$((checked + 1))
+    if "${cxx}" "${flags[@]}" "${f}" >/dev/null 2>&1; then
+        echo "FAIL  $(basename "${f}"): compiled cleanly —" \
+             "the seeded locking bug was NOT caught"
+        failures=$((failures + 1))
+    else
+        echo "ok    $(basename "${f}"): rejected as expected"
+    fi
+done
+
+for f in "${fixture_dir}"/ts_good_*.cc; do
+    checked=$((checked + 1))
+    out="$("${cxx}" "${flags[@]}" "${f}" 2>&1)"
+    if [ $? -ne 0 ]; then
+        echo "FAIL  $(basename "${f}"): positive control did not compile:"
+        echo "${out}" | sed 's/^/      /'
+        failures=$((failures + 1))
+    else
+        echo "ok    $(basename "${f}"): clean compile as expected"
+    fi
+done
+
+if [ "${checked}" -eq 0 ]; then
+    echo "FAIL  no fixtures found under ${fixture_dir}"
+    exit 1
+fi
+
+if [ "${failures}" -ne 0 ]; then
+    echo "check_thread_safety_fixtures: ${failures}/${checked} fixture(s) misbehaved"
+    exit 1
+fi
+echo "check_thread_safety_fixtures: all ${checked} fixtures behaved"

@@ -19,7 +19,12 @@
 #   LDIS_JOBS          RunMatrix worker threads for the TSan slice (4)
 #   LDIS_LANES         gang walk lane budget for the TSan slice (4)
 #   LDIS_INSTRUCTIONS  run length of the fig06 slice (2000000)
-set -eu
+#
+# Every requested leg runs even when an earlier one fails: one CI
+# invocation reports ALL broken sanitizers instead of hiding the TSan
+# result behind an ASan failure. Per-leg status is collected and the
+# script exits non-zero at the end if any leg failed.
+set -u
 cd "$(dirname "$0")/.."
 SAN=${SAN:-"asan tsan"}
 JOBS=${JOBS:-$(nproc)}
@@ -64,13 +69,46 @@ run_one() {
     echo "== $kind: PASS =="
 }
 
+# Validate the whole selection up front so a typo fails fast rather
+# than after an earlier leg's multi-minute build.
 for kind in $SAN; do
     case "$kind" in
-        asan) run_one asan "-fsanitize=address,undefined \
--fno-sanitize-recover=all -fno-omit-frame-pointer" ;;
-        tsan) run_one tsan "-fsanitize=thread" ;;
+        asan|tsan) ;;
         *) echo "error: unknown sanitizer '$kind' (asan|tsan)" >&2
            exit 1 ;;
     esac
 done
+
+declare -A leg_status=()
+failed=0
+for kind in $SAN; do
+    case "$kind" in
+        asan) flags="-fsanitize=address,undefined \
+-fno-sanitize-recover=all -fno-omit-frame-pointer" ;;
+        tsan) flags="-fsanitize=thread" ;;
+    esac
+    # Subshell with -e so any failing step aborts this leg only; the
+    # loop carries on to the remaining legs regardless. The status is
+    # captured outside an `if` condition on purpose: bash ignores
+    # `set -e` (even one set inside the subshell) for commands that
+    # are part of a conditional.
+    (set -e; run_one "$kind" "$flags")
+    leg_rc=$?
+    if [ "$leg_rc" -eq 0 ]; then
+        leg_status[$kind]=PASS
+    else
+        leg_status[$kind]=FAIL
+        failed=$((failed + 1))
+        echo "== $kind: FAIL (rc=$leg_rc; continuing with remaining legs) =="
+    fi
+done
+
+echo "== sanitizer summary =="
+for kind in $SAN; do
+    echo "  $kind: ${leg_status[$kind]}"
+done
+if [ "$failed" -ne 0 ]; then
+    echo "run_sanitizers: $failed leg(s) failed ($SAN)"
+    exit 1
+fi
 echo "run_sanitizers: all clean ($SAN)"

@@ -14,6 +14,12 @@ namespace audit
 namespace
 {
 
+// Concurrency story (static wall, DESIGN.md §13): the switchboard
+// is lock-free by design — two relaxed atomics read on every audit
+// point plus a std::once_flag for the env latch. There is no
+// guarded state here, so no capability; the once_flag is the only
+// <mutex> machinery and is exempt from the ldis-lint raw-mutex rule
+// (it is not a lock the analysis could track).
 std::atomic<bool> auditEnabled{false};
 std::atomic<std::uint64_t> auditInterval{4096};
 std::once_flag envOnce;

@@ -6,6 +6,12 @@
  * so a handoff happens every few milliseconds and a mutex + condvar
  * costs nothing while staying trivially TSan-clean).
  *
+ * Concurrency shape, made explicit for the thread-safety analysis:
+ * every member that both sides touch (the queue and the closed
+ * flag) is GUARDED_BY(m); `cap` is immutable after construction and
+ * therefore owner-free — there are no owner-only members and no
+ * bare atomics, so the ring's whole contract is the one capability.
+ *
  * close() is the shutdown edge for both directions: a producer's
  * push() starts failing immediately, while a consumer's pop() keeps
  * draining queued items and only fails once the ring is empty. Either
@@ -16,11 +22,11 @@
 #ifndef DISTILLSIM_COMMON_SPSC_HH
 #define DISTILLSIM_COMMON_SPSC_HH
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "common/thread_annotations.hh"
 
 namespace ldis
 {
@@ -41,10 +47,13 @@ class SpscRing
      * @return false iff the ring was closed (item not enqueued)
      */
     bool
-    push(T v)
+    push(T v) LDIS_EXCLUDES(m)
     {
-        std::unique_lock<std::mutex> lock(m);
-        cv.wait(lock, [&] { return closedFlag || q.size() < cap; });
+        ScopedLock lock(m);
+        cv.wait(m, [&] {
+            m.assertHeld();
+            return closedFlag || q.size() < cap;
+        });
         if (closedFlag)
             return false;
         q.push_back(std::move(v));
@@ -57,10 +66,13 @@ class SpscRing
      * @return false iff the ring is closed AND drained
      */
     bool
-    pop(T &out)
+    pop(T &out) LDIS_EXCLUDES(m)
     {
-        std::unique_lock<std::mutex> lock(m);
-        cv.wait(lock, [&] { return closedFlag || !q.empty(); });
+        ScopedLock lock(m);
+        cv.wait(m, [&] {
+            m.assertHeld();
+            return closedFlag || !q.empty();
+        });
         if (q.empty())
             return false;
         out = std::move(q.front());
@@ -71,35 +83,35 @@ class SpscRing
 
     /** Fail future pushes; pops drain what is queued, then fail. */
     void
-    close()
+    close() LDIS_EXCLUDES(m)
     {
-        std::lock_guard<std::mutex> lock(m);
+        ScopedLock lock(m);
         closedFlag = true;
         cv.notify_all();
     }
 
     bool
-    closed() const
+    closed() const LDIS_EXCLUDES(m)
     {
-        std::lock_guard<std::mutex> lock(m);
+        ScopedLock lock(m);
         return closedFlag;
     }
 
     std::size_t
-    size() const
+    size() const LDIS_EXCLUDES(m)
     {
-        std::lock_guard<std::mutex> lock(m);
+        ScopedLock lock(m);
         return q.size();
     }
 
     std::size_t capacity() const { return cap; }
 
   private:
-    mutable std::mutex m;
-    std::condition_variable cv;
-    std::deque<T> q;
+    mutable Mutex m;
+    CondVar cv;
+    std::deque<T> q LDIS_GUARDED_BY(m);
     const std::size_t cap;
-    bool closedFlag = false;
+    bool closedFlag LDIS_GUARDED_BY(m) = false;
 };
 
 } // namespace ldis

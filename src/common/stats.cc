@@ -1,6 +1,7 @@
 #include "stats.hh"
 
 #include <cstdlib>
+#include <mutex>
 
 #include "common/json.hh"
 
@@ -94,28 +95,28 @@ Histogram::reset()
 Counter &
 StatRegistry::counter(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    ScopedLock lock(mutex);
     return counters[name];
 }
 
 Timer &
 StatRegistry::timer(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    ScopedLock lock(mutex);
     return timers[name];
 }
 
 Histogram &
 StatRegistry::histogram(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    ScopedLock lock(mutex);
     return histograms[name];
 }
 
 void
 StatRegistry::writeJson(JsonWriter &j, const std::string &key) const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    ScopedLock lock(mutex);
     j.beginObject(key);
     for (const auto &[name, c] : counters)
         j.field(name, c.value());
@@ -145,7 +146,7 @@ StatRegistry::writeJson(JsonWriter &j, const std::string &key) const
 void
 StatRegistry::resetAll()
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    ScopedLock lock(mutex);
     for (auto &[name, c] : counters)
         c.reset();
     for (auto &[name, t] : timers)

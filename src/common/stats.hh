@@ -27,8 +27,9 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "common/thread_annotations.hh"
 
 namespace ldis
 {
@@ -193,9 +194,10 @@ class Histogram
 class StatRegistry
 {
   public:
-    Counter &counter(const std::string &name);
-    Timer &timer(const std::string &name);
-    Histogram &histogram(const std::string &name);
+    Counter &counter(const std::string &name) LDIS_EXCLUDES(mutex);
+    Timer &timer(const std::string &name) LDIS_EXCLUDES(mutex);
+    Histogram &histogram(const std::string &name)
+        LDIS_EXCLUDES(mutex);
 
     /**
      * Serialize every stat as one JSON object (@p key names it
@@ -204,16 +206,23 @@ class StatRegistry
      * buckets{...}} with empty buckets omitted. Names are emitted in
      * sorted order so records diff cleanly.
      */
-    void writeJson(JsonWriter &j, const std::string &key = "") const;
+    void writeJson(JsonWriter &j, const std::string &key = "") const
+        LDIS_EXCLUDES(mutex);
 
     /** Zero every stat (tests and repeated in-process runs). */
-    void resetAll();
+    void resetAll() LDIS_EXCLUDES(mutex);
 
   private:
-    mutable std::mutex mutex;
-    std::map<std::string, Counter> counters;
-    std::map<std::string, Timer> timers;
-    std::map<std::string, Histogram> histograms;
+    /**
+     * Guards the map *structure* only: the returned Counter/Timer/
+     * Histogram references are internally atomic and are bumped
+     * lock-free after lookup (node-based maps never move them).
+     */
+    mutable Mutex mutex;
+    std::map<std::string, Counter> counters LDIS_GUARDED_BY(mutex);
+    std::map<std::string, Timer> timers LDIS_GUARDED_BY(mutex);
+    std::map<std::string, Histogram> histograms
+        LDIS_GUARDED_BY(mutex);
 };
 
 /** The process-wide registry the simulator subsystems report into. */

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Compile-time concurrency wall, part one: Clang thread-safety
+ * annotation macros plus the annotated lock vocabulary the whole
+ * tree uses in place of raw `std::mutex`.
+ *
+ * The macros expand to Clang's `capability` attribute family when
+ * the analysis is available (`-Wthread-safety -Wthread-safety-beta`,
+ * promoted to errors by the clang-thread-safety CI job) and to
+ * nothing everywhere else, so GCC builds are byte-identical to the
+ * pre-annotation tree. The vocabulary:
+ *
+ *  - ldis::Mutex       annotated std::mutex (a CAPABILITY)
+ *  - ldis::ScopedLock  RAII guard (SCOPED_CAPABILITY) with manual
+ *                      unlock()/lock() for wait-then-rethrow shapes
+ *  - ldis::CondVar     condition variable that waits directly on a
+ *                      Mutex (std::condition_variable_any under the
+ *                      hood; see the class comment for why)
+ *
+ * Wait predicates run as separate functions (lambdas), which the
+ * analysis cannot see through; they re-assert the capability with
+ * `Mutex::assertHeld()` — a runtime no-op that tells the analysis
+ * "the condition variable re-acquired the lock before calling me".
+ *
+ * Raw `std::mutex`/`std::condition_variable`/`std::lock_guard`/
+ * `std::unique_lock` are banned from src/ and tools/ outside this
+ * header by the ldis-lint `raw-mutex` rule (tools/ldis_lint.py), so
+ * every lock in the tree is visible to the analysis by construction.
+ */
+
+#ifndef DISTILLSIM_COMMON_THREAD_ANNOTATIONS_HH
+#define DISTILLSIM_COMMON_THREAD_ANNOTATIONS_HH
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define LDIS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LDIS_THREAD_ANNOTATION(x) // no-op off Clang
+#endif
+
+/** Marks a class as a lockable capability (e.g. a mutex type). */
+#define LDIS_CAPABILITY(x) LDIS_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII class that acquires in its ctor, releases in dtor. */
+#define LDIS_SCOPED_CAPABILITY LDIS_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding @p x. */
+#define LDIS_GUARDED_BY(x) LDIS_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose pointee is guarded by @p x. */
+#define LDIS_PT_GUARDED_BY(x) LDIS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function that acquires the capability (and does not release it). */
+#define LDIS_ACQUIRE(...) \
+    LDIS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the capability. */
+#define LDIS_RELEASE(...) \
+    LDIS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function that may acquire; returns @p b on success. */
+#define LDIS_TRY_ACQUIRE(...) \
+    LDIS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must hold the capability across the call. */
+#define LDIS_REQUIRES(...) \
+    LDIS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the capability (deadlock prevention). */
+#define LDIS_EXCLUDES(...) \
+    LDIS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Lock-ordering declaration: this capability before @p x. */
+#define LDIS_ACQUIRED_BEFORE(...) \
+    LDIS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/** Lock-ordering declaration: this capability after @p x. */
+#define LDIS_ACQUIRED_AFTER(...) \
+    LDIS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/** Runtime no-op asserting the capability is held here. */
+#define LDIS_ASSERT_CAPABILITY(x) \
+    LDIS_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returning a reference to the named capability. */
+#define LDIS_RETURN_CAPABILITY(x) \
+    LDIS_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: skip analysis for one function (justify at site). */
+#define LDIS_NO_THREAD_SAFETY_ANALYSIS \
+    LDIS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ldis
+{
+
+/**
+ * Annotated mutual-exclusion capability. Exactly a std::mutex at
+ * runtime; the annotations are what let Clang prove every
+ * GUARDED_BY access in the tree is protected.
+ */
+class LDIS_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() LDIS_ACQUIRE() { m.lock(); }
+    void unlock() LDIS_RELEASE() { m.unlock(); }
+    bool try_lock() LDIS_TRY_ACQUIRE(true) { return m.try_lock(); }
+
+    /**
+     * Tell the analysis the lock is held without taking it. Used at
+     * the top of condition-variable wait predicates: the predicate
+     * is a separate function the analysis cannot see into, but the
+     * condvar contract guarantees it runs with the lock held.
+     */
+    void assertHeld() const LDIS_ASSERT_CAPABILITY(this) {}
+
+  private:
+    friend class CondVar;
+    std::mutex m;
+};
+
+/**
+ * RAII lock for an ldis::Mutex. Beyond plain lock_guard semantics
+ * it supports the wait-then-rethrow shape (unlock() before throwing
+ * so the exception does not propagate with the lock held) and
+ * re-locking; the destructor releases only if currently held.
+ */
+class LDIS_SCOPED_CAPABILITY ScopedLock
+{
+  public:
+    explicit ScopedLock(Mutex &mutex) LDIS_ACQUIRE(mutex)
+        : mu(mutex), held(true)
+    {
+        mu.lock();
+    }
+
+    ~ScopedLock() LDIS_RELEASE()
+    {
+        if (held)
+            mu.unlock();
+    }
+
+    ScopedLock(const ScopedLock &) = delete;
+    ScopedLock &operator=(const ScopedLock &) = delete;
+
+    /** Release early (e.g. before rethrowing an exception). */
+    void
+    unlock() LDIS_RELEASE()
+    {
+        held = false;
+        mu.unlock();
+    }
+
+    /** Re-acquire after an early unlock(). */
+    void
+    lock() LDIS_ACQUIRE()
+    {
+        mu.lock();
+        held = true;
+    }
+
+    bool ownsLock() const { return held; }
+
+  private:
+    Mutex &mu;
+    bool held;
+};
+
+/**
+ * Condition variable that waits directly on an ldis::Mutex, so call
+ * sites never unwrap an un-annotated native handle (which would
+ * punch a hole in the analysis). Implemented over
+ * std::condition_variable_any: marginally heavier than the plain
+ * std::condition_variable (one internal mutex), which is irrelevant
+ * at this tree's wait granularity — chunk handoffs and job
+ * scheduling, milliseconds apart — and buys a fully annotated wait.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /**
+     * Wait until @p pred holds. The caller must hold @p mutex (a
+     * ScopedLock on it counts); pass the Mutex itself, not the
+     * guard, so the analysis can match the held capability. @p pred
+     * runs with @p mutex held; start it with `mutex.assertHeld()`
+     * if it reads guarded state.
+     */
+    template <typename Pred>
+    void
+    wait(Mutex &mutex, Pred pred) LDIS_REQUIRES(mutex)
+    {
+        cv.wait(mutex, pred);
+    }
+
+    void notify_one() { cv.notify_one(); }
+    void notify_all() { cv.notify_all(); }
+
+  private:
+    std::condition_variable_any cv;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_COMMON_THREAD_ANNOTATIONS_HH

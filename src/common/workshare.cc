@@ -11,20 +11,25 @@ WorkerLeaseHub::WorkerLeaseHub(unsigned thread_budget)
 
 WorkerLeaseHub::~WorkerLeaseHub()
 {
+    // Joining with the hub lock held would deadlock (a parked
+    // helper needs it to wake from the queue wait), so move the
+    // thread handles out under the lock and join unlocked.
+    std::vector<std::thread> to_join;
     {
-        std::lock_guard<std::mutex> lock(m);
+        ScopedLock lock(m);
         ldis_assert(active == 0);
         stopping = true;
+        to_join.swap(threads);
         cv.notify_all();
     }
-    for (std::thread &t : threads)
+    for (std::thread &t : to_join)
         t.join();
 }
 
 void
 WorkerLeaseHub::setBusyWorkers(unsigned n)
 {
-    std::lock_guard<std::mutex> lock(m);
+    ScopedLock lock(m);
     busy = n;
 }
 
@@ -37,21 +42,21 @@ WorkerLeaseHub::threadBudget() const
 unsigned
 WorkerLeaseHub::busyWorkers() const
 {
-    std::lock_guard<std::mutex> lock(m);
+    ScopedLock lock(m);
     return busy;
 }
 
 unsigned
 WorkerLeaseHub::activeHelpers() const
 {
-    std::lock_guard<std::mutex> lock(m);
+    ScopedLock lock(m);
     return active;
 }
 
 unsigned
 WorkerLeaseHub::idleThreads() const
 {
-    std::lock_guard<std::mutex> lock(m);
+    ScopedLock lock(m);
     unsigned used = busy + active;
     return used < budget ? budget - used : 0;
 }
@@ -62,10 +67,12 @@ WorkerLeaseHub::helperMain()
     for (;;) {
         Task task;
         {
-            std::unique_lock<std::mutex> lock(m);
+            ScopedLock lock(m);
             ++parked;
-            cv.wait(lock,
-                    [&] { return stopping || !queue.empty(); });
+            cv.wait(m, [&] {
+                m.assertHeld();
+                return stopping || !queue.empty();
+            });
             --parked;
             if (queue.empty())
                 return; // stopping and drained
@@ -75,7 +82,7 @@ WorkerLeaseHub::helperMain()
         try {
             task.fn();
         } catch (...) {
-            std::lock_guard<std::mutex> lock(task.state->m);
+            ScopedLock lock(task.state->m);
             if (!task.state->firstError)
                 task.state->firstError = std::current_exception();
         }
@@ -83,11 +90,11 @@ WorkerLeaseHub::helperMain()
         // lease: once Lease::wait() returns, none of its helpers
         // still count against activeHelpers().
         {
-            std::lock_guard<std::mutex> lock(m);
+            ScopedLock lock(m);
             --active;
         }
         {
-            std::lock_guard<std::mutex> lock(task.state->m);
+            ScopedLock lock(task.state->m);
             --task.state->running;
             task.state->cv.notify_all();
         }
@@ -99,12 +106,14 @@ WorkerLeaseHub::Lease::launch(std::function<void()> fn)
 {
     if (!state)
         state = std::make_shared<State>();
-    std::lock_guard<std::mutex> lock(hub.m);
+    ScopedLock lock(hub.m);
     if (hub.stopping || hub.busy + hub.active >= hub.budget)
         return false;
     ++hub.active;
     {
-        std::lock_guard<std::mutex> slock(state->m);
+        // Nested acquisition: hub.m -> State::m (the documented
+        // lock order; helperMain never holds both).
+        ScopedLock slock(state->m);
         ++state->running;
     }
     hub.queue.push_back({std::move(fn), state});
@@ -122,8 +131,11 @@ WorkerLeaseHub::Lease::wait()
 {
     if (!state)
         return;
-    std::unique_lock<std::mutex> lock(state->m);
-    state->cv.wait(lock, [&] { return state->running == 0; });
+    ScopedLock lock(state->m);
+    state->cv.wait(state->m, [&] {
+        state->m.assertHeld();
+        return state->running == 0;
+    });
     if (state->firstError && !reported) {
         reported = true;
         std::exception_ptr err = state->firstError;
@@ -136,8 +148,11 @@ WorkerLeaseHub::Lease::~Lease()
 {
     if (!state)
         return;
-    std::unique_lock<std::mutex> lock(state->m);
-    state->cv.wait(lock, [&] { return state->running == 0; });
+    ScopedLock lock(state->m);
+    state->cv.wait(state->m, [&] {
+        state->m.assertHeld();
+        return state->running == 0;
+    });
 }
 
 } // namespace ldis

@@ -14,20 +14,24 @@
  * The walk polls again at its next chunk boundary, which is how
  * "the runner grants threads as record jobs finish" falls out
  * without any callback machinery.
+ *
+ * Lock hierarchy (see DESIGN.md §13): the hub capability `m` and a
+ * lease's `State::m` nest only as hub.m -> State::m (inside
+ * Lease::launch); helperMain takes them strictly one at a time.
  */
 
 #ifndef DISTILLSIM_COMMON_WORKSHARE_HH
 #define DISTILLSIM_COMMON_WORKSHARE_HH
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace ldis
 {
@@ -52,16 +56,16 @@ class WorkerLeaseHub
      * runner calls this as jobs start and finish; grants only cover
      * the difference to the budget.
      */
-    void setBusyWorkers(unsigned busy);
+    void setBusyWorkers(unsigned busy) LDIS_EXCLUDES(m);
 
     unsigned threadBudget() const;
-    unsigned busyWorkers() const;
+    unsigned busyWorkers() const LDIS_EXCLUDES(m);
 
     /** Helper threads currently running leased work. */
-    unsigned activeHelpers() const;
+    unsigned activeHelpers() const LDIS_EXCLUDES(m);
 
     /** Threads the budget could still grant right now. */
-    unsigned idleThreads() const;
+    unsigned idleThreads() const LDIS_EXCLUDES(m);
 
     /**
      * One job's handle on leased helpers. launch() starts work on a
@@ -101,10 +105,10 @@ class WorkerLeaseHub
         /** Completion state shared with the helpers (outlives us). */
         struct State
         {
-            std::mutex m;
-            std::condition_variable cv;
-            unsigned running = 0;
-            std::exception_ptr firstError;
+            Mutex m;
+            CondVar cv;
+            unsigned running LDIS_GUARDED_BY(m) = 0;
+            std::exception_ptr firstError LDIS_GUARDED_BY(m);
         };
 
         WorkerLeaseHub &hub;
@@ -120,17 +124,19 @@ class WorkerLeaseHub
         std::shared_ptr<Lease::State> state;
     };
 
-    void helperMain();
+    void helperMain() LDIS_EXCLUDES(m);
 
-    mutable std::mutex m;
-    std::condition_variable cv;
-    std::deque<Task> queue;
-    std::vector<std::thread> threads;
-    unsigned budget;
-    unsigned busy = 0;
-    unsigned active = 0;   //!< helpers running (or queued) leased work
-    unsigned parked = 0;   //!< helper threads idle in the queue wait
-    bool stopping = false;
+    mutable Mutex m;
+    CondVar cv;
+    std::deque<Task> queue LDIS_GUARDED_BY(m);
+    std::vector<std::thread> threads LDIS_GUARDED_BY(m);
+    const unsigned budget; //!< immutable after construction
+    unsigned busy LDIS_GUARDED_BY(m) = 0;
+    //! helpers running (or queued) leased work
+    unsigned active LDIS_GUARDED_BY(m) = 0;
+    //! helper threads idle in the queue wait
+    unsigned parked LDIS_GUARDED_BY(m) = 0;
+    bool stopping LDIS_GUARDED_BY(m) = false;
 };
 
 } // namespace ldis

@@ -77,6 +77,10 @@ CompressedWocSet::install(LineAddr line, Footprint used,
             ldis_assert(h > 0);
             --h;
         }
+        // Steady-state clean: evicted_out is the cache's reusable
+        // eviction scratch, reserved once at construction (its
+        // capacity never shrinks), so this push_back does not
+        // allocate after warmup. ldis-lint: allow(hot-path-alloc)
         evicted_out.push_back(takeGroup(h));
     }
 

@@ -3,14 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "common/logging.hh"
+#include "common/thread_annotations.hh"
 #include "common/table.hh"
 #include "sim/replay.hh"
 
@@ -70,64 +69,82 @@ runThunks(const std::vector<std::function<void()>> &thunks,
         return;
     }
 
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<std::size_t> ready;
-    std::vector<std::vector<std::size_t>> dependents(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        if (deps.empty() || deps[i] == kNoDep)
-            ready.push_back(i);
-        else
-            dependents[deps[i]].push_back(i);
-    }
+    /**
+     * The scheduler's shared state, every field guarded by the one
+     * scheduler capability. `dependents` is deliberately outside:
+     * it is filled before the pool spawns and read-only afterwards.
+     */
+    struct Scheduler
+    {
+        Mutex mutex;
+        CondVar cv;
+        std::deque<std::size_t> ready LDIS_GUARDED_BY(mutex);
+        std::size_t completed LDIS_GUARDED_BY(mutex) = 0;
+        std::size_t running LDIS_GUARDED_BY(mutex) = 0;
+        bool failed LDIS_GUARDED_BY(mutex) = false;
+        std::exception_ptr first_error LDIS_GUARDED_BY(mutex);
+    } sched;
 
-    std::size_t completed = 0;
-    std::size_t running = 0;
-    bool failed = false;
-    std::exception_ptr first_error;
+    std::vector<std::vector<std::size_t>> dependents(n);
+    {
+        // No worker exists yet, but the ready queue is guarded
+        // state: take the capability so the analysis (and TSan)
+        // see one consistent story.
+        ScopedLock lock(sched.mutex);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (deps.empty() || deps[i] == kNoDep)
+                sched.ready.push_back(i);
+            else
+                dependents[deps[i]].push_back(i);
+        }
+    }
 
     // Busy-worker reporting into the lease hub happens under the
     // scheduler lock (the hub never calls back into the runner, so
-    // the nested hub lock cannot invert). As jobs finish, the
-    // reported count drops and in-flight gang walks can grow into
-    // the freed capacity at their next chunk boundary.
-    auto report_busy = [&] {
+    // the nested hub lock cannot invert; scheduler mutex -> hub
+    // capability is the documented order, DESIGN.md §13). As jobs
+    // finish, the reported count drops and in-flight gang walks can
+    // grow into the freed capacity at their next chunk boundary.
+    auto report_busy = [&]() LDIS_REQUIRES(sched.mutex) {
         if (hub)
-            hub->setBusyWorkers(static_cast<unsigned>(running));
+            hub->setBusyWorkers(
+                static_cast<unsigned>(sched.running));
     };
 
     auto work = [&] {
-        std::unique_lock<std::mutex> lock(mutex);
+        ScopedLock lock(sched.mutex);
         for (;;) {
-            cv.wait(lock, [&] {
-                return failed || completed == n || !ready.empty();
+            sched.cv.wait(sched.mutex, [&] {
+                sched.mutex.assertHeld();
+                return sched.failed || sched.completed == n ||
+                       !sched.ready.empty();
             });
-            if (failed || completed == n)
+            if (sched.failed || sched.completed == n)
                 return;
-            std::size_t i = ready.front();
-            ready.pop_front();
-            ++running;
+            std::size_t i = sched.ready.front();
+            sched.ready.pop_front();
+            ++sched.running;
             report_busy();
             lock.unlock();
             try {
                 thunks[i]();
             } catch (...) {
                 lock.lock();
-                --running;
+                --sched.running;
                 report_busy();
-                if (!first_error)
-                    first_error = std::current_exception();
-                failed = true;
-                cv.notify_all();
+                if (!sched.first_error)
+                    sched.first_error = std::current_exception();
+                sched.failed = true;
+                sched.cv.notify_all();
                 return;
             }
             lock.lock();
-            --running;
+            --sched.running;
             report_busy();
-            ++completed;
+            ++sched.completed;
             for (std::size_t j : dependents[i])
-                ready.push_back(j);
-            cv.notify_all();
+                sched.ready.push_back(j);
+            sched.cv.notify_all();
         }
     };
 
@@ -137,6 +154,11 @@ runThunks(const std::vector<std::function<void()>> &thunks,
         pool.emplace_back(work);
     for (std::thread &t : pool)
         t.join();
+    std::exception_ptr first_error;
+    {
+        ScopedLock lock(sched.mutex);
+        first_error = sched.first_error;
+    }
     if (first_error)
         std::rethrow_exception(first_error);
 }

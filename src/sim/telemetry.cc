@@ -24,22 +24,23 @@ namespace
 /** The process-wide sink: path + lazily opened append handle. */
 struct Sink
 {
-    std::mutex mutex;
-    std::string path;
-    std::string experimentName;
-    std::FILE *file = nullptr;
-    bool latched = false;
-    bool warnedOpenFailure = false;
+    Mutex mutex;
+    std::string path LDIS_GUARDED_BY(mutex);
+    std::string experimentName LDIS_GUARDED_BY(mutex);
+    std::FILE *file LDIS_GUARDED_BY(mutex) = nullptr;
+    bool latched LDIS_GUARDED_BY(mutex) = false;
+    bool warnedOpenFailure LDIS_GUARDED_BY(mutex) = false;
 
     ~Sink()
     {
+        ScopedLock lock(mutex);
         if (file)
             std::fclose(file);
     }
 
     /** Latch LDIS_METRICS once (callers hold the mutex). */
     void
-    latch()
+    latch() LDIS_REQUIRES(mutex)
     {
         if (latched)
             return;
@@ -50,7 +51,7 @@ struct Sink
 
     /** Append one serialized record (callers hold the mutex). */
     void
-    append(const std::string &line)
+    append(const std::string &line) LDIS_REQUIRES(mutex)
     {
         if (!file) {
             file = std::fopen(path.c_str(), "a");
@@ -125,7 +126,7 @@ void
 emitLine(const JsonWriter &j)
 {
     Sink &s = sink();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    ScopedLock lock(s.mutex);
     s.latch();
     if (s.path.empty())
         return;
@@ -138,7 +139,7 @@ bool
 enabled()
 {
     Sink &s = sink();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    ScopedLock lock(s.mutex);
     s.latch();
     return !s.path.empty();
 }
@@ -147,7 +148,7 @@ std::string
 sinkPath()
 {
     Sink &s = sink();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    ScopedLock lock(s.mutex);
     s.latch();
     return s.path;
 }
@@ -156,7 +157,7 @@ void
 setSink(const std::string &path)
 {
     Sink &s = sink();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    ScopedLock lock(s.mutex);
     s.latch();
     if (s.file) {
         std::fclose(s.file);
@@ -173,7 +174,7 @@ void
 setExperiment(const std::string &name)
 {
     Sink &s = sink();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    ScopedLock lock(s.mutex);
     s.experimentName = name;
 }
 
@@ -181,7 +182,7 @@ std::string
 experiment()
 {
     Sink &s = sink();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    ScopedLock lock(s.mutex);
     return s.experimentName;
 }
 
@@ -341,7 +342,7 @@ Progress::started(std::size_t index, const std::string &label)
 {
     if (!active)
         return;
-    std::lock_guard<std::mutex> lock(mutex);
+    ScopedLock lock(mutex);
     inFlight.emplace(index,
                      std::make_pair(
                          label, std::chrono::steady_clock::now()));
@@ -354,7 +355,7 @@ Progress::finished(std::size_t index, const std::string &label,
     if (!active)
         return;
     auto now = std::chrono::steady_clock::now();
-    std::lock_guard<std::mutex> lock(mutex);
+    ScopedLock lock(mutex);
     inFlight.erase(index);
     ++done;
     doneSeconds += wall_seconds;

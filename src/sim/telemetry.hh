@@ -43,9 +43,9 @@
 #include <chrono>
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/thread_annotations.hh"
 #include "sim/experiment.hh"
 
 namespace ldis
@@ -140,26 +140,31 @@ class Progress
                       const WorkerLeaseHub *lease_hub = nullptr);
 
     /** A worker picked up job @p label. */
-    void started(std::size_t index, const std::string &label);
+    void started(std::size_t index, const std::string &label)
+        LDIS_EXCLUDES(mutex);
 
     /** Job @p label finished after @p wall_seconds. */
     void finished(std::size_t index, const std::string &label,
-                  double wall_seconds);
+                  double wall_seconds) LDIS_EXCLUDES(mutex);
 
   private:
+    // active/total/workerCount/hub/begin are written once in the
+    // constructor and read-only afterwards; only the live progress
+    // state below needs the capability.
     bool active;
     std::size_t total;
     unsigned workerCount;
     const WorkerLeaseHub *hub;
-    std::size_t done = 0;
-    double doneSeconds = 0.0; //!< summed finished-job wall time
     std::chrono::steady_clock::time_point begin;
-    std::mutex mutex;
+    Mutex mutex;
+    std::size_t done LDIS_GUARDED_BY(mutex) = 0;
+    //! summed finished-job wall time
+    double doneSeconds LDIS_GUARDED_BY(mutex) = 0.0;
     /** index -> (label, start time) of jobs currently running. */
     std::map<std::size_t,
              std::pair<std::string,
                        std::chrono::steady_clock::time_point>>
-        inFlight;
+        inFlight LDIS_GUARDED_BY(mutex);
 };
 
 } // namespace telemetry

@@ -1,0 +1,28 @@
+// ldis-lint fixture: an LDIS_AUDIT_POINT site in a translation unit
+// that declares no auditInvariants() hook (and has no paired header
+// that does). Dead armor: the point can only be auditing some other
+// model's state, or nothing.
+// expect-finding: audit-hook
+
+namespace fixture
+{
+
+struct Clockish
+{
+    bool due() { return false; }
+};
+
+#define LDIS_AUDIT_POINT(clock, model, obj) ((void)0)
+
+struct HookLessModel
+{
+    Clockish auditClock;
+
+    void
+    access()
+    {
+        LDIS_AUDIT_POINT(auditClock, "HookLessModel", *this);
+    }
+};
+
+} // namespace fixture

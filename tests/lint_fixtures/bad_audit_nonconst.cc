@@ -1,0 +1,55 @@
+// ldis-lint fixture: auditInvariants() hooks that violate the
+// read-only audit contract — a non-const declaration, and a const
+// body that launders mutation through const_cast. Audited runs must
+// be bit-identical to unaudited ones; const-qualification is how
+// the compiler proves it.
+// expect-finding: audit-const
+// expect-finding: audit-const
+
+#include <string>
+
+namespace fixture
+{
+
+struct BadModelA
+{
+    int occupancy = 0;
+
+    // finding 1: not const-qualified.
+    std::string
+    auditInvariants()
+    {
+        occupancy = 0; // an audit that "fixes" state silently
+        return "";
+    }
+};
+
+struct BadModelB
+{
+    int occupancy = 0;
+
+    std::string
+    auditInvariants() const
+    {
+        // finding 2: const_cast defeats the contract.
+        const_cast<BadModelB *>(this)->occupancy = 0;
+        return "";
+    }
+};
+
+struct GoodModel
+{
+    int occupancy = 0;
+
+    // Clean: const declaration (header-style, no body here).
+    std::string auditInvariants() const;
+
+    bool
+    checkInvariants() const
+    {
+        // Clean: unqualified self-call is a call site, not a decl.
+        return auditInvariants().empty();
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,43 @@
+// ldis-lint fixture: direct heap allocation inside functions the
+// rule config names as steady-state hot paths (the real-tree
+// equivalents are the gang-replay chunk walk and the cache access
+// paths). Each allocating construct below must be flagged.
+// expect-finding: hot-path-alloc
+// expect-finding: hot-path-alloc
+// expect-finding: hot-path-alloc
+// expect-finding: hot-path-alloc
+
+#include <cstdlib>
+#include <vector>
+
+namespace fixture
+{
+
+struct Walker
+{
+    std::vector<int> scratch;
+
+    void
+    hotWalk(int n)
+    {
+        int *p = new int[n];            // finding 1: operator new
+        void *q = std::malloc(16);      // finding 2: C allocation
+        scratch.push_back(n);           // finding 3: container call
+        delete[] p;
+        std::free(q);
+    }
+
+    void
+    coldSetup(int n)
+    {
+        // Same constructs outside a configured hot function: clean.
+        scratch.reserve(static_cast<std::size_t>(n));
+    }
+};
+
+// Named-lambda form (the real tree's walk_chunk is one of these).
+auto hotLambda = [](std::vector<int> &v, int x) {
+    v.emplace_back(x); // finding 4: container call
+};
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+// ldis-lint fixture: the rule config names a hot function that does
+// not exist in this file. A stale scripts/ldis_lint_rules.json
+// entry must be a finding, not a silent pass — otherwise a renamed
+// hot path drops out of enforcement unnoticed.
+// expect-finding: hot-path-alloc
+
+namespace fixture
+{
+
+void
+renamedWalk()
+{
+    // The config still says "noSuchFn".
+}
+
+} // namespace fixture

@@ -1,0 +1,44 @@
+// ldis-lint fixture: nondeterminism sources outside the allowlist
+// (src/common/random.hh owns seeding; src/sim/telemetry.cc stamps
+// records). Any of these inside the simulator would break the
+// bit-identical replay guarantees every CI compare gate rests on.
+// expect-finding: nondeterminism
+// expect-finding: nondeterminism
+// expect-finding: nondeterminism
+// expect-finding: nondeterminism
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture
+{
+
+unsigned
+badSeed()
+{
+    std::random_device rd;                       // finding 1
+    unsigned s = rd() ^ static_cast<unsigned>(
+        std::rand());                            // finding 2
+    s ^= static_cast<unsigned>(time(nullptr));   // finding 3
+    auto wall =
+        std::chrono::system_clock::now();        // finding 4
+    (void)wall;
+    return s;
+}
+
+double
+goodClock()
+{
+    // steady_clock is deterministic-safe for durations: clean.
+    auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(
+               t.time_since_epoch()).count();
+}
+
+// wall_time(x) and unixTime(x) must not match the time() pattern.
+int wall_time(int x) { return x; }
+int unixTime(int x) { return wall_time(x); }
+
+} // namespace fixture

@@ -1,0 +1,32 @@
+// ldis-lint fixture: raw standard-library lock types outside
+// src/common/thread_annotations.hh. Every one of these must be the
+// annotated ldis::Mutex / ldis::ScopedLock / ldis::CondVar instead,
+// or the Clang thread-safety wall cannot see the lock.
+// expect-finding: raw-mutex
+// expect-finding: raw-mutex
+// expect-finding: raw-mutex
+// expect-finding: raw-mutex
+
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture
+{
+
+struct BadRegistry
+{
+    std::mutex m;                 // finding 1
+    std::condition_variable cv;   // finding 2
+
+    void
+    poke()
+    {
+        std::lock_guard<std::mutex> lock(m); // findings 3 + 4
+    }
+};
+
+// A raw mutex hidden in a comment must NOT fire: std::mutex here.
+// And one in a string must not either:
+const char *kDecoy = "std::mutex std::condition_variable";
+
+} // namespace fixture

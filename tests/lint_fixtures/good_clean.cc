@@ -1,0 +1,62 @@
+// ldis-lint fixture: a model written to the project invariants —
+// annotated locks only, deterministic clocks, a const audit hook
+// next to its LDIS_AUDIT_POINT, and an allocation-free hot path.
+// Every rule must stay silent on this file.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/thread_annotations.hh"
+
+namespace fixture
+{
+
+class Clockish
+{
+  public:
+    bool due() { return ++ticks % 4096 == 0; }
+
+  private:
+    std::uint64_t ticks = 0;
+};
+
+#define LDIS_AUDIT_POINT(clock, model, obj) ((void)0)
+
+class CleanModel
+{
+  public:
+    void
+    cleanWalk(const std::uint8_t *events, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            occupancy += events[i] & 1u;
+        LDIS_AUDIT_POINT(auditClock, "CleanModel", *this);
+    }
+
+    std::string
+    auditInvariants() const
+    {
+        return occupancy <= kCapacity ? std::string()
+                                      : "occupancy over capacity";
+    }
+
+    bool checkInvariants() const { return auditInvariants().empty(); }
+
+    double
+    secondsSince(std::chrono::steady_clock::time_point start) const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }
+
+  private:
+    static constexpr std::uint64_t kCapacity = 1024;
+
+    mutable ldis::Mutex m;
+    std::uint64_t occupancy LDIS_GUARDED_BY(m) = 0;
+    Clockish auditClock;
+};
+
+} // namespace fixture

@@ -1,0 +1,33 @@
+// Thread-safety negative fixture: calling an EXCLUDES(m) function
+// while already holding m — the self-deadlock shape the EXCLUDES
+// annotations on every public hub/registry method exist to prevent.
+// Must FAIL to compile under clang -Werror=thread-safety.
+
+#include "common/thread_annotations.hh"
+
+struct Model
+{
+    ldis::Mutex m;
+    int value LDIS_GUARDED_BY(m) = 0;
+
+    int
+    read() LDIS_EXCLUDES(m)
+    {
+        ldis::ScopedLock lock(m);
+        return value;
+    }
+
+    int
+    deadlock()
+    {
+        ldis::ScopedLock lock(m);
+        return read(); // error: cannot call function 'read' while mutex 'm' is held
+    }
+};
+
+int
+main()
+{
+    Model model;
+    return model.deadlock();
+}

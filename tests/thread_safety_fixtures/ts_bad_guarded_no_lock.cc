@@ -1,0 +1,25 @@
+// Thread-safety negative fixture: writing a GUARDED_BY member
+// without holding its mutex. Must FAIL to compile under
+// clang -Werror=thread-safety (see scripts/check_thread_safety_fixtures.sh).
+
+#include "common/thread_annotations.hh"
+
+struct Model
+{
+    ldis::Mutex m;
+    int value LDIS_GUARDED_BY(m) = 0;
+
+    void
+    racyWrite()
+    {
+        value = 1; // error: writing variable 'value' requires holding mutex 'm'
+    }
+};
+
+int
+main()
+{
+    Model model;
+    model.racyWrite();
+    return 0;
+}

@@ -1,0 +1,24 @@
+// Thread-safety negative fixture: calling a REQUIRES(m) function
+// without holding m. Must FAIL to compile under
+// clang -Werror=thread-safety.
+
+#include "common/thread_annotations.hh"
+
+struct Model
+{
+    ldis::Mutex m;
+    int value LDIS_GUARDED_BY(m) = 0;
+
+    int
+    readLocked() LDIS_REQUIRES(m)
+    {
+        return value;
+    }
+};
+
+int
+main()
+{
+    Model model;
+    return model.readLocked(); // error: requires holding mutex 'model.m'
+}

@@ -1,0 +1,29 @@
+// Thread-safety negative fixture: a path that returns with the
+// mutex still held (manual lock with no unlock on one branch).
+// Must FAIL to compile under clang -Werror=thread-safety.
+
+#include "common/thread_annotations.hh"
+
+struct Model
+{
+    ldis::Mutex m;
+    int value LDIS_GUARDED_BY(m) = 0;
+
+    int
+    leakyRead(bool early)
+    {
+        m.lock();
+        if (early)
+            return value; // error: mutex 'm' is still held at the end of function
+        int v = value;
+        m.unlock();
+        return v;
+    }
+};
+
+int
+main()
+{
+    Model model;
+    return model.leakyRead(true);
+}

@@ -1,0 +1,64 @@
+// Thread-safety positive control: a correctly annotated model using
+// every vocabulary element the tree relies on — GUARDED_BY members,
+// ScopedLock sections, EXCLUDES/REQUIRES methods, a condition-
+// variable wait with an assertHeld() predicate, and the manual
+// unlock/relock shape. Must compile CLEANLY under
+// clang -Werror=thread-safety; if this file ever warns, the fixture
+// harness itself is miswired (or the analysis changed semantics).
+
+#include "common/thread_annotations.hh"
+
+struct Model
+{
+    ldis::Mutex m;
+    ldis::CondVar cv;
+    int value LDIS_GUARDED_BY(m) = 0;
+    bool ready LDIS_GUARDED_BY(m) = false;
+
+    void
+    publish(int v) LDIS_EXCLUDES(m)
+    {
+        ldis::ScopedLock lock(m);
+        value = v;
+        ready = true;
+        cv.notify_one();
+    }
+
+    int
+    consume() LDIS_EXCLUDES(m)
+    {
+        ldis::ScopedLock lock(m);
+        cv.wait(m, [this]() {
+            m.assertHeld();
+            return ready;
+        });
+        return drainLocked();
+    }
+
+    int
+    drainLocked() LDIS_REQUIRES(m)
+    {
+        ready = false;
+        return value;
+    }
+
+    int
+    roundTrip() LDIS_EXCLUDES(m)
+    {
+        ldis::ScopedLock lock(m);
+        int v = value;
+        lock.unlock();
+        // ... lock-free work ...
+        lock.lock();
+        v += value;
+        return v;
+    }
+};
+
+int
+main()
+{
+    Model model;
+    model.publish(1);
+    return model.consume() + model.roundTrip();
+}

@@ -1,0 +1,583 @@
+#!/usr/bin/env python3
+"""ldis-lint: project-invariant lint pass for the distillsim tree.
+
+Enforces structural invariants that clang-tidy has no checks for,
+complementing the Clang thread-safety wall (compile-time lock
+discipline) and the LDIS_AUDIT engine (runtime state invariants):
+
+  raw-mutex       No raw std::mutex / std::condition_variable /
+                  std::lock_guard / std::unique_lock / ... outside
+                  src/common/thread_annotations.hh. Every lock must
+                  be an annotated ldis::Mutex so the thread-safety
+                  analysis sees the whole locking surface.
+  hot-path-alloc  No direct heap allocation (new/malloc/make_shared/
+                  push_back/resize/...) inside the configured
+                  steady-state hot functions (the gang-replay chunk
+                  walk, the cache access paths). Deep reachability
+                  is the alloc-counting test's job
+                  (tests/test_alloc_free.cc); this rule keeps the
+                  named functions themselves allocation-free at the
+                  source level, where a stray emplace_back survives
+                  review far too easily.
+  nondeterminism  No std::rand / srand / random_device /
+                  system_clock / time() / gettimeofday outside the
+                  allowlisted files (src/common/random.hh owns
+                  seeding; telemetry timestamps records). The
+                  simulator's bit-identical replay guarantees depend
+                  on this.
+  audit-const     Every auditInvariants() is const-qualified and its
+                  body contains no const_cast (the compiler then
+                  proves audits cannot mutate model state, which is
+                  what keeps audited runs bit-identical).
+  audit-hook      Every translation unit with an LDIS_AUDIT_POINT
+                  site declares auditInvariants() itself or in its
+                  paired header — an audit point on a model with no
+                  audit hook is dead armor.
+
+Driving file set: the translation units of compile_commands.json
+(written by CMake, CMAKE_EXPORT_COMPILE_COMMANDS ON) filtered to the
+configured scope, plus every header under the scope directories.
+Token stream: libclang when the python bindings are importable (the
+CI job installs them), otherwise a built-in lexer that strips
+comments and string/char literals — both produce the same
+comment-free text the rules scan, so findings are identical on any
+well-formed source.
+
+Usage:
+  tools/ldis_lint.py -p build                 # lint the real tree
+  tools/ldis_lint.py --self-test              # run the fixture suite
+  tools/ldis_lint.py -p build --rules FILE    # alternate rule config
+
+Exit status: 0 clean, 1 findings (or fixture expectations missed),
+2 usage/environment error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+DEFAULT_RULES = "scripts/ldis_lint_rules.json"
+FIXTURE_DIR = "tests/lint_fixtures"
+
+# --------------------------------------------------------------------
+# Tokenization: comment/string stripping
+# --------------------------------------------------------------------
+
+
+def strip_code_builtin(text):
+    """Blank comments and string/char literal contents, preserving
+    newlines and column positions so findings carry real line
+    numbers. Handles //, /* */, "..." with escapes, '...', and
+    R"delim(...)delim" raw strings."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            seg = text[i:j + 2]
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in seg))
+            i = j + 2
+        elif c == "R" and nxt == '"' and (
+                i == 0 or not (text[i - 1].isalnum()
+                               or text[i - 1] == "_")):
+            m = re.match(r'R"([^\s()\\]{0,16})\(', text[i:])
+            if not m:
+                out.append(c)
+                i += 1
+                continue
+            close = ")" + m.group(1) + '"'
+            j = text.find(close, i + m.end())
+            j = n - len(close) if j < 0 else j
+            seg = text[i:j + len(close)]
+            out.append('""' + "".join(
+                ch if ch == "\n" else " " for ch in seg[2:]))
+            i = j + len(close)
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j, n - 1)
+            out.append(quote + " " * max(0, j - i - 1) + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def strip_code_libclang(path, text):
+    """Rebuild the comment/literal-free text from a libclang token
+    stream. Identical output contract to strip_code_builtin; used
+    when the clang.cindex bindings are importable."""
+    import clang.cindex as ci
+
+    tu = ci.Index.create().parse(
+        path, args=["-std=c++20"],
+        options=ci.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+    blanked = list(text)
+    for tok in tu.get_tokens(extent=tu.cursor.extent):
+        if tok.kind is ci.TokenKind.COMMENT or (
+                tok.kind is ci.TokenKind.LITERAL
+                and tok.spelling[:1] in "\"'RL"
+                and ("\"" in tok.spelling or "'" in tok.spelling)):
+            start = tok.extent.start.offset
+            end = tok.extent.end.offset
+            for k in range(start, min(end, len(blanked))):
+                if blanked[k] != "\n":
+                    blanked[k] = " "
+    return "".join(blanked)
+
+
+def have_libclang():
+    try:
+        import clang.cindex  # noqa: F401
+
+        return True
+    except Exception:
+        return False
+
+
+def strip_code(path, text, use_libclang):
+    if use_libclang:
+        try:
+            return strip_code_libclang(path, text)
+        except Exception:
+            pass  # fall back: a parse failure must not hide findings
+    return strip_code_builtin(text)
+
+
+# --------------------------------------------------------------------
+# Function-body extraction (for hot-path-alloc / audit-const)
+# --------------------------------------------------------------------
+
+
+def match_forward(text, start, open_ch, close_ch):
+    """Index just past the balanced close_ch matching text[start]."""
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def find_function_bodies(stripped, name):
+    """Yield (body_start, body_end) spans for definitions of @p name
+    in comment-free text. Recognizes both ordinary definitions
+    (``ret Klass::name(args) ... {``) and named lambdas
+    (``auto name = [...](args) ... {``)."""
+    for m in re.finditer(r"\b%s\b" % re.escape(name), stripped):
+        i = m.end()
+        while i < len(stripped) and stripped[i].isspace():
+            i += 1
+        if i >= len(stripped):
+            continue
+        if stripped[i] == "(":
+            after_args = match_forward(stripped, i, "(", ")")
+            tail = stripped[after_args:after_args + 160]
+            # A definition: only qualifiers/specifiers before '{'.
+            tm = re.match(
+                r"\s*(const|noexcept|override|final|mutable"
+                r"|->\s*[\w:<>,&*\s]+|LDIS_\w+\s*\([^)]*\)"
+                r"|LDIS_\w+)*\s*\{", tail)
+            if not tm:
+                continue
+            body_start = after_args + tm.end() - 1
+            yield body_start, match_forward(
+                stripped, body_start, "{", "}")
+        elif stripped[i] == "=":
+            j = i + 1
+            while j < len(stripped) and stripped[j].isspace():
+                j += 1
+            if j >= len(stripped) or stripped[j] != "[":
+                continue
+            after_cap = match_forward(stripped, j, "[", "]")
+            k = after_cap
+            while k < len(stripped) and stripped[k].isspace():
+                k += 1
+            if k < len(stripped) and stripped[k] == "(":
+                k = match_forward(stripped, k, "(", ")")
+            brace = stripped.find("{", k)
+            if brace < 0:
+                continue
+            yield brace, match_forward(stripped, brace, "{", "}")
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+# --------------------------------------------------------------------
+# Findings
+# --------------------------------------------------------------------
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (
+            self.path, self.line, self.rule, self.message)
+
+
+# --------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------
+
+RAW_MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*(recursive_|timed_|recursive_timed_|shared_)?"
+    r"(mutex|condition_variable(_any)?|lock_guard|unique_lock"
+    r"|scoped_lock|shared_lock)\b")
+
+ALLOC_RES = [
+    (re.compile(r"\bnew\b(?!\s*\()"), "operator new"),
+    (re.compile(r"\bnew\s*\("), "placement/operator new"),
+    (re.compile(r"\b(malloc|calloc|realloc|strdup)\s*\("),
+     "C allocation"),
+    (re.compile(r"\bmake_(unique|shared)\b"), "make_unique/shared"),
+    (re.compile(r"\.\s*(push_back|emplace_back|emplace|resize"
+                r"|reserve|insert|assign)\s*\("),
+     "allocating container call"),
+    (re.compile(r"\bstd\s*::\s*(string|vector|deque|map|set"
+                r"|unordered_map|unordered_set|list)\s*<?[^;]*?\("),
+     "allocating container construction"),
+]
+
+NONDET_RES = [
+    (re.compile(r"\bstd\s*::\s*rand\b|(?<![\w.>])rand\s*\("),
+     "rand()"),
+    (re.compile(r"(?<![\w.>])srand\s*\("), "srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bsystem_clock\b"), "wall-clock time"),
+    (re.compile(r"(?<![\w.>])time\s*\("), "time()"),
+    (re.compile(r"(?<![\w.>])gettimeofday\s*\("), "gettimeofday()"),
+]
+
+
+def rule_raw_mutex(path, stripped, cfg, findings):
+    for m in RAW_MUTEX_RE.finditer(stripped):
+        findings.append(Finding(
+            "raw-mutex", path, line_of(stripped, m.start()),
+            "raw %s; use the annotated ldis::%s from "
+            "src/common/thread_annotations.hh" % (
+                m.group(0),
+                "Mutex/ScopedLock" if "lock" in m.group(0)
+                or "mutex" in m.group(0) else "CondVar")))
+
+
+def blank_audit_macros(stripped):
+    """Blank the arguments of LDIS_AUDIT_POINT/CHECK sites: they are
+    compiled out of Release builds, so whatever they allocate is not
+    steady-state hot-path allocation."""
+    out = list(stripped)
+    for m in re.finditer(r"\bLDIS_AUDIT_(POINT|CHECK)\s*\(",
+                         stripped):
+        end = match_forward(stripped, m.end() - 1, "(", ")")
+        for k in range(m.end(), end - 1):
+            if out[k] != "\n":
+                out[k] = " "
+    return "".join(out)
+
+
+def rule_hot_path_alloc(path, stripped, cfg, findings):
+    functions = cfg.get("functions", {}).get(path, [])
+    if not functions:
+        return
+    stripped = blank_audit_macros(stripped)
+    for fn in functions:
+        spans = list(find_function_bodies(stripped, fn))
+        if not spans:
+            findings.append(Finding(
+                "hot-path-alloc", path, 1,
+                "configured hot function '%s' not found (stale "
+                "scripts/ldis_lint_rules.json entry?)" % fn))
+            continue
+        for start, end in spans:
+            body = stripped[start:end]
+            for rx, what in ALLOC_RES:
+                for m in rx.finditer(body):
+                    findings.append(Finding(
+                        "hot-path-alloc", path,
+                        line_of(stripped, start + m.start()),
+                        "%s in steady-state hot function '%s'"
+                        % (what, fn)))
+
+
+def rule_nondeterminism(path, stripped, cfg, findings):
+    for rx, what in NONDET_RES:
+        for m in rx.finditer(stripped):
+            findings.append(Finding(
+                "nondeterminism", path,
+                line_of(stripped, m.start()),
+                "%s outside the nondeterminism allowlist (replays "
+                "must be bit-identical; seed via common/random.hh)"
+                % what))
+
+
+def rule_audit_const(path, stripped, cfg, findings):
+    for m in re.finditer(r"\bauditInvariants\s*\(", stripped):
+        after = match_forward(stripped, m.end() - 1, "(", ")")
+        tail = stripped[after:after + 40]
+        line = line_of(stripped, m.start())
+        # Skip call sites: member calls (obj.auditInvariants(),
+        # p->auditInvariants()) and unqualified self-calls in the
+        # legacy predicate wrappers (return auditInvariants()...).
+        before = stripped[:m.start()].rstrip()
+        if (before.endswith(".") or before.endswith("->")
+                or before.endswith("return")
+                or before.endswith("!")):
+            continue
+        if not re.match(r"\s*const\b", tail):
+            findings.append(Finding(
+                "audit-const", path, line,
+                "auditInvariants() must be const-qualified so the "
+                "compiler proves audits cannot mutate model state"))
+        bm = re.search(r"\s*const[^;{]*\{", stripped[after:])
+        if bm and bm.start() == 0:
+            body_start = after + bm.end() - 1
+            body_end = match_forward(stripped, body_start, "{", "}")
+            body = stripped[body_start:body_end]
+            for bad in ("const_cast", "mutable"):
+                bmatch = re.search(r"\b%s\b" % bad, body)
+                if bmatch:
+                    findings.append(Finding(
+                        "audit-const", path,
+                        line_of(stripped,
+                                body_start + bmatch.start()),
+                        "%s inside auditInvariants() defeats the "
+                        "read-only audit contract" % bad))
+
+
+def rule_audit_hook(path, stripped, cfg, findings, sibling_text=""):
+    if not path.endswith(".cc"):
+        return
+    m = re.search(r"\bLDIS_AUDIT_POINT\s*\(", stripped)
+    if not m:
+        return
+    if re.search(r"\bauditInvariants\b", stripped):
+        return
+    if re.search(r"\bauditInvariants\b", sibling_text):
+        return
+    findings.append(Finding(
+        "audit-hook", path, line_of(stripped, m.start()),
+        "LDIS_AUDIT_POINT site but neither this TU nor its paired "
+        "header declares auditInvariants(); the audit macro would "
+        "not compile against a hook-less model, or audits a model "
+        "defined elsewhere — move the point next to the hook"))
+
+
+RULES = {
+    "raw-mutex": rule_raw_mutex,
+    "hot-path-alloc": rule_hot_path_alloc,
+    "nondeterminism": rule_nondeterminism,
+    "audit-const": rule_audit_const,
+    "audit-hook": rule_audit_hook,
+}
+
+
+# --------------------------------------------------------------------
+# File discovery
+# --------------------------------------------------------------------
+
+
+def load_compile_commands(build_dir):
+    ccpath = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(ccpath):
+        raise SystemExit(
+            "error: %s not found — configure with CMake first "
+            "(CMAKE_EXPORT_COMPILE_COMMANDS is ON at the top level)"
+            % ccpath)
+    with open(ccpath) as f:
+        entries = json.load(f)
+    return sorted({os.path.abspath(
+        os.path.join(e["directory"], e["file"])) for e in entries})
+
+
+def scoped_files(root, scope_dirs, build_dir):
+    """TUs from compile_commands.json filtered to the scope, plus
+    every header found under the scope directories."""
+    root = os.path.abspath(root)
+    files = []
+    for tu in load_compile_commands(build_dir):
+        rel = os.path.relpath(tu, root)
+        if any(rel == d or rel.startswith(d + os.sep)
+               for d in scope_dirs):
+            files.append(rel)
+    for d in scope_dirs:
+        for dirpath, _, names in os.walk(os.path.join(root, d)):
+            for name in sorted(names):
+                if name.endswith((".hh", ".h", ".hpp")):
+                    files.append(os.path.relpath(
+                        os.path.join(dirpath, name), root))
+    return sorted(set(files))
+
+
+def sibling_header_text(root, rel):
+    stem = os.path.splitext(rel)[0]
+    for ext in (".hh", ".h", ".hpp"):
+        cand = os.path.join(root, stem + ext)
+        if os.path.isfile(cand):
+            with open(cand) as f:
+                return f.read()
+    return ""
+
+
+# --------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------
+
+
+def suppressed_lines(text):
+    """Map line number -> set of rules silenced by an inline
+    `// ldis-lint: allow(<rule>)` comment on that line or the line
+    above. Suppressions are for invariants the rule cannot see
+    (e.g. a push_back into a scratch vector whose capacity is
+    reserved once) — justify each one in the comment."""
+    allowed = {}
+    for i, line in enumerate(text.splitlines(), start=1):
+        for m in re.finditer(
+                r"ldis-lint:\s*allow\(([\w-]+)\)", line):
+            for ln in (i, i + 1):
+                allowed.setdefault(ln, set()).add(m.group(1))
+    return allowed
+
+
+def lint_files(root, files, rules_cfg, use_libclang):
+    findings = []
+    enabled = rules_cfg.get("rules", {})
+    for rel in files:
+        with open(os.path.join(root, rel)) as f:
+            text = f.read()
+        stripped = strip_code(
+            os.path.join(root, rel), text, use_libclang)
+        allowed = suppressed_lines(text)
+        file_findings = []
+        for rule_name, rule_fn in RULES.items():
+            cfg = enabled.get(rule_name)
+            if cfg is None:
+                continue
+            if rel in cfg.get("allow_files", []):
+                continue
+            if rule_name == "audit-hook":
+                rule_fn(rel, stripped, cfg, file_findings,
+                        sibling_header_text(root, rel))
+            else:
+                rule_fn(rel, stripped, cfg, file_findings)
+        findings.extend(
+            f for f in file_findings
+            if f.rule not in allowed.get(f.line, ()))
+    return findings
+
+
+def run_self_test(root, use_libclang):
+    """Every bad_*.cc fixture must produce exactly its expected
+    findings (declared inline as `// expect-finding: <rule>`), and
+    every good_*.cc must produce none."""
+    fixdir = os.path.join(root, FIXTURE_DIR)
+    rules_path = os.path.join(fixdir, "rules.json")
+    with open(rules_path) as f:
+        rules_cfg = json.load(f)
+    failures = []
+    checked = 0
+    for name in sorted(os.listdir(fixdir)):
+        if not name.endswith(".cc"):
+            continue
+        checked += 1
+        rel = os.path.join(FIXTURE_DIR, name)
+        with open(os.path.join(root, rel)) as f:
+            text = f.read()
+        expected = re.findall(r"//\s*expect-finding:\s*([\w-]+)",
+                              text)
+        got = lint_files(root, [rel], rules_cfg, use_libclang)
+        got_rules = sorted(f.rule for f in got)
+        if name.startswith("good_"):
+            if got:
+                failures.append("%s: expected clean, got:\n  %s" % (
+                    name, "\n  ".join(str(f) for f in got)))
+            continue
+        missing = [r for r in expected
+                   if r not in [g.rule for g in got]]
+        unexpected = [g for g in got if g.rule not in expected]
+        if not expected:
+            failures.append(
+                "%s: bad fixture declares no expect-finding lines"
+                % name)
+        if missing:
+            failures.append("%s: rule(s) %s did not fire (got %s)"
+                            % (name, missing, got_rules))
+        if unexpected:
+            failures.append("%s: unexpected finding(s):\n  %s" % (
+                name, "\n  ".join(str(f) for f in unexpected)))
+    mode = "libclang" if use_libclang else "builtin lexer"
+    if failures:
+        print("ldis-lint self-test FAILED (%s, %d fixtures):"
+              % (mode, checked))
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("ldis-lint self-test OK (%s): %d fixtures behaved"
+          % (mode, checked))
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        prog="ldis_lint.py",
+        description="distillsim project-invariant lint pass")
+    ap.add_argument("-p", "--build-dir", default="build",
+                    help="dir containing compile_commands.json")
+    ap.add_argument("--rules", default=DEFAULT_RULES,
+                    help="rule config (default %s)" % DEFAULT_RULES)
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: the script's parent)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the bad-snippet fixture suite")
+    ap.add_argument("--no-libclang", action="store_true",
+                    help="force the builtin lexer")
+    args = ap.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    use_libclang = (not args.no_libclang) and have_libclang()
+
+    if args.self_test:
+        return run_self_test(root, use_libclang)
+
+    with open(os.path.join(root, args.rules)) as f:
+        rules_cfg = json.load(f)
+    files = scoped_files(root, rules_cfg.get("scope", ["src"]),
+                         args.build_dir)
+    if not files:
+        print("error: no files in scope — wrong --build-dir?",
+              file=sys.stderr)
+        return 2
+    findings = lint_files(root, files, rules_cfg, use_libclang)
+    mode = "libclang" if use_libclang else "builtin lexer"
+    for f in findings:
+        print(f)
+    print("ldis-lint (%s): %d file(s), %d finding(s)"
+          % (mode, len(files), len(findings)))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
