@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Multi-programmed shared-L2 sweep: every canonical 2-way and 4-way
+ * mix (configs.cc mixTable) against all 13 ConfigKinds, reporting
+ * aggregate MPKI, the CPI-proxy weighted speedup over the solo runs
+ * and the fairness ratio per cell. This is the capacity-pressure
+ * story the paper's solo sweeps cannot tell: under contention the
+ * distill cache's effective capacity win compounds, because every
+ * stream's unused words were crowding out every other stream's
+ * lines.
+ *
+ * One shared front-end recording per distinct member benchmark
+ * feeds both the solo baselines and every mix that member appears
+ * in; each mix cell composes the recorded streams and replays the
+ * merged stream once per config group (gang) with per-stream stat
+ * attribution.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/mix.hh"
+#include "sim/runner.hh"
+#include "sim/telemetry.hh"
+
+using namespace ldis;
+
+int
+main()
+{
+    telemetry::setExperiment("mix_mpki");
+    // Mix cells simulate members.size() times the solo length;
+    // default shorter than the solo harnesses so the full table
+    // stays tractable.
+    InstCount instructions = runLength(20'000'000);
+    std::printf("Mix MPKI: shared-L2 mixes x all configs "
+                "(%llu instructions per member)\n\n",
+                static_cast<unsigned long long>(instructions));
+
+    const std::vector<ConfigKind> &kinds = allConfigKinds();
+
+    // Distinct members across all mixes, for the solo baselines.
+    std::vector<std::string> solo_names;
+    for (const MixSpec &mix : mixTable())
+        for (const std::string &m : mix.members)
+            if (std::find(solo_names.begin(), solo_names.end(), m) ==
+                solo_names.end())
+                solo_names.push_back(m);
+
+    RunMatrix matrix;
+    std::map<std::string, std::size_t> solo_slot;
+    for (const std::string &name : solo_names)
+        solo_slot[name] =
+            matrix.addReplayGroup(name, kinds, instructions);
+    std::vector<std::size_t> mix_slot;
+    for (const MixSpec &mix : mixTable())
+        mix_slot.push_back(
+            matrix.addMixGroup(mix, kinds, instructions));
+    const std::vector<RunResult> &results = matrix.run();
+
+    // Fill soloMpki / weighted speedup / fairness from the solo
+    // cells of the SAME config, then print one table per metric.
+    std::vector<RunResult> mixes;
+    for (std::size_t m = 0; m < mixTable().size(); ++m) {
+        const MixSpec &spec = mixTable()[m];
+        for (std::size_t k = 0; k < kinds.size(); ++k) {
+            RunResult cell = results[mix_slot[m] + k];
+            std::vector<double> solo;
+            for (const std::string &member : spec.members)
+                solo.push_back(
+                    results[solo_slot[member] + k].mpki);
+            finalizeMixMetrics(cell, solo);
+            mixes.push_back(std::move(cell));
+        }
+    }
+
+    auto print_metric = [&](const char *title, auto value) {
+        std::vector<std::string> head{"mix"};
+        for (ConfigKind kind : kinds)
+            head.push_back(configName(kind));
+        Table t(head);
+        std::size_t idx = 0;
+        for (const MixSpec &spec : mixTable()) {
+            std::vector<std::string> row{spec.name};
+            for (std::size_t k = 0; k < kinds.size(); ++k)
+                row.push_back(Table::num(value(mixes[idx + k]), 2));
+            idx += kinds.size();
+            t.addRow(row);
+        }
+        std::printf("%s\n%s\n", title, t.render().c_str());
+    };
+
+    print_metric("Aggregate MPKI",
+                 [](const RunResult &r) { return r.mpki; });
+    print_metric("Weighted speedup (CPI proxy, vs solo)",
+                 [](const RunResult &r) { return r.weightedSpeedup; });
+    print_metric("Fairness (min/max per-stream speedup)",
+                 [](const RunResult &r) { return r.fairness; });
+
+    // Per-stream detail for the first 2-way and the first 4-way mix
+    // under the headline config, as a worked example.
+    bool shown2 = false;
+    bool shown4 = false;
+    for (std::size_t m = 0; m < mixTable().size(); ++m) {
+        const MixSpec &spec = mixTable()[m];
+        bool &shown = spec.members.size() == 2 ? shown2 : shown4;
+        if (shown)
+            continue;
+        shown = true;
+        Table t({"stream", "solo MPKI", "mix MPKI", "speedup"});
+        // LDIS-MT-RC column of this mix.
+        std::size_t k = 0;
+        while (kinds[k] != ConfigKind::LdisMTRC)
+            ++k;
+        const RunResult &cell = mixes[m * kinds.size() + k];
+        for (const StreamStat &s : cell.streams) {
+            t.addRow({s.benchmark, Table::num(s.soloMpki, 2),
+                      Table::num(s.mpki, 2),
+                      Table::num(cpiProxy(s.soloMpki)
+                                     / cpiProxy(s.mpki),
+                                 3)});
+        }
+        std::printf("Per-stream detail: %s under %s\n%s\n",
+                    spec.name.c_str(),
+                    configName(ConfigKind::LdisMTRC),
+                    t.render().c_str());
+    }
+
+    std::printf("%s", matrix.summary().c_str());
+    return 0;
+}

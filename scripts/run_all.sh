@@ -27,6 +27,8 @@ run table3_overhead "$N"
 run fig10_compressibility "$N"
 run fig11_fac "$N"
 run fig13_sfp "$N"
+# Mix cells simulate members x the per-member length.
+run mix_mpki "$((N / 2))"
 run table5_insensitive "$((N / 2))"
 run table6_words_vs_size "$((N / 2))"
 run abl_distill_design "$((N / 5))"

@@ -143,6 +143,21 @@ class CheckThroughputTest(unittest.TestCase):
         self.assertIn("BM_L2Replay", r.stdout)
         self.assertIn("missing from current report", r.stdout)
 
+    def test_new_benchmark_without_baseline_warns_but_passes(self):
+        # The inverse direction: a benchmark that appears in the
+        # report but not in the baseline (just added to the suite)
+        # is a warning, not a failure — it is simply not gated yet.
+        base = self.path("base.json", {"BM_DistillCache": 1e6})
+        cur = self.path(
+            "cur.json",
+            report({"BM_DistillCache": 1e6, "BM_NewCache": 2e6}),
+        )
+        r = self.run_check(cur, base, "--benchmark",
+                           "BM_DistillCache")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("warning: BM_NewCache", r.stdout)
+        self.assertIn("absent from baseline", r.stdout)
+
 
 if __name__ == "__main__":
     unittest.main()

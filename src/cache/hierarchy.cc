@@ -5,16 +5,9 @@
 namespace ldis
 {
 
-namespace
-{
-
-/** Code region sits at the bottom of the address space. */
-constexpr Addr kCodeBase = 0x10000;
-
-} // namespace
-
-CodeWalker::CodeWalker(const CodeModel &model, std::uint64_t seed)
-    : code(model), rng(seed), codeBase(kCodeBase), pc(0),
+CodeWalker::CodeWalker(const CodeModel &model, std::uint64_t seed,
+                       Addr code_base)
+    : code(model), rng(seed), codeBase(code_base), pc(0),
       instrsToJump(model.avgRunInstrs)
 {
     ldis_assert(code.codeBytes >= kLineBytes);

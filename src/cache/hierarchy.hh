@@ -33,11 +33,20 @@ struct HierarchyParams
     bool modelInstructionSide = true;
 };
 
+/** Default base of the code region (bottom of the address space). */
+inline constexpr Addr kCodeBase = 0x10000;
+
 /** Synthetic PC walker over a workload's code footprint. */
 class CodeWalker
 {
   public:
-    CodeWalker(const CodeModel &model, std::uint64_t seed);
+    /**
+     * @param code_base byte address the code region starts at; mix
+     *        members relocate it into their tagged address space
+     *        (src/trace/mix.hh) so instruction streams never alias.
+     */
+    CodeWalker(const CodeModel &model, std::uint64_t seed,
+               Addr code_base = kCodeBase);
 
     /**
      * Advance the PC by @p instructions instructions and invoke

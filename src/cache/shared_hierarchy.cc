@@ -1,0 +1,119 @@
+#include "shared_hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+void
+StreamAttributingL2::charge(std::size_t s, const L2Stats &before)
+{
+    ldis_assert(s < perStream.size());
+    const L2Stats &after = inner.stats();
+    L2Stats &dst = perStream[s];
+    dst.accesses += after.accesses - before.accesses;
+    dst.locHits += after.locHits - before.locHits;
+    dst.wocHits += after.wocHits - before.wocHits;
+    dst.holeMisses += after.holeMisses - before.holeMisses;
+    dst.lineMisses += after.lineMisses - before.lineMisses;
+    dst.compulsoryMisses +=
+        after.compulsoryMisses - before.compulsoryMisses;
+    dst.writebacks += after.writebacks - before.writebacks;
+    dst.evictions += after.evictions - before.evictions;
+}
+
+L2Result
+StreamAttributingL2::access(Addr addr, bool write, Addr pc,
+                            bool instr)
+{
+    L2Stats before = inner.stats();
+    L2Result r = inner.access(addr, write, pc, instr);
+    charge(mixStreamOfAddr(addr), before);
+    return r;
+}
+
+void
+StreamAttributingL2::l1dEviction(LineAddr line, Footprint used,
+                                 Footprint dirty_words)
+{
+    L2Stats before = inner.stats();
+    inner.l1dEviction(line, used, dirty_words);
+    charge(mixStreamOfLine(line), before);
+}
+
+bool
+StreamAttributingL2::prefetch(LineAddr line)
+{
+    L2Stats before = inner.stats();
+    bool filled = inner.prefetch(line);
+    charge(mixStreamOfLine(line), before);
+    return filled;
+}
+
+void
+StreamAttributingL2::resetStats()
+{
+    inner.resetStats();
+    perStream.fill(L2Stats{});
+}
+
+SharedHierarchy::SharedHierarchy(MixWorkload &mix_workload,
+                                 SecondLevelCache &l2,
+                                 const HierarchyParams &params)
+    : mix(mix_workload), modelISide(params.modelInstructionSide)
+{
+    members.reserve(mix.streams());
+    for (std::size_t s = 0; s < mix.streams(); ++s) {
+        // Same walker seed as the solo Hierarchy; only the code base
+        // moves, so the member's jump sequence — and therefore its
+        // private-L1I behavior — matches its solo run exactly.
+        members.push_back(std::make_unique<Member>(
+            params.l1d, params.l1i, l2, mix.memberCodeModel(s),
+            mixStreamBase(s) + kCodeBase));
+    }
+}
+
+void
+SharedHierarchy::run()
+{
+    MixedAccess m;
+    while (mix.next(m)) {
+        Member &mem = *members[m.stream];
+        hierStats.instructions += m.access.instructions();
+        ++hierStats.dataAccesses;
+        if (modelISide) {
+            mem.walker.advance(
+                m.access.instructions(),
+                [&mem](Addr line_pc) { mem.l1i.fetchLine(line_pc); });
+        }
+        mem.l1d.access(m.access.addr, m.access.write, m.access.pc);
+    }
+}
+
+L1DStats
+SharedHierarchy::aggregateL1d() const
+{
+    L1DStats out;
+    for (const auto &mem : members) {
+        const L1DStats &s = mem->l1d.stats();
+        out.accesses += s.accesses;
+        out.hits += s.hits;
+        out.sectorMisses += s.sectorMisses;
+        out.lineMisses += s.lineMisses;
+    }
+    return out;
+}
+
+L1IStats
+SharedHierarchy::aggregateL1i() const
+{
+    L1IStats out;
+    for (const auto &mem : members) {
+        const L1IStats &s = mem->l1i.stats();
+        out.accesses += s.accesses;
+        out.misses += s.misses;
+    }
+    return out;
+}
+
+} // namespace ldis

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Multi-programmed shared-L2 hierarchy: each mix member keeps
+ * private L1s (and its own synthetic PC walker), all of which miss
+ * into ONE shared SecondLevelCache. Per-stream L2 stat attribution is
+ * provided by StreamAttributingL2, a wrapper that splits the shared
+ * cache's counter deltas by the address-space tag of each request
+ * (src/trace/mix.hh), so per-stream counters sum to the aggregate
+ * exactly, field by field.
+ */
+
+#ifndef DISTILLSIM_CACHE_SHARED_HIERARCHY_HH
+#define DISTILLSIM_CACHE_SHARED_HIERARCHY_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "cache/l1i.hh"
+#include "cache/sectored_l1d.hh"
+#include "trace/mix.hh"
+
+namespace ldis
+{
+
+/**
+ * Wraps a shared L2 and attributes every counter increment to the
+ * mix stream that caused it. Attribution is by delta: the wrapper
+ * snapshots the inner stats before each forwarded call and charges
+ * the field-wise difference to the stream owning the request's
+ * address. Every mutating entry point is wrapped, so the per-stream
+ * counters always sum to the inner cache's aggregate exactly.
+ *
+ * Cross-stream side effects (a fill of stream A evicting a line of
+ * stream B) are charged to the *accessing* stream — the convention
+ * throughout is "who caused the work", not "whose data moved".
+ */
+class StreamAttributingL2 final : public SecondLevelCache
+{
+  public:
+    /** @param inner_l2 the shared cache (not owned) */
+    explicit StreamAttributingL2(SecondLevelCache &inner_l2)
+        : inner(inner_l2)
+    {
+    }
+
+    L2Result access(Addr addr, bool write, Addr pc,
+                    bool instr) override;
+    void l1dEviction(LineAddr line, Footprint used,
+                     Footprint dirty_words) override;
+    bool prefetch(LineAddr line) override;
+
+    const L2Stats &stats() const override { return inner.stats(); }
+    void resetStats() override;
+    std::string describe() const override { return inner.describe(); }
+
+    /** Counters attributed to mix stream @p s. */
+    const L2Stats &
+    streamStats(std::size_t s) const
+    {
+        return perStream[s];
+    }
+
+    SecondLevelCache &innerCache() { return inner; }
+
+  private:
+    /** Charge (after - before) to stream @p s, field by field. */
+    void charge(std::size_t s, const L2Stats &before);
+
+    SecondLevelCache &inner;
+    std::array<L2Stats, kMaxMixStreams> perStream{};
+};
+
+/**
+ * The multi-programmed simulation engine: drives a MixWorkload's
+ * interleaved access stream through per-member private L1s into one
+ * shared L2. The L1 geometry is identical for every member (solo
+ * defaults), and each member's walker uses the solo seed with its
+ * code region relocated into the member's tagged address space — so
+ * a member's private-L1 evolution is isomorphic to its solo run.
+ */
+class SharedHierarchy
+{
+  public:
+    /**
+     * @param mix composed workload (not owned)
+     * @param l2 shared second-level cache (not owned); pass a
+     *        StreamAttributingL2 for per-stream attribution
+     * @param params per-member L1 geometry
+     */
+    SharedHierarchy(MixWorkload &mix, SecondLevelCache &l2,
+                    const HierarchyParams &params = {});
+
+    /** Simulate the mix to completion (every member at target). */
+    void run();
+
+    const HierarchyStats &stats() const { return hierStats; }
+
+    const L1DStats &
+    l1dStats(std::size_t s) const
+    {
+        return members[s]->l1d.stats();
+    }
+
+    const L1IStats &
+    l1iStats(std::size_t s) const
+    {
+        return members[s]->l1i.stats();
+    }
+
+    /** Field-wise sums over the members' private L1s. */
+    L1DStats aggregateL1d() const;
+    L1IStats aggregateL1i() const;
+
+  private:
+    struct Member
+    {
+        Member(const CacheGeometry &l1d_geom,
+               const CacheGeometry &l1i_geom, SecondLevelCache &l2,
+               const CodeModel &code, Addr code_base)
+            : l1d(l1d_geom, l2), l1i(l1i_geom, l2),
+              walker(code, 0x1234567, code_base)
+        {
+        }
+
+        SectoredL1D l1d;
+        L1ICache l1i;
+        CodeWalker walker;
+    };
+
+    MixWorkload &mix;
+    std::vector<std::unique_ptr<Member>> members;
+    bool modelISide;
+    HierarchyStats hierStats;
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_CACHE_SHARED_HIERARCHY_HH

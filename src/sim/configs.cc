@@ -78,6 +78,53 @@ configName(ConfigKind kind)
     return "?";
 }
 
+const std::vector<ConfigKind> &
+allConfigKinds()
+{
+    static const std::vector<ConfigKind> kinds = {
+        ConfigKind::Baseline1MB, ConfigKind::Trad1_5MB,
+        ConfigKind::Trad2MB,     ConfigKind::Trad4MB,
+        ConfigKind::Trad1MB32B,  ConfigKind::LdisBase,
+        ConfigKind::LdisMT,      ConfigKind::LdisMTRC,
+        ConfigKind::Ldis4xTags,  ConfigKind::Cmpr4xTags,
+        ConfigKind::Fac4xTags,   ConfigKind::Sfp16k,
+        ConfigKind::Sfp64k,
+    };
+    return kinds;
+}
+
+const std::vector<MixSpec> &
+mixTable()
+{
+    // Canonical contention mixes over the paper's headline
+    // benchmarks: high-MPKI pairings (art, mcf, health), the
+    // medium-pressure pair (twolf, vpr), a two-copies case
+    // (twolf+twolf, the self-contention sanity anchor of test_mix),
+    // and three 4-way mixes spanning the pressure range.
+    static const std::vector<MixSpec> mixes = {
+        {"art+mcf", {"art", "mcf"}},
+        {"twolf+vpr", {"twolf", "vpr"}},
+        {"mcf+health", {"mcf", "health"}},
+        {"twolf+twolf", {"twolf", "twolf"}},
+        {"vpr+parser", {"vpr", "parser"}},
+        {"art+mcf+twolf+vpr", {"art", "mcf", "twolf", "vpr"}},
+        {"mcf+health+parser+ammp",
+         {"mcf", "health", "parser", "ammp"}},
+        {"art+twolf+health+vpr",
+         {"art", "twolf", "health", "vpr"}},
+    };
+    return mixes;
+}
+
+const MixSpec *
+findMix(const std::string &name)
+{
+    for (const MixSpec &m : mixTable())
+        if (m.name == name)
+            return &m;
+    return nullptr;
+}
+
 L2Instance
 makeConfig(ConfigKind kind, const ValueProfile &profile)
 {

@@ -11,6 +11,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cache/l2_interface.hh"
 #include "trace/value_model.hh"
@@ -38,6 +39,27 @@ enum class ConfigKind
 
 /** Display name of a configuration ("LDIS-MT-RC", ...). */
 const char *configName(ConfigKind kind);
+
+/** Every ConfigKind, in declaration order (sweep support). */
+const std::vector<ConfigKind> &allConfigKinds();
+
+/**
+ * A named multi-programmed workload mix: 2-4 member benchmarks
+ * sharing one L2 (src/trace/mix.hh). Members may repeat (the
+ * two-copies contention case); the member order is the mix's stream
+ * order, so it is part of the mix's identity.
+ */
+struct MixSpec
+{
+    std::string name;                 //!< e.g. "art+mcf"
+    std::vector<std::string> members; //!< benchmark names, in order
+};
+
+/** The canonical 2-way and 4-way mixes the harnesses sweep. */
+const std::vector<MixSpec> &mixTable();
+
+/** Mix named @p name in mixTable(), or null. */
+const MixSpec *findMix(const std::string &name);
 
 /**
  * A constructed L2 plus the value model it may reference (the

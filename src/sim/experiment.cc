@@ -153,6 +153,30 @@ writeJson(JsonWriter &j, const RunResult &r, const std::string &key)
     j.field("accesses", r.l1i.accesses);
     j.field("misses", r.l1i.misses);
     j.endObject();
+    // Mix runs only — solo results stay byte-identical.
+    if (!r.streams.empty()) {
+        j.beginArray("streams");
+        for (const StreamStat &s : r.streams) {
+            j.beginObject();
+            j.field("benchmark", s.benchmark);
+            j.field("instructions", s.instructions);
+            j.field("mpki", s.mpki);
+            j.field("solo_mpki", s.soloMpki);
+            j.beginObject("l2");
+            j.field("accesses", s.l2.accesses);
+            j.field("loc_hits", s.l2.locHits);
+            j.field("woc_hits", s.l2.wocHits);
+            j.field("hole_misses", s.l2.holeMisses);
+            j.field("line_misses", s.l2.lineMisses);
+            j.field("compulsory_misses", s.l2.compulsoryMisses);
+            j.field("writebacks", s.l2.writebacks);
+            j.endObject();
+            j.endObject();
+        }
+        j.endArray();
+        j.field("weighted_speedup", r.weightedSpeedup);
+        j.field("fairness", r.fairness);
+    }
     j.endObject();
 }
 

@@ -20,6 +20,20 @@
 namespace ldis
 {
 
+/**
+ * Per-stream slice of a multi-programmed (mix) run: the member's own
+ * instruction count, MPKI and attributed L2 counters, plus its solo
+ * MPKI when the harness ran the solo baseline (0 otherwise).
+ */
+struct StreamStat
+{
+    std::string benchmark;
+    InstCount instructions = 0;
+    double mpki = 0.0;
+    double soloMpki = 0.0;
+    L2Stats l2;
+};
+
 /** Outcome of one trace-driven run. */
 struct RunResult
 {
@@ -45,6 +59,19 @@ struct RunResult
      * behaviour is auditable; excluded from stat comparisons.
      */
     std::string streamSource;
+
+    /**
+     * Multi-programmed runs only: one slice per mix member (empty
+     * for solo runs, which keeps solo JSON byte-identical). The
+     * headline fields above then aggregate over the whole mix.
+     */
+    std::vector<StreamStat> streams;
+
+    /** Σ of per-stream CPI-proxy speedups vs solo (mix runs only). */
+    double weightedSpeedup = 0.0;
+
+    /** min/max of the per-stream speedups (1.0 = perfectly fair). */
+    double fairness = 0.0;
 };
 
 /** Outcome of one execution-driven run. */

@@ -1,0 +1,235 @@
+#include "mix.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+namespace
+{
+
+/**
+ * CPI-proxy miss penalty, pinned to the IPC model's static memory
+ * latency so the two models tell one story.
+ */
+constexpr double kMixMissPenaltyCycles = 400.0;
+
+/** One member's decode cursor with a one-event lookahead. */
+struct MemberCursor
+{
+    explicit MemberCursor(const L2Stream &s) : dec(s) {}
+
+    StreamDecoder dec;
+    StreamEvent ev;
+    std::uint64_t pos = 0;   //!< cumulative instrDelta through ev
+    std::uint64_t round = 0; //!< ceil(pos / quantum)
+    bool hasEvent = false;
+
+    void
+    advance(InstCount quantum)
+    {
+        if (dec.remaining() == 0) {
+            hasEvent = false;
+            return;
+        }
+        ev = dec.next();
+        pos += ev.instrDelta;
+        round = (pos + quantum - 1) / quantum;
+        hasEvent = true;
+    }
+};
+
+} // namespace
+
+std::shared_ptr<const L2Stream>
+composeMixStream(
+    const std::string &name,
+    const std::vector<std::shared_ptr<const L2Stream>> &members,
+    InstCount quantum)
+{
+    ldis_assert(members.size() >= 2 &&
+                members.size() <= kMaxMixStreams);
+    ldis_assert(quantum >= 1);
+
+    auto out = std::make_shared<L2Stream>();
+    out->benchmark = name;
+    out->seed = members.front()->seed;
+    out->warmupInstructions = 0;
+    out->frontEndKey = members.front()->frontEndKey;
+    out->code = members.front()->code;
+
+    std::vector<ValueProfile> profiles;
+    std::vector<InstCount> weights;
+    for (const auto &m : members) {
+        // The merge only reconstructs warmup-free runs (the
+        // round-of-position rule assumes position counts from the
+        // stream's start), over streams of one front-end geometry.
+        ldis_assert(m != nullptr);
+        ldis_assert(m->markerEvents == 0 && m->markerVictims == 0);
+        ldis_assert(m->warmupInstructions == 0);
+        ldis_assert(m->frontEndKey == out->frontEndKey);
+        out->instructions += m->instructions;
+        out->totalLineMisses += m->totalLineMisses;
+        out->meas.instructions += m->meas.instructions;
+        out->meas.dataAccesses += m->meas.dataAccesses;
+        out->meas.l1dAccesses += m->meas.l1dAccesses;
+        out->meas.l1dLineMisses += m->meas.l1dLineMisses;
+        out->meas.l1iAccesses += m->meas.l1iAccesses;
+        out->meas.l1iMisses += m->meas.l1iMisses;
+        // Blend weights are the REQUESTED lengths, matching
+        // MixWorkload::valueProfile's target weighting, so both
+        // composition paths parameterize compression configs with
+        // the bit-identical profile.
+        profiles.push_back(m->values);
+        weights.push_back(m->instructions);
+    }
+    out->values = blendValueProfiles(profiles, weights);
+
+    std::vector<MemberCursor> cursors;
+    cursors.reserve(members.size());
+    for (const auto &m : members) {
+        cursors.emplace_back(*m);
+        cursors.back().advance(quantum);
+    }
+
+    StreamEncoder enc(*out);
+    for (;;) {
+        // Smallest (round, member index) next: rounds advance
+        // globally, members rotate in index order within a round,
+        // and one member's events keep their stream order — exactly
+        // the direct interleave's consumption order.
+        std::size_t best = members.size();
+        for (std::size_t s = 0; s < cursors.size(); ++s) {
+            if (!cursors[s].hasEvent)
+                continue;
+            if (best == members.size() ||
+                cursors[s].round < cursors[best].round)
+                best = s;
+        }
+        if (best == members.size())
+            break;
+
+        MemberCursor &c = cursors[best];
+        const StreamEvent &e = c.ev;
+        // Solo streams must live entirely below the first tag.
+        ldis_assert(e.addr >> kMixStreamShift == 0);
+        ldis_assert(e.pc >> kMixStreamShift == 0);
+        Addr base = mixStreamBase(best);
+        enc.event(e.op, e.addr + base, e.pc + base, e.instrDelta,
+                  e.flags);
+        if (e.op == StreamOp::LineMiss &&
+            (e.flags & kStreamHasVictim) != 0) {
+            StreamVictim v = c.dec.nextVictim();
+            enc.victim(v.line + base / kLineBytes, v.used, v.dirty);
+        }
+        c.advance(quantum);
+    }
+
+    for (const MemberCursor &c : cursors)
+        ldis_assert(c.dec.fullyConsumed());
+    return out;
+}
+
+void
+attachStreamStats(RunResult &r, const StreamAttributingL2 &l2,
+                  const std::vector<MixMemberInfo> &members)
+{
+    r.streams.clear();
+    r.streams.reserve(members.size());
+    for (std::size_t s = 0; s < members.size(); ++s) {
+        StreamStat st;
+        st.benchmark = members[s].benchmark;
+        st.instructions = members[s].instructions;
+        st.l2 = l2.streamStats(s);
+        st.mpki = st.instructions == 0
+            ? 0.0
+            : static_cast<double>(st.l2.misses())
+                / (static_cast<double>(st.instructions) / 1000.0);
+        r.streams.push_back(std::move(st));
+    }
+}
+
+double
+cpiProxy(double mpki)
+{
+    return 1.0 + kMixMissPenaltyCycles * mpki / 1000.0;
+}
+
+void
+finalizeMixMetrics(RunResult &mix,
+                   const std::vector<double> &solo_mpki)
+{
+    ldis_assert(solo_mpki.size() == mix.streams.size());
+    double sum = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    for (std::size_t s = 0; s < mix.streams.size(); ++s) {
+        StreamStat &st = mix.streams[s];
+        st.soloMpki = solo_mpki[s];
+        double speedup =
+            cpiProxy(st.mpki) > 0.0
+                ? cpiProxy(st.soloMpki) / cpiProxy(st.mpki)
+                : 0.0;
+        sum += speedup;
+        if (s == 0) {
+            lo = hi = speedup;
+        } else {
+            lo = std::min(lo, speedup);
+            hi = std::max(hi, speedup);
+        }
+    }
+    mix.weightedSpeedup = sum;
+    mix.fairness = hi > 0.0 ? lo / hi : 0.0;
+}
+
+RunResult
+runMixDirect(const MixSpec &spec, ConfigKind kind,
+             InstCount member_instructions, std::uint64_t seed,
+             InstCount quantum)
+{
+    std::vector<MixWorkload::MemberSpec> specs;
+    specs.reserve(spec.members.size());
+    for (const std::string &bench : spec.members)
+        specs.push_back({bench, seed, member_instructions});
+    MixWorkload mix(specs, quantum);
+
+    L2Instance inst = makeConfig(kind, mix.valueProfile());
+    StreamAttributingL2 shared(*inst.cache);
+    SharedHierarchy hier(mix, shared);
+
+    auto start = std::chrono::steady_clock::now();
+    hier.run();
+    double elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+
+    RunResult r;
+    r.streamSource = "direct";
+    r.benchmark = spec.name;
+    r.config = configName(kind);
+    r.instructions = hier.stats().instructions;
+    r.l2 = shared.stats();
+    r.mpki = r.instructions == 0
+        ? 0.0
+        : static_cast<double>(r.l2.misses())
+            / (static_cast<double>(r.instructions) / 1000.0);
+    r.l1d = hier.aggregateL1d();
+    r.l1i = hier.aggregateL1i();
+    r.wallSeconds = elapsed;
+    r.instPerSec = elapsed > 0.0
+        ? static_cast<double>(r.instructions) / elapsed
+        : 0.0;
+
+    std::vector<MixMemberInfo> members;
+    members.reserve(mix.streams());
+    for (std::size_t s = 0; s < mix.streams(); ++s)
+        members.push_back(
+            {mix.memberName(s), mix.memberInstructions(s)});
+    attachStreamStats(r, shared, members);
+    return r;
+}
+
+} // namespace ldis

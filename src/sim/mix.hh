@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Replay-side mix composition and mix metrics.
+ *
+ * composeMixStream() merges the members' recorded solo streams into
+ * the one event stream the direct SharedHierarchy run would have
+ * produced. This works because of the two src/trace/mix.hh
+ * invariants: a member's private-L1 evolution under the uniform
+ * mixStreamBase() translation is isomorphic to its solo run (the tag
+ * rides above every set-index bit), so the member's L2-visible
+ * events ARE its solo events, re-tagged; and the round an event
+ * falls into is a pure function of its stream position —
+ * ceil(position / quantum) — so the interleave can be reconstructed
+ * by a k-way merge on (round, member index, within-member order)
+ * without re-simulating any front end. Replaying the merged stream
+ * is therefore bit-identical to the direct mix run, config by
+ * config.
+ *
+ * The rest of this header is per-stream stat plumbing: attaching a
+ * StreamAttributingL2's per-member counters to a RunResult, and the
+ * CPI-proxy mix metrics (weighted speedup, fairness) of the
+ * multi-programming literature.
+ */
+
+#ifndef DISTILLSIM_SIM_MIX_HH
+#define DISTILLSIM_SIM_MIX_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/shared_hierarchy.hh"
+#include "sim/configs.hh"
+#include "sim/replay.hh"
+
+namespace ldis
+{
+
+/**
+ * Merge the members' recorded solo streams (warmup-free, identical
+ * front-end geometry) into the mix's composed stream: events
+ * re-tagged into their member's address space and interleaved in
+ * round-robin-by-quantum order, victims riding along in pairing
+ * order, window totals summed, and the value profile blended with
+ * the same weights the direct path uses (the members' requested
+ * instruction counts) so compression configs come out identical.
+ * The same member stream may appear more than once (two-copies
+ * mixes).
+ */
+std::shared_ptr<const L2Stream> composeMixStream(
+    const std::string &name,
+    const std::vector<std::shared_ptr<const L2Stream>> &members,
+    InstCount quantum = kDefaultMixQuantum);
+
+/** Name + instruction count of one mix member (stat attribution). */
+struct MixMemberInfo
+{
+    std::string benchmark;
+    InstCount instructions = 0;
+};
+
+/**
+ * Fill @p r.streams from the wrapper's per-member counters: one
+ * StreamStat per member with its attributed L2 slice and per-stream
+ * MPKI (soloMpki stays 0 until finalizeMixMetrics).
+ */
+void attachStreamStats(RunResult &r, const StreamAttributingL2 &l2,
+                       const std::vector<MixMemberInfo> &members);
+
+/**
+ * CPI proxy of an L2 MPKI figure: 1 + penalty * MPKI / 1000, with
+ * the penalty pinned to the IPC model's static memory latency. Only
+ * relative values matter (the speedup ratios below).
+ */
+double cpiProxy(double mpki);
+
+/**
+ * Fill the mix-level metrics of @p mix from the members' solo MPKI
+ * figures (same order as mix.streams): per-stream soloMpki, the
+ * weighted speedup Σ cpiProxy(solo)/cpiProxy(shared), and the
+ * fairness ratio min/max of those per-stream speedups.
+ */
+void finalizeMixMetrics(RunResult &mix,
+                        const std::vector<double> &solo_mpki);
+
+/**
+ * Direct-mode mix run (the LDIS_REPLAY=0 path): build the mix's
+ * workloads, run the SharedHierarchy against a fresh @p kind L2
+ * behind a StreamAttributingL2, and pack the aggregate + per-stream
+ * result. Every member runs @p member_instructions instructions.
+ * Statistics are bit-identical to replaying the composed stream.
+ */
+RunResult runMixDirect(const MixSpec &spec, ConfigKind kind,
+                       InstCount member_instructions,
+                       std::uint64_t seed = 1,
+                       InstCount quantum = kDefaultMixQuantum);
+
+} // namespace ldis
+
+#endif // DISTILLSIM_SIM_MIX_HH

@@ -11,6 +11,7 @@
 #include "common/logging.hh"
 #include "common/thread_annotations.hh"
 #include "common/table.hh"
+#include "sim/mix.hh"
 #include "sim/replay.hh"
 
 namespace ldis
@@ -46,10 +47,26 @@ runThunks(const std::vector<std::function<void()>> &thunks,
           const std::vector<std::size_t> &deps, unsigned workers,
           WorkerLeaseHub *hub)
 {
+    std::vector<std::vector<std::size_t>> multi;
+    multi.reserve(deps.size());
+    for (std::size_t d : deps) {
+        multi.emplace_back();
+        if (d != kNoDep)
+            multi.back().push_back(d);
+    }
+    runThunks(thunks, multi, workers, hub);
+}
+
+void
+runThunks(const std::vector<std::function<void()>> &thunks,
+          const std::vector<std::vector<std::size_t>> &deps,
+          unsigned workers, WorkerLeaseHub *hub)
+{
     std::size_t n = thunks.size();
     ldis_assert(deps.empty() || deps.size() == n);
     for (std::size_t i = 0; i < deps.size(); ++i)
-        ldis_assert(deps[i] == kNoDep || deps[i] < i);
+        for (std::size_t d : deps[i])
+            ldis_assert(d < i);
 
     if (workers > n)
         workers = static_cast<unsigned>(n);
@@ -85,17 +102,24 @@ runThunks(const std::vector<std::function<void()>> &thunks,
         std::exception_ptr first_error LDIS_GUARDED_BY(mutex);
     } sched;
 
+    // dependents is filled before the pool spawns and read-only
+    // afterwards; pending is the per-thunk count of unmet
+    // prerequisites, mutated only under the scheduler capability.
     std::vector<std::vector<std::size_t>> dependents(n);
+    std::vector<std::size_t> pending(n, 0);
     {
         // No worker exists yet, but the ready queue is guarded
         // state: take the capability so the analysis (and TSan)
         // see one consistent story.
         ScopedLock lock(sched.mutex);
         for (std::size_t i = 0; i < n; ++i) {
-            if (deps.empty() || deps[i] == kNoDep)
+            if (deps.empty() || deps[i].empty()) {
                 sched.ready.push_back(i);
-            else
-                dependents[deps[i]].push_back(i);
+                continue;
+            }
+            pending[i] = deps[i].size();
+            for (std::size_t d : deps[i])
+                dependents[d].push_back(i);
         }
     }
 
@@ -143,7 +167,8 @@ runThunks(const std::vector<std::function<void()>> &thunks,
             report_busy();
             ++sched.completed;
             for (std::size_t j : dependents[i])
-                sched.ready.push_back(j);
+                if (--pending[j] == 0)
+                    sched.ready.push_back(j);
             sched.cv.notify_all();
         }
     };
@@ -471,6 +496,138 @@ RunMatrix::addReplayGroup(const std::string &benchmark,
             return rs;
         },
         holder->setupHandle);
+}
+
+std::size_t
+RunMatrix::addMixGroup(const MixSpec &spec,
+                       const std::vector<ConfigKind> &kinds,
+                       InstCount member_instructions,
+                       std::uint64_t seed, InstCount quantum)
+{
+    ldis_assert(!kinds.empty());
+    ldis_assert(spec.members.size() >= 2 &&
+                spec.members.size() <= kMaxMixStreams);
+    if (quantum == 0)
+        quantum = kDefaultMixQuantum;
+
+    if (!replayEnabled()) {
+        // Direct fallback: one SharedHierarchy job per kind, same
+        // slot labels, bit-identical statistics.
+        std::size_t first = 0;
+        for (std::size_t k = 0; k < kinds.size(); ++k) {
+            ConfigKind kind = kinds[k];
+            std::size_t idx = add(
+                spec.name + "/" + configName(kind),
+                [spec, kind, member_instructions, seed, quantum] {
+                    return runMixDirect(spec, kind,
+                                        member_instructions, seed,
+                                        quantum);
+                });
+            if (k == 0)
+                first = idx;
+        }
+        return first;
+    }
+
+    // One holder per member (repeats allowed); the group takes ONE
+    // stream reference per DISTINCT holder, and depends on each
+    // distinct holder's recording job. Mixes share their members'
+    // recorded streams with solo submissions of the same length.
+    std::vector<std::shared_ptr<StreamHolder>> holders;
+    std::vector<std::shared_ptr<StreamHolder>> distinct;
+    std::vector<std::size_t> setup_deps;
+    holders.reserve(spec.members.size());
+    for (const std::string &bench : spec.members) {
+        auto holder = streamFor(bench, seed, member_instructions);
+        holders.push_back(holder);
+        if (std::find(distinct.begin(), distinct.end(), holder) ==
+            distinct.end()) {
+            distinct.push_back(holder);
+            ++holder->total;
+            setup_deps.push_back(holder->setupHandle);
+        }
+    }
+
+    std::vector<std::string> slot_labels;
+    slot_labels.reserve(kinds.size());
+    for (ConfigKind kind : kinds)
+        slot_labels.push_back(spec.name + "/" + configName(kind));
+
+    std::string group_label =
+        spec.name + "/mix[" + std::to_string(kinds.size()) + "]";
+    auto kind_list =
+        std::make_shared<std::vector<ConfigKind>>(kinds);
+    return addGroup(
+        group_label, std::move(slot_labels),
+        [this, holders, distinct, kind_list, spec, quantum,
+         group_label] {
+            // One scoped stream reference per distinct member, held
+            // across the whole job (a throwing lane must still let
+            // the streams go).
+            std::vector<std::unique_ptr<StreamHolder::Ref>> refs;
+            refs.reserve(distinct.size());
+            for (const auto &holder : distinct)
+                refs.push_back(
+                    std::make_unique<StreamHolder::Ref>(*holder));
+
+            std::vector<std::shared_ptr<const L2Stream>> streams;
+            streams.reserve(holders.size());
+            for (const auto &holder : holders)
+                streams.push_back(holder->take());
+
+            std::shared_ptr<const L2Stream> merged =
+                composeMixStream(spec.name, streams, quantum);
+
+            std::vector<MixMemberInfo> members;
+            members.reserve(streams.size());
+            for (const auto &s : streams)
+                members.push_back(
+                    {s->benchmark, s->meas.instructions});
+
+            // Build every kind's cache behind its own attributing
+            // wrapper, then walk the composed stream once for all
+            // of them (or once per kind when the gang is off).
+            std::vector<L2Instance> instances;
+            std::vector<std::unique_ptr<StreamAttributingL2>> wraps;
+            std::vector<SecondLevelCache *> caches;
+            instances.reserve(kind_list->size());
+            wraps.reserve(kind_list->size());
+            caches.reserve(kind_list->size());
+            for (ConfigKind kind : *kind_list) {
+                instances.push_back(
+                    makeConfig(kind, merged->values));
+                wraps.push_back(
+                    std::make_unique<StreamAttributingL2>(
+                        *instances.back().cache));
+                caches.push_back(wraps.back().get());
+            }
+
+            std::vector<RunResult> rs;
+            if (gangEnabled()) {
+                GangParallel par;
+                par.hub = leaseHub();
+                GangReplayInfo info;
+                rs = replayMany(*merged, caches, &info, par);
+                telemetry::emitGang(group_label, spec.name, info);
+            } else {
+                rs.reserve(caches.size());
+                for (SecondLevelCache *cache : caches)
+                    rs.push_back(replayStream(*merged, *cache));
+            }
+
+            bool all_disk = true;
+            for (const auto &holder : distinct)
+                if (!holder->fromDiskCache)
+                    all_disk = false;
+            for (std::size_t k = 0; k < rs.size(); ++k) {
+                rs[k].config = configName((*kind_list)[k]);
+                rs[k].streamSource =
+                    all_disk ? "disk-cache" : "record";
+                attachStreamStats(rs[k], *wraps[k], members);
+            }
+            return rs;
+        },
+        std::move(setup_deps));
 }
 
 std::size_t

@@ -81,6 +81,17 @@ void runThunks(const std::vector<std::function<void()>> &thunks,
                const std::vector<std::size_t> &deps,
                unsigned workers, WorkerLeaseHub *hub = nullptr);
 
+/**
+ * Multi-prerequisite variant: @p deps gives each thunk a (possibly
+ * empty) list of prerequisite indices, all strictly lower than the
+ * thunk's own index. A thunk starts once every prerequisite has
+ * completed (the mix jobs depend on one front-end recording per
+ * member benchmark). The single-dep overload delegates here.
+ */
+void runThunks(const std::vector<std::function<void()>> &thunks,
+               const std::vector<std::vector<std::size_t>> &deps,
+               unsigned workers, WorkerLeaseHub *hub = nullptr);
+
 } // namespace detail
 
 /**
@@ -170,6 +181,24 @@ class RunMatrixT
         return first;
     }
 
+    /**
+     * Group job with MULTIPLE setup prerequisites (each a handle
+     * returned by addSetup): the group starts once every one of
+     * @p setup_deps has completed. Used by the mix jobs, which
+     * consume one recorded stream per member benchmark.
+     */
+    std::size_t
+    addGroup(std::string label, std::vector<std::string> slot_labels,
+             std::function<std::vector<Result>()> fn,
+             std::vector<std::size_t> setup_deps)
+    {
+        std::size_t first = addGroup(std::move(label),
+                                     std::move(slot_labels),
+                                     std::move(fn), kNoDep);
+        entries.back().multiDeps = std::move(setup_deps);
+        return first;
+    }
+
     /** Execute all jobs; results are in submission order. */
     const std::vector<Result> &
     run()
@@ -202,11 +231,14 @@ class RunMatrixT
             stats::registry().histogram("runner.job_wall_ms");
 
         std::vector<std::function<void()>> thunks;
-        std::vector<std::size_t> deps;
+        std::vector<std::vector<std::size_t>> deps;
         thunks.reserve(entries.size());
         deps.reserve(entries.size());
         for (std::size_t i = 0; i < entries.size(); ++i) {
-            deps.push_back(entries[i].dep);
+            std::vector<std::size_t> d = entries[i].multiDeps;
+            if (entries[i].dep != kNoDep)
+                d.push_back(entries[i].dep);
+            deps.push_back(std::move(d));
             thunks.push_back([this, i, &progress, &wall_hist] {
                 const Entry &e = entries[i];
                 progress.started(i, e.label);
@@ -340,6 +372,8 @@ class RunMatrixT
         std::function<std::vector<Result>()> group;
         std::vector<std::string> slotLabels;
         std::size_t groupSize = 0;
+        /** Additional setup prerequisites (multi-dep groups). */
+        std::vector<std::size_t> multiDeps;
     };
 
     unsigned workerCount;
@@ -436,6 +470,28 @@ class RunMatrix : public RunMatrixT<RunResult>
                                InstCount instructions,
                                std::vector<GangJob> jobs,
                                std::uint64_t seed = 1);
+
+    /**
+     * Multi-programmed gang submission: schedule one front-end
+     * recording per DISTINCT member benchmark of @p spec (shared
+     * with any solo submissions of the same length), then one group
+     * job that composes the members' streams into the mix's
+     * interleaved stream (src/sim/mix.hh) and replays it once for
+     * every kind in @p kinds — one result slot per kind, labelled
+     * "<mix>/<config>", each carrying per-stream attribution in
+     * RunResult::streams. Every member runs @p member_instructions
+     * instructions. Falls back to direct SharedHierarchy jobs with
+     * identical labels and bit-identical statistics when
+     * LDIS_REPLAY=0, and to per-config replay of the composed
+     * stream when LDIS_GANG=0.
+     * @param quantum interleave quantum (0 = kDefaultMixQuantum)
+     * @return index of the FIRST kind's result slot
+     */
+    std::size_t addMixGroup(const MixSpec &spec,
+                            const std::vector<ConfigKind> &kinds,
+                            InstCount member_instructions,
+                            std::uint64_t seed = 1,
+                            InstCount quantum = 0);
 
   private:
     struct StreamHolder;

@@ -1,0 +1,104 @@
+#include "mix.hh"
+
+#include "common/logging.hh"
+
+namespace ldis
+{
+
+ValueProfile
+blendValueProfiles(const std::vector<ValueProfile> &profiles,
+                   const std::vector<InstCount> &weights)
+{
+    ldis_assert(!profiles.empty());
+    ldis_assert(profiles.size() == weights.size());
+    double total = 0.0;
+    for (InstCount w : weights)
+        total += static_cast<double>(w);
+    if (total == 0.0)
+        return profiles.front();
+    ValueProfile out;
+    out.pZero = out.pOne = out.pNarrow = 0.0;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        double w = static_cast<double>(weights[i]) / total;
+        out.pZero += w * profiles[i].pZero;
+        out.pOne += w * profiles[i].pOne;
+        out.pNarrow += w * profiles[i].pNarrow;
+    }
+    return out;
+}
+
+const Access &
+MixWorkload::Member::peek()
+{
+    if (batchPos >= batchLen) {
+        batchLen = workload->fill(batch.data(), kBatchSize);
+        batchPos = 0;
+    }
+    return batch[batchPos];
+}
+
+MixWorkload::MixWorkload(const std::vector<MemberSpec> &specs,
+                         InstCount quantum_instrs)
+    : quantum(quantum_instrs)
+{
+    ldis_assert(specs.size() >= 2 && specs.size() <= kMaxMixStreams);
+    ldis_assert(quantum >= 1);
+    members.reserve(specs.size());
+    for (const MemberSpec &spec : specs) {
+        ldis_assert(spec.target > 0);
+        Member m;
+        m.spec = spec;
+        m.workload = makeBenchmark(spec.benchmark, spec.seed);
+        m.boundary = quantum;
+        members.push_back(std::move(m));
+    }
+    remaining = members.size();
+}
+
+bool
+MixWorkload::next(MixedAccess &out)
+{
+    while (remaining > 0) {
+        Member &m = members[turn];
+        if (!m.done()) {
+            // Emit while the member's clock after the access stays
+            // within this turn's boundary. The target check mirrors
+            // the solo Hierarchy::run stop rule (consume while below
+            // target, even when the last access overshoots it).
+            const Access &a = m.peek();
+            if (m.position + a.instructions() <= m.boundary) {
+                ++m.batchPos;
+                m.position += a.instructions();
+                out.access = a;
+                out.access.addr += mixStreamBase(turn);
+                out.access.pc += mixStreamBase(turn);
+                out.stream = turn;
+                if (m.done())
+                    --remaining;
+                return true;
+            }
+        }
+        // Turn over: the boundary advances whether or not anything
+        // was emitted, so an access larger than the quantum cannot
+        // stall the rotation.
+        m.boundary += quantum;
+        turn = (turn + 1) % members.size();
+    }
+    return false;
+}
+
+ValueProfile
+MixWorkload::valueProfile() const
+{
+    std::vector<ValueProfile> profiles;
+    std::vector<InstCount> weights;
+    profiles.reserve(members.size());
+    weights.reserve(members.size());
+    for (const Member &m : members) {
+        profiles.push_back(m.workload->valueProfile());
+        weights.push_back(m.spec.target);
+    }
+    return blendValueProfiles(profiles, weights);
+}
+
+} // namespace ldis

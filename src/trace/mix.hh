@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Multi-programmed workload composition: deterministically
+ * interleave 2-4 benchmark proxies into one access stream feeding a
+ * shared L2 (each member keeps private L1s; see
+ * src/cache/shared_hierarchy).
+ *
+ * Two invariants make the composition analyzable:
+ *
+ *  - *Address-space tagging*: member s's data addresses, PCs and code
+ *    region are offset by mixStreamBase(s) = s << 36. Solo proxies
+ *    live far below 2^36 (data regions start at 4GB and grow by
+ *    64MB-scale gaps; code sits at 0x10000), the tag rides above
+ *    every L1/L2 set-index bit, and 4 * 2^36 fits the 40-bit
+ *    physical space — so streams never alias, per-stream set
+ *    indexing matches the solo run, and any address or victim line
+ *    can be attributed back to its stream with one shift.
+ *
+ *  - *Round-robin by instruction quantum*: members take fixed turns.
+ *    Member s's turn t ends at boundary t * quantum of its OWN
+ *    retired-instruction clock; during the turn it emits accesses
+ *    while the count after the access stays within the boundary.
+ *    Boundaries advance every turn even when nothing is emitted (an
+ *    access larger than the quantum just waits for its boundary to
+ *    catch up), so composition never deadlocks, and the turn an
+ *    access falls into is a pure function of its position —
+ *    ceil(position / quantum) — which is what lets the replay-side
+ *    composer (src/sim/mix) interleave recorded solo streams into
+ *    exactly the event order this direct interleave produces.
+ */
+
+#ifndef DISTILLSIM_TRACE_MIX_HH
+#define DISTILLSIM_TRACE_MIX_HH
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/benchmarks.hh"
+#include "trace/workload.hh"
+
+namespace ldis
+{
+
+/** Address bits below a mix stream's tag (tag = addr >> 36). */
+inline constexpr unsigned kMixStreamShift = 36;
+
+/** Maximum members of one mix (4 tags fill the 40-bit space). */
+inline constexpr std::size_t kMaxMixStreams = 4;
+
+/** Default interleave quantum, in instructions per member turn. */
+inline constexpr InstCount kDefaultMixQuantum = 100'000;
+
+/** Base address of member @p s's tagged address space. */
+constexpr Addr
+mixStreamBase(std::size_t s)
+{
+    return static_cast<Addr>(s) << kMixStreamShift;
+}
+
+/** Member index owning byte address @p addr. */
+constexpr std::size_t
+mixStreamOfAddr(Addr addr)
+{
+    return static_cast<std::size_t>(addr >> kMixStreamShift);
+}
+
+/** Member index owning line address @p line (= addr / kLineBytes). */
+constexpr std::size_t
+mixStreamOfLine(LineAddr line)
+{
+    // Line addresses are byte addresses divided by the (power-of-
+    // two) line size, so the tag sits 6 bits lower.
+    static_assert(kLineBytes == 64);
+    return static_cast<std::size_t>(line >> (kMixStreamShift - 6));
+}
+
+/**
+ * Instruction-weighted blend of member value profiles, used to
+ * parameterize the compression configurations of a mix run. Both the
+ * direct and the replay composition path derive the shared profile
+ * through this one function (same member order, same arithmetic), so
+ * the two paths build bit-identical compression L2s.
+ */
+ValueProfile blendValueProfiles(
+    const std::vector<ValueProfile> &profiles,
+    const std::vector<InstCount> &weights);
+
+/** One composed access: the tagged record plus its member index. */
+struct MixedAccess
+{
+    Access access;
+    std::size_t stream = 0;
+};
+
+/**
+ * The direct (execution-order) composer: owns one proxy workload per
+ * member and yields the interleaved, address-tagged access stream.
+ * Unlike Workload this stream is *finite* — each member stops once
+ * its own retired-instruction count reaches its target, exactly like
+ * a solo Hierarchy::run of that length — so the consumer loop is
+ * `while (mix.next(a)) ...`.
+ */
+class MixWorkload
+{
+  public:
+    /** One member of the mix. */
+    struct MemberSpec
+    {
+        std::string benchmark;
+        std::uint64_t seed = 1;
+        InstCount target = 0; //!< member instructions to retire
+    };
+
+    MixWorkload(const std::vector<MemberSpec> &members,
+                InstCount quantum = kDefaultMixQuantum);
+
+    /**
+     * Produce the next interleaved access (tagged with
+     * mixStreamBase of its member). @return false once every member
+     * reached its target.
+     */
+    bool next(MixedAccess &out);
+
+    std::size_t streams() const { return members.size(); }
+    InstCount quantumInstructions() const { return quantum; }
+
+    const std::string &
+    memberName(std::size_t s) const
+    {
+        return members[s].spec.benchmark;
+    }
+
+    /** Instructions member @p s has retired so far. */
+    InstCount
+    memberInstructions(std::size_t s) const
+    {
+        return members[s].position;
+    }
+
+    InstCount
+    memberTarget(std::size_t s) const
+    {
+        return members[s].spec.target;
+    }
+
+    const CodeModel &
+    memberCodeModel(std::size_t s) const
+    {
+        return members[s].workload->codeModel();
+    }
+
+    /** Blended profile over the members (target-weighted). */
+    ValueProfile valueProfile() const;
+
+  private:
+    /** Accesses pulled per member Workload::fill call. */
+    static constexpr std::size_t kBatchSize = 256;
+
+    struct Member
+    {
+        MemberSpec spec;
+        std::unique_ptr<Workload> workload;
+        InstCount position = 0; //!< retired instructions
+        InstCount boundary = 0; //!< current turn's position limit
+        std::array<Access, kBatchSize> batch;
+        std::size_t batchPos = 0;
+        std::size_t batchLen = 0;
+
+        bool done() const { return position >= spec.target; }
+        const Access &peek();
+    };
+
+    std::vector<Member> members;
+    InstCount quantum;
+    std::size_t turn = 0;      //!< member whose turn it is
+    std::size_t remaining = 0; //!< members below their target
+};
+
+} // namespace ldis
+
+#endif // DISTILLSIM_TRACE_MIX_HH

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * The multi-programmed mode's correctness contract: the replay-side
+ * composition of recorded solo streams is bit-identical to the
+ * direct SharedHierarchy run (config by config, per-stream slice by
+ * per-stream slice), the composed-stream gang walk is deterministic
+ * across lane settings, per-stream attribution sums to the shared
+ * cache's aggregate exactly, address-space tagging keeps streams
+ * disjoint, and two copies of one benchmark under an ample shared
+ * L2 each see (approximately) their solo behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/shared_hierarchy.hh"
+#include "common/workshare.hh"
+#include "sim/mix.hh"
+#include "sim/replay.hh"
+#include "sim/runner.hh"
+#include "trace/mix.hh"
+
+namespace ldis
+{
+namespace
+{
+
+constexpr InstCount kMemberRun = 400'000;
+constexpr InstCount kQuantum = 50'000;
+
+void
+expectSameL2(const L2Stats &a, const L2Stats &b)
+{
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.locHits, b.locHits);
+    EXPECT_EQ(a.wocHits, b.wocHits);
+    EXPECT_EQ(a.holeMisses, b.holeMisses);
+    EXPECT_EQ(a.lineMisses, b.lineMisses);
+    EXPECT_EQ(a.compulsoryMisses, b.compulsoryMisses);
+    EXPECT_EQ(a.writebacks, b.writebacks);
+    EXPECT_EQ(a.evictions, b.evictions);
+}
+
+void
+expectSameMixRun(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.mpki, b.mpki);
+    expectSameL2(a.l2, b.l2);
+    EXPECT_EQ(a.l1d.accesses, b.l1d.accesses);
+    EXPECT_EQ(a.l1d.hits, b.l1d.hits);
+    EXPECT_EQ(a.l1d.sectorMisses, b.l1d.sectorMisses);
+    EXPECT_EQ(a.l1d.lineMisses, b.l1d.lineMisses);
+    EXPECT_EQ(a.l1i.accesses, b.l1i.accesses);
+    EXPECT_EQ(a.l1i.misses, b.l1i.misses);
+    ASSERT_EQ(a.streams.size(), b.streams.size());
+    for (std::size_t s = 0; s < a.streams.size(); ++s) {
+        EXPECT_EQ(a.streams[s].benchmark, b.streams[s].benchmark);
+        EXPECT_EQ(a.streams[s].instructions,
+                  b.streams[s].instructions);
+        EXPECT_EQ(a.streams[s].mpki, b.streams[s].mpki);
+        expectSameL2(a.streams[s].l2, b.streams[s].l2);
+    }
+}
+
+/** Record the solo streams of @p spec's members (no warmup). */
+std::vector<std::shared_ptr<const L2Stream>>
+recordMembers(const MixSpec &spec, InstCount instructions)
+{
+    std::vector<std::shared_ptr<const L2Stream>> streams;
+    for (const std::string &bench : spec.members) {
+        auto workload = makeBenchmark(bench, 1);
+        streams.push_back(std::make_shared<L2Stream>(
+            recordStream(*workload, 1, 0, instructions)));
+    }
+    return streams;
+}
+
+/** Replay the composed stream of @p spec into a fresh @p kind L2. */
+RunResult
+replayMix(const MixSpec &spec, ConfigKind kind,
+          InstCount instructions)
+{
+    auto streams = recordMembers(spec, instructions);
+    auto merged = composeMixStream(spec.name, streams, kQuantum);
+    L2Instance inst = makeConfig(kind, merged->values);
+    StreamAttributingL2 shared(*inst.cache);
+    RunResult r = replayStream(*merged, shared);
+    std::vector<MixMemberInfo> members;
+    for (const auto &s : streams)
+        members.push_back({s->benchmark, s->meas.instructions});
+    attachStreamStats(r, shared, members);
+    r.config = configName(kind);
+    return r;
+}
+
+TEST(Mix, TaggingKeepsStreamsDisjoint)
+{
+    EXPECT_EQ(mixStreamBase(0), 0u);
+    for (std::size_t s = 0; s < kMaxMixStreams; ++s) {
+        Addr base = mixStreamBase(s);
+        EXPECT_EQ(mixStreamOfAddr(base), s);
+        EXPECT_EQ(mixStreamOfAddr(base + 0xFFFFFFFFull), s);
+        EXPECT_EQ(mixStreamOfLine(base / kLineBytes), s);
+        // The tag must fit the physical address space.
+        EXPECT_LT(base, Addr{1} << kPhysAddrBits);
+    }
+
+    // Solo proxies really do live below the first tag: every event
+    // of a recorded stream (address, PC and victim line) unmaps to
+    // stream 0.
+    auto workload = makeBenchmark("twolf", 1);
+    L2Stream stream = recordStream(*workload, 1, 0, 200'000);
+    for (const StreamEvent &e : decodeEvents(stream)) {
+        EXPECT_EQ(mixStreamOfAddr(e.addr), 0u);
+        EXPECT_EQ(mixStreamOfAddr(e.pc), 0u);
+    }
+    for (const StreamVictim &v : decodeVictims(stream))
+        EXPECT_EQ(mixStreamOfLine(v.line), 0u);
+}
+
+TEST(Mix, InterleaveIsRoundRobinByQuantum)
+{
+    // Each member's emitted accesses stay within its turn's
+    // boundary: an access consumed while member s's boundary is
+    // b arrives with position <= b, and positions within one
+    // member only grow (stream order preserved).
+    std::vector<MixWorkload::MemberSpec> specs = {
+        {"art", 1, 150'000}, {"mcf", 1, 150'000}};
+    MixWorkload mix(specs, 10'000);
+    std::vector<InstCount> pos(2, 0);
+    MixedAccess m;
+    while (mix.next(m)) {
+        ASSERT_LT(m.stream, 2u);
+        EXPECT_EQ(mixStreamOfAddr(m.access.addr), m.stream);
+        EXPECT_EQ(mixStreamOfAddr(m.access.pc), m.stream);
+        pos[m.stream] += m.access.instructions();
+    }
+    EXPECT_GE(pos[0], specs[0].target);
+    EXPECT_GE(pos[1], specs[1].target);
+    EXPECT_EQ(mix.memberInstructions(0), pos[0]);
+    EXPECT_EQ(mix.memberInstructions(1), pos[1]);
+}
+
+TEST(Mix, DirectMatchesReplayComposition)
+{
+    // The tentpole equivalence: replaying the composed stream is
+    // bit-identical to the direct shared-L2 run — including for a
+    // compression config, which exercises the blended-value-profile
+    // path on both sides.
+    MixSpec spec{"art+mcf", {"art", "mcf"}};
+    for (ConfigKind kind :
+         {ConfigKind::Baseline1MB, ConfigKind::LdisMTRC,
+          ConfigKind::Cmpr4xTags}) {
+        RunResult direct =
+            runMixDirect(spec, kind, kMemberRun, 1, kQuantum);
+        RunResult replayed = replayMix(spec, kind, kMemberRun);
+        expectSameMixRun(direct, replayed);
+    }
+}
+
+TEST(Mix, FourWayDirectMatchesReplay)
+{
+    MixSpec spec{"art+mcf+twolf+vpr",
+                 {"art", "mcf", "twolf", "vpr"}};
+    RunResult direct = runMixDirect(spec, ConfigKind::LdisMTRC,
+                                    kMemberRun, 1, kQuantum);
+    RunResult replayed =
+        replayMix(spec, ConfigKind::LdisMTRC, kMemberRun);
+    expectSameMixRun(direct, replayed);
+}
+
+TEST(Mix, AttributionSumsToAggregate)
+{
+    MixSpec spec{"art+mcf+twolf+vpr",
+                 {"art", "mcf", "twolf", "vpr"}};
+    RunResult r = runMixDirect(spec, ConfigKind::LdisMTRC,
+                               kMemberRun, 1, kQuantum);
+    ASSERT_EQ(r.streams.size(), 4u);
+    L2Stats sum;
+    InstCount inst = 0;
+    for (const StreamStat &s : r.streams) {
+        sum.accesses += s.l2.accesses;
+        sum.locHits += s.l2.locHits;
+        sum.wocHits += s.l2.wocHits;
+        sum.holeMisses += s.l2.holeMisses;
+        sum.lineMisses += s.l2.lineMisses;
+        sum.compulsoryMisses += s.l2.compulsoryMisses;
+        sum.writebacks += s.l2.writebacks;
+        sum.evictions += s.l2.evictions;
+        inst += s.instructions;
+    }
+    expectSameL2(sum, r.l2);
+    EXPECT_EQ(inst, r.instructions);
+}
+
+TEST(Mix, GangWalkDeterministicAcrossLanes)
+{
+    // The composed stream through replayMany, serial vs four lane
+    // workers with small chunks: bit-identical stats, like the solo
+    // gang determinism contract.
+    MixSpec spec{"twolf+vpr", {"twolf", "vpr"}};
+    auto streams = recordMembers(spec, kMemberRun);
+    auto merged = composeMixStream(spec.name, streams, kQuantum);
+
+    const std::vector<ConfigKind> kinds = {
+        ConfigKind::Baseline1MB, ConfigKind::LdisMTRC,
+        ConfigKind::Sfp16k};
+
+    auto run_with_lanes = [&](unsigned lanes) {
+        std::vector<L2Instance> instances;
+        std::vector<std::unique_ptr<StreamAttributingL2>> wraps;
+        std::vector<SecondLevelCache *> caches;
+        for (ConfigKind kind : kinds) {
+            instances.push_back(makeConfig(kind, merged->values));
+            wraps.push_back(std::make_unique<StreamAttributingL2>(
+                *instances.back().cache));
+            caches.push_back(wraps.back().get());
+        }
+        WorkerLeaseHub hub(16);
+        GangParallel par;
+        par.hub = &hub;
+        par.lanes = lanes;
+        par.chunkEvents = 4096;
+        std::vector<RunResult> rs =
+            replayMany(*merged, caches, nullptr, par);
+        std::vector<MixMemberInfo> members;
+        for (const auto &s : streams)
+            members.push_back({s->benchmark, s->meas.instructions});
+        for (std::size_t k = 0; k < rs.size(); ++k)
+            attachStreamStats(rs[k], *wraps[k], members);
+        return rs;
+    };
+
+    std::vector<RunResult> serial = run_with_lanes(1);
+    std::vector<RunResult> wide = run_with_lanes(4);
+    ASSERT_EQ(serial.size(), wide.size());
+    for (std::size_t k = 0; k < serial.size(); ++k)
+        expectSameMixRun(serial[k], wide[k]);
+}
+
+TEST(Mix, MatrixSchedulingDeterministicAcrossWorkers)
+{
+    // addMixGroup behind multi-dep scheduling: one worker vs four
+    // produce bit-identical slots (solo groups sharing the member
+    // recordings ride along).
+    auto run_matrix = [](unsigned workers) {
+        RunMatrix matrix(workers);
+        const std::vector<ConfigKind> kinds = {
+            ConfigKind::Baseline1MB, ConfigKind::LdisMTRC};
+        MixSpec spec{"art+mcf", {"art", "mcf"}};
+        matrix.addReplayGroup("art", kinds, kMemberRun);
+        matrix.addMixGroup(spec, kinds, kMemberRun, 1, kQuantum);
+        return matrix.run();
+    };
+    std::vector<RunResult> serial = run_matrix(1);
+    std::vector<RunResult> parallel = run_matrix(4);
+    ASSERT_EQ(serial.size(), 4u);
+    ASSERT_EQ(parallel.size(), 4u);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].mpki, parallel[i].mpki);
+        expectSameL2(serial[i].l2, parallel[i].l2);
+        ASSERT_EQ(serial[i].streams.size(),
+                  parallel[i].streams.size());
+        for (std::size_t s = 0; s < serial[i].streams.size(); ++s)
+            expectSameL2(serial[i].streams[s].l2,
+                         parallel[i].streams[s].l2);
+    }
+    // The mix cells really carry per-stream slices.
+    EXPECT_EQ(serial[2].streams.size(), 2u);
+    EXPECT_EQ(serial[3].streams.size(), 2u);
+}
+
+TEST(Mix, TwoCopiesSeeSoloBehaviour)
+{
+    // Self-contention sanity: two copies of parser (working set
+    // well under half of 4MB) sharing a TRAD-4MB L2. By symmetry
+    // the copies' slices agree closely, and each tracks the solo
+    // run's MPKI under the same cache.
+    MixSpec spec{"parser+parser", {"parser", "parser"}};
+    RunResult mix = runMixDirect(spec, ConfigKind::Trad4MB,
+                                 kMemberRun, 1, kQuantum);
+    ASSERT_EQ(mix.streams.size(), 2u);
+    RunResult solo =
+        runTrace("parser", ConfigKind::Trad4MB, kMemberRun);
+
+    double m0 = mix.streams[0].mpki;
+    double m1 = mix.streams[1].mpki;
+    ASSERT_GT(solo.mpki, 0.0);
+    EXPECT_NEAR(m0, m1, 0.05 * std::max(m0, m1) + 0.01);
+    EXPECT_NEAR(m0, solo.mpki, 0.2 * solo.mpki + 0.01);
+    EXPECT_NEAR(m1, solo.mpki, 0.2 * solo.mpki + 0.01);
+}
+
+TEST(Mix, MetricsFinalizeFromSoloFigures)
+{
+    RunResult r;
+    r.streams.resize(2);
+    r.streams[0].mpki = 10.0;
+    r.streams[1].mpki = 5.0;
+    finalizeMixMetrics(r, {8.0, 5.0});
+    // Stream 0 slowed down (solo 8 -> mix 10), stream 1 unchanged.
+    double s0 = cpiProxy(8.0) / cpiProxy(10.0);
+    double s1 = 1.0;
+    EXPECT_DOUBLE_EQ(r.streams[0].soloMpki, 8.0);
+    EXPECT_DOUBLE_EQ(r.weightedSpeedup, s0 + s1);
+    EXPECT_DOUBLE_EQ(r.fairness, s0 / s1);
+    EXPECT_LT(r.fairness, 1.0);
+}
+
+TEST(Mix, BlendedProfileIsTargetWeightedMean)
+{
+    ValueProfile a{0.4, 0.2, 0.1};
+    ValueProfile b{0.1, 0.05, 0.4};
+    ValueProfile blend = blendValueProfiles({a, b}, {100, 300});
+    EXPECT_DOUBLE_EQ(blend.pZero, 0.25 * 0.4 + 0.75 * 0.1);
+    EXPECT_DOUBLE_EQ(blend.pOne, 0.25 * 0.2 + 0.75 * 0.05);
+    EXPECT_DOUBLE_EQ(blend.pNarrow, 0.25 * 0.1 + 0.75 * 0.4);
+}
+
+} // namespace
+} // namespace ldis

@@ -8,13 +8,16 @@
  *   ldissim --benchmark mcf --config ldis-mt-rc
  *   ldissim --benchmark art --config baseline --ipc
  *   ldissim --benchmark swim --config ldis --woc-ways 3 --no-mt
+ *   ldissim --mix art+mcf --config ldis-mt-rc
  *   ldissim --list
  */
 
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cache/hierarchy.hh"
 #include "cache/prefetch.hh"
@@ -25,6 +28,7 @@
 #include "common/workshare.hh"
 #include "distill/distill_cache.hh"
 #include "sim/experiment.hh"
+#include "sim/mix.hh"
 #include "sim/replay.hh"
 #include "sim/telemetry.hh"
 
@@ -136,6 +140,119 @@ printTraceReport(const RunResult &r, SecondLevelCache &l2)
     std::printf("%s", t.render().c_str());
 }
 
+void
+printMixReport(const RunResult &r, SecondLevelCache &l2)
+{
+    printTraceReport(r, l2);
+    Table t({"stream", "instructions", "solo MPKI", "mix MPKI",
+             "speedup"});
+    for (const StreamStat &s : r.streams) {
+        t.addRow({s.benchmark,
+                  std::to_string(
+                      static_cast<unsigned long long>(
+                          s.instructions)),
+                  Table::num(s.soloMpki, 3), Table::num(s.mpki, 3),
+                  Table::num(cpiProxy(s.soloMpki) / cpiProxy(s.mpki),
+                             3)});
+    }
+    std::printf("\n%s", t.render().c_str());
+    std::printf("weighted speedup  %.3f\n", r.weightedSpeedup);
+    std::printf("fairness          %.3f\n", r.fairness);
+}
+
+/**
+ * Shared-L2 mix run: record each distinct member's solo stream once
+ * (honoring LDIS_TRACE_CACHE), compose the merged stream, replay it
+ * against the requested config behind a per-stream attribution
+ * wrapper, and derive the mix metrics from same-config solo replays
+ * of the member streams.
+ */
+int
+runMixCli(const CliConfig &cli, const std::string &mix_name,
+          InstCount quantum, bool gang, bool json)
+{
+    std::vector<std::string> members;
+    if (const MixSpec *spec = findMix(mix_name)) {
+        members = spec->members;
+    } else {
+        std::string cur;
+        for (char c : mix_name) {
+            if (c == '+') {
+                members.push_back(cur);
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        members.push_back(cur);
+    }
+    if (members.size() < 2 || members.size() > kMaxMixStreams)
+        ldis_fatal("--mix wants a mix name from configs.cc or 2..%u "
+                   "'+'-joined benchmarks, got '%s'",
+                   static_cast<unsigned>(kMaxMixStreams),
+                   mix_name.c_str());
+    for (const std::string &m : members)
+        if (m.empty())
+            ldis_fatal("--mix '%s' has an empty member",
+                       mix_name.c_str());
+
+    // One recording per distinct member feeds both the composition
+    // (possibly several slots, for two-copies mixes) and its solo
+    // baseline.
+    std::map<std::string, std::shared_ptr<const L2Stream>> recorded;
+    bool all_cached = true;
+    for (const std::string &m : members) {
+        if (recorded.count(m))
+            continue;
+        StreamLoadInfo info;
+        recorded[m] = loadOrRecordStream(m, cli.seed, 0,
+                                         cli.instructions, {}, &info);
+        all_cached = all_cached && info.fromDiskCache;
+    }
+    std::vector<std::shared_ptr<const L2Stream>> streams;
+    for (const std::string &m : members)
+        streams.push_back(recorded.at(m));
+    auto merged = composeMixStream(mix_name, streams, quantum);
+
+    L2Instance l2 = buildL2(cli, merged->values);
+    StreamAttributingL2 attrib(*l2.cache);
+    RunResult r;
+    if (gang) {
+        unsigned lanes = gangLanes();
+        WorkerLeaseHub hub(lanes ? lanes : 1);
+        hub.setBusyWorkers(1);
+        GangParallel par;
+        par.hub = &hub;
+        r = replayMany(*merged, {&attrib}, nullptr, par)[0];
+    } else {
+        r = replayStream(*merged, attrib);
+    }
+    r.streamSource = all_cached ? "disk-cache" : "record";
+    std::vector<MixMemberInfo> info;
+    for (const auto &s : streams)
+        info.push_back({s->benchmark, s->meas.instructions});
+    attachStreamStats(r, attrib, info);
+
+    // Solo baselines: each distinct member against a fresh L2 of the
+    // same configuration.
+    std::map<std::string, double> solo_mpki;
+    for (const auto &[name, stream] : recorded) {
+        L2Instance solo_l2 = buildL2(cli, stream->values);
+        solo_mpki[name] = replayStream(*stream, *solo_l2.cache).mpki;
+    }
+    std::vector<double> solo;
+    for (const std::string &m : members)
+        solo.push_back(solo_mpki.at(m));
+    finalizeMixMetrics(r, solo);
+
+    telemetry::emitJob(mix_name + "/" + cli.config, r);
+    if (json)
+        printJsonReport(r);
+    else
+        printMixReport(r, attrib);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -155,6 +272,15 @@ main(int argc, char **argv)
     args.addFlag("no-mt", "disable median-threshold (ldis)");
     args.addFlag("no-rc", "disable the reverter (ldis)");
     args.addOption("prefetch", "next-N-line prefetch degree", "0");
+    args.addOption("mix",
+                   "shared-L2 multi-programmed run: a mix name from "
+                   "configs.cc or 2..4 '+'-joined benchmarks "
+                   "(e.g. art+mcf); --instructions is per member",
+                   "");
+    args.addOption("quantum",
+                   "with --mix: retired instructions per "
+                   "round-robin turn",
+                   "100000");
     args.addFlag("ipc", "execution-driven run (reports IPC)");
     args.addFlag("replay",
                  "drive the L2 from a recorded front-end stream "
@@ -210,6 +336,8 @@ main(int argc, char **argv)
     cli.prefetchDegree =
         static_cast<unsigned>(args.getUint("prefetch"));
     cli.ipc = args.has("ipc");
+    std::uint64_t quantum = args.getUintInRange(
+        "quantum", 1, 1'000'000'000ULL);
     std::uint64_t audit_interval = args.getUint("audit-interval");
     std::uint64_t lanes_flag = 0;
     if (args.has("lanes"))
@@ -244,6 +372,18 @@ main(int argc, char **argv)
     if (args.has("metrics"))
         telemetry::setSink(args.get("metrics"));
     telemetry::setExperiment("ldissim");
+
+    if (args.has("mix")) {
+        if (cli.ipc) {
+            std::fprintf(stderr, "ldissim: --mix is trace-driven; "
+                                 "--ipc is not supported\n");
+            return 1;
+        }
+        // Mix runs are always stream-composed, so --replay is
+        // implied; the gang/no-gang choice still applies.
+        return runMixCli(cli, args.get("mix"), quantum, gang,
+                         args.has("json"));
+    }
 
     auto workload = makeBenchmark(cli.benchmark, cli.seed);
     L2Instance l2 = buildL2(cli, workload->valueProfile());
